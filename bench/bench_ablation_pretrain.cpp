@@ -1,0 +1,83 @@
+// Ablation: pretrained word embeddings for AguilarNet (the paper's system
+// consumes Godin et al.'s Twitter-pretrained vectors; §I credits its edge
+// partly to "updated Twitter-trained word embeddings"). Pretrains SkipGram
+// embeddings on a large unlabeled tweet dump and compares an AguilarNet
+// trained from scratch vs one initialized from the pretrained table, on a
+// reduced world so the sweep stays affordable.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "nn/word2vec.h"
+#include "stream/tweet_generator.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace emd;
+using namespace emd::bench;
+
+int main() {
+  EntityCatalogOptions copt;
+  copt.entities_per_topic = 400;
+  copt.seed = 77;
+  EntityCatalog catalog = EntityCatalog::Build(copt);
+  Gazetteer gazetteer = Gazetteer::Build(catalog);
+  Dataset full_train = BuildTrainingCorpus(catalog, 1500, 11);
+  DatasetSuiteOptions sopt;
+  sopt.scale = 0.4;
+  sopt.seed = 78;
+  Dataset test = BuildD2(catalog, sopt);
+
+  PosTagger tagger;
+  tagger.Train(full_train);
+
+  // Unlabeled pretraining dump: 12K tweets across all topics (generation is
+  // free; pretraining text may mention novel entities, exactly like a real
+  // unlabeled Twitter crawl).
+  std::printf("ABLATION: pretrained word embeddings for AguilarNet\n\n");
+  Timer timer;
+  std::vector<std::vector<std::string>> dump;
+  Rng rng(79);
+  for (int t = 0; t < static_cast<int>(Topic::kNumTopics); ++t) {
+    TweetGeneratorOptions gopt;
+    gopt.seed = rng.NextU64();
+    TweetGenerator gen(&catalog, static_cast<Topic>(t), gopt);
+    for (int i = 0; i < 2400; ++i) {
+      std::vector<std::string> sent;
+      for (const auto& tok : gen.Next().tokens) sent.push_back(ToLowerAscii(tok.text));
+      dump.push_back(std::move(sent));
+    }
+  }
+  SkipGram sg;
+  sg.Train(dump, 3);
+  std::printf("pretrained %d-word vocabulary on %zu unlabeled tweets (%.1fs)\n\n",
+              sg.vocab().size(), dump.size(), timer.ElapsedSeconds());
+
+  std::printf("%-12s %-18s | %6s %6s %6s\n", "annotated", "variant", "P", "R",
+              "F1");
+  for (int annotated : {400, 1500}) {
+    Dataset train = full_train;
+    train.tweets.resize(annotated);
+    for (bool use_pretrained : {false, true}) {
+      AguilarNetOptions aopt;
+      aopt.seed = 111;  // identical init for a controlled comparison
+      AguilarNetSystem net(&tagger, &gazetteer, aopt);
+      AguilarTrainOptions topt;
+      topt.epochs = 4;
+      net.Train(train, topt, use_pretrained ? &sg : nullptr);
+      std::vector<std::vector<TokenSpan>> pred;
+      for (const auto& tweet : test.tweets) {
+        pred.push_back(net.Process(tweet.tokens).mentions);
+      }
+      PrfScores s = EvaluateMentions(test, pred);
+      std::printf("%-12d %-18s | %6.3f %6.3f %6.3f\n", annotated,
+                  use_pretrained ? "pretrained init" : "random init",
+                  s.precision, s.recall, s.f1);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nPretraining covers novel entities unseen in the annotated "
+              "corpus — the mechanism behind Aguilar et al.'s rare-entity "
+              "coverage in the paper's case study.\n");
+  return 0;
+}

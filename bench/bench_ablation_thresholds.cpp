@@ -1,0 +1,68 @@
+// Ablation: the Entity Classifier's verdict thresholds (§V-C). The paper
+// empirically fixed alpha=0.55 / beta=0.40; this bench sweeps both and the
+// low-evidence shield to show the framework's sensitivity on a streaming
+// dataset (Aguilar instantiation, D2).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace emd;
+using namespace emd::bench;
+
+int main() {
+  FrameworkKit kit;
+  Dataset stream = BuildD2(kit.catalog(), kit.suite_options());
+  const SystemKind kind = SystemKind::kAguilar;
+  LocalEmdSystem* system = kit.system(kind);
+
+  // Baseline: local only.
+  {
+    GlobalizerOptions opt;
+    opt.mode = GlobalizerOptions::Mode::kLocalOnly;
+    Globalizer g(system, nullptr, nullptr, opt);
+    PrfScores s = EvaluateMentions(stream, g.Run(stream).mentions);
+    std::printf("ABLATION: classifier thresholds on %s (%s)\n",
+                stream.name.c_str(), SystemKindName(kind));
+    std::printf("local-only baseline: P=%.3f R=%.3f F1=%.3f\n\n", s.precision,
+                s.recall, s.f1);
+  }
+
+  std::printf("%-7s %-7s %-10s | %6s %6s %6s | %9s %9s %9s\n", "alpha", "beta",
+              "beta_low", "P", "R", "F1", "#entity", "#nonent", "#ambig");
+  struct Config {
+    float alpha, beta, beta_low;
+  };
+  const Config configs[] = {
+      {0.55f, 0.10f, 0.05f},  // this repo's empirical defaults
+      {0.55f, 0.40f, 0.20f},  // the paper's published thresholds
+      {0.55f, 0.40f, 0.00f},  // paper thresholds, singleton shield off
+      {0.50f, 0.50f, 0.05f},  // no ambiguous band
+      {0.70f, 0.10f, 0.05f},  // stricter entity bar
+      {0.55f, 0.25f, 0.05f},  // mid non-entity bar
+      {0.90f, 0.05f, 0.05f},  // verdicts only when near-certain
+  };
+  for (const Config& c : configs) {
+    EntityClassifierOptions copt;
+    copt.input_dim = kit.classifier_input_dim(kind);
+    copt.alpha = c.alpha;
+    copt.beta = c.beta;
+    // Reuse the trained weights via save/load into the rethresholded clone.
+    EntityClassifier clone(copt);
+    const std::string tmp = "/tmp/emd_ablation_clf.bin";
+    if (!kit.classifier(kind)->Save(tmp).ok() || !clone.Load(tmp).ok()) {
+      std::fprintf(stderr, "classifier clone failed\n");
+      return 1;
+    }
+    GlobalizerOptions opt;
+    opt.low_evidence_beta = c.beta_low;
+    Globalizer g(system, kit.phrase_embedder(kind), &clone, opt);
+    GlobalizerOutput out = g.Run(stream);
+    PrfScores s = EvaluateMentions(stream, out.mentions);
+    std::printf("%-7.2f %-7.2f %-10.2f | %6.3f %6.3f %6.3f | %9d %9d %9d\n",
+                c.alpha, c.beta, c.beta_low, s.precision, s.recall, s.f1,
+                out.num_entity, out.num_non_entity, out.num_ambiguous);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the benchmark harnesses: each bench binary regenerates
+// one table or figure of the paper and prints it in the paper's layout.
+
+#ifndef EMD_BENCH_BENCH_COMMON_H_
+#define EMD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/framework_kit.h"
+#include "core/globalizer.h"
+#include "eval/metrics.h"
+#include "stream/datasets.h"
+
+namespace emd {
+namespace bench {
+
+/// Local-vs-global result for one (dataset, system) cell of Table III.
+struct CellResult {
+  PrfScores local;
+  double local_seconds = 0;
+  PrfScores global;
+  double total_seconds = 0;  // local + global at the end of the framework run
+  double f1_gain_percent = 0;
+  double time_overhead_seconds = 0;
+  GlobalizerOutput global_diag;
+};
+
+/// Runs a system standalone and inside the framework on one dataset.
+inline CellResult RunCell(FrameworkKit& kit, SystemKind kind, const Dataset& dataset,
+                          GlobalizerOptions::Mode mode = GlobalizerOptions::Mode::kFull) {
+  CellResult cell;
+  LocalEmdSystem* system = kit.system(kind);
+  {
+    GlobalizerOptions opt;
+    opt.mode = GlobalizerOptions::Mode::kLocalOnly;
+    Globalizer local_only(system, nullptr, nullptr, opt);
+    GlobalizerOutput out = local_only.Run(dataset);
+    cell.local = EvaluateMentions(dataset, out.mentions);
+    cell.local_seconds = out.local_seconds;
+  }
+  {
+    GlobalizerOptions opt;
+    opt.mode = mode;
+    Globalizer globalizer(system, kit.phrase_embedder(kind),
+                          mode == GlobalizerOptions::Mode::kFull
+                              ? kit.classifier(kind)
+                              : nullptr,
+                          opt);
+    GlobalizerOutput out = globalizer.Run(dataset);
+    cell.global = EvaluateMentions(dataset, out.mentions);
+    cell.total_seconds = out.local_seconds + out.global_seconds;
+    cell.time_overhead_seconds = out.global_seconds;
+    cell.global_diag = std::move(out);
+  }
+  if (cell.local.f1 > 0) {
+    cell.f1_gain_percent = 100.0 * (cell.global.f1 - cell.local.f1) / cell.local.f1;
+  }
+  return cell;
+}
+
+inline const std::vector<SystemKind>& AllSystems() {
+  static const std::vector<SystemKind> kAll = {
+      SystemKind::kNpChunker, SystemKind::kTwitterNlp, SystemKind::kAguilar,
+      SystemKind::kBertweet};
+  return kAll;
+}
+
+}  // namespace bench
+}  // namespace emd
+
+#endif  // EMD_BENCH_BENCH_COMMON_H_

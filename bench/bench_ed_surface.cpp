@@ -1,0 +1,48 @@
+// Supplementary experiment: Entity Detection (ED) — the WNUT benchmarking
+// guideline's companion task to EMD (§I: "ED aims to cover the range of
+// unique entities within text, while EMD compiles the string variations").
+// Scores each system on unique case-folded surface forms, local vs global,
+// across the six evaluation datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace emd;
+using namespace emd::bench;
+
+int main() {
+  FrameworkKit kit;
+  auto suite = BuildEvaluationSuite(kit.catalog(), kit.suite_options());
+
+  std::printf("ENTITY DETECTION (unique-surface F1, the WNUT ED view)\n");
+  std::printf("%-8s %-15s | %6s %6s %6s | %6s %6s %6s | %8s\n", "Dataset",
+              "System", "P", "R", "F1", "P", "R", "F1", "F1 gain");
+  double total_gain = 0;
+  int cells = 0;
+  for (const Dataset& dataset : suite) {
+    for (SystemKind kind : AllSystems()) {
+      LocalEmdSystem* system = kit.system(kind);
+      GlobalizerOptions lopt;
+      lopt.mode = GlobalizerOptions::Mode::kLocalOnly;
+      Globalizer local_only(system, nullptr, nullptr, lopt);
+      PrfScores local =
+          EvaluateUniqueSurfaces(dataset, local_only.Run(dataset).mentions);
+
+      Globalizer full(system, kit.phrase_embedder(kind), kit.classifier(kind), {});
+      PrfScores global =
+          EvaluateUniqueSurfaces(dataset, full.Run(dataset).mentions);
+      const double gain =
+          local.f1 > 0 ? 100.0 * (global.f1 - local.f1) / local.f1 : 0;
+      total_gain += gain;
+      ++cells;
+      std::printf("%-8s %-15s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f | %+7.1f%%\n",
+                  dataset.name.c_str(), SystemKindName(kind), local.precision,
+                  local.recall, local.f1, global.precision, global.recall,
+                  global.f1, gain);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\naverage unique-surface F1 gain: %+.2f%%\n", total_gain / cells);
+  return 0;
+}

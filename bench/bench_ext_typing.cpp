@@ -1,0 +1,58 @@
+// Extension experiment (beyond the paper; §VII future work): entity typing
+// from global candidate embeddings. Trains a TypeClassifier on D5 candidates
+// (types from the catalog) with the Aguilar instantiation's embeddings and
+// reports held-out typing accuracy on the streaming datasets — one verdict
+// per entity from pooled evidence.
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "core/classifier_training.h"
+#include "core/type_classifier.h"
+#include "util/string_util.h"
+
+using namespace emd;
+using namespace emd::bench;
+
+int main() {
+  FrameworkKit kit;
+  const SystemKind kind = SystemKind::kAguilar;
+
+  std::printf("EXTENSION: entity typing from global candidate embeddings "
+              "(%s instantiation)\n\n", SystemKindName(kind));
+
+  auto train_examples = BuildTypeExamples(kit.d5(), kit.catalog(), kit.system(kind),
+                                          kit.phrase_embedder(kind));
+  TypeClassifierOptions topt;
+  topt.input_dim = kit.classifier_input_dim(kind);
+  TypeClassifier type_clf(topt);
+  auto report = type_clf.Train(train_examples);
+  std::printf("trained on %zu D5 entity candidates; validation accuracy %.3f "
+              "(majority-class floor ~0.35)\n\n",
+              train_examples.size(), report.best_validation_accuracy);
+
+  std::printf("%-8s %10s %10s %10s\n", "Dataset", "entities", "correct",
+              "accuracy");
+  std::vector<Dataset> streams;
+  streams.push_back(BuildD1(kit.catalog(), kit.suite_options()));
+  streams.push_back(BuildD2(kit.catalog(), kit.suite_options()));
+  streams.push_back(BuildD3(kit.catalog(), kit.suite_options()));
+  streams.push_back(BuildD4(kit.catalog(), kit.suite_options()));
+  for (const Dataset& stream : streams) {
+    auto examples = BuildTypeExamples(stream, kit.catalog(), kit.system(kind),
+                                      kit.phrase_embedder(kind));
+    long correct = 0;
+    for (const auto& ex : examples) {
+      if (type_clf.Classify(ex.features) == ex.type) ++correct;
+    }
+    std::printf("%-8s %10zu %10ld %10.3f\n", stream.name.c_str(), examples.size(),
+                correct,
+                examples.empty() ? 0.0
+                                 : static_cast<double>(correct) / examples.size());
+    std::fflush(stdout);
+  }
+  std::printf("\nCollective typing rides on the same pooled embeddings the "
+              "framework already maintains — no per-mention typing pass.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Figure 6: "Impact of Components on Performance" — the ablation
+// over framework components with the Aguilar et al. instantiation on the
+// streaming datasets D1-D4. Three curves, bottom to top:
+//   (1) Local EMD only,
+//   (2) Local EMD + Candidate Mention Extraction (recovers missed mentions
+//       of locally-suggested candidates, no classifier),
+//   (3) the full EMD Globalizer.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace emd;
+using namespace emd::bench;
+
+int main() {
+  FrameworkKit kit;
+  std::vector<Dataset> streams;
+  streams.push_back(BuildD1(kit.catalog(), kit.suite_options()));
+  streams.push_back(BuildD2(kit.catalog(), kit.suite_options()));
+  streams.push_back(BuildD3(kit.catalog(), kit.suite_options()));
+  streams.push_back(BuildD4(kit.catalog(), kit.suite_options()));
+
+  std::printf("FIGURE 6: Impact of Components on Performance "
+              "(Aguilar et al. instantiation, F1 per streaming dataset)\n");
+  std::printf("%-28s %6s %6s %6s %6s | %9s\n", "Configuration", "D1", "D2", "D3",
+              "D4", "mean-gain");
+
+  double f1[3][4];
+  const GlobalizerOptions::Mode modes[3] = {
+      GlobalizerOptions::Mode::kLocalOnly,
+      GlobalizerOptions::Mode::kMentionExtraction,
+      GlobalizerOptions::Mode::kFull,
+  };
+  const char* labels[3] = {"Local EMD only", "+ Candidate Mention Extr.",
+                           "Full EMD Globalizer"};
+  for (int m = 0; m < 3; ++m) {
+    for (size_t d = 0; d < streams.size(); ++d) {
+      GlobalizerOptions opt;
+      opt.mode = modes[m];
+      Globalizer g(kit.system(SystemKind::kAguilar),
+                   kit.phrase_embedder(SystemKind::kAguilar),
+                   modes[m] == GlobalizerOptions::Mode::kFull
+                       ? kit.classifier(SystemKind::kAguilar)
+                       : nullptr,
+                   opt);
+      f1[m][d] = EvaluateMentions(streams[d], g.Run(streams[d]).mentions).f1;
+    }
+    double gain = 0;
+    for (size_t d = 0; d < streams.size(); ++d) {
+      gain += f1[0][d] > 0 ? 100.0 * (f1[m][d] - f1[0][d]) / f1[0][d] : 0;
+    }
+    std::printf("%-28s %6.3f %6.3f %6.3f %6.3f | %+8.2f%%\n", labels[m], f1[m][0],
+                f1[m][1], f1[m][2], f1[m][3], gain / streams.size());
+    std::fflush(stdout);
+  }
+  std::printf("\n(paper: mention extraction alone +5.06%%, full framework "
+              "+15.36%% over Local EMD on D1-D4)\n");
+  return 0;
+}

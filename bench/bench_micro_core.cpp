@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the Global EMD hot paths: CTrie
+// insert/lookup, candidate mention extraction, incremental embedding pooling,
+// tokenization, and the syntactic embedder. These quantify the paper's "small
+// additional computational overhead" claim at the operation level.
+
+#include <benchmark/benchmark.h>
+
+#include "core/candidate_base.h"
+#include "core/ctrie.h"
+#include "core/mention_extractor.h"
+#include "core/syntactic_embedder.h"
+#include "stream/datasets.h"
+#include "stream/entity_catalog.h"
+#include "stream/tweet_generator.h"
+#include "text/tweet_tokenizer.h"
+#include "util/rng.h"
+
+namespace emd {
+namespace {
+
+const EntityCatalog& BenchCatalog() {
+  static const EntityCatalog* catalog = [] {
+    EntityCatalogOptions opt;
+    opt.entities_per_topic = 400;
+    opt.seed = 99;
+    return new EntityCatalog(EntityCatalog::Build(opt));
+  }();
+  return *catalog;
+}
+
+std::vector<AnnotatedTweet> BenchTweets(int n) {
+  TweetGeneratorOptions opt;
+  opt.seed = 7;
+  TweetGenerator gen(&BenchCatalog(), Topic::kHealth, opt);
+  std::vector<AnnotatedTweet> tweets;
+  tweets.reserve(n);
+  for (int i = 0; i < n; ++i) tweets.push_back(gen.Next());
+  return tweets;
+}
+
+void BM_CTrieInsert(benchmark::State& state) {
+  const auto tweets = BenchTweets(512);
+  for (auto _ : state) {
+    CTrie trie;
+    for (const auto& t : tweets) {
+      for (const auto& g : t.gold) trie.Insert(t.tokens, g.span);
+    }
+    benchmark::DoNotOptimize(trie.num_candidates());
+  }
+}
+BENCHMARK(BM_CTrieInsert);
+
+void BM_CTrieLookup(benchmark::State& state) {
+  const auto tweets = BenchTweets(512);
+  CTrie trie;
+  for (const auto& t : tweets) {
+    for (const auto& g : t.gold) trie.Insert(t.tokens, g.span);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& t = tweets[i++ % tweets.size()];
+    int node = trie.root();
+    for (const auto& tok : t.tokens) {
+      node = trie.Step(node, tok.text);
+      if (node == CTrie::kNoNode) node = trie.root();
+    }
+    benchmark::DoNotOptimize(node);
+  }
+}
+BENCHMARK(BM_CTrieLookup);
+
+void BM_MentionExtraction(benchmark::State& state) {
+  const auto tweets = BenchTweets(static_cast<int>(state.range(0)));
+  CTrie trie;
+  for (const auto& t : tweets) {
+    for (const auto& g : t.gold) trie.Insert(t.tokens, g.span);
+  }
+  MentionExtractor extractor(&trie);
+  for (auto _ : state) {
+    size_t found = 0;
+    for (const auto& t : tweets) found += extractor.Extract(t.tokens).size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() * tweets.size());
+}
+BENCHMARK(BM_MentionExtraction)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_IncrementalPooling(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Mat> embeddings;
+  for (int i = 0; i < 64; ++i) {
+    Mat e(1, static_cast<int>(state.range(0)));
+    e.InitGaussian(&rng, 1.f);
+    embeddings.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    CandidateBase base;
+    base.GetOrCreate(0, "bench", 2);
+    for (const auto& e : embeddings) base.AddMention(0, {}, e);
+    benchmark::DoNotOptimize(base.at(0).GlobalEmbedding());
+  }
+}
+BENCHMARK(BM_IncrementalPooling)->Arg(6)->Arg(100)->Arg(300);
+
+void BM_TweetTokenize(benchmark::State& state) {
+  const auto tweets = BenchTweets(256);
+  TweetTokenizer tokenizer;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(tweets[i++ % tweets.size()].text));
+  }
+}
+BENCHMARK(BM_TweetTokenize);
+
+void BM_SyntacticEmbedding(benchmark::State& state) {
+  const auto tweets = BenchTweets(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& t = tweets[i++ % tweets.size()];
+    if (t.gold.empty()) continue;
+    benchmark::DoNotOptimize(SyntacticEmbedding(t.tokens, t.gold[0].span));
+  }
+}
+BENCHMARK(BM_SyntacticEmbedding);
+
+}  // namespace
+}  // namespace emd
+
+BENCHMARK_MAIN();

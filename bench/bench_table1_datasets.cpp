@@ -1,0 +1,37 @@
+// Reproduces Table I: the Twitter dataset inventory — size, topic count,
+// distinct hashtags, and unique gold entities for every corpus used in the
+// evaluation (D1-D4 streams, D5 classifier-training stream, WNUT17-like and
+// BTC-like random samples).
+
+#include <cstdio>
+
+#include "core/framework_kit.h"
+#include "stream/datasets.h"
+
+using namespace emd;
+
+int main() {
+  FrameworkKit kit;
+  const auto opts = kit.suite_options();
+
+  std::printf("TABLE I: Twitter Datasets (paper sizes: D1 1K, D2 2K, D3 3K, "
+              "D4 6K, D5 38K, WNUT17 ~1.3K, BTC ~9.5K)\n");
+  std::printf("%-8s %10s %8s %10s %10s %10s\n", "Dataset", "Size", "#Topics",
+              "#Hashtags", "#Entities", "Streaming");
+
+  auto print_row = [](const Dataset& d) {
+    std::printf("%-8s %10zu %8d %10d %10d %10s\n", d.name.c_str(), d.size(),
+                d.num_topics, d.num_hashtags, d.num_entities,
+                d.streaming ? "yes" : "no");
+    std::fflush(stdout);
+  };
+
+  print_row(BuildD1(kit.catalog(), opts));
+  print_row(BuildD2(kit.catalog(), opts));
+  print_row(BuildD3(kit.catalog(), opts));
+  print_row(BuildD4(kit.catalog(), opts));
+  print_row(BuildD5(kit.catalog(), opts));
+  print_row(BuildWnutLike(kit.catalog(), opts));
+  print_row(BuildBtcLike(kit.catalog(), opts));
+  return 0;
+}

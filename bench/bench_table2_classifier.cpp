@@ -1,0 +1,30 @@
+// Reproduces Table II: validation performance of the Entity Classifier for
+// each local-EMD variant of the framework, together with the entity
+// embedding sizes (6+1 / 6+1 / 100+1 / 300+1 — the "+1" is the candidate
+// length feature).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace emd;
+using namespace emd::bench;
+
+int main() {
+  FrameworkKit kit;
+  std::printf("TABLE II: Validation Performance of Entity Classifier\n");
+  std::printf("(paper: 0.936 / 0.936 / 0.908 / 0.941)\n");
+  std::printf("%-15s %-18s %10s %14s %8s\n", "Local EMD", "System Type",
+              "Emb. Size", "Validation F1", "Epochs");
+  const char* type_names[] = {"POS+NP Chunker", "CRF EMD Tagger",
+                              "BiLSTM-CNN-CRF", "Transformer-FFNN"};
+  for (SystemKind kind : AllSystems()) {
+    const auto report = kit.classifier_report(kind);
+    std::printf("%-15s %-18s %7d+1 %14.3f %8d\n", SystemKindName(kind),
+                type_names[static_cast<int>(kind)],
+                kit.candidate_embedding_dim(kind), report.best_validation_f1,
+                report.epochs_run);
+    std::fflush(stdout);
+  }
+  return 0;
+}

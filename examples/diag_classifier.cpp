@@ -1,0 +1,66 @@
+// Diagnostic: inspect Entity Classifier training data (from D5) and verdicts
+// on a test stream — feature distributions for positives vs negatives.
+
+#include <cstdio>
+
+#include "core/classifier_training.h"
+#include "core/framework_kit.h"
+#include "core/globalizer.h"
+#include "stream/datasets.h"
+
+using namespace emd;
+
+int main(int argc, char** argv) {
+  FrameworkKit kit;
+  const SystemKind kind =
+      argc > 1 ? static_cast<SystemKind>(std::atoi(argv[1])) : SystemKind::kTwitterNlp;
+  const bool on_d2 = argc > 2 && std::string(argv[2]) == "d2";
+  Dataset d2;
+  if (on_d2) d2 = BuildD2(kit.catalog(), kit.suite_options());
+  const Dataset& data = on_d2 ? d2 : kit.d5();
+  auto examples =
+      BuildClassifierExamples(data, kit.system(kind), kit.phrase_embedder(kind));
+  int dim = examples.empty() ? 0 : examples[0].features.cols();
+  std::printf("%zu examples, dim=%d\n", examples.size(), dim);
+  long pos = 0;
+  Mat mean_pos(1, dim), mean_neg(1, dim);
+  for (const auto& ex : examples) {
+    if (ex.is_entity) {
+      ++pos;
+      mean_pos.Add(ex.features);
+    } else {
+      mean_neg.Add(ex.features);
+    }
+  }
+  if (pos) mean_pos.Scale(1.f / pos);
+  if (examples.size() - pos) mean_neg.Scale(1.f / (examples.size() - pos));
+  std::printf("positives: %ld (%.1f%%)\n", pos, 100.0 * pos / examples.size());
+  const int show = dim > 12 ? 8 : dim;
+  std::printf("mean_pos:");
+  for (int j = 0; j < show; ++j) std::printf(" %.3f", mean_pos(0, j));
+  std::printf("\nmean_neg:");
+  for (int j = 0; j < show; ++j) std::printf(" %.3f", mean_neg(0, j));
+  std::printf("\n");
+
+  const EntityClassifier* clf = kit.classifier(kind);
+  auto report = kit.classifier_report(kind);
+  std::printf("classifier val F1=%.3f loss=%.3f epochs=%d (train=%d val=%d)\n",
+              report.best_validation_f1, report.best_validation_loss,
+              report.epochs_run, report.num_train, report.num_validation);
+
+  // Probability histogram on the training examples themselves.
+  int bins_pos[10] = {}, bins_neg[10] = {};
+  for (const auto& ex : examples) {
+    const float p = clf->Probability(ex.features);
+    const int b = std::min(9, static_cast<int>(p * 10));
+    (ex.is_entity ? bins_pos : bins_neg)[b]++;
+  }
+  std::printf("prob-bin    :");
+  for (int b = 0; b < 10; ++b) std::printf(" %5.1f", b / 10.0);
+  std::printf("\nentities    :");
+  for (int b = 0; b < 10; ++b) std::printf(" %5d", bins_pos[b]);
+  std::printf("\nnon-entities:");
+  for (int b = 0; b < 10; ++b) std::printf(" %5d", bins_neg[b]);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Diagnostic: break local-EMD recall down by mention type (known vs novel
+// entity, cased vs lowercased mention) and report candidate statistics.
+// Development aid; also useful to understand the synthetic world.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "core/framework_kit.h"
+#include "core/globalizer.h"
+#include "eval/metrics.h"
+#include "stream/datasets.h"
+#include "util/string_util.h"
+
+using namespace emd;
+
+int main(int argc, char** argv) {
+  FrameworkKit kit;
+  Dataset stream = BuildD2(kit.catalog(), kit.suite_options());
+  std::printf("D2: %zu tweets, %d unique entities\n", stream.size(),
+              stream.num_entities);
+  // Mentions per entity histogram.
+  std::map<int, int> mention_counts;
+  for (const auto& t : stream.tweets) {
+    for (const auto& g : t.gold) mention_counts[g.entity_id]++;
+  }
+  double mean_mentions = 0;
+  for (auto& [id, c] : mention_counts) mean_mentions += c;
+  mean_mentions /= std::max<size_t>(1, mention_counts.size());
+  std::printf("mean mentions/entity: %.2f\n", mean_mentions);
+
+  const SystemKind kind =
+      argc > 1 ? static_cast<SystemKind>(std::atoi(argv[1])) : SystemKind::kTwitterNlp;
+  LocalEmdSystem* system = kit.system(kind);
+  std::printf("system: %s\n", system->name().c_str());
+
+  long caught[2][2] = {};  // [novel][lowered]
+  long total[2][2] = {};
+  long fp = 0, n_pred = 0;
+  for (const auto& tweet : stream.tweets) {
+    LocalEmdResult r = system->Process(tweet.tokens);
+    std::set<TokenSpan> pred(r.mentions.begin(), r.mentions.end());
+    std::set<TokenSpan> gold;
+    for (const auto& g : tweet.gold) gold.insert(g.span);
+    n_pred += pred.size();
+    for (const auto& s : pred) {
+      if (!gold.count(s)) ++fp;
+    }
+    for (const auto& g : tweet.gold) {
+      const Entity& e = kit.catalog().entity(g.entity_id);
+      const std::string surface = SpanText(tweet.tokens, g.span);
+      const bool lowered = IsAllLower(surface) && !e.lowercase_canonical;
+      const int ni = e.in_training ? 0 : 1;
+      const int li = lowered || e.lowercase_canonical ? 1 : 0;
+      ++total[ni][li];
+      if (pred.count(g.span)) ++caught[ni][li];
+    }
+  }
+  const char* nn[2] = {"known", "novel"};
+  const char* ll[2] = {"cased", "lower"};
+  for (int n = 0; n < 2; ++n) {
+    for (int l = 0; l < 2; ++l) {
+      std::printf("%s/%s: recall %.2f (%ld/%ld)\n", nn[n], ll[l],
+                  total[n][l] ? double(caught[n][l]) / total[n][l] : 0.0,
+                  caught[n][l], total[n][l]);
+    }
+  }
+  std::printf("predicted %ld spans, %ld false positives (P=%.2f)\n", n_pred, fp,
+              n_pred ? 1.0 - double(fp) / n_pred : 0.0);
+  return 0;
+}

@@ -1,0 +1,167 @@
+// emd_cli: command-line EMD over CoNLL or plain-text tweet files.
+//
+//   emd_cli --input tweets.txt [--system bertweet|aguilar|twitternlp|chunker]
+//           [--local-only] [--conll-out out.conll] [--eval gold.conll]
+//
+// Plain-text input: one tweet per line (tokenized internally). CoNLL input
+// (*.conll): token-per-line with gold labels, enabling --eval-style scoring
+// of the same file. Models are trained on first use and cached in
+// EMD_CACHE_DIR (default .emd_cache).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/framework_kit.h"
+#include "core/globalizer.h"
+#include "eval/metrics.h"
+#include "util/file_io.h"
+#include "stream/conll_io.h"
+#include "text/tweet_tokenizer.h"
+#include "util/string_util.h"
+
+using namespace emd;
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: emd_cli --input FILE [--system NAME] [--local-only]\n"
+               "               [--conll-out FILE] [--batch N]\n"
+               "  --input FILE    .conll (token<TAB>label) or plain text (one "
+               "tweet per line)\n"
+               "  --system NAME   chunker | twitternlp | aguilar | bertweet "
+               "(default: bertweet)\n"
+               "  --local-only    skip Global EMD (raw local system output)\n"
+               "  --conll-out F   write predictions as CoNLL\n"
+               "  --batch N       stream batch size (default: whole file)\n");
+}
+
+Result<Dataset> LoadInput(const std::string& path) {
+  if (EndsWith(path, ".conll")) return ReadConll(path);
+  EMD_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  Dataset d;
+  d.name = path;
+  TweetTokenizer tokenizer;
+  long id = 1;
+  for (const auto& line : lines) {
+    if (Strip(line).empty()) continue;
+    AnnotatedTweet t;
+    t.tweet_id = id++;
+    t.text = line;
+    t.tokens = tokenizer.Tokenize(line);
+    d.tweets.push_back(std::move(t));
+  }
+  RefreshDatasetStats(&d);
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input, system_name = "bertweet", conll_out;
+  bool local_only = false;
+  size_t batch = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--input") {
+      input = next();
+    } else if (arg == "--system") {
+      system_name = next();
+    } else if (arg == "--local-only") {
+      local_only = true;
+    } else if (arg == "--conll-out") {
+      conll_out = next();
+    } else if (arg == "--batch") {
+      batch = static_cast<size_t>(std::atoi(next()));
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    Usage();
+    return 2;
+  }
+
+  SystemKind kind;
+  if (system_name == "chunker") {
+    kind = SystemKind::kNpChunker;
+  } else if (system_name == "twitternlp") {
+    kind = SystemKind::kTwitterNlp;
+  } else if (system_name == "aguilar") {
+    kind = SystemKind::kAguilar;
+  } else if (system_name == "bertweet") {
+    kind = SystemKind::kBertweet;
+  } else {
+    std::fprintf(stderr, "unknown system '%s'\n", system_name.c_str());
+    return 2;
+  }
+
+  auto loaded = LoadInput(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load input: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data = std::move(loaded).value();
+  std::fprintf(stderr, "loaded %zu tweets from %s\n", data.size(), input.c_str());
+
+  FrameworkKit kit;
+  GlobalizerOptions opt;
+  opt.mode = local_only ? GlobalizerOptions::Mode::kLocalOnly
+                        : GlobalizerOptions::Mode::kFull;
+  if (batch > 0) opt.batch_size = batch;
+  Globalizer globalizer(kit.system(kind),
+                        local_only ? nullptr : kit.phrase_embedder(kind),
+                        local_only ? nullptr : kit.classifier(kind), opt);
+  GlobalizerOutput out = globalizer.Run(data);
+
+  // Print mentions, one tweet per line.
+  for (size_t i = 0; i < data.tweets.size(); ++i) {
+    std::printf("%ld\t", data.tweets[i].tweet_id);
+    for (size_t m = 0; m < out.mentions[i].size(); ++m) {
+      if (m > 0) std::printf(" | ");
+      std::printf("%s", SpanText(data.tweets[i].tokens, out.mentions[i][m]).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Gold labels present? Score.
+  bool has_gold = false;
+  for (const auto& t : data.tweets) {
+    if (!t.gold.empty()) {
+      has_gold = true;
+      break;
+    }
+  }
+  if (has_gold) {
+    PrfScores s = EvaluateMentions(data, out.mentions);
+    std::fprintf(stderr, "P=%.3f R=%.3f F1=%.3f (tp=%ld fp=%ld fn=%ld)\n",
+                 s.precision, s.recall, s.f1, s.tp, s.fp, s.fn);
+  }
+
+  if (!conll_out.empty()) {
+    Dataset pred = data;
+    for (size_t i = 0; i < pred.tweets.size(); ++i) {
+      pred.tweets[i].gold.clear();
+      for (const auto& span : out.mentions[i]) {
+        pred.tweets[i].gold.push_back({span, -1});
+      }
+    }
+    Status st = WriteConll(pred, conll_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "predictions written to %s\n", conll_out.c_str());
+  }
+  return 0;
+}

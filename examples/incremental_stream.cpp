@@ -1,0 +1,58 @@
+// Incremental streaming deployment (§III): tweets arrive in batches; each
+// execution cycle runs Local EMD, grows the CTrie, extracts mentions of all
+// candidates known so far, and updates global candidate embeddings
+// incrementally. After each batch the framework is finalized on everything
+// seen so far, showing effectiveness evolving as evidence accumulates.
+//
+//   ./build/examples/incremental_stream [batch_size]
+
+#include <cstdio>
+
+#include "core/framework_kit.h"
+#include "core/globalizer.h"
+#include "eval/metrics.h"
+#include "stream/batching.h"
+#include "stream/datasets.h"
+
+using namespace emd;
+
+int main(int argc, char** argv) {
+  const size_t batch_size = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 100;
+  FrameworkKitOptions kit_options = FrameworkKitOptions::FromEnv();
+  if (std::getenv("EMD_SCALE") == nullptr) kit_options.scale = 0.25;
+  FrameworkKit kit(kit_options);
+
+  Dataset stream = BuildD1(kit.catalog(), kit.suite_options());
+  const SystemKind kind = SystemKind::kTwitterNlp;
+  std::printf("Incremental run of %s + EMD Globalizer on %s (%zu tweets, "
+              "batches of %zu)\n\n",
+              SystemKindName(kind), stream.name.c_str(), stream.size(),
+              batch_size);
+  std::printf("%8s %12s %10s %8s %8s %8s\n", "batch", "tweets-seen",
+              "candidates", "P", "R", "F1");
+
+  Globalizer globalizer(kit.system(kind), kit.phrase_embedder(kind),
+                        kit.classifier(kind),
+                        {.batch_size = batch_size});
+  StreamBatcher batcher(&stream, batch_size);
+  size_t seen = 0;
+  int batch_no = 0;
+  while (batcher.HasNext()) {
+    auto batch = batcher.Next();
+    seen += batch.size();
+    globalizer.ProcessBatch(batch);
+    ++batch_no;
+
+    // Evaluate on the prefix processed so far (finalize is re-runnable; the
+    // verdicts reflect evidence accumulated up to this cycle).
+    GlobalizerOutput out = globalizer.Finalize();
+    Dataset prefix;
+    prefix.tweets.assign(stream.tweets.begin(), stream.tweets.begin() + seen);
+    PrfScores s = EvaluateMentions(prefix, out.mentions);
+    std::printf("%8d %12zu %10d %8.3f %8.3f %8.3f\n", batch_no, seen,
+                out.num_candidates, s.precision, s.recall, s.f1);
+  }
+  std::printf("\nEntity verdicts sharpen as mention evidence pools across "
+              "batches — the incremental computation of SIII.\n");
+  return 0;
+}

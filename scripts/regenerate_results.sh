@@ -1,0 +1,8 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at full scale, writing the
+# combined output to bench_output.txt. The first run trains all models
+# (cached under .emd_cache/); later runs only pay evaluation time.
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja && cmake --build build || exit 1
+for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,181 @@
+#include "baseline/hire_ner.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "nn/params.h"
+#include "nn/serialize.h"
+#include "util/file_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+HireNer::HireNer(HireNerOptions options) : options_(options), model_rng_(options.seed) {}
+
+void HireNer::BuildModel() {
+  Rng* rng = &model_rng_;
+  word_emb_ = std::make_unique<Embedding>(word_vocab_.size(), options_.word_dim, rng,
+                                          "hire.word_emb");
+  bilstm_ = std::make_unique<BiLstm>(options_.word_dim + kShapeDim,
+                                     options_.lstm_hidden, rng, "hire.bilstm");
+  // Dense consumes [local (2h) ++ memory (2h)].
+  dense_ = std::make_unique<Linear>(4 * options_.lstm_hidden, options_.dense_dim, rng,
+                                    "hire.dense");
+  out_ = std::make_unique<Linear>(options_.dense_dim, kNumBioLabels, rng, "hire.out");
+  crf_ = std::make_unique<LinearChainCrf>(kNumBioLabels, rng, "hire.crf");
+}
+
+Mat HireNer::InputFeatures(const std::vector<Token>& tokens) {
+  const int T = static_cast<int>(tokens.size());
+  std::vector<int> ids(T);
+  for (int t = 0; t < T; ++t) ids[t] = word_vocab_.Id(ToLowerAscii(tokens[t].text));
+  Mat word = word_emb_->Forward(ids);
+  Mat shape(T, kShapeDim);
+  for (int t = 0; t < T; ++t) {
+    const std::string& w = tokens[t].text;
+    shape(t, 0) = (!w.empty() && IsUpperAscii(w[0])) ? 1.f : 0.f;
+    shape(t, 1) = IsAllUpper(w) ? 1.f : 0.f;
+    shape(t, 2) = IsAllLower(w) ? 1.f : 0.f;
+    shape(t, 3) = HasDigit(w) ? 1.f : 0.f;
+    shape(t, 4) = t == 0 ? 1.f : 0.f;
+    shape(t, 5) = tokens[t].kind == TokenKind::kWord ? 1.f : 0.f;
+  }
+  return ConcatCols(word, shape);
+}
+
+Mat HireNer::LocalStates(const std::vector<Token>& tokens) {
+  return bilstm_->Forward(InputFeatures(tokens));
+}
+
+std::unordered_map<std::string, Mat> HireNer::BuildMemory(const Dataset& dataset) {
+  std::unordered_map<std::string, Mat> sums;
+  std::unordered_map<std::string, int> counts;
+  for (const auto& tweet : dataset.tweets) {
+    if (tweet.tokens.empty()) continue;
+    const Mat h = LocalStates(tweet.tokens);
+    for (size_t t = 0; t < tweet.tokens.size(); ++t) {
+      const std::string key = ToLowerAscii(tweet.tokens[t].text);
+      auto [it, inserted] = sums.try_emplace(key, 1, h.cols());
+      const float* row = h.row(static_cast<int>(t));
+      float* srow = it->second.row(0);
+      for (int j = 0; j < h.cols(); ++j) srow[j] += row[j];
+      ++counts[key];
+    }
+  }
+  for (auto& [key, sum] : sums) {
+    sum.Scale(1.f / static_cast<float>(counts[key]));
+  }
+  return sums;
+}
+
+void HireNer::Train(const Dataset& corpus, const HireNerTrainOptions& options) {
+  std::unordered_map<std::string, int> word_counts;
+  for (const auto& tweet : corpus.tweets) {
+    for (const auto& tok : tweet.tokens) ++word_counts[ToLowerAscii(tok.text)];
+  }
+  word_vocab_ = Vocabulary::FromCounts(word_counts, options_.min_word_count);
+  BuildModel();
+
+  ParamSet params;
+  word_emb_->CollectParams(&params);
+  bilstm_->CollectParams(&params);
+  dense_->CollectParams(&params);
+  out_->CollectParams(&params);
+  crf_->CollectParams(&params);
+  AdamOptimizer adam(options.learning_rate);
+
+  Rng rng(options.seed);
+  std::vector<size_t> order(corpus.tweets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Memory pass over the training document with current weights; treated
+    // as a constant during backprop (standard for memory modules).
+    trained_ = true;
+    auto memory = BuildMemory(corpus);
+
+    rng.Shuffle(&order);
+    double total_loss = 0;
+    long count = 0;
+    for (size_t idx : order) {
+      const AnnotatedTweet& tweet = corpus.tweets[idx];
+      if (tweet.tokens.empty()) continue;
+      std::vector<TokenSpan> spans;
+      for (const auto& g : tweet.gold) spans.push_back(g.span);
+      const std::vector<int> gold = SpansToBio(spans, tweet.tokens.size());
+
+      params.ZeroGrads();
+      Mat local = LocalStates(tweet.tokens);
+      Mat mem(local.rows(), local.cols());
+      for (int t = 0; t < local.rows(); ++t) {
+        auto it = memory.find(ToLowerAscii(tweet.tokens[t].text));
+        if (it != memory.end()) mem.SetRow(t, it->second.row(0));
+      }
+      Mat x = ConcatCols(local, mem);
+      Mat emissions = out_->Forward(dense_relu_.Forward(dense_->Forward(x)));
+      Mat demissions;
+      total_loss += crf_->NegLogLikelihood(emissions, gold, &demissions);
+      ++count;
+
+      Mat dx = dense_->Backward(dense_relu_.Backward(out_->Backward(demissions)));
+      Mat dlocal = SliceCols(dx, 0, local.cols());  // memory path: constant
+      Mat dinput = bilstm_->Backward(dlocal);
+      word_emb_->Backward(SliceCols(dinput, 0, options_.word_dim));
+
+      params.ClipGradNorm(options.clip_norm);
+      adam.Step(&params);
+    }
+    EMD_LOG(Info) << "HIRE-NER epoch " << epoch << " loss/tweet "
+                  << total_loss / std::max<long>(1, count);
+  }
+}
+
+std::vector<std::vector<TokenSpan>> HireNer::ProcessDocument(const Dataset& dataset) {
+  EMD_CHECK(trained_) << "HireNer used before Train()/Load()";
+  auto memory = BuildMemory(dataset);
+  std::vector<std::vector<TokenSpan>> out(dataset.tweets.size());
+  for (size_t i = 0; i < dataset.tweets.size(); ++i) {
+    const auto& tweet = dataset.tweets[i];
+    if (tweet.tokens.empty()) continue;
+    Mat local = LocalStates(tweet.tokens);
+    Mat mem(local.rows(), local.cols());
+    for (int t = 0; t < local.rows(); ++t) {
+      auto it = memory.find(ToLowerAscii(tweet.tokens[t].text));
+      if (it != memory.end()) mem.SetRow(t, it->second.row(0));
+    }
+    Mat emissions =
+        out_->Forward(dense_relu_.Forward(dense_->Forward(ConcatCols(local, mem))));
+    out[i] = BioToSpans(crf_->Viterbi(emissions));
+  }
+  return out;
+}
+
+Status HireNer::Save(const std::string& path) const {
+  auto* self = const_cast<HireNer*>(this);
+  EMD_RETURN_IF_ERROR(WriteStringToFile(path + ".wv", word_vocab_.Serialize()));
+  ParamSet params;
+  self->word_emb_->CollectParams(&params);
+  self->bilstm_->CollectParams(&params);
+  self->dense_->CollectParams(&params);
+  self->out_->CollectParams(&params);
+  self->crf_->CollectParams(&params);
+  return SaveParams(params, path);
+}
+
+Status HireNer::Load(const std::string& path) {
+  EMD_ASSIGN_OR_RETURN(std::string wv, ReadFileToString(path + ".wv"));
+  EMD_ASSIGN_OR_RETURN(word_vocab_, Vocabulary::Deserialize(wv));
+  BuildModel();
+  ParamSet params;
+  word_emb_->CollectParams(&params);
+  bilstm_->CollectParams(&params);
+  dense_->CollectParams(&params);
+  out_->CollectParams(&params);
+  crf_->CollectParams(&params);
+  EMD_RETURN_IF_ERROR(LoadParams(&params, path));
+  trained_ = true;
+  return Status::OK();
+}
+
+}  // namespace emd

@@ -1,0 +1,87 @@
+// HireNer — the document-level Global EMD baseline of §VI (Luo et al. 2020,
+// "Hierarchical Contextualized Representation for NER").
+//
+// A BiLSTM sequence labeller augmented with a document-level memory: each
+// unique (case-folded) token's sentence-level BiLSTM states are averaged
+// across the whole dataset, and the pooled vector is concatenated to the
+// local state before the CRF decoder. Unlike EMD Globalizer, the non-local
+// information is attached to *every* token indiscriminately — which recovers
+// recall but injects noise that costs precision (the Table IV contrast).
+
+#ifndef EMD_BASELINE_HIRE_NER_H_
+#define EMD_BASELINE_HIRE_NER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/bio.h"
+#include "nn/crf.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/activations.h"
+#include "stream/annotated_tweet.h"
+#include "text/vocabulary.h"
+#include "text/token.h"
+#include "util/status.h"
+
+namespace emd {
+
+struct HireNerOptions {
+  int word_dim = 50;
+  int lstm_hidden = 50;
+  int dense_dim = 100;
+  int min_word_count = 2;
+  uint64_t seed = 61;
+};
+
+struct HireNerTrainOptions {
+  int epochs = 5;
+  float learning_rate = 1e-3f;
+  float clip_norm = 5.f;
+  uint64_t seed = 67;
+};
+
+class HireNer {
+ public:
+  explicit HireNer(HireNerOptions options = {});
+
+  void Train(const Dataset& corpus, const HireNerTrainOptions& options = {});
+
+  /// Document-level inference: pass 1 builds the token memory over the whole
+  /// dataset, pass 2 decodes each sentence with [local ++ memory] states.
+  std::vector<std::vector<TokenSpan>> ProcessDocument(const Dataset& dataset);
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+  bool trained() const { return trained_; }
+
+ private:
+  static constexpr int kShapeDim = 6;
+
+  Mat InputFeatures(const std::vector<Token>& tokens);
+  Mat LocalStates(const std::vector<Token>& tokens);  // BiLSTM output [T, 2h]
+
+  /// Memory pass over a dataset: per unique token, mean local state.
+  std::unordered_map<std::string, Mat> BuildMemory(const Dataset& dataset);
+
+  void BuildModel();
+
+  HireNerOptions options_;
+  bool trained_ = false;
+  Rng model_rng_{61};
+
+  Vocabulary word_vocab_;
+  std::unique_ptr<Embedding> word_emb_;
+  std::unique_ptr<BiLstm> bilstm_;
+  std::unique_ptr<Linear> dense_;
+  ReluLayer dense_relu_;
+  std::unique_ptr<Linear> out_;
+  std::unique_ptr<LinearChainCrf> crf_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_BASELINE_HIRE_NER_H_

@@ -1,0 +1,19 @@
+#include "core/candidate_base.h"
+
+namespace emd {
+
+const char* CandidateLabelName(CandidateLabel label) {
+  switch (label) {
+    case CandidateLabel::kUnlabeled:
+      return "unlabeled";
+    case CandidateLabel::kEntity:
+      return "entity";
+    case CandidateLabel::kNonEntity:
+      return "non-entity";
+    case CandidateLabel::kAmbiguous:
+      return "ambiguous";
+  }
+  return "?";
+}
+
+}  // namespace emd

@@ -1,0 +1,122 @@
+// CandidateBase — per-candidate record store of §V-C. Maintains, for every
+// entity candidate discovered during Local EMD, the incrementally pooled
+// global embedding over the local embeddings of its mentions, plus the
+// mention list and the classifier's label.
+
+#ifndef EMD_CORE_CANDIDATE_BASE_H_
+#define EMD_CORE_CANDIDATE_BASE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "text/token.h"
+#include "util/logging.h"
+
+namespace emd {
+
+/// Classifier verdicts (§V-C): alpha >= 0.55 entity, beta <= 0.4 non-entity,
+/// gamma in between = ambiguous (needs more evidence).
+enum class CandidateLabel { kUnlabeled, kEntity, kNonEntity, kAmbiguous };
+
+const char* CandidateLabelName(CandidateLabel label);
+
+/// Location of one mention of a candidate.
+struct MentionRef {
+  size_t tweet_index = 0;  // dense index into the TweetBase
+  TokenSpan span;
+  bool locally_detected = false;
+};
+
+/// One candidate record.
+struct CandidateRecord {
+  int candidate_id = -1;
+  std::string key;      // case-folded surface ("andy beshear")
+  int num_tokens = 0;
+  std::vector<MentionRef> mentions;
+
+  /// Running sum of local mention embeddings; global embedding = sum / count.
+  Mat embedding_sum;
+  int embedding_count = 0;
+  /// Individual mention embeddings, retained only when the owner requests it
+  /// (classifier training wants prefix pools; normal runs keep memory flat).
+  std::vector<Mat> mention_embeddings;
+
+  CandidateLabel label = CandidateLabel::kUnlabeled;
+  float entity_probability = -1.f;
+
+  /// Pooled global candidate embedding (mean of local embeddings).
+  Mat GlobalEmbedding() const {
+    EMD_CHECK_GT(embedding_count, 0);
+    Mat g = embedding_sum;
+    g.Scale(1.f / static_cast<float>(embedding_count));
+    return g;
+  }
+};
+
+/// Dense store indexed by CTrie candidate id.
+class CandidateBase {
+ public:
+  /// Ensures a record exists for `candidate_id` (ids are dense CTrie ids).
+  CandidateRecord& GetOrCreate(int candidate_id, const std::string& key,
+                               int num_tokens) {
+    if (candidate_id >= static_cast<int>(records_.size())) {
+      records_.resize(candidate_id + 1);
+    }
+    CandidateRecord& rec = records_[candidate_id];
+    if (rec.candidate_id < 0) {
+      rec.candidate_id = candidate_id;
+      rec.key = key;
+      rec.num_tokens = num_tokens;
+    }
+    return rec;
+  }
+
+  CandidateRecord& at(int candidate_id) {
+    EMD_CHECK_GE(candidate_id, 0);
+    EMD_CHECK_LT(candidate_id, static_cast<int>(records_.size()));
+    EMD_CHECK_GE(records_[candidate_id].candidate_id, 0);
+    return records_[candidate_id];
+  }
+  const CandidateRecord& at(int candidate_id) const {
+    EMD_CHECK_GE(candidate_id, 0);
+    EMD_CHECK_LT(candidate_id, static_cast<int>(records_.size()));
+    return records_[candidate_id];
+  }
+
+  bool Contains(int candidate_id) const {
+    return candidate_id >= 0 && candidate_id < static_cast<int>(records_.size()) &&
+           records_[candidate_id].candidate_id >= 0;
+  }
+
+  size_t size() const { return records_.size(); }
+
+  /// Adds a mention and pools its local embedding into the global embedding
+  /// (incremental update of §V: "the global embedding can be incrementally
+  /// updated ... as and when new mentions arrive").
+  void AddMention(int candidate_id, const MentionRef& mention, const Mat& local_emb) {
+    CandidateRecord& rec = at(candidate_id);
+    rec.mentions.push_back(mention);
+    if (local_emb.empty()) return;
+    if (rec.embedding_sum.empty()) {
+      rec.embedding_sum = local_emb;
+    } else {
+      rec.embedding_sum.Add(local_emb);
+    }
+    ++rec.embedding_count;
+    if (retain_mention_embeddings_) rec.mention_embeddings.push_back(local_emb);
+  }
+
+  /// Keep per-mention embeddings (off by default to bound memory).
+  void set_retain_mention_embeddings(bool retain) {
+    retain_mention_embeddings_ = retain;
+  }
+
+ private:
+  std::vector<CandidateRecord> records_;
+  bool retain_mention_embeddings_ = false;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_CANDIDATE_BASE_H_

@@ -1,0 +1,39 @@
+// Builds Entity Classifier training data from a labelled stream (§V-C/§VI):
+// the framework is run up to global-embedding pooling on dataset D5, every
+// discovered candidate is labelled entity/non-entity by matching its surface
+// against the stream's gold mentions, and the (global embedding ++ length,
+// label) pairs become classifier examples.
+
+#ifndef EMD_CORE_CLASSIFIER_TRAINING_H_
+#define EMD_CORE_CLASSIFIER_TRAINING_H_
+
+#include <vector>
+
+#include "core/entity_classifier.h"
+#include "core/phrase_embedder.h"
+#include "core/type_classifier.h"
+#include "emd/local_emd_system.h"
+#include "stream/annotated_tweet.h"
+#include "stream/entity_catalog.h"
+
+namespace emd {
+
+/// Runs `system` plus mention extraction/pooling over `labelled_stream` and
+/// returns labelled classifier examples. `phrase_embedder` is required for
+/// deep systems, ignored otherwise.
+std::vector<ClassifierExample> BuildClassifierExamples(
+    const Dataset& labelled_stream, LocalEmdSystem* system,
+    const PhraseEmbedder* phrase_embedder, size_t batch_size = 2048);
+
+/// Typing extension: labelled (global embedding, entity type) examples for
+/// every candidate whose surface matches a gold mention of the stream. The
+/// catalog supplies the gold types.
+std::vector<TypeExample> BuildTypeExamples(const Dataset& labelled_stream,
+                                           const EntityCatalog& catalog,
+                                           LocalEmdSystem* system,
+                                           const PhraseEmbedder* phrase_embedder,
+                                           size_t batch_size = 2048);
+
+}  // namespace emd
+
+#endif  // EMD_CORE_CLASSIFIER_TRAINING_H_

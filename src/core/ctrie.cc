@@ -1,0 +1,81 @@
+#include "core/ctrie.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+CTrie::CTrie() { nodes_.emplace_back(); }
+
+int CTrie::Insert(const std::vector<std::string>& tokens) {
+  EMD_CHECK(!tokens.empty());
+  int node = root();
+  std::string key;
+  for (const auto& tok : tokens) {
+    const std::string folded = ToLowerAscii(tok);
+    if (!key.empty()) key += ' ';
+    key += folded;
+    auto it = nodes_[node].children.find(folded);
+    if (it == nodes_[node].children.end()) {
+      const int child = static_cast<int>(nodes_.size());
+      nodes_[node].children.emplace(folded, child);
+      nodes_.emplace_back();
+      node = child;
+    } else {
+      node = it->second;
+    }
+  }
+  if (nodes_[node].candidate_id != kNoCandidate) return nodes_[node].candidate_id;
+  const int id = static_cast<int>(candidate_keys_.size());
+  nodes_[node].candidate_id = id;
+  candidate_keys_.push_back(std::move(key));
+  candidate_lengths_.push_back(static_cast<int>(tokens.size()));
+  max_len_ = std::max(max_len_, static_cast<int>(tokens.size()));
+  return id;
+}
+
+int CTrie::Insert(const std::vector<Token>& tokens, const TokenSpan& span) {
+  EMD_CHECK_LE(span.end, tokens.size());
+  EMD_CHECK_LT(span.begin, span.end);
+  std::vector<std::string> words;
+  words.reserve(span.length());
+  for (size_t t = span.begin; t < span.end; ++t) words.push_back(tokens[t].text);
+  return Insert(words);
+}
+
+int CTrie::Step(int node, std::string_view token) const {
+  EMD_CHECK_GE(node, 0);
+  EMD_CHECK_LT(node, static_cast<int>(nodes_.size()));
+  const std::string folded = ToLowerAscii(token);
+  auto it = nodes_[node].children.find(folded);
+  return it == nodes_[node].children.end() ? kNoNode : it->second;
+}
+
+int CTrie::CandidateAt(int node) const {
+  EMD_CHECK_GE(node, 0);
+  EMD_CHECK_LT(node, static_cast<int>(nodes_.size()));
+  return nodes_[node].candidate_id;
+}
+
+const std::string& CTrie::CandidateKey(int candidate_id) const {
+  EMD_CHECK_GE(candidate_id, 0);
+  EMD_CHECK_LT(candidate_id, num_candidates());
+  return candidate_keys_[candidate_id];
+}
+
+int CTrie::CandidateLength(int candidate_id) const {
+  EMD_CHECK_GE(candidate_id, 0);
+  EMD_CHECK_LT(candidate_id, num_candidates());
+  return candidate_lengths_[candidate_id];
+}
+
+int CTrie::Find(const std::vector<std::string>& tokens) const {
+  int node = root();
+  for (const auto& tok : tokens) {
+    node = Step(node, tok);
+    if (node == kNoNode) return kNoCandidate;
+  }
+  return CandidateAt(node);
+}
+
+}  // namespace emd

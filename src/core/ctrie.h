@@ -1,0 +1,74 @@
+// CTrie — the CandidatePrefixTrie of §IV: a token-level, case-insensitive
+// prefix-trie forest indexing the seed entity candidates suggested by Local
+// EMD, and supporting the longest-match lookups of the Candidate Mention
+// Extraction step (§V-A).
+//
+// Nodes correspond to (case-folded) tokens; candidates sharing prefixes share
+// subtrees. A node may mark the end of a registered candidate.
+
+#ifndef EMD_CORE_CTRIE_H_
+#define EMD_CORE_CTRIE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/token.h"
+
+namespace emd {
+
+/// Token-level prefix trie over candidate strings.
+class CTrie {
+ public:
+  static constexpr int kNoNode = -1;
+  static constexpr int kNoCandidate = -1;
+
+  CTrie();
+
+  /// Registers a candidate (sequence of tokens; case-folded internally).
+  /// Returns its stable candidate id; re-inserting returns the existing id.
+  int Insert(const std::vector<std::string>& tokens);
+
+  /// Convenience: registers the tokens covered by `span`.
+  int Insert(const std::vector<Token>& tokens, const TokenSpan& span);
+
+  /// Root handle for traversals.
+  int root() const { return 0; }
+
+  /// Follows the edge labelled by the case-folded `token` from `node`;
+  /// returns kNoNode when no such path exists.
+  int Step(int node, std::string_view token) const;
+
+  /// Candidate id terminating at `node`, or kNoCandidate.
+  int CandidateAt(int node) const;
+
+  /// Case-folded surface string of a candidate ("andy beshear").
+  const std::string& CandidateKey(int candidate_id) const;
+
+  /// Number of tokens of a candidate.
+  int CandidateLength(int candidate_id) const;
+
+  /// Looks up a full phrase; returns its candidate id or kNoCandidate.
+  int Find(const std::vector<std::string>& tokens) const;
+
+  int num_candidates() const { return static_cast<int>(candidate_keys_.size()); }
+
+  /// Longest depth of any registered candidate (scan window bound k of §V-A).
+  int max_candidate_length() const { return max_len_; }
+
+ private:
+  struct Node {
+    std::unordered_map<std::string, int> children;
+    int candidate_id = kNoCandidate;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> candidate_keys_;
+  std::vector<int> candidate_lengths_;
+  int max_len_ = 0;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_CTRIE_H_

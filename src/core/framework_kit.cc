@@ -1,0 +1,313 @@
+#include "core/framework_kit.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/classifier_training.h"
+#include "stream/sts_generator.h"
+#include "util/file_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kNpChunker:
+      return "NP Chunker";
+    case SystemKind::kTwitterNlp:
+      return "TwitterNLP";
+    case SystemKind::kAguilar:
+      return "Aguilar et al.";
+    case SystemKind::kBertweet:
+      return "BERTweet";
+  }
+  return "?";
+}
+
+FrameworkKitOptions FrameworkKitOptions::FromEnv() {
+  FrameworkKitOptions opt;
+  if (const char* s = std::getenv("EMD_SCALE")) opt.scale = std::atof(s);
+  if (const char* s = std::getenv("EMD_TRAIN_TWEETS")) opt.training_tweets = std::atoi(s);
+  if (const char* s = std::getenv("EMD_CACHE_DIR")) opt.cache_dir = s;
+  return opt;
+}
+
+FrameworkKit::FrameworkKit(FrameworkKitOptions options) : options_(std::move(options)) {
+  if (options_.use_cache) {
+    Status st = CreateDirs(options_.cache_dir);
+    if (!st.ok()) {
+      EMD_LOG(Warn) << "cache disabled: " << st;
+      options_.use_cache = false;
+    }
+  }
+}
+
+std::string FrameworkKit::CachePath(const std::string& name) const {
+  std::ostringstream os;
+  os << options_.cache_dir << "/" << name << "_s" << options_.seed << "_t"
+     << options_.training_tweets << "_sc"
+     << static_cast<int>(options_.scale * 1000 + 0.5);
+  return os.str();
+}
+
+const EntityCatalog& FrameworkKit::catalog() {
+  if (!catalog_) {
+    EntityCatalogOptions opt;
+    opt.entities_per_topic = 800;
+    opt.seed = options_.seed * 7 + 1;
+    catalog_ = EntityCatalog::Build(opt);
+  }
+  return *catalog_;
+}
+
+const Gazetteer& FrameworkKit::gazetteer() {
+  if (!gazetteer_) gazetteer_ = Gazetteer::Build(catalog());
+  return *gazetteer_;
+}
+
+const Dataset& FrameworkKit::training_corpus() {
+  if (!training_corpus_) {
+    training_corpus_ =
+        BuildTrainingCorpus(catalog(), options_.training_tweets, options_.seed * 7 + 2);
+  }
+  return *training_corpus_;
+}
+
+const Dataset& FrameworkKit::d5() {
+  if (!d5_) {
+    d5_ = BuildD5(catalog(), suite_options());
+  }
+  return *d5_;
+}
+
+DatasetSuiteOptions FrameworkKit::suite_options() const {
+  DatasetSuiteOptions opt;
+  opt.scale = options_.scale;
+  opt.seed = options_.seed;
+  return opt;
+}
+
+void FrameworkKit::EnsurePosTagger() {
+  if (pos_tagger_) return;
+  pos_tagger_.emplace();
+  const std::string path = CachePath("pos") + ".model";
+  if (options_.use_cache && FileExists(path)) {
+    Status st = pos_tagger_->Load(path);
+    if (st.ok()) return;
+    EMD_LOG(Warn) << "pos tagger cache load failed, retraining: " << st;
+  }
+  EMD_LOG(Info) << "training PosTagger on " << training_corpus().size() << " tweets";
+  pos_tagger_->Train(training_corpus());
+  if (options_.use_cache) {
+    Status st = pos_tagger_->Save(path);
+    if (!st.ok()) EMD_LOG(Warn) << "pos tagger cache save failed: " << st;
+  }
+}
+
+const PosTagger& FrameworkKit::pos_tagger() {
+  EnsurePosTagger();
+  return *pos_tagger_;
+}
+
+void FrameworkKit::EnsureSystem(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kNpChunker: {
+      if (np_chunker_) return;
+      np_chunker_ = std::make_unique<NpChunkerSystem>(&pos_tagger());
+      // The chunker's common-word lexicon comes from the training world.
+      for (const auto& tweet : training_corpus().tweets) {
+        for (const auto& tok : tweet.tokens) {
+          if (tok.kind == TokenKind::kWord) {
+            np_chunker_->AddLexiconWord(ToLowerAscii(tok.text));
+          }
+        }
+      }
+      return;
+    }
+    case SystemKind::kTwitterNlp: {
+      if (twitter_nlp_) return;
+      twitter_nlp_ = std::make_unique<TwitterNlpSystem>(&pos_tagger(), &gazetteer());
+      const std::string path = CachePath("tnlp") + ".model";
+      if (options_.use_cache && FileExists(path) && twitter_nlp_->Load(path).ok()) {
+        return;
+      }
+      EMD_LOG(Info) << "training TwitterNLP";
+      // TwitterNLP's production model (Ritter et al. 2011) predates the WNUT
+      // era by years; simulate its older, smaller annotated corpus with a
+      // 35% slice of the training world.
+      Dataset old_corpus = training_corpus();
+      old_corpus.tweets.resize(std::max<size_t>(200, old_corpus.tweets.size() * 35 / 100));
+      twitter_nlp_->Train(old_corpus);
+      if (options_.use_cache) (void)twitter_nlp_->Save(path);
+      return;
+    }
+    case SystemKind::kAguilar: {
+      if (aguilar_) return;
+      aguilar_ = std::make_unique<AguilarNetSystem>(&pos_tagger(), &gazetteer());
+      const std::string path = CachePath("aguilar") + ".model";
+      if (options_.use_cache && FileExists(path) && aguilar_->Load(path).ok()) {
+        return;
+      }
+      EMD_LOG(Info) << "training AguilarNet";
+      aguilar_->Train(training_corpus());
+      if (options_.use_cache) (void)aguilar_->Save(path);
+      return;
+    }
+    case SystemKind::kBertweet: {
+      if (bertweet_) return;
+      bertweet_ = std::make_unique<MiniBertweetSystem>();
+      const std::string path = CachePath("bertweet") + ".model";
+      if (options_.use_cache && FileExists(path) && bertweet_->Load(path).ok()) {
+        return;
+      }
+      EMD_LOG(Info) << "training MiniBertweet";
+      bertweet_->Train(training_corpus());
+      if (options_.use_cache) (void)bertweet_->Save(path);
+      return;
+    }
+  }
+}
+
+LocalEmdSystem* FrameworkKit::system(SystemKind kind) {
+  EnsureSystem(kind);
+  switch (kind) {
+    case SystemKind::kNpChunker:
+      return np_chunker_.get();
+    case SystemKind::kTwitterNlp:
+      return twitter_nlp_.get();
+    case SystemKind::kAguilar:
+      return aguilar_.get();
+    case SystemKind::kBertweet:
+      return bertweet_.get();
+  }
+  return nullptr;
+}
+
+int FrameworkKit::candidate_embedding_dim(SystemKind kind) const {
+  switch (kind) {
+    case SystemKind::kNpChunker:
+    case SystemKind::kTwitterNlp:
+      return 6;  // syntactic distribution (§V-B.1)
+    case SystemKind::kAguilar:
+      return 100;  // matches the system's output vectors (§VI)
+    case SystemKind::kBertweet:
+      return 300;  // the paper's preferred BERTweet candidate size (§VI)
+  }
+  return 0;
+}
+
+int FrameworkKit::classifier_input_dim(SystemKind kind) {
+  return candidate_embedding_dim(kind) + 1;  // the "+1" length feature
+}
+
+void FrameworkKit::EnsurePhraseEmbedder(SystemKind kind) {
+  const int k = static_cast<int>(kind);
+  if (phrase_embedders_[k]) return;
+  LocalEmdSystem* sys = system(kind);
+  if (!sys->is_deep()) return;
+  phrase_embedders_[k] = std::make_unique<PhraseEmbedder>(
+      sys->embedding_dim(), candidate_embedding_dim(kind), options_.seed * 7 + 11 + k);
+  const std::string path = CachePath("pe_" + std::to_string(k)) + ".model";
+  const std::string report_path = CachePath("pe_" + std::to_string(k)) + ".report";
+  if (options_.use_cache && FileExists(path) && FileExists(report_path) &&
+      phrase_embedders_[k]->Load(path).ok()) {
+    auto content = ReadFileToString(report_path);
+    if (content.ok()) {
+      std::istringstream is(*content);
+      is >> phrase_reports_[k].best_validation_loss >> phrase_reports_[k].epochs_run;
+      return;
+    }
+  }
+  EMD_LOG(Info) << "training PhraseEmbedder for " << SystemKindName(kind);
+  StsGeneratorOptions sts_opt;
+  sts_opt.seed = options_.seed * 7 + 17 + k;
+  if (options_.scale < 1.0) {
+    sts_opt.num_train_pairs =
+        std::max(200, static_cast<int>(sts_opt.num_train_pairs * options_.scale));
+    sts_opt.num_val_pairs =
+        std::max(60, static_cast<int>(sts_opt.num_val_pairs * options_.scale));
+  }
+  const StsData sts = GenerateStsData(catalog(), sts_opt);
+  phrase_reports_[k] = phrase_embedders_[k]->Train(sys, sts);
+  if (options_.use_cache) {
+    (void)phrase_embedders_[k]->Save(path);
+    std::ostringstream os;
+    os << phrase_reports_[k].best_validation_loss << ' '
+       << phrase_reports_[k].epochs_run << '\n';
+    (void)WriteStringToFile(report_path, os.str());
+  }
+}
+
+const PhraseEmbedder* FrameworkKit::phrase_embedder(SystemKind kind) {
+  EnsurePhraseEmbedder(kind);
+  return phrase_embedders_[static_cast<int>(kind)].get();
+}
+
+PhraseEmbedderTrainReport FrameworkKit::phrase_report(SystemKind kind) {
+  EnsurePhraseEmbedder(kind);
+  return phrase_reports_[static_cast<int>(kind)];
+}
+
+void FrameworkKit::EnsureClassifier(SystemKind kind) {
+  const int k = static_cast<int>(kind);
+  if (classifiers_[k]) return;
+  EntityClassifierOptions opt;
+  opt.input_dim = classifier_input_dim(kind);
+  opt.seed = options_.seed * 7 + 23 + k;
+  classifiers_[k] = std::make_unique<EntityClassifier>(opt);
+  const std::string path = CachePath("clf_" + std::to_string(k)) + ".model";
+  const std::string report_path = CachePath("clf_" + std::to_string(k)) + ".report";
+  if (options_.use_cache && FileExists(path) && FileExists(report_path) &&
+      classifiers_[k]->Load(path).ok()) {
+    auto content = ReadFileToString(report_path);
+    if (content.ok()) {
+      std::istringstream is(*content);
+      auto& r = classifier_reports_[k];
+      is >> r.best_validation_f1 >> r.best_validation_loss >> r.epochs_run >>
+          r.num_train >> r.num_validation;
+      return;
+    }
+  }
+  EMD_LOG(Info) << "building classifier training data for " << SystemKindName(kind)
+                << " from D5 (" << d5().size() << " tweets)";
+  const auto examples =
+      BuildClassifierExamples(d5(), system(kind), phrase_embedder(kind));
+  EMD_LOG(Info) << "training EntityClassifier on " << examples.size()
+                << " candidates";
+  classifier_reports_[k] = classifiers_[k]->Train(examples);
+  if (options_.use_cache) {
+    (void)classifiers_[k]->Save(path);
+    std::ostringstream os;
+    const auto& r = classifier_reports_[k];
+    os << r.best_validation_f1 << ' ' << r.best_validation_loss << ' '
+       << r.epochs_run << ' ' << r.num_train << ' ' << r.num_validation << '\n';
+    (void)WriteStringToFile(report_path, os.str());
+  }
+}
+
+const EntityClassifier* FrameworkKit::classifier(SystemKind kind) {
+  EnsureClassifier(kind);
+  return classifiers_[static_cast<int>(kind)].get();
+}
+
+EntityClassifierTrainReport FrameworkKit::classifier_report(SystemKind kind) {
+  EnsureClassifier(kind);
+  return classifier_reports_[static_cast<int>(kind)];
+}
+
+HireNer* FrameworkKit::hire_ner() {
+  if (!hire_ner_) {
+    hire_ner_ = std::make_unique<HireNer>();
+    const std::string path = CachePath("hire") + ".model";
+    if (options_.use_cache && FileExists(path) && hire_ner_->Load(path).ok()) {
+      return hire_ner_.get();
+    }
+    EMD_LOG(Info) << "training HIRE-NER";
+    hire_ner_->Train(training_corpus());
+    if (options_.use_cache) (void)hire_ner_->Save(path);
+  }
+  return hire_ner_.get();
+}
+
+}  // namespace emd

@@ -1,0 +1,122 @@
+// FrameworkKit — one-stop construction of everything the experiments need:
+// the entity catalog, gazetteer, training corpora, the four Local EMD
+// instantiations, per-system Entity Phrase Embedders and Entity Classifiers,
+// and the HIRE-NER baseline. Heavy artifacts (trained models) are cached on
+// disk so repeated benchmark runs skip retraining.
+//
+// Environment knobs:
+//   EMD_SCALE        dataset scale factor (default 1.0)
+//   EMD_TRAIN_TWEETS tagger training corpus size (default 4000)
+//   EMD_CACHE_DIR    model cache directory (default ".emd_cache")
+
+#ifndef EMD_CORE_FRAMEWORK_KIT_H_
+#define EMD_CORE_FRAMEWORK_KIT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baseline/hire_ner.h"
+#include "core/entity_classifier.h"
+#include "core/phrase_embedder.h"
+#include "emd/aguilar_net.h"
+#include "emd/local_emd_system.h"
+#include "emd/mini_bertweet.h"
+#include "emd/np_chunker.h"
+#include "emd/pos_tagger.h"
+#include "emd/twitter_nlp.h"
+#include "stream/datasets.h"
+#include "stream/entity_catalog.h"
+#include "stream/gazetteer.h"
+
+namespace emd {
+
+/// The four Local EMD instantiations of §IV-A.
+enum class SystemKind : int {
+  kNpChunker = 0,
+  kTwitterNlp = 1,
+  kAguilar = 2,
+  kBertweet = 3,
+};
+constexpr int kNumSystemKinds = 4;
+
+const char* SystemKindName(SystemKind kind);
+
+struct FrameworkKitOptions {
+  double scale = 1.0;        // multiplies every dataset size
+  int training_tweets = 4000;
+  int d5_tweets = 38000;     // classifier-training stream size (pre-scale)
+  std::string cache_dir = ".emd_cache";
+  uint64_t seed = 42;
+  bool use_cache = true;
+
+  /// Reads EMD_SCALE / EMD_TRAIN_TWEETS / EMD_CACHE_DIR.
+  static FrameworkKitOptions FromEnv();
+};
+
+class FrameworkKit {
+ public:
+  explicit FrameworkKit(FrameworkKitOptions options = FrameworkKitOptions::FromEnv());
+
+  const FrameworkKitOptions& options() const { return options_; }
+  const EntityCatalog& catalog();
+  const Gazetteer& gazetteer();
+  const PosTagger& pos_tagger();
+  const Dataset& training_corpus();
+  const Dataset& d5();
+
+  /// Evaluation datasets (built on demand, no caching needed — generation is
+  /// cheap and deterministic).
+  DatasetSuiteOptions suite_options() const;
+
+  /// Trained (or cache-loaded) local EMD system.
+  LocalEmdSystem* system(SystemKind kind);
+
+  /// Phrase embedder for deep systems; nullptr for non-deep kinds.
+  const PhraseEmbedder* phrase_embedder(SystemKind kind);
+  /// Training report for the phrase embedder (validation MSE, §VI).
+  PhraseEmbedderTrainReport phrase_report(SystemKind kind);
+
+  /// Entity classifier trained on D5 candidates for this system kind.
+  const EntityClassifier* classifier(SystemKind kind);
+  EntityClassifierTrainReport classifier_report(SystemKind kind);
+
+  /// Classifier input dimension for a kind (Table II "+1" sizes).
+  int classifier_input_dim(SystemKind kind);
+  /// Candidate (phrase) embedding dimension per kind: 6 / 6 / 100 / 300.
+  int candidate_embedding_dim(SystemKind kind) const;
+
+  /// Document-level baseline.
+  HireNer* hire_ner();
+
+ private:
+  std::string CachePath(const std::string& name) const;
+  void EnsurePosTagger();
+  void EnsureSystem(SystemKind kind);
+  void EnsurePhraseEmbedder(SystemKind kind);
+  void EnsureClassifier(SystemKind kind);
+
+  FrameworkKitOptions options_;
+
+  std::optional<EntityCatalog> catalog_;
+  std::optional<Gazetteer> gazetteer_;
+  std::optional<Dataset> training_corpus_;
+  std::optional<Dataset> d5_;
+  std::optional<PosTagger> pos_tagger_;
+
+  std::unique_ptr<NpChunkerSystem> np_chunker_;
+  std::unique_ptr<TwitterNlpSystem> twitter_nlp_;
+  std::unique_ptr<AguilarNetSystem> aguilar_;
+  std::unique_ptr<MiniBertweetSystem> bertweet_;
+
+  std::unique_ptr<PhraseEmbedder> phrase_embedders_[kNumSystemKinds];
+  PhraseEmbedderTrainReport phrase_reports_[kNumSystemKinds];
+  std::unique_ptr<EntityClassifier> classifiers_[kNumSystemKinds];
+  EntityClassifierTrainReport classifier_reports_[kNumSystemKinds];
+
+  std::unique_ptr<HireNer> hire_ner_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_FRAMEWORK_KIT_H_

@@ -1,0 +1,199 @@
+#include "core/globalizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/syntactic_embedder.h"
+#include "stream/batching.h"
+#include "util/logging.h"
+
+namespace emd {
+
+Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embedder,
+                       const EntityClassifier* classifier, GlobalizerOptions options)
+    : system_(system),
+      phrase_embedder_(phrase_embedder),
+      classifier_(classifier),
+      options_(options),
+      extractor_(&trie_) {
+  EMD_CHECK(system != nullptr);
+  if (options_.mode != GlobalizerOptions::Mode::kLocalOnly && system_->is_deep()) {
+    EMD_CHECK(phrase_embedder != nullptr)
+        << "deep local EMD requires an Entity Phrase Embedder";
+    EMD_CHECK_EQ(phrase_embedder->in_dim(), system_->embedding_dim());
+  }
+  if (options_.mode == GlobalizerOptions::Mode::kFull) {
+    EMD_CHECK(classifier != nullptr) << "full mode requires an Entity Classifier";
+  }
+}
+
+Mat Globalizer::LocalEmbedding(const TweetRecord& record,
+                               const TokenSpan& span) const {
+  if (system_->is_deep()) {
+    return phrase_embedder_->Embed(record.token_embeddings, span);
+  }
+  return SyntacticEmbedding(record.tokens, span);
+}
+
+void Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
+  const size_t first_index = tweets_.size();
+
+  // ---- Step 1: Local EMD, one sentence at a time. ----
+  {
+    ScopedPhase phase(&timers_, "local");
+    for (const AnnotatedTweet& tweet : batch) {
+      LocalEmdResult local = system_->Process(tweet.tokens);
+      TweetRecord record;
+      record.tweet_id = tweet.tweet_id;
+      record.sentence_id = tweet.sentence_id;
+      record.tokens = tweet.tokens;
+      record.token_embeddings = std::move(local.token_embeddings);
+      for (const TokenSpan& span : local.mentions) {
+        if (span.begin >= span.end || span.end > tweet.tokens.size()) continue;
+        RecordedMention m;
+        m.span = span;
+        m.locally_detected = true;
+        record.mentions.push_back(m);
+      }
+      tweets_.Add(std::move(record));
+    }
+  }
+
+  if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) return;
+
+  // ---- Step 2+3: Global EMD over this batch. ----
+  ScopedPhase phase(&timers_, "global");
+
+  // Register this batch's seed candidates in the CTrie.
+  for (size_t i = first_index; i < tweets_.size(); ++i) {
+    TweetRecord& record = tweets_.at(i);
+    for (RecordedMention& m : record.mentions) {
+      m.candidate_id = trie_.Insert(record.tokens, m.span);
+      candidates_.GetOrCreate(m.candidate_id, trie_.CandidateKey(m.candidate_id),
+                              trie_.CandidateLength(m.candidate_id));
+    }
+  }
+
+  // Re-scan the batch for all mentions of all candidates discovered so far,
+  // collect local embeddings, and pool them into global embeddings.
+  for (size_t i = first_index; i < tweets_.size(); ++i) {
+    TweetRecord& record = tweets_.at(i);
+    const std::vector<ExtractedMention> extracted = extractor_.Extract(record.tokens);
+
+    // The extractor's longest matches replace the raw local spans: partial
+    // local extractions extend to the full registered candidate (§V-A).
+    std::set<TokenSpan> local_spans;
+    for (const RecordedMention& m : record.mentions) local_spans.insert(m.span);
+
+    std::vector<RecordedMention> merged;
+    for (const ExtractedMention& em : extracted) {
+      RecordedMention m;
+      m.span = em.span;
+      m.candidate_id = em.candidate_id;
+      m.locally_detected = local_spans.count(em.span) > 0;
+      merged.push_back(m);
+
+      MentionRef ref;
+      ref.tweet_index = i;
+      ref.span = em.span;
+      ref.locally_detected = m.locally_detected;
+      candidates_.GetOrCreate(em.candidate_id, trie_.CandidateKey(em.candidate_id),
+                              trie_.CandidateLength(em.candidate_id));
+      candidates_.AddMention(em.candidate_id, ref,
+                             LocalEmbedding(record, em.span));
+    }
+    record.mentions = std::move(merged);
+  }
+
+  if (options_.release_embeddings) {
+    tweets_.ReleaseEmbeddings(first_index, tweets_.size());
+  }
+}
+
+GlobalizerOutput Globalizer::Finalize() {
+  GlobalizerOutput out;
+  out.mentions.resize(tweets_.size());
+
+  if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) {
+    for (size_t i = 0; i < tweets_.size(); ++i) {
+      for (const RecordedMention& m : tweets_.at(i).mentions) {
+        out.mentions[i].push_back(m.span);
+      }
+    }
+    out.local_seconds = timers_.Total("local");
+    return out;
+  }
+
+  {
+    ScopedPhase phase(&timers_, "global");
+
+  if (options_.mode == GlobalizerOptions::Mode::kFull) {
+    // ---- Step 4: Entity Classifier over global candidate embeddings. ----
+    for (size_t c = 0; c < candidates_.size(); ++c) {
+      if (!candidates_.Contains(static_cast<int>(c))) continue;
+      CandidateRecord& rec = candidates_.at(static_cast<int>(c));
+      ++out.num_candidates;
+      if (rec.embedding_count == 0) {
+        rec.label = CandidateLabel::kAmbiguous;
+        ++out.num_ambiguous;
+        continue;
+      }
+      const Mat features =
+          EntityClassifier::MakeFeatures(rec.GlobalEmbedding(), rec.num_tokens);
+      rec.entity_probability = classifier_->Probability(features);
+      rec.label = classifier_->Classify(features);
+      if (rec.label == CandidateLabel::kNonEntity &&
+          rec.embedding_count < options_.min_evidence_mentions &&
+          rec.entity_probability > options_.low_evidence_beta) {
+        rec.label = CandidateLabel::kAmbiguous;
+      }
+      switch (rec.label) {
+        case CandidateLabel::kEntity:
+          ++out.num_entity;
+          break;
+        case CandidateLabel::kNonEntity:
+          ++out.num_non_entity;
+          break;
+        default:
+          ++out.num_ambiguous;
+          break;
+      }
+    }
+  } else {
+    out.num_candidates = trie_.num_candidates();
+  }
+
+  // ---- Outputs: mentions of entity candidates (§V-C). ----
+  for (size_t i = 0; i < tweets_.size(); ++i) {
+    for (const RecordedMention& m : tweets_.at(i).mentions) {
+      if (options_.mode == GlobalizerOptions::Mode::kMentionExtraction) {
+        // No classifier: every candidate counts as a likely entity, so all
+        // recovered mentions are produced (Fig. 6 middle curve).
+        out.mentions[i].push_back(m.span);
+        continue;
+      }
+      const CandidateRecord& rec = candidates_.at(m.candidate_id);
+      if (rec.label == CandidateLabel::kEntity) {
+        out.mentions[i].push_back(m.span);
+      } else if (rec.label == CandidateLabel::kAmbiguous) {
+        // Ambiguous candidates await more evidence downstream (§V-C); until
+        // the verdict flips to beta their mentions stay in the output — the
+        // local system suggested them as entities in the first place.
+        out.mentions[i].push_back(m.span);
+      }
+    }
+  }
+  }  // ScopedPhase "global"
+
+  out.local_seconds = timers_.Total("local");
+  out.global_seconds = timers_.Total("global");
+  return out;
+}
+
+GlobalizerOutput Globalizer::Run(const Dataset& dataset) {
+  StreamBatcher batcher(&dataset, options_.batch_size);
+  while (batcher.HasNext()) ProcessBatch(batcher.Next());
+  return Finalize();
+}
+
+}  // namespace emd

@@ -1,0 +1,117 @@
+// Globalizer — the EMD Globalizer framework of §III/§V.
+//
+// Orchestrates one execution cycle per tweet batch:
+//   (1) Local EMD on every sentence (any LocalEmdSystem, inserted as a black
+//       box), registering seed candidates in the CTrie and, for deep systems,
+//       storing entity-aware token embeddings in the TweetBase;
+//   (2) Candidate Mention Extraction: a re-scan of the batch against the
+//       CTrie finds all mentions of every candidate discovered so far;
+//   (3) local candidate embeddings (Entity Phrase Embedder for deep systems,
+//       6-dim syntactic embedding for non-deep) pooled incrementally into
+//       global candidate embeddings in the CandidateBase;
+//   (4) the Entity Classifier separates entities from false positives; all
+//       mentions of entity-labelled candidates form the final output.
+//
+// Modes support the ablation of Fig. 6: local-only, local + mention
+// extraction (no classifier), and the full framework.
+
+#ifndef EMD_CORE_GLOBALIZER_H_
+#define EMD_CORE_GLOBALIZER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/candidate_base.h"
+#include "core/ctrie.h"
+#include "core/entity_classifier.h"
+#include "core/mention_extractor.h"
+#include "core/phrase_embedder.h"
+#include "core/tweet_base.h"
+#include "emd/local_emd_system.h"
+#include "stream/annotated_tweet.h"
+#include "util/timer.h"
+
+namespace emd {
+
+struct GlobalizerOptions {
+  /// Tweets per execution cycle (§III). One cycle per dataset by default in
+  /// benchmarks; smaller batches exercise incremental streaming.
+  size_t batch_size = 2048;
+
+  enum class Mode {
+    kLocalOnly,          // Fig. 6 bottom curve
+    kMentionExtraction,  // Fig. 6 middle curve: recover mentions, no classifier
+    kFull,               // the framework
+  };
+  Mode mode = Mode::kFull;
+
+  /// Free token-embedding storage after each batch's global pass (bounds
+  /// memory to one batch).
+  bool release_embeddings = true;
+
+  /// A candidate's global embedding is only trusted for a confident
+  /// *non-entity* verdict once it pools at least this many mentions (§V-C:
+  /// "a candidate's global embedding ... is more reliable when its frequency
+  /// of occurrence is high"). Below the floor, beta verdicts are downgraded
+  /// to ambiguous unless the classifier is extremely confident
+  /// (probability <= low_evidence_beta).
+  int min_evidence_mentions = 4;
+  float low_evidence_beta = 0.05f;
+};
+
+/// Final framework output plus diagnostics.
+struct GlobalizerOutput {
+  /// Final mention spans per tweet (dense index = order of processing).
+  std::vector<std::vector<TokenSpan>> mentions;
+
+  int num_candidates = 0;
+  int num_entity = 0;
+  int num_non_entity = 0;
+  int num_ambiguous = 0;
+  double local_seconds = 0;
+  double global_seconds = 0;
+};
+
+class Globalizer {
+ public:
+  /// `system` is required. `phrase_embedder` is required iff the system is
+  /// deep and mode is not kLocalOnly. `classifier` is required for kFull.
+  /// All pointers must outlive the Globalizer.
+  Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embedder,
+             const EntityClassifier* classifier, GlobalizerOptions options = {});
+
+  /// Runs one execution cycle on a batch of tweets.
+  void ProcessBatch(std::span<const AnnotatedTweet> batch);
+
+  /// Classifies candidates with the global embeddings accumulated so far and
+  /// produces the framework's outputs for everything processed.
+  GlobalizerOutput Finalize();
+
+  /// Convenience: batches the dataset, processes every batch, finalizes.
+  GlobalizerOutput Run(const Dataset& dataset);
+
+  const CTrie& ctrie() const { return trie_; }
+  const CandidateBase& candidate_base() const { return candidates_; }
+  CandidateBase& mutable_candidate_base() { return candidates_; }
+  const TweetBase& tweet_base() const { return tweets_; }
+
+ private:
+  /// Local embedding of one extracted mention.
+  Mat LocalEmbedding(const TweetRecord& record, const TokenSpan& span) const;
+
+  LocalEmdSystem* system_;
+  const PhraseEmbedder* phrase_embedder_;
+  const EntityClassifier* classifier_;
+  GlobalizerOptions options_;
+
+  CTrie trie_;
+  MentionExtractor extractor_;
+  TweetBase tweets_;
+  CandidateBase candidates_;
+  PhaseTimer timers_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_GLOBALIZER_H_

@@ -1,0 +1,47 @@
+#include "core/mention_extractor.h"
+
+#include "util/logging.h"
+
+namespace emd {
+
+MentionExtractor::MentionExtractor(const CTrie* trie) : trie_(trie) {
+  EMD_CHECK(trie != nullptr);
+}
+
+std::vector<ExtractedMention> MentionExtractor::Extract(
+    const std::vector<Token>& tokens) const {
+  std::vector<ExtractedMention> out;
+  const size_t T = tokens.size();
+  size_t i = 0;
+  while (i < T) {
+    // Incrementally widen the scan window from position i along a CTrie path
+    // (§V-A (a)), recording the last node that terminates a valid candidate
+    // (§V-A (b)).
+    int node = trie_->root();
+    size_t best_end = 0;
+    int best_candidate = CTrie::kNoCandidate;
+    size_t j = i;
+    while (j < T) {
+      node = trie_->Step(node, tokens[j].text);
+      if (node == CTrie::kNoNode) break;
+      ++j;
+      const int cand = trie_->CandidateAt(node);
+      if (cand != CTrie::kNoCandidate) {
+        best_end = j;
+        best_candidate = cand;
+      }
+    }
+    if (best_candidate != CTrie::kNoCandidate) {
+      out.push_back({{i, best_end}, best_candidate});
+      // Match found: skip ahead to the token after the recorded subsequence.
+      i = best_end;
+    } else {
+      // No candidate on this window: restart from the position immediately
+      // right of the window's first token.
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace emd

@@ -1,0 +1,43 @@
+// MentionExtractor — the Candidate Mention Extraction step of §V-A.
+//
+// Given the CTrie of seed candidates, re-scans a tweet-sentence and returns
+// the set of longest, case-insensitive candidate matches. This recovers
+// mentions Local EMD missed (false-negative removal) and extends partial
+// extractions ("Andy" -> "Andy Beshear") when the full string is registered.
+
+#ifndef EMD_CORE_MENTION_EXTRACTOR_H_
+#define EMD_CORE_MENTION_EXTRACTOR_H_
+
+#include <vector>
+
+#include "core/ctrie.h"
+#include "text/token.h"
+
+namespace emd {
+
+/// One extracted candidate mention.
+struct ExtractedMention {
+  TokenSpan span;
+  int candidate_id = CTrie::kNoCandidate;
+
+  bool operator==(const ExtractedMention& o) const {
+    return span == o.span && candidate_id == o.candidate_id;
+  }
+};
+
+/// Stateless scanner over a CTrie (which must outlive calls).
+class MentionExtractor {
+ public:
+  explicit MentionExtractor(const CTrie* trie);
+
+  /// Scans the sentence and returns all longest candidate matches, left to
+  /// right, non-overlapping.
+  std::vector<ExtractedMention> Extract(const std::vector<Token>& tokens) const;
+
+ private:
+  const CTrie* trie_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_MENTION_EXTRACTOR_H_

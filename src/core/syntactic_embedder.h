@@ -1,0 +1,38 @@
+// SyntacticEmbedder — the 6-dimensional local candidate embedding used with
+// non-deep Local EMD systems (§V-B.1, following TwiCS). Each mention of a
+// candidate is classified into one of six capitalization categories; pooling
+// the one-hot vectors across mentions yields the candidate's global syntactic
+// distribution.
+
+#ifndef EMD_CORE_SYNTACTIC_EMBEDDER_H_
+#define EMD_CORE_SYNTACTIC_EMBEDDER_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "text/token.h"
+
+namespace emd {
+
+/// The six syntactic categories of §V-B.1.
+enum class SyntacticCategory : int {
+  kProperCapitalization = 0,   // every candidate token capitalized
+  kStartOfSentenceCap = 1,     // unigram, capitalized only because at start
+  kSubstringCapitalization = 2,  // proper substring of multigram capitalized
+  kFullCapitalization = 3,     // ALL CAPS ("UN", "CORONAVIRUS")
+  kNoCapitalization = 4,       // all lowercase
+  kNonDiscriminative = 5,      // sentence casing carries no information
+};
+
+constexpr int kNumSyntacticCategories = 6;
+
+/// Classifies one mention (span within its sentence) into a category.
+SyntacticCategory ClassifyMentionSyntax(const std::vector<Token>& tokens,
+                                        const TokenSpan& span);
+
+/// One-hot 1x6 embedding of the mention's category.
+Mat SyntacticEmbedding(const std::vector<Token>& tokens, const TokenSpan& span);
+
+}  // namespace emd
+
+#endif  // EMD_CORE_SYNTACTIC_EMBEDDER_H_

@@ -1,0 +1,71 @@
+// TweetBase — per-sentence record store of §IV: one entry per
+// (tweet id, sentence id), holding the detected mentions (updated as the
+// sentence moves through Global EMD) and, while its batch is in flight, the
+// deep system's token-level entity-aware embeddings.
+
+#ifndef EMD_CORE_TWEET_BASE_H_
+#define EMD_CORE_TWEET_BASE_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "text/token.h"
+#include "util/logging.h"
+
+namespace emd {
+
+/// A mention recorded for a sentence during the pipeline.
+struct RecordedMention {
+  TokenSpan span;
+  int candidate_id = -1;
+  /// True when Local EMD itself produced this mention (vs recovered by the
+  /// Candidate Mention Extraction re-scan).
+  bool locally_detected = false;
+};
+
+/// One sentence record.
+struct TweetRecord {
+  long tweet_id = 0;
+  int sentence_id = 0;
+  std::vector<Token> tokens;
+  std::vector<RecordedMention> mentions;
+  /// Entity-aware token embeddings [T, d]; cleared once the batch has been
+  /// globally processed (memory bound is one batch, not the stream).
+  Mat token_embeddings;
+};
+
+/// Append-only store, indexed densely by insertion order.
+class TweetBase {
+ public:
+  /// Adds a record; returns its dense index.
+  size_t Add(TweetRecord record) {
+    records_.push_back(std::move(record));
+    return records_.size() - 1;
+  }
+
+  TweetRecord& at(size_t index) {
+    EMD_CHECK_LT(index, records_.size());
+    return records_[index];
+  }
+  const TweetRecord& at(size_t index) const {
+    EMD_CHECK_LT(index, records_.size());
+    return records_[index];
+  }
+
+  size_t size() const { return records_.size(); }
+
+  /// Frees the embedding matrices of records [begin, end) after their batch
+  /// completes Global EMD.
+  void ReleaseEmbeddings(size_t begin, size_t end) {
+    EMD_CHECK_LE(begin, end);
+    EMD_CHECK_LE(end, records_.size());
+    for (size_t i = begin; i < end; ++i) records_[i].token_embeddings = Mat();
+  }
+
+ private:
+  std::vector<TweetRecord> records_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_TWEET_BASE_H_

@@ -1,0 +1,164 @@
+#include "core/type_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "nn/params.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace emd {
+
+TypeClassifier::TypeClassifier(TypeClassifierOptions options)
+    : options_(options),
+      feat_mean_(1, options.input_dim),
+      feat_std_(1, options.input_dim) {
+  feat_std_.Fill(1.f);
+  Rng rng(options_.seed);
+  hidden_ = std::make_unique<Linear>(options_.input_dim, options_.hidden_dim, &rng,
+                                     "type.h0");
+  out_ = std::make_unique<Linear>(options_.hidden_dim, kNumTypes, &rng, "type.out");
+}
+
+Mat TypeClassifier::Logits(const Mat& features) const {
+  EMD_CHECK_EQ(features.cols(), options_.input_dim);
+  Mat x = features;
+  for (int j = 0; j < x.cols(); ++j) {
+    x(0, j) = (x(0, j) - feat_mean_(0, j)) / feat_std_(0, j);
+  }
+  return out_->Forward(relu_.Forward(hidden_->Forward(x)));
+}
+
+std::vector<float> TypeClassifier::Probabilities(const Mat& features) const {
+  Mat logits = Logits(features);
+  SoftmaxRowsInPlace(&logits);
+  std::vector<float> probs(kNumTypes);
+  for (int k = 0; k < kNumTypes; ++k) probs[k] = logits(0, k);
+  return probs;
+}
+
+EntityType TypeClassifier::Classify(const Mat& features) const {
+  const Mat logits = Logits(features);
+  int best = 0;
+  for (int k = 1; k < kNumTypes; ++k) {
+    if (logits(0, k) > logits(0, best)) best = k;
+  }
+  return static_cast<EntityType>(best);
+}
+
+TypeClassifierTrainReport TypeClassifier::Train(
+    const std::vector<TypeExample>& examples,
+    const TypeClassifierTrainOptions& options) {
+  EMD_CHECK(!examples.empty());
+  Rng rng(options.seed);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  const size_t n_train =
+      std::max<size_t>(1, static_cast<size_t>(order.size() * options.train_fraction));
+  std::vector<size_t> train_idx(order.begin(), order.begin() + n_train);
+  std::vector<size_t> val_idx(order.begin() + n_train, order.end());
+  if (val_idx.empty()) val_idx = train_idx;
+
+  feat_mean_.Zero();
+  feat_std_.Fill(0.f);
+  for (size_t i : train_idx) feat_mean_.Add(examples[i].features);
+  feat_mean_.Scale(1.f / static_cast<float>(train_idx.size()));
+  for (size_t i : train_idx) {
+    for (int j = 0; j < feat_std_.cols(); ++j) {
+      const float d = examples[i].features(0, j) - feat_mean_(0, j);
+      feat_std_(0, j) += d * d;
+    }
+  }
+  for (int j = 0; j < feat_std_.cols(); ++j) {
+    feat_std_(0, j) =
+        std::sqrt(feat_std_(0, j) / static_cast<float>(train_idx.size())) + 1e-4f;
+  }
+
+  ParamSet params;
+  hidden_->CollectParams(&params);
+  out_->CollectParams(&params);
+  AdamOptimizer adam(options.learning_rate);
+
+  auto accuracy = [&](const std::vector<size_t>& idx) {
+    long correct = 0;
+    for (size_t i : idx) {
+      if (Classify(examples[i].features) == examples[i].type) ++correct;
+    }
+    return static_cast<double>(correct) / std::max<size_t>(1, idx.size());
+  };
+
+  TypeClassifierTrainReport report;
+  report.num_train = static_cast<int>(train_idx.size());
+  report.num_validation = static_cast<int>(val_idx.size());
+  double best_acc = accuracy(val_idx);
+  std::vector<Mat> best_weights;
+  auto snapshot = [&]() {
+    best_weights.clear();
+    for (const auto& p : params.params()) best_weights.push_back(*p.value);
+  };
+  snapshot();
+
+  int since_best = 0;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    rng.Shuffle(&train_idx);
+    size_t pos = 0;
+    while (pos < train_idx.size()) {
+      const size_t end = std::min(pos + options.batch_size, train_idx.size());
+      params.ZeroGrads();
+      for (size_t k = pos; k < end; ++k) {
+        const TypeExample& ex = examples[train_idx[k]];
+        Mat probs = Logits(ex.features);
+        SoftmaxRowsInPlace(&probs);
+        Mat dlogits(1, kNumTypes);
+        const int gold = static_cast<int>(ex.type);
+        for (int c = 0; c < kNumTypes; ++c) {
+          dlogits(0, c) = (probs(0, c) - (c == gold ? 1.f : 0.f)) /
+                          static_cast<float>(end - pos);
+        }
+        hidden_->Backward(relu_.Backward(out_->Backward(dlogits)));
+      }
+      adam.Step(&params);
+      pos = end;
+    }
+    report.epochs_run = epoch + 1;
+    const double acc = accuracy(val_idx);
+    if (acc > best_acc + 1e-5) {
+      best_acc = acc;
+      snapshot();
+      since_best = 0;
+    } else if (++since_best >= options.early_stop_patience) {
+      break;
+    }
+  }
+  for (size_t i = 0; i < params.params().size(); ++i) {
+    *params.params()[i].value = best_weights[i];
+  }
+  report.best_validation_accuracy = best_acc;
+  return report;
+}
+
+Status TypeClassifier::Save(const std::string& path) const {
+  auto* self = const_cast<TypeClassifier*>(this);
+  ParamSet params;
+  Mat gm(1, feat_mean_.cols()), gs(1, feat_std_.cols());
+  params.Register("type.feat_mean", &self->feat_mean_, &gm);
+  params.Register("type.feat_std", &self->feat_std_, &gs);
+  self->hidden_->CollectParams(&params);
+  self->out_->CollectParams(&params);
+  return SaveParams(params, path);
+}
+
+Status TypeClassifier::Load(const std::string& path) {
+  ParamSet params;
+  Mat gm(1, feat_mean_.cols()), gs(1, feat_std_.cols());
+  params.Register("type.feat_mean", &feat_mean_, &gm);
+  params.Register("type.feat_std", &feat_std_, &gs);
+  hidden_->CollectParams(&params);
+  out_->CollectParams(&params);
+  return LoadParams(&params, path);
+}
+
+}  // namespace emd

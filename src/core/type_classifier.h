@@ -1,0 +1,87 @@
+// TypeClassifier — an extension beyond the paper (§VII future work: "expand
+// the idea of collective processing for the entire NER pipeline").
+//
+// The paper's framework stops at entity/non-entity verdicts ("our framework
+// does not involve entity typing", §VI). This module adds the next pipeline
+// stage on the same collective signal: a softmax MLP assigns a WNUT-style
+// coarse type (person/location/organization/product/event) to each
+// entity-labelled candidate from its *global* candidate embedding — one
+// decision per entity from pooled evidence, rather than per mention.
+
+#ifndef EMD_CORE_TYPE_CLASSIFIER_H_
+#define EMD_CORE_TYPE_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/matrix.h"
+#include "stream/entity_catalog.h"
+#include "util/status.h"
+
+namespace emd {
+
+/// One labelled typing example: a candidate's global embedding and its type.
+struct TypeExample {
+  Mat features;  // [1, input_dim] — global embedding ++ length feature
+  EntityType type = EntityType::kPerson;
+};
+
+struct TypeClassifierOptions {
+  int input_dim = 101;
+  int hidden_dim = 64;
+  uint64_t seed = 71;
+};
+
+struct TypeClassifierTrainOptions {
+  float learning_rate = 1.5e-3f;
+  int batch_size = 64;
+  int max_epochs = 300;
+  int early_stop_patience = 20;
+  double train_fraction = 0.8;
+  uint64_t seed = 73;
+};
+
+struct TypeClassifierTrainReport {
+  double best_validation_accuracy = 0;
+  int epochs_run = 0;
+  int num_train = 0;
+  int num_validation = 0;
+};
+
+/// Softmax MLP over global candidate embeddings.
+class TypeClassifier {
+ public:
+  explicit TypeClassifier(TypeClassifierOptions options = {});
+
+  /// Most probable type for a candidate.
+  EntityType Classify(const Mat& features) const;
+
+  /// Per-type probabilities (size kNumTypes).
+  std::vector<float> Probabilities(const Mat& features) const;
+
+  TypeClassifierTrainReport Train(const std::vector<TypeExample>& examples,
+                                  const TypeClassifierTrainOptions& options = {});
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  int input_dim() const { return options_.input_dim; }
+
+ private:
+  static constexpr int kNumTypes = static_cast<int>(EntityType::kNumTypes);
+
+  Mat Logits(const Mat& features) const;
+
+  TypeClassifierOptions options_;
+  Mat feat_mean_, feat_std_;
+  mutable std::unique_ptr<Linear> hidden_;
+  mutable ReluLayer relu_;
+  mutable std::unique_ptr<Linear> out_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_TYPE_CLASSIFIER_H_

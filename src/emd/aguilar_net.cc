@@ -1,0 +1,285 @@
+#include "emd/aguilar_net.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "nn/params.h"
+#include "nn/serialize.h"
+#include "util/file_io.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+AguilarNetSystem::AguilarNetSystem(const PosTagger* tagger, const Gazetteer* gazetteer,
+                                   AguilarNetOptions options)
+    : tagger_(tagger),
+      gazetteer_(gazetteer),
+      options_(options),
+      dropout_(options.dropout),
+      model_rng_(options.seed) {
+  EMD_CHECK(tagger != nullptr);
+  EMD_CHECK(gazetteer != nullptr);
+}
+
+void AguilarNetSystem::BuildModel() {
+  Rng* rng = &model_rng_;
+  word_emb_ = std::make_unique<Embedding>(word_vocab_.size(), options_.word_dim, rng,
+                                          "aguilar.word_emb");
+  char_emb_ = std::make_unique<Embedding>(char_vocab_.size(), options_.char_dim, rng,
+                                          "aguilar.char_emb");
+  char_cnn_ = std::make_unique<CharCnn>(options_.char_dim, options_.char_filters,
+                                        options_.char_kernel, rng, "aguilar.char_cnn");
+  pos_emb_ = std::make_unique<Embedding>(kNumPosTags + 2, options_.pos_dim, rng,
+                                         "aguilar.pos_emb");
+  lex_dense_ = std::make_unique<Linear>(Gazetteer::kNumLists, options_.lex_dim, rng,
+                                        "aguilar.lex_dense");
+  const int concat_dim = options_.word_dim + options_.char_filters + options_.pos_dim +
+                         kShapeDim + options_.lex_dim;
+  bilstm_ = std::make_unique<BiLstm>(concat_dim, options_.lstm_hidden, rng,
+                                     "aguilar.bilstm");
+  dense_ = std::make_unique<Linear>(2 * options_.lstm_hidden, options_.dense_dim, rng,
+                                    "aguilar.dense");
+  out_ = std::make_unique<Linear>(options_.dense_dim, kNumBioLabels, rng,
+                                  "aguilar.out");
+  crf_ = std::make_unique<LinearChainCrf>(kNumBioLabels, rng, "aguilar.crf");
+}
+
+Mat AguilarNetSystem::ShapeFeatures(const std::vector<Token>& tokens) const {
+  Mat f(static_cast<int>(tokens.size()), kShapeDim);
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const std::string& w = tokens[t].text;
+    float* row = f.row(static_cast<int>(t));
+    row[0] = (!w.empty() && IsUpperAscii(w[0])) ? 1.f : 0.f;
+    row[1] = IsAllUpper(w) ? 1.f : 0.f;
+    row[2] = IsAllLower(w) ? 1.f : 0.f;
+    row[3] = HasDigit(w) ? 1.f : 0.f;
+    row[4] = t == 0 ? 1.f : 0.f;
+    row[5] = tokens[t].kind == TokenKind::kWord ? 1.f : 0.f;
+    row[6] = tokens[t].kind == TokenKind::kPunct ? 1.f : 0.f;
+    row[7] = (tokens[t].kind == TokenKind::kHashtag ||
+              tokens[t].kind == TokenKind::kMention)
+                 ? 1.f
+                 : 0.f;
+    row[8] = std::min<float>(static_cast<float>(w.size()) / 12.f, 1.f);
+    row[9] = tokens[t].kind == TokenKind::kUrl ? 1.f : 0.f;
+  }
+  return f;
+}
+
+Mat AguilarNetSystem::LexFeatures(const std::vector<Token>& tokens) const {
+  Mat f(static_cast<int>(tokens.size()), Gazetteer::kNumLists);
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    // Token-level membership plus short phrase lookahead (bigram), mirroring
+    // the gazetteer encoding of Aguilar et al.
+    std::string uni = ToLowerAscii(tokens[t].text);
+    auto vec = gazetteer_->FeatureVector(uni);
+    if (t + 1 < tokens.size()) {
+      const auto bi =
+          gazetteer_->FeatureVector(uni + " " + ToLowerAscii(tokens[t + 1].text));
+      for (int k = 0; k < Gazetteer::kNumLists; ++k) vec[k] = std::max(vec[k], bi[k]);
+    }
+    if (gazetteer_->TokenInAnyName(uni)) {
+      vec[Gazetteer::kNumLists - 1] = std::max(vec[Gazetteer::kNumLists - 1], 0.5f);
+    }
+    for (int k = 0; k < Gazetteer::kNumLists; ++k) f(static_cast<int>(t), k) = vec[k];
+  }
+  return f;
+}
+
+Mat AguilarNetSystem::ForwardToDense(const std::vector<Token>& tokens, bool training) {
+  const int T = static_cast<int>(tokens.size());
+  // Word ids (lowercased).
+  std::vector<int> word_ids(T);
+  for (int t = 0; t < T; ++t) {
+    word_ids[t] = word_vocab_.Id(ToLowerAscii(tokens[t].text));
+  }
+  Mat word = word_emb_->Forward(word_ids);
+
+  // Char path: flatten all tokens' characters.
+  std::vector<int> char_ids;
+  std::vector<int> lengths(T);
+  for (int t = 0; t < T; ++t) {
+    const std::string& w = tokens[t].text;
+    lengths[t] = std::max<int>(1, static_cast<int>(w.size()));
+    if (w.empty()) {
+      char_ids.push_back(Vocabulary::kUnkId);
+    } else {
+      for (char c : w) char_ids.push_back(char_vocab_.Id(std::string(1, c)));
+    }
+  }
+  Mat chars = char_emb_->Forward(char_ids);
+  Mat char_feat = char_cnn_->ForwardBatch(chars, lengths);
+
+  // POS path (predicted tags, as the paper uses TweeboParser output).
+  const std::vector<PosTag> pos = tagger_->Tag(tokens);
+  std::vector<int> pos_ids(T);
+  for (int t = 0; t < T; ++t) pos_ids[t] = 2 + static_cast<int>(pos[t]);
+  Mat pos_feat = pos_emb_->Forward(pos_ids);
+
+  Mat shape = ShapeFeatures(tokens);
+  Mat lex = lex_relu_.Forward(lex_dense_->Forward(LexFeatures(tokens)));
+
+  concat_dims_[0] = word.cols();
+  concat_dims_[1] = char_feat.cols();
+  concat_dims_[2] = pos_feat.cols();
+  concat_dims_[3] = shape.cols();
+
+  Mat x = ConcatCols(ConcatCols(ConcatCols(ConcatCols(word, char_feat), pos_feat),
+                                shape),
+                     lex);
+  x = dropout_.Forward(x, training, &model_rng_);
+  Mat h = bilstm_->Forward(x);
+  return dense_relu_.Forward(dense_->Forward(h));
+}
+
+void AguilarNetSystem::Train(const Dataset& corpus, const AguilarTrainOptions& options,
+                             const SkipGram* pretrained) {
+  // Vocabularies from the training corpus.
+  std::unordered_map<std::string, int> word_counts;
+  std::unordered_map<std::string, int> char_counts;
+  for (const auto& tweet : corpus.tweets) {
+    for (const auto& tok : tweet.tokens) {
+      ++word_counts[ToLowerAscii(tok.text)];
+      for (char c : tok.text) ++char_counts[std::string(1, c)];
+    }
+  }
+  word_vocab_ = Vocabulary::FromCounts(word_counts, options_.min_word_count);
+  char_vocab_ = Vocabulary::FromCounts(char_counts, 1);
+  BuildModel();
+  if (pretrained != nullptr) {
+    const int rows = pretrained->InitializeTable(word_vocab_, &word_emb_->table());
+    EMD_LOG(Info) << "initialized " << rows << "/" << word_vocab_.size()
+                  << " word embeddings from pretraining";
+  }
+
+  ParamSet params;
+  word_emb_->CollectParams(&params);
+  char_emb_->CollectParams(&params);
+  char_cnn_->CollectParams(&params);
+  pos_emb_->CollectParams(&params);
+  lex_dense_->CollectParams(&params);
+  bilstm_->CollectParams(&params);
+  dense_->CollectParams(&params);
+  out_->CollectParams(&params);
+  crf_->CollectParams(&params);
+
+  AdamOptimizer adam(options.learning_rate);
+  Rng rng(options.seed);
+  std::vector<size_t> order(corpus.tweets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double total_loss = 0;
+    long count = 0;
+    for (size_t idx : order) {
+      const AnnotatedTweet& tweet = corpus.tweets[idx];
+      if (tweet.tokens.empty()) continue;
+      std::vector<TokenSpan> spans;
+      for (const auto& g : tweet.gold) spans.push_back(g.span);
+      const std::vector<int> gold = SpansToBio(spans, tweet.tokens.size());
+
+      params.ZeroGrads();
+      Mat dense_out = ForwardToDense(tweet.tokens, /*training=*/true);
+      Mat emissions = out_->Forward(dense_out);
+      Mat demissions;
+      total_loss += crf_->NegLogLikelihood(emissions, gold, &demissions);
+      ++count;
+
+      Mat ddense = out_->Backward(demissions);
+      Mat dh = dense_->Backward(dense_relu_.Backward(ddense));
+      Mat dx = dropout_.Backward(bilstm_->Backward(dh));
+
+      int off = 0;
+      Mat dword = SliceCols(dx, off, off + concat_dims_[0]);
+      off += concat_dims_[0];
+      Mat dchar = SliceCols(dx, off, off + concat_dims_[1]);
+      off += concat_dims_[1];
+      Mat dpos = SliceCols(dx, off, off + concat_dims_[2]);
+      off += concat_dims_[2];
+      off += concat_dims_[3];  // shape features: no parameters
+      Mat dlex = SliceCols(dx, off, dx.cols());
+
+      word_emb_->Backward(dword);
+      char_emb_->Backward(char_cnn_->BackwardBatch(dchar));
+      pos_emb_->Backward(dpos);
+      lex_dense_->Backward(lex_relu_.Backward(dlex));
+
+      params.ClipGradNorm(options.clip_norm);
+      adam.Step(&params);
+    }
+    EMD_LOG(Info) << "AguilarNet epoch " << epoch << " loss/tweet "
+                  << total_loss / std::max<long>(1, count);
+  }
+  trained_ = true;
+}
+
+LocalEmdResult AguilarNetSystem::Process(const std::vector<Token>& tokens) {
+  LocalEmdResult result;
+  if (tokens.empty()) return result;
+  EMD_CHECK(trained_) << "AguilarNetSystem used before Train()/Load()";
+  Mat dense_out = ForwardToDense(tokens, /*training=*/false);
+  Mat emissions = out_->Forward(dense_out);
+  result.mentions = BioToSpans(crf_->Viterbi(emissions));
+  result.token_embeddings = std::move(dense_out);
+  return result;
+}
+
+double AguilarNetSystem::EvalLoss(const Dataset& corpus) {
+  double total = 0;
+  long count = 0;
+  for (const auto& tweet : corpus.tweets) {
+    if (tweet.tokens.empty()) continue;
+    std::vector<TokenSpan> spans;
+    for (const auto& g : tweet.gold) spans.push_back(g.span);
+    const std::vector<int> gold = SpansToBio(spans, tweet.tokens.size());
+    Mat emissions = out_->Forward(ForwardToDense(tweet.tokens, false));
+    Mat demissions;
+    total += crf_->NegLogLikelihood(emissions, gold, &demissions);
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / count;
+}
+
+Status AguilarNetSystem::Save(const std::string& path) const {
+  auto* self = const_cast<AguilarNetSystem*>(this);
+  EMD_RETURN_IF_ERROR(
+      WriteStringToFile(path + ".wv", word_vocab_.Serialize()));
+  EMD_RETURN_IF_ERROR(
+      WriteStringToFile(path + ".cv", char_vocab_.Serialize()));
+  ParamSet params;
+  self->word_emb_->CollectParams(&params);
+  self->char_emb_->CollectParams(&params);
+  self->char_cnn_->CollectParams(&params);
+  self->pos_emb_->CollectParams(&params);
+  self->lex_dense_->CollectParams(&params);
+  self->bilstm_->CollectParams(&params);
+  self->dense_->CollectParams(&params);
+  self->out_->CollectParams(&params);
+  self->crf_->CollectParams(&params);
+  return SaveParams(params, path);
+}
+
+Status AguilarNetSystem::Load(const std::string& path) {
+  EMD_ASSIGN_OR_RETURN(std::string wv, ReadFileToString(path + ".wv"));
+  EMD_ASSIGN_OR_RETURN(word_vocab_, Vocabulary::Deserialize(wv));
+  EMD_ASSIGN_OR_RETURN(std::string cv, ReadFileToString(path + ".cv"));
+  EMD_ASSIGN_OR_RETURN(char_vocab_, Vocabulary::Deserialize(cv));
+  BuildModel();
+  ParamSet params;
+  word_emb_->CollectParams(&params);
+  char_emb_->CollectParams(&params);
+  char_cnn_->CollectParams(&params);
+  pos_emb_->CollectParams(&params);
+  lex_dense_->CollectParams(&params);
+  bilstm_->CollectParams(&params);
+  dense_->CollectParams(&params);
+  out_->CollectParams(&params);
+  crf_->CollectParams(&params);
+  EMD_RETURN_IF_ERROR(LoadParams(&params, path));
+  trained_ = true;
+  return Status::OK();
+}
+
+}  // namespace emd

@@ -1,0 +1,129 @@
+// AguilarNetSystem: multi-task deep local EMD (instantiation 3, §IV-A) —
+// the stand-in for Aguilar et al. 2017 (WNUT17 winner).
+//
+// Architecture, mirroring the paper's description:
+//   (a) character-level representation: char embeddings -> CNN (+ implicit
+//       orthographic signal via the shape feature block),
+//   (b) token-level representation: word embeddings -> BiLSTM, concatenated
+//       with a POS-tag embedding (PosTagger stands in for TweeboParser),
+//   (c) lexical representation: 6-dim gazetteer vector -> dense + ReLU.
+// The concatenation feeds a common dense layer whose activations are the
+// token-level "entity-aware embeddings" (dim 100) handed to Global EMD,
+// followed by a linear layer and a CRF for BIO sequence labeling.
+
+#ifndef EMD_EMD_AGUILAR_NET_H_
+#define EMD_EMD_AGUILAR_NET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "text/bio.h"
+#include "emd/local_emd_system.h"
+#include "emd/pos_tagger.h"
+#include "nn/char_cnn.h"
+#include "nn/crf.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/activations.h"
+#include "nn/optimizer.h"
+#include "nn/word2vec.h"
+#include "stream/annotated_tweet.h"
+#include "stream/gazetteer.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace emd {
+
+struct AguilarNetOptions {
+  int word_dim = 50;
+  int char_dim = 16;
+  int char_filters = 20;
+  int char_kernel = 3;
+  int pos_dim = 8;
+  int lstm_hidden = 50;   // BiLSTM output = 100
+  int dense_dim = 100;    // the paper's 100-dim entity-aware embedding
+  int lex_dim = 8;        // gazetteer dense layer width
+  float dropout = 0.25f;
+  int min_word_count = 2;
+  uint64_t seed = 23;
+};
+
+struct AguilarTrainOptions {
+  int epochs = 6;
+  float learning_rate = 1e-3f;
+  float clip_norm = 5.f;
+  uint64_t seed = 29;
+};
+
+class AguilarNetSystem : public LocalEmdSystem {
+ public:
+  AguilarNetSystem(const PosTagger* tagger, const Gazetteer* gazetteer,
+                   AguilarNetOptions options = {});
+
+  /// Builds vocabularies from `corpus` and trains end-to-end. When
+  /// `pretrained` is given, word embeddings are initialized from it (the
+  /// paper's Aguilar et al. consumes pretrained Twitter embeddings of
+  /// Godin et al.); they remain trainable.
+  void Train(const Dataset& corpus, const AguilarTrainOptions& options = {},
+             const SkipGram* pretrained = nullptr);
+
+  std::string name() const override { return "Aguilar et al."; }
+  bool is_deep() const override { return true; }
+  int embedding_dim() const override { return options_.dense_dim; }
+  LocalEmdResult Process(const std::vector<Token>& tokens) override;
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+  bool trained() const { return trained_; }
+
+  /// Average BIO-token NLL per tweet on a labelled dataset (diagnostic).
+  double EvalLoss(const Dataset& corpus);
+
+ private:
+  static constexpr int kShapeDim = 10;
+
+  /// Forward to the dense entity-aware layer; fills caches for Backward.
+  /// Returns dense activations [T, dense_dim].
+  Mat ForwardToDense(const std::vector<Token>& tokens, bool training);
+
+  /// Hand-built orthographic shape features [T, kShapeDim].
+  Mat ShapeFeatures(const std::vector<Token>& tokens) const;
+
+  /// Gazetteer features [T, 6].
+  Mat LexFeatures(const std::vector<Token>& tokens) const;
+
+  void BuildModel();
+
+  const PosTagger* tagger_;
+  const Gazetteer* gazetteer_;
+  AguilarNetOptions options_;
+  bool trained_ = false;
+
+  Vocabulary word_vocab_;
+  Vocabulary char_vocab_;
+
+  std::unique_ptr<Embedding> word_emb_;
+  std::unique_ptr<Embedding> char_emb_;
+  std::unique_ptr<CharCnn> char_cnn_;
+  std::unique_ptr<Embedding> pos_emb_;
+  std::unique_ptr<Linear> lex_dense_;
+  ReluLayer lex_relu_;
+  std::unique_ptr<BiLstm> bilstm_;
+  std::unique_ptr<Linear> dense_;
+  ReluLayer dense_relu_;
+  std::unique_ptr<Linear> out_;
+  std::unique_ptr<LinearChainCrf> crf_;
+  Dropout dropout_{0.25f};
+  Rng model_rng_{23};
+
+  // Per-sentence forward caches (training).
+  std::vector<std::vector<int>> char_ids_cache_;
+  int concat_dims_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace emd
+
+#endif  // EMD_EMD_AGUILAR_NET_H_

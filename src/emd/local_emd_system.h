@@ -1,0 +1,49 @@
+// LocalEmdSystem: the pluggable "Local EMD" interface of the framework (§IV).
+//
+// Any system that (a) labels entity-mention spans in one tweet-sentence at a
+// time and (b), if deep, exposes its penultimate-layer token embeddings, can
+// be inserted into the EMD Globalizer unchanged. The four instantiations of
+// the paper map to NpChunkerSystem, TwitterNlpSystem, AguilarNetSystem and
+// MiniBertweetSystem.
+
+#ifndef EMD_EMD_LOCAL_EMD_SYSTEM_H_
+#define EMD_EMD_LOCAL_EMD_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "text/token.h"
+
+namespace emd {
+
+/// Output of processing one tweet-sentence.
+struct LocalEmdResult {
+  /// Predicted entity-mention spans.
+  std::vector<TokenSpan> mentions;
+  /// "Entity-aware" token embeddings [T, d] from the final pre-classification
+  /// layer (§IV). Empty for non-deep systems.
+  Mat token_embeddings;
+};
+
+/// Interface implemented by every local EMD instantiation.
+class LocalEmdSystem {
+ public:
+  virtual ~LocalEmdSystem() = default;
+
+  /// Human-readable system name as used in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// True when the system produces token-level contextual embeddings.
+  virtual bool is_deep() const = 0;
+
+  /// Dimension of token embeddings (0 for non-deep systems).
+  virtual int embedding_dim() const = 0;
+
+  /// Processes one tweet-sentence in isolation.
+  virtual LocalEmdResult Process(const std::vector<Token>& tokens) = 0;
+};
+
+}  // namespace emd
+
+#endif  // EMD_EMD_LOCAL_EMD_SYSTEM_H_

@@ -1,0 +1,198 @@
+#include "emd/pos_tagger.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+// Deterministic token-kind fast path: these kinds map to one tag.
+bool KindForcesTag(const Token& tok, PosTag* tag) {
+  switch (tok.kind) {
+    case TokenKind::kMention:
+      *tag = PosTag::kMention;
+      return true;
+    case TokenKind::kHashtag:
+      *tag = PosTag::kHashtag;
+      return true;
+    case TokenKind::kUrl:
+      *tag = PosTag::kUrl;
+      return true;
+    case TokenKind::kEmoticon:
+      *tag = PosTag::kEmoticon;
+      return true;
+    case TokenKind::kPunct:
+      *tag = PosTag::kPunct;
+      return true;
+    case TokenKind::kNumber:
+      *tag = PosTag::kNum;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PosTagger::Features(const std::vector<Token>& tokens,
+                                             size_t t, PosTag prev_tag) const {
+  const std::string lower = ToLowerAscii(tokens[t].text);
+  std::vector<std::string> feats;
+  feats.reserve(12);
+  feats.push_back("w=" + lower);
+  feats.push_back("shape=" + WordShape(tokens[t].text));
+  if (lower.size() >= 2) feats.push_back("suf2=" + lower.substr(lower.size() - 2));
+  if (lower.size() >= 3) feats.push_back("suf3=" + lower.substr(lower.size() - 3));
+  feats.push_back(std::string("cap=") +
+                  (IsUpperAscii(tokens[t].text.empty() ? 'a' : tokens[t].text[0]) ? "1"
+                                                                                  : "0"));
+  feats.push_back(std::string("start=") + (t == 0 ? "1" : "0"));
+  feats.push_back(std::string("prev_tag=") + PosTagName(prev_tag));
+  feats.push_back("prev_w=" +
+                  (t > 0 ? ToLowerAscii(tokens[t - 1].text) : std::string("<s>")));
+  feats.push_back("next_w=" + (t + 1 < tokens.size()
+                                   ? ToLowerAscii(tokens[t + 1].text)
+                                   : std::string("</s>")));
+  feats.push_back("bias");
+  return feats;
+}
+
+int PosTagger::Predict(const std::vector<std::string>& feats) const {
+  std::vector<float> scores(kNumPosTags, 0.f);
+  for (const auto& f : feats) {
+    auto it = weights_.find(f);
+    if (it == weights_.end()) continue;
+    for (int k = 0; k < kNumPosTags; ++k) scores[k] += it->second[k];
+  }
+  int best = 0;
+  for (int k = 1; k < kNumPosTags; ++k) {
+    if (scores[k] > scores[best]) best = k;
+  }
+  return best;
+}
+
+void PosTagger::Train(const Dataset& corpus, const PosTaggerTrainOptions& options) {
+  // Averaged perceptron with lazily-updated accumulators.
+  std::unordered_map<std::string, std::vector<float>> totals;
+  std::unordered_map<std::string, std::vector<long>> stamps;
+  long step = 0;
+  Rng rng(options.seed);
+
+  auto update = [&](const std::string& feat, int tag, float delta) {
+    auto& w = weights_[feat];
+    auto& tot = totals[feat];
+    auto& st = stamps[feat];
+    if (w.empty()) {
+      w.assign(kNumPosTags, 0.f);
+      tot.assign(kNumPosTags, 0.f);
+      st.assign(kNumPosTags, 0);
+    }
+    tot[tag] += static_cast<float>(step - st[tag]) * w[tag];
+    st[tag] = step;
+    w[tag] += delta;
+  };
+
+  std::vector<size_t> order(corpus.tweets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const AnnotatedTweet& tweet = corpus.tweets[idx];
+      EMD_CHECK_EQ(tweet.silver_pos.size(), tweet.tokens.size());
+      PosTag prev = PosTag::kPunct;
+      for (size_t t = 0; t < tweet.tokens.size(); ++t) {
+        PosTag forced;
+        if (KindForcesTag(tweet.tokens[t], &forced)) {
+          prev = forced;
+          continue;
+        }
+        ++step;
+        const auto feats = Features(tweet.tokens, t, prev);
+        const int pred = Predict(feats);
+        const int gold = static_cast<int>(tweet.silver_pos[t]);
+        if (pred != gold) {
+          for (const auto& f : feats) {
+            update(f, gold, 1.f);
+            update(f, pred, -1.f);
+          }
+        }
+        // Greedy decoding uses the model's own prediction as context.
+        prev = static_cast<PosTag>(pred);
+      }
+    }
+  }
+  // Finalize averaging.
+  for (auto& [feat, w] : weights_) {
+    auto& tot = totals[feat];
+    auto& st = stamps[feat];
+    for (int k = 0; k < kNumPosTags; ++k) {
+      tot[k] += static_cast<float>(step - st[k]) * w[k];
+      w[k] = step > 0 ? tot[k] / static_cast<float>(step) : w[k];
+    }
+  }
+}
+
+std::vector<PosTag> PosTagger::Tag(const std::vector<Token>& tokens) const {
+  std::vector<PosTag> tags(tokens.size(), PosTag::kNoun);
+  PosTag prev = PosTag::kPunct;
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    PosTag forced;
+    if (KindForcesTag(tokens[t], &forced)) {
+      tags[t] = forced;
+      prev = forced;
+      continue;
+    }
+    tags[t] = static_cast<PosTag>(Predict(Features(tokens, t, prev)));
+    prev = tags[t];
+  }
+  return tags;
+}
+
+double PosTagger::Accuracy(const Dataset& corpus) const {
+  long correct = 0, total = 0;
+  for (const auto& tweet : corpus.tweets) {
+    const auto tags = Tag(tweet.tokens);
+    for (size_t t = 0; t < tags.size(); ++t) {
+      ++total;
+      if (tags[t] == tweet.silver_pos[t]) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+Status PosTagger::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: ", path);
+  out << weights_.size() << "\n";
+  for (const auto& [feat, w] : weights_) {
+    out << feat;
+    for (float v : w) out << ' ' << v;
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: ", path);
+  return Status::OK();
+}
+
+Status PosTagger::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: ", path);
+  size_t n = 0;
+  in >> n;
+  weights_.clear();
+  weights_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string feat;
+    in >> feat;
+    std::vector<float> w(kNumPosTags);
+    for (auto& v : w) in >> v;
+    if (!in) return Status::Corruption("truncated pos tagger model: ", path);
+    weights_.emplace(std::move(feat), std::move(w));
+  }
+  return Status::OK();
+}
+
+}  // namespace emd

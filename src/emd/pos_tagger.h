@@ -1,0 +1,58 @@
+// PosTagger: averaged-perceptron part-of-speech tagger for tweets — the
+// stand-in for TweeboParser (Kong et al. 2014). Trained on the generator's
+// silver tags over the training corpus; consumed by the NP Chunker and the
+// TwitterNLP-style CRF as a feature source.
+
+#ifndef EMD_EMD_POS_TAGGER_H_
+#define EMD_EMD_POS_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "text/pos_tags.h"
+#include "text/token.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emd {
+
+struct PosTaggerTrainOptions {
+  int epochs = 5;
+  uint64_t seed = 3;
+};
+
+/// Greedy left-to-right averaged perceptron with lexical/orthographic/context
+/// features.
+class PosTagger {
+ public:
+  /// Trains on `corpus` (uses tweet.silver_pos as gold).
+  void Train(const Dataset& corpus, const PosTaggerTrainOptions& options = {});
+
+  /// Tags a tokenized sentence.
+  std::vector<PosTag> Tag(const std::vector<Token>& tokens) const;
+
+  /// Fraction of correctly tagged tokens on a labelled dataset.
+  double Accuracy(const Dataset& corpus) const;
+
+  /// Serialization of the averaged weights.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  bool trained() const { return !weights_.empty(); }
+
+ private:
+  /// Feature strings for token `t` given the previous predicted tag.
+  std::vector<std::string> Features(const std::vector<Token>& tokens, size_t t,
+                                    PosTag prev_tag) const;
+
+  int Predict(const std::vector<std::string>& feats) const;
+
+  // weights_[feature] = per-tag weight vector.
+  std::unordered_map<std::string, std::vector<float>> weights_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_EMD_POS_TAGGER_H_

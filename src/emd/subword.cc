@@ -1,0 +1,75 @@
+#include "emd/subword.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace emd {
+
+SubwordTokenizer SubwordTokenizer::Build(const Dataset& corpus, int min_word_count) {
+  std::unordered_map<std::string, int> word_counts;
+  std::unordered_map<std::string, int> suffix_counts;
+  for (const auto& tweet : corpus.tweets) {
+    for (const auto& tok : tweet.tokens) {
+      const std::string lower = ToLowerAscii(tok.text);
+      ++word_counts[lower];
+      for (size_t len = 2; len <= 4 && len < lower.size(); ++len) {
+        ++suffix_counts["##" + lower.substr(lower.size() - len)];
+      }
+    }
+  }
+  SubwordTokenizer st;
+  // Single characters guarantee total coverage of printable ASCII.
+  for (int c = 33; c < 127; ++c) {
+    st.vocab_.Add(std::string(1, static_cast<char>(c)));
+    st.vocab_.Add("##" + std::string(1, static_cast<char>(c)));
+  }
+  for (const auto& [suffix, count] : suffix_counts) {
+    if (count >= min_word_count * 4) st.vocab_.Add(suffix);
+  }
+  for (const auto& [word, count] : word_counts) {
+    if (count >= min_word_count) st.vocab_.Add(word);
+  }
+  return st;
+}
+
+SubwordSplit SubwordTokenizer::Split(const std::string& word) const {
+  SubwordSplit split;
+  const std::string lower = ToLowerAscii(word);
+  if (lower.empty()) {
+    split.piece_ids.push_back(Vocabulary::kUnkId);
+    return split;
+  }
+  size_t pos = 0;
+  while (pos < lower.size()) {
+    // Greedy longest match; continuation pieces carry the "##" prefix.
+    size_t best_len = 0;
+    int best_id = Vocabulary::kUnkId;
+    const std::string prefix = pos == 0 ? "" : "##";
+    for (size_t len = lower.size() - pos; len >= 1; --len) {
+      const std::string piece = prefix + lower.substr(pos, len);
+      if (vocab_.Contains(piece)) {
+        best_len = len;
+        best_id = vocab_.Id(piece);
+        break;
+      }
+    }
+    if (best_len == 0) {
+      // Non-ASCII or unseen char: emit <unk> for a single char.
+      best_len = 1;
+      best_id = Vocabulary::kUnkId;
+    }
+    split.piece_ids.push_back(best_id);
+    pos += best_len;
+  }
+  return split;
+}
+
+Result<SubwordTokenizer> SubwordTokenizer::Deserialize(const std::string& data) {
+  EMD_ASSIGN_OR_RETURN(Vocabulary vocab, Vocabulary::Deserialize(data));
+  SubwordTokenizer st;
+  st.vocab_ = std::move(vocab);
+  return st;
+}
+
+}  // namespace emd

@@ -1,0 +1,44 @@
+// SubwordTokenizer: greedy longest-match wordpiece segmentation — the
+// fastBPE stand-in for MiniBertweet. The vocabulary contains frequent full
+// words plus every single character (as both word-initial and "##"
+// continuation pieces), so segmentation always succeeds.
+
+#ifndef EMD_EMD_SUBWORD_H_
+#define EMD_EMD_SUBWORD_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "text/vocabulary.h"
+
+namespace emd {
+
+/// A word segmented into subword piece ids.
+struct SubwordSplit {
+  std::vector<int> piece_ids;
+};
+
+class SubwordTokenizer {
+ public:
+  /// Builds the piece vocabulary from a corpus: words with count >=
+  /// `min_word_count` become whole pieces; common suffixes (2-4 chars) and
+  /// all single characters are added as continuation pieces.
+  static SubwordTokenizer Build(const Dataset& corpus, int min_word_count = 3);
+
+  /// Segments one word (case-folded) into piece ids.
+  SubwordSplit Split(const std::string& word) const;
+
+  const Vocabulary& vocab() const { return vocab_; }
+  int vocab_size() const { return vocab_.size(); }
+
+  std::string Serialize() const { return vocab_.Serialize(); }
+  static Result<SubwordTokenizer> Deserialize(const std::string& data);
+
+ private:
+  Vocabulary vocab_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_EMD_SUBWORD_H_

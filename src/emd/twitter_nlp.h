@@ -1,0 +1,90 @@
+// TwitterNlpSystem: CRF-based local EMD (instantiation 2, §IV-A) — the
+// stand-in for TwitterNLP (Ritter et al. 2011).
+//
+// Rebuilds the classical pipeline with tweet-specific considerations:
+//   T-POS   — PosTagger features,
+//   T-CAP   — a capitalization-informativeness classifier over the sentence,
+//   T-SEG   — a feature-rich linear-chain CRF with orthographic, contextual,
+//             dictionary (gazetteer) and Brown-cluster-like features
+//             producing BIO segmentation.
+
+#ifndef EMD_EMD_TWITTER_NLP_H_
+#define EMD_EMD_TWITTER_NLP_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/bio.h"
+#include "emd/local_emd_system.h"
+#include "emd/pos_tagger.h"
+#include "nn/crf.h"
+#include "stream/annotated_tweet.h"
+#include "stream/gazetteer.h"
+#include "util/status.h"
+
+namespace emd {
+
+/// T-CAP: logistic classifier judging whether a sentence's capitalization is
+/// informative (TwitterNLP trains this as an SVM; the decision geometry is
+/// the same).
+class CapClassifier {
+ public:
+  void Train(const Dataset& corpus, int epochs = 30);
+  /// P(capitalization is informative) for the sentence.
+  float Informative(const std::vector<Token>& tokens) const;
+
+  std::array<float, 4> weights() const { return w_; }
+  void set_weights(const std::array<float, 4>& w) { w_ = w; }
+
+ private:
+  static std::array<float, 3> SentenceFeatures(const std::vector<Token>& tokens);
+  std::array<float, 4> w_{};  // 3 features + bias
+};
+
+struct TwitterNlpTrainOptions {
+  int epochs = 6;
+  float learning_rate = 0.15f;
+  float l2 = 1e-6f;
+  uint64_t seed = 5;
+};
+
+class TwitterNlpSystem : public LocalEmdSystem {
+ public:
+  /// `tagger` and `gazetteer` must be trained/built and outlive the system.
+  TwitterNlpSystem(const PosTagger* tagger, const Gazetteer* gazetteer);
+
+  /// Trains T-CAP and the T-SEG CRF on the annotated corpus.
+  void Train(const Dataset& corpus, const TwitterNlpTrainOptions& options = {});
+
+  std::string name() const override { return "TwitterNLP"; }
+  bool is_deep() const override { return false; }
+  int embedding_dim() const override { return 0; }
+  LocalEmdResult Process(const std::vector<Token>& tokens) override;
+
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+  bool trained() const { return !feature_ids_.empty(); }
+
+ private:
+  /// Sparse feature ids per token; unseen features are added when
+  /// `add_features` (training) and skipped otherwise.
+  std::vector<std::vector<int>> ExtractFeatures(const std::vector<Token>& tokens,
+                                                bool add_features);
+
+  /// Emission matrix [T, 3] from current weights.
+  Mat Emissions(const std::vector<std::vector<int>>& features) const;
+
+  const PosTagger* tagger_;
+  const Gazetteer* gazetteer_;
+  CapClassifier tcap_;
+  std::unordered_map<std::string, int> feature_ids_;
+  std::vector<std::array<float, kNumBioLabels>> weights_;
+  std::unique_ptr<LinearChainCrf> crf_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_EMD_TWITTER_NLP_H_

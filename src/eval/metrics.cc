@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+PrfScores ScoresFromCounts(long tp, long fp, long fn) {
+  PrfScores s;
+  s.tp = tp;
+  s.fp = fp;
+  s.fn = fn;
+  s.precision = tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  s.recall = tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  s.f1 = s.precision + s.recall == 0
+             ? 0.0
+             : 2 * s.precision * s.recall / (s.precision + s.recall);
+  return s;
+}
+
+PrfScores EvaluateMentions(const Dataset& dataset,
+                           const std::vector<std::vector<TokenSpan>>& predicted) {
+  EMD_CHECK_EQ(predicted.size(), dataset.tweets.size());
+  long tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < dataset.tweets.size(); ++i) {
+    std::set<TokenSpan> gold;
+    for (const auto& g : dataset.tweets[i].gold) gold.insert(g.span);
+    std::set<TokenSpan> pred(predicted[i].begin(), predicted[i].end());
+    for (const auto& span : pred) {
+      if (gold.count(span)) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+    for (const auto& span : gold) {
+      if (!pred.count(span)) ++fn;
+    }
+  }
+  return ScoresFromCounts(tp, fp, fn);
+}
+
+PrfScores EvaluateUniqueSurfaces(
+    const Dataset& dataset, const std::vector<std::vector<TokenSpan>>& predicted) {
+  EMD_CHECK_EQ(predicted.size(), dataset.tweets.size());
+  std::unordered_set<std::string> gold, pred;
+  for (size_t i = 0; i < dataset.tweets.size(); ++i) {
+    const auto& tokens = dataset.tweets[i].tokens;
+    for (const auto& g : dataset.tweets[i].gold) {
+      gold.insert(ToLowerAscii(SpanText(tokens, g.span)));
+    }
+    for (const auto& span : predicted[i]) {
+      pred.insert(ToLowerAscii(SpanText(tokens, span)));
+    }
+  }
+  long tp = 0, fp = 0, fn = 0;
+  for (const auto& s : pred) {
+    if (gold.count(s)) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  for (const auto& s : gold) {
+    if (!pred.count(s)) ++fn;
+  }
+  return ScoresFromCounts(tp, fp, fn);
+}
+
+}  // namespace emd

@@ -1,0 +1,41 @@
+// EMD effectiveness metrics (§VI "Performance Metrics"): precision, recall
+// and F1 over entity-mention detection, plus the WNUT-style unique-surface
+// variant. The framework does no entity typing, so matching is span-exact
+// without type comparison.
+
+#ifndef EMD_EVAL_METRICS_H_
+#define EMD_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "text/token.h"
+
+namespace emd {
+
+struct PrfScores {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  long tp = 0;
+  long fp = 0;
+  long fn = 0;
+};
+
+/// Occurrence-level scores: every predicted span must exactly match a gold
+/// span of the same tweet ("detection of all occurrences of entities in
+/// their various string forms").
+PrfScores EvaluateMentions(const Dataset& dataset,
+                           const std::vector<std::vector<TokenSpan>>& predicted);
+
+/// WNUT "surface" variant: each unique case-folded surface form counts once
+/// on each side.
+PrfScores EvaluateUniqueSurfaces(const Dataset& dataset,
+                                 const std::vector<std::vector<TokenSpan>>& predicted);
+
+/// F1 from counts.
+PrfScores ScoresFromCounts(long tp, long fp, long fn);
+
+}  // namespace emd
+
+#endif  // EMD_EVAL_METRICS_H_

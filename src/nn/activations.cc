@@ -1,0 +1,56 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace emd {
+
+Mat ReluLayer::Forward(const Mat& x) {
+  mask_ = Mat(x.rows(), x.cols());
+  Mat y(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x.data()[i] > 0) {
+      y.data()[i] = x.data()[i];
+      mask_.data()[i] = 1.f;
+    }
+  }
+  return y;
+}
+
+Mat ReluLayer::Backward(const Mat& dy) const {
+  EMD_CHECK(dy.SameShape(mask_));
+  return Hadamard(dy, mask_);
+}
+
+Mat SigmoidLayer::Forward(const Mat& x) {
+  y_ = Mat(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) y_.data()[i] = SigmoidScalar(x.data()[i]);
+  return y_;
+}
+
+Mat SigmoidLayer::Backward(const Mat& dy) const {
+  EMD_CHECK(dy.SameShape(y_));
+  Mat dx(dy.rows(), dy.cols());
+  for (size_t i = 0; i < dy.size(); ++i) {
+    float y = y_.data()[i];
+    dx.data()[i] = dy.data()[i] * y * (1.f - y);
+  }
+  return dx;
+}
+
+Mat TanhLayer::Forward(const Mat& x) {
+  y_ = Mat(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) y_.data()[i] = std::tanh(x.data()[i]);
+  return y_;
+}
+
+Mat TanhLayer::Backward(const Mat& dy) const {
+  EMD_CHECK(dy.SameShape(y_));
+  Mat dx(dy.rows(), dy.cols());
+  for (size_t i = 0; i < dy.size(); ++i) {
+    float y = y_.data()[i];
+    dx.data()[i] = dy.data()[i] * (1.f - y * y);
+  }
+  return dx;
+}
+
+}  // namespace emd

@@ -1,0 +1,54 @@
+// Elementwise activation layers with cached backward passes.
+
+#ifndef EMD_NN_ACTIVATIONS_H_
+#define EMD_NN_ACTIVATIONS_H_
+
+#include <cmath>
+
+#include "nn/matrix.h"
+
+namespace emd {
+
+/// max(0, x).
+class ReluLayer {
+ public:
+  Mat Forward(const Mat& x);
+  Mat Backward(const Mat& dy) const;
+
+ private:
+  Mat mask_;
+};
+
+/// 1 / (1 + exp(-x)).
+class SigmoidLayer {
+ public:
+  Mat Forward(const Mat& x);
+  Mat Backward(const Mat& dy) const;
+
+ private:
+  Mat y_;
+};
+
+/// tanh(x).
+class TanhLayer {
+ public:
+  Mat Forward(const Mat& x);
+  Mat Backward(const Mat& dy) const;
+
+ private:
+  Mat y_;
+};
+
+/// Scalar helpers used inside recurrent cells.
+inline float SigmoidScalar(float x) {
+  if (x >= 0) {
+    float z = std::exp(-x);
+    return 1.f / (1.f + z);
+  }
+  float z = std::exp(x);
+  return z / (1.f + z);
+}
+
+}  // namespace emd
+
+#endif  // EMD_NN_ACTIVATIONS_H_

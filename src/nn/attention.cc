@@ -1,0 +1,100 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace emd {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng,
+                                               std::string name)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      d_head_(d_model / num_heads),
+      wq_(d_model, d_model, rng, name + ".wq"),
+      wk_(d_model, d_model, rng, name + ".wk"),
+      wv_(d_model, d_model, rng, name + ".wv"),
+      wo_(d_model, d_model, rng, name + ".wo") {
+  EMD_CHECK_EQ(d_head_ * num_heads, d_model);
+}
+
+Mat MultiHeadSelfAttention::Forward(const Mat& x) {
+  EMD_CHECK_EQ(x.cols(), d_model_);
+  const int T = x.rows();
+  q_ = wq_.Forward(x);
+  k_ = wk_.Forward(x);
+  v_ = wv_.Forward(x);
+  attn_.assign(num_heads_, Mat());
+  Mat context(T, d_model_);
+  const float scale = 1.f / std::sqrt(static_cast<float>(d_head_));
+  for (int h = 0; h < num_heads_; ++h) {
+    const int off = h * d_head_;
+    Mat qh = SliceCols(q_, off, off + d_head_);
+    Mat kh = SliceCols(k_, off, off + d_head_);
+    Mat vh = SliceCols(v_, off, off + d_head_);
+    Mat scores = MatMulBT(qh, kh);  // [T, T]
+    scores.Scale(scale);
+    SoftmaxRowsInPlace(&scores);
+    attn_[h] = scores;
+    Mat ctx = MatMul(scores, vh);  // [T, d_head]
+    for (int r = 0; r < T; ++r) {
+      float* crow = context.row(r) + off;
+      const float* srow = ctx.row(r);
+      for (int j = 0; j < d_head_; ++j) crow[j] = srow[j];
+    }
+  }
+  return wo_.Forward(context);
+}
+
+Mat MultiHeadSelfAttention::Backward(const Mat& dy) {
+  const int T = dy.rows();
+  EMD_CHECK_EQ(dy.cols(), d_model_);
+  Mat dcontext = wo_.Backward(dy);  // [T, d_model]
+  Mat dq(T, d_model_), dk(T, d_model_), dv(T, d_model_);
+  const float scale = 1.f / std::sqrt(static_cast<float>(d_head_));
+  for (int h = 0; h < num_heads_; ++h) {
+    const int off = h * d_head_;
+    Mat kh = SliceCols(k_, off, off + d_head_);
+    Mat vh = SliceCols(v_, off, off + d_head_);
+    Mat qh = SliceCols(q_, off, off + d_head_);
+    Mat dctx = SliceCols(dcontext, off, off + d_head_);  // [T, d_head]
+    const Mat& a = attn_[h];                             // [T, T]
+    // ctx = A V  =>  dA = dctx V^T ; dV = A^T dctx.
+    Mat da = MatMulBT(dctx, vh);       // [T, T]
+    Mat dvh = MatMulAT(a, dctx);       // [T, d_head]
+    // Softmax backward per row: ds = a .* (da - sum(da .* a)).
+    Mat dscores(T, T);
+    for (int r = 0; r < T; ++r) {
+      const float* arow = a.row(r);
+      const float* darow = da.row(r);
+      double dot = 0;
+      for (int c = 0; c < T; ++c) dot += double(darow[c]) * arow[c];
+      float* dsrow = dscores.row(r);
+      for (int c = 0; c < T; ++c) {
+        dsrow[c] = arow[c] * (darow[c] - static_cast<float>(dot));
+      }
+    }
+    dscores.Scale(scale);
+    // scores = Q K^T  =>  dQ = dscores K ; dK = dscores^T Q.
+    Mat dqh = MatMul(dscores, kh);
+    Mat dkh = MatMulAT(dscores, qh);
+    for (int r = 0; r < T; ++r) {
+      for (int j = 0; j < d_head_; ++j) {
+        dq(r, off + j) = dqh(r, j);
+        dk(r, off + j) = dkh(r, j);
+        dv(r, off + j) = dvh(r, j);
+      }
+    }
+  }
+  Mat dx = wq_.Backward(dq);
+  dx.Add(wk_.Backward(dk));
+  dx.Add(wv_.Backward(dv));
+  return dx;
+}
+
+void MultiHeadSelfAttention::CollectParams(ParamSet* params) {
+  wq_.CollectParams(params);
+  wk_.CollectParams(params);
+  wv_.CollectParams(params);
+  wo_.CollectParams(params);
+}
+
+}  // namespace emd

@@ -1,0 +1,42 @@
+// Multi-head scaled-dot-product self-attention with explicit backprop —
+// the core of the MiniBertweet encoder that stands in for BERTweet.
+
+#ifndef EMD_NN_ATTENTION_H_
+#define EMD_NN_ATTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/matrix.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// Self-attention over a [T, d_model] sequence with `num_heads` heads
+/// (d_model must be divisible by num_heads). Output is [T, d_model].
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng,
+                         std::string name = "mhsa");
+
+  Mat Forward(const Mat& x);
+  Mat Backward(const Mat& dy);
+  void CollectParams(ParamSet* params);
+
+  int d_model() const { return d_model_; }
+
+ private:
+  int d_model_;
+  int num_heads_;
+  int d_head_;
+  Linear wq_, wk_, wv_, wo_;
+  // Caches for backward.
+  Mat q_, k_, v_;                 // [T, d_model] post-projection
+  std::vector<Mat> attn_;         // per head: [T, T] softmax weights
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_ATTENTION_H_

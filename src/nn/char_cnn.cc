@@ -1,0 +1,148 @@
+#include "nn/char_cnn.h"
+
+#include <limits>
+
+namespace emd {
+
+CharCnn::CharCnn(int in_dim, int num_filters, int kernel, Rng* rng, std::string name)
+    : name_(std::move(name)),
+      in_dim_(in_dim),
+      kernel_(kernel),
+      w_(kernel * in_dim, num_filters),
+      b_(1, num_filters),
+      dw_(kernel * in_dim, num_filters),
+      db_(1, num_filters) {
+  EMD_CHECK_GE(kernel, 1);
+  w_.InitXavier(rng);
+}
+
+Mat CharCnn::Forward(const Mat& x) {
+  EMD_CHECK_EQ(x.cols(), in_dim_);
+  x_cache_ = x;
+  const int T = x.rows();
+  const int F = b_.cols();
+  // Window starts range over [-(kernel-1)/2, ...] via zero padding; we use
+  // "same" alignment: window w covers input rows [w, w+kernel) with rows
+  // outside [0, T) contributing zeros. Number of windows = T (one per row).
+  Mat out(1, F);
+  argmax_.assign(F, 0);
+  for (int f = 0; f < F; ++f) out(0, f) = -std::numeric_limits<float>::infinity();
+  for (int wstart = 0; wstart < T; ++wstart) {
+    for (int f = 0; f < F; ++f) {
+      float act = b_(0, f);
+      for (int k = 0; k < kernel_; ++k) {
+        const int t = wstart + k;
+        if (t < 0 || t >= T) continue;
+        const float* xrow = x.row(t);
+        const float* wcol = w_.data() + size_t(k) * in_dim_ * w_.cols();
+        // w_ row index = k*in_dim + d; column = f.
+        for (int d = 0; d < in_dim_; ++d) {
+          act += xrow[d] * wcol[size_t(d) * w_.cols() + f];
+        }
+      }
+      if (act > out(0, f)) {
+        out(0, f) = act;
+        argmax_[f] = wstart;
+      }
+    }
+  }
+  return out;
+}
+
+Mat CharCnn::Backward(const Mat& dy) {
+  EMD_CHECK_EQ(dy.rows(), 1);
+  EMD_CHECK_EQ(dy.cols(), b_.cols());
+  const int T = x_cache_.rows();
+  Mat dx(T, in_dim_);
+  for (int f = 0; f < dy.cols(); ++f) {
+    const float g = dy(0, f);
+    if (g == 0.f) continue;
+    db_(0, f) += g;
+    const int wstart = argmax_[f];
+    for (int k = 0; k < kernel_; ++k) {
+      const int t = wstart + k;
+      if (t < 0 || t >= T) continue;
+      const float* xrow = x_cache_.row(t);
+      float* dxrow = dx.row(t);
+      for (int d = 0; d < in_dim_; ++d) {
+        const size_t widx = (size_t(k) * in_dim_ + d) * w_.cols() + f;
+        dw_.data()[widx] += g * xrow[d];
+        dxrow[d] += g * w_.data()[widx];
+      }
+    }
+  }
+  return dx;
+}
+
+Mat CharCnn::ForwardBatch(const Mat& chars, const std::vector<int>& lengths) {
+  EMD_CHECK_EQ(chars.cols(), in_dim_);
+  batch_x_cache_ = chars;
+  batch_lengths_ = lengths;
+  const int F = b_.cols();
+  Mat out(static_cast<int>(lengths.size()), F);
+  batch_argmax_.assign(lengths.size(), std::vector<int>(F, 0));
+  int row0 = 0;
+  for (size_t tok = 0; tok < lengths.size(); ++tok) {
+    const int T = lengths[tok];
+    EMD_CHECK_GT(T, 0);
+    float* orow = out.row(static_cast<int>(tok));
+    for (int f = 0; f < F; ++f) orow[f] = -std::numeric_limits<float>::infinity();
+    for (int wstart = 0; wstart < T; ++wstart) {
+      for (int f = 0; f < F; ++f) {
+        float act = b_(0, f);
+        for (int k = 0; k < kernel_; ++k) {
+          const int t = wstart + k;
+          if (t >= T) continue;
+          const float* xrow = batch_x_cache_.row(row0 + t);
+          for (int d = 0; d < in_dim_; ++d) {
+            act += xrow[d] * w_.data()[(size_t(k) * in_dim_ + d) * w_.cols() + f];
+          }
+        }
+        if (act > orow[f]) {
+          orow[f] = act;
+          batch_argmax_[tok][f] = wstart;
+        }
+      }
+    }
+    row0 += T;
+  }
+  EMD_CHECK_EQ(row0, chars.rows());
+  return out;
+}
+
+Mat CharCnn::BackwardBatch(const Mat& dy) {
+  EMD_CHECK_EQ(dy.rows(), static_cast<int>(batch_lengths_.size()));
+  EMD_CHECK_EQ(dy.cols(), b_.cols());
+  Mat dx(batch_x_cache_.rows(), in_dim_);
+  int row0 = 0;
+  for (size_t tok = 0; tok < batch_lengths_.size(); ++tok) {
+    const int T = batch_lengths_[tok];
+    const float* dyrow = dy.row(static_cast<int>(tok));
+    for (int f = 0; f < dy.cols(); ++f) {
+      const float g = dyrow[f];
+      if (g == 0.f) continue;
+      db_(0, f) += g;
+      const int wstart = batch_argmax_[tok][f];
+      for (int k = 0; k < kernel_; ++k) {
+        const int t = wstart + k;
+        if (t >= T) continue;
+        const float* xrow = batch_x_cache_.row(row0 + t);
+        float* dxrow = dx.row(row0 + t);
+        for (int d = 0; d < in_dim_; ++d) {
+          const size_t widx = (size_t(k) * in_dim_ + d) * w_.cols() + f;
+          dw_.data()[widx] += g * xrow[d];
+          dxrow[d] += g * w_.data()[widx];
+        }
+      }
+    }
+    row0 += T;
+  }
+  return dx;
+}
+
+void CharCnn::CollectParams(ParamSet* params) {
+  params->Register(name_ + ".w", &w_, &dw_);
+  params->Register(name_ + ".b", &b_, &db_);
+}
+
+}  // namespace emd

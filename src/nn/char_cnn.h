@@ -1,0 +1,61 @@
+// CharCnn: 1-D convolution over a character-embedding sequence followed by
+// max-over-time pooling — the character feature extractor of the
+// BiLSTM-CNN-CRF architecture (Ma & Hovy 2016, used by Aguilar et al.).
+
+#ifndef EMD_NN_CHAR_CNN_H_
+#define EMD_NN_CHAR_CNN_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// Convolves filters of width `kernel` over the rows of a [T, in_dim] input
+/// (zero-padded so every position is covered) and max-pools over time,
+/// producing a single [1, num_filters] vector per input sequence.
+class CharCnn {
+ public:
+  CharCnn(int in_dim, int num_filters, int kernel, Rng* rng,
+          std::string name = "char_cnn");
+
+  /// x: [T, in_dim] char embeddings; returns [1, num_filters].
+  Mat Forward(const Mat& x);
+
+  /// dy: [1, num_filters]; returns dx [T, in_dim].
+  Mat Backward(const Mat& dy);
+
+  /// Batched per-token convolution for a whole sentence: `chars` stacks the
+  /// char embeddings of every token ([sum(lengths), in_dim]); returns one
+  /// pooled row per token ([lengths.size(), num_filters]).
+  Mat ForwardBatch(const Mat& chars, const std::vector<int>& lengths);
+
+  /// dy: [num_tokens, num_filters]; returns d chars [sum(lengths), in_dim].
+  Mat BackwardBatch(const Mat& dy);
+
+  void CollectParams(ParamSet* params);
+
+  int num_filters() const { return b_.cols(); }
+
+ private:
+  std::string name_;
+  int in_dim_;
+  int kernel_;
+  Mat w_;  // [kernel * in_dim, num_filters]
+  Mat b_;  // [1, num_filters]
+  Mat dw_, db_;
+  Mat x_cache_;
+  std::vector<int> argmax_;  // winning window start per filter
+
+  // Batched-mode caches.
+  Mat batch_x_cache_;
+  std::vector<int> batch_lengths_;
+  std::vector<std::vector<int>> batch_argmax_;  // per token, per filter
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_CHAR_CNN_H_

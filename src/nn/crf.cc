@@ -1,0 +1,170 @@
+#include "nn/crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emd {
+
+LinearChainCrf::LinearChainCrf(int num_labels, Rng* rng, std::string name)
+    : name_(std::move(name)),
+      num_labels_(num_labels),
+      trans_(num_labels, num_labels),
+      start_(1, num_labels),
+      end_(1, num_labels),
+      dtrans_(num_labels, num_labels),
+      dstart_(1, num_labels),
+      dend_(1, num_labels) {
+  trans_.InitGaussian(rng, 0.01f);
+  start_.InitGaussian(rng, 0.01f);
+  end_.InitGaussian(rng, 0.01f);
+}
+
+double LinearChainCrf::ForwardMessages(const Mat& emissions, Mat* alpha) const {
+  const int T = emissions.rows();
+  const int L = num_labels_;
+  *alpha = Mat(T, L);
+  for (int j = 0; j < L; ++j) (*alpha)(0, j) = start_(0, j) + emissions(0, j);
+  std::vector<float> tmp(L);
+  for (int t = 1; t < T; ++t) {
+    for (int j = 0; j < L; ++j) {
+      for (int i = 0; i < L; ++i) tmp[i] = (*alpha)(t - 1, i) + trans_(i, j);
+      (*alpha)(t, j) =
+          static_cast<float>(LogSumExp(tmp.data(), L)) + emissions(t, j);
+    }
+  }
+  std::vector<float> fin(L);
+  for (int j = 0; j < L; ++j) fin[j] = (*alpha)(T - 1, j) + end_(0, j);
+  return LogSumExp(fin.data(), L);
+}
+
+void LinearChainCrf::BackwardMessages(const Mat& emissions, Mat* beta) const {
+  const int T = emissions.rows();
+  const int L = num_labels_;
+  *beta = Mat(T, L);
+  for (int j = 0; j < L; ++j) (*beta)(T - 1, j) = end_(0, j);
+  std::vector<float> tmp(L);
+  for (int t = T - 2; t >= 0; --t) {
+    for (int i = 0; i < L; ++i) {
+      for (int j = 0; j < L; ++j) {
+        tmp[j] = trans_(i, j) + emissions(t + 1, j) + (*beta)(t + 1, j);
+      }
+      (*beta)(t, i) = static_cast<float>(LogSumExp(tmp.data(), L));
+    }
+  }
+}
+
+double LinearChainCrf::NegLogLikelihood(const Mat& emissions,
+                                        const std::vector<int>& gold,
+                                        Mat* demissions) {
+  const int T = emissions.rows();
+  const int L = num_labels_;
+  EMD_CHECK_EQ(emissions.cols(), L);
+  EMD_CHECK_EQ(static_cast<int>(gold.size()), T);
+  EMD_CHECK_GT(T, 0);
+
+  Mat alpha, beta;
+  const double log_z = ForwardMessages(emissions, &alpha);
+  BackwardMessages(emissions, &beta);
+
+  // Gold path score.
+  double gold_score = start_(0, gold[0]) + emissions(0, gold[0]);
+  for (int t = 1; t < T; ++t) {
+    gold_score += trans_(gold[t - 1], gold[t]) + emissions(t, gold[t]);
+  }
+  gold_score += end_(0, gold[T - 1]);
+
+  // Unary marginals: P(y_t = j) = exp(alpha + beta - logZ).
+  *demissions = Mat(T, L);
+  for (int t = 0; t < T; ++t) {
+    for (int j = 0; j < L; ++j) {
+      const double p = std::exp(double(alpha(t, j)) + beta(t, j) - log_z);
+      (*demissions)(t, j) = static_cast<float>(p);
+    }
+    (*demissions)(t, gold[t]) -= 1.f;
+  }
+
+  // Start/end gradients.
+  for (int j = 0; j < L; ++j) {
+    const double p0 = std::exp(double(alpha(0, j)) + beta(0, j) - log_z);
+    dstart_(0, j) += static_cast<float>(p0);
+    const double pT = std::exp(double(alpha(T - 1, j)) + beta(T - 1, j) - log_z);
+    dend_(0, j) += static_cast<float>(pT);
+  }
+  dstart_(0, gold[0]) -= 1.f;
+  dend_(0, gold[T - 1]) -= 1.f;
+
+  // Pairwise marginals for the transition gradient:
+  // P(y_t=i, y_{t+1}=j) = exp(alpha_t(i) + trans(i,j) + emit_{t+1}(j)
+  //                           + beta_{t+1}(j) - logZ).
+  for (int t = 0; t + 1 < T; ++t) {
+    for (int i = 0; i < L; ++i) {
+      for (int j = 0; j < L; ++j) {
+        const double p = std::exp(double(alpha(t, i)) + trans_(i, j) +
+                                  emissions(t + 1, j) + beta(t + 1, j) - log_z);
+        dtrans_(i, j) += static_cast<float>(p);
+      }
+    }
+    dtrans_(gold[t], gold[t + 1]) -= 1.f;
+  }
+
+  return log_z - gold_score;
+}
+
+std::vector<int> LinearChainCrf::Viterbi(const Mat& emissions) const {
+  const int T = emissions.rows();
+  const int L = num_labels_;
+  EMD_CHECK_EQ(emissions.cols(), L);
+  if (T == 0) return {};
+  Mat delta(T, L);
+  std::vector<std::vector<int>> back(T, std::vector<int>(L, 0));
+  for (int j = 0; j < L; ++j) delta(0, j) = start_(0, j) + emissions(0, j);
+  for (int t = 1; t < T; ++t) {
+    for (int j = 0; j < L; ++j) {
+      float best = delta(t - 1, 0) + trans_(0, j);
+      int arg = 0;
+      for (int i = 1; i < L; ++i) {
+        const float s = delta(t - 1, i) + trans_(i, j);
+        if (s > best) {
+          best = s;
+          arg = i;
+        }
+      }
+      delta(t, j) = best + emissions(t, j);
+      back[t][j] = arg;
+    }
+  }
+  int last = 0;
+  float best = delta(T - 1, 0) + end_(0, 0);
+  for (int j = 1; j < L; ++j) {
+    const float s = delta(T - 1, j) + end_(0, j);
+    if (s > best) {
+      best = s;
+      last = j;
+    }
+  }
+  std::vector<int> path(T);
+  path[T - 1] = last;
+  for (int t = T - 1; t > 0; --t) path[t - 1] = back[t][path[t]];
+  return path;
+}
+
+Mat LinearChainCrf::Marginals(const Mat& emissions) const {
+  Mat alpha, beta;
+  const double log_z = ForwardMessages(emissions, &alpha);
+  BackwardMessages(emissions, &beta);
+  Mat m(emissions.rows(), num_labels_);
+  for (int t = 0; t < emissions.rows(); ++t) {
+    for (int j = 0; j < num_labels_; ++j) {
+      m(t, j) = static_cast<float>(std::exp(double(alpha(t, j)) + beta(t, j) - log_z));
+    }
+  }
+  return m;
+}
+
+void LinearChainCrf::CollectParams(ParamSet* params) {
+  params->Register(name_ + ".trans", &trans_, &dtrans_);
+  params->Register(name_ + ".start", &start_, &dstart_);
+  params->Register(name_ + ".end", &end_, &dend_);
+}
+
+}  // namespace emd

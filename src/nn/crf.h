@@ -1,0 +1,56 @@
+// Linear-chain CRF over emission scores: negative log-likelihood training via
+// forward-backward, Viterbi decoding. The output layer of AguilarNet and the
+// HIRE-NER baseline; also the inference core of the feature-based
+// TwitterNLP-style tagger.
+
+#ifndef EMD_NN_CRF_H_
+#define EMD_NN_CRF_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// Linear-chain CRF with `num_labels` states plus learned start/end scores.
+class LinearChainCrf {
+ public:
+  LinearChainCrf(int num_labels, Rng* rng, std::string name = "crf");
+
+  /// Negative log-likelihood of `gold` under `emissions` [T, L]; accumulates
+  /// gradients w.r.t. transitions/start/end and writes dL/demissions.
+  double NegLogLikelihood(const Mat& emissions, const std::vector<int>& gold,
+                          Mat* demissions);
+
+  /// Most probable label sequence under `emissions`.
+  std::vector<int> Viterbi(const Mat& emissions) const;
+
+  /// Per-position marginal probabilities [T, L] via forward-backward.
+  Mat Marginals(const Mat& emissions) const;
+
+  void CollectParams(ParamSet* params);
+
+  int num_labels() const { return num_labels_; }
+  Mat& transitions() { return trans_; }
+  const Mat& transitions() const { return trans_; }
+
+ private:
+  /// Log-domain forward messages alpha [T, L]; returns log partition.
+  double ForwardMessages(const Mat& emissions, Mat* alpha) const;
+  /// Log-domain backward messages beta [T, L].
+  void BackwardMessages(const Mat& emissions, Mat* beta) const;
+
+  std::string name_;
+  int num_labels_;
+  Mat trans_;   // [L, L]: score of label j following label i
+  Mat start_;   // [1, L]
+  Mat end_;     // [1, L]
+  Mat dtrans_, dstart_, dend_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_CRF_H_

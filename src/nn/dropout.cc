@@ -1,0 +1,27 @@
+#include "nn/dropout.h"
+
+namespace emd {
+
+Mat Dropout::Forward(const Mat& x, bool training, Rng* rng) {
+  active_ = training && rate_ > 0.f;
+  if (!active_) return x;
+  EMD_CHECK(rng != nullptr);
+  mask_ = Mat(x.rows(), x.cols());
+  const float keep = 1.f - rate_;
+  const float scale = 1.f / keep;
+  Mat y(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (rng->NextDouble() < keep) {
+      mask_.data()[i] = scale;
+      y.data()[i] = x.data()[i] * scale;
+    }
+  }
+  return y;
+}
+
+Mat Dropout::Backward(const Mat& dy) const {
+  if (!active_) return dy;
+  return Hadamard(dy, mask_);
+}
+
+}  // namespace emd

@@ -1,0 +1,30 @@
+// Inverted dropout: active only in training mode; identity at inference.
+
+#ifndef EMD_NN_DROPOUT_H_
+#define EMD_NN_DROPOUT_H_
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace emd {
+
+class Dropout {
+ public:
+  /// `rate` is the drop probability.
+  explicit Dropout(float rate) : rate_(rate) {}
+
+  /// In training mode zeroes entries with probability `rate` and rescales the
+  /// survivors by 1/(1-rate); in eval mode returns x unchanged.
+  Mat Forward(const Mat& x, bool training, Rng* rng);
+
+  Mat Backward(const Mat& dy) const;
+
+ private:
+  float rate_;
+  bool active_ = false;
+  Mat mask_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_DROPOUT_H_

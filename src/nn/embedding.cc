@@ -1,0 +1,42 @@
+#include "nn/embedding.h"
+
+#include <cstring>
+
+namespace emd {
+
+Embedding::Embedding(int vocab_size, int dim, Rng* rng, std::string name)
+    : name_(std::move(name)), table_(vocab_size, dim), dtable_(vocab_size, dim) {
+  table_.InitGaussian(rng, 0.1f);
+  // Row 0 is <pad>; keep it zero.
+  for (int j = 0; j < dim; ++j) table_(0, j) = 0.f;
+}
+
+Mat Embedding::Forward(const std::vector<int>& ids) {
+  ids_cache_ = ids;
+  Mat out(static_cast<int>(ids.size()), table_.cols());
+  for (size_t t = 0; t < ids.size(); ++t) {
+    int id = ids[t];
+    EMD_CHECK_GE(id, 0);
+    EMD_CHECK_LT(id, table_.rows());
+    out.SetRow(static_cast<int>(t), table_.row(id));
+  }
+  return out;
+}
+
+void Embedding::Backward(const Mat& dy) {
+  EMD_CHECK_EQ(dy.rows(), static_cast<int>(ids_cache_.size()));
+  EMD_CHECK_EQ(dy.cols(), table_.cols());
+  for (size_t t = 0; t < ids_cache_.size(); ++t) {
+    int id = ids_cache_[t];
+    if (id == 0) continue;  // <pad> row stays zero
+    float* grow = dtable_.row(id);
+    const float* dyrow = dy.row(static_cast<int>(t));
+    for (int j = 0; j < dy.cols(); ++j) grow[j] += dyrow[j];
+  }
+}
+
+void Embedding::CollectParams(ParamSet* params) {
+  params->Register(name_ + ".table", &table_, &dtable_);
+}
+
+}  // namespace emd

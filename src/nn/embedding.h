@@ -1,0 +1,42 @@
+// Embedding: id -> dense vector lookup table with sparse gradient updates.
+
+#ifndef EMD_NN_EMBEDDING_H_
+#define EMD_NN_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// Lookup table of `vocab_size` rows of dimension `dim`.
+class Embedding {
+ public:
+  Embedding(int vocab_size, int dim, Rng* rng, std::string name = "embedding");
+
+  /// Returns a [ids.size(), dim] matrix of looked-up rows; caches ids.
+  Mat Forward(const std::vector<int>& ids);
+
+  /// Accumulates gradients into the rows selected by the cached ids.
+  void Backward(const Mat& dy);
+
+  void CollectParams(ParamSet* params);
+
+  int vocab_size() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+  Mat& table() { return table_; }
+  const Mat& table() const { return table_; }
+
+ private:
+  std::string name_;
+  Mat table_;
+  Mat dtable_;
+  std::vector<int> ids_cache_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_EMBEDDING_H_

@@ -1,0 +1,78 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+
+namespace emd {
+
+LayerNorm::LayerNorm(int dim, std::string name, float eps)
+    : name_(std::move(name)),
+      eps_(eps),
+      gamma_(1, dim),
+      beta_(1, dim),
+      dgamma_(1, dim),
+      dbeta_(1, dim) {
+  gamma_.Fill(1.f);
+}
+
+Mat LayerNorm::Forward(const Mat& x) {
+  const int D = gamma_.cols();
+  EMD_CHECK_EQ(x.cols(), D);
+  xhat_cache_ = Mat(x.rows(), D);
+  inv_std_cache_.assign(x.rows(), 0.f);
+  Mat y(x.rows(), D);
+  for (int r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    double mean = 0;
+    for (int j = 0; j < D; ++j) mean += xr[j];
+    mean /= D;
+    double var = 0;
+    for (int j = 0; j < D; ++j) {
+      double d = xr[j] - mean;
+      var += d * d;
+    }
+    var /= D;
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
+    inv_std_cache_[r] = inv_std;
+    float* xh = xhat_cache_.row(r);
+    float* yr = y.row(r);
+    for (int j = 0; j < D; ++j) {
+      xh[j] = (xr[j] - static_cast<float>(mean)) * inv_std;
+      yr[j] = gamma_(0, j) * xh[j] + beta_(0, j);
+    }
+  }
+  return y;
+}
+
+Mat LayerNorm::Backward(const Mat& dy) {
+  const int D = gamma_.cols();
+  EMD_CHECK(dy.SameShape(xhat_cache_));
+  Mat dx(dy.rows(), D);
+  for (int r = 0; r < dy.rows(); ++r) {
+    const float* dyr = dy.row(r);
+    const float* xh = xhat_cache_.row(r);
+    // dL/dxhat, plus accumulate gamma/beta grads.
+    double sum_dxhat = 0, sum_dxhat_xhat = 0;
+    std::vector<float> dxhat(D);
+    for (int j = 0; j < D; ++j) {
+      dgamma_(0, j) += dyr[j] * xh[j];
+      dbeta_(0, j) += dyr[j];
+      dxhat[j] = dyr[j] * gamma_(0, j);
+      sum_dxhat += dxhat[j];
+      sum_dxhat_xhat += double(dxhat[j]) * xh[j];
+    }
+    const float inv_std = inv_std_cache_[r];
+    float* dxr = dx.row(r);
+    for (int j = 0; j < D; ++j) {
+      dxr[j] = inv_std * (dxhat[j] - static_cast<float>(sum_dxhat / D) -
+                          xh[j] * static_cast<float>(sum_dxhat_xhat / D));
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::CollectParams(ParamSet* params) {
+  params->Register(name_ + ".gamma", &gamma_, &dgamma_);
+  params->Register(name_ + ".beta", &beta_, &dbeta_);
+}
+
+}  // namespace emd

@@ -1,0 +1,35 @@
+// LayerNorm: per-row normalization with learned gain and bias — a component
+// of the MiniBertweet transformer encoder.
+
+#ifndef EMD_NN_LAYER_NORM_H_
+#define EMD_NN_LAYER_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/params.h"
+
+namespace emd {
+
+/// y[r] = gamma * (x[r] - mean(x[r])) / sqrt(var(x[r]) + eps) + beta.
+class LayerNorm {
+ public:
+  explicit LayerNorm(int dim, std::string name = "layer_norm", float eps = 1e-5f);
+
+  Mat Forward(const Mat& x);
+  Mat Backward(const Mat& dy);
+  void CollectParams(ParamSet* params);
+
+ private:
+  std::string name_;
+  float eps_;
+  Mat gamma_, beta_;
+  Mat dgamma_, dbeta_;
+  Mat xhat_cache_;
+  std::vector<float> inv_std_cache_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_LAYER_NORM_H_

@@ -1,0 +1,33 @@
+#include "nn/linear.h"
+
+namespace emd {
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng, std::string name)
+    : name_(std::move(name)),
+      w_(in_dim, out_dim),
+      b_(1, out_dim),
+      dw_(in_dim, out_dim),
+      db_(1, out_dim) {
+  w_.InitXavier(rng);
+}
+
+Mat Linear::Forward(const Mat& x) {
+  EMD_CHECK_EQ(x.cols(), w_.rows());
+  x_cache_ = x;
+  return AddRowBroadcast(MatMul(x, w_), b_);
+}
+
+Mat Linear::Backward(const Mat& dy) {
+  EMD_CHECK_EQ(dy.cols(), w_.cols());
+  EMD_CHECK_EQ(dy.rows(), x_cache_.rows());
+  dw_.Add(MatMulAT(x_cache_, dy));
+  db_.Add(SumRows(dy));
+  return MatMulBT(dy, w_);
+}
+
+void Linear::CollectParams(ParamSet* params) {
+  params->Register(name_ + ".w", &w_, &dw_);
+  params->Register(name_ + ".b", &b_, &db_);
+}
+
+}  // namespace emd

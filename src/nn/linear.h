@@ -1,0 +1,50 @@
+// Linear (fully connected) layer: y = x W + b, applied row-wise.
+//
+// Layers in this substrate are stateful across one forward/backward pair:
+// Forward caches its input, Backward consumes the cache and accumulates
+// parameter gradients. A layer instance therefore serves one sequence at a
+// time (our training loops are per-sentence).
+
+#ifndef EMD_NN_LINEAR_H_
+#define EMD_NN_LINEAR_H_
+
+#include <string>
+
+#include "nn/matrix.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// y = x W + b. x: [T, in], W: [in, out], b: [1, out], y: [T, out].
+class Linear {
+ public:
+  Linear(int in_dim, int out_dim, Rng* rng, std::string name = "linear");
+
+  /// Forward pass; caches x for Backward.
+  Mat Forward(const Mat& x);
+
+  /// Given dL/dy, accumulates dL/dW and dL/db; returns dL/dx.
+  Mat Backward(const Mat& dy);
+
+  /// Registers W and b.
+  void CollectParams(ParamSet* params);
+
+  int in_dim() const { return w_.rows(); }
+  int out_dim() const { return w_.cols(); }
+
+  Mat& weight() { return w_; }
+  Mat& bias() { return b_; }
+  const Mat& weight() const { return w_; }
+  const Mat& bias() const { return b_; }
+
+ private:
+  std::string name_;
+  Mat w_, b_;
+  Mat dw_, db_;
+  Mat x_cache_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_LINEAR_H_

@@ -1,0 +1,57 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace emd {
+
+double MseLoss(const Mat& pred, const Mat& target, Mat* dpred) {
+  EMD_CHECK(pred.SameShape(target));
+  const size_t n = pred.size();
+  EMD_CHECK_GT(n, 0u);
+  *dpred = Mat(pred.rows(), pred.cols());
+  double loss = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = double(pred.data()[i]) - target.data()[i];
+    loss += d * d;
+    dpred->data()[i] = static_cast<float>(2.0 * d / n);
+  }
+  return loss / n;
+}
+
+double BceLoss(const Mat& prob, const Mat& target, Mat* dprob) {
+  EMD_CHECK(prob.SameShape(target));
+  const size_t n = prob.size();
+  EMD_CHECK_GT(n, 0u);
+  *dprob = Mat(prob.rows(), prob.cols());
+  double loss = 0;
+  constexpr double kEps = 1e-7;
+  for (size_t i = 0; i < n; ++i) {
+    const double p = std::clamp(double(prob.data()[i]), kEps, 1.0 - kEps);
+    const double y = target.data()[i];
+    loss += -(y * std::log(p) + (1 - y) * std::log(1 - p));
+    dprob->data()[i] = static_cast<float>((p - y) / (p * (1 - p)) / n);
+  }
+  return loss / n;
+}
+
+double BceWithLogitsLoss(const Mat& logit, const Mat& target, Mat* dlogit) {
+  EMD_CHECK(logit.SameShape(target));
+  const size_t n = logit.size();
+  EMD_CHECK_GT(n, 0u);
+  *dlogit = Mat(logit.rows(), logit.cols());
+  double loss = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double z = logit.data()[i];
+    const double y = target.data()[i];
+    // log(1+exp(z)) computed stably.
+    const double softplus = z > 0 ? z + std::log1p(std::exp(-z)) : std::log1p(std::exp(z));
+    loss += softplus - y * z;
+    dlogit->data()[i] = static_cast<float>((SigmoidScalar(static_cast<float>(z)) - y) / n);
+  }
+  return loss / n;
+}
+
+}  // namespace emd

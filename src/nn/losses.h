@@ -1,0 +1,22 @@
+// Scalar loss helpers: each returns the loss value and writes dL/dpred.
+
+#ifndef EMD_NN_LOSSES_H_
+#define EMD_NN_LOSSES_H_
+
+#include "nn/matrix.h"
+
+namespace emd {
+
+/// Mean squared error over all entries. dpred gets 2*(pred-target)/N.
+double MseLoss(const Mat& pred, const Mat& target, Mat* dpred);
+
+/// Binary cross-entropy for probabilities in (0,1). dpred is w.r.t. the
+/// probability (not the logit).
+double BceLoss(const Mat& prob, const Mat& target, Mat* dprob);
+
+/// Numerically stable BCE on logits; dlogit = sigmoid(logit) - target.
+double BceWithLogitsLoss(const Mat& logit, const Mat& target, Mat* dlogit);
+
+}  // namespace emd
+
+#endif  // EMD_NN_LOSSES_H_

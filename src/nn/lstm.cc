@@ -1,0 +1,143 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace emd {
+
+Lstm::Lstm(int in_dim, int hidden_dim, Rng* rng, std::string name)
+    : name_(std::move(name)),
+      hidden_dim_(hidden_dim),
+      wx_(in_dim, 4 * hidden_dim),
+      wh_(hidden_dim, 4 * hidden_dim),
+      b_(1, 4 * hidden_dim),
+      dwx_(in_dim, 4 * hidden_dim),
+      dwh_(hidden_dim, 4 * hidden_dim),
+      db_(1, 4 * hidden_dim) {
+  wx_.InitXavier(rng);
+  wh_.InitXavier(rng);
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (int j = 0; j < hidden_dim_; ++j) b_(0, hidden_dim_ + j) = 1.f;
+}
+
+Mat Lstm::Forward(const Mat& x, bool reverse) {
+  EMD_CHECK_EQ(x.cols(), wx_.rows());
+  reverse_ = reverse;
+  const int T = x.rows();
+  const int H = hidden_dim_;
+  cache_.assign(T, StepCache{});
+  Mat out(T, H);
+  Mat h_prev(1, H), c_prev(1, H);
+  for (int step = 0; step < T; ++step) {
+    const int t = reverse ? T - 1 - step : step;
+    StepCache& sc = cache_[step];
+    sc.x = x.RowCopy(t);
+    sc.h_prev = h_prev;
+    sc.c_prev = c_prev;
+    // Pre-activations: z = x Wx + h_prev Wh + b, 1 x 4H.
+    Mat z = AddRowBroadcast(MatMul(sc.x, wx_), b_);
+    z.Add(MatMul(h_prev, wh_));
+    sc.i = Mat(1, H);
+    sc.f = Mat(1, H);
+    sc.g = Mat(1, H);
+    sc.o = Mat(1, H);
+    sc.c = Mat(1, H);
+    sc.tanh_c = Mat(1, H);
+    Mat h(1, H);
+    for (int j = 0; j < H; ++j) {
+      const float zi = z(0, j);
+      const float zf = z(0, H + j);
+      const float zg = z(0, 2 * H + j);
+      const float zo = z(0, 3 * H + j);
+      sc.i(0, j) = SigmoidScalar(zi);
+      sc.f(0, j) = SigmoidScalar(zf);
+      sc.g(0, j) = std::tanh(zg);
+      sc.o(0, j) = SigmoidScalar(zo);
+      sc.c(0, j) = sc.f(0, j) * c_prev(0, j) + sc.i(0, j) * sc.g(0, j);
+      sc.tanh_c(0, j) = std::tanh(sc.c(0, j));
+      h(0, j) = sc.o(0, j) * sc.tanh_c(0, j);
+    }
+    out.SetRow(t, h);
+    h_prev = h;
+    c_prev = sc.c;
+  }
+  return out;
+}
+
+Mat Lstm::Backward(const Mat& dh_out) {
+  const int T = static_cast<int>(cache_.size());
+  EMD_CHECK_EQ(dh_out.rows(), T);
+  const int H = hidden_dim_;
+  EMD_CHECK_EQ(dh_out.cols(), H);
+  Mat dx(T, wx_.rows());
+  Mat dh_next(1, H);  // gradient flowing from the later step's h_prev
+  Mat dc_next(1, H);
+  for (int step = T - 1; step >= 0; --step) {
+    const int t = reverse_ ? T - 1 - step : step;
+    const StepCache& sc = cache_[step];
+    // Total gradient on this step's h: external + recurrent.
+    Mat dh(1, H);
+    for (int j = 0; j < H; ++j) dh(0, j) = dh_out(t, j) + dh_next(0, j);
+    Mat dz(1, 4 * H);
+    Mat dc(1, H);
+    for (int j = 0; j < H; ++j) {
+      const float o = sc.o(0, j);
+      const float tc = sc.tanh_c(0, j);
+      // dL/dc = dL/dh * o * (1 - tanh(c)^2) + carry from t+1.
+      dc(0, j) = dh(0, j) * o * (1.f - tc * tc) + dc_next(0, j);
+      const float i = sc.i(0, j);
+      const float f = sc.f(0, j);
+      const float g = sc.g(0, j);
+      const float do_ = dh(0, j) * tc;
+      const float di = dc(0, j) * g;
+      const float df = dc(0, j) * sc.c_prev(0, j);
+      const float dg = dc(0, j) * i;
+      dz(0, j) = di * i * (1.f - i);
+      dz(0, H + j) = df * f * (1.f - f);
+      dz(0, 2 * H + j) = dg * (1.f - g * g);
+      dz(0, 3 * H + j) = do_ * o * (1.f - o);
+    }
+    dwx_.Add(MatMulAT(sc.x, dz));
+    dwh_.Add(MatMulAT(sc.h_prev, dz));
+    db_.Add(dz);
+    Mat dxt = MatMulBT(dz, wx_);
+    dx.SetRow(t, dxt.data());
+    dh_next = MatMulBT(dz, wh_);
+    for (int j = 0; j < H; ++j) dc_next(0, j) = dc(0, j) * sc.f(0, j);
+  }
+  return dx;
+}
+
+void Lstm::CollectParams(ParamSet* params) {
+  params->Register(name_ + ".wx", &wx_, &dwx_);
+  params->Register(name_ + ".wh", &wh_, &dwh_);
+  params->Register(name_ + ".b", &b_, &db_);
+}
+
+BiLstm::BiLstm(int in_dim, int hidden_dim, Rng* rng, std::string name)
+    : fwd_(in_dim, hidden_dim, rng, name + ".fwd"),
+      bwd_(in_dim, hidden_dim, rng, name + ".bwd") {}
+
+Mat BiLstm::Forward(const Mat& x) {
+  Mat hf = fwd_.Forward(x, /*reverse=*/false);
+  Mat hb = bwd_.Forward(x, /*reverse=*/true);
+  return ConcatCols(hf, hb);
+}
+
+Mat BiLstm::Backward(const Mat& dy) {
+  const int h = fwd_.hidden_dim();
+  Mat dyf = SliceCols(dy, 0, h);
+  Mat dyb = SliceCols(dy, h, 2 * h);
+  Mat dxf = fwd_.Backward(dyf);
+  Mat dxb = bwd_.Backward(dyb);
+  dxf.Add(dxb);
+  return dxf;
+}
+
+void BiLstm::CollectParams(ParamSet* params) {
+  fwd_.CollectParams(params);
+  bwd_.CollectParams(params);
+}
+
+}  // namespace emd

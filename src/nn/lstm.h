@@ -1,0 +1,75 @@
+// LSTM and BiLSTM sequence encoders with explicit backpropagation through
+// time. Used by the AguilarNet labeller and the HIRE-NER baseline.
+
+#ifndef EMD_NN_LSTM_H_
+#define EMD_NN_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// Unidirectional LSTM. Input [T, in_dim] -> hidden states [T, hidden_dim].
+///
+/// Gate layout in the fused weight matrices: [input | forget | cell | output].
+class Lstm {
+ public:
+  Lstm(int in_dim, int hidden_dim, Rng* rng, std::string name = "lstm");
+
+  /// Runs the sequence; when `reverse` is true processes right-to-left but
+  /// still returns states aligned with the input rows.
+  Mat Forward(const Mat& x, bool reverse = false);
+
+  /// Backpropagates dL/dH (aligned with input rows); returns dL/dX and
+  /// accumulates parameter gradients.
+  Mat Backward(const Mat& dh_out);
+
+  void CollectParams(ParamSet* params);
+
+  int in_dim() const { return wx_.rows(); }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  struct StepCache {
+    Mat x;       // 1 x in
+    Mat h_prev;  // 1 x hidden
+    Mat c_prev;  // 1 x hidden
+    Mat i, f, g, o;  // gate activations, 1 x hidden each
+    Mat c;       // 1 x hidden (cell state)
+    Mat tanh_c;  // 1 x hidden
+  };
+
+  std::string name_;
+  int hidden_dim_;
+  Mat wx_;  // [in, 4*hidden]
+  Mat wh_;  // [hidden, 4*hidden]
+  Mat b_;   // [1, 4*hidden]
+  Mat dwx_, dwh_, db_;
+  std::vector<StepCache> cache_;
+  bool reverse_ = false;
+};
+
+/// Bidirectional LSTM: concatenates forward and backward hidden states.
+/// Input [T, in_dim] -> [T, 2*hidden_dim].
+class BiLstm {
+ public:
+  BiLstm(int in_dim, int hidden_dim, Rng* rng, std::string name = "bilstm");
+
+  Mat Forward(const Mat& x);
+  Mat Backward(const Mat& dy);
+  void CollectParams(ParamSet* params);
+
+  int out_dim() const { return 2 * fwd_.hidden_dim(); }
+
+ private:
+  Lstm fwd_;
+  Lstm bwd_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_LSTM_H_

@@ -1,0 +1,235 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace emd {
+
+void Mat::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Mat::InitXavier(Rng* rng) {
+  float limit = std::sqrt(6.f / static_cast<float>(rows_ + cols_));
+  for (auto& x : data_) x = rng->NextFloat(-limit, limit);
+}
+
+void Mat::InitGaussian(Rng* rng, float stddev) {
+  for (auto& x : data_) x = static_cast<float>(rng->NextGaussian()) * stddev;
+}
+
+void Mat::Add(const Mat& other) {
+  EMD_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Mat::AddScaled(const Mat& other, float alpha) {
+  EMD_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Mat::Scale(float alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+Mat Mat::RowCopy(int r) const {
+  EMD_CHECK_GE(r, 0);
+  EMD_CHECK_LT(r, rows_);
+  Mat out(1, cols_);
+  std::memcpy(out.data(), row(r), sizeof(float) * cols_);
+  return out;
+}
+
+void Mat::SetRow(int r, const Mat& v) {
+  EMD_CHECK_EQ(v.rows(), 1);
+  EMD_CHECK_EQ(v.cols(), cols_);
+  SetRow(r, v.data());
+}
+
+void Mat::SetRow(int r, const float* v) {
+  EMD_CHECK_GE(r, 0);
+  EMD_CHECK_LT(r, rows_);
+  std::memcpy(row(r), v, sizeof(float) * cols_);
+}
+
+double Mat::SquaredNorm() const {
+  double s = 0;
+  for (float x : data_) s += double(x) * x;
+  return s;
+}
+
+std::string Mat::DebugString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Mat[" << rows_ << "x" << cols_ << "]";
+  for (int r = 0; r < std::min(rows_, max_rows); ++r) {
+    os << "\n  ";
+    for (int c = 0; c < std::min(cols_, max_cols); ++c) os << (*this)(r, c) << " ";
+    if (cols_ > max_cols) os << "...";
+  }
+  if (rows_ > max_rows) os << "\n  ...";
+  return os.str();
+}
+
+Mat MatMul(const Mat& a, const Mat& b) {
+  EMD_CHECK_EQ(a.cols(), b.rows());
+  Mat c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Mat MatMulBT(const Mat& a, const Mat& b) {
+  EMD_CHECK_EQ(a.cols(), b.cols());
+  Mat c(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float s = 0;
+      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Mat MatMulAT(const Mat& a, const Mat& b) {
+  EMD_CHECK_EQ(a.rows(), b.rows());
+  Mat c(a.cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Mat Transpose(const Mat& a) {
+  Mat t(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  }
+  return t;
+}
+
+Mat Hadamard(const Mat& a, const Mat& b) {
+  EMD_CHECK(a.SameShape(b));
+  Mat c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+Mat AddRowBroadcast(const Mat& a, const Mat& bias_row) {
+  EMD_CHECK_EQ(bias_row.rows(), 1);
+  EMD_CHECK_EQ(bias_row.cols(), a.cols());
+  Mat c = a;
+  for (int r = 0; r < c.rows(); ++r) {
+    float* crow = c.row(r);
+    for (int j = 0; j < c.cols(); ++j) crow[j] += bias_row.data()[j];
+  }
+  return c;
+}
+
+Mat SumRows(const Mat& a) {
+  Mat s(1, a.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    const float* arow = a.row(r);
+    for (int j = 0; j < a.cols(); ++j) s.data()[j] += arow[j];
+  }
+  return s;
+}
+
+Mat MeanRows(const Mat& a) {
+  EMD_CHECK_GT(a.rows(), 0);
+  Mat s = SumRows(a);
+  s.Scale(1.f / static_cast<float>(a.rows()));
+  return s;
+}
+
+Mat ConcatCols(const Mat& a, const Mat& b) {
+  EMD_CHECK_EQ(a.rows(), b.rows());
+  Mat c(a.rows(), a.cols() + b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    std::memcpy(c.row(r), a.row(r), sizeof(float) * a.cols());
+    std::memcpy(c.row(r) + a.cols(), b.row(r), sizeof(float) * b.cols());
+  }
+  return c;
+}
+
+Mat SliceCols(const Mat& a, int begin, int end) {
+  EMD_CHECK_GE(begin, 0);
+  EMD_CHECK_LE(begin, end);
+  EMD_CHECK_LE(end, a.cols());
+  Mat c(a.rows(), end - begin);
+  for (int r = 0; r < a.rows(); ++r) {
+    std::memcpy(c.row(r), a.row(r) + begin, sizeof(float) * (end - begin));
+  }
+  return c;
+}
+
+Mat StackRows(const std::vector<Mat>& rows) {
+  EMD_CHECK(!rows.empty());
+  int cols = rows[0].cols();
+  Mat out(static_cast<int>(rows.size()), cols);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EMD_CHECK_EQ(rows[r].rows(), 1);
+    EMD_CHECK_EQ(rows[r].cols(), cols);
+    out.SetRow(static_cast<int>(r), rows[r].data());
+  }
+  return out;
+}
+
+double LogSumExp(const float* x, int n) {
+  EMD_CHECK_GT(n, 0);
+  float mx = x[0];
+  for (int i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  double s = 0;
+  for (int i = 0; i < n; ++i) s += std::exp(double(x[i]) - mx);
+  return double(mx) + std::log(s);
+}
+
+void SoftmaxRowsInPlace(Mat* a) {
+  for (int r = 0; r < a->rows(); ++r) {
+    float* row = a->row(r);
+    float mx = row[0];
+    for (int j = 1; j < a->cols(); ++j) mx = std::max(mx, row[j]);
+    double s = 0;
+    for (int j = 0; j < a->cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      s += row[j];
+    }
+    const float inv = static_cast<float>(1.0 / s);
+    for (int j = 0; j < a->cols(); ++j) row[j] *= inv;
+  }
+}
+
+float CosineSimilarity(const Mat& a, const Mat& b) {
+  EMD_CHECK_EQ(a.size(), b.size());
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += double(a.data()[i]) * b.data()[i];
+    na += double(a.data()[i]) * a.data()[i];
+    nb += double(b.data()[i]) * b.data()[i];
+  }
+  if (na <= 0 || nb <= 0) return 0.f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace emd

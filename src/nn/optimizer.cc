@@ -1,0 +1,55 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace emd {
+
+void SgdOptimizer::Step(ParamSet* params) {
+  const auto& refs = params->params();
+  if (velocity_.size() != refs.size()) {
+    velocity_.clear();
+    for (const auto& p : refs) velocity_.emplace_back(p.value->rows(), p.value->cols());
+  }
+  for (size_t i = 0; i < refs.size(); ++i) {
+    Mat* w = refs[i].value;
+    Mat* g = refs[i].grad;
+    Mat& vel = velocity_[i];
+    for (size_t j = 0; j < w->size(); ++j) {
+      float grad = g->data()[j] + weight_decay_ * w->data()[j];
+      vel.data()[j] = momentum_ * vel.data()[j] - lr_ * grad;
+      w->data()[j] += vel.data()[j];
+    }
+  }
+}
+
+void AdamOptimizer::Step(ParamSet* params) {
+  const auto& refs = params->params();
+  if (m_.size() != refs.size()) {
+    m_.clear();
+    v_.clear();
+    for (const auto& p : refs) {
+      m_.emplace_back(p.value->rows(), p.value->cols());
+      v_.emplace_back(p.value->rows(), p.value->cols());
+    }
+    step_ = 0;
+  }
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (size_t i = 0; i < refs.size(); ++i) {
+    Mat* w = refs[i].value;
+    Mat* g = refs[i].grad;
+    Mat& m = m_[i];
+    Mat& v = v_[i];
+    for (size_t j = 0; j < w->size(); ++j) {
+      float grad = g->data()[j] + weight_decay_ * w->data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1 - beta1_) * grad;
+      v.data()[j] = beta2_ * v.data()[j] + (1 - beta2_) * grad * grad;
+      double mhat = m.data()[j] / bc1;
+      double vhat = v.data()[j] / bc2;
+      w->data()[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace emd

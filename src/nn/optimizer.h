@@ -1,0 +1,64 @@
+// Optimizers over a ParamSet: SGD (with momentum) and Adam.
+//
+// The paper trains its heads with Adam (lr 0.001 for the phrase embedder,
+// lr 0.0015 for the entity classifier); the sequence labellers here also use
+// Adam unless stated otherwise.
+
+#ifndef EMD_NN_OPTIMIZER_H_
+#define EMD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/params.h"
+
+namespace emd {
+
+/// Interface: applies one update using the gradients currently accumulated in
+/// the ParamSet, then the caller zeroes the gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void Step(ParamSet* params) = 0;
+};
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(float lr, float momentum = 0.f, float weight_decay = 0.f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void Step(ParamSet* params) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Mat> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2014), the paper's optimizer of choice.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                         float eps = 1e-8f, float weight_decay = 0.f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+  void Step(ParamSet* params) override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  long step_ = 0;
+  std::vector<Mat> m_;
+  std::vector<Mat> v_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_OPTIMIZER_H_

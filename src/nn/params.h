@@ -1,0 +1,74 @@
+// ParamSet: registry of trainable parameters (value + gradient pairs).
+//
+// Layers register their weights here; optimizers iterate the registry; the
+// serializer walks it in registration order, so a model's save format is
+// defined by its layer construction order.
+
+#ifndef EMD_NN_PARAMS_H_
+#define EMD_NN_PARAMS_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace emd {
+
+/// One trainable parameter: named value matrix plus its gradient accumulator.
+struct ParamRef {
+  std::string name;
+  Mat* value = nullptr;
+  Mat* grad = nullptr;
+};
+
+/// Ordered collection of parameters for optimization and serialization.
+class ParamSet {
+ public:
+  /// Registers a parameter. `value` and `grad` must outlive the ParamSet and
+  /// have identical shapes.
+  void Register(std::string name, Mat* value, Mat* grad) {
+    EMD_CHECK(value != nullptr);
+    EMD_CHECK(grad != nullptr);
+    EMD_CHECK(value->SameShape(*grad));
+    params_.push_back({std::move(name), value, grad});
+  }
+
+  const std::vector<ParamRef>& params() const { return params_; }
+  size_t size() const { return params_.size(); }
+
+  /// Zeroes all gradient accumulators.
+  void ZeroGrads() {
+    for (auto& p : params_) p.grad->Zero();
+  }
+
+  /// Total number of scalar parameters.
+  size_t NumScalars() const {
+    size_t n = 0;
+    for (const auto& p : params_) n += p.value->size();
+    return n;
+  }
+
+  /// Global L2 norm of all gradients.
+  double GradNorm() const {
+    double s = 0;
+    for (const auto& p : params_) s += p.grad->SquaredNorm();
+    return std::sqrt(s);
+  }
+
+  /// Scales all gradients so the global norm is at most `max_norm`.
+  void ClipGradNorm(double max_norm) {
+    double norm = GradNorm();
+    if (norm > max_norm && norm > 0) {
+      float scale = static_cast<float>(max_norm / norm);
+      for (auto& p : params_) p.grad->Scale(scale);
+    }
+  }
+
+ private:
+  std::vector<ParamRef> params_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_PARAMS_H_

@@ -1,0 +1,75 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace emd {
+namespace {
+
+constexpr uint32_t kMagic = 0x454D444DU;  // "EMDM"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParams(const ParamSet& params, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: ", path);
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  WriteU32(out, static_cast<uint32_t>(params.size()));
+  for (const auto& p : params.params()) {
+    WriteU32(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    WriteU32(out, static_cast<uint32_t>(p.value->rows()));
+    WriteU32(out, static_cast<uint32_t>(p.value->cols()));
+    out.write(reinterpret_cast<const char*>(p.value->data()),
+              static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: ", path);
+  return Status::OK();
+}
+
+Status LoadParams(ParamSet* params, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: ", path);
+  uint32_t magic = 0, version = 0, count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic)
+    return Status::Corruption("bad magic in ", path);
+  if (!ReadU32(in, &version) || version != kVersion)
+    return Status::Corruption("unsupported version in ", path);
+  if (!ReadU32(in, &count) || count != params->size())
+    return Status::Corruption("parameter count mismatch in ", path, ": file ",
+                              count, " vs model ", params->size());
+  for (const auto& p : params->params()) {
+    uint32_t name_len = 0, rows = 0, cols = 0;
+    if (!ReadU32(in, &name_len)) return Status::Corruption("truncated: ", path);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) return Status::Corruption("truncated: ", path);
+    if (name != p.name)
+      return Status::Corruption("parameter name mismatch: file '", name,
+                                "' vs model '", p.name, "'");
+    if (!ReadU32(in, &rows) || !ReadU32(in, &cols))
+      return Status::Corruption("truncated: ", path);
+    if (static_cast<int>(rows) != p.value->rows() ||
+        static_cast<int>(cols) != p.value->cols())
+      return Status::Corruption("shape mismatch for ", p.name);
+    in.read(reinterpret_cast<char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+    if (!in) return Status::Corruption("truncated: ", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace emd

@@ -1,0 +1,23 @@
+// Model serialization: writes/reads every parameter in a ParamSet in
+// registration order. Binary little-endian format with a magic header and
+// per-matrix name/shape records so mismatches are caught at load time.
+
+#ifndef EMD_NN_SERIALIZE_H_
+#define EMD_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/params.h"
+#include "util/status.h"
+
+namespace emd {
+
+/// Saves all parameters of `params` to `path`.
+Status SaveParams(const ParamSet& params, const std::string& path);
+
+/// Loads parameters into `params`; every name and shape must match the file.
+Status LoadParams(ParamSet* params, const std::string& path);
+
+}  // namespace emd
+
+#endif  // EMD_NN_SERIALIZE_H_

@@ -1,0 +1,46 @@
+#include "nn/transformer.h"
+
+namespace emd {
+
+TransformerEncoderLayer::TransformerEncoderLayer(int d_model, int num_heads, int d_ff,
+                                                 float dropout, Rng* rng,
+                                                 std::string name)
+    : mhsa_(d_model, num_heads, rng, name + ".mhsa"),
+      drop1_(dropout),
+      ln1_(d_model, name + ".ln1"),
+      ff1_(d_model, d_ff, rng, name + ".ff1"),
+      ff2_(d_ff, d_model, rng, name + ".ff2"),
+      drop2_(dropout),
+      ln2_(d_model, name + ".ln2") {}
+
+Mat TransformerEncoderLayer::Forward(const Mat& x, bool training, Rng* rng) {
+  Mat attn = drop1_.Forward(mhsa_.Forward(x), training, rng);
+  attn.Add(x);  // residual
+  Mat h1 = ln1_.Forward(attn);
+  Mat ff = drop2_.Forward(ff2_.Forward(relu_.Forward(ff1_.Forward(h1))), training, rng);
+  ff.Add(h1);  // residual
+  return ln2_.Forward(ff);
+}
+
+Mat TransformerEncoderLayer::Backward(const Mat& dy) {
+  Mat dff_sum = ln2_.Backward(dy);
+  // dff_sum splits into the FFN branch and the residual into h1.
+  Mat dff = drop2_.Backward(dff_sum);
+  Mat dh1 = ff1_.Backward(relu_.Backward(ff2_.Backward(dff)));
+  dh1.Add(dff_sum);  // residual path
+  Mat dattn_sum = ln1_.Backward(dh1);
+  Mat dattn = drop1_.Backward(dattn_sum);
+  Mat dx = mhsa_.Backward(dattn);
+  dx.Add(dattn_sum);  // residual path
+  return dx;
+}
+
+void TransformerEncoderLayer::CollectParams(ParamSet* params) {
+  mhsa_.CollectParams(params);
+  ln1_.CollectParams(params);
+  ff1_.CollectParams(params);
+  ff2_.CollectParams(params);
+  ln2_.CollectParams(params);
+}
+
+}  // namespace emd

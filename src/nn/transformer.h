@@ -1,0 +1,44 @@
+// TransformerEncoderLayer: MHSA + residual + LayerNorm, FFN + residual +
+// LayerNorm (post-norm, as in the original BERT).
+
+#ifndef EMD_NN_TRANSFORMER_H_
+#define EMD_NN_TRANSFORMER_H_
+
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/dropout.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/matrix.h"
+#include "nn/params.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// One encoder block of the MiniBertweet model.
+class TransformerEncoderLayer {
+ public:
+  TransformerEncoderLayer(int d_model, int num_heads, int d_ff, float dropout,
+                          Rng* rng, std::string name = "enc");
+
+  /// x: [T, d_model] -> [T, d_model]. `training` gates dropout.
+  Mat Forward(const Mat& x, bool training, Rng* rng);
+  Mat Backward(const Mat& dy);
+  void CollectParams(ParamSet* params);
+
+ private:
+  MultiHeadSelfAttention mhsa_;
+  Dropout drop1_;
+  LayerNorm ln1_;
+  Linear ff1_;
+  ReluLayer relu_;
+  Linear ff2_;
+  Dropout drop2_;
+  LayerNorm ln2_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_TRANSFORMER_H_

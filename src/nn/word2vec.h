@@ -1,0 +1,65 @@
+// SkipGram: word2vec-style embedding pretraining with negative sampling —
+// the stand-in for the pretrained Twitter word embeddings (Godin et al. 2015)
+// that Aguilar et al. consume. Trained on unlabeled generated tweets; the
+// resulting table can initialize any Embedding layer.
+
+#ifndef EMD_NN_WORD2VEC_H_
+#define EMD_NN_WORD2VEC_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace emd {
+
+struct SkipGramOptions {
+  int dim = 50;
+  int window = 3;          // context window radius
+  int negatives = 4;       // negative samples per positive
+  float learning_rate = 0.05f;
+  int epochs = 2;
+  double subsample = 1e-3; // frequent-word downsampling threshold
+  uint64_t seed = 83;
+};
+
+/// Skip-gram with negative sampling over tokenized sentences.
+class SkipGram {
+ public:
+  explicit SkipGram(SkipGramOptions options = {});
+
+  /// Trains on sentences of (case-folded) tokens; builds the vocabulary
+  /// internally with `min_count`.
+  void Train(const std::vector<std::vector<std::string>>& sentences,
+             int min_count = 2);
+
+  /// The input-embedding table, row-aligned with vocab().
+  const Mat& embeddings() const { return in_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  /// Embedding row for a word (unk row when absent).
+  Mat Embed(const std::string& word) const;
+
+  /// Cosine similarity between two words' embeddings.
+  float Similarity(const std::string& a, const std::string& b) const;
+
+  /// Copies pretrained rows into a destination table for every destination
+  /// vocabulary word also known here; returns the number of rows initialized.
+  int InitializeTable(const Vocabulary& dest_vocab, Mat* dest_table) const;
+
+  bool trained() const { return trained_; }
+
+ private:
+  SkipGramOptions options_;
+  Vocabulary vocab_;
+  std::vector<double> unigram_weights_;  // negative-sampling distribution
+  std::vector<double> keep_probs_;       // subsampling
+  Mat in_, out_;
+  bool trained_ = false;
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_WORD2VEC_H_

@@ -1,0 +1,59 @@
+// AnnotatedTweet / Dataset: the corpus representation shared by generators,
+// EMD systems, the Globalizer pipeline, and evaluation.
+
+#ifndef EMD_STREAM_ANNOTATED_TWEET_H_
+#define EMD_STREAM_ANNOTATED_TWEET_H_
+
+#include <string>
+#include <vector>
+
+#include "text/pos_tags.h"
+#include "text/token.h"
+
+namespace emd {
+
+/// A gold entity mention: token span plus the catalog id of the entity.
+struct GoldSpan {
+  TokenSpan span;
+  int entity_id = -1;
+
+  bool operator==(const GoldSpan& o) const {
+    return span == o.span && entity_id == o.entity_id;
+  }
+};
+
+/// One tweet-sentence with gold annotations.
+///
+/// Tweets are pre-tokenized by the TweetTokenizer at generation time so all
+/// consumers agree on token boundaries (the paper's systems likewise share
+/// tokenization via the datasets' CoNLL files).
+struct AnnotatedTweet {
+  long tweet_id = 0;
+  int sentence_id = 0;
+  std::string text;
+  std::vector<Token> tokens;
+  std::vector<GoldSpan> gold;
+  /// Silver POS tags aligned with `tokens` (generator-provided; used only to
+  /// train the PosTagger substrate, never consulted at evaluation time).
+  std::vector<PosTag> silver_pos;
+  int topic_id = 0;
+};
+
+/// A named collection of tweets plus the stream metadata of Table I.
+struct Dataset {
+  std::string name;
+  std::vector<AnnotatedTweet> tweets;
+  int num_topics = 0;
+  int num_hashtags = 0;   // distinct hashtags observed
+  int num_entities = 0;   // unique gold entities
+  bool streaming = false; // D1-D4 style topical stream vs random sample
+
+  size_t size() const { return tweets.size(); }
+};
+
+/// Recomputes num_hashtags/num_entities from the tweet contents.
+void RefreshDatasetStats(Dataset* dataset);
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_ANNOTATED_TWEET_H_

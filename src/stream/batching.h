@@ -1,0 +1,51 @@
+// StreamBatcher: discretizes a dataset into the consecutive tweet batches of
+// the paper's execution model (§III: "Each iteration consists of a batch of
+// incoming tweets thereby discretizing the evolution of messages").
+
+#ifndef EMD_STREAM_BATCHING_H_
+#define EMD_STREAM_BATCHING_H_
+
+#include <span>
+
+#include "stream/annotated_tweet.h"
+#include "util/logging.h"
+
+namespace emd {
+
+/// Iterates fixed-size batches over a dataset's tweets (last batch may be
+/// short). The dataset must outlive the batcher.
+class StreamBatcher {
+ public:
+  StreamBatcher(const Dataset* dataset, size_t batch_size)
+      : dataset_(dataset), batch_size_(batch_size) {
+    EMD_CHECK(dataset != nullptr);
+    EMD_CHECK_GT(batch_size, 0u);
+  }
+
+  bool HasNext() const { return position_ < dataset_->tweets.size(); }
+
+  /// Returns the next batch as a view into the dataset.
+  std::span<const AnnotatedTweet> Next() {
+    EMD_CHECK(HasNext());
+    const size_t begin = position_;
+    const size_t end = std::min(begin + batch_size_, dataset_->tweets.size());
+    position_ = end;
+    return std::span<const AnnotatedTweet>(dataset_->tweets.data() + begin,
+                                           end - begin);
+  }
+
+  void Reset() { position_ = 0; }
+
+  size_t num_batches() const {
+    return (dataset_->tweets.size() + batch_size_ - 1) / batch_size_;
+  }
+
+ private:
+  const Dataset* dataset_;
+  size_t batch_size_;
+  size_t position_ = 0;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_BATCHING_H_

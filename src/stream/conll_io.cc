@@ -1,0 +1,135 @@
+#include "stream/conll_io.h"
+
+#include <unordered_map>
+
+#include "text/bio.h"
+#include "text/tweet_tokenizer.h"
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+std::string DatasetToConll(const Dataset& dataset) {
+  std::string out;
+  for (const auto& tweet : dataset.tweets) {
+    out += "# id = " + std::to_string(tweet.tweet_id) + "\n";
+    std::vector<TokenSpan> spans;
+    for (const auto& g : tweet.gold) spans.push_back(g.span);
+    const std::vector<int> labels = SpansToBio(spans, tweet.tokens.size());
+    for (size_t t = 0; t < tweet.tokens.size(); ++t) {
+      out += tweet.tokens[t].text;
+      out += '\t';
+      out += labels[t] == kB ? "B" : labels[t] == kI ? "I" : "O";
+      out += '\n';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteConll(const Dataset& dataset, const std::string& path) {
+  return WriteStringToFile(path, DatasetToConll(dataset));
+}
+
+Result<Dataset> DatasetFromConll(const std::string& text, std::string name) {
+  Dataset dataset;
+  dataset.name = std::move(name);
+  std::unordered_map<std::string, int> entity_ids;
+
+  AnnotatedTweet current;
+  std::vector<int> labels;
+  long auto_id = 1;
+  bool has_explicit_id = false;
+
+  auto flush = [&]() -> Status {
+    if (current.tokens.empty()) {
+      current = AnnotatedTweet{};
+      labels.clear();
+      has_explicit_id = false;
+      return Status::OK();
+    }
+    if (!has_explicit_id) current.tweet_id = auto_id;
+    ++auto_id;
+    // Rebuild text/offsets from tokens.
+    size_t offset = 0;
+    for (size_t t = 0; t < current.tokens.size(); ++t) {
+      if (t > 0) {
+        current.text += ' ';
+        ++offset;
+      }
+      current.tokens[t].begin = offset;
+      offset += current.tokens[t].text.size();
+      current.tokens[t].end = offset;
+      current.text += current.tokens[t].text;
+    }
+    for (const TokenSpan& span : BioToSpans(labels)) {
+      const std::string key = ToLowerAscii(SpanText(current.tokens, span));
+      auto [it, inserted] = entity_ids.emplace(
+          key, static_cast<int>(entity_ids.size()));
+      current.gold.push_back({span, it->second});
+    }
+    dataset.tweets.push_back(std::move(current));
+    current = AnnotatedTweet{};
+    labels.clear();
+    has_explicit_id = false;
+    return Status::OK();
+  };
+
+  TweetTokenizer tokenizer;
+  int line_no = 0;
+  for (const std::string& raw : SplitKeepEmpty(text, '\n')) {
+    ++line_no;
+    const std::string line = Strip(raw);
+    if (line.empty()) {
+      EMD_RETURN_IF_ERROR(flush());
+      continue;
+    }
+    // Comment lines are "# key = value"; a bare "#tag<TAB>label" line is a
+    // hashtag token, not a comment.
+    if (StartsWith(line, "# ")) {
+      const auto pieces = Split(line, " =");
+      if (pieces.size() >= 3 && pieces[1] == "id") {
+        current.tweet_id = std::atol(pieces[2].c_str());
+        has_explicit_id = true;
+      }
+      continue;
+    }
+    const auto cols = Split(line, "\t ");
+    if (cols.size() < 2) {
+      return Status::Corruption("conll line ", line_no,
+                                ": expected 'token<TAB>label', got: ", line);
+    }
+    const std::string& token_text = cols[0];
+    std::string label = cols.back();
+    // Strip type suffixes ("B-person" -> "B").
+    if (label.size() > 1 && (label[1] == '-')) label = label.substr(0, 1);
+    int bio;
+    if (label == "O") {
+      bio = kO;
+    } else if (label == "B") {
+      bio = kB;
+    } else if (label == "I") {
+      bio = kI;
+    } else {
+      return Status::Corruption("conll line ", line_no, ": bad label '",
+                                cols.back(), "'");
+    }
+    // Classify the token kind with the tokenizer's rules.
+    auto toks = tokenizer.Tokenize(token_text);
+    Token token;
+    token.text = token_text;
+    token.kind = toks.size() == 1 ? toks[0].kind : TokenKind::kWord;
+    current.tokens.push_back(std::move(token));
+    labels.push_back(bio);
+  }
+  EMD_RETURN_IF_ERROR(flush());
+  RefreshDatasetStats(&dataset);
+  return dataset;
+}
+
+Result<Dataset> ReadConll(const std::string& path, std::string name) {
+  EMD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return DatasetFromConll(text, std::move(name));
+}
+
+}  // namespace emd

@@ -1,0 +1,34 @@
+// CoNLL-style dataset import/export — the interchange format of the WNUT
+// shared tasks. One token per line ("token<TAB>BIO-label"), blank line
+// between tweets, optional "# id = <tweet_id>" comment headers. Lets users
+// run the framework on their own annotated corpora and export generated
+// streams for other toolchains.
+
+#ifndef EMD_STREAM_CONLL_IO_H_
+#define EMD_STREAM_CONLL_IO_H_
+
+#include <string>
+
+#include "stream/annotated_tweet.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emd {
+
+/// Serializes a dataset to CoNLL text.
+std::string DatasetToConll(const Dataset& dataset);
+
+/// Writes a dataset to a CoNLL file.
+Status WriteConll(const Dataset& dataset, const std::string& path);
+
+/// Parses CoNLL text into a dataset. Labels accepted: O, B, I (bare) or
+/// B-<type>/I-<type> (types are ignored; the framework does no typing).
+/// Entity ids are assigned per unique case-folded surface form.
+Result<Dataset> DatasetFromConll(const std::string& text, std::string name = "conll");
+
+/// Reads a CoNLL file into a dataset.
+Result<Dataset> ReadConll(const std::string& path, std::string name = "conll");
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_CONLL_IO_H_

@@ -1,0 +1,53 @@
+// Dataset builders reproducing the corpus suite of Table I:
+//
+//   D1  1K tweets, 1 topic   (Politics stream)
+//   D2  2K tweets, 1 topic   (Health stream — the Covid-19 analog)
+//   D3  3K tweets, 3 topics
+//   D4  6K tweets, 5 topics
+//   D5  38K tweets, 1 topic  (classifier-training stream, like TwiCS)
+//   WNUT17-like  random-sample benchmark (novel/emerging entities, no
+//                stream structure)
+//   BTC-like     9.5K random-sample benchmark
+//
+// plus the tagger training corpus (in-training entities only) that stands in
+// for the WNUT17 training split the paper's local systems were trained on.
+
+#ifndef EMD_STREAM_DATASETS_H_
+#define EMD_STREAM_DATASETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "stream/entity_catalog.h"
+
+namespace emd {
+
+/// Suite-wide knobs. `scale` multiplies every dataset size so tests can run
+/// the full pipeline on small corpora.
+struct DatasetSuiteOptions {
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Builders for the individual datasets.
+Dataset BuildD1(const EntityCatalog& catalog, const DatasetSuiteOptions& options);
+Dataset BuildD2(const EntityCatalog& catalog, const DatasetSuiteOptions& options);
+Dataset BuildD3(const EntityCatalog& catalog, const DatasetSuiteOptions& options);
+Dataset BuildD4(const EntityCatalog& catalog, const DatasetSuiteOptions& options);
+Dataset BuildD5(const EntityCatalog& catalog, const DatasetSuiteOptions& options);
+Dataset BuildWnutLike(const EntityCatalog& catalog, const DatasetSuiteOptions& options);
+Dataset BuildBtcLike(const EntityCatalog& catalog, const DatasetSuiteOptions& options);
+
+/// The six evaluation datasets of Tables III/IV in paper order.
+std::vector<Dataset> BuildEvaluationSuite(const EntityCatalog& catalog,
+                                          const DatasetSuiteOptions& options);
+
+/// Annotated training corpus for the local EMD systems (known entities only,
+/// all topics mixed — the stand-in for the WNUT17 training split).
+Dataset BuildTrainingCorpus(const EntityCatalog& catalog, int num_tweets,
+                            uint64_t seed);
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_DATASETS_H_

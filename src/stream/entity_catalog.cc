@@ -1,0 +1,190 @@
+#include "stream/entity_catalog.h"
+
+#include <set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson:
+      return "person";
+    case EntityType::kLocation:
+      return "location";
+    case EntityType::kOrganization:
+      return "organization";
+    case EntityType::kProduct:
+      return "product";
+    case EntityType::kEvent:
+      return "event";
+    default:
+      return "?";
+  }
+}
+
+std::string Entity::CanonicalName() const {
+  std::string out;
+  for (size_t i = 0; i < name_tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += name_tokens[i];
+  }
+  return out;
+}
+
+namespace {
+
+const std::vector<std::string>& Pick(const std::vector<std::string>& pool) { return pool; }
+
+std::string Draw(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[rng->NextU64(pool.size())];
+}
+
+// Lowercase-canonical entity names: disease/phenomenon-like coinages.
+std::string MakeCommonNounName(Rng* rng) {
+  static const std::vector<std::string> stems = {
+      "coro",  "infl",  "rhino", "noro",  "zika",  "denga", "mela",
+      "neuro", "cryo",  "hydro", "pyro",  "thermo", "chrono", "lumo"};
+  static const std::vector<std::string> mids = {"na", "vi", "xo", "ri", "lu", "ta"};
+  static const std::vector<std::string> ends = {"virus", "flu", "pox", "fever",
+                                                "wave",  "storm", "coin", "net"};
+  return Draw(stems, rng) + Draw(mids, rng) + Draw(ends, rng);
+}
+
+Entity MakeEntity(int id, EntityType type, Topic topic, Rng* rng) {
+  const Lexicon& lex = Lexicon::Get();
+  Entity e;
+  e.id = id;
+  e.type = type;
+  e.topic = topic;
+  switch (type) {
+    case EntityType::kPerson: {
+      std::string surname =
+          Draw(Pick(lex.surname_stems()), rng) + Draw(lex.surname_suffixes(), rng);
+      if (rng->NextBernoulli(0.6)) {
+        e.name_tokens = {Draw(lex.first_names(), rng), surname};
+      } else {
+        e.name_tokens = {surname};
+      }
+      break;
+    }
+    case EntityType::kLocation: {
+      std::string place =
+          Draw(lex.place_stems(), rng) + ToLowerAscii(Draw(lex.place_suffixes(), rng));
+      if (rng->NextBernoulli(0.25)) {
+        e.name_tokens = {Draw(lex.place_stems(), rng), place};
+      } else {
+        e.name_tokens = {place};
+      }
+      break;
+    }
+    case EntityType::kOrganization: {
+      if (rng->NextBernoulli(0.4)) {
+        e.name_tokens = {Draw(lex.org_stems(), rng), Draw(lex.place_stems(), rng),
+                         Draw(lex.org_suffixes(), rng)};
+      } else {
+        e.name_tokens = {Draw(lex.org_stems(), rng), Draw(lex.org_suffixes(), rng)};
+      }
+      break;
+    }
+    case EntityType::kProduct: {
+      std::string stem = Draw(lex.product_stems(), rng);
+      if (rng->NextBernoulli(0.4)) {
+        e.name_tokens = {stem, std::to_string(rng->NextInt(2, 12))};
+      } else {
+        e.name_tokens = {stem};
+      }
+      break;
+    }
+    case EntityType::kEvent: {
+      e.name_tokens = {Draw(lex.place_stems(), rng) +
+                           ToLowerAscii(Draw(lex.place_suffixes(), rng)),
+                       Draw(lex.event_words(), rng)};
+      break;
+    }
+    default:
+      EMD_CHECK(false) << "bad entity type";
+  }
+  return e;
+}
+
+// Relative frequency of types within a topic's entity pool.
+std::vector<double> TypeMix(Topic topic) {
+  switch (topic) {
+    case Topic::kHealth:
+      return {0.30, 0.30, 0.15, 0.10, 0.15};
+    case Topic::kPolitics:
+      return {0.45, 0.25, 0.20, 0.02, 0.08};
+    case Topic::kSports:
+      return {0.40, 0.15, 0.25, 0.05, 0.15};
+    case Topic::kEntertainment:
+      return {0.40, 0.10, 0.20, 0.20, 0.10};
+    case Topic::kScience:
+      return {0.25, 0.15, 0.25, 0.25, 0.10};
+    default:
+      return {0.2, 0.2, 0.2, 0.2, 0.2};
+  }
+}
+
+}  // namespace
+
+EntityCatalog EntityCatalog::Build(const EntityCatalogOptions& options) {
+  Rng rng(options.seed);
+  EntityCatalog catalog;
+  std::set<std::string> seen_names;
+  for (int t = 0; t < static_cast<int>(Topic::kNumTopics); ++t) {
+    const Topic topic = static_cast<Topic>(t);
+    const std::vector<double> mix = TypeMix(topic);
+    int made = 0;
+    int attempts = 0;
+    while (made < options.entities_per_topic && attempts < options.entities_per_topic * 50) {
+      ++attempts;
+      Entity e;
+      const int id = static_cast<int>(catalog.entities_.size());
+      if (rng.NextBernoulli(options.lowercase_fraction)) {
+        e.id = id;
+        e.topic = topic;
+        e.type = rng.NextBernoulli(0.5) ? EntityType::kProduct : EntityType::kEvent;
+        e.name_tokens = {MakeCommonNounName(&rng)};
+        e.lowercase_canonical = true;
+      } else {
+        EntityType type = static_cast<EntityType>(rng.NextWeighted(mix));
+        e = MakeEntity(id, type, topic, &rng);
+      }
+      std::string key = ToLowerAscii(e.CanonicalName());
+      if (!seen_names.insert(key).second) continue;  // name collision, retry
+      e.in_training = rng.NextBernoulli(options.training_fraction);
+      const double gz = e.in_training ? options.gazetteer_fraction_known
+                                      : options.gazetteer_fraction_novel;
+      e.in_gazetteer = rng.NextBernoulli(gz);
+      catalog.entities_.push_back(std::move(e));
+      ++made;
+    }
+    EMD_CHECK_EQ(made, options.entities_per_topic)
+        << "could not generate enough unique entity names for topic " << t;
+  }
+  return catalog;
+}
+
+const Entity& EntityCatalog::entity(int id) const {
+  EMD_CHECK_GE(id, 0);
+  EMD_CHECK_LT(id, static_cast<int>(entities_.size()));
+  return entities_[id];
+}
+
+std::vector<int> EntityCatalog::TopicEntityIds(Topic topic) const {
+  std::vector<int> ids;
+  for (const Entity& e : entities_) {
+    if (e.topic == topic) ids.push_back(e.id);
+  }
+  return ids;
+}
+
+int EntityCatalog::AddCustom(Entity entity) {
+  entity.id = static_cast<int>(entities_.size());
+  entities_.push_back(std::move(entity));
+  return entities_.back().id;
+}
+
+}  // namespace emd

@@ -1,0 +1,88 @@
+// EntityCatalog: the synthetic world of entities that tweet streams talk
+// about. Replaces the real-world entities of the paper's crawled datasets.
+//
+// Entities carry the two attributes that drive the paper's experimental
+// premise: whether a tagger's training corpus knew them (`in_training` —
+// novel/emergent entities are the hard case) and whether gazetteers list
+// them (`in_gazetteer`).
+
+#ifndef EMD_STREAM_ENTITY_CATALOG_H_
+#define EMD_STREAM_ENTITY_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/lexicon.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// WNUT-style coarse entity types.
+enum class EntityType : int {
+  kPerson = 0,
+  kLocation = 1,
+  kOrganization = 2,
+  kProduct = 3,
+  kEvent = 4,
+  kNumTypes = 5,
+};
+
+const char* EntityTypeName(EntityType type);
+
+/// One catalog entity.
+struct Entity {
+  int id = -1;
+  EntityType type = EntityType::kPerson;
+  Topic topic = Topic::kHealth;
+  /// Canonical surface tokens, e.g. {"Andy", "Beshear"} or {"coronavirus"}.
+  std::vector<std::string> name_tokens;
+  /// True when the canonical form is lowercase (common-noun-like entities
+  /// such as disease names — the paper's "coronavirus" hard case).
+  bool lowercase_canonical = false;
+  /// Appears in tagger training corpora (known vs novel/emergent entity).
+  bool in_training = true;
+  /// Listed in the synthetic gazetteer.
+  bool in_gazetteer = true;
+
+  /// Canonical name joined with spaces.
+  std::string CanonicalName() const;
+};
+
+/// Parameters for catalog construction.
+struct EntityCatalogOptions {
+  /// Entities generated per topic.
+  int entities_per_topic = 400;
+  /// Fraction of entities present in the training corpus world.
+  double training_fraction = 0.42;
+  /// Gazetteer coverage among training entities / among novel entities.
+  double gazetteer_fraction_known = 0.75;
+  double gazetteer_fraction_novel = 0.10;
+  /// Fraction of lowercase-canonical (common-noun-like) entities.
+  double lowercase_fraction = 0.12;
+  uint64_t seed = 17;
+};
+
+/// Immutable once built.
+class EntityCatalog {
+ public:
+  /// Generates a catalog; deterministic for a fixed options.seed.
+  static EntityCatalog Build(const EntityCatalogOptions& options);
+
+  const std::vector<Entity>& entities() const { return entities_; }
+  const Entity& entity(int id) const;
+  size_t size() const { return entities_.size(); }
+
+  /// Ids of entities in a topic, optionally filtered by training membership.
+  std::vector<int> TopicEntityIds(Topic topic) const;
+
+  /// Adds a hand-specified entity (used by the case-study example); returns
+  /// its id.
+  int AddCustom(Entity entity);
+
+ private:
+  std::vector<Entity> entities_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_ENTITY_CATALOG_H_

@@ -1,0 +1,42 @@
+#include "stream/gazetteer.h"
+
+#include "util/string_util.h"
+
+namespace emd {
+
+Gazetteer Gazetteer::Build(const EntityCatalog& catalog) {
+  Gazetteer gz;
+  for (const Entity& e : catalog.entities()) {
+    if (!e.in_gazetteer) continue;
+    const std::string name = ToLowerAscii(e.CanonicalName());
+    gz.typed_[static_cast<size_t>(e.type)].insert(name);
+    gz.any_.insert(name);
+    for (const auto& tok : e.name_tokens) gz.tokens_.insert(ToLowerAscii(tok));
+  }
+  return gz;
+}
+
+bool Gazetteer::ContainsTyped(EntityType type, std::string_view phrase) const {
+  return typed_[static_cast<size_t>(type)].count(ToLowerAscii(phrase)) > 0;
+}
+
+bool Gazetteer::ContainsAny(std::string_view phrase) const {
+  return any_.count(ToLowerAscii(phrase)) > 0;
+}
+
+bool Gazetteer::TokenInAnyName(std::string_view token) const {
+  return tokens_.count(ToLowerAscii(token)) > 0;
+}
+
+std::array<float, Gazetteer::kNumLists> Gazetteer::FeatureVector(
+    std::string_view phrase) const {
+  std::array<float, kNumLists> f{};
+  const std::string key = ToLowerAscii(phrase);
+  for (int t = 0; t < static_cast<int>(EntityType::kNumTypes); ++t) {
+    if (typed_[t].count(key) > 0) f[t] = 1.f;
+  }
+  if (any_.count(key) > 0) f[kNumLists - 1] = 1.f;
+  return f;
+}
+
+}  // namespace emd

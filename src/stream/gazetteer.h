@@ -1,0 +1,51 @@
+// Gazetteer: typed entity name lists — the stand-in for the Freebase-derived
+// dictionaries used by TwitterNLP and the 6-gazetteer lexical features of
+// Aguilar et al.
+
+#ifndef EMD_STREAM_GAZETTEER_H_
+#define EMD_STREAM_GAZETTEER_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "stream/entity_catalog.h"
+
+namespace emd {
+
+/// Case-insensitive membership over per-type name lists. The sixth list is
+/// an "any" list (union), mirroring the 6-dimensional lexical vector of
+/// Aguilar et al.
+class Gazetteer {
+ public:
+  static constexpr int kNumLists = 6;
+
+  /// Builds from every catalog entity flagged in_gazetteer.
+  static Gazetteer Build(const EntityCatalog& catalog);
+
+  /// True when the (case-folded) phrase is listed under `type`.
+  bool ContainsTyped(EntityType type, std::string_view phrase) const;
+
+  /// True when listed under any type.
+  bool ContainsAny(std::string_view phrase) const;
+
+  /// True when the single token occurs inside any listed name.
+  bool TokenInAnyName(std::string_view token) const;
+
+  /// 6-dim binary feature vector for a phrase: one dimension per entity type
+  /// plus the "any" dimension.
+  std::array<float, kNumLists> FeatureVector(std::string_view phrase) const;
+
+  size_t size() const { return any_.size(); }
+
+ private:
+  std::array<std::unordered_set<std::string>, static_cast<size_t>(EntityType::kNumTypes)>
+      typed_;
+  std::unordered_set<std::string> any_;
+  std::unordered_set<std::string> tokens_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_GAZETTEER_H_

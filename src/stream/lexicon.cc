@@ -1,0 +1,173 @@
+#include "stream/lexicon.h"
+
+#include "util/logging.h"
+
+namespace emd {
+
+const char* TopicName(Topic topic) {
+  switch (topic) {
+    case Topic::kHealth:
+      return "health";
+    case Topic::kPolitics:
+      return "politics";
+    case Topic::kSports:
+      return "sports";
+    case Topic::kEntertainment:
+      return "entertainment";
+    case Topic::kScience:
+      return "science";
+    default:
+      return "?";
+  }
+}
+
+const Lexicon& Lexicon::Get() {
+  static const Lexicon* kInstance = new Lexicon();
+  return *kInstance;
+}
+
+const std::vector<std::string>& Lexicon::topic_words(Topic topic) const {
+  int i = static_cast<int>(topic);
+  EMD_CHECK_GE(i, 0);
+  EMD_CHECK_LT(i, static_cast<int>(topic_words_.size()));
+  return topic_words_[i];
+}
+
+Lexicon::Lexicon() {
+  stopwords_ = {"the",  "a",     "an",   "of",   "in",   "on",    "at",   "to",
+                "for",  "with",  "by",   "from", "about", "as",   "is",   "are",
+                "was",  "were",  "be",   "been", "has",  "have",  "had",  "will",
+                "would", "can",  "could", "should", "this", "that", "these",
+                "those", "it",   "its",  "they", "their", "we",   "our",  "you",
+                "your", "he",    "his",  "she",  "her",  "i",     "my",   "me",
+                "not",  "no",    "so",   "but",  "and",  "or",    "if",   "when",
+                "while", "just", "still", "now",  "here", "there", "who",  "what",
+                "how",  "why",   "all",  "some", "more", "most",  "very", "too"};
+
+  verbs_ = {"says",    "warns",    "reports",  "announces", "confirms", "denies",
+            "claims",  "expects",  "urges",    "asks",      "tells",    "shows",
+            "reveals", "plans",    "wants",    "needs",     "thinks",   "believes",
+            "hopes",   "fears",    "predicts", "suggests",  "blames",   "praises",
+            "slams",   "backs",    "rejects",  "approves",  "signs",    "visits",
+            "meets",   "leads",    "wins",     "loses",     "beats",    "joins",
+            "leaves",  "launches", "releases", "cancels",   "delays",   "extends",
+            "tracks",  "monitors", "updates",  "shares",    "posts",    "breaks"};
+
+  past_verbs_ = {"said",      "warned",   "reported",  "announced", "confirmed",
+                 "denied",    "claimed",  "expected",  "urged",     "asked",
+                 "told",      "showed",   "revealed",  "planned",   "wanted",
+                 "predicted", "suggested", "blamed",   "praised",   "slammed",
+                 "backed",    "rejected", "approved",  "signed",    "visited",
+                 "met",       "led",      "won",       "lost",      "beat",
+                 "joined",    "left",     "launched",  "released",  "cancelled",
+                 "delayed",   "extended", "tracked",   "updated",   "shared"};
+
+  nouns_ = {"people",   "news",     "report",   "update",  "story",    "video",
+            "photo",    "statement", "decision", "meeting", "press",    "crowd",
+            "crisis",   "response",  "plan",     "deal",    "bill",     "vote",
+            "rally",    "debate",    "poll",     "case",    "cases",    "numbers",
+            "data",     "chart",     "rate",     "risk",    "wave",     "surge",
+            "outbreak", "lockdown",  "vaccine",  "test",    "tests",    "mask",
+            "masks",    "hospital",  "doctor",   "nurse",   "patient",  "school",
+            "schools",  "business",  "economy",  "market",  "jobs",     "workers",
+            "fans",     "game",      "match",    "season",  "team",     "league",
+            "goal",     "score",     "record",   "title",   "coach",    "player",
+            "movie",    "film",      "show",     "album",   "song",     "tour",
+            "concert",  "award",     "trailer",  "episode", "study",    "research",
+            "paper",    "lab",       "sample",   "results", "mission",  "launch",
+            "rocket",   "satellite", "orbit",    "telescope", "galaxy", "planet"};
+
+  adjectives_ = {"new",      "big",      "huge",     "major",   "breaking",
+                 "latest",   "official", "public",   "local",   "national",
+                 "global",   "serious",  "critical", "severe",  "mild",
+                 "positive", "negative", "early",    "late",    "final",
+                 "strong",   "weak",     "record",   "historic", "rare",
+                 "common",   "daily",    "weekly",   "total",   "partial",
+                 "amazing",  "terrible", "shocking", "sad",     "great",
+                 "bad",      "good",     "real",     "fake",    "true"};
+
+  adverbs_ = {"today",     "tonight",   "yesterday", "tomorrow", "again",
+              "already",   "finally",   "officially", "reportedly", "apparently",
+              "literally", "seriously", "quickly",   "slowly",   "soon",
+              "recently",  "currently", "probably",  "definitely", "maybe"};
+
+  interjections_ = {"wow",  "omg",  "lol",  "smh",   "wtf",  "yikes",
+                    "whoa", "damn", "geez", "phew",  "ugh",  "yay"};
+
+  first_names_ = {"Andy",   "Maria",  "James",  "Sofia",  "Liam",   "Emma",
+                  "Noah",   "Olivia", "Ethan",  "Ava",    "Lucas",  "Mia",
+                  "Mason",  "Isla",   "Logan",  "Zoe",    "Carter", "Ruby",
+                  "Owen",   "Nora",   "Dylan",  "Elena",  "Caleb",  "Ivy",
+                  "Felix",  "Clara",  "Hugo",   "Alma",   "Jonas",  "Vera",
+                  "Marco",  "Lena",   "Pedro",  "Nina",   "Tariq",  "Amara",
+                  "Kenji",  "Yuki",   "Ravi",   "Priya",  "Omar",   "Leila",
+                  "Bastian", "Carmen", "Dario",  "Esme",   "Farid",  "Greta",
+                  "Hamza",  "Ingrid", "Jorge",  "Kira",   "Luther", "Mirela",
+                  "Nadia",  "Otto",   "Paloma", "Quentin", "Rosa",  "Stefan",
+                  "Talia",  "Ulysses", "Violet", "Wanda",  "Xavier", "Yara",
+                  "Zane",   "Anouk",  "Bruno",  "Celine", "Dmitri", "Elif",
+                  "Fabio",  "Gwen",   "Harun",  "Iris",   "Jasper", "Katya",
+                  "Lorenzo", "Maeve", "Nikos",  "Odette", "Pavel",  "Quinn",
+                  "Renata", "Soren",  "Tessa",  "Umar",   "Valentin", "Willa",
+                  "Xenia",  "Yusuf",  "Zelda",  "Arlo",   "Bianca", "Cedric",
+                  "Delphine", "Emil", "Freya",  "Gideon", "Hana",   "Ivo",
+                  "Junia",  "Kofi",   "Lucia",  "Matteo", "Noemi",  "Oskar",
+                  "Petra",  "Raul",   "Selene", "Tomas",  "Una",    "Viggo"};
+
+  surname_stems_ = {"Besh",  "Card",  "Molin",  "Hart",  "Vask",  "Dren",
+                    "Okaf",  "Thorn", "Walsh",  "Kemp",  "Rask",  "Lund",
+                    "Ferr",  "Galv",  "Hask",   "Ingr",  "Jarv",  "Kov",
+                    "Lark",  "Mend",  "Nov",    "Ostr",  "Pell",  "Quin",
+                    "Rund",  "Salt",  "Tren",   "Ulr",   "Vance", "Wynd"};
+
+  surname_suffixes_ = {"ear", "oza",  "ari", "man", "ell", "sen",  "sson", "wick",
+                       "ley", "ford", "ton", "er",  "ings", "dale", "by",  "stad"};
+
+  place_stems_ = {"North", "South", "East", "West", "New",  "Port", "Fort",
+                  "Lake",  "Grand", "Mount", "Saint", "Glen", "Oak", "Elm",
+                  "Ash",   "Stone", "River", "Clear", "High", "Red"};
+
+  place_suffixes_ = {"field", "ville", "burg", "ton", "haven", "wood", "ridge",
+                     "shore", "gate",  "port", "dale", "brook", "crest", "moor"};
+
+  org_stems_ = {"Apex",   "Nova",  "Vertex", "Orion",  "Atlas",  "Zenith",
+                "Helio",  "Lumen", "Quanta", "Stellar", "Vector", "Cobalt",
+                "Argent", "Boreal", "Cinder", "Delta",  "Ember",  "Falcon"};
+
+  org_suffixes_ = {"Corp",    "Labs",   "Group",   "Media",  "Health", "Systems",
+                   "Studios", "United", "Dynamics", "Global", "Networks", "FC"};
+
+  product_stems_ = {"Pixelon", "Vantaro", "Nebulix", "Corvex",  "Solara",
+                    "Tempest", "Aurora",  "Helix",   "Quasar",  "Zephyr"};
+
+  event_words_ = {"Summit", "Cup", "Open", "Games", "Festival", "Expo",
+                  "Forum",  "Gala", "Series", "Derby", "Marathon", "Con"};
+
+  user_handles_ = {"@newsdesk",   "@dailyfeed",  "@liveupdates", "@thewire",
+                   "@statewatch", "@fanzone",    "@scoopster",   "@trendbot",
+                   "@localvoice", "@nightowl",   "@cityreport",  "@pressroom"};
+
+  topic_words_.resize(static_cast<size_t>(Topic::kNumTopics));
+  topic_words_[static_cast<int>(Topic::kHealth)] = {
+      "virus",  "outbreak", "cases",   "vaccine",  "hospital", "symptoms",
+      "testing", "quarantine", "distancing", "pandemic", "immunity", "variant",
+      "masks",  "lockdown", "recovery", "infection", "doctors",  "health"};
+  topic_words_[static_cast<int>(Topic::kPolitics)] = {
+      "election", "senate",  "congress", "campaign", "ballot",  "policy",
+      "debate",   "voters",  "governor", "mayor",    "bill",    "veto",
+      "polls",    "caucus",  "reform",   "budget",   "hearing", "motion"};
+  topic_words_[static_cast<int>(Topic::kSports)] = {
+      "game",    "season", "playoffs", "transfer", "injury",  "goal",
+      "striker", "derby",  "finals",   "champions", "roster", "draft",
+      "stadium", "fans",   "keeper",   "penalty",  "overtime", "league"};
+  topic_words_[static_cast<int>(Topic::kEntertainment)] = {
+      "movie",   "trailer", "premiere", "album",   "single",  "tour",
+      "concert", "awards",  "casting",  "sequel",  "episode", "finale",
+      "streaming", "boxoffice", "celebrity", "redcarpet", "fandom", "studio"};
+  topic_words_[static_cast<int>(Topic::kScience)] = {
+      "launch",  "rocket",  "orbit",    "telescope", "galaxy",  "probe",
+      "mission", "lander",  "asteroid", "spectrum",  "genome",  "neurons",
+      "quantum", "fusion",  "climate",  "glacier",   "specimen", "dataset"};
+}
+
+}  // namespace emd

@@ -1,0 +1,79 @@
+// Lexicon: the static word stock of the synthetic tweet generator —
+// stopwords, verbs, common nouns, adjectives, name parts, and per-topic
+// vocabulary. Everything here is data, not behaviour; the generator draws
+// from these pools to assemble realistic-looking microblog sentences.
+
+#ifndef EMD_STREAM_LEXICON_H_
+#define EMD_STREAM_LEXICON_H_
+
+#include <string>
+#include <vector>
+
+namespace emd {
+
+/// Topic themes used to build targeted streams (§VI: "Politics, Sports,
+/// Entertainment, Science and Health").
+enum class Topic : int {
+  kHealth = 0,
+  kPolitics = 1,
+  kSports = 2,
+  kEntertainment = 3,
+  kScience = 4,
+  kNumTopics = 5,
+};
+
+const char* TopicName(Topic topic);
+
+/// Immutable word pools.
+class Lexicon {
+ public:
+  /// The process-wide instance (pools are static data).
+  static const Lexicon& Get();
+
+  const std::vector<std::string>& stopwords() const { return stopwords_; }
+  const std::vector<std::string>& verbs() const { return verbs_; }
+  const std::vector<std::string>& past_verbs() const { return past_verbs_; }
+  const std::vector<std::string>& nouns() const { return nouns_; }
+  const std::vector<std::string>& adjectives() const { return adjectives_; }
+  const std::vector<std::string>& adverbs() const { return adverbs_; }
+  const std::vector<std::string>& interjections() const { return interjections_; }
+  const std::vector<std::string>& first_names() const { return first_names_; }
+  const std::vector<std::string>& surname_stems() const { return surname_stems_; }
+  const std::vector<std::string>& surname_suffixes() const { return surname_suffixes_; }
+  const std::vector<std::string>& place_stems() const { return place_stems_; }
+  const std::vector<std::string>& place_suffixes() const { return place_suffixes_; }
+  const std::vector<std::string>& org_stems() const { return org_stems_; }
+  const std::vector<std::string>& org_suffixes() const { return org_suffixes_; }
+  const std::vector<std::string>& product_stems() const { return product_stems_; }
+  const std::vector<std::string>& event_words() const { return event_words_; }
+  const std::vector<std::string>& user_handles() const { return user_handles_; }
+
+  /// Topic-specific content words (used for filler and hashtags).
+  const std::vector<std::string>& topic_words(Topic topic) const;
+
+ private:
+  Lexicon();
+
+  std::vector<std::string> stopwords_;
+  std::vector<std::string> verbs_;
+  std::vector<std::string> past_verbs_;
+  std::vector<std::string> nouns_;
+  std::vector<std::string> adjectives_;
+  std::vector<std::string> adverbs_;
+  std::vector<std::string> interjections_;
+  std::vector<std::string> first_names_;
+  std::vector<std::string> surname_stems_;
+  std::vector<std::string> surname_suffixes_;
+  std::vector<std::string> place_stems_;
+  std::vector<std::string> place_suffixes_;
+  std::vector<std::string> org_stems_;
+  std::vector<std::string> org_suffixes_;
+  std::vector<std::string> product_stems_;
+  std::vector<std::string> event_words_;
+  std::vector<std::string> user_handles_;
+  std::vector<std::vector<std::string>> topic_words_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_LEXICON_H_

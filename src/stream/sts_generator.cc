@@ -1,0 +1,88 @@
+#include "stream/sts_generator.h"
+
+#include <algorithm>
+
+#include "stream/lexicon.h"
+#include "stream/tweet_generator.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+/// Replaces a fraction of word tokens with same-pool words and optionally
+/// swaps two adjacent non-entity tokens — a graded paraphrase/corruption.
+std::vector<Token> Corrupt(const std::vector<Token>& tokens, double replace_frac,
+                           Rng* rng) {
+  const Lexicon& lex = Lexicon::Get();
+  std::vector<Token> out = tokens;
+  for (auto& tok : out) {
+    if (tok.kind != TokenKind::kWord) continue;
+    if (!rng->NextBernoulli(replace_frac)) continue;
+    const auto& pool = rng->NextBernoulli(0.5) ? lex.nouns() : lex.verbs();
+    std::string repl = pool[rng->NextU64(pool.size())];
+    if (IsInitialCap(tok.text)) repl = Capitalize(repl);
+    tok.text = repl;
+  }
+  if (replace_frac > 0 && out.size() >= 3 && rng->NextBernoulli(0.5)) {
+    const size_t i = rng->NextU64(out.size() - 1);
+    std::swap(out[i], out[i + 1]);
+  }
+  return out;
+}
+
+StsPair MakePair(TweetGenerator* gen_a, TweetGenerator* gen_b, Rng* rng) {
+  StsPair pair;
+  const double kind = rng->NextDouble();
+  AnnotatedTweet ta = gen_a->Next();
+  if (kind < 0.25) {
+    // Identical / near-identical: score ~ 0.9-1.0.
+    pair.a = ta.tokens;
+    pair.b = Corrupt(ta.tokens, 0.05, rng);
+    pair.score = rng->NextFloat(0.9f, 1.0f);
+  } else if (kind < 0.55) {
+    // Paraphrase with moderate substitution: 0.55-0.85.
+    pair.a = ta.tokens;
+    pair.b = Corrupt(ta.tokens, 0.3, rng);
+    pair.score = rng->NextFloat(0.55f, 0.85f);
+  } else if (kind < 0.75) {
+    // Heavy corruption, same topic skeleton: 0.25-0.5.
+    pair.a = ta.tokens;
+    pair.b = Corrupt(ta.tokens, 0.7, rng);
+    pair.score = rng->NextFloat(0.25f, 0.5f);
+  } else {
+    // Unrelated sentence from another stream: 0-0.15.
+    AnnotatedTweet tb = gen_b->Next();
+    pair.a = ta.tokens;
+    pair.b = tb.tokens;
+    pair.score = rng->NextFloat(0.f, 0.15f);
+  }
+  return pair;
+}
+
+}  // namespace
+
+StsData GenerateStsData(const EntityCatalog& catalog,
+                        const StsGeneratorOptions& options) {
+  Rng rng(options.seed);
+  TweetGeneratorOptions ga;
+  ga.seed = rng.NextU64();
+  ga.url_prob = 0;  // similarity pairs are plain sentences
+  ga.hashtag_prob = 0.1;
+  TweetGeneratorOptions gb = ga;
+  gb.seed = rng.NextU64();
+  TweetGenerator gen_a(&catalog, Topic::kEntertainment, ga);
+  TweetGenerator gen_b(&catalog, Topic::kPolitics, gb);
+
+  StsData data;
+  data.train.reserve(options.num_train_pairs);
+  for (int i = 0; i < options.num_train_pairs; ++i) {
+    data.train.push_back(MakePair(&gen_a, &gen_b, &rng));
+  }
+  data.validation.reserve(options.num_val_pairs);
+  for (int i = 0; i < options.num_val_pairs; ++i) {
+    data.validation.push_back(MakePair(&gen_a, &gen_b, &rng));
+  }
+  return data;
+}
+
+}  // namespace emd

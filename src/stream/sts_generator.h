@@ -1,0 +1,43 @@
+// StsGenerator: synthetic Semantic-Textual-Similarity sentence pairs — the
+// stand-in for the STS-Benchmark used to train the Entity Phrase Embedder
+// (§VI). Pairs are built from generated tweets: graded corruptions of a
+// sentence yield graded similarity scores; unrelated sentences score near 0.
+
+#ifndef EMD_STREAM_STS_GENERATOR_H_
+#define EMD_STREAM_STS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "stream/entity_catalog.h"
+
+namespace emd {
+
+/// One scored sentence pair. Scores live in [0, 1] (the paper divides the
+/// 0-5 STS-b integer scores by 5).
+struct StsPair {
+  std::vector<Token> a;
+  std::vector<Token> b;
+  float score = 0.f;
+};
+
+struct StsGeneratorOptions {
+  int num_train_pairs = 5749;  // matches STS-b train size
+  int num_val_pairs = 1500;    // matches STS-b validation size
+  uint64_t seed = 7;
+};
+
+struct StsData {
+  std::vector<StsPair> train;
+  std::vector<StsPair> validation;
+};
+
+/// Generates the pair corpus from the catalog's world.
+StsData GenerateStsData(const EntityCatalog& catalog,
+                        const StsGeneratorOptions& options);
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_STS_GENERATOR_H_

@@ -1,0 +1,96 @@
+#include "stream/topic_classifier.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+// Feature tokens: lowercased words and hashtag bodies; mentions/URLs carry no
+// topic signal.
+std::vector<std::string> FeatureTokens(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kWord) {
+      out.push_back(ToLowerAscii(t.text));
+    } else if (t.kind == TokenKind::kHashtag && t.text.size() > 1) {
+      out.push_back(ToLowerAscii(t.text.substr(1)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void TopicClassifier::Train(const Dataset& corpus, double smoothing) {
+  smoothing_ = smoothing;
+  word_counts_.clear();
+  topic_totals_.fill(0);
+  topic_priors_.fill(0);
+  double total_tweets = 0;
+  for (const auto& tweet : corpus.tweets) {
+    EMD_CHECK_GE(tweet.topic_id, 0);
+    EMD_CHECK_LT(tweet.topic_id, kNumTopics);
+    topic_priors_[tweet.topic_id] += 1;
+    total_tweets += 1;
+    for (const auto& word : FeatureTokens(tweet.tokens)) {
+      auto& counts = word_counts_[word];
+      counts[tweet.topic_id] += 1;
+      topic_totals_[tweet.topic_id] += 1;
+    }
+  }
+  EMD_CHECK_GT(total_tweets, 0.0);
+  for (auto& p : topic_priors_) p = std::log((p + 1) / (total_tweets + kNumTopics));
+  vocab_size_ = static_cast<double>(word_counts_.size());
+}
+
+std::vector<double> TopicClassifier::Scores(const std::vector<Token>& tokens) const {
+  std::vector<double> scores(kNumTopics);
+  for (int k = 0; k < kNumTopics; ++k) scores[k] = topic_priors_[k];
+  for (const auto& word : FeatureTokens(tokens)) {
+    auto it = word_counts_.find(word);
+    for (int k = 0; k < kNumTopics; ++k) {
+      const double count = it == word_counts_.end() ? 0.0 : it->second[k];
+      scores[k] += std::log((count + smoothing_) /
+                            (topic_totals_[k] + smoothing_ * (vocab_size_ + 1)));
+    }
+  }
+  return scores;
+}
+
+Topic TopicClassifier::Classify(const std::vector<Token>& tokens) const {
+  const auto scores = Scores(tokens);
+  int best = 0;
+  for (int k = 1; k < kNumTopics; ++k) {
+    if (scores[k] > scores[best]) best = k;
+  }
+  return static_cast<Topic>(best);
+}
+
+double TopicClassifier::Accuracy(const Dataset& corpus) const {
+  long correct = 0;
+  for (const auto& tweet : corpus.tweets) {
+    if (static_cast<int>(Classify(tweet.tokens)) == tweet.topic_id) ++correct;
+  }
+  return corpus.tweets.empty()
+             ? 0.0
+             : static_cast<double>(correct) / corpus.tweets.size();
+}
+
+std::vector<Dataset> TopicClassifier::Route(const Dataset& mixed) const {
+  std::vector<Dataset> streams(kNumTopics);
+  for (int k = 0; k < kNumTopics; ++k) {
+    streams[k].name = mixed.name + "/" + TopicName(static_cast<Topic>(k));
+    streams[k].streaming = true;
+    streams[k].num_topics = 1;
+  }
+  for (const auto& tweet : mixed.tweets) {
+    streams[static_cast<int>(Classify(tweet.tokens))].tweets.push_back(tweet);
+  }
+  for (auto& s : streams) RefreshDatasetStats(&s);
+  return streams;
+}
+
+}  // namespace emd

@@ -1,0 +1,53 @@
+// TopicClassifier: multinomial naive-Bayes tweet-topic classifier — the
+// "topic classifier [49] could precede an EMD tool launched for streams"
+// deployment component of §VI. Routes tweets from a mixed firehose into
+// per-topic targeted streams so the Globalizer's entity-repetition premise
+// holds.
+
+#ifndef EMD_STREAM_TOPIC_CLASSIFIER_H_
+#define EMD_STREAM_TOPIC_CLASSIFIER_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "stream/lexicon.h"
+#include "util/status.h"
+
+namespace emd {
+
+/// Multinomial naive Bayes over case-folded word/hashtag tokens.
+class TopicClassifier {
+ public:
+  /// Trains from a corpus whose tweets carry topic_id labels.
+  void Train(const Dataset& corpus, double smoothing = 0.5);
+
+  /// Most probable topic for a tweet.
+  Topic Classify(const std::vector<Token>& tokens) const;
+
+  /// Log-probability scores per topic (diagnostic).
+  std::vector<double> Scores(const std::vector<Token>& tokens) const;
+
+  /// Fraction correctly routed on a labelled dataset.
+  double Accuracy(const Dataset& corpus) const;
+
+  /// Splits a mixed dataset into per-topic streams by predicted topic.
+  std::vector<Dataset> Route(const Dataset& mixed) const;
+
+  bool trained() const { return !word_counts_.empty(); }
+
+ private:
+  static constexpr int kNumTopics = static_cast<int>(Topic::kNumTopics);
+
+  double smoothing_ = 0.5;
+  std::unordered_map<std::string, std::array<double, 5>> word_counts_;
+  std::array<double, 5> topic_totals_{};
+  std::array<double, 5> topic_priors_{};
+  double vocab_size_ = 0;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_TOPIC_CLASSIFIER_H_

@@ -1,0 +1,523 @@
+#include "stream/tweet_generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+// Template pieces: every tweet is assembled from a sequence of these.
+enum class Piece {
+  kStop,      // stopword
+  kVerb,      // present-tense verb
+  kPastVerb,  // past-tense verb
+  kNoun,
+  kAdj,
+  kAdv,
+  kInterj,
+  kTopic,     // topic content word
+  kEntity,    // entity mention slot (gold-annotated)
+  kHandle,    // @user
+  kNumber,
+  kComma,
+  kPeriod,
+  kExcl,
+  kQuest,
+  kColon,
+  kDecoy,     // capitalized non-entity phrase ("Breaking News")
+};
+
+// Tweet skeletons. Mixture of news-style, quote-style, and chatter; some have
+// no entity slot at all (plain chatter exists in every stream).
+const std::vector<std::vector<Piece>>& Templates() {
+  static const std::vector<std::vector<Piece>>* kTemplates = [] {
+    using P = Piece;
+    auto* t = new std::vector<std::vector<Piece>>{
+        // "<Entity> says the new cases are rising ."
+        {P::kEntity, P::kVerb, P::kStop, P::kAdj, P::kTopic, P::kVerb, P::kPeriod},
+        // "<Entity> : <topic> is not <topic> ."  (quote style, Fig. 1 T1)
+        {P::kEntity, P::kColon, P::kTopic, P::kStop, P::kStop, P::kTopic, P::kPeriod},
+        // "breaking : <Entity> <pastverb> <noun> in <Entity> ."
+        {P::kAdj, P::kColon, P::kEntity, P::kPastVerb, P::kNoun, P::kStop, P::kEntity,
+         P::kPeriod},
+        // "<Entity> <pastverb> <stop> <noun> <adv> ."
+        {P::kEntity, P::kPastVerb, P::kStop, P::kNoun, P::kAdv, P::kPeriod},
+        // "just saw <noun> about <Entity> , <interj>"
+        {P::kAdv, P::kPastVerb, P::kNoun, P::kStop, P::kEntity, P::kComma, P::kInterj},
+        // "<interj> <Entity> is <adj> !"
+        {P::kInterj, P::kEntity, P::kStop, P::kAdj, P::kExcl},
+        // "<noun> from <Entity> <verb> <topic> <noun> ."
+        {P::kNoun, P::kStop, P::kEntity, P::kVerb, P::kTopic, P::kNoun, P::kPeriod},
+        // "why is <Entity> still <verb> <stop> <topic> ?"
+        {P::kStop, P::kStop, P::kEntity, P::kAdv, P::kVerb, P::kStop, P::kTopic,
+         P::kQuest},
+        // "<Decoy> : <Entity> <verb> <number> <topic> <noun>"
+        {P::kDecoy, P::kColon, P::kEntity, P::kVerb, P::kNumber, P::kTopic, P::kNoun},
+        // "<Entity> to <verb> <noun> , may <verb> <topic>"  (Fig. 1 T5 style)
+        {P::kEntity, P::kStop, P::kVerb, P::kNoun, P::kComma, P::kStop, P::kVerb,
+         P::kTopic},
+        // "<Entity> <verb> at a <noun> similar to <Entity>"  (Fig. 1 T6 style)
+        {P::kEntity, P::kVerb, P::kStop, P::kStop, P::kNoun, P::kAdj, P::kStop,
+         P::kEntity},
+        // "we just <pastverb> <Entity> with <Entity> <noun> . but <handle>
+        //  wants to <verb>"  (Fig. 1 T2 style)
+        {P::kStop, P::kAdv, P::kPastVerb, P::kEntity, P::kStop, P::kEntity, P::kNoun,
+         P::kPeriod, P::kStop, P::kHandle, P::kVerb, P::kStop, P::kVerb},
+        // "<handle> <verb> <stop> <Entity> <noun>"
+        {P::kHandle, P::kVerb, P::kStop, P::kEntity, P::kNoun},
+        // no-entity chatter
+        {P::kInterj, P::kStop, P::kNoun, P::kStop, P::kAdj, P::kExcl},
+        {P::kAdv, P::kStop, P::kNoun, P::kVerb, P::kStop, P::kTopic, P::kPeriod},
+        {P::kStop, P::kAdj, P::kNoun, P::kStop, P::kTopic, P::kNoun, P::kPeriod},
+        // "not a <adj> <noun> to explain how <Entity> <verb>"  (T3 style)
+        {P::kStop, P::kStop, P::kAdj, P::kNoun, P::kStop, P::kVerb, P::kStop,
+         P::kEntity, P::kVerb},
+        // "<Entity> <verb> <number> <noun> <stop> <Entity> <topic>"
+        {P::kEntity, P::kVerb, P::kNumber, P::kNoun, P::kStop, P::kEntity, P::kTopic},
+        // "<adj> <topic> <noun> in <Entity> today"
+        {P::kAdj, P::kTopic, P::kNoun, P::kStop, P::kEntity, P::kAdv, P::kPeriod},
+        // "<Entity> <Entity> <noun> <pastverb> , <adv>"  (dense entity pair)
+        {P::kEntity, P::kStop, P::kEntity, P::kNoun, P::kPastVerb, P::kComma, P::kAdv},
+    };
+    return t;
+  }();
+  return *kTemplates;
+}
+
+const std::vector<std::string>& DecoyPhrases() {
+  static const std::vector<std::string>* kDecoys = new std::vector<std::string>{
+      "Breaking News", "Good Morning", "Happy Friday", "Hot Take",
+      "Big Update",    "Live Thread",  "Stay Safe",    "Game Day",
+      "Must Watch",    "Full Story"};
+  return *kDecoys;
+}
+
+std::string DrawWord(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[rng->NextU64(pool.size())];
+}
+
+// Synthesizes a random sentence skeleton (6-13 pieces, up to 3 entity slots)
+// so sentence structure never becomes a perfect entity predictor.
+std::vector<Piece> SynthesizeTemplate(Rng* rng) {
+  static const std::vector<Piece> kFillers = {
+      Piece::kStop, Piece::kStop,  Piece::kStop, Piece::kNoun,  Piece::kNoun,
+      Piece::kVerb, Piece::kVerb,  Piece::kAdj,  Piece::kAdv,   Piece::kTopic,
+      Piece::kTopic, Piece::kInterj, Piece::kNumber, Piece::kComma,
+      Piece::kPastVerb, Piece::kColon};
+  std::vector<Piece> tmpl;
+  const int len = rng->NextInt(6, 13);
+  int entities = 0;
+  for (int i = 0; i < len; ++i) {
+    if (entities < 3 && rng->NextBernoulli(0.18)) {
+      tmpl.push_back(Piece::kEntity);
+      ++entities;
+    } else {
+      tmpl.push_back(kFillers[rng->NextU64(kFillers.size())]);
+    }
+  }
+  if (rng->NextBernoulli(0.5)) {
+    static const std::vector<Piece> kEnders = {Piece::kPeriod, Piece::kExcl,
+                                               Piece::kQuest};
+    tmpl.push_back(kEnders[rng->NextU64(kEnders.size())]);
+  }
+  return tmpl;
+}
+
+// Coins a pseudo-word whose morphology overlaps entity-name morphology
+// (suffixes alone must not reveal entity-hood).
+std::string CoinRareWord(Rng* rng) {
+  const Lexicon& lex = Lexicon::Get();
+  static const std::vector<std::string> starts = {
+      "br", "cl", "dr", "fl", "gr", "pl", "sk", "sn", "tr", "v", "z", "m",
+      "t",  "k",  "sp", "st"};
+  static const std::vector<std::string> mids = {
+      "ab", "eb", "ig", "od", "ul", "an", "en", "im", "ol", "ur",
+      "ar", "el", "in", "or", "up", "ack", "esh", "izz", "omp", "unk"};
+  const double kind = rng->NextDouble();
+  if (kind < 0.15) {
+    // Disease/phenomenon morphology ("coronavirus"-shaped common noun) —
+    // mirrors EntityCatalog's lowercase-canonical names.
+    static const std::vector<std::string> cn_stems = {
+        "coro",  "infl",  "rhino", "noro",  "zika",  "denga", "mela",
+        "neuro", "cryo",  "hydro", "pyro",  "thermo", "chrono", "lumo"};
+    static const std::vector<std::string> cn_mids = {"na", "vi", "xo",
+                                                     "ri", "lu", "ta"};
+    static const std::vector<std::string> cn_ends = {
+        "virus", "flu", "pox", "fever", "wave", "storm", "coin", "net"};
+    return cn_stems[rng->NextU64(cn_stems.size())] +
+           cn_mids[rng->NextU64(cn_mids.size())] +
+           cn_ends[rng->NextU64(cn_ends.size())];
+  }
+  if (kind < 0.35) {
+    // Surname-morphology coinage ("beshear"-shaped but a plain word).
+    return ToLowerAscii(lex.surname_stems()[rng->NextU64(lex.surname_stems().size())] +
+                        lex.surname_suffixes()[rng->NextU64(lex.surname_suffixes().size())]);
+  }
+  if (kind < 0.58) {
+    // Place-morphology coinage ("northdale" as a common word, cf. "homestead").
+    return ToLowerAscii(lex.place_stems()[rng->NextU64(lex.place_stems().size())] +
+                        lex.place_suffixes()[rng->NextU64(lex.place_suffixes().size())]);
+  }
+  if (kind < 0.72) {
+    // Lexicon word welded to a name suffix ("reportman", "chartville").
+    const auto& base = rng->NextBernoulli(0.5) ? lex.nouns() : lex.verbs();
+    const auto& sufs =
+        rng->NextBernoulli(0.5) ? lex.surname_suffixes() : lex.place_suffixes();
+    return ToLowerAscii(base[rng->NextU64(base.size())] +
+                        sufs[rng->NextU64(sufs.size())]);
+  }
+  std::string w = starts[rng->NextU64(starts.size())];
+  const int syllables = rng->NextInt(1, 3);
+  for (int i = 0; i < syllables; ++i) w += mids[rng->NextU64(mids.size())];
+  if (kind < 0.88) w += "s";
+  return w;
+}
+
+Token MakeToken(std::string text, TokenKind kind) {
+  Token t;
+  t.text = std::move(text);
+  t.kind = kind;
+  return t;
+}
+
+// Camel-cases an entity name into a hashtag: "Andy Beshear" -> "#AndyBeshear".
+std::string HashtagFromEntity(const Entity& e) {
+  std::string out = "#";
+  for (const auto& tok : e.name_tokens) out += Capitalize(tok);
+  return out;
+}
+
+}  // namespace
+
+TweetGenerator::TweetGenerator(const EntityCatalog* catalog, Topic topic,
+                               const TweetGeneratorOptions& options)
+    : catalog_(catalog), topic_(topic), options_(options), rng_(options.seed) {
+  EMD_CHECK(catalog != nullptr);
+  // Build the stream's active entity pool: rank slots filled preferring novel
+  // entities with probability novel_pool_bias.
+  std::vector<int> topic_ids = catalog->TopicEntityIds(topic);
+  EMD_CHECK(!topic_ids.empty()) << "no entities for topic";
+  std::vector<int> novel, known;
+  for (int id : topic_ids) {
+    (catalog->entity(id).in_training ? known : novel).push_back(id);
+  }
+  if (options_.exclude_novel) novel.clear();
+  rng_.Shuffle(&novel);
+  rng_.Shuffle(&known);
+  size_t ni = 0, ki = 0;
+  const int pool_size = std::min<int>(options_.pool_size,
+                                      static_cast<int>(topic_ids.size()));
+  while (static_cast<int>(pool_.size()) < pool_size) {
+    const bool want_novel = rng_.NextBernoulli(options_.novel_pool_bias);
+    if (want_novel && ni < novel.size()) {
+      pool_.push_back(novel[ni++]);
+    } else if (ki < known.size()) {
+      pool_.push_back(known[ki++]);
+    } else if (ni < novel.size()) {
+      pool_.push_back(novel[ni++]);
+    } else {
+      break;
+    }
+  }
+  slang_.reserve(options_.slang_pool_size);
+  for (int i = 0; i < options_.slang_pool_size; ++i) {
+    slang_.push_back(CoinRareWord(&rng_));
+  }
+}
+
+std::string TweetGenerator::DrawRareWord() {
+  std::string w = rng_.NextBernoulli(options_.slang_share) && !slang_.empty()
+                      ? slang_[rng_.NextZipf(slang_.size(), 1.0)]
+                      : CoinRareWord(&rng_);
+  if (rng_.NextBernoulli(options_.rare_cap_prob)) w = Capitalize(w);
+  return w;
+}
+
+TweetGenerator::MentionDraw TweetGenerator::DrawMention() {
+  const size_t rank = rng_.NextZipf(pool_.size(), options_.zipf_exponent);
+  const Entity& e = catalog_->entity(pool_[rank]);
+  MentionDraw draw;
+  draw.entity_id = e.id;
+
+  std::vector<std::string> name = e.name_tokens;
+  // Partial alias for multi-token names: persons go by surname, others by
+  // their head token.
+  if (name.size() > 1 && rng_.NextBernoulli(options_.mention_partial_prob)) {
+    if (e.type == EntityType::kPerson) {
+      name = {name.back()};
+    } else {
+      name = {name.front()};
+    }
+  }
+  // Case variation.
+  if (e.lowercase_canonical) {
+    if (rng_.NextBernoulli(options_.mention_capitalize_prob)) {
+      for (auto& w : name) w = Capitalize(w);
+    } else if (rng_.NextBernoulli(options_.mention_uppercase_prob)) {
+      for (auto& w : name) w = ToUpperAscii(w);
+    }
+  } else {
+    const double r = rng_.NextDouble();
+    if (r < options_.mention_lowercase_prob) {
+      for (auto& w : name) w = ToLowerAscii(w);
+    } else if (r < options_.mention_lowercase_prob + options_.mention_uppercase_prob) {
+      for (auto& w : name) w = ToUpperAscii(w);
+    }
+  }
+  for (auto& w : name) {
+    draw.tokens.push_back(MakeToken(w, HasDigit(w) && !HasAlpha(w)
+                                           ? TokenKind::kNumber
+                                           : TokenKind::kWord));
+  }
+  return draw;
+}
+
+std::string TweetGenerator::MaybeTypo(std::string word) {
+  if (word.size() >= 3 && rng_.NextBernoulli(options_.elongation_prob)) {
+    // Slang elongation: "so" -> "soooo".
+    for (size_t i = word.size(); i-- > 0;) {
+      const char c = word[i];
+      if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+        word.insert(i, std::string(rng_.NextU64(3) + 1, c));
+        break;
+      }
+    }
+    return word;
+  }
+  if (word.size() < 4 || !rng_.NextBernoulli(options_.typo_prob)) return word;
+  const size_t i = 1 + rng_.NextU64(word.size() - 2);
+  if (rng_.NextBernoulli(0.5)) {
+    std::swap(word[i], word[i + 1 < word.size() ? i + 1 : i - 1]);
+  } else {
+    word.erase(i, 1);
+  }
+  return word;
+}
+
+AnnotatedTweet TweetGenerator::Next() {
+  const Lexicon& lex = Lexicon::Get();
+  const auto& templates = Templates();
+  const std::vector<Piece> tmpl =
+      rng_.NextBernoulli(options_.random_template_prob)
+          ? SynthesizeTemplate(&rng_)
+          : templates[rng_.NextU64(templates.size())];
+
+  AnnotatedTweet tweet;
+  tweet.tweet_id = next_tweet_id_++;
+  tweet.sentence_id = 0;
+  tweet.topic_id = static_cast<int>(topic_);
+
+  std::vector<Token>& toks = tweet.tokens;
+  auto emit = [&](std::string text, TokenKind kind, PosTag pos) {
+    toks.push_back(MakeToken(std::move(text), kind));
+    tweet.silver_pos.push_back(pos);
+  };
+  int last_mention_entity = -1;
+  for (Piece piece : tmpl) {
+    switch (piece) {
+      case Piece::kStop:
+        emit(MaybeTypo(DrawWord(lex.stopwords(), &rng_)), TokenKind::kWord,
+             PosTag::kFunc);
+        break;
+      case Piece::kVerb:
+        if (rng_.NextBernoulli(options_.rare_word_prob * 0.4)) {
+          emit(DrawRareWord(), TokenKind::kWord, PosTag::kVerb);
+        } else {
+          emit(MaybeTypo(DrawWord(lex.verbs(), &rng_)), TokenKind::kWord,
+               PosTag::kVerb);
+        }
+        break;
+      case Piece::kPastVerb:
+        emit(MaybeTypo(DrawWord(lex.past_verbs(), &rng_)), TokenKind::kWord,
+             PosTag::kVerb);
+        break;
+      case Piece::kNoun:
+        if (rng_.NextBernoulli(options_.rare_word_prob)) {
+          emit(DrawRareWord(), TokenKind::kWord, PosTag::kNoun);
+        } else {
+          emit(MaybeTypo(DrawWord(lex.nouns(), &rng_)), TokenKind::kWord,
+               PosTag::kNoun);
+        }
+        break;
+      case Piece::kAdj:
+        if (rng_.NextBernoulli(options_.rare_word_prob * 0.6)) {
+          emit(DrawRareWord(), TokenKind::kWord, PosTag::kAdj);
+        } else {
+          emit(MaybeTypo(DrawWord(lex.adjectives(), &rng_)), TokenKind::kWord,
+               PosTag::kAdj);
+        }
+        break;
+      case Piece::kAdv:
+        emit(MaybeTypo(DrawWord(lex.adverbs(), &rng_)), TokenKind::kWord,
+             PosTag::kAdv);
+        break;
+      case Piece::kInterj:
+        emit(DrawWord(lex.interjections(), &rng_), TokenKind::kWord, PosTag::kIntj);
+        break;
+      case Piece::kTopic:
+        emit(MaybeTypo(DrawWord(lex.topic_words(topic_), &rng_)), TokenKind::kWord,
+             PosTag::kNoun);
+        break;
+      case Piece::kEntity: {
+        MentionDraw draw = DrawMention();
+        GoldSpan gold;
+        gold.span.begin = toks.size();
+        for (auto& t : draw.tokens) {
+          tweet.silver_pos.push_back(PosTag::kPropNoun);
+          toks.push_back(std::move(t));
+        }
+        gold.span.end = toks.size();
+        gold.entity_id = draw.entity_id;
+        tweet.gold.push_back(gold);
+        last_mention_entity = draw.entity_id;
+        break;
+      }
+      case Piece::kHandle:
+        emit(DrawWord(lex.user_handles(), &rng_), TokenKind::kMention,
+             PosTag::kMention);
+        break;
+      case Piece::kNumber:
+        emit(std::to_string(rng_.NextInt(2, 9999)), TokenKind::kNumber,
+             PosTag::kNum);
+        break;
+      case Piece::kComma:
+        emit(",", TokenKind::kPunct, PosTag::kPunct);
+        break;
+      case Piece::kPeriod:
+        emit(".", TokenKind::kPunct, PosTag::kPunct);
+        break;
+      case Piece::kExcl:
+        emit("!", TokenKind::kPunct, PosTag::kPunct);
+        break;
+      case Piece::kQuest:
+        emit("?", TokenKind::kPunct, PosTag::kPunct);
+        break;
+      case Piece::kColon:
+        emit(":", TokenKind::kPunct, PosTag::kPunct);
+        break;
+      case Piece::kDecoy: {
+        std::vector<std::string> words = Split(DecoyPhrases()[rng_.NextU64(
+            DecoyPhrases().size())]);
+        // Capitalized non-entity phrases look like noun chunks on purpose.
+        for (auto& w : words) emit(std::move(w), TokenKind::kWord, PosTag::kNoun);
+        break;
+      }
+    }
+  }
+
+  // Splice extra filler words at random non-mention positions: context
+  // around an entity must vary across its mentions.
+  if (rng_.NextBernoulli(options_.filler_insert_prob) && !toks.empty()) {
+    const int inserts = rng_.NextInt(1, 3);
+    for (int k = 0; k < inserts; ++k) {
+      const size_t p = rng_.NextU64(toks.size() + 1);
+      bool inside_span = false;
+      for (const auto& g : tweet.gold) {
+        if (p > g.span.begin && p < g.span.end) {
+          inside_span = true;
+          break;
+        }
+      }
+      if (inside_span) continue;
+      const double r = rng_.NextDouble();
+      std::string w;
+      PosTag pos;
+      if (r < 0.4) {
+        w = DrawWord(lex.stopwords(), &rng_);
+        pos = PosTag::kFunc;
+      } else if (r < 0.7) {
+        w = DrawWord(lex.nouns(), &rng_);
+        pos = PosTag::kNoun;
+      } else {
+        w = DrawWord(lex.adverbs(), &rng_);
+        pos = PosTag::kAdv;
+      }
+      toks.insert(toks.begin() + p, MakeToken(std::move(w), TokenKind::kWord));
+      tweet.silver_pos.insert(tweet.silver_pos.begin() + p, pos);
+      for (auto& g : tweet.gold) {
+        if (g.span.begin >= p) {
+          ++g.span.begin;
+          ++g.span.end;
+        }
+      }
+    }
+  }
+
+  // Trailing decorations.
+  if (rng_.NextBernoulli(options_.hashtag_prob)) {
+    std::string tag;
+    if (last_mention_entity >= 0 && rng_.NextBernoulli(0.4)) {
+      tag = HashtagFromEntity(catalog_->entity(last_mention_entity));
+    } else {
+      tag = "#" + DrawWord(lex.topic_words(topic_), &rng_);
+    }
+    emit(std::move(tag), TokenKind::kHashtag, PosTag::kHashtag);
+  }
+  if (rng_.NextBernoulli(options_.url_prob)) {
+    emit("https://t.co/" + std::to_string(1000 + rng_.NextInt(0, 8999)),
+         TokenKind::kUrl, PosTag::kUrl);
+  }
+  if (rng_.NextBernoulli(options_.emoticon_prob)) {
+    static const std::vector<std::string> emo = {":)", ":(", ":D", ";)", ":/"};
+    emit(emo[rng_.NextU64(emo.size())], TokenKind::kEmoticon, PosTag::kEmoticon);
+  }
+
+  // Sentence-level case transform.
+  const double cr = rng_.NextDouble();
+  auto transformable = [](const Token& t) {
+    return t.kind == TokenKind::kWord || t.kind == TokenKind::kNumber;
+  };
+  if (cr < options_.sentence_allcaps_prob) {
+    for (auto& t : toks) {
+      if (transformable(t)) t.text = ToUpperAscii(t.text);
+    }
+  } else if (cr < options_.sentence_allcaps_prob + options_.sentence_alllower_prob) {
+    for (auto& t : toks) {
+      if (transformable(t)) t.text = ToLowerAscii(t.text);
+    }
+  } else {
+    // Normal sentence: capitalize the first word token (even a filler —
+    // sentence-start capitalization is the classic EMD decoy).
+    for (auto& t : toks) {
+      if (t.kind == TokenKind::kWord) {
+        if (IsAllLower(t.text)) t.text = Capitalize(t.text);
+        break;
+      }
+      if (t.kind != TokenKind::kPunct) break;  // starts with @/#/URL: leave it
+    }
+    // Emphasis capitalization of ordinary (non-mention) words: the main
+    // source of orthographic false positives in microblog text.
+    std::vector<bool> in_span(toks.size(), false);
+    for (const auto& g : tweet.gold) {
+      for (size_t t = g.span.begin; t < g.span.end; ++t) in_span[t] = true;
+    }
+    for (size_t t = 0; t < toks.size(); ++t) {
+      if (in_span[t] || toks[t].kind != TokenKind::kWord) continue;
+      if (!IsAllLower(toks[t].text)) continue;
+      const double r = rng_.NextDouble();
+      if (r < options_.emphasis_cap_prob) {
+        toks[t].text = Capitalize(toks[t].text);
+      } else if (r < options_.emphasis_cap_prob + options_.emphasis_upper_prob) {
+        toks[t].text = ToUpperAscii(toks[t].text);
+      }
+    }
+  }
+
+  // Assemble text and char offsets (tokens joined by single spaces).
+  size_t offset = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (i > 0) {
+      tweet.text += ' ';
+      ++offset;
+    }
+    toks[i].begin = offset;
+    offset += toks[i].text.size();
+    toks[i].end = offset;
+    tweet.text += toks[i].text;
+  }
+  return tweet;
+}
+
+}  // namespace emd

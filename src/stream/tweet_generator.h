@@ -1,0 +1,122 @@
+// TweetGenerator: produces an annotated synthetic tweet stream for one topic.
+//
+// The generator realizes the two stream properties the paper's framework
+// exploits (§I): (1) a targeted stream repeats a finite set of entities with
+// Zipf-skewed frequencies, and (2) the same entity appears in varying local
+// contexts — different templates, casing variants (lowercase, ALL-CAPS),
+// partial aliases ("Beshear" for "Andy Beshear") — so sentence-local taggers
+// detect some mentions and miss others.
+
+#ifndef EMD_STREAM_TWEET_GENERATOR_H_
+#define EMD_STREAM_TWEET_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "stream/entity_catalog.h"
+#include "stream/lexicon.h"
+#include "util/rng.h"
+
+namespace emd {
+
+/// Noise and skew knobs for one stream.
+struct TweetGeneratorOptions {
+  /// Entities drawn into the stream's active pool.
+  int pool_size = 250;
+  /// Zipf exponent over the pool (higher = more repetition of top entities).
+  double zipf_exponent = 1.0;
+  /// When filling the pool, probability of preferring a novel
+  /// (not-in-training) entity for the next slot — targeted streams revolve
+  /// around emergent entities.
+  double novel_pool_bias = 0.78;
+  /// Restrict the pool to in-training entities (used when generating tagger
+  /// training corpora, whose world must not leak test-stream entities).
+  bool exclude_novel = false;
+
+  // --- mention-level noise ---
+  double mention_lowercase_prob = 0.18;  // "coronavirus" for "Coronavirus"
+  double mention_uppercase_prob = 0.08;  // "CORONAVIRUS"
+  double mention_partial_prob = 0.18;    // "Beshear" for "Andy Beshear"
+  /// For lowercase-canonical entities: probability of a Capitalized variant.
+  double mention_capitalize_prob = 0.25;
+
+  // --- sentence-level noise ---
+  double sentence_allcaps_prob = 0.04;
+  double sentence_alllower_prob = 0.08;
+  /// Emphasis capitalization of ordinary words ("people Capitalize Random
+  /// Words on twitter") — the main source of local false positives.
+  double emphasis_cap_prob = 0.08;
+  double emphasis_upper_prob = 0.03;
+  double typo_prob = 0.05;      // per filler word
+  /// Vowel-elongation slang ("soooo") per filler word.
+  double elongation_prob = 0.04;
+  double hashtag_prob = 0.35;   // append trailing #hashtag
+  double handle_prob = 0.18;    // include a @handle
+  double url_prob = 0.15;       // append a URL
+  double emoticon_prob = 0.08;  // append an emoticon
+
+  // --- context diversity ---
+  /// Probability of synthesizing a random sentence skeleton instead of one
+  /// of the fixed templates (keeps context from being a perfect predictor).
+  double random_template_prob = 0.88;
+  /// Probability of splicing 1-3 extra filler words into the sentence.
+  double filler_insert_prob = 0.5;
+  /// Probability that a noun/adjective/verb slot draws a freshly coined
+  /// pseudo-word instead of a lexicon word. Keeps the vocabulary open —
+  /// out-of-vocabulary is a property of real tweets, not an entity marker.
+  /// Calibrated so out-of-vocabulary junk outnumbers novel entity tokens,
+  /// as in real microblog text — OOV must not be an entity marker.
+  double rare_word_prob = 0.35;
+  /// Share of rare-word draws taken from the stream's recurring slang pool
+  /// (real streams repeat slang; fresh coinages model one-off typos).
+  double slang_share = 0.6;
+  /// Size of the per-stream slang pool.
+  int slang_pool_size = 120;
+  /// Extra capitalization probability for rare words (capitalized junk is
+  /// the local false-positive source the Entity Classifier must remove).
+  double rare_cap_prob = 0.30;
+
+  uint64_t seed = 1;
+};
+
+/// Streaming generator; Next() yields consecutive tweets of the stream.
+class TweetGenerator {
+ public:
+  TweetGenerator(const EntityCatalog* catalog, Topic topic,
+                 const TweetGeneratorOptions& options);
+
+  /// Generates the next tweet of the stream.
+  AnnotatedTweet Next();
+
+  /// Entity ids in this stream's active pool, in Zipf-rank order.
+  const std::vector<int>& pool() const { return pool_; }
+
+ private:
+  struct MentionDraw {
+    std::vector<Token> tokens;
+    int entity_id;
+  };
+
+  /// Samples an entity and one surface variation of it.
+  MentionDraw DrawMention();
+
+  /// Applies a typo to a lowercase filler word.
+  std::string MaybeTypo(std::string word);
+
+  /// Draws a rare word: recurring stream slang or a fresh coinage, possibly
+  /// capitalized (decoy).
+  std::string DrawRareWord();
+
+  const EntityCatalog* catalog_;
+  Topic topic_;
+  TweetGeneratorOptions options_;
+  Rng rng_;
+  std::vector<int> pool_;
+  std::vector<std::string> slang_;
+  long next_tweet_id_ = 1;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_TWEET_GENERATOR_H_

@@ -1,0 +1,50 @@
+#include "text/bio.h"
+
+#include "util/logging.h"
+
+namespace emd {
+
+std::vector<int> SpansToBio(const std::vector<TokenSpan>& spans, size_t num_tokens) {
+  std::vector<int> labels(num_tokens, kO);
+  for (const TokenSpan& s : spans) {
+    EMD_CHECK_LE(s.begin, s.end);
+    EMD_CHECK_LE(s.end, num_tokens);
+    if (s.begin == s.end) continue;
+    bool occupied = false;
+    for (size_t t = s.begin; t < s.end; ++t) {
+      if (labels[t] != kO) {
+        occupied = true;
+        break;
+      }
+    }
+    if (occupied) continue;
+    labels[s.begin] = kB;
+    for (size_t t = s.begin + 1; t < s.end; ++t) labels[t] = kI;
+  }
+  return labels;
+}
+
+std::vector<TokenSpan> BioToSpans(const std::vector<int>& labels) {
+  std::vector<TokenSpan> spans;
+  size_t begin = 0;
+  bool open = false;
+  for (size_t t = 0; t < labels.size(); ++t) {
+    if (labels[t] == kB) {
+      if (open) spans.push_back({begin, t});
+      begin = t;
+      open = true;
+    } else if (labels[t] == kI) {
+      if (!open) {
+        begin = t;
+        open = true;
+      }
+    } else {
+      if (open) spans.push_back({begin, t});
+      open = false;
+    }
+  }
+  if (open) spans.push_back({begin, labels.size()});
+  return spans;
+}
+
+}  // namespace emd

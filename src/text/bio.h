@@ -1,0 +1,25 @@
+// BIO span encoding shared by all sequence labellers: O=0, B=1, I=2.
+
+#ifndef EMD_TEXT_BIO_H_
+#define EMD_TEXT_BIO_H_
+
+#include <vector>
+
+#include "text/token.h"
+
+namespace emd {
+
+enum BioLabel : int { kO = 0, kB = 1, kI = 2 };
+constexpr int kNumBioLabels = 3;
+
+/// Encodes spans over a sequence of `num_tokens` tokens into BIO labels.
+/// Overlapping spans are resolved first-come-first-served.
+std::vector<int> SpansToBio(const std::vector<TokenSpan>& spans, size_t num_tokens);
+
+/// Decodes BIO labels into maximal spans. A dangling I (no preceding B) opens
+/// a new span, matching common lenient decoding.
+std::vector<TokenSpan> BioToSpans(const std::vector<int>& labels);
+
+}  // namespace emd
+
+#endif  // EMD_TEXT_BIO_H_

@@ -1,0 +1,54 @@
+// Coarse part-of-speech tag set, modeled on the ARK Twitter POS tagset that
+// TweeboParser produces. The tweet generator emits silver tags (it knows the
+// grammatical role of every template piece); the PosTagger substrate is
+// trained on those silver tags and used at inference time by the NP Chunker
+// and TwitterNLP instantiations.
+
+#ifndef EMD_TEXT_POS_TAGS_H_
+#define EMD_TEXT_POS_TAGS_H_
+
+#include <cstdint>
+
+namespace emd {
+
+enum class PosTag : int8_t {
+  kNoun = 0,      // common noun
+  kPropNoun = 1,  // proper noun / entity token
+  kVerb = 2,
+  kAdj = 3,
+  kAdv = 4,
+  kFunc = 5,      // determiner / preposition / pronoun / auxiliary
+  kIntj = 6,
+  kNum = 7,
+  kPunct = 8,
+  kMention = 9,   // @user
+  kHashtag = 10,
+  kUrl = 11,
+  kEmoticon = 12,
+  kNumTags = 13,
+};
+
+inline const char* PosTagName(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun: return "N";
+    case PosTag::kPropNoun: return "^";
+    case PosTag::kVerb: return "V";
+    case PosTag::kAdj: return "A";
+    case PosTag::kAdv: return "R";
+    case PosTag::kFunc: return "F";
+    case PosTag::kIntj: return "!";
+    case PosTag::kNum: return "$";
+    case PosTag::kPunct: return ",";
+    case PosTag::kMention: return "@";
+    case PosTag::kHashtag: return "#";
+    case PosTag::kUrl: return "U";
+    case PosTag::kEmoticon: return "E";
+    default: return "?";
+  }
+}
+
+constexpr int kNumPosTags = static_cast<int>(PosTag::kNumTags);
+
+}  // namespace emd
+
+#endif  // EMD_TEXT_POS_TAGS_H_

@@ -1,0 +1,42 @@
+#include "text/token.h"
+
+#include "util/logging.h"
+
+namespace emd {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kWord:
+      return "word";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kMention:
+      return "mention";
+    case TokenKind::kHashtag:
+      return "hashtag";
+    case TokenKind::kUrl:
+      return "url";
+    case TokenKind::kEmoticon:
+      return "emoticon";
+    case TokenKind::kPunct:
+      return "punct";
+  }
+  return "?";
+}
+
+std::string SpanText(const std::vector<Token>& tokens, const TokenSpan& span) {
+  EMD_CHECK_LE(span.begin, span.end);
+  EMD_CHECK_LE(span.end, tokens.size());
+  std::string out;
+  for (size_t i = span.begin; i < span.end; ++i) {
+    if (i > span.begin) out += ' ';
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+std::string TokensText(const std::vector<Token>& tokens) {
+  return SpanText(tokens, {0, tokens.size()});
+}
+
+}  // namespace emd

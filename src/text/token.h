@@ -1,0 +1,58 @@
+// Token and token-span types shared by tokenization, tagging, and evaluation.
+
+#ifndef EMD_TEXT_TOKEN_H_
+#define EMD_TEXT_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace emd {
+
+/// Coarse token class assigned by the tokenizer; downstream features key
+/// off these (e.g. TwitterNLP treats @user/#tag/URL specially).
+enum class TokenKind {
+  kWord,
+  kNumber,
+  kMention,   // @user
+  kHashtag,   // #topic
+  kUrl,       // http://..., www....
+  kEmoticon,  // :) :-( etc.
+  kPunct,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// A tokenizer output unit: surface text plus char offsets into the source.
+struct Token {
+  std::string text;
+  size_t begin = 0;  // inclusive char offset in the source string
+  size_t end = 0;    // exclusive char offset
+  TokenKind kind = TokenKind::kWord;
+
+  bool operator==(const Token& o) const {
+    return text == o.text && begin == o.begin && end == o.end && kind == o.kind;
+  }
+};
+
+/// Half-open token-index interval [begin, end) into a token sequence.
+struct TokenSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t length() const { return end - begin; }
+  bool operator==(const TokenSpan& o) const { return begin == o.begin && end == o.end; }
+  bool operator<(const TokenSpan& o) const {
+    return begin != o.begin ? begin < o.begin : end < o.end;
+  }
+};
+
+/// Joins tokens[span) with single spaces (the candidate surface form).
+std::string SpanText(const std::vector<Token>& tokens, const TokenSpan& span);
+
+/// Joins all tokens with single spaces.
+std::string TokensText(const std::vector<Token>& tokens);
+
+}  // namespace emd
+
+#endif  // EMD_TEXT_TOKEN_H_

@@ -1,0 +1,145 @@
+#include "text/tweet_tokenizer.h"
+
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+bool IsWordChar(char c) { return IsAlnumAscii(c) || c == '_'; }
+
+// Matches a URL starting at `i`; returns chars consumed or 0.
+size_t MatchUrl(std::string_view s, size_t i) {
+  auto match_prefix = [&](std::string_view p) {
+    if (s.size() - i < p.size()) return false;
+    return EqualsIgnoreCase(s.substr(i, p.size()), p);
+  };
+  if (!match_prefix("http://") && !match_prefix("https://") && !match_prefix("www."))
+    return 0;
+  size_t j = i;
+  while (j < s.size() && !IsSpace(s[j])) ++j;
+  // Trailing sentence punctuation is not part of the URL.
+  while (j > i && (s[j - 1] == '.' || s[j - 1] == ',' || s[j - 1] == '!' ||
+                   s[j - 1] == '?' || s[j - 1] == ')'))
+    --j;
+  return j - i;
+}
+
+// Matches an emoticon starting at `i`; returns chars consumed or 0.
+size_t MatchEmoticon(std::string_view s, size_t i) {
+  static constexpr std::string_view kEmoticons[] = {
+      ":-)", ":-(", ":-D", ":-P", ";-)", ":)", ":(", ":D",
+      ":P",  ";)",  ":/",  ":o",  "<3",  ":|", "xD",
+  };
+  for (std::string_view e : kEmoticons) {
+    if (s.size() - i >= e.size() && s.substr(i, e.size()) == e) {
+      // Avoid eating "word:..." constructs: require boundary before.
+      if (i > 0 && IsWordChar(s[i - 1])) continue;
+      return e.size();
+    }
+  }
+  return 0;
+}
+
+// Matches @user or #tag at `i`; returns chars consumed or 0.
+size_t MatchHandleOrTag(std::string_view s, size_t i) {
+  if (s[i] != '@' && s[i] != '#') return 0;
+  size_t j = i + 1;
+  while (j < s.size() && IsWordChar(s[j])) ++j;
+  return j > i + 1 ? j - i : 0;
+}
+
+// Matches a word (letters/digits with inner apostrophes, hyphens, periods in
+// abbreviations like U.S.) at `i`; returns chars consumed or 0.
+size_t MatchWord(std::string_view s, size_t i) {
+  if (!IsAlnumAscii(s[i])) return 0;
+  size_t j = i;
+  while (j < s.size()) {
+    if (IsAlnumAscii(s[j])) {
+      ++j;
+    } else if ((s[j] == '\'' || s[j] == '-') && j + 1 < s.size() &&
+               IsAlnumAscii(s[j + 1])) {
+      j += 2;
+    } else if (s[j] == ',' && j > i && IsDigitAscii(s[j - 1]) &&
+               j + 1 < s.size() && IsDigitAscii(s[j + 1])) {
+      // Thousands separator: "1,234".
+      j += 2;
+    } else if (s[j] == '.' && j + 1 < s.size() && IsAlphaAscii(s[j + 1]) &&
+               j >= 1 && IsAlphaAscii(s[j - 1]) && (j - i) <= 2) {
+      // Abbreviation pattern "U.S", "U.K" — single letters joined by periods.
+      j += 2;
+    } else {
+      break;
+    }
+  }
+  // An abbreviation may end with a period ("U.S."); include it when the
+  // pattern so far looks like letters separated by periods.
+  if (j < s.size() && s[j] == '.' && j - i >= 3 && s[i + 1] == '.') ++j;
+  return j - i;
+}
+
+TokenKind ClassifyWord(std::string_view text) {
+  bool all_digit = true;
+  for (char c : text) {
+    if (!IsDigitAscii(c) && c != '.' && c != ',' && c != '-') {
+      all_digit = false;
+      break;
+    }
+  }
+  if (all_digit && HasDigit(text)) return TokenKind::kNumber;
+  return TokenKind::kWord;
+}
+
+}  // namespace
+
+TweetTokenizer::TweetTokenizer(TweetTokenizerOptions options) : options_(options) {}
+
+std::vector<Token> TweetTokenizer::Tokenize(std::string_view text) const {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (IsSpace(text[i])) {
+      ++i;
+      continue;
+    }
+    if (size_t n = MatchUrl(text, i); n > 0) {
+      tokens.push_back({std::string(text.substr(i, n)), i, i + n, TokenKind::kUrl});
+      i += n;
+      continue;
+    }
+    if (size_t n = MatchEmoticon(text, i); n > 0) {
+      tokens.push_back(
+          {std::string(text.substr(i, n)), i, i + n, TokenKind::kEmoticon});
+      i += n;
+      continue;
+    }
+    if (size_t n = MatchHandleOrTag(text, i); n > 0) {
+      TokenKind kind = text[i] == '@' ? TokenKind::kMention : TokenKind::kHashtag;
+      if (kind == TokenKind::kHashtag && !options_.keep_hashtag_marker) {
+        tokens.push_back({std::string(1, '#'), i, i + 1, TokenKind::kPunct});
+        tokens.push_back(
+            {std::string(text.substr(i + 1, n - 1)), i + 1, i + n, TokenKind::kWord});
+      } else {
+        tokens.push_back({std::string(text.substr(i, n)), i, i + n, kind});
+      }
+      i += n;
+      continue;
+    }
+    if (size_t n = MatchWord(text, i); n > 0) {
+      std::string_view w = text.substr(i, n);
+      tokens.push_back({std::string(w), i, i + n, ClassifyWord(w)});
+      i += n;
+      continue;
+    }
+    // Anything else is a single punctuation token; collapse runs of the same
+    // char ("!!!" -> one token) to keep sequences short.
+    size_t j = i + 1;
+    while (j < text.size() && text[j] == text[i]) ++j;
+    tokens.push_back({std::string(text.substr(i, j - i)), i, j, TokenKind::kPunct});
+    i = j;
+  }
+  return tokens;
+}
+
+}  // namespace emd

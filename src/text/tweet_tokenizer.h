@@ -1,0 +1,43 @@
+// TweetTokenizer: rule-based tokenizer for microblog text.
+//
+// Handles the Twitter-specific lexical units that generic tokenizers break:
+// @user mentions, #hashtags, URLs, and western emoticons are kept as single
+// tokens; punctuation is split off words; apostrophes stay inside
+// contractions ("he's"). Offsets into the original string are preserved so
+// extracted mentions can be mapped back to the raw tweet.
+
+#ifndef EMD_TEXT_TWEET_TOKENIZER_H_
+#define EMD_TEXT_TWEET_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace emd {
+
+/// Options controlling tokenization.
+struct TweetTokenizerOptions {
+  /// Split "high-risk" trailing punctuation (.,!?) off words. Keeping this on
+  /// matches how the paper's systems see sentence-final entity mentions.
+  bool split_trailing_punct = true;
+  /// Treat '#' as part of the hashtag token (true) or a separate punct (false).
+  bool keep_hashtag_marker = true;
+};
+
+/// Stateless tokenizer; safe to share across threads.
+class TweetTokenizer {
+ public:
+  explicit TweetTokenizer(TweetTokenizerOptions options = {});
+
+  /// Tokenizes one tweet-sentence.
+  std::vector<Token> Tokenize(std::string_view text) const;
+
+ private:
+  TweetTokenizerOptions options_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_TEXT_TWEET_TOKENIZER_H_

@@ -1,0 +1,77 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+Vocabulary::Vocabulary() {
+  Add(kPadToken);
+  Add(kUnkToken);
+}
+
+int Vocabulary::Add(std::string_view token) {
+  auto it = token_to_id_.find(std::string(token));
+  if (it != token_to_id_.end()) return it->second;
+  int id = static_cast<int>(id_to_token_.size());
+  id_to_token_.emplace_back(token);
+  token_to_id_.emplace(std::string(token), id);
+  return id;
+}
+
+int Vocabulary::Id(std::string_view token) const {
+  auto it = token_to_id_.find(std::string(token));
+  return it == token_to_id_.end() ? kUnkId : it->second;
+}
+
+bool Vocabulary::Contains(std::string_view token) const {
+  return token_to_id_.count(std::string(token)) > 0;
+}
+
+const std::string& Vocabulary::Token(int id) const {
+  EMD_CHECK_GE(id, 0);
+  EMD_CHECK_LT(id, size());
+  return id_to_token_[id];
+}
+
+Vocabulary Vocabulary::FromCounts(const std::unordered_map<std::string, int>& counts,
+                                  int min_count) {
+  std::vector<std::pair<std::string, int>> ordered(counts.begin(), counts.end());
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  Vocabulary vocab;
+  for (const auto& [token, count] : ordered) {
+    if (count >= min_count) vocab.Add(token);
+  }
+  return vocab;
+}
+
+std::string Vocabulary::Serialize() const {
+  std::string out = "vocab " + std::to_string(size()) + "\n";
+  for (const auto& token : id_to_token_) {
+    out += token;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Vocabulary> Vocabulary::Deserialize(const std::string& data) {
+  std::vector<std::string> lines = SplitKeepEmpty(data, '\n');
+  if (lines.empty()) return Status::Corruption("empty vocabulary data");
+  std::vector<std::string> header = Split(lines[0]);
+  if (header.size() != 2 || header[0] != "vocab")
+    return Status::Corruption("bad vocabulary header: ", lines[0]);
+  int n = std::atoi(header[1].c_str());
+  if (n < 2 || static_cast<size_t>(n) + 1 > lines.size())
+    return Status::Corruption("vocabulary size mismatch");
+  Vocabulary vocab;
+  if (lines[1] != kPadToken || lines[2] != kUnkToken)
+    return Status::Corruption("vocabulary missing reserved tokens");
+  for (int i = 2; i < n; ++i) vocab.Add(lines[1 + i]);
+  return vocab;
+}
+
+}  // namespace emd

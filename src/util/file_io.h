@@ -1,0 +1,31 @@
+// Small file helpers with Status-based error reporting.
+
+#ifndef EMD_UTIL_FILE_IO_H_
+#define EMD_UTIL_FILE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emd {
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Reads a file as lines (without trailing newline characters).
+Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// Writes `content`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+/// True when `path` exists and is a regular file.
+bool FileExists(const std::string& path);
+
+/// Creates a directory (and parents). OK if it already exists.
+Status CreateDirs(const std::string& path);
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_FILE_IO_H_

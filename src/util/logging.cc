@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace emd {
+namespace {
+
+std::atomic<int> g_log_level{[] {
+  if (const char* env = std::getenv("EMD_LOG_LEVEL")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kSilent:
+      return "SILENT";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
+  stream_ << "[FATAL " << file << ":" << line << "] check failed: " << expr << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace emd

@@ -1,0 +1,77 @@
+// Minimal leveled logging plus EMD_CHECK assertions.
+//
+// Logging writes to stderr; the level is controlled programmatically
+// (SetLogLevel) or with the EMD_LOG_LEVEL environment variable
+// (0=DEBUG 1=INFO 2=WARN 3=ERROR 4=silent).
+
+#ifndef EMD_UTIL_LOGGING_H_
+#define EMD_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace emd {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace emd
+
+#define EMD_LOG(level)                                                        \
+  (static_cast<int>(::emd::LogLevel::k##level) <                              \
+   static_cast<int>(::emd::GetLogLevel()))                                    \
+      ? (void)0                                                               \
+      : ::emd::internal::Voidify() &                                          \
+            ::emd::internal::LogMessage(::emd::LogLevel::k##level, __FILE__,  \
+                                        __LINE__)                             \
+                .stream()
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard invariants whose violation would corrupt results silently.
+#define EMD_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                        \
+         : ::emd::internal::Voidify() &                                   \
+               ::emd::internal::FatalMessage(__FILE__, __LINE__, #cond)   \
+                   .stream()
+
+#define EMD_CHECK_EQ(a, b) EMD_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EMD_CHECK_NE(a, b) EMD_CHECK((a) != (b))
+#define EMD_CHECK_LT(a, b) EMD_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EMD_CHECK_LE(a, b) EMD_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EMD_CHECK_GT(a, b) EMD_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EMD_CHECK_GE(a, b) EMD_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // EMD_UTIL_LOGGING_H_

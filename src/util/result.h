@@ -1,0 +1,90 @@
+// Result<T>: a value-or-Status union, the return type of fallible factories.
+//
+//   Result<Dataset> LoadDataset(const std::string& path);
+//   auto r = LoadDataset(p);
+//   if (!r.ok()) return r.status();
+//   Dataset d = std::move(r).value();
+
+#ifndef EMD_UTIL_RESULT_H_
+#define EMD_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace emd {
+
+/// Holds either a T or a non-OK Status describing why no T was produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common "return value;" path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status (the "return st;" path).
+  /// Constructing from an OK status is a programmer error and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result<T> constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Status of the operation; OK when a value is present.
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  /// Accessors; calling on an error Result aborts.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: " << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_{Status::OK()};
+};
+
+}  // namespace emd
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define EMD_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto EMD_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!EMD_CONCAT_(_res_, __LINE__).ok())         \
+    return EMD_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(EMD_CONCAT_(_res_, __LINE__)).value()
+
+#define EMD_CONCAT_(a, b) EMD_CONCAT_IMPL_(a, b)
+#define EMD_CONCAT_IMPL_(a, b) a##b
+
+#endif  // EMD_UTIL_RESULT_H_

@@ -1,0 +1,69 @@
+// Rng: deterministic, splittable pseudo-random number generator.
+//
+// Every stochastic component in the library (data generation, weight
+// initialization, shuffling, dropout) takes an Rng so that runs are exactly
+// reproducible from a single seed. Split() derives an independent child
+// stream, letting subsystems draw without perturbing each other.
+
+#ifndef EMD_UTIL_RNG_H_
+#define EMD_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace emd {
+
+/// SplitMix64-seeded xoshiro256** generator.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextU64(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Bernoulli draw with success probability p.
+  bool NextBernoulli(double p);
+
+  /// Samples an index proportionally to `weights` (non-negative, not all 0).
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Samples an index from a Zipf distribution over [0, n) with exponent s.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextU64(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Derives an independent child generator; the parent stream advances.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_RNG_H_

@@ -1,0 +1,137 @@
+// Status: lightweight error-signaling type used across API boundaries.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a Result<T>, see result.h) instead of throwing. Exceptions are reserved
+// for programmer errors surfaced by EMD_CHECK.
+
+#ifndef EMD_UTIL_STATUS_H_
+#define EMD_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace emd {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("Ok", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK or a code plus message.
+///
+/// Cheap to copy in the OK case. Construct failures through the static
+/// factories: `Status::InvalidArgument("bad k: ", k)`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Status(StatusCode::kInvalidArgument, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Status(StatusCode::kNotFound, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Status(StatusCode::kAlreadyExists, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Status(StatusCode::kOutOfRange, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return Status(StatusCode::kFailedPrecondition, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status IoError(Args&&... args) {
+    return Status(StatusCode::kIoError, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status Corruption(Args&&... args) {
+    return Status(StatusCode::kCorruption, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status NotImplemented(Args&&... args) {
+    return Status(StatusCode::kNotImplemented, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Status(StatusCode::kInternal, Concat(std::forward<Args>(args)...));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code_ == StatusCode::kFailedPrecondition; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  template <typename... Args>
+  static std::string Concat(Args&&... args) {
+    std::string out;
+    (AppendPiece(&out, std::forward<Args>(args)), ...);
+    return out;
+  }
+  static void AppendPiece(std::string* out, const std::string& s) { *out += s; }
+  static void AppendPiece(std::string* out, const char* s) { *out += s; }
+  static void AppendPiece(std::string* out, char c) { *out += c; }
+  template <typename T>
+  static void AppendPiece(std::string* out, T v) {
+    *out += std::to_string(v);
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace emd
+
+/// Propagates a non-OK Status from the current function.
+#define EMD_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::emd::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#endif  // EMD_UTIL_STATUS_H_

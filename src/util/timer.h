@@ -1,0 +1,70 @@
+// Wall-clock timing used by the benchmark harnesses to report the execution
+// time columns of Table III.
+
+#ifndef EMD_UTIL_TIMER_H_
+#define EMD_UTIL_TIMER_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace emd {
+
+/// Stopwatch with seconds-resolution reporting.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations ("local_emd", "global_emd", ...).
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase.
+  void Add(const std::string& phase, double seconds) { totals_[phase] += seconds; }
+
+  /// Total for a phase; 0 when the phase never ran.
+  double Total(const std::string& phase) const {
+    auto it = totals_.find(phase);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void Clear() { totals_.clear(); }
+
+ private:
+  std::map<std::string, double> totals_;
+};
+
+/// RAII helper: times a scope into a PhaseTimer.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer* timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+  ~ScopedPhase() { timer_->Add(phase_, stopwatch_.ElapsedSeconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+  std::string phase_;
+  Timer stopwatch_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_TIMER_H_

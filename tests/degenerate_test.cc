@@ -1,0 +1,118 @@
+// Degenerate-shape tests: length-1 sequences, single labels, truncation
+// paths, and empty structures — the inputs that break naive index math.
+
+#include <gtest/gtest.h>
+
+#include "emd/mini_bertweet.h"
+#include "nn/crf.h"
+#include "nn/lstm.h"
+#include "nn/transformer.h"
+#include "stream/datasets.h"
+#include "text/tweet_tokenizer.h"
+#include "util/rng.h"
+
+namespace emd {
+namespace {
+
+TEST(DegenerateTest, LstmSingleStep) {
+  Rng rng(1);
+  Lstm lstm(3, 2, &rng);
+  Mat x(1, 3);
+  x.InitGaussian(&rng, 1.f);
+  Mat h = lstm.Forward(x);
+  EXPECT_EQ(h.rows(), 1);
+  Mat dh(1, 2);
+  dh.Fill(1.f);
+  Mat dx = lstm.Backward(dh);
+  EXPECT_EQ(dx.rows(), 1);
+  EXPECT_EQ(dx.cols(), 3);
+}
+
+TEST(DegenerateTest, BiLstmSingleStep) {
+  Rng rng(2);
+  BiLstm bilstm(3, 2, &rng);
+  Mat x(1, 3);
+  x.InitGaussian(&rng, 1.f);
+  EXPECT_EQ(bilstm.Forward(x).cols(), 4);
+}
+
+TEST(DegenerateTest, TransformerSingleToken) {
+  Rng rng(3);
+  TransformerEncoderLayer enc(8, 2, 16, 0.f, &rng);
+  Mat x(1, 8);
+  x.InitGaussian(&rng, 1.f);
+  Mat y = enc.Forward(x, false, &rng);
+  EXPECT_EQ(y.rows(), 1);
+  Mat dy(1, 8);
+  dy.Fill(1.f);
+  EXPECT_EQ(enc.Backward(dy).rows(), 1);
+}
+
+TEST(DegenerateTest, CrfSingleToken) {
+  Rng rng(4);
+  LinearChainCrf crf(3, &rng);
+  Mat e(1, 3);
+  e(0, 2) = 10.f;
+  EXPECT_EQ(crf.Viterbi(e), (std::vector<int>{2}));
+  Mat de;
+  const double nll = crf.NegLogLikelihood(e, {2}, &de);
+  EXPECT_GE(nll, 0.0);
+  Mat m = crf.Marginals(e);
+  EXPECT_GT(m(0, 2), 0.9f);
+}
+
+TEST(DegenerateTest, CrfEmptySequenceViterbi) {
+  Rng rng(5);
+  LinearChainCrf crf(3, &rng);
+  EXPECT_TRUE(crf.Viterbi(Mat(0, 3)).empty());
+}
+
+TEST(DegenerateTest, MiniBertweetTruncatesVeryLongSentences) {
+  MiniBertweetOptions opt;
+  opt.d_model = 16;
+  opt.num_heads = 2;
+  opt.d_ff = 32;
+  opt.num_layers = 1;
+  opt.max_positions = 24;  // tiny cap to force truncation
+  MiniBertweetSystem net(opt);
+
+  EntityCatalogOptions copt;
+  copt.entities_per_topic = 40;
+  copt.seed = 17;
+  EntityCatalog catalog = EntityCatalog::Build(copt);
+  Dataset train = BuildTrainingCorpus(catalog, 120, 5);
+  net.Train(train, {.epochs = 1});
+
+  // A sentence with far more subword pieces than max_positions.
+  std::vector<Token> long_sentence;
+  for (int i = 0; i < 80; ++i) {
+    Token t;
+    t.text = "word" + std::to_string(i);
+    t.kind = TokenKind::kWord;
+    long_sentence.push_back(t);
+  }
+  LocalEmdResult r = net.Process(long_sentence);
+  EXPECT_EQ(r.token_embeddings.rows(), 80) << "one embedding per word even "
+                                              "when pieces truncate";
+}
+
+TEST(DegenerateTest, MatZeroDimensions) {
+  Mat empty;
+  EXPECT_TRUE(empty.empty());
+  Mat zero_rows(0, 5);
+  EXPECT_EQ(zero_rows.size(), 0u);
+  Mat t = Transpose(zero_rows);
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 0);
+}
+
+TEST(DegenerateTest, TokenizerSingleChars) {
+  TweetTokenizer tok;
+  EXPECT_EQ(tok.Tokenize("a").size(), 1u);
+  EXPECT_EQ(tok.Tokenize(".").size(), 1u);
+  EXPECT_EQ(tok.Tokenize("@").size(), 1u);
+  EXPECT_EQ(tok.Tokenize("9").size(), 1u);
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,119 @@
+// Failure-injection tests: corrupted model files, malformed inputs, and
+// defensive-check behaviour at API boundaries.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/entity_classifier.h"
+#include "core/phrase_embedder.h"
+#include "emd/pos_tagger.h"
+#include "nn/serialize.h"
+#include "stream/conll_io.h"
+#include "text/vocabulary.h"
+#include "util/file_io.h"
+
+namespace emd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(FailureInjectionTest, LoadParamsRejectsTruncatedFile) {
+  Mat w(4, 4), g(4, 4);
+  ParamSet params;
+  params.Register("w", &w, &g);
+  const std::string path = TempPath("emd_trunc.bin");
+  ASSERT_TRUE(SaveParams(params, path).ok());
+  // Truncate the file in the middle of the payload.
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(WriteStringToFile(path, content->substr(0, content->size() / 2)).ok());
+  EXPECT_TRUE(LoadParams(&params, path).IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, LoadParamsRejectsGarbageMagic) {
+  const std::string path = TempPath("emd_magic.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "this is not a model file at all").ok());
+  Mat w(1, 1), g(1, 1);
+  ParamSet params;
+  params.Register("w", &w, &g);
+  EXPECT_TRUE(LoadParams(&params, path).IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, LoadParamsMissingFileIsIoError) {
+  Mat w(1, 1), g(1, 1);
+  ParamSet params;
+  params.Register("w", &w, &g);
+  EXPECT_TRUE(LoadParams(&params, "/nonexistent/emd/model.bin").IsIoError());
+}
+
+TEST(FailureInjectionTest, PhraseEmbedderLoadWrongDims) {
+  PhraseEmbedder small(4, 2);
+  const std::string path = TempPath("emd_pe_dims.bin");
+  ASSERT_TRUE(small.Save(path).ok());
+  PhraseEmbedder big(8, 2);
+  EXPECT_FALSE(big.Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, PosTaggerLoadTruncated) {
+  const std::string path = TempPath("emd_pos_trunc.model");
+  ASSERT_TRUE(WriteStringToFile(path, "5\nw=only one feature line").ok());
+  PosTagger tagger;
+  EXPECT_FALSE(tagger.Load(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, VocabularyCorruptHeaders) {
+  EXPECT_TRUE(Vocabulary::Deserialize("vocab notanumber\n").status().IsCorruption() ||
+              !Vocabulary::Deserialize("vocab notanumber\n").ok());
+  EXPECT_FALSE(Vocabulary::Deserialize("vocab 99\n<pad>\n<unk>\n").ok())
+      << "declared size larger than payload";
+  EXPECT_FALSE(Vocabulary::Deserialize("vocab 3\nwrong\n<unk>\nx\n").ok())
+      << "reserved tokens missing";
+}
+
+TEST(FailureInjectionTest, ConllParserReportsLineNumbers) {
+  const std::string bad = "good\tO\nbadline\n\n";
+  auto r = DatasetFromConll(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(FailureInjectionTest, ConllIgnoresCrLf) {
+  auto r = DatasetFromConll("Andy\tB\r\nsays\tO\r\n\r\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(r->tweets[0].tokens[0].text, "Andy");
+}
+
+TEST(FailureInjectionDeathTest, MatShapeChecksAbort) {
+  Mat a(2, 2), b(3, 3);
+  EXPECT_DEATH(a.Add(b), "check failed");
+  EXPECT_DEATH(MatMul(a, b), "check failed");
+  EXPECT_DEATH(a.at(5, 0), "check failed");
+}
+
+TEST(FailureInjectionDeathTest, CandidateBaseUnknownIdAborts) {
+  CandidateBase base;
+  EXPECT_DEATH(base.at(3), "check failed");
+}
+
+TEST(FailureInjectionDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_DEATH((void)r.value(), "Result::value");
+}
+
+TEST(FailureInjectionTest, ClassifierSaveToUnwritablePath) {
+  EntityClassifier clf({.input_dim = 7});
+  EXPECT_TRUE(clf.Save("/nonexistent/dir/model.bin").IsIoError());
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,70 @@
+// HIRE-NER baseline tests: training, document-level memory behaviour,
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/hire_ner.h"
+#include "eval/metrics.h"
+#include "stream/datasets.h"
+
+namespace emd {
+namespace {
+
+struct HireWorld {
+  EntityCatalog catalog;
+  Dataset train;
+  Dataset test;
+  HireNer model;
+
+  static HireWorld* Make() {
+    EntityCatalogOptions copt;
+    copt.entities_per_topic = 120;
+    copt.seed = 21;
+    auto* w = new HireWorld{EntityCatalog::Build(copt), {}, {}, HireNer({
+        .word_dim = 24, .lstm_hidden = 16, .dense_dim = 32})};
+    w->train = BuildTrainingCorpus(w->catalog, 400, 31);
+    DatasetSuiteOptions sopt;
+    sopt.scale = 0.1;
+    w->test = BuildD1(w->catalog, sopt);
+    w->model.Train(w->train, {.epochs = 3});
+    return w;
+  }
+};
+
+HireWorld& World() {
+  static HireWorld* w = HireWorld::Make();
+  return *w;
+}
+
+TEST(HireNerTest, TrainsAndDetectsSomething) {
+  HireWorld& w = World();
+  EXPECT_TRUE(w.model.trained());
+  auto pred = w.model.ProcessDocument(w.test);
+  ASSERT_EQ(pred.size(), w.test.tweets.size());
+  PrfScores s = EvaluateMentions(w.test, pred);
+  EXPECT_GT(s.f1, 0.2);
+}
+
+TEST(HireNerTest, DocumentMemoryIsDeterministic) {
+  HireWorld& w = World();
+  auto a = w.model.ProcessDocument(w.test);
+  auto b = w.model.ProcessDocument(w.test);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HireNerTest, SaveLoadRoundTrip) {
+  HireWorld& w = World();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emd_hire_test.model").string();
+  ASSERT_TRUE(w.model.Save(path).ok());
+  HireNer loaded({.word_dim = 24, .lstm_hidden = 16, .dense_dim = 32});
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(w.model.ProcessDocument(w.test), loaded.ProcessDocument(w.test));
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".wv");
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,95 @@
+// End-to-end integration: a miniature FrameworkKit world (no cache) trains
+// the PosTagger, a local system, the phrase embedder and the classifier, and
+// the full framework must not be worse than local EMD alone on a stream.
+
+#include <gtest/gtest.h>
+
+#include "core/framework_kit.h"
+#include "core/globalizer.h"
+#include "eval/metrics.h"
+#include "stream/datasets.h"
+
+namespace emd {
+namespace {
+
+FrameworkKit& SmallKit() {
+  static FrameworkKit* kit = [] {
+    FrameworkKitOptions opt;
+    opt.scale = 0.06;
+    opt.training_tweets = 700;
+    opt.use_cache = false;
+    opt.seed = 13;
+    return new FrameworkKit(opt);
+  }();
+  return *kit;
+}
+
+struct Outcome {
+  PrfScores local;
+  PrfScores global;
+  GlobalizerOutput diag;
+};
+
+Outcome RunOn(SystemKind kind, const Dataset& stream) {
+  FrameworkKit& kit = SmallKit();
+  Outcome o;
+  {
+    GlobalizerOptions opt;
+    opt.mode = GlobalizerOptions::Mode::kLocalOnly;
+    Globalizer g(kit.system(kind), nullptr, nullptr, opt);
+    o.local = EvaluateMentions(stream, g.Run(stream).mentions);
+  }
+  {
+    Globalizer g(kit.system(kind), kit.phrase_embedder(kind), kit.classifier(kind),
+                 {});
+    o.diag = g.Run(stream);
+    o.global = EvaluateMentions(stream, o.diag.mentions);
+  }
+  return o;
+}
+
+TEST(IntegrationTest, KitBuildsConsistentWorld) {
+  FrameworkKit& kit = SmallKit();
+  EXPECT_GT(kit.catalog().size(), 0u);
+  EXPECT_GT(kit.gazetteer().size(), 0u);
+  EXPECT_EQ(kit.training_corpus().size(), 700u);
+  EXPECT_TRUE(kit.pos_tagger().trained());
+  EXPECT_EQ(kit.classifier_input_dim(SystemKind::kNpChunker), 7);
+  EXPECT_EQ(kit.classifier_input_dim(SystemKind::kAguilar), 101);
+  EXPECT_EQ(kit.classifier_input_dim(SystemKind::kBertweet), 301);
+  EXPECT_EQ(kit.phrase_embedder(SystemKind::kNpChunker), nullptr);
+  EXPECT_NE(kit.phrase_embedder(SystemKind::kAguilar), nullptr);
+}
+
+TEST(IntegrationTest, TwitterNlpGlobalizerNotWorseThanLocal) {
+  FrameworkKit& kit = SmallKit();
+  Dataset stream = BuildD2(kit.catalog(), kit.suite_options());
+  Outcome o = RunOn(SystemKind::kTwitterNlp, stream);
+  EXPECT_GT(o.local.f1, 0.2) << "local system should function";
+  // The framework must not collapse performance; at tiny scales repetition is
+  // thin, so allow a small tolerance rather than demanding a gain.
+  EXPECT_GE(o.global.f1, o.local.f1 - 0.05);
+  EXPECT_GT(o.diag.num_candidates, 0);
+}
+
+TEST(IntegrationTest, DeepSystemEndToEnd) {
+  FrameworkKit& kit = SmallKit();
+  Dataset stream = BuildD1(kit.catalog(), kit.suite_options());
+  Outcome o = RunOn(SystemKind::kBertweet, stream);
+  EXPECT_GT(o.local.f1, 0.1);
+  EXPECT_GE(o.global.f1, o.local.f1 - 0.05);
+  // The phrase embedder path must have pooled embeddings of the right size.
+  const auto report = kit.phrase_report(SystemKind::kBertweet);
+  EXPECT_GT(report.epochs_run, 0);
+  EXPECT_LT(report.best_validation_loss, 0.3);
+}
+
+TEST(IntegrationTest, ClassifierReportsPopulated) {
+  FrameworkKit& kit = SmallKit();
+  auto report = kit.classifier_report(SystemKind::kTwitterNlp);
+  EXPECT_GT(report.num_train, 0);
+  EXPECT_GT(report.best_validation_f1, 0.4);
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,119 @@
+// Tests for CoNLL import/export and the topic classifier / stream router.
+
+#include <gtest/gtest.h>
+
+#include "stream/conll_io.h"
+#include "stream/datasets.h"
+#include "stream/topic_classifier.h"
+#include "stream/tweet_generator.h"
+#include "text/tweet_tokenizer.h"
+
+namespace emd {
+namespace {
+
+EntityCatalog TestCatalog() {
+  EntityCatalogOptions opt;
+  opt.entities_per_topic = 100;
+  opt.seed = 41;
+  return EntityCatalog::Build(opt);
+}
+
+TEST(ConllIoTest, RoundTripPreservesTokensAndSpans) {
+  EntityCatalog catalog = TestCatalog();
+  DatasetSuiteOptions sopt;
+  sopt.scale = 0.05;
+  Dataset original = BuildD1(catalog, sopt);
+  auto parsed = DatasetFromConll(DatasetToConll(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.tweets[i];
+    const auto& b = parsed->tweets[i];
+    EXPECT_EQ(a.tweet_id, b.tweet_id);
+    ASSERT_EQ(a.tokens.size(), b.tokens.size());
+    for (size_t t = 0; t < a.tokens.size(); ++t) {
+      EXPECT_EQ(a.tokens[t].text, b.tokens[t].text);
+    }
+    ASSERT_EQ(a.gold.size(), b.gold.size());
+    for (size_t g = 0; g < a.gold.size(); ++g) {
+      EXPECT_EQ(a.gold[g].span, b.gold[g].span);
+    }
+  }
+}
+
+TEST(ConllIoTest, ParsesTypedLabels) {
+  const std::string text =
+      "Andy\tB-person\nBeshear\tI-person\nsays\tO\nhi\tO\n\n";
+  auto parsed = DatasetFromConll(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  ASSERT_EQ(parsed->tweets[0].gold.size(), 1u);
+  EXPECT_EQ(parsed->tweets[0].gold[0].span, (TokenSpan{0, 2}));
+}
+
+TEST(ConllIoTest, SameSurfaceSharesEntityId) {
+  const std::string text =
+      "Coronavirus\tB\nspreads\tO\n\ncoronavirus\tB\nagain\tO\n\n";
+  auto parsed = DatasetFromConll(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->tweets[0].gold[0].entity_id, parsed->tweets[1].gold[0].entity_id);
+  EXPECT_EQ(parsed->num_entities, 1);
+}
+
+TEST(ConllIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(DatasetFromConll("just_a_token_no_label\n\n").ok());
+  EXPECT_FALSE(DatasetFromConll("token\tX\n\n").ok());
+}
+
+TEST(ConllIoTest, EmptyInputYieldsEmptyDataset) {
+  auto parsed = DatasetFromConll("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 0u);
+}
+
+TEST(ConllIoTest, TokenKindsRecovered) {
+  const std::string text = "@user\tO\n#covid\tO\nhello\tO\n\n";
+  auto parsed = DatasetFromConll(text);
+  ASSERT_TRUE(parsed.ok());
+  const auto& toks = parsed->tweets[0].tokens;
+  EXPECT_EQ(toks[0].kind, TokenKind::kMention);
+  EXPECT_EQ(toks[1].kind, TokenKind::kHashtag);
+  EXPECT_EQ(toks[2].kind, TokenKind::kWord);
+}
+
+TEST(TopicClassifierTest, RoutesTopicalStreams) {
+  EntityCatalog catalog = TestCatalog();
+  Dataset train = BuildTrainingCorpus(catalog, 800, 51);
+  TopicClassifier clf;
+  clf.Train(train);
+  EXPECT_TRUE(clf.trained());
+  EXPECT_GT(clf.Accuracy(train), 0.6);
+
+  // Held-out mixed stream.
+  DatasetSuiteOptions sopt;
+  sopt.scale = 0.05;
+  Dataset mixed = BuildD4(catalog, sopt);  // 5 topics
+  EXPECT_GT(clf.Accuracy(mixed), 0.5);
+
+  auto streams = clf.Route(mixed);
+  ASSERT_EQ(streams.size(), static_cast<size_t>(Topic::kNumTopics));
+  size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  EXPECT_EQ(total, mixed.size());
+}
+
+TEST(TopicClassifierTest, TopicWordsDriveClassification) {
+  EntityCatalog catalog = TestCatalog();
+  Dataset train = BuildTrainingCorpus(catalog, 800, 52);
+  TopicClassifier clf;
+  clf.Train(train);
+  TweetTokenizer tok;
+  EXPECT_EQ(clf.Classify(tok.Tokenize("the vaccine and quarantine symptoms")),
+            Topic::kHealth);
+  EXPECT_EQ(clf.Classify(tok.Tokenize("rocket launch into orbit telescope")),
+            Topic::kScience);
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/crf.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+#include "nn/params.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace emd {
+namespace {
+
+TEST(MatTest, ConstructionAndAccess) {
+  Mat m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  m.at(1, 2) = 5.f;
+  EXPECT_FLOAT_EQ(m(1, 2), 5.f);
+}
+
+TEST(MatTest, MatMulHandValues) {
+  Mat a(2, 3, {1, 2, 3, 4, 5, 6});
+  Mat b(3, 2, {7, 8, 9, 10, 11, 12});
+  Mat c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58);
+  EXPECT_FLOAT_EQ(c(0, 1), 64);
+  EXPECT_FLOAT_EQ(c(1, 0), 139);
+  EXPECT_FLOAT_EQ(c(1, 1), 154);
+}
+
+TEST(MatTest, MatMulVariantsAgree) {
+  Rng rng(3);
+  Mat a(4, 5), b(5, 3);
+  a.InitGaussian(&rng, 1.f);
+  b.InitGaussian(&rng, 1.f);
+  Mat c1 = MatMul(a, b);
+  Mat c2 = MatMulBT(a, Transpose(b));
+  Mat c3 = MatMulAT(Transpose(a), b);
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-4);
+    EXPECT_NEAR(c1.data()[i], c3.data()[i], 1e-4);
+  }
+}
+
+TEST(MatTest, TransposeInvolution) {
+  Rng rng(4);
+  Mat a(3, 5);
+  a.InitGaussian(&rng, 1.f);
+  Mat t = Transpose(Transpose(a));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a.data()[i], t.data()[i]);
+}
+
+TEST(MatTest, RowOps) {
+  Mat a(2, 3, {1, 2, 3, 4, 5, 6});
+  Mat s = SumRows(a);
+  EXPECT_FLOAT_EQ(s(0, 0), 5);
+  EXPECT_FLOAT_EQ(s(0, 2), 9);
+  Mat m = MeanRows(a);
+  EXPECT_FLOAT_EQ(m(0, 1), 3.5f);
+  Mat bias(1, 3, {10, 20, 30});
+  Mat ab = AddRowBroadcast(a, bias);
+  EXPECT_FLOAT_EQ(ab(1, 0), 14);
+}
+
+TEST(MatTest, ConcatAndSlice) {
+  Mat a(2, 2, {1, 2, 3, 4});
+  Mat b(2, 1, {5, 6});
+  Mat c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c(0, 2), 5);
+  Mat s = SliceCols(c, 1, 3);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_FLOAT_EQ(s(1, 0), 4);
+  EXPECT_FLOAT_EQ(s(1, 1), 6);
+}
+
+TEST(MatTest, StackRows) {
+  Mat r1(1, 2, {1, 2});
+  Mat r2(1, 2, {3, 4});
+  Mat s = StackRows({r1, r2});
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_FLOAT_EQ(s(1, 1), 4);
+}
+
+TEST(MatTest, LogSumExpStable) {
+  std::vector<float> x = {1000.f, 1000.f};
+  EXPECT_NEAR(LogSumExp(x.data(), 2), 1000.0 + std::log(2.0), 1e-3);
+  std::vector<float> y = {-1000.f, 0.f};
+  EXPECT_NEAR(LogSumExp(y.data(), 2), 0.0, 1e-6);
+}
+
+TEST(MatTest, SoftmaxRows) {
+  Mat a(1, 3, {1, 2, 3});
+  SoftmaxRowsInPlace(&a);
+  double sum = a(0, 0) + a(0, 1) + a(0, 2);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(a(0, 2), a(0, 1));
+}
+
+TEST(MatTest, CosineSimilarity) {
+  Mat a(1, 2, {1, 0});
+  Mat b(1, 2, {0, 1});
+  Mat c(1, 2, {2, 0});
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.f, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.f, 1e-6);
+  Mat z(1, 2);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, z), 0.f);
+}
+
+TEST(MatTest, NormAndScale) {
+  Mat a(1, 3, {3, 0, 4});
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+  a.Scale(2.f);
+  EXPECT_FLOAT_EQ(a(0, 2), 8.f);
+  Mat b(1, 3, {1, 1, 1});
+  a.AddScaled(b, -1.f);
+  EXPECT_FLOAT_EQ(a(0, 0), 5.f);
+}
+
+TEST(ParamSetTest, GradClipping) {
+  Mat w(1, 2), g(1, 2, {3, 4});
+  ParamSet params;
+  params.Register("w", &w, &g);
+  EXPECT_DOUBLE_EQ(params.GradNorm(), 5.0);
+  params.ClipGradNorm(1.0);
+  EXPECT_NEAR(params.GradNorm(), 1.0, 1e-5);
+  params.ZeroGrads();
+  EXPECT_DOUBLE_EQ(params.GradNorm(), 0.0);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  // minimize (w - 3)^2 via gradient 2(w-3).
+  Mat w(1, 1), g(1, 1);
+  ParamSet params;
+  params.Register("w", &w, &g);
+  SgdOptimizer sgd(0.1f);
+  for (int i = 0; i < 200; ++i) {
+    g(0, 0) = 2.f * (w(0, 0) - 3.f);
+    sgd.Step(&params);
+    params.ZeroGrads();
+  }
+  EXPECT_NEAR(w(0, 0), 3.f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  Mat w(1, 2), g(1, 2);
+  ParamSet params;
+  params.Register("w", &w, &g);
+  AdamOptimizer adam(0.05f);
+  for (int i = 0; i < 500; ++i) {
+    g(0, 0) = 2.f * (w(0, 0) - 1.f);
+    g(0, 1) = 2.f * (w(0, 1) + 2.f);
+    adam.Step(&params);
+    params.ZeroGrads();
+  }
+  EXPECT_NEAR(w(0, 0), 1.f, 1e-2);
+  EXPECT_NEAR(w(0, 1), -2.f, 1e-2);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(5);
+  Mat w1(3, 4), g1(3, 4), w2(1, 2), g2(1, 2);
+  w1.InitGaussian(&rng, 1.f);
+  w2.InitGaussian(&rng, 1.f);
+  ParamSet params;
+  params.Register("layer.w", &w1, &g1);
+  params.Register("layer.b", &w2, &g2);
+  const std::string path = "/tmp/emd_serialize_test.bin";
+  ASSERT_TRUE(SaveParams(params, path).ok());
+
+  Mat w1b(3, 4), w2b(1, 2);
+  ParamSet loaded;
+  loaded.Register("layer.w", &w1b, &g1);
+  loaded.Register("layer.b", &w2b, &g2);
+  ASSERT_TRUE(LoadParams(&loaded, path).ok());
+  for (size_t i = 0; i < w1.size(); ++i) EXPECT_FLOAT_EQ(w1.data()[i], w1b.data()[i]);
+  for (size_t i = 0; i < w2.size(); ++i) EXPECT_FLOAT_EQ(w2.data()[i], w2b.data()[i]);
+}
+
+TEST(SerializeTest, RejectsNameMismatch) {
+  Mat w(1, 1), g(1, 1);
+  ParamSet params;
+  params.Register("a", &w, &g);
+  const std::string path = "/tmp/emd_serialize_test2.bin";
+  ASSERT_TRUE(SaveParams(params, path).ok());
+  ParamSet other;
+  other.Register("b", &w, &g);
+  EXPECT_TRUE(LoadParams(&other, path).IsCorruption());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Mat w(2, 2), g(2, 2);
+  ParamSet params;
+  params.Register("a", &w, &g);
+  const std::string path = "/tmp/emd_serialize_test3.bin";
+  ASSERT_TRUE(SaveParams(params, path).ok());
+  Mat w2(1, 2), g2(1, 2);
+  ParamSet other;
+  other.Register("a", &w2, &g2);
+  EXPECT_TRUE(LoadParams(&other, path).IsCorruption());
+}
+
+TEST(CrfTest, ViterbiPrefersHighEmissions) {
+  Rng rng(6);
+  LinearChainCrf crf(3, &rng);
+  Mat e(4, 3);
+  e(0, 1) = 5;
+  e(1, 2) = 5;
+  e(2, 0) = 5;
+  e(3, 0) = 5;
+  auto path = crf.Viterbi(e);
+  EXPECT_EQ(path, (std::vector<int>{1, 2, 0, 0}));
+}
+
+TEST(CrfTest, MarginalsSumToOne) {
+  Rng rng(7);
+  LinearChainCrf crf(4, &rng);
+  Mat e(6, 4);
+  e.InitGaussian(&rng, 1.f);
+  Mat m = crf.Marginals(e);
+  for (int t = 0; t < m.rows(); ++t) {
+    double s = 0;
+    for (int j = 0; j < m.cols(); ++j) s += m(t, j);
+    EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,187 @@
+// Learning sanity checks: each sequence model must be able to fit a small
+// synthetic task (loss decreases, predictions become correct). These protect
+// against sign errors that gradient checks alone can miss (e.g. optimizer
+// coupling, cache reuse across steps).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/crf.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace emd {
+namespace {
+
+// Task: label each position with the parity of "1"-tokens seen so far —
+// requires recurrent state.
+TEST(NnTrainTest, LstmLearnsRunningParity) {
+  Rng rng(1);
+  Embedding emb(3, 8, &rng);
+  Lstm lstm(8, 16, &rng);
+  Linear out(16, 2, &rng);
+  ParamSet params;
+  emb.CollectParams(&params);
+  lstm.CollectParams(&params);
+  out.CollectParams(&params);
+  AdamOptimizer adam(0.01f);
+
+  auto make_seq = [&](Rng* r, std::vector<int>* ids, std::vector<int>* labels) {
+    const int T = r->NextInt(4, 10);
+    ids->resize(T);
+    labels->resize(T);
+    int parity = 0;
+    for (int t = 0; t < T; ++t) {
+      (*ids)[t] = r->NextBernoulli(0.5) ? 1 : 2;
+      if ((*ids)[t] == 1) parity ^= 1;
+      (*labels)[t] = parity;
+    }
+  };
+
+  double first_loss = 0, last_loss = 0;
+  Rng data_rng(2);
+  for (int step = 0; step < 600; ++step) {
+    std::vector<int> ids, labels;
+    make_seq(&data_rng, &ids, &labels);
+    params.ZeroGrads();
+    Mat h = lstm.Forward(emb.Forward(ids));
+    Mat logits = out.Forward(h);
+    Mat probs = logits;
+    SoftmaxRowsInPlace(&probs);
+    double loss = 0;
+    Mat dlogits(logits.rows(), 2);
+    for (int t = 0; t < logits.rows(); ++t) {
+      loss += -std::log(std::max(1e-8f, probs(t, labels[t])));
+      for (int l = 0; l < 2; ++l) {
+        dlogits(t, l) = (probs(t, l) - (l == labels[t] ? 1.f : 0.f)) / logits.rows();
+      }
+    }
+    loss /= logits.rows();
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    emb.Backward(lstm.Backward(out.Backward(dlogits)));
+    params.ClipGradNorm(5);
+    adam.Step(&params);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5) << "LSTM failed to fit parity task";
+}
+
+// Task: classify each token by whether the *other* end of the sequence holds
+// a marker token — requires attention across positions.
+TEST(NnTrainTest, TransformerLearnsCrossPositionSignal) {
+  Rng rng(3);
+  Embedding emb(4, 16, &rng);
+  Embedding pos(12, 16, &rng);
+  TransformerEncoderLayer enc(16, 2, 32, 0.f, &rng);
+  Linear out(16, 2, &rng);
+  ParamSet params;
+  emb.CollectParams(&params);
+  pos.CollectParams(&params);
+  enc.CollectParams(&params);
+  out.CollectParams(&params);
+  AdamOptimizer adam(5e-3f);
+
+  Rng data_rng(4);
+  double first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 500; ++step) {
+    const int T = 8;
+    std::vector<int> ids(T), positions(T);
+    const bool marker = data_rng.NextBernoulli(0.5);
+    for (int t = 0; t < T; ++t) {
+      ids[t] = 2 + (data_rng.NextBernoulli(0.5) ? 1 : 0);
+      positions[t] = t;
+    }
+    ids[T - 1] = marker ? 1 : ids[T - 1];
+    const int label = marker ? 1 : 0;
+
+    params.ZeroGrads();
+    Mat x = emb.Forward(ids);
+    x.Add(pos.Forward(positions));
+    Mat h = enc.Forward(x, false, &rng);
+    Mat logits = out.Forward(h);
+    // Read the prediction at position 0 (must attend to position T-1).
+    Mat p0 = logits.RowCopy(0);
+    float mx = std::max(p0(0, 0), p0(0, 1));
+    const double z = std::exp(p0(0, 0) - mx) + std::exp(p0(0, 1) - mx);
+    const double prob1 = std::exp(p0(0, 1) - mx) / z;
+    const double loss = -(label ? std::log(prob1 + 1e-9)
+                                : std::log(1 - prob1 + 1e-9));
+    if (step == 0) first_loss = loss;
+    last_loss = 0.95 * last_loss + 0.05 * loss;  // smoothed
+    Mat dlogits(T, 2);
+    dlogits(0, 1) = static_cast<float>(prob1 - label);
+    dlogits(0, 0) = static_cast<float>(-(prob1 - label));
+    Mat dx = enc.Backward(out.Backward(dlogits));
+    emb.Backward(dx);
+    pos.Backward(dx);
+    params.ClipGradNorm(5);
+    adam.Step(&params);
+  }
+  EXPECT_LT(last_loss, std::max(0.45, first_loss * 0.7))
+      << "transformer failed the cross-position task";
+}
+
+// Task: BIO-style segmentation where label depends on the previous label —
+// the CRF transitions must learn "no I after O without B".
+TEST(NnTrainTest, CrfWithEmissionsLearnsSegmentation) {
+  Rng rng(5);
+  Embedding emb(5, 8, &rng);
+  Linear out(8, 3, &rng);
+  LinearChainCrf crf(3, &rng);
+  ParamSet params;
+  emb.CollectParams(&params);
+  out.CollectParams(&params);
+  crf.CollectParams(&params);
+  AdamOptimizer adam(0.02f);
+
+  // Token 1 starts an entity of length 2 (ids: 1=start, 2=inside marker is
+  // ambiguous with outside id 3 — only transitions disambiguate).
+  auto make_seq = [](Rng* r, std::vector<int>* ids, std::vector<int>* labels) {
+    const int T = r->NextInt(5, 9);
+    ids->assign(T, 3);
+    labels->assign(T, 0);
+    const int s = r->NextInt(0, T - 2);
+    (*ids)[s] = 1;
+    (*ids)[s + 1] = 2;
+    (*labels)[s] = 1;      // B
+    (*labels)[s + 1] = 2;  // I
+    // Ambiguity: id 2 also appears outside entities.
+    const int noise = r->NextInt(0, T - 1);
+    if (noise != s && noise != s + 1) (*ids)[noise] = 2;
+  };
+
+  Rng data_rng(6);
+  for (int step = 0; step < 500; ++step) {
+    std::vector<int> ids, labels;
+    make_seq(&data_rng, &ids, &labels);
+    params.ZeroGrads();
+    Mat emissions = out.Forward(emb.Forward(ids));
+    Mat demissions;
+    crf.NegLogLikelihood(emissions, labels, &demissions);
+    emb.Backward(out.Backward(demissions));
+    params.ClipGradNorm(5);
+    adam.Step(&params);
+  }
+
+  // Decode accuracy on fresh sequences.
+  int correct = 0, total = 0;
+  Rng eval_rng(7);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<int> ids, labels;
+    make_seq(&eval_rng, &ids, &labels);
+    auto pred = crf.Viterbi(out.Forward(emb.Forward(ids)));
+    for (size_t t = 0; t < labels.size(); ++t) {
+      ++total;
+      if (pred[t] == labels[t]) ++correct;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "stream/batching.h"
+#include "stream/datasets.h"
+#include "stream/entity_catalog.h"
+#include "stream/gazetteer.h"
+#include "stream/lexicon.h"
+#include "stream/sts_generator.h"
+#include "stream/tweet_generator.h"
+#include "text/tweet_tokenizer.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+EntityCatalog SmallCatalog(uint64_t seed = 7) {
+  EntityCatalogOptions opt;
+  opt.entities_per_topic = 120;
+  opt.seed = seed;
+  return EntityCatalog::Build(opt);
+}
+
+TEST(EntityCatalogTest, SizesAndUniqueness) {
+  EntityCatalog catalog = SmallCatalog();
+  EXPECT_EQ(catalog.size(), 120u * static_cast<size_t>(Topic::kNumTopics));
+  std::set<std::string> names;
+  for (const Entity& e : catalog.entities()) {
+    EXPECT_FALSE(e.name_tokens.empty());
+    EXPECT_TRUE(names.insert(ToLowerAscii(e.CanonicalName())).second)
+        << "duplicate name " << e.CanonicalName();
+  }
+}
+
+TEST(EntityCatalogTest, DeterministicForSeed) {
+  EntityCatalog a = SmallCatalog(9);
+  EntityCatalog b = SmallCatalog(9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entities()[i].CanonicalName(), b.entities()[i].CanonicalName());
+  }
+}
+
+TEST(EntityCatalogTest, TopicFiltering) {
+  EntityCatalog catalog = SmallCatalog();
+  auto ids = catalog.TopicEntityIds(Topic::kSports);
+  EXPECT_EQ(ids.size(), 120u);
+  for (int id : ids) EXPECT_EQ(catalog.entity(id).topic, Topic::kSports);
+}
+
+TEST(EntityCatalogTest, LowercaseCanonicalFlagMatchesName) {
+  EntityCatalog catalog = SmallCatalog();
+  int lowercase = 0;
+  for (const Entity& e : catalog.entities()) {
+    if (e.lowercase_canonical) {
+      ++lowercase;
+      for (const auto& tok : e.name_tokens) EXPECT_TRUE(IsAllLower(tok));
+    }
+  }
+  EXPECT_GT(lowercase, 0);
+}
+
+TEST(EntityCatalogTest, AddCustomAssignsId) {
+  EntityCatalog catalog = SmallCatalog();
+  Entity e;
+  e.type = EntityType::kLocation;
+  e.name_tokens = {"Italy"};
+  const int id = catalog.AddCustom(e);
+  EXPECT_EQ(catalog.entity(id).CanonicalName(), "Italy");
+}
+
+TEST(TweetGeneratorTest, DeterministicForSeed) {
+  EntityCatalog catalog = SmallCatalog();
+  TweetGeneratorOptions opt;
+  opt.seed = 5;
+  TweetGenerator g1(&catalog, Topic::kHealth, opt);
+  TweetGenerator g2(&catalog, Topic::kHealth, opt);
+  for (int i = 0; i < 20; ++i) {
+    AnnotatedTweet a = g1.Next();
+    AnnotatedTweet b = g2.Next();
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.gold.size(), b.gold.size());
+  }
+}
+
+TEST(TweetGeneratorTest, GoldSpansAreValidAndAligned) {
+  EntityCatalog catalog = SmallCatalog();
+  TweetGeneratorOptions opt;
+  opt.seed = 6;
+  TweetGenerator gen(&catalog, Topic::kPolitics, opt);
+  for (int i = 0; i < 300; ++i) {
+    AnnotatedTweet t = gen.Next();
+    ASSERT_EQ(t.silver_pos.size(), t.tokens.size());
+    for (const GoldSpan& g : t.gold) {
+      ASSERT_LT(g.span.begin, g.span.end);
+      ASSERT_LE(g.span.end, t.tokens.size());
+      const Entity& e = catalog.entity(g.entity_id);
+      // The mention is a case/subset variation of the canonical name: every
+      // mention token matches some canonical token case-insensitively.
+      for (size_t k = g.span.begin; k < g.span.end; ++k) {
+        bool found = false;
+        for (const auto& name_tok : e.name_tokens) {
+          if (EqualsIgnoreCase(name_tok, t.tokens[k].text)) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << t.tokens[k].text << " not in " << e.CanonicalName();
+      }
+      // Entity tokens carry the proper-noun silver tag.
+      for (size_t k = g.span.begin; k < g.span.end; ++k) {
+        EXPECT_EQ(t.silver_pos[k], PosTag::kPropNoun);
+      }
+    }
+  }
+}
+
+TEST(TweetGeneratorTest, OffsetsMatchText) {
+  EntityCatalog catalog = SmallCatalog();
+  TweetGeneratorOptions opt;
+  opt.seed = 8;
+  TweetGenerator gen(&catalog, Topic::kScience, opt);
+  for (int i = 0; i < 100; ++i) {
+    AnnotatedTweet t = gen.Next();
+    for (const Token& tok : t.tokens) {
+      ASSERT_LE(tok.end, t.text.size());
+      EXPECT_EQ(t.text.substr(tok.begin, tok.end - tok.begin), tok.text);
+    }
+  }
+}
+
+// Property: re-tokenizing the generated text with the TweetTokenizer yields
+// the generator's tokens (the corpus is consistent under the shared
+// tokenizer).
+TEST(TweetGeneratorTest, TokenizerRoundTrip) {
+  EntityCatalog catalog = SmallCatalog();
+  TweetTokenizer tokenizer;
+  TweetGeneratorOptions opt;
+  opt.seed = 12;
+  TweetGenerator gen(&catalog, Topic::kEntertainment, opt);
+  int mismatches = 0;
+  for (int i = 0; i < 200; ++i) {
+    AnnotatedTweet t = gen.Next();
+    auto retok = tokenizer.Tokenize(t.text);
+    if (retok.size() != t.tokens.size()) {
+      ++mismatches;
+      continue;
+    }
+    for (size_t k = 0; k < retok.size(); ++k) {
+      if (retok[k].text != t.tokens[k].text) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  // A tiny disagreement rate is tolerated (typos can create odd shapes).
+  EXPECT_LE(mismatches, 4);
+}
+
+TEST(TweetGeneratorTest, StreamRepeatsEntities) {
+  EntityCatalog catalog = SmallCatalog();
+  TweetGeneratorOptions opt;
+  opt.seed = 13;
+  opt.pool_size = 50;
+  opt.zipf_exponent = 1.2;
+  TweetGenerator gen(&catalog, Topic::kHealth, opt);
+  std::map<int, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    for (const auto& g : gen.Next().gold) ++counts[g.entity_id];
+  }
+  int max_count = 0;
+  for (auto& [id, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 10) << "top entity should repeat in a targeted stream";
+}
+
+TEST(TweetGeneratorTest, ExcludeNovelRestrictsPool) {
+  EntityCatalog catalog = SmallCatalog();
+  TweetGeneratorOptions opt;
+  opt.seed = 14;
+  opt.exclude_novel = true;
+  TweetGenerator gen(&catalog, Topic::kSports, opt);
+  for (int id : gen.pool()) {
+    EXPECT_TRUE(catalog.entity(id).in_training);
+  }
+}
+
+TEST(DatasetsTest, SuiteShapes) {
+  EntityCatalog catalog = SmallCatalog();
+  DatasetSuiteOptions opt;
+  opt.scale = 0.02;
+  auto suite = BuildEvaluationSuite(catalog, opt);
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "D1");
+  EXPECT_EQ(suite[1].name, "D2");
+  EXPECT_EQ(suite[4].name, "WNUT17");
+  EXPECT_EQ(suite[5].name, "BTC");
+  EXPECT_TRUE(suite[0].streaming);
+  EXPECT_FALSE(suite[4].streaming);
+  EXPECT_EQ(suite[2].num_topics, 3);
+  EXPECT_EQ(suite[3].num_topics, 5);
+  EXPECT_EQ(suite[0].size(), 20u);  // 1000 * 0.02
+  EXPECT_EQ(suite[3].size(), 120u);
+  for (const auto& ds : suite) {
+    EXPECT_GT(ds.num_entities, 0) << ds.name;
+  }
+}
+
+TEST(DatasetsTest, TrainingCorpusExcludesNovelEntities) {
+  EntityCatalog catalog = SmallCatalog();
+  Dataset train = BuildTrainingCorpus(catalog, 100, 3);
+  EXPECT_EQ(train.size(), 100u);
+  for (const auto& tweet : train.tweets) {
+    for (const auto& g : tweet.gold) {
+      EXPECT_TRUE(catalog.entity(g.entity_id).in_training);
+    }
+  }
+}
+
+TEST(DatasetsTest, StatsRefreshCountsUniques) {
+  EntityCatalog catalog = SmallCatalog();
+  DatasetSuiteOptions opt;
+  opt.scale = 0.05;
+  Dataset d = BuildD1(catalog, opt);
+  std::set<int> unique;
+  for (const auto& t : d.tweets) {
+    for (const auto& g : t.gold) unique.insert(g.entity_id);
+  }
+  EXPECT_EQ(d.num_entities, static_cast<int>(unique.size()));
+}
+
+TEST(BatchingTest, CoversDatasetInOrder) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    AnnotatedTweet t;
+    t.tweet_id = i;
+    d.tweets.push_back(t);
+  }
+  StreamBatcher batcher(&d, 4);
+  EXPECT_EQ(batcher.num_batches(), 3u);
+  std::vector<long> ids;
+  while (batcher.HasNext()) {
+    for (const auto& t : batcher.Next()) ids.push_back(t.tweet_id);
+  }
+  ASSERT_EQ(ids.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ids[i], i);
+  batcher.Reset();
+  EXPECT_TRUE(batcher.HasNext());
+}
+
+TEST(GazetteerTest, CoversFlaggedEntitiesOnly) {
+  EntityCatalog catalog = SmallCatalog();
+  Gazetteer gz = Gazetteer::Build(catalog);
+  for (const Entity& e : catalog.entities()) {
+    if (e.in_gazetteer) {
+      EXPECT_TRUE(gz.ContainsAny(e.CanonicalName()));
+      EXPECT_TRUE(gz.ContainsTyped(e.type, ToLowerAscii(e.CanonicalName())));
+    }
+  }
+  EXPECT_FALSE(gz.ContainsAny("definitely not an entity name"));
+}
+
+TEST(GazetteerTest, FeatureVectorDims) {
+  EntityCatalog catalog = SmallCatalog();
+  Gazetteer gz = Gazetteer::Build(catalog);
+  const Entity* listed = nullptr;
+  for (const Entity& e : catalog.entities()) {
+    if (e.in_gazetteer) {
+      listed = &e;
+      break;
+    }
+  }
+  ASSERT_NE(listed, nullptr);
+  auto f = gz.FeatureVector(listed->CanonicalName());
+  EXPECT_FLOAT_EQ(f[static_cast<int>(listed->type)], 1.f);
+  EXPECT_FLOAT_EQ(f[Gazetteer::kNumLists - 1], 1.f);
+}
+
+TEST(StsGeneratorTest, PairCountsAndScoreRange) {
+  EntityCatalog catalog = SmallCatalog();
+  StsGeneratorOptions opt;
+  opt.num_train_pairs = 50;
+  opt.num_val_pairs = 20;
+  StsData data = GenerateStsData(catalog, opt);
+  EXPECT_EQ(data.train.size(), 50u);
+  EXPECT_EQ(data.validation.size(), 20u);
+  for (const auto& p : data.train) {
+    EXPECT_GE(p.score, 0.f);
+    EXPECT_LE(p.score, 1.f);
+    EXPECT_FALSE(p.a.empty());
+    EXPECT_FALSE(p.b.empty());
+  }
+}
+
+TEST(StsGeneratorTest, HighScorePairsShareTokens) {
+  EntityCatalog catalog = SmallCatalog();
+  StsGeneratorOptions opt;
+  opt.num_train_pairs = 200;
+  opt.num_val_pairs = 1;
+  StsData data = GenerateStsData(catalog, opt);
+  double high_overlap = 0, low_overlap = 0;
+  int high_n = 0, low_n = 0;
+  for (const auto& p : data.train) {
+    std::unordered_set<std::string> a_set;
+    for (const auto& t : p.a) a_set.insert(t.text);
+    int shared = 0;
+    for (const auto& t : p.b) {
+      if (a_set.count(t.text)) ++shared;
+    }
+    const double overlap = static_cast<double>(shared) / p.b.size();
+    if (p.score > 0.85) {
+      high_overlap += overlap;
+      ++high_n;
+    } else if (p.score < 0.2) {
+      low_overlap += overlap;
+      ++low_n;
+    }
+  }
+  ASSERT_GT(high_n, 0);
+  ASSERT_GT(low_n, 0);
+  EXPECT_GT(high_overlap / high_n, low_overlap / low_n + 0.3);
+}
+
+TEST(LexiconTest, PoolsNonEmpty) {
+  const Lexicon& lex = Lexicon::Get();
+  EXPECT_GT(lex.stopwords().size(), 30u);
+  EXPECT_GT(lex.first_names().size(), 100u);
+  for (int t = 0; t < static_cast<int>(Topic::kNumTopics); ++t) {
+    EXPECT_GE(lex.topic_words(static_cast<Topic>(t)).size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,105 @@
+// Typing-extension tests: TypeClassifier learning, serialization, and the
+// D5-example builder.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/classifier_training.h"
+#include "core/type_classifier.h"
+#include "mock_local_system.h"
+#include "text/tweet_tokenizer.h"
+#include "util/rng.h"
+
+namespace emd {
+namespace {
+
+// Synthetic separable typing data: type k clusters around axis k.
+std::vector<TypeExample> ClusteredExamples(int n, int dim, uint64_t seed) {
+  std::vector<TypeExample> out;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int type = rng.NextInt(0, static_cast<int>(EntityType::kNumTypes) - 1);
+    Mat f(1, dim);
+    f.InitGaussian(&rng, 0.3f);
+    f(0, type % dim) += 2.f;
+    out.push_back({std::move(f), static_cast<EntityType>(type)});
+  }
+  return out;
+}
+
+TEST(TypeClassifierTest, LearnsClusteredTypes) {
+  TypeClassifierOptions opt;
+  opt.input_dim = 8;
+  TypeClassifier clf(opt);
+  auto examples = ClusteredExamples(600, 8, 3);
+  auto report = clf.Train(examples, {.max_epochs = 150});
+  EXPECT_GT(report.best_validation_accuracy, 0.9);
+  EXPECT_GT(report.num_train, report.num_validation);
+}
+
+TEST(TypeClassifierTest, ProbabilitiesSumToOne) {
+  TypeClassifierOptions opt;
+  opt.input_dim = 8;
+  TypeClassifier clf(opt);
+  Rng rng(4);
+  Mat f(1, 8);
+  f.InitGaussian(&rng, 1.f);
+  auto probs = clf.Probabilities(f);
+  float sum = 0;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.f, 1e-4);
+}
+
+TEST(TypeClassifierTest, SaveLoadRoundTrip) {
+  TypeClassifierOptions opt;
+  opt.input_dim = 8;
+  TypeClassifier clf(opt);
+  auto examples = ClusteredExamples(200, 8, 5);
+  clf.Train(examples, {.max_epochs = 50});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emd_type_test.bin").string();
+  ASSERT_TRUE(clf.Save(path).ok());
+  TypeClassifier loaded(opt);
+  ASSERT_TRUE(loaded.Load(path).ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(clf.Classify(examples[i].features),
+              loaded.Classify(examples[i].features));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TypeExamplesTest, BuilderLabelsFromCatalog) {
+  EntityCatalogOptions copt;
+  copt.entities_per_topic = 40;
+  copt.seed = 61;
+  EntityCatalog catalog = EntityCatalog::Build(copt);
+  // Find a person entity to script a stream around.
+  const Entity* person = nullptr;
+  for (const Entity& e : catalog.entities()) {
+    if (e.type == EntityType::kPerson && e.name_tokens.size() == 1) {
+      person = &e;
+      break;
+    }
+  }
+  ASSERT_NE(person, nullptr);
+
+  Dataset d;
+  TweetTokenizer tok;
+  for (int i = 0; i < 3; ++i) {
+    AnnotatedTweet t;
+    t.tweet_id = i + 1;
+    t.text = person->name_tokens[0] + " spoke again today";
+    t.tokens = tok.Tokenize(t.text);
+    t.gold.push_back({{0, 1}, person->id});
+    d.tweets.push_back(std::move(t));
+  }
+  MockLocalSystem mock({{.phrase = {ToLowerAscii(person->name_tokens[0])}}});
+  auto examples = BuildTypeExamples(d, catalog, &mock, nullptr);
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].type, EntityType::kPerson);
+  EXPECT_EQ(examples[0].features.cols(), 7);
+}
+
+}  // namespace
+}  // namespace emd

@@ -1,0 +1,96 @@
+// SkipGram pretraining tests: distributional similarity emerges, tables
+// initialize embedding layers, and degenerate inputs behave.
+
+#include <gtest/gtest.h>
+
+#include "nn/word2vec.h"
+#include "stream/datasets.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+// Synthetic corpus with two interchange classes: {red, blue} share contexts,
+// {cat, dog} share contexts; the classes never mix.
+std::vector<std::vector<std::string>> TwoClassCorpus(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> out;
+  const std::vector<std::string> colors = {"red", "blue"};
+  const std::vector<std::string> animals = {"cat", "dog"};
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.5)) {
+      out.push_back({"the", colors[rng.NextU64(2)], "paint", "dried", "slowly"});
+    } else {
+      out.push_back({"my", animals[rng.NextU64(2)], "chased", "the", "ball"});
+    }
+  }
+  return out;
+}
+
+TEST(SkipGramTest, LearnsDistributionalSimilarity) {
+  SkipGramOptions opt;
+  opt.dim = 16;
+  opt.epochs = 8;
+  SkipGram sg(opt);
+  sg.Train(TwoClassCorpus(800, 3), /*min_count=*/2);
+  ASSERT_TRUE(sg.trained());
+  // Same-class pairs more similar than cross-class pairs.
+  EXPECT_GT(sg.Similarity("red", "blue"), sg.Similarity("red", "cat"));
+  EXPECT_GT(sg.Similarity("cat", "dog"), sg.Similarity("dog", "blue"));
+}
+
+TEST(SkipGramTest, InitializeTableCopiesKnownRows) {
+  SkipGramOptions opt;
+  opt.dim = 8;
+  opt.epochs = 2;
+  SkipGram sg(opt);
+  sg.Train(TwoClassCorpus(100, 4), 2);
+
+  Vocabulary dest;
+  dest.Add("red");
+  dest.Add("unseen_word");
+  Mat table(dest.size(), 8);
+  const int rows = sg.InitializeTable(dest, &table);
+  EXPECT_EQ(rows, 1);
+  Mat red = sg.Embed("red");
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(table(dest.Id("red"), j), red(0, j));
+  }
+  // The unseen word's row stays untouched (zero).
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(table(dest.Id("unseen_word"), j), 0.f);
+  }
+}
+
+TEST(SkipGramTest, TrainsOnGeneratedTweets) {
+  EntityCatalogOptions copt;
+  copt.entities_per_topic = 60;
+  copt.seed = 7;
+  EntityCatalog catalog = EntityCatalog::Build(copt);
+  Dataset corpus = BuildTrainingCorpus(catalog, 300, 9);
+  std::vector<std::vector<std::string>> sentences;
+  for (const auto& tweet : corpus.tweets) {
+    std::vector<std::string> sent;
+    for (const auto& tok : tweet.tokens) sent.push_back(ToLowerAscii(tok.text));
+    sentences.push_back(std::move(sent));
+  }
+  SkipGramOptions opt;
+  opt.dim = 12;
+  opt.epochs = 1;
+  SkipGram sg(opt);
+  sg.Train(sentences, 2);
+  EXPECT_TRUE(sg.trained());
+  EXPECT_GT(sg.vocab().size(), 50);
+}
+
+TEST(SkipGramTest, EmptyishCorpus) {
+  SkipGram sg;
+  sg.Train({{"only"}, {"tiny"}}, /*min_count=*/1);
+  EXPECT_TRUE(sg.trained());
+  // Unknown word maps to the unk row without crashing.
+  Mat e = sg.Embed("missing");
+  EXPECT_EQ(e.cols(), 50);
+}
+
+}  // namespace
+}  // namespace emd
