@@ -29,7 +29,7 @@ int main() {
     opt.batch_size = batch;
     Globalizer g(kit.system(kind), kit.phrase_embedder(kind), kit.classifier(kind),
                  opt);
-    GlobalizerOutput out = g.Run(stream);
+    GlobalizerOutput out = g.Run(stream).value();
     PrfScores s = EvaluateMentions(stream, out.mentions);
     std::printf("%10zu | %6.3f %6.3f %6.3f | %10.3f\n", batch, s.precision,
                 s.recall, s.f1, timer.ElapsedSeconds());

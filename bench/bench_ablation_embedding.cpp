@@ -26,7 +26,7 @@ double RunWith(FrameworkKit& kit, const PhraseEmbedder& pe, const Dataset& d5,
   auto examples = BuildClassifierExamples(d5, kit.system(kind), &pe);
   clf.Train(examples);
   Globalizer g(kit.system(kind), &pe, &clf, {});
-  return EvaluateMentions(stream, g.Run(stream).mentions).f1;
+  return EvaluateMentions(stream, g.Run(stream).value().mentions).f1;
 }
 
 }  // namespace

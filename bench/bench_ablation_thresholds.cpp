@@ -21,7 +21,7 @@ int main() {
     GlobalizerOptions opt;
     opt.mode = GlobalizerOptions::Mode::kLocalOnly;
     Globalizer g(system, nullptr, nullptr, opt);
-    PrfScores s = EvaluateMentions(stream, g.Run(stream).mentions);
+    PrfScores s = EvaluateMentions(stream, g.Run(stream).value().mentions);
     std::printf("ABLATION: classifier thresholds on %s (%s)\n",
                 stream.name.c_str(), SystemKindName(kind));
     std::printf("local-only baseline: P=%.3f R=%.3f F1=%.3f\n\n", s.precision,
@@ -57,7 +57,7 @@ int main() {
     GlobalizerOptions opt;
     opt.low_evidence_beta = c.beta_low;
     Globalizer g(system, kit.phrase_embedder(kind), &clone, opt);
-    GlobalizerOutput out = g.Run(stream);
+    GlobalizerOutput out = g.Run(stream).value();
     PrfScores s = EvaluateMentions(stream, out.mentions);
     std::printf("%-7.2f %-7.2f %-10.2f | %6.3f %6.3f %6.3f | %9d %9d %9d\n",
                 c.alpha, c.beta, c.beta_low, s.precision, s.recall, s.f1,

@@ -36,7 +36,7 @@ inline CellResult RunCell(FrameworkKit& kit, SystemKind kind, const Dataset& dat
     GlobalizerOptions opt;
     opt.mode = GlobalizerOptions::Mode::kLocalOnly;
     Globalizer local_only(system, nullptr, nullptr, opt);
-    GlobalizerOutput out = local_only.Run(dataset);
+    GlobalizerOutput out = local_only.Run(dataset).value();
     cell.local = EvaluateMentions(dataset, out.mentions);
     cell.local_seconds = out.local_seconds;
   }
@@ -48,7 +48,7 @@ inline CellResult RunCell(FrameworkKit& kit, SystemKind kind, const Dataset& dat
                               ? kit.classifier(kind)
                               : nullptr,
                           opt);
-    GlobalizerOutput out = globalizer.Run(dataset);
+    GlobalizerOutput out = globalizer.Run(dataset).value();
     cell.global = EvaluateMentions(dataset, out.mentions);
     cell.total_seconds = out.local_seconds + out.global_seconds;
     cell.time_overhead_seconds = out.global_seconds;

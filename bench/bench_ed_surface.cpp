@@ -27,11 +27,11 @@ int main() {
       lopt.mode = GlobalizerOptions::Mode::kLocalOnly;
       Globalizer local_only(system, nullptr, nullptr, lopt);
       PrfScores local =
-          EvaluateUniqueSurfaces(dataset, local_only.Run(dataset).mentions);
+          EvaluateUniqueSurfaces(dataset, local_only.Run(dataset).value().mentions);
 
       Globalizer full(system, kit.phrase_embedder(kind), kit.classifier(kind), {});
       PrfScores global =
-          EvaluateUniqueSurfaces(dataset, full.Run(dataset).mentions);
+          EvaluateUniqueSurfaces(dataset, full.Run(dataset).value().mentions);
       const double gain =
           local.f1 > 0 ? 100.0 * (global.f1 - local.f1) / local.f1 : 0;
       total_gain += gain;

@@ -34,7 +34,7 @@ int main() {
   for (const Dataset& dataset : streams) {
     Globalizer g(kit.system(kind), kit.phrase_embedder(kind), kit.classifier(kind),
                  {});
-    g.Run(dataset);
+    g.Run(dataset).value();
     const CandidateBase& cb = g.candidate_base();
     const CTrie& trie = g.ctrie();
 

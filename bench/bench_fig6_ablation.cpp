@@ -44,7 +44,7 @@ int main() {
                        ? kit.classifier(SystemKind::kAguilar)
                        : nullptr,
                    opt);
-      f1[m][d] = EvaluateMentions(streams[d], g.Run(streams[d]).mentions).f1;
+      f1[m][d] = EvaluateMentions(streams[d], g.Run(streams[d]).value().mentions).f1;
     }
     double gain = 0;
     for (size_t d = 0; d < streams.size(); ++d) {

@@ -37,7 +37,7 @@ int main() {
     }
     Globalizer g(kit.system(kind), kit.phrase_embedder(kind), kit.classifier(kind),
                  {});
-    g.Run(dataset);
+    g.Run(dataset).value();
     const CandidateBase& cb = g.candidate_base();
     for (size_t c = 0; c < cb.size(); ++c) {
       if (!cb.Contains(static_cast<int>(c))) continue;

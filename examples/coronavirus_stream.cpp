@@ -55,11 +55,11 @@ int main(int argc, char** argv) {
   GlobalizerOptions local_opt;
   local_opt.mode = GlobalizerOptions::Mode::kLocalOnly;
   Globalizer local_only(system, nullptr, nullptr, local_opt);
-  GlobalizerOutput local = local_only.Run(stream);
+  GlobalizerOutput local = local_only.Run(stream).value();
 
   // Full framework.
   Globalizer globalizer(system, kit.phrase_embedder(kind), kit.classifier(kind), {});
-  GlobalizerOutput global = globalizer.Run(stream);
+  GlobalizerOutput global = globalizer.Run(stream).value();
 
   PrfScores ls = EvaluateMentions(stream, local.mentions);
   PrfScores gs = EvaluateMentions(stream, global.mentions);

@@ -39,7 +39,8 @@ void Usage() {
 
 Result<Dataset> LoadInput(const std::string& path) {
   if (EndsWith(path, ".conll")) return ReadConll(path);
-  EMD_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  std::vector<std::string> lines;
+  EMD_ASSIGN_OR_RETURN(lines, ReadLines(path));
   Dataset d;
   d.name = path;
   TweetTokenizer tokenizer;
@@ -122,7 +123,7 @@ int main(int argc, char** argv) {
   Globalizer globalizer(kit.system(kind),
                         local_only ? nullptr : kit.phrase_embedder(kind),
                         local_only ? nullptr : kit.classifier(kind), opt);
-  GlobalizerOutput out = globalizer.Run(data);
+  GlobalizerOutput out = globalizer.Run(data).value();
 
   // Print mentions, one tweet per line.
   for (size_t i = 0; i < data.tweets.size(); ++i) {

@@ -35,11 +35,11 @@ int main() {
     local_opt.mode = GlobalizerOptions::Mode::kLocalOnly;
     Globalizer local_only(system, nullptr, nullptr, local_opt);
     const double local_f1 =
-        EvaluateMentions(stream, local_only.Run(stream).mentions).f1;
+        EvaluateMentions(stream, local_only.Run(stream).value().mentions).f1;
 
     Globalizer full(system, kit.phrase_embedder(kind), kit.classifier(kind), {});
     const double global_f1 =
-        EvaluateMentions(stream, full.Run(stream).mentions).f1;
+        EvaluateMentions(stream, full.Run(stream).value().mentions).f1;
 
     std::printf("%-15s %6s | %8.3f %8.3f | %+7.1f%%\n", system->name().c_str(),
                 system->is_deep() ? "yes" : "no", local_f1, global_f1,

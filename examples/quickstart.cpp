@@ -32,7 +32,7 @@ int main() {
     GlobalizerOptions opt;
     opt.mode = GlobalizerOptions::Mode::kLocalOnly;
     Globalizer local_only(system, nullptr, nullptr, opt);
-    GlobalizerOutput out = local_only.Run(stream);
+    GlobalizerOutput out = local_only.Run(stream).value();
     PrfScores scores = EvaluateMentions(stream, out.mentions);
     std::printf("local  %-12s P=%.2f R=%.2f F1=%.2f  (%.2fs)\n", system->name().c_str(),
                 scores.precision, scores.recall, scores.f1, out.local_seconds);
@@ -42,7 +42,7 @@ int main() {
   {
     Globalizer globalizer(system, kit.phrase_embedder(SystemKind::kTwitterNlp),
                           kit.classifier(SystemKind::kTwitterNlp), {});
-    GlobalizerOutput out = globalizer.Run(stream);
+    GlobalizerOutput out = globalizer.Run(stream).value();
     PrfScores scores = EvaluateMentions(stream, out.mentions);
     std::printf("global %-12s P=%.2f R=%.2f F1=%.2f  (+%.2fs global overhead)\n",
                 system->name().c_str(), scores.precision, scores.recall, scores.f1,

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + ctest, plain and (optionally) sanitized.
+#
+#   scripts/check.sh            # plain Release build + full test suite
+#   scripts/check.sh --asan     # additionally an ASan+UBSan build + suite
+#
+# Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+}
+
+run_suite build
+
+if [[ "${1:-}" == "--asan" ]]; then
+  run_suite build-asan -DEMD_SANITIZE=ON
+fi
+
+echo "check.sh: all suites passed"

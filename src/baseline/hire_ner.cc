@@ -164,7 +164,8 @@ Status HireNer::Save(const std::string& path) const {
 }
 
 Status HireNer::Load(const std::string& path) {
-  EMD_ASSIGN_OR_RETURN(std::string wv, ReadFileToString(path + ".wv"));
+  std::string wv;
+  EMD_ASSIGN_OR_RETURN(wv, ReadFileToString(path + ".wv"));
   EMD_ASSIGN_OR_RETURN(word_vocab_, Vocabulary::Deserialize(wv));
   BuildModel();
   ParamSet params;

@@ -111,6 +111,7 @@ class CandidateBase {
   void set_retain_mention_embeddings(bool retain) {
     retain_mention_embeddings_ = retain;
   }
+  bool retain_mention_embeddings() const { return retain_mention_embeddings_; }
 
  private:
   std::vector<CandidateRecord> records_;

@@ -17,7 +17,7 @@ std::vector<ClassifierExample> BuildClassifierExamples(
   options.batch_size = batch_size;
   Globalizer globalizer(system, phrase_embedder, /*classifier=*/nullptr, options);
   globalizer.mutable_candidate_base().set_retain_mention_embeddings(true);
-  globalizer.Run(labelled_stream);
+  globalizer.Run(labelled_stream).value();
 
   // Gold entity surfaces of the stream, case-folded.
   std::unordered_set<std::string> gold_keys;
@@ -68,7 +68,7 @@ std::vector<TypeExample> BuildTypeExamples(const Dataset& labelled_stream,
   options.mode = GlobalizerOptions::Mode::kMentionExtraction;
   options.batch_size = batch_size;
   Globalizer globalizer(system, phrase_embedder, /*classifier=*/nullptr, options);
-  globalizer.Run(labelled_stream);
+  globalizer.Run(labelled_stream).value();
 
   // Surface -> gold type via the stream's gold annotations.
   std::unordered_map<std::string, EntityType> gold_types;

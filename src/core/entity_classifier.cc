@@ -7,6 +7,7 @@
 #include "nn/optimizer.h"
 #include "nn/params.h"
 #include "nn/serialize.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -64,6 +65,26 @@ CandidateLabel EntityClassifier::Classify(const Mat& features) const {
   if (p >= options_.alpha) return CandidateLabel::kEntity;
   if (p <= options_.beta) return CandidateLabel::kNonEntity;
   return CandidateLabel::kAmbiguous;
+}
+
+Result<EntityClassifier::Verdict> EntityClassifier::TryEvaluate(
+    const Mat& features) const {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.entity_classifier.classify"));
+  if (features.rows() != 1 || features.cols() != options_.input_dim) {
+    return Status::InvalidArgument("classifier feature shape [", features.rows(),
+                                   ", ", features.cols(), "], want [1, ",
+                                   options_.input_dim, "]");
+  }
+  Verdict v;
+  v.probability = Probability(features);
+  if (v.probability >= options_.alpha) {
+    v.label = CandidateLabel::kEntity;
+  } else if (v.probability <= options_.beta) {
+    v.label = CandidateLabel::kNonEntity;
+  } else {
+    v.label = CandidateLabel::kAmbiguous;
+  }
+  return v;
 }
 
 EntityClassifierTrainReport EntityClassifier::Train(

@@ -17,6 +17,7 @@
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/matrix.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace emd {
@@ -72,6 +73,18 @@ class EntityClassifier {
 
   /// Thresholded verdict.
   CandidateLabel Classify(const Mat& features) const;
+
+  /// Probability plus thresholded verdict in one forward pass.
+  struct Verdict {
+    float probability = 0.f;
+    CandidateLabel label = CandidateLabel::kUnlabeled;
+  };
+
+  /// Fault-isolating classification: validates the feature shape
+  /// (kInvalidArgument instead of a fatal check) and honors the
+  /// "core.entity_classifier.classify" failpoint. The Globalizer degrades
+  /// kFull to mention-extraction for the remaining cycle when this fails.
+  Result<Verdict> TryEvaluate(const Mat& features) const;
 
   /// Trains on labelled examples with an internal 80/20 split.
   EntityClassifierTrainReport Train(const std::vector<ClassifierExample>& examples,

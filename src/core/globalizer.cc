@@ -5,6 +5,7 @@
 
 #include "core/syntactic_embedder.h"
 #include "stream/batching.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace emd {
@@ -27,28 +28,64 @@ Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embe
   }
 }
 
-Mat Globalizer::LocalEmbedding(const TweetRecord& record,
-                               const TokenSpan& span) const {
-  if (system_->is_deep()) {
-    return phrase_embedder_->Embed(record.token_embeddings, span);
+Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span) {
+  if (!system_->is_deep()) {
+    return SyntacticEmbedding(record.tokens, span);
   }
-  return SyntacticEmbedding(record.tokens, span);
+  Result<Mat> embedded = phrase_embedder_->TryEmbed(record.token_embeddings, span);
+  if (embedded.ok()) return std::move(embedded).value();
+
+  // Degradation ladder, rung 1: the Entity Phrase Embedder is unavailable, so
+  // pool the raw entity-aware token embeddings directly (Eq. 1 without the
+  // dense projection of Eq. 2), fitted to the candidate embedding width.
+  ++num_degraded_;
+  EMD_LOG(Warn) << "phrase embedder failed (" << embedded.status()
+                << "); degrading to mean-pooled token embeddings";
+  const Mat& tok = record.token_embeddings;
+  const int out_dim = phrase_embedder_->out_dim();
+  if (tok.empty() || span.begin >= span.end ||
+      span.end > static_cast<size_t>(tok.rows())) {
+    return Mat();  // no embedding contribution; the mention itself survives
+  }
+  Mat pooled(1, out_dim);
+  const int copy_dim = std::min(out_dim, tok.cols());
+  for (size_t t = span.begin; t < span.end; ++t) {
+    const float* row = tok.row(static_cast<int>(t));
+    for (int j = 0; j < copy_dim; ++j) pooled(0, j) += row[j];
+  }
+  pooled.Scale(1.f / static_cast<float>(span.length()));
+  return pooled;
 }
 
-void Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
+Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.process_batch"));
+  // A new execution cycle re-attempts components that degraded last cycle.
+  classifier_degraded_ = false;
+
   const size_t first_index = tweets_.size();
 
   // ---- Step 1: Local EMD, one sentence at a time. ----
   {
     ScopedPhase phase(&timers_, "local");
     for (const AnnotatedTweet& tweet : batch) {
-      LocalEmdResult local = system_->Process(tweet.tokens);
       TweetRecord record;
       record.tweet_id = tweet.tweet_id;
       record.sentence_id = tweet.sentence_id;
       record.tokens = tweet.tokens;
-      record.token_embeddings = std::move(local.token_embeddings);
-      for (const TokenSpan& span : local.mentions) {
+
+      Result<LocalEmdResult> local = system_->TryProcess(tweet.tokens);
+      if (!local.ok()) {
+        // Per-tweet isolation: quarantine this tweet (kept in the TweetBase
+        // so stream indexes stay dense, but it contributes no candidates).
+        ++num_quarantined_;
+        record.quarantined = true;
+        EMD_LOG(Warn) << "quarantined tweet " << tweet.tweet_id << ": "
+                      << local.status();
+        tweets_.Add(std::move(record));
+        continue;
+      }
+      record.token_embeddings = std::move(local->token_embeddings);
+      for (const TokenSpan& span : local->mentions) {
         if (span.begin >= span.end || span.end > tweet.tokens.size()) continue;
         RecordedMention m;
         m.span = span;
@@ -59,7 +96,7 @@ void Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
     }
   }
 
-  if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) return;
+  if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) return Status::OK();
 
   // ---- Step 2+3: Global EMD over this batch. ----
   ScopedPhase phase(&timers_, "global");
@@ -67,6 +104,7 @@ void Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   // Register this batch's seed candidates in the CTrie.
   for (size_t i = first_index; i < tweets_.size(); ++i) {
     TweetRecord& record = tweets_.at(i);
+    if (record.quarantined) continue;
     for (RecordedMention& m : record.mentions) {
       m.candidate_id = trie_.Insert(record.tokens, m.span);
       candidates_.GetOrCreate(m.candidate_id, trie_.CandidateKey(m.candidate_id),
@@ -78,6 +116,7 @@ void Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   // collect local embeddings, and pool them into global embeddings.
   for (size_t i = first_index; i < tweets_.size(); ++i) {
     TweetRecord& record = tweets_.at(i);
+    if (record.quarantined) continue;
     const std::vector<ExtractedMention> extracted = extractor_.Extract(record.tokens);
 
     // The extractor's longest matches replace the raw local spans: partial
@@ -108,11 +147,15 @@ void Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   if (options_.release_embeddings) {
     tweets_.ReleaseEmbeddings(first_index, tweets_.size());
   }
+  return Status::OK();
 }
 
-GlobalizerOutput Globalizer::Finalize() {
+Result<GlobalizerOutput> Globalizer::Finalize() {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.finalize"));
   GlobalizerOutput out;
   out.mentions.resize(tweets_.size());
+  out.num_quarantined = num_quarantined_;
+  out.num_degraded = num_degraded_;
 
   if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) {
     for (size_t i = 0; i < tweets_.size(); ++i) {
@@ -127,7 +170,7 @@ GlobalizerOutput Globalizer::Finalize() {
   {
     ScopedPhase phase(&timers_, "global");
 
-  if (options_.mode == GlobalizerOptions::Mode::kFull) {
+  if (options_.mode == GlobalizerOptions::Mode::kFull && !classifier_degraded_) {
     // ---- Step 4: Entity Classifier over global candidate embeddings. ----
     for (size_t c = 0; c < candidates_.size(); ++c) {
       if (!candidates_.Contains(static_cast<int>(c))) continue;
@@ -140,8 +183,18 @@ GlobalizerOutput Globalizer::Finalize() {
       }
       const Mat features =
           EntityClassifier::MakeFeatures(rec.GlobalEmbedding(), rec.num_tokens);
-      rec.entity_probability = classifier_->Probability(features);
-      rec.label = classifier_->Classify(features);
+      Result<EntityClassifier::Verdict> verdict = classifier_->TryEvaluate(features);
+      if (!verdict.ok()) {
+        // Degradation ladder, rung 2: without verdicts, fall back to the
+        // mention-extraction output (Fig. 6 middle curve) for this cycle.
+        classifier_degraded_ = true;
+        EMD_LOG(Warn) << "entity classifier failed (" << verdict.status()
+                      << "); degrading to mention-extraction output for the "
+                         "remaining cycle";
+        break;
+      }
+      rec.entity_probability = verdict->probability;
+      rec.label = verdict->label;
       if (rec.label == CandidateLabel::kNonEntity &&
           rec.embedding_count < options_.min_evidence_mentions &&
           rec.entity_probability > options_.low_evidence_beta) {
@@ -159,16 +212,22 @@ GlobalizerOutput Globalizer::Finalize() {
           break;
       }
     }
-  } else {
-    out.num_candidates = trie_.num_candidates();
   }
+  const bool classify =
+      options_.mode == GlobalizerOptions::Mode::kFull && !classifier_degraded_;
+  if (!classify) {
+    out.num_candidates = trie_.num_candidates();
+    out.num_entity = out.num_non_entity = out.num_ambiguous = 0;
+  }
+  out.classifier_degraded = classifier_degraded_;
 
   // ---- Outputs: mentions of entity candidates (§V-C). ----
   for (size_t i = 0; i < tweets_.size(); ++i) {
     for (const RecordedMention& m : tweets_.at(i).mentions) {
-      if (options_.mode == GlobalizerOptions::Mode::kMentionExtraction) {
-        // No classifier: every candidate counts as a likely entity, so all
-        // recovered mentions are produced (Fig. 6 middle curve).
+      if (!classify) {
+        // No classifier (by mode, or degraded): every candidate counts as a
+        // likely entity, so all recovered mentions are produced (Fig. 6
+        // middle curve).
         out.mentions[i].push_back(m.span);
         continue;
       }
@@ -190,9 +249,9 @@ GlobalizerOutput Globalizer::Finalize() {
   return out;
 }
 
-GlobalizerOutput Globalizer::Run(const Dataset& dataset) {
+Result<GlobalizerOutput> Globalizer::Run(const Dataset& dataset) {
   StreamBatcher batcher(&dataset, options_.batch_size);
-  while (batcher.HasNext()) ProcessBatch(batcher.Next());
+  while (batcher.HasNext()) EMD_RETURN_IF_ERROR(ProcessBatch(batcher.Next()));
   return Finalize();
 }
 

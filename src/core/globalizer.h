@@ -14,12 +14,27 @@
 //
 // Modes support the ablation of Fig. 6: local-only, local + mention
 // extraction (no classifier), and the full framework.
+//
+// Fault tolerance (the deployment model of §III only makes sense if a
+// long-running stream survives component faults):
+//   * per-tweet isolation — a tweet whose Local EMD fails is quarantined
+//     (recorded with no mentions, counted in `num_quarantined`), not fatal;
+//   * graceful degradation — a failing Entity Phrase Embedder falls back to
+//     raw mean-pooled token embeddings (counted in `num_degraded`); a failing
+//     Entity Classifier degrades kFull to mention-extraction output for the
+//     remaining cycle (`classifier_degraded`), each with a logged warning;
+//   * crash-safe checkpoint/restore — SaveCheckpoint/RestoreCheckpoint
+//     persist the accumulated global state (CTrie, CandidateBase, TweetBase,
+//     processed-tweet cursor) in a checksummed, versioned, atomically
+//     written file, so a stream killed between cycles resumes with
+//     byte-identical final output.
 
 #ifndef EMD_CORE_GLOBALIZER_H_
 #define EMD_CORE_GLOBALIZER_H_
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/candidate_base.h"
@@ -30,6 +45,8 @@
 #include "core/tweet_base.h"
 #include "emd/local_emd_system.h"
 #include "stream/annotated_tweet.h"
+#include "util/result.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace emd {
@@ -71,6 +88,16 @@ struct GlobalizerOutput {
   int num_ambiguous = 0;
   double local_seconds = 0;
   double global_seconds = 0;
+
+  /// Tweets whose Local EMD failed and were isolated (no mentions emitted,
+  /// no candidates registered) instead of aborting the stream.
+  int num_quarantined = 0;
+  /// Mention embeddings produced by the degraded mean-pool fallback because
+  /// the Entity Phrase Embedder failed.
+  int num_degraded = 0;
+  /// True when a failing Entity Classifier degraded kFull output to
+  /// mention-extraction for this cycle.
+  bool classifier_degraded = false;
 };
 
 class Globalizer {
@@ -81,15 +108,34 @@ class Globalizer {
   Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embedder,
              const EntityClassifier* classifier, GlobalizerOptions options = {});
 
-  /// Runs one execution cycle on a batch of tweets.
-  void ProcessBatch(std::span<const AnnotatedTweet> batch);
+  /// Runs one execution cycle on a batch of tweets. Per-tweet faults are
+  /// absorbed (quarantine / degradation, see the class comment); a non-OK
+  /// return means the whole batch could not be processed and nothing of it
+  /// was recorded.
+  Status ProcessBatch(std::span<const AnnotatedTweet> batch);
 
   /// Classifies candidates with the global embeddings accumulated so far and
-  /// produces the framework's outputs for everything processed.
-  GlobalizerOutput Finalize();
+  /// produces the framework's outputs for everything processed. Re-runnable;
+  /// a failing classifier degrades the output rather than erroring.
+  Result<GlobalizerOutput> Finalize();
 
   /// Convenience: batches the dataset, processes every batch, finalizes.
-  GlobalizerOutput Run(const Dataset& dataset);
+  Result<GlobalizerOutput> Run(const Dataset& dataset);
+
+  /// Persists the accumulated global state to `path`: versioned binary
+  /// layout, CRC32 footer, atomic write-temp-then-rename publish. Valid only
+  /// between execution cycles (token embeddings in flight are not captured).
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores state saved by SaveCheckpoint into this (freshly constructed)
+  /// Globalizer. The checkpoint's mode must match `options.mode`; corrupt or
+  /// truncated files are rejected with kCorruption and leave the Globalizer
+  /// untouched. Resume the stream from `processed_tweets()`.
+  Status RestoreCheckpoint(const std::string& path);
+
+  /// Tweets processed so far — the stream cursor to resume from after a
+  /// RestoreCheckpoint.
+  size_t processed_tweets() const { return tweets_.size(); }
 
   const CTrie& ctrie() const { return trie_; }
   const CandidateBase& candidate_base() const { return candidates_; }
@@ -97,8 +143,10 @@ class Globalizer {
   const TweetBase& tweet_base() const { return tweets_; }
 
  private:
-  /// Local embedding of one extracted mention.
-  Mat LocalEmbedding(const TweetRecord& record, const TokenSpan& span) const;
+  /// Local embedding of one extracted mention; falls back to a mean-pooled
+  /// raw token embedding (and bumps num_degraded_) when the phrase embedder
+  /// fails.
+  Mat LocalEmbedding(const TweetRecord& record, const TokenSpan& span);
 
   LocalEmdSystem* system_;
   const PhraseEmbedder* phrase_embedder_;
@@ -110,6 +158,11 @@ class Globalizer {
   TweetBase tweets_;
   CandidateBase candidates_;
   PhaseTimer timers_;
+
+  // Fault-tolerance state; persisted by SaveCheckpoint.
+  int num_quarantined_ = 0;
+  int num_degraded_ = 0;
+  bool classifier_degraded_ = false;
 };
 
 }  // namespace emd

@@ -1,0 +1,345 @@
+// Globalizer checkpoint/restore — crash-safe persistence of the accumulated
+// global state (CTrie, TweetBase, CandidateBase, fault counters).
+//
+// Binary layout (little-endian), version 1:
+//   u32 magic 'EMDG'   u32 version
+//   u8  mode           u64 processed_tweets
+//   u32 num_quarantined  u32 num_degraded  u8 classifier_degraded
+//   CTrie:     u32 count; per candidate id (ascending): string key, u32 len
+//   TweetBase: u64 count; per record: i64 tweet_id, i32 sentence_id,
+//              u8 quarantined, tokens[u32: string text, u64 begin, u64 end,
+//              u8 kind], mentions[u32: u64 span.begin, u64 span.end,
+//              i32 candidate_id, u8 locally_detected]
+//   CandidateBase: u64 slots; per slot: u8 present; when present:
+//              string key, i32 num_tokens, mentions[u32: u64 tweet_index,
+//              u64 span.begin, u64 span.end, u8 locally_detected],
+//              embedding_sum[i32 rows, i32 cols, f32 data...],
+//              i32 embedding_count, u8 label, f32 entity_probability,
+//              mention_embeddings[u32: i32 rows, i32 cols, f32 data...]
+//   u32 CRC32 over everything above
+//
+// The CTrie is rebuilt by re-inserting candidate keys in id order (Insert
+// assigns dense ids in insertion order, so the rebuilt trie reproduces every
+// id — verified during restore). Token embeddings in flight are not captured:
+// checkpoints are only valid between execution cycles, when
+// release_embeddings has already dropped them.
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/globalizer.h"
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x454D4447;  // 'EMDG'
+constexpr uint32_t kCheckpointVersion = 1;
+
+void AppendMat(std::string* out, const Mat& m) {
+  binio::AppendI32(out, m.rows());
+  binio::AppendI32(out, m.cols());
+  binio::AppendFloats(out, m.data(), m.size());
+}
+
+Status ReadMat(binio::Reader* reader, Mat* m) {
+  int32_t rows = 0, cols = 0;
+  EMD_RETURN_IF_ERROR(reader->ReadI32(&rows));
+  EMD_RETURN_IF_ERROR(reader->ReadI32(&cols));
+  if (rows < 0 || cols < 0 ||
+      uint64_t(rows) * uint64_t(cols) * sizeof(float) > reader->remaining()) {
+    return Status::Corruption("checkpoint matrix shape [", rows, ", ", cols,
+                              "] exceeds remaining bytes");
+  }
+  *m = Mat(rows, cols);
+  return reader->ReadFloats(m->data(), m->size());
+}
+
+}  // namespace
+
+Status Globalizer::SaveCheckpoint(const std::string& path) const {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.save_checkpoint"));
+
+  std::string buf;
+  binio::AppendU32(&buf, kCheckpointMagic);
+  binio::AppendU32(&buf, kCheckpointVersion);
+  binio::AppendU8(&buf, static_cast<uint8_t>(options_.mode));
+  binio::AppendU64(&buf, tweets_.size());
+  binio::AppendU32(&buf, static_cast<uint32_t>(num_quarantined_));
+  binio::AppendU32(&buf, static_cast<uint32_t>(num_degraded_));
+  binio::AppendU8(&buf, classifier_degraded_ ? 1 : 0);
+
+  // CTrie: keys in id order reproduce the trie (Insert assigns dense ids).
+  binio::AppendU32(&buf, static_cast<uint32_t>(trie_.num_candidates()));
+  for (int c = 0; c < trie_.num_candidates(); ++c) {
+    binio::AppendString(&buf, trie_.CandidateKey(c));
+    binio::AppendU32(&buf, static_cast<uint32_t>(trie_.CandidateLength(c)));
+  }
+
+  // TweetBase.
+  binio::AppendU64(&buf, tweets_.size());
+  for (size_t i = 0; i < tweets_.size(); ++i) {
+    const TweetRecord& rec = tweets_.at(i);
+    binio::AppendI64(&buf, rec.tweet_id);
+    binio::AppendI32(&buf, rec.sentence_id);
+    binio::AppendU8(&buf, rec.quarantined ? 1 : 0);
+    binio::AppendU32(&buf, static_cast<uint32_t>(rec.tokens.size()));
+    for (const Token& tok : rec.tokens) {
+      binio::AppendString(&buf, tok.text);
+      binio::AppendU64(&buf, tok.begin);
+      binio::AppendU64(&buf, tok.end);
+      binio::AppendU8(&buf, static_cast<uint8_t>(tok.kind));
+    }
+    binio::AppendU32(&buf, static_cast<uint32_t>(rec.mentions.size()));
+    for (const RecordedMention& m : rec.mentions) {
+      binio::AppendU64(&buf, m.span.begin);
+      binio::AppendU64(&buf, m.span.end);
+      binio::AppendI32(&buf, m.candidate_id);
+      binio::AppendU8(&buf, m.locally_detected ? 1 : 0);
+    }
+  }
+
+  // CandidateBase.
+  binio::AppendU64(&buf, candidates_.size());
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    const bool present = candidates_.Contains(static_cast<int>(c));
+    binio::AppendU8(&buf, present ? 1 : 0);
+    if (!present) continue;
+    const CandidateRecord& rec = candidates_.at(static_cast<int>(c));
+    binio::AppendString(&buf, rec.key);
+    binio::AppendI32(&buf, rec.num_tokens);
+    binio::AppendU32(&buf, static_cast<uint32_t>(rec.mentions.size()));
+    for (const MentionRef& m : rec.mentions) {
+      binio::AppendU64(&buf, m.tweet_index);
+      binio::AppendU64(&buf, m.span.begin);
+      binio::AppendU64(&buf, m.span.end);
+      binio::AppendU8(&buf, m.locally_detected ? 1 : 0);
+    }
+    // The running sum is stored verbatim so restored classification is
+    // bit-identical to the uninterrupted run.
+    AppendMat(&buf, rec.embedding_sum);
+    binio::AppendI32(&buf, rec.embedding_count);
+    binio::AppendU8(&buf, static_cast<uint8_t>(rec.label));
+    binio::AppendF32(&buf, rec.entity_probability);
+    binio::AppendU32(&buf, static_cast<uint32_t>(rec.mention_embeddings.size()));
+    for (const Mat& m : rec.mention_embeddings) AppendMat(&buf, m);
+  }
+
+  binio::AppendU32(&buf, Crc32(buf.data(), buf.size()));
+  return WriteFileAtomic(path, buf);
+}
+
+Status Globalizer::RestoreCheckpoint(const std::string& path) {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.restore_checkpoint"));
+  if (tweets_.size() != 0 || trie_.num_candidates() != 0) {
+    return Status::FailedPrecondition(
+        "RestoreCheckpoint requires a freshly constructed Globalizer");
+  }
+
+  std::string buf;
+  EMD_ASSIGN_OR_RETURN(buf, ReadFileToString(path));
+  if (buf.size() < sizeof(uint32_t)) {
+    return Status::Corruption("checkpoint ", path, " too short (", buf.size(),
+                              " bytes)");
+  }
+  const size_t body_size = buf.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + body_size, sizeof(stored_crc));
+  const uint32_t actual_crc = Crc32(buf.data(), body_size);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("checkpoint ", path, " checksum mismatch (stored ",
+                              stored_crc, ", computed ", actual_crc, ")");
+  }
+
+  binio::Reader reader(std::string_view(buf.data(), body_size),
+                       "checkpoint " + path);
+  uint32_t magic = 0, version = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("checkpoint ", path, " bad magic");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("checkpoint ", path, " version ", version,
+                              ", want ", kCheckpointVersion);
+  }
+  uint8_t mode = 0, classifier_degraded = 0;
+  uint64_t cursor = 0;
+  uint32_t num_quarantined = 0, num_degraded = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU8(&mode));
+  EMD_RETURN_IF_ERROR(reader.ReadU64(&cursor));
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&num_quarantined));
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&num_degraded));
+  EMD_RETURN_IF_ERROR(reader.ReadU8(&classifier_degraded));
+  if (mode != static_cast<uint8_t>(options_.mode)) {
+    return Status::InvalidArgument("checkpoint ", path, " was saved in mode ",
+                                   int(mode), " but this Globalizer runs mode ",
+                                   int(static_cast<uint8_t>(options_.mode)));
+  }
+
+  // Parse into local stores; the members are only touched once the whole
+  // checkpoint has validated, so a corrupt file leaves this Globalizer as
+  // freshly constructed.
+  CTrie trie;
+  TweetBase tweets;
+  CandidateBase candidates;
+
+  // CTrie: re-inserting keys in id order must reproduce every id.
+  uint32_t num_candidates = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&num_candidates));
+  for (uint32_t c = 0; c < num_candidates; ++c) {
+    std::string key;
+    uint32_t len = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadString(&key));
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&len));
+    const std::vector<std::string> words = Split(key);
+    if (words.empty() || words.size() != len) {
+      return Status::Corruption("checkpoint ", path, " candidate ", c,
+                                " key \"", key, "\" does not split into ", len,
+                                " tokens");
+    }
+    const int id = trie.Insert(words);
+    if (id != static_cast<int>(c)) {
+      return Status::Corruption("checkpoint ", path, " candidate \"", key,
+                                "\" restored with id ", id, ", want ", c);
+    }
+  }
+
+  // TweetBase.
+  uint64_t num_tweets = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU64(&num_tweets));
+  if (num_tweets != cursor) {
+    return Status::Corruption("checkpoint ", path, " cursor ", cursor,
+                              " does not match ", num_tweets, " tweet records");
+  }
+  for (uint64_t i = 0; i < num_tweets; ++i) {
+    TweetRecord rec;
+    int64_t tweet_id = 0;
+    int32_t sentence_id = 0;
+    uint8_t quarantined = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadI64(&tweet_id));
+    EMD_RETURN_IF_ERROR(reader.ReadI32(&sentence_id));
+    EMD_RETURN_IF_ERROR(reader.ReadU8(&quarantined));
+    rec.tweet_id = tweet_id;
+    rec.sentence_id = sentence_id;
+    rec.quarantined = quarantined != 0;
+    uint32_t num_tokens = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_tokens));
+    rec.tokens.reserve(num_tokens);
+    for (uint32_t t = 0; t < num_tokens; ++t) {
+      Token tok;
+      uint64_t begin = 0, end = 0;
+      uint8_t kind = 0;
+      EMD_RETURN_IF_ERROR(reader.ReadString(&tok.text));
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&begin));
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&end));
+      EMD_RETURN_IF_ERROR(reader.ReadU8(&kind));
+      tok.begin = begin;
+      tok.end = end;
+      if (kind > static_cast<uint8_t>(TokenKind::kPunct)) {
+        return Status::Corruption("checkpoint ", path, " bad token kind ",
+                                  int(kind));
+      }
+      tok.kind = static_cast<TokenKind>(kind);
+      rec.tokens.push_back(std::move(tok));
+    }
+    uint32_t num_mentions = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_mentions));
+    rec.mentions.reserve(num_mentions);
+    for (uint32_t m = 0; m < num_mentions; ++m) {
+      RecordedMention mention;
+      uint64_t begin = 0, end = 0;
+      uint8_t local = 0;
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&begin));
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&end));
+      EMD_RETURN_IF_ERROR(reader.ReadI32(&mention.candidate_id));
+      EMD_RETURN_IF_ERROR(reader.ReadU8(&local));
+      mention.span = TokenSpan{begin, end};
+      mention.locally_detected = local != 0;
+      if (mention.candidate_id < -1 ||
+          mention.candidate_id >= static_cast<int>(num_candidates)) {
+        return Status::Corruption("checkpoint ", path, " mention candidate id ",
+                                  mention.candidate_id, " out of range");
+      }
+      rec.mentions.push_back(mention);
+    }
+    tweets.Add(std::move(rec));
+  }
+
+  // CandidateBase.
+  uint64_t num_slots = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU64(&num_slots));
+  for (uint64_t c = 0; c < num_slots; ++c) {
+    uint8_t present = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadU8(&present));
+    if (!present) continue;
+    std::string key;
+    int32_t num_tokens = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadString(&key));
+    EMD_RETURN_IF_ERROR(reader.ReadI32(&num_tokens));
+    CandidateRecord& rec =
+        candidates.GetOrCreate(static_cast<int>(c), key, num_tokens);
+    uint32_t num_mentions = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_mentions));
+    rec.mentions.reserve(num_mentions);
+    for (uint32_t m = 0; m < num_mentions; ++m) {
+      MentionRef ref;
+      uint64_t tweet_index = 0, begin = 0, end = 0;
+      uint8_t local = 0;
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&tweet_index));
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&begin));
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&end));
+      EMD_RETURN_IF_ERROR(reader.ReadU8(&local));
+      if (tweet_index >= num_tweets) {
+        return Status::Corruption("checkpoint ", path, " mention tweet index ",
+                                  tweet_index, " out of range");
+      }
+      ref.tweet_index = tweet_index;
+      ref.span = TokenSpan{begin, end};
+      ref.locally_detected = local != 0;
+      rec.mentions.push_back(ref);
+    }
+    EMD_RETURN_IF_ERROR(ReadMat(&reader, &rec.embedding_sum));
+    EMD_RETURN_IF_ERROR(reader.ReadI32(&rec.embedding_count));
+    uint8_t label = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadU8(&label));
+    if (label > static_cast<uint8_t>(CandidateLabel::kAmbiguous)) {
+      return Status::Corruption("checkpoint ", path, " bad candidate label ",
+                                int(label));
+    }
+    rec.label = static_cast<CandidateLabel>(label);
+    EMD_RETURN_IF_ERROR(reader.ReadF32(&rec.entity_probability));
+    uint32_t num_embeddings = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_embeddings));
+    rec.mention_embeddings.reserve(num_embeddings);
+    for (uint32_t m = 0; m < num_embeddings; ++m) {
+      Mat emb;
+      EMD_RETURN_IF_ERROR(ReadMat(&reader, &emb));
+      rec.mention_embeddings.push_back(std::move(emb));
+    }
+  }
+
+  if (reader.remaining() != 0) {
+    return Status::Corruption("checkpoint ", path, " has ", reader.remaining(),
+                              " trailing bytes");
+  }
+
+  // Commit. extractor_ points at trie_, whose address move-assignment keeps
+  // stable; the retain flag is owner configuration, not checkpointed state.
+  candidates.set_retain_mention_embeddings(candidates_.retain_mention_embeddings());
+  trie_ = std::move(trie);
+  tweets_ = std::move(tweets);
+  candidates_ = std::move(candidates);
+  num_quarantined_ = static_cast<int>(num_quarantined);
+  num_degraded_ = static_cast<int>(num_degraded);
+  classifier_degraded_ = classifier_degraded != 0;
+  return Status::OK();
+}
+
+}  // namespace emd

@@ -5,6 +5,7 @@
 #include "nn/optimizer.h"
 #include "nn/params.h"
 #include "nn/serialize.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -56,6 +57,22 @@ Mat PhraseEmbedder::Embed(const Mat& token_embeddings, const TokenSpan& span) co
   }
   pooled.Scale(1.f / static_cast<float>(span.length()));
   return AddRowBroadcast(MatMul(pooled, w_), b_);
+}
+
+Result<Mat> PhraseEmbedder::TryEmbed(const Mat& token_embeddings,
+                                     const TokenSpan& span) const {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.phrase_embedder.embed"));
+  if (span.begin >= span.end ||
+      span.end > static_cast<size_t>(token_embeddings.rows())) {
+    return Status::InvalidArgument("phrase embedder span [", span.begin, ", ",
+                                   span.end, ") out of range for ",
+                                   token_embeddings.rows(), " tokens");
+  }
+  if (token_embeddings.cols() != in_dim()) {
+    return Status::InvalidArgument("phrase embedder dim mismatch: got ",
+                                   token_embeddings.cols(), ", want ", in_dim());
+  }
+  return Embed(token_embeddings, span);
 }
 
 double PhraseEmbedder::Evaluate(LocalEmdSystem* system,

@@ -19,6 +19,7 @@
 #include "emd/local_emd_system.h"
 #include "nn/matrix.h"
 #include "stream/sts_generator.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace emd {
@@ -49,6 +50,12 @@ class PhraseEmbedder {
   /// Local candidate embedding for the tokens of `span` given the sentence's
   /// token embeddings [T, in_dim]. Returns [1, out_dim].
   Mat Embed(const Mat& token_embeddings, const TokenSpan& span) const;
+
+  /// Fault-isolating Embed: validates the span/shape (kInvalidArgument
+  /// instead of a fatal check) and honors the "core.phrase_embedder.embed"
+  /// failpoint. The Globalizer degrades to a raw mean-pool fallback when
+  /// this fails.
+  Result<Mat> TryEmbed(const Mat& token_embeddings, const TokenSpan& span) const;
 
   /// Embeds a whole sentence (the siamese sub-network's forward pass).
   Mat EmbedAll(const Mat& token_embeddings) const;

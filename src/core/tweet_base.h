@@ -32,6 +32,9 @@ struct TweetRecord {
   /// Entity-aware token embeddings [T, d]; cleared once the batch has been
   /// globally processed (memory bound is one batch, not the stream).
   Mat token_embeddings;
+  /// True when Local EMD failed on this sentence and it was isolated: the
+  /// record stays (dense stream indexes) but contributes no candidates.
+  bool quarantined = false;
 };
 
 /// Append-only store, indexed densely by insertion order.

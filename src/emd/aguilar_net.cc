@@ -262,9 +262,10 @@ Status AguilarNetSystem::Save(const std::string& path) const {
 }
 
 Status AguilarNetSystem::Load(const std::string& path) {
-  EMD_ASSIGN_OR_RETURN(std::string wv, ReadFileToString(path + ".wv"));
+  std::string wv, cv;
+  EMD_ASSIGN_OR_RETURN(wv, ReadFileToString(path + ".wv"));
   EMD_ASSIGN_OR_RETURN(word_vocab_, Vocabulary::Deserialize(wv));
-  EMD_ASSIGN_OR_RETURN(std::string cv, ReadFileToString(path + ".cv"));
+  EMD_ASSIGN_OR_RETURN(cv, ReadFileToString(path + ".cv"));
   EMD_ASSIGN_OR_RETURN(char_vocab_, Vocabulary::Deserialize(cv));
   BuildModel();
   ParamSet params;

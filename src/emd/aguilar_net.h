@@ -71,6 +71,7 @@ class AguilarNetSystem : public LocalEmdSystem {
              const SkipGram* pretrained = nullptr);
 
   std::string name() const override { return "Aguilar et al."; }
+  const char* process_failpoint() const override { return "emd.aguilar_net.process"; }
   bool is_deep() const override { return true; }
   int embedding_dim() const override { return options_.dense_dim; }
   LocalEmdResult Process(const std::vector<Token>& tokens) override;

@@ -14,6 +14,8 @@
 
 #include "nn/matrix.h"
 #include "text/token.h"
+#include "util/failpoint.h"
+#include "util/result.h"
 
 namespace emd {
 
@@ -42,6 +44,19 @@ class LocalEmdSystem {
 
   /// Processes one tweet-sentence in isolation.
   virtual LocalEmdResult Process(const std::vector<Token>& tokens) = 0;
+
+  /// Failpoint evaluated by TryProcess before dispatching to Process;
+  /// implementations override it with "emd.<system>.process".
+  virtual const char* process_failpoint() const { return "emd.local.process"; }
+
+  /// Fault-isolating wrapper around Process: the Globalizer calls this so a
+  /// failing local system (today: an armed failpoint; in production: any
+  /// future Status-returning implementation) quarantines one tweet instead of
+  /// aborting the stream.
+  Result<LocalEmdResult> TryProcess(const std::vector<Token>& tokens) {
+    EMD_RETURN_IF_ERROR(EMD_FAILPOINT(process_failpoint()));
+    return Process(tokens);
+  }
 };
 
 }  // namespace emd

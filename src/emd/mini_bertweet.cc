@@ -174,7 +174,8 @@ Status MiniBertweetSystem::Save(const std::string& path) const {
 }
 
 Status MiniBertweetSystem::Load(const std::string& path) {
-  EMD_ASSIGN_OR_RETURN(std::string sv, ReadFileToString(path + ".sv"));
+  std::string sv;
+  EMD_ASSIGN_OR_RETURN(sv, ReadFileToString(path + ".sv"));
   EMD_ASSIGN_OR_RETURN(subword_, SubwordTokenizer::Deserialize(sv));
   BuildModel();
   ParamSet params;

@@ -54,6 +54,7 @@ class MiniBertweetSystem : public LocalEmdSystem {
   void Train(const Dataset& corpus, const MiniBertweetTrainOptions& options = {});
 
   std::string name() const override { return "BERTweet"; }
+  const char* process_failpoint() const override { return "emd.mini_bertweet.process"; }
   bool is_deep() const override { return true; }
   int embedding_dim() const override { return options_.d_model; }
   LocalEmdResult Process(const std::vector<Token>& tokens) override;

@@ -33,6 +33,7 @@ class NpChunkerSystem : public LocalEmdSystem {
   NpChunkerSystem(const PosTagger* tagger, NpChunkerOptions options = {});
 
   std::string name() const override { return "NP Chunker"; }
+  const char* process_failpoint() const override { return "emd.np_chunker.process"; }
   bool is_deep() const override { return false; }
   int embedding_dim() const override { return 0; }
   LocalEmdResult Process(const std::vector<Token>& tokens) override;

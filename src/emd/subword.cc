@@ -66,9 +66,8 @@ SubwordSplit SubwordTokenizer::Split(const std::string& word) const {
 }
 
 Result<SubwordTokenizer> SubwordTokenizer::Deserialize(const std::string& data) {
-  EMD_ASSIGN_OR_RETURN(Vocabulary vocab, Vocabulary::Deserialize(data));
   SubwordTokenizer st;
-  st.vocab_ = std::move(vocab);
+  EMD_ASSIGN_OR_RETURN(st.vocab_, Vocabulary::Deserialize(data));
   return st;
 }
 

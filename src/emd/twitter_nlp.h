@@ -60,6 +60,7 @@ class TwitterNlpSystem : public LocalEmdSystem {
   void Train(const Dataset& corpus, const TwitterNlpTrainOptions& options = {});
 
   std::string name() const override { return "TwitterNLP"; }
+  const char* process_failpoint() const override { return "emd.twitter_nlp.process"; }
   bool is_deep() const override { return false; }
   int embedding_dim() const override { return 0; }
   LocalEmdResult Process(const std::vector<Token>& tokens) override;

@@ -2,73 +2,81 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
+
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/file_io.h"
 
 namespace emd {
 namespace {
 
 constexpr uint32_t kMagic = 0x454D444DU;  // "EMDM"
-constexpr uint32_t kVersion = 1;
-
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
+// Version 2: CRC32 footer over the entire preceding byte stream, and files
+// are published atomically (write-temp-then-rename). Version-1 files (no
+// footer) are rejected as unsupported; caches regenerate.
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
 Status SaveParams(const ParamSet& params, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: ", path);
-  WriteU32(out, kMagic);
-  WriteU32(out, kVersion);
-  WriteU32(out, static_cast<uint32_t>(params.size()));
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("nn.serialize.save"));
+  std::string buf;
+  binio::AppendU32(&buf, kMagic);
+  binio::AppendU32(&buf, kVersion);
+  binio::AppendU32(&buf, static_cast<uint32_t>(params.size()));
   for (const auto& p : params.params()) {
-    WriteU32(out, static_cast<uint32_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    WriteU32(out, static_cast<uint32_t>(p.value->rows()));
-    WriteU32(out, static_cast<uint32_t>(p.value->cols()));
-    out.write(reinterpret_cast<const char*>(p.value->data()),
-              static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+    binio::AppendString(&buf, p.name);
+    binio::AppendU32(&buf, static_cast<uint32_t>(p.value->rows()));
+    binio::AppendU32(&buf, static_cast<uint32_t>(p.value->cols()));
+    binio::AppendFloats(&buf, p.value->data(), p.value->size());
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: ", path);
-  return Status::OK();
+  binio::AppendU32(&buf, Crc32(buf));
+  return WriteFileAtomic(path, buf);
 }
 
 Status LoadParams(ParamSet* params, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: ", path);
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("nn.serialize.load"));
+  std::string buf;
+  EMD_ASSIGN_OR_RETURN(buf, ReadFileToString(path));
+  if (buf.size() < sizeof(uint32_t) * 4) {
+    return Status::Corruption("model file too short: ", path);
+  }
+  // Verify the CRC32 footer before trusting any field.
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const std::string_view payload(buf.data(), buf.size() - sizeof(uint32_t));
+  if (Crc32(payload) != stored_crc) {
+    return Status::Corruption("crc mismatch in ", path);
+  }
+  binio::Reader reader(payload, "model file " + path);
   uint32_t magic = 0, version = 0, count = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic)
-    return Status::Corruption("bad magic in ", path);
-  if (!ReadU32(in, &version) || version != kVersion)
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&magic));
+  if (magic != kMagic) return Status::Corruption("bad magic in ", path);
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kVersion)
     return Status::Corruption("unsupported version in ", path);
-  if (!ReadU32(in, &count) || count != params->size())
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&count));
+  if (count != params->size())
     return Status::Corruption("parameter count mismatch in ", path, ": file ",
                               count, " vs model ", params->size());
   for (const auto& p : params->params()) {
-    uint32_t name_len = 0, rows = 0, cols = 0;
-    if (!ReadU32(in, &name_len)) return Status::Corruption("truncated: ", path);
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!in) return Status::Corruption("truncated: ", path);
+    std::string name;
+    uint32_t rows = 0, cols = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadString(&name));
     if (name != p.name)
       return Status::Corruption("parameter name mismatch: file '", name,
                                 "' vs model '", p.name, "'");
-    if (!ReadU32(in, &rows) || !ReadU32(in, &cols))
-      return Status::Corruption("truncated: ", path);
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&rows));
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&cols));
     if (static_cast<int>(rows) != p.value->rows() ||
         static_cast<int>(cols) != p.value->cols())
       return Status::Corruption("shape mismatch for ", p.name);
-    in.read(reinterpret_cast<char*>(p.value->data()),
-            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
-    if (!in) return Status::Corruption("truncated: ", path);
+    EMD_RETURN_IF_ERROR(reader.ReadFloats(p.value->data(), p.value->size()));
   }
+  if (reader.remaining() != 0)
+    return Status::Corruption("trailing bytes in ", path);
   return Status::OK();
 }
 

@@ -1,6 +1,9 @@
 // Model serialization: writes/reads every parameter in a ParamSet in
-// registration order. Binary little-endian format with a magic header and
-// per-matrix name/shape records so mismatches are caught at load time.
+// registration order. Binary little-endian format with a magic header,
+// per-matrix name/shape records so mismatches are caught at load time, and a
+// CRC32 footer so torn or bit-flipped files are rejected as kCorruption.
+// Saves are atomic: the file is staged at `path + ".tmp"` and renamed into
+// place, so a crash mid-save never leaves a torn model file behind.
 
 #ifndef EMD_NN_SERIALIZE_H_
 #define EMD_NN_SERIALIZE_H_

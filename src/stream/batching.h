@@ -36,6 +36,13 @@ class StreamBatcher {
 
   void Reset() { position_ = 0; }
 
+  /// Resumes iteration from an absolute tweet position — the cursor a
+  /// restored Globalizer checkpoint reports via processed_tweets().
+  void Seek(size_t position) {
+    EMD_CHECK_LE(position, dataset_->tweets.size());
+    position_ = position;
+  }
+
   size_t num_batches() const {
     return (dataset_->tweets.size() + batch_size_ - 1) / batch_size_;
   }

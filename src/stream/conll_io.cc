@@ -128,7 +128,8 @@ Result<Dataset> DatasetFromConll(const std::string& text, std::string name) {
 }
 
 Result<Dataset> ReadConll(const std::string& path, std::string name) {
-  EMD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  std::string text;
+  EMD_ASSIGN_OR_RETURN(text, ReadFileToString(path));
   return DatasetFromConll(text, std::move(name));
 }
 

@@ -1,0 +1,105 @@
+// Little-endian binary append/read helpers shared by the model serializer
+// (nn/serialize) and the Globalizer checkpoint writer. Writers append into an
+// in-memory buffer (so a checksum can be computed before anything touches
+// disk); the Reader is a bounds-checked cursor over a byte buffer that turns
+// truncation into Status::Corruption instead of undefined reads.
+
+#ifndef EMD_UTIL_BINARY_IO_H_
+#define EMD_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/status.h"
+
+namespace emd {
+namespace binio {
+
+template <typename T>
+void AppendRaw(std::string* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void AppendU8(std::string* out, uint8_t v) { AppendRaw(out, v); }
+inline void AppendU32(std::string* out, uint32_t v) { AppendRaw(out, v); }
+inline void AppendU64(std::string* out, uint64_t v) { AppendRaw(out, v); }
+inline void AppendI32(std::string* out, int32_t v) { AppendRaw(out, v); }
+inline void AppendI64(std::string* out, int64_t v) { AppendRaw(out, v); }
+inline void AppendF32(std::string* out, float v) { AppendRaw(out, v); }
+
+/// u32 length prefix + bytes.
+inline void AppendString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+inline void AppendFloats(std::string* out, const float* data, size_t n) {
+  if (n == 0) return;  // `data` may be null for empty matrices
+  out->append(reinterpret_cast<const char*>(data), n * sizeof(float));
+}
+
+/// Bounds-checked forward cursor over a serialized buffer. Every read
+/// returns Corruption once the buffer is exhausted; `context` names the
+/// artifact in error messages.
+class Reader {
+ public:
+  Reader(std::string_view data, std::string context)
+      : data_(data), context_(std::move(context)) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  template <typename T>
+  Status ReadRaw(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) {
+      return Status::Corruption("truncated ", context_, " at byte ", pos_);
+    }
+    std::memcpy(v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadU8(uint8_t* v) { return ReadRaw(v); }
+  Status ReadU32(uint32_t* v) { return ReadRaw(v); }
+  Status ReadU64(uint64_t* v) { return ReadRaw(v); }
+  Status ReadI32(int32_t* v) { return ReadRaw(v); }
+  Status ReadI64(int64_t* v) { return ReadRaw(v); }
+  Status ReadF32(float* v) { return ReadRaw(v); }
+
+  Status ReadString(std::string* s) {
+    uint32_t len = 0;
+    EMD_RETURN_IF_ERROR(ReadU32(&len));
+    if (remaining() < len) {
+      return Status::Corruption("truncated ", context_, " at byte ", pos_);
+    }
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ReadFloats(float* data, size_t n) {
+    const size_t bytes = n * sizeof(float);
+    if (bytes == 0) return Status::OK();  // `data` may be null when empty
+    if (remaining() < bytes) {
+      return Status::Corruption("truncated ", context_, " at byte ", pos_);
+    }
+    std::memcpy(data, data_.data() + pos_, bytes);
+    pos_ += bytes;
+    return Status::OK();
+  }
+
+ private:
+  std::string_view data_;
+  std::string context_;
+  size_t pos_ = 0;
+};
+
+}  // namespace binio
+}  // namespace emd
+
+#endif  // EMD_UTIL_BINARY_IO_H_

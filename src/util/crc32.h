@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to checksum model files
+// and Globalizer checkpoints so torn or bit-flipped artifacts are rejected
+// at load time instead of silently corrupting results.
+
+#ifndef EMD_UTIL_CRC32_H_
+#define EMD_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace emd {
+
+/// CRC-32 of `data`; `seed` chains incremental computations (pass a previous
+/// return value to extend the checksum over a further chunk).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_CRC32_H_

@@ -1,0 +1,120 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace emd {
+namespace failpoint {
+namespace {
+
+struct Point {
+  bool armed = false;
+  Status error;
+  // Hit-count trigger (probability < 0): pass `skip` hits, then fire up to
+  // `max_fires` times (-1 = unbounded).
+  int skip = 0;
+  int max_fires = -1;
+  // Probabilistic trigger when >= 0.
+  double probability = -1.0;
+  Rng rng{0};
+
+  int hits = 0;
+  int fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+  std::atomic<int> num_armed{0};
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+void EnableAfter(const std::string& name, Status error, int skip, int max_fires) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Point& p = reg.points[name];
+  if (!p.armed) reg.num_armed.fetch_add(1, std::memory_order_relaxed);
+  p = Point();
+  p.armed = true;
+  p.error = std::move(error);
+  p.skip = skip;
+  p.max_fires = max_fires;
+}
+
+void EnableWithProbability(const std::string& name, Status error,
+                           double probability, uint64_t seed) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Point& p = reg.points[name];
+  if (!p.armed) reg.num_armed.fetch_add(1, std::memory_order_relaxed);
+  p = Point();
+  p.armed = true;
+  p.error = std::move(error);
+  p.probability = probability;
+  p.rng = Rng(seed);
+}
+
+void Disable(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end() || !it->second.armed) return;
+  it->second.armed = false;
+  reg.num_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisableAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+  reg.num_armed.store(0, std::memory_order_relaxed);
+}
+
+int HitCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+int FireCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+bool AnyArmed() {
+  return GetRegistry().num_armed.load(std::memory_order_relaxed) > 0;
+}
+
+Status Hit(std::string_view name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.points.find(std::string(name));
+  if (it == reg.points.end() || !it->second.armed) return Status::OK();
+  Point& p = it->second;
+  ++p.hits;
+  bool fire;
+  if (p.probability >= 0) {
+    fire = p.rng.NextDouble() < p.probability;
+  } else {
+    fire = p.hits > p.skip && (p.max_fires < 0 || p.fires < p.max_fires);
+  }
+  if (!fire) return Status::OK();
+  ++p.fires;
+  return p.error;
+}
+
+}  // namespace failpoint
+}  // namespace emd

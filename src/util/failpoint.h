@@ -1,0 +1,75 @@
+// Failpoints: a registry of named, deterministic fault-injection points in
+// the style of RocksDB's SyncPoint / fail_point. Production code marks
+// fallible sites with EMD_FAILPOINT("module.component.op"); tests arm a
+// point to inject a Status error on a chosen hit count or with a seeded
+// probability, exercising error paths that are otherwise unreachable.
+//
+//   // production code (inside a Status/Result-returning function):
+//   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("nn.serialize.save"));
+//
+//   // test:
+//   failpoint::EnableAfter("nn.serialize.save", Status::IoError("disk died"),
+//                          /*skip=*/1, /*max_fires=*/1);  // fail 2nd hit only
+//   ...
+//   failpoint::DisableAll();
+//
+// Naming convention: "<layer>.<component>.<operation>", lower_snake_case
+// (e.g. "util.file_io.read", "core.phrase_embedder.embed").
+//
+// Cost when nothing is armed: one relaxed atomic load per EMD_FAILPOINT —
+// safe to leave in hot paths. Arming/disarming takes a mutex and is intended
+// for tests only; the registry is process-global and thread-safe.
+
+#ifndef EMD_UTIL_FAILPOINT_H_
+#define EMD_UTIL_FAILPOINT_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace emd {
+namespace failpoint {
+
+/// Arms `name` with a hit-count trigger: the first `skip` hits pass, then the
+/// point fires `error` on each subsequent hit, `max_fires` times in total
+/// (-1 = forever until disabled). Re-arming an armed point replaces its spec
+/// and resets its counters.
+void EnableAfter(const std::string& name, Status error, int skip = 0,
+                 int max_fires = -1);
+
+/// Arms `name` with a probabilistic trigger: each hit fires `error` with
+/// `probability`, drawn from a deterministic RNG seeded with `seed`.
+void EnableWithProbability(const std::string& name, Status error,
+                           double probability, uint64_t seed = 0);
+
+/// Disarms `name`; its hit/fire counters remain queryable.
+void Disable(const std::string& name);
+
+/// Disarms every point and clears all counters. Tests should call this in
+/// teardown so state never leaks across test cases.
+void DisableAll();
+
+/// Hits observed at `name` since it was (last) armed; 0 if never armed.
+int HitCount(const std::string& name);
+
+/// Errors injected at `name` since it was (last) armed.
+int FireCount(const std::string& name);
+
+/// True when at least one failpoint is armed (single relaxed atomic load).
+bool AnyArmed();
+
+/// Slow path: records a hit at `name` and returns the injected error if the
+/// point fires. Call through EMD_FAILPOINT, which skips this entirely when
+/// nothing is armed.
+Status Hit(std::string_view name);
+
+}  // namespace failpoint
+}  // namespace emd
+
+/// Evaluates the named failpoint; OK unless a test armed it and it fires.
+#define EMD_FAILPOINT(name)                 \
+  (::emd::failpoint::AnyArmed() ? ::emd::failpoint::Hit(name) \
+                                : ::emd::Status::OK())
+
+#endif  // EMD_UTIL_FAILPOINT_H_

@@ -4,9 +4,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/failpoint.h"
+
 namespace emd {
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("util.file_io.read"));
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for read: ", path);
   std::ostringstream ss;
@@ -16,6 +19,7 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("util.file_io.read"));
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for read: ", path);
   std::vector<std::string> lines;
@@ -29,11 +33,32 @@ Result<std::vector<std::string>> ReadLines(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, const std::string& content) {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("util.file_io.write"));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for write: ", path);
   out << content;
   out.flush();
   if (!out) return Status::IoError("write failed: ", path);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  EMD_RETURN_IF_ERROR(WriteStringToFile(tmp, content));
+  // The "crash window" between writing the temp file and publishing it: an
+  // injected fault here must leave the previous `path` intact.
+  Status crashed = EMD_FAILPOINT("util.file_io.rename");
+  if (!crashed.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return crashed;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("rename failed: ", tmp, " -> ", path);
+  }
   return Status::OK();
 }
 

@@ -20,6 +20,11 @@ Result<std::vector<std::string>> ReadLines(const std::string& path);
 /// Writes `content`, replacing any existing file.
 Status WriteStringToFile(const std::string& path, const std::string& content);
 
+/// Crash-safe replacement write: writes `content` to `path + ".tmp"`, then
+/// atomically renames it over `path`. A crash (or injected fault) mid-save
+/// leaves any existing `path` untouched — never a torn file.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
 /// True when `path` exists and is a regular file.
 bool FileExists(const std::string& path);
 

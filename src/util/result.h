@@ -8,11 +8,10 @@
 #ifndef EMD_UTIL_RESULT_H_
 #define EMD_UTIL_RESULT_H_
 
-#include <cstdlib>
-#include <iostream>
 #include <optional>
 #include <utility>
 
+#include "util/logging.h"
 #include "util/status.h"
 
 namespace emd {
@@ -27,10 +26,7 @@ class Result {
   /// Implicit construction from a non-OK status (the "return st;" path).
   /// Constructing from an OK status is a programmer error and aborts.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    if (status_.ok()) {
-      std::cerr << "Result<T> constructed from OK status\n";
-      std::abort();
-    }
+    EMD_CHECK(!status_.ok()) << "Result<T> constructed from OK status";
   }
 
   bool ok() const { return value_.has_value(); }
@@ -57,6 +53,7 @@ class Result {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 
@@ -65,10 +62,7 @@ class Result {
 
  private:
   void CheckHasValue() const {
-    if (!ok()) {
-      std::cerr << "Result::value() on error: " << status_.ToString() << "\n";
-      std::abort();
-    }
+    EMD_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
   }
 
   std::optional<T> value_;
@@ -78,11 +72,20 @@ class Result {
 }  // namespace emd
 
 /// Assigns the value of a Result expression to `lhs`, or propagates its error.
-#define EMD_ASSIGN_OR_RETURN(lhs, rexpr)          \
-  auto EMD_CONCAT_(_res_, __LINE__) = (rexpr);    \
-  if (!EMD_CONCAT_(_res_, __LINE__).ok())         \
-    return EMD_CONCAT_(_res_, __LINE__).status(); \
-  lhs = std::move(EMD_CONCAT_(_res_, __LINE__)).value()
+///
+/// The expansion is a single `if` statement, so the macro composes correctly
+/// with unbraced control flow: `if (cond) EMD_ASSIGN_OR_RETURN(x, f());`
+/// assigns-or-returns only when `cond` holds. The price of that guarantee:
+/// `lhs` must be an existing lvalue (a variable declared beforehand, or a
+/// member/field). Passing a declaration (`EMD_ASSIGN_OR_RETURN(int v, ...)`)
+/// scopes the variable to the macro's own `else` branch, and any later use
+/// fails to compile — a deliberate trap rather than a silent scope bug.
+#define EMD_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  if (auto EMD_CONCAT_(_res_, __LINE__) = (rexpr);  \
+      !EMD_CONCAT_(_res_, __LINE__).ok())           \
+    return EMD_CONCAT_(_res_, __LINE__).status();   \
+  else                                              \
+    lhs = std::move(EMD_CONCAT_(_res_, __LINE__)).value()
 
 #define EMD_CONCAT_(a, b) EMD_CONCAT_IMPL_(a, b)
 #define EMD_CONCAT_IMPL_(a, b) a##b

@@ -174,9 +174,9 @@ TEST(GlobalizerEdgeTest, FinalizeMentionsAreStableAcrossCalls) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
   Globalizer g(&mock, nullptr, nullptr, opt);
-  g.ProcessBatch(std::span<const AnnotatedTweet>(d.tweets.data(), d.tweets.size()));
-  GlobalizerOutput a = g.Finalize();
-  GlobalizerOutput b = g.Finalize();
+  ASSERT_TRUE(g.ProcessBatch(std::span<const AnnotatedTweet>(d.tweets.data(), d.tweets.size())).ok());
+  GlobalizerOutput a = g.Finalize().value();
+  GlobalizerOutput b = g.Finalize().value();
   EXPECT_EQ(a.mentions, b.mentions);
 }
 
@@ -200,7 +200,7 @@ TEST(GlobalizerEdgeTest, DiagnosticCountsAreConsistent) {
   }
   clf.Train(examples, {.max_epochs = 40});
   Globalizer g(&mock, nullptr, &clf, {});
-  GlobalizerOutput out = g.Run(d);
+  GlobalizerOutput out = g.Run(d).value();
   EXPECT_EQ(out.num_candidates,
             out.num_entity + out.num_non_entity + out.num_ambiguous);
   EXPECT_GE(out.num_candidates, 2);
@@ -212,7 +212,7 @@ TEST(GlobalizerEdgeTest, EmptyDataset) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
   Globalizer g(&mock, nullptr, nullptr, opt);
-  GlobalizerOutput out = g.Run(d);
+  GlobalizerOutput out = g.Run(d).value();
   EXPECT_TRUE(out.mentions.empty());
   EXPECT_EQ(out.num_candidates, 0);
 }
@@ -227,7 +227,7 @@ TEST(GlobalizerEdgeTest, TweetsWithNoTokens) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
   Globalizer g(&mock, nullptr, nullptr, opt);
-  GlobalizerOutput out = g.Run(d);
+  GlobalizerOutput out = g.Run(d).value();
   ASSERT_EQ(out.mentions.size(), 2u);
   EXPECT_TRUE(out.mentions[0].empty());
   EXPECT_EQ(out.mentions[1].size(), 1u);

@@ -1,5 +1,6 @@
-// Failure-injection tests: corrupted model files, malformed inputs, and
-// defensive-check behaviour at API boundaries.
+// Failure-injection tests: corrupted model files, malformed inputs,
+// defensive-check behaviour at API boundaries, failpoint-driven fault
+// isolation in the Globalizer, and checkpoint crash-safety.
 
 #include <gtest/gtest.h>
 
@@ -7,11 +8,17 @@
 #include <fstream>
 
 #include "core/entity_classifier.h"
+#include "core/globalizer.h"
 #include "core/phrase_embedder.h"
 #include "emd/pos_tagger.h"
+#include "eval/metrics.h"
+#include "mock_local_system.h"
 #include "nn/serialize.h"
+#include "stream/batching.h"
 #include "stream/conll_io.h"
+#include "text/tweet_tokenizer.h"
 #include "text/vocabulary.h"
+#include "util/failpoint.h"
 #include "util/file_io.h"
 
 namespace emd {
@@ -20,6 +27,12 @@ namespace {
 std::string TempPath(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
 }
+
+/// Disarms every failpoint on scope exit so no test leaks armed points.
+struct FailpointGuard {
+  FailpointGuard() { failpoint::DisableAll(); }
+  ~FailpointGuard() { failpoint::DisableAll(); }
+};
 
 TEST(FailureInjectionTest, LoadParamsRejectsTruncatedFile) {
   Mat w(4, 4), g(4, 4);
@@ -113,6 +126,506 @@ TEST(FailureInjectionDeathTest, ResultValueOnErrorAborts) {
 TEST(FailureInjectionTest, ClassifierSaveToUnwritablePath) {
   EntityClassifier clf({.input_dim = 7});
   EXPECT_TRUE(clf.Save("/nonexistent/dir/model.bin").IsIoError());
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint registry.
+// ---------------------------------------------------------------------------
+
+TEST(FailpointTest, DisabledPointIsFree) {
+  FailpointGuard guard;
+  EXPECT_FALSE(failpoint::AnyArmed());
+  EXPECT_TRUE(EMD_FAILPOINT("never.armed.point").ok());
+  EXPECT_EQ(failpoint::HitCount("never.armed.point"), 0) << "fast path taken";
+}
+
+TEST(FailpointTest, EnableAfterSkipsAndCaps) {
+  FailpointGuard guard;
+  failpoint::EnableAfter("t.reg.op", Status::IoError("boom"), /*skip=*/2,
+                         /*max_fires=*/1);
+  EXPECT_TRUE(failpoint::AnyArmed());
+  EXPECT_TRUE(EMD_FAILPOINT("t.reg.op").ok());   // hit 1: skipped
+  EXPECT_TRUE(EMD_FAILPOINT("t.reg.op").ok());   // hit 2: skipped
+  const Status fired = EMD_FAILPOINT("t.reg.op");  // hit 3: fires
+  EXPECT_TRUE(fired.IsIoError());
+  EXPECT_EQ(fired.message(), "boom");
+  EXPECT_TRUE(EMD_FAILPOINT("t.reg.op").ok()) << "max_fires=1 exhausted";
+  EXPECT_EQ(failpoint::HitCount("t.reg.op"), 4);
+  EXPECT_EQ(failpoint::FireCount("t.reg.op"), 1);
+}
+
+TEST(FailpointTest, DisableStopsFiringAndDisableAllClears) {
+  FailpointGuard guard;
+  failpoint::EnableAfter("t.reg.stop", Status::Internal("x"));
+  EXPECT_FALSE(EMD_FAILPOINT("t.reg.stop").ok());
+  failpoint::Disable("t.reg.stop");
+  EXPECT_TRUE(EMD_FAILPOINT("t.reg.stop").ok());
+  EXPECT_EQ(failpoint::FireCount("t.reg.stop"), 1) << "counters survive Disable";
+  failpoint::DisableAll();
+  EXPECT_EQ(failpoint::FireCount("t.reg.stop"), 0);
+  EXPECT_FALSE(failpoint::AnyArmed());
+}
+
+TEST(FailpointTest, ProbabilityModeIsSeededDeterministic) {
+  FailpointGuard guard;
+  auto run = [](uint64_t seed) {
+    failpoint::EnableWithProbability("t.reg.prob", Status::IoError("p"), 0.5,
+                                     seed);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += EMD_FAILPOINT("t.reg.prob").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  const std::string a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b) << "same seed, same firing pattern";
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.find('X'), std::string::npos) << "p=0.5 fires sometimes";
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Error-isolated execution cycles.
+// ---------------------------------------------------------------------------
+
+AnnotatedTweet FiTweet(long id, const std::string& text,
+                       std::vector<TokenSpan> gold_spans = {}) {
+  AnnotatedTweet t;
+  t.tweet_id = id;
+  t.text = text;
+  t.tokens = TweetTokenizer().Tokenize(text);
+  for (const auto& s : gold_spans) t.gold.push_back({s, static_cast<int>(s.begin)});
+  return t;
+}
+
+Dataset FiStream() {
+  Dataset d;
+  d.name = "fi";
+  d.tweets = {
+      FiTweet(1, "the Coronavirus keeps spreading", {{1, 2}}),
+      FiTweet(2, "worried about coronavirus cases", {{2, 3}}),
+      FiTweet(3, "CORONAVIRUS cases rising again", {{0, 1}}),
+      FiTweet(4, "the Coronavirus response was slow", {{1, 2}}),
+  };
+  return d;
+}
+
+TEST(FailureInjectionTest, LocalSystemFaultQuarantinesOneTweet) {
+  FailpointGuard guard;
+  // The second tweet's Local EMD dies; the stream must absorb it.
+  failpoint::EnableAfter("emd.mock.process", Status::Internal("OOM in tagger"),
+                         /*skip=*/1, /*max_fires=*/1);
+  MockLocalSystem mock({{.phrase = {"coronavirus"}, .require_capitalized = true}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  GlobalizerOutput out = g.Run(FiStream()).value();
+
+  EXPECT_EQ(out.num_quarantined, 1);
+  ASSERT_EQ(out.mentions.size(), 4u) << "quarantined tweet keeps its slot";
+  EXPECT_TRUE(out.mentions[1].empty()) << "no mentions from the dead tweet";
+  // The other three tweets still run the full pipeline.
+  EXPECT_EQ(out.mentions[0].size(), 1u);
+  EXPECT_EQ(out.mentions[2].size(), 1u);
+  EXPECT_EQ(out.mentions[3].size(), 1u);
+}
+
+TEST(FailureInjectionTest, QuarantineIsolationKeepsRestOfBatchIdentical) {
+  FailpointGuard guard;
+  auto run = [](bool inject) {
+    if (inject) {
+      failpoint::EnableAfter("emd.mock.process", Status::Internal("x"),
+                             /*skip=*/2, /*max_fires=*/1);
+    }
+    MockLocalSystem mock({{.phrase = {"coronavirus"}, .require_capitalized = true}});
+    GlobalizerOptions opt;
+    opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+    Globalizer g(&mock, nullptr, nullptr, opt);
+    GlobalizerOutput out = g.Run(FiStream()).value();
+    failpoint::DisableAll();
+    return out;
+  };
+  GlobalizerOutput clean = run(false);
+  GlobalizerOutput faulty = run(true);
+  ASSERT_EQ(faulty.num_quarantined, 1);
+  for (size_t i = 0; i < clean.mentions.size(); ++i) {
+    if (i == 2) continue;  // the quarantined tweet
+    EXPECT_EQ(clean.mentions[i], faulty.mentions[i]) << "tweet " << i;
+  }
+}
+
+TEST(FailureInjectionTest, PhraseEmbedderFaultDegradesToMeanPool) {
+  FailpointGuard guard;
+  Dataset d;
+  d.tweets = {
+      FiTweet(1, "Beshear spoke again", {{0, 1}}),
+      FiTweet(2, "meeting with Beshear now", {{2, 3}}),
+      FiTweet(3, "Beshear responds to questions", {{0, 1}}),
+  };
+  auto run = [&](bool inject) {
+    if (inject) {
+      failpoint::EnableAfter("core.phrase_embedder.embed",
+                             Status::Internal("embedder wedged"));
+    }
+    MockLocalSystem deep_mock(
+        {{.phrase = {"beshear"}, .require_capitalized = false}}, /*dim=*/8);
+    // in_dim == out_dim, so the raw mean-pool fallback is shape-compatible.
+    PhraseEmbedder pe(8, 8);
+    GlobalizerOptions opt;
+    opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+    Globalizer g(&deep_mock, &pe, nullptr, opt);
+    GlobalizerOutput out = g.Run(d).value();
+    failpoint::DisableAll();
+    return out;
+  };
+  GlobalizerOutput clean = run(false);
+  GlobalizerOutput degraded = run(true);
+
+  EXPECT_EQ(clean.num_degraded, 0);
+  EXPECT_GT(degraded.num_degraded, 0);
+  // The degraded cycle completes and detection effectiveness is unharmed:
+  // mention output is identical (the fallback only changes embeddings).
+  const double clean_f1 = EvaluateMentions(d, clean.mentions).f1;
+  const double degraded_f1 = EvaluateMentions(d, degraded.mentions).f1;
+  EXPECT_NEAR(degraded_f1, clean_f1, 1e-9);
+  EXPECT_EQ(clean.mentions, degraded.mentions);
+}
+
+TEST(FailureInjectionTest, ClassifierFaultDegradesToMentionExtraction) {
+  FailpointGuard guard;
+  Dataset d;
+  d.tweets = {
+      FiTweet(1, "Breaking story about Beshear today", {{3, 4}}),
+      FiTweet(2, "More breaking updates arriving now"),
+      FiTweet(3, "Still breaking coverage from Beshear", {{4, 5}}),
+  };
+  auto rules = [] {
+    return std::vector<MockLocalSystem::Rule>{
+        {.phrase = {"breaking"}, .require_capitalized = true},
+        {.phrase = {"beshear"}, .require_capitalized = true},
+    };
+  };
+  EntityClassifier clf({.input_dim = 7});
+
+  // Reference: the same stream in mention-extraction mode (no classifier).
+  MockLocalSystem extraction_mock(rules());
+  GlobalizerOptions ex_opt;
+  ex_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer extraction(&extraction_mock, nullptr, nullptr, ex_opt);
+  GlobalizerOutput expected = extraction.Run(d).value();
+
+  // Full mode with a classifier that faults on every evaluation.
+  failpoint::EnableAfter("core.entity_classifier.classify",
+                         Status::Internal("classifier wedged"));
+  MockLocalSystem full_mock(rules());
+  GlobalizerOptions full_opt;
+  full_opt.mode = GlobalizerOptions::Mode::kFull;
+  Globalizer full(&full_mock, nullptr, &clf, full_opt);
+  GlobalizerOutput out = full.Run(d).value();
+
+  EXPECT_TRUE(out.classifier_degraded);
+  EXPECT_EQ(out.mentions, expected.mentions)
+      << "degraded kFull emits the mention-extraction output";
+  EXPECT_EQ(out.num_entity, 0);
+  EXPECT_EQ(out.num_candidates, expected.num_candidates);
+}
+
+TEST(FailureInjectionTest, ClassifierRecoversNextCycle) {
+  FailpointGuard guard;
+  Dataset d = FiStream();
+  MockLocalSystem mock({{.phrase = {"coronavirus"}, .require_capitalized = true}});
+  EntityClassifier clf({.input_dim = 7});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kFull;
+  opt.batch_size = 2;
+  Globalizer g(&mock, nullptr, &clf, opt);
+  StreamBatcher batcher(&d, 2);
+
+  // Cycle 1: classifier down.
+  failpoint::EnableAfter("core.entity_classifier.classify",
+                         Status::Internal("down"), /*skip=*/0, /*max_fires=*/-1);
+  ASSERT_TRUE(g.ProcessBatch(batcher.Next()).ok());
+  EXPECT_TRUE(g.Finalize().value().classifier_degraded);
+
+  // Cycle 2: classifier back up — degradation must not be sticky.
+  failpoint::DisableAll();
+  ASSERT_TRUE(g.ProcessBatch(batcher.Next()).ok());
+  EXPECT_FALSE(g.Finalize().value().classifier_degraded);
+}
+
+TEST(FailureInjectionTest, BatchLevelFaultFailsRunWithoutAborting) {
+  FailpointGuard guard;
+  failpoint::EnableAfter("core.globalizer.process_batch",
+                         Status::IoError("stream source died"));
+  MockLocalSystem mock({{.phrase = {"coronavirus"}}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  Result<GlobalizerOutput> r = g.Run(FiStream());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError());
+  EXPECT_EQ(g.processed_tweets(), 0u) << "failed batch records nothing";
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe checkpoint/restore.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, CheckpointRoundTripsState) {
+  const std::string path = TempPath("emd_ckpt_roundtrip.bin");
+  MockLocalSystem mock({{.phrase = {"coronavirus"}, .require_capitalized = true}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  Dataset d = FiStream();
+  ASSERT_TRUE(
+      g.ProcessBatch(std::span<const AnnotatedTweet>(d.tweets.data(), 2)).ok());
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+
+  MockLocalSystem mock2({{.phrase = {"coronavirus"}, .require_capitalized = true}});
+  Globalizer restored(&mock2, nullptr, nullptr, opt);
+  ASSERT_TRUE(restored.RestoreCheckpoint(path).ok());
+  EXPECT_EQ(restored.processed_tweets(), 2u);
+  EXPECT_EQ(restored.ctrie().num_candidates(), g.ctrie().num_candidates());
+  EXPECT_EQ(restored.candidate_base().size(), g.candidate_base().size());
+  EXPECT_EQ(restored.Finalize().value().mentions, g.Finalize().value().mentions);
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, KillAndResumeProducesIdenticalOutput) {
+  // Deep system + phrase embedder: the checkpoint stores float-exact
+  // embedding sums, so the resumed run must match bit for bit.
+  const std::string path = TempPath("emd_ckpt_resume.bin");
+  Dataset d;
+  d.tweets = {
+      FiTweet(1, "governor Andy Beshear spoke", {{1, 3}}),
+      FiTweet(2, "Andy Beshear closed schools", {{0, 2}}),
+      FiTweet(3, "praise for andy beshear today", {{2, 4}}),
+      FiTweet(4, "Beshear responds to questions", {{0, 1}}),
+      FiTweet(5, "meeting with Andy Beshear now", {{2, 4}}),
+      FiTweet(6, "andy beshear again in frankfort", {{0, 2}}),
+  };
+  auto make_mock = [] {
+    return MockLocalSystem(
+        {{.phrase = {"andy", "beshear"}, .require_capitalized = true},
+         {.phrase = {"beshear"}, .require_capitalized = true}},
+        /*dim=*/8);
+  };
+  PhraseEmbedder pe(8, 4);
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  opt.batch_size = 2;
+
+  // Run A: uninterrupted.
+  MockLocalSystem mock_a = make_mock();
+  Globalizer a(&mock_a, &pe, nullptr, opt);
+  GlobalizerOutput out_a = a.Run(d).value();
+
+  // Run B: killed after the first batch...
+  MockLocalSystem mock_b1 = make_mock();
+  {
+    Globalizer b(&mock_b1, &pe, nullptr, opt);
+    StreamBatcher batcher(&d, 2);
+    ASSERT_TRUE(b.ProcessBatch(batcher.Next()).ok());
+    ASSERT_TRUE(b.SaveCheckpoint(path).ok());
+    // ...the process dies here; b is destroyed with 4 tweets unprocessed.
+  }
+  // ...and resumed in a fresh process.
+  MockLocalSystem mock_b2 = make_mock();
+  Globalizer b(&mock_b2, &pe, nullptr, opt);
+  ASSERT_TRUE(b.RestoreCheckpoint(path).ok());
+  ASSERT_EQ(b.processed_tweets(), 2u);
+  StreamBatcher batcher(&d, 2);
+  batcher.Seek(b.processed_tweets());
+  while (batcher.HasNext()) ASSERT_TRUE(b.ProcessBatch(batcher.Next()).ok());
+  GlobalizerOutput out_b = b.Finalize().value();
+
+  EXPECT_EQ(out_a.mentions, out_b.mentions);
+  EXPECT_EQ(out_a.num_candidates, out_b.num_candidates);
+  ASSERT_EQ(a.candidate_base().size(), b.candidate_base().size());
+  for (size_t c = 0; c < a.candidate_base().size(); ++c) {
+    if (!a.candidate_base().Contains(static_cast<int>(c))) continue;
+    const CandidateRecord& ra = a.candidate_base().at(static_cast<int>(c));
+    const CandidateRecord& rb = b.candidate_base().at(static_cast<int>(c));
+    ASSERT_EQ(ra.embedding_count, rb.embedding_count);
+    for (size_t j = 0; j < ra.embedding_sum.size(); ++j) {
+      EXPECT_EQ(ra.embedding_sum.data()[j], rb.embedding_sum.data()[j])
+          << "embedding sums must be bit-identical";
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, TruncatedCheckpointIsCorruption) {
+  const std::string path = TempPath("emd_ckpt_trunc.bin");
+  MockLocalSystem mock({{.phrase = {"coronavirus"}}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  Dataset d = FiStream();
+  ASSERT_TRUE(g.ProcessBatch(std::span<const AnnotatedTweet>(
+                                 d.tweets.data(), d.tweets.size()))
+                  .ok());
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+
+  for (size_t cut : {content->size() / 2, content->size() - 1, size_t{3}}) {
+    ASSERT_TRUE(WriteStringToFile(path, content->substr(0, cut)).ok());
+    MockLocalSystem mock2({{.phrase = {"coronavirus"}}});
+    Globalizer fresh(&mock2, nullptr, nullptr, opt);
+    const Status st = fresh.RestoreCheckpoint(path);
+    EXPECT_TRUE(st.IsCorruption()) << "cut=" << cut << ": " << st;
+    EXPECT_EQ(fresh.processed_tweets(), 0u) << "failed restore leaves no state";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, BitFlippedCheckpointIsCorruption) {
+  const std::string path = TempPath("emd_ckpt_flip.bin");
+  MockLocalSystem mock({{.phrase = {"coronavirus"}}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  Dataset d = FiStream();
+  ASSERT_TRUE(g.ProcessBatch(std::span<const AnnotatedTweet>(
+                                 d.tweets.data(), d.tweets.size()))
+                  .ok());
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+
+  // Flip one bit at several offsets, including inside the CRC footer itself.
+  for (size_t pos : {size_t{9}, content->size() / 2, content->size() - 2}) {
+    std::string corrupted = *content;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x10);
+    ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
+    MockLocalSystem mock2({{.phrase = {"coronavirus"}}});
+    Globalizer fresh(&mock2, nullptr, nullptr, opt);
+    const Status st = fresh.RestoreCheckpoint(path);
+    EXPECT_TRUE(st.IsCorruption()) << "pos=" << pos << ": " << st;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, CheckpointModeMismatchRejected) {
+  const std::string path = TempPath("emd_ckpt_mode.bin");
+  MockLocalSystem mock({{.phrase = {"coronavirus"}}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+
+  MockLocalSystem mock2({{.phrase = {"coronavirus"}}});
+  GlobalizerOptions local_opt;
+  local_opt.mode = GlobalizerOptions::Mode::kLocalOnly;
+  Globalizer other(&mock2, nullptr, nullptr, local_opt);
+  EXPECT_TRUE(other.RestoreCheckpoint(path).IsInvalidArgument());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, RestoreIntoUsedGlobalizerIsFailedPrecondition) {
+  const std::string path = TempPath("emd_ckpt_used.bin");
+  MockLocalSystem mock({{.phrase = {"coronavirus"}}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+  Dataset d = FiStream();
+  ASSERT_TRUE(g.ProcessBatch(std::span<const AnnotatedTweet>(
+                                 d.tweets.data(), d.tweets.size()))
+                  .ok());
+  EXPECT_TRUE(g.RestoreCheckpoint(path).IsFailedPrecondition());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, CheckpointSaveFaultLeavesPreviousCheckpointIntact) {
+  FailpointGuard guard;
+  const std::string path = TempPath("emd_ckpt_atomic.bin");
+  MockLocalSystem mock({{.phrase = {"coronavirus"}, .require_capitalized = true}});
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  Dataset d = FiStream();
+  StreamBatcher batcher(&d, 2);
+  ASSERT_TRUE(g.ProcessBatch(batcher.Next()).ok());
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+
+  // A crash in the publish step must not clobber the previous checkpoint.
+  failpoint::EnableAfter("util.file_io.rename",
+                         Status::IoError("crash before rename"));
+  ASSERT_TRUE(g.ProcessBatch(batcher.Next()).ok());
+  EXPECT_FALSE(g.SaveCheckpoint(path).ok());
+  failpoint::DisableAll();
+
+  MockLocalSystem mock2({{.phrase = {"coronavirus"}, .require_capitalized = true}});
+  Globalizer restored(&mock2, nullptr, nullptr, opt);
+  ASSERT_TRUE(restored.RestoreCheckpoint(path).ok());
+  EXPECT_EQ(restored.processed_tweets(), 2u) << "the batch-1 checkpoint survives";
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << "temp file cleaned up";
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Model-file atomicity and checksums.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, SaveParamsFaultPreservesOriginalModel) {
+  FailpointGuard guard;
+  const std::string path = TempPath("emd_atomic_model.bin");
+  Mat w(2, 2), grad(2, 2);
+  w(0, 0) = 42.f;
+  ParamSet params;
+  params.Register("w", &w, &grad);
+  ASSERT_TRUE(SaveParams(params, path).ok());
+
+  w(0, 0) = -1.f;  // new weights that must NOT reach disk
+  failpoint::EnableAfter("util.file_io.rename", Status::IoError("disk full"));
+  EXPECT_FALSE(SaveParams(params, path).ok());
+  failpoint::DisableAll();
+
+  Mat w2(2, 2), grad2(2, 2);
+  ParamSet params2;
+  params2.Register("w", &w2, &grad2);
+  ASSERT_TRUE(LoadParams(&params2, path).ok());
+  EXPECT_EQ(w2(0, 0), 42.f) << "interrupted save left the old model intact";
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, ModelFileBitFlipIsCorruption) {
+  const std::string path = TempPath("emd_crc_model.bin");
+  Mat w(3, 3), grad(3, 3);
+  w(1, 1) = 7.f;
+  ParamSet params;
+  params.Register("w", &w, &grad);
+  ASSERT_TRUE(SaveParams(params, path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string corrupted = *content;
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteStringToFile(path, corrupted).ok());
+  EXPECT_TRUE(LoadParams(&params, path).IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(FailureInjectionTest, SerializeFailpointsPropagate) {
+  FailpointGuard guard;
+  const std::string path = TempPath("emd_fp_model.bin");
+  Mat w(1, 1), grad(1, 1);
+  ParamSet params;
+  params.Register("w", &w, &grad);
+
+  failpoint::EnableAfter("nn.serialize.save", Status::IoError("save fp"));
+  EXPECT_TRUE(SaveParams(params, path).IsIoError());
+  failpoint::DisableAll();
+
+  ASSERT_TRUE(SaveParams(params, path).ok());
+  failpoint::EnableAfter("nn.serialize.load", Status::IoError("load fp"));
+  EXPECT_TRUE(LoadParams(&params, path).IsIoError());
+  failpoint::DisableAll();
+  EXPECT_TRUE(LoadParams(&params, path).ok());
+  std::filesystem::remove(path);
 }
 
 }  // namespace

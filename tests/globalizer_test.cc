@@ -44,7 +44,7 @@ TEST(GlobalizerTest, LocalOnlyReportsRawDetections) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kLocalOnly;
   Globalizer g(&mock, nullptr, nullptr, opt);
-  GlobalizerOutput out = g.Run(CovidStream());
+  GlobalizerOutput out = g.Run(CovidStream()).value();
   // Capitalized in tweets 1, 4 only ("CORONAVIRUS" counts: first char upper).
   EXPECT_EQ(out.mentions[0].size(), 1u);
   EXPECT_EQ(out.mentions[1].size(), 0u);
@@ -57,7 +57,7 @@ TEST(GlobalizerTest, MentionExtractionRecoversMissedLowercase) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
   Globalizer g(&mock, nullptr, nullptr, opt);
-  GlobalizerOutput out = g.Run(CovidStream());
+  GlobalizerOutput out = g.Run(CovidStream()).value();
   // The lowercase mention in tweet 2 is recovered from the CTrie.
   EXPECT_EQ(out.mentions[1].size(), 1u);
   EXPECT_EQ(out.mentions[1][0], (TokenSpan{2, 3}));
@@ -80,7 +80,7 @@ TEST(GlobalizerTest, PartialExtractionIsCorrected) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
   Globalizer g(&mock, nullptr, nullptr, opt);
-  GlobalizerOutput out = g.Run(d);
+  GlobalizerOutput out = g.Run(d).value();
   ASSERT_EQ(out.mentions[1].size(), 1u);
   EXPECT_EQ(out.mentions[1][0], (TokenSpan{0, 2})) << "partial span extended";
 }
@@ -139,7 +139,7 @@ TEST(GlobalizerTest, FullModeRemovesConsistentlyLowercaseFalsePositives) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kFull;
   Globalizer g(&mock, nullptr, &clf, opt);
-  GlobalizerOutput out = g.Run(d);
+  GlobalizerOutput out = g.Run(d).value();
   PrfScores s = EvaluateMentions(d, out.mentions);
   EXPECT_DOUBLE_EQ(s.precision, 1.0) << "the capitalized 'Breaking' FP is removed";
   EXPECT_DOUBLE_EQ(s.recall, 1.0);
@@ -154,7 +154,7 @@ TEST(GlobalizerTest, AblationOrderingOnInconsistentStream) {
     GlobalizerOptions opt;
     opt.mode = mode;
     Globalizer g(&mock, nullptr, nullptr, opt);
-    return EvaluateMentions(d, g.Run(d).mentions);
+    return EvaluateMentions(d, g.Run(d).value().mentions);
   };
   PrfScores local = run(GlobalizerOptions::Mode::kLocalOnly);
   PrfScores extraction = run(GlobalizerOptions::Mode::kMentionExtraction);
@@ -176,7 +176,7 @@ TEST(GlobalizerTest, BatchedRunEqualsSingleBatchOnOutputsForLateCandidates) {
     opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
     opt.batch_size = batch_size;
     Globalizer g(&mock, nullptr, nullptr, opt);
-    return g.Run(d);
+    return g.Run(d).value();
   };
   GlobalizerOutput one_batch = run(10);
   GlobalizerOutput two_batches = run(1);
@@ -206,7 +206,7 @@ TEST(GlobalizerTest, DeepEmbeddingsPooledThroughPhraseEmbedder) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
   Globalizer g(&deep_mock, &pe, nullptr, opt);
-  g.Run(d);
+  g.Run(d).value();
   const CandidateBase& cb = g.candidate_base();
   ASSERT_GE(cb.size(), 1u);
   const CandidateRecord& rec = cb.at(0);
@@ -219,7 +219,7 @@ TEST(GlobalizerTest, TimingFieldsPopulated) {
   GlobalizerOptions opt;
   opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
   Globalizer g(&mock, nullptr, nullptr, opt);
-  GlobalizerOutput out = g.Run(CovidStream());
+  GlobalizerOutput out = g.Run(CovidStream()).value();
   EXPECT_GE(out.local_seconds, 0.0);
   EXPECT_GE(out.global_seconds, 0.0);
   EXPECT_EQ(mock.calls(), 4);
@@ -237,14 +237,14 @@ TEST(GlobalizerTest, MinEvidenceShieldsSingletonsFromBeta) {
   opt.min_evidence_mentions = 2;
   opt.low_evidence_beta = 0.f;  // shield unconditionally for this test
   Globalizer g(&mock, nullptr, &clf, opt);
-  GlobalizerOutput out = g.Run(d);
+  GlobalizerOutput out = g.Run(d).value();
   ASSERT_EQ(out.mentions[0].size(), 1u) << "singleton kept via ambiguous fallback";
 
   // With the evidence floor disabled the verdict applies and the mention dies.
   MockLocalSystem mock2({{.phrase = {"kovely"}}});
   opt.min_evidence_mentions = 0;
   Globalizer g2(&mock2, nullptr, &clf, opt);
-  GlobalizerOutput out2 = g2.Run(d);
+  GlobalizerOutput out2 = g2.Run(d).value();
   EXPECT_TRUE(out2.mentions[0].empty());
 }
 

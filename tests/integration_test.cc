@@ -37,12 +37,12 @@ Outcome RunOn(SystemKind kind, const Dataset& stream) {
     GlobalizerOptions opt;
     opt.mode = GlobalizerOptions::Mode::kLocalOnly;
     Globalizer g(kit.system(kind), nullptr, nullptr, opt);
-    o.local = EvaluateMentions(stream, g.Run(stream).mentions);
+    o.local = EvaluateMentions(stream, g.Run(stream).value().mentions);
   }
   {
     Globalizer g(kit.system(kind), kit.phrase_embedder(kind), kit.classifier(kind),
                  {});
-    o.diag = g.Run(stream);
+    o.diag = g.Run(stream).value();
     o.global = EvaluateMentions(stream, o.diag.mentions);
   }
   return o;

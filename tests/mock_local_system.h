@@ -32,6 +32,7 @@ class MockLocalSystem : public LocalEmdSystem {
       : rules_(std::move(rules)), dim_(dim) {}
 
   std::string name() const override { return "Mock"; }
+  const char* process_failpoint() const override { return "emd.mock.process"; }
   bool is_deep() const override { return dim_ > 0; }
   int embedding_dim() const override { return dim_; }
 

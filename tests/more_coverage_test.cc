@@ -134,7 +134,7 @@ TEST(RecallMonotonicityTest, ExtractionModeNeverLosesCoveredSurfaces) {
     GlobalizerOptions opt;
     opt.mode = mode;
     Globalizer g(&mock, nullptr, nullptr, opt);
-    return g.Run(stream);
+    return g.Run(stream).value();
   };
   PrfScores local =
       EvaluateMentions(stream, run(GlobalizerOptions::Mode::kLocalOnly).mentions);

@@ -175,7 +175,7 @@ TEST_P(SeededTest, FullModeOutputIsSubsetOfExtractionMode) {
     GlobalizerOptions opt;
     opt.mode = mode;
     Globalizer g(&mock, nullptr, clf, opt);
-    return g.Run(stream);
+    return g.Run(stream).value();
   };
   // A blunt classifier: everything ambiguous except clearly lowercase junk.
   EntityClassifier clf({.input_dim = 7});

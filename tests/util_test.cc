@@ -3,6 +3,8 @@
 #include <cmath>
 #include <filesystem>
 
+#include "util/binary_io.h"
+#include "util/crc32.h"
 #include "util/file_io.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -63,7 +65,8 @@ TEST(ResultTest, AssignOrReturnMacro) {
     return 5;
   };
   auto use = [&](bool fail) -> Result<int> {
-    EMD_ASSIGN_OR_RETURN(int v, make(fail));
+    int v = 0;
+    EMD_ASSIGN_OR_RETURN(v, make(fail));
     return v + 1;
   };
   EXPECT_EQ(*use(false), 6);
@@ -207,6 +210,78 @@ TEST(FileIoTest, RoundTrip) {
 TEST(FileIoTest, MissingFileIsIoError) {
   EXPECT_TRUE(ReadFileToString("/nonexistent/emd/file").status().IsIoError());
   EXPECT_FALSE(FileExists("/nonexistent/emd/file"));
+}
+
+TEST(Crc32Test, KnownAnswers) {
+  // IEEE CRC-32 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32(std::string_view("abc")), Crc32("abc", 3));
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const std::string data = "the quick brown fox";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  const uint32_t first = Crc32(data.data(), 7);
+  const uint32_t chained = Crc32(data.data() + 7, data.size() - 7, first);
+  EXPECT_EQ(chained, whole);
+  EXPECT_NE(Crc32(data.data(), data.size(), 1), whole) << "seed matters";
+}
+
+TEST(BinaryIoTest, RoundTripsScalarsAndStrings) {
+  std::string buf;
+  binio::AppendU8(&buf, 7);
+  binio::AppendU32(&buf, 0xDEADBEEFu);
+  binio::AppendI64(&buf, -42);
+  binio::AppendF32(&buf, 1.5f);
+  binio::AppendString(&buf, "hello");
+  const float floats[3] = {1.f, -2.f, 3.f};
+  binio::AppendFloats(&buf, floats, 3);
+
+  binio::Reader r(buf, "test buffer");
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  std::string s;
+  float out[3] = {};
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadF32(&f32).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadFloats(out, 3).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(out[1], -2.f);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryIoTest, ExhaustedReaderIsCorruption) {
+  std::string buf;
+  binio::AppendU32(&buf, 3);  // string length prefix promising 3 bytes...
+  buf += "ab";                // ...but only 2 present
+  binio::Reader r(buf, "short buffer");
+  std::string s;
+  const Status st = r.ReadString(&s);
+  EXPECT_TRUE(st.IsCorruption());
+  EXPECT_NE(st.message().find("short buffer"), std::string::npos);
+  uint64_t v = 0;
+  EXPECT_TRUE(binio::Reader("abc", "x").ReadU64(&v).IsCorruption());
+}
+
+TEST(FileIoTest, WriteFileAtomicPublishesAndReplaces) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "emd_atomic_util.txt").string();
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "first");
+  ASSERT_TRUE(WriteFileAtomic(path, "second").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "second");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
 }
 
 TEST(TimerTest, PhaseAccumulation) {
