@@ -1,23 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + ctest, plain and (optionally) sanitized.
 #
-#   scripts/check.sh            # plain Release build + full test suite
-#   scripts/check.sh --asan     # additionally an ASan+UBSan build + suite
+#   scripts/check.sh               # plain Release build + full test suite
+#   scripts/check.sh --asan        # additionally an ASan+UBSan build + suite
+#   scripts/check.sh --resilience  # only the resilience-labelled tests
 #
 # Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+CTEST_ARGS=()
+ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) ASAN=1 ;;
+    --resilience) CTEST_ARGS+=(-L resilience) ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
 run_suite() {
   local build_dir="$1"; shift
   cmake -B "$build_dir" -S . "$@"
   cmake --build "$build_dir" -j "$(nproc)"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
+    ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}
 }
 
 run_suite build
 
-if [[ "${1:-}" == "--asan" ]]; then
+if [[ "$ASAN" == 1 ]]; then
   run_suite build-asan -DEMD_SANITIZE=ON
 fi
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "core/syntactic_embedder.h"
 #include "stream/batching.h"
@@ -10,13 +11,29 @@
 
 namespace emd {
 
+std::string GlobalizerOutput::ResilienceSummary() const {
+  std::ostringstream os;
+  os << "resilience: retries=" << num_retries
+     << " breaker_trips=" << breaker_trips
+     << " breaker_recoveries=" << breaker_recoveries
+     << " fallback=" << num_fallback << " quarantined=" << num_quarantined
+     << " degraded=" << num_degraded
+     << " classifier_degraded=" << (classifier_degraded ? 1 : 0)
+     << " dead_lettered=" << num_dead_lettered;
+  return os.str();
+}
+
 Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embedder,
                        const EntityClassifier* classifier, GlobalizerOptions options)
     : system_(system),
       phrase_embedder_(phrase_embedder),
       classifier_(classifier),
       options_(options),
-      extractor_(&trie_) {
+      extractor_(&trie_),
+      clock_(options.resilience.clock != nullptr ? options.resilience.clock
+                                                 : Clock::Real()),
+      retry_rng_(options.resilience.retry_seed),
+      breaker_(options.resilience.breaker, clock_) {
   EMD_CHECK(system != nullptr);
   if (options_.mode != GlobalizerOptions::Mode::kLocalOnly && system_->is_deep()) {
     EMD_CHECK(phrase_embedder != nullptr)
@@ -32,7 +49,16 @@ Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span)
   if (!system_->is_deep()) {
     return SyntacticEmbedding(record.tokens, span);
   }
-  Result<Mat> embedded = phrase_embedder_->TryEmbed(record.token_embeddings, span);
+  // A deep primary whose tweet was actually processed by a non-deep fallback
+  // has no token embeddings; the mention survives with no embedding
+  // contribution (same contract as the empty-pool branch below).
+  if (record.token_embeddings.empty()) return Mat();
+  RetryStats retry_stats;
+  Result<Mat> embedded = RunWithRetry(
+      options_.resilience.phrase_embedder, clock_, &retry_rng_,
+      [&] { return phrase_embedder_->TryEmbed(record.token_embeddings, span); },
+      &retry_stats);
+  num_retries_ += retry_stats.retries;
   if (embedded.ok()) return std::move(embedded).value();
 
   // Degradation ladder, rung 1: the Entity Phrase Embedder is unavailable, so
@@ -57,6 +83,57 @@ Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span)
   return pooled;
 }
 
+Result<LocalEmdResult> Globalizer::LocalEmdWithResilience(
+    const AnnotatedTweet& tweet, bool* via_fallback) {
+  const ResilienceOptions& res = options_.resilience;
+  auto run = [&](LocalEmdSystem* system) {
+    RetryStats retry_stats;
+    auto result = RunWithRetry(
+        res.local_emd, clock_, &retry_rng_,
+        [&] {
+          return system->TryProcess(
+              tweet.tokens, Deadline::After(clock_, res.local_deadline_nanos));
+        },
+        &retry_stats);
+    num_retries_ += retry_stats.retries;
+    return result;
+  };
+
+  if (breaker_.AllowRequest()) {
+    Result<LocalEmdResult> primary = run(system_);
+    if (primary.ok()) {
+      breaker_.RecordSuccess();
+      return primary;
+    }
+    breaker_.RecordFailure();
+    // A failure that left (or put) the breaker open — the trip itself or a
+    // failed half-open probe — routes this tweet to the fallback; a failure
+    // below the trip threshold is an exhausted-retries quarantine.
+    if (breaker_.state() != CircuitBreaker::State::kOpen ||
+        fallback_system_ == nullptr) {
+      return primary;
+    }
+  } else if (fallback_system_ == nullptr) {
+    return Status::Unavailable("circuit ", breaker_.name(),
+                               " open and no fallback system configured");
+  }
+
+  Result<LocalEmdResult> fallback = run(fallback_system_);
+  if (fallback.ok()) *via_fallback = true;
+  return fallback;
+}
+
+void Globalizer::DeadLetter(const AnnotatedTweet& tweet, const Status& reason) {
+  if (dead_letter_ == nullptr) return;
+  const Status st = dead_letter_->Append(tweet, reason);
+  if (!st.ok()) {
+    EMD_LOG(Error) << "failed to dead-letter tweet " << tweet.tweet_id << ": "
+                   << st;
+    return;
+  }
+  ++num_dead_lettered_;
+}
+
 Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.process_batch"));
   // A new execution cycle re-attempts components that degraded last cycle.
@@ -73,17 +150,21 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
       record.sentence_id = tweet.sentence_id;
       record.tokens = tweet.tokens;
 
-      Result<LocalEmdResult> local = system_->TryProcess(tweet.tokens);
+      bool via_fallback = false;
+      Result<LocalEmdResult> local = LocalEmdWithResilience(tweet, &via_fallback);
       if (!local.ok()) {
         // Per-tweet isolation: quarantine this tweet (kept in the TweetBase
-        // so stream indexes stay dense, but it contributes no candidates).
+        // so stream indexes stay dense, but it contributes no candidates)
+        // and persist it to the dead-letter queue for replay.
         ++num_quarantined_;
         record.quarantined = true;
         EMD_LOG(Warn) << "quarantined tweet " << tweet.tweet_id << ": "
                       << local.status();
+        DeadLetter(tweet, local.status());
         tweets_.Add(std::move(record));
         continue;
       }
+      if (via_fallback) ++num_fallback_;
       record.token_embeddings = std::move(local->token_embeddings);
       for (const TokenSpan& span : local->mentions) {
         if (span.begin >= span.end || span.end > tweet.tokens.size()) continue;
@@ -154,8 +235,19 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.finalize"));
   GlobalizerOutput out;
   out.mentions.resize(tweets_.size());
-  out.num_quarantined = num_quarantined_;
-  out.num_degraded = num_degraded_;
+
+  // Snapshot the resilience counters at return time (the classifier below may
+  // retry) and emit the one-line operator report.
+  auto fill_resilience = [&](GlobalizerOutput* o) {
+    o->num_quarantined = num_quarantined_;
+    o->num_degraded = num_degraded_;
+    o->num_retries = num_retries_;
+    o->num_fallback = num_fallback_;
+    o->num_dead_lettered = num_dead_lettered_;
+    o->breaker_trips = restored_breaker_trips_ + breaker_.trips();
+    o->breaker_recoveries = restored_breaker_recoveries_ + breaker_.recoveries();
+    EMD_LOG(Info) << o->ResilienceSummary();
+  };
 
   if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) {
     for (size_t i = 0; i < tweets_.size(); ++i) {
@@ -164,6 +256,7 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
       }
     }
     out.local_seconds = timers_.Total("local");
+    fill_resilience(&out);
     return out;
   }
 
@@ -183,7 +276,11 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
       }
       const Mat features =
           EntityClassifier::MakeFeatures(rec.GlobalEmbedding(), rec.num_tokens);
-      Result<EntityClassifier::Verdict> verdict = classifier_->TryEvaluate(features);
+      RetryStats retry_stats;
+      Result<EntityClassifier::Verdict> verdict = RunWithRetry(
+          options_.resilience.classifier, clock_, &retry_rng_,
+          [&] { return classifier_->TryEvaluate(features); }, &retry_stats);
+      num_retries_ += retry_stats.retries;
       if (!verdict.ok()) {
         // Degradation ladder, rung 2: without verdicts, fall back to the
         // mention-extraction output (Fig. 6 middle curve) for this cycle.
@@ -246,6 +343,7 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
 
   out.local_seconds = timers_.Total("local");
   out.global_seconds = timers_.Total("global");
+  fill_resilience(&out);
   return out;
 }
 

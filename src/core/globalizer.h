@@ -45,11 +45,44 @@
 #include "core/tweet_base.h"
 #include "emd/local_emd_system.h"
 #include "stream/annotated_tweet.h"
+#include "stream/dead_letter.h"
+#include "util/circuit_breaker.h"
+#include "util/deadline.h"
 #include "util/result.h"
+#include "util/retry.h"
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/timer.h"
 
 namespace emd {
+
+/// Failure-handling runtime configuration. Defaults are deliberately inert
+/// (single attempt, no deadlines) so the pipeline behaves exactly like its
+/// non-resilient self unless a deployment opts in; the breaker only ever
+/// engages after repeated failures.
+struct ResilienceOptions {
+  /// Per-stage retry policies (max_attempts = 1 disables retrying).
+  RetryPolicy local_emd;
+  RetryPolicy phrase_embedder;
+  RetryPolicy classifier;
+  RetryPolicy checkpoint_io;
+
+  /// Per-attempt time budget for one Local EMD call, measured on `clock`.
+  /// 0 disables the deadline.
+  uint64_t local_deadline_nanos = 0;
+
+  /// Circuit breaker guarding the primary local EMD system. While open,
+  /// tweets route to the fallback system (see Globalizer::set_fallback_system)
+  /// instead of being attempted — or quarantine when none is configured.
+  CircuitBreakerOptions breaker;
+
+  /// Seed for the retry jitter RNG (deterministic backoff schedules).
+  uint64_t retry_seed = 0x42D;
+
+  /// Injectable time source; nullptr = Clock::Real(). Tests pass a FakeClock
+  /// so backoff and breaker cooldowns run instantly.
+  Clock* clock = nullptr;
+};
 
 struct GlobalizerOptions {
   /// Tweets per execution cycle (§III). One cycle per dataset by default in
@@ -75,6 +108,9 @@ struct GlobalizerOptions {
   /// (probability <= low_evidence_beta).
   int min_evidence_mentions = 4;
   float low_evidence_beta = 0.05f;
+
+  /// Deadline / retry / circuit-breaker configuration (see ResilienceOptions).
+  ResilienceOptions resilience;
 };
 
 /// Final framework output plus diagnostics.
@@ -98,6 +134,21 @@ struct GlobalizerOutput {
   /// True when a failing Entity Classifier degraded kFull output to
   /// mention-extraction for this cycle.
   bool classifier_degraded = false;
+
+  /// Transient-failure retries across all stages (local EMD, phrase
+  /// embedder, classifier, checkpoint IO).
+  int num_retries = 0;
+  /// Tweets processed by the configured fallback system because the primary
+  /// system's circuit breaker was open (or failed its half-open probe).
+  int num_fallback = 0;
+  /// Quarantined tweets persisted to the dead-letter queue for replay.
+  int num_dead_lettered = 0;
+  /// Circuit-breaker transitions to open / recoveries to closed.
+  int breaker_trips = 0;
+  int breaker_recoveries = 0;
+
+  /// One-line operator report: "resilience: retries=.. breaker_trips=.. ...".
+  std::string ResilienceSummary() const;
 };
 
 class Globalizer {
@@ -137,6 +188,17 @@ class Globalizer {
   /// RestoreCheckpoint.
   size_t processed_tweets() const { return tweets_.size(); }
 
+  /// Cheap stand-in local system used while the primary's circuit breaker
+  /// is open (and for the tweet that fails a half-open probe). Must outlive
+  /// the Globalizer. Without one, breaker-rejected tweets quarantine.
+  void set_fallback_system(LocalEmdSystem* fallback) { fallback_system_ = fallback; }
+
+  /// Persistent queue receiving every quarantined tweet for later replay.
+  /// Must outlive the Globalizer. Append failures are logged, never fatal.
+  void set_dead_letter_queue(DeadLetterQueue* dlq) { dead_letter_ = dlq; }
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+
   const CTrie& ctrie() const { return trie_; }
   const CandidateBase& candidate_base() const { return candidates_; }
   CandidateBase& mutable_candidate_base() { return candidates_; }
@@ -147,6 +209,15 @@ class Globalizer {
   /// raw token embedding (and bumps num_degraded_) when the phrase embedder
   /// fails.
   Mat LocalEmbedding(const TweetRecord& record, const TokenSpan& span);
+
+  /// Local EMD under the full escalation ladder: deadline + retry on the
+  /// primary while its breaker admits, fallback routing while it is open.
+  /// `via_fallback` reports which system produced the result.
+  Result<LocalEmdResult> LocalEmdWithResilience(const AnnotatedTweet& tweet,
+                                                bool* via_fallback);
+
+  /// Appends a quarantined tweet to the dead-letter queue, if one is set.
+  void DeadLetter(const AnnotatedTweet& tweet, const Status& reason);
 
   LocalEmdSystem* system_;
   const PhraseEmbedder* phrase_embedder_;
@@ -159,10 +230,25 @@ class Globalizer {
   CandidateBase candidates_;
   PhaseTimer timers_;
 
-  // Fault-tolerance state; persisted by SaveCheckpoint.
+  // Resilience runtime. clock_ must precede breaker_ (init order).
+  Clock* clock_;
+  mutable Rng retry_rng_;
+  CircuitBreaker breaker_;
+  LocalEmdSystem* fallback_system_ = nullptr;
+  DeadLetterQueue* dead_letter_ = nullptr;
+
+  // Fault-tolerance state; persisted by SaveCheckpoint. num_retries_ is
+  // mutable because the const SaveCheckpoint retries its IO.
   int num_quarantined_ = 0;
   int num_degraded_ = 0;
   bool classifier_degraded_ = false;
+  mutable int num_retries_ = 0;
+  int num_fallback_ = 0;
+  int num_dead_lettered_ = 0;
+  // Breaker counters restored from a checkpoint; the live breaker restarts
+  // closed, so totals are baseline + breaker_ counters.
+  int restored_breaker_trips_ = 0;
+  int restored_breaker_recoveries_ = 0;
 };
 
 }  // namespace emd

@@ -1,10 +1,13 @@
 // Globalizer checkpoint/restore — crash-safe persistence of the accumulated
 // global state (CTrie, TweetBase, CandidateBase, fault counters).
 //
-// Binary layout (little-endian), version 1:
+// Binary layout (little-endian), version 2:
 //   u32 magic 'EMDG'   u32 version
 //   u8  mode           u64 processed_tweets
 //   u32 num_quarantined  u32 num_degraded  u8 classifier_degraded
+//   [v2+] u32 num_retries  u32 num_fallback  u32 num_dead_lettered
+//         u32 breaker_trips  u32 breaker_recoveries   (lifetime totals; the
+//         live circuit breaker restarts closed after a restore)
 //   CTrie:     u32 count; per candidate id (ascending): string key, u32 len
 //   TweetBase: u64 count; per record: i64 tweet_id, i32 sentence_id,
 //              u8 quarantined, tokens[u32: string text, u64 begin, u64 end,
@@ -40,7 +43,9 @@ namespace emd {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x454D4447;  // 'EMDG'
-constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersion = 2;
+// Version 1 checkpoints (no resilience counters) are still readable.
+constexpr uint32_t kMinCheckpointVersion = 1;
 
 void AppendMat(std::string* out, const Mat& m) {
   binio::AppendI32(out, m.rows());
@@ -74,6 +79,15 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
   binio::AppendU32(&buf, static_cast<uint32_t>(num_quarantined_));
   binio::AppendU32(&buf, static_cast<uint32_t>(num_degraded_));
   binio::AppendU8(&buf, classifier_degraded_ ? 1 : 0);
+  // v2: resilience counters, as lifetime totals (restored baseline + the live
+  // breaker's counters).
+  binio::AppendU32(&buf, static_cast<uint32_t>(num_retries_));
+  binio::AppendU32(&buf, static_cast<uint32_t>(num_fallback_));
+  binio::AppendU32(&buf, static_cast<uint32_t>(num_dead_lettered_));
+  binio::AppendU32(&buf, static_cast<uint32_t>(restored_breaker_trips_ +
+                                               breaker_.trips()));
+  binio::AppendU32(&buf, static_cast<uint32_t>(restored_breaker_recoveries_ +
+                                               breaker_.recoveries()));
 
   // CTrie: keys in id order reproduce the trie (Insert assigns dense ids).
   binio::AppendU32(&buf, static_cast<uint32_t>(trie_.num_candidates()));
@@ -132,7 +146,13 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
   }
 
   binio::AppendU32(&buf, Crc32(buf.data(), buf.size()));
-  return WriteFileAtomic(path, buf);
+
+  RetryStats retry_stats;
+  const Status written = RunWithRetry(
+      options_.resilience.checkpoint_io, clock_, &retry_rng_,
+      [&] { return WriteFileAtomic(path, buf); }, &retry_stats);
+  num_retries_ += retry_stats.retries;
+  return written;
 }
 
 Status Globalizer::RestoreCheckpoint(const std::string& path) {
@@ -165,18 +185,28 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
   if (magic != kCheckpointMagic) {
     return Status::Corruption("checkpoint ", path, " bad magic");
   }
-  if (version != kCheckpointVersion) {
+  if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
     return Status::Corruption("checkpoint ", path, " version ", version,
-                              ", want ", kCheckpointVersion);
+                              ", want ", kMinCheckpointVersion, "..",
+                              kCheckpointVersion);
   }
   uint8_t mode = 0, classifier_degraded = 0;
   uint64_t cursor = 0;
   uint32_t num_quarantined = 0, num_degraded = 0;
+  uint32_t num_retries = 0, num_fallback = 0, num_dead_lettered = 0;
+  uint32_t breaker_trips = 0, breaker_recoveries = 0;
   EMD_RETURN_IF_ERROR(reader.ReadU8(&mode));
   EMD_RETURN_IF_ERROR(reader.ReadU64(&cursor));
   EMD_RETURN_IF_ERROR(reader.ReadU32(&num_quarantined));
   EMD_RETURN_IF_ERROR(reader.ReadU32(&num_degraded));
   EMD_RETURN_IF_ERROR(reader.ReadU8(&classifier_degraded));
+  if (version >= 2) {
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_retries));
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_fallback));
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_dead_lettered));
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&breaker_trips));
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&breaker_recoveries));
+  }
   if (mode != static_cast<uint8_t>(options_.mode)) {
     return Status::InvalidArgument("checkpoint ", path, " was saved in mode ",
                                    int(mode), " but this Globalizer runs mode ",
@@ -339,6 +369,11 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
   num_quarantined_ = static_cast<int>(num_quarantined);
   num_degraded_ = static_cast<int>(num_degraded);
   classifier_degraded_ = classifier_degraded != 0;
+  num_retries_ = static_cast<int>(num_retries);
+  num_fallback_ = static_cast<int>(num_fallback);
+  num_dead_lettered_ = static_cast<int>(num_dead_lettered);
+  restored_breaker_trips_ = static_cast<int>(breaker_trips);
+  restored_breaker_recoveries_ = static_cast<int>(breaker_recoveries);
   return Status::OK();
 }
 

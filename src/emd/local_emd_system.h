@@ -14,6 +14,7 @@
 
 #include "nn/matrix.h"
 #include "text/token.h"
+#include "util/deadline.h"
 #include "util/failpoint.h"
 #include "util/result.h"
 
@@ -54,8 +55,24 @@ class LocalEmdSystem {
   /// future Status-returning implementation) quarantines one tweet instead of
   /// aborting the stream.
   Result<LocalEmdResult> TryProcess(const std::vector<Token>& tokens) {
+    return TryProcess(tokens, Deadline::Infinite());
+  }
+
+  /// Deadline-aware variant: refuses to start once `deadline` has expired,
+  /// and discards a result that finished past it (a slow success still blew
+  /// the stage budget — the caller's retry/breaker decides what happens
+  /// next). An infinite deadline never interferes.
+  Result<LocalEmdResult> TryProcess(const std::vector<Token>& tokens,
+                                    const Deadline& deadline) {
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded(name(), ": deadline expired before local EMD");
+    }
     EMD_RETURN_IF_ERROR(EMD_FAILPOINT(process_failpoint()));
-    return Process(tokens);
+    LocalEmdResult result = Process(tokens);
+    if (deadline.Expired()) {
+      return Status::DeadlineExceeded(name(), ": local EMD overran its deadline");
+    }
+    return result;
   }
 };
 

@@ -1,0 +1,206 @@
+#include "stream/dead_letter.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/file_io.h"
+#include "util/logging.h"
+
+namespace emd {
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x454D444C;  // 'EMDL'
+constexpr uint8_t kPayloadVersion = 1;
+// magic + payload_len before the payload, CRC after it.
+constexpr size_t kRecordOverhead = 3 * sizeof(uint32_t);
+
+std::string EncodePayload(const AnnotatedTweet& tweet, const Status& reason) {
+  std::string payload;
+  binio::AppendU8(&payload, kPayloadVersion);
+  binio::AppendI64(&payload, tweet.tweet_id);
+  binio::AppendI32(&payload, tweet.sentence_id);
+  binio::AppendI32(&payload, tweet.topic_id);
+  binio::AppendString(&payload, tweet.text);
+  binio::AppendString(&payload, reason.ToString());
+  binio::AppendU32(&payload, static_cast<uint32_t>(tweet.tokens.size()));
+  for (const Token& tok : tweet.tokens) {
+    binio::AppendString(&payload, tok.text);
+    binio::AppendU64(&payload, tok.begin);
+    binio::AppendU64(&payload, tok.end);
+    binio::AppendU8(&payload, static_cast<uint8_t>(tok.kind));
+  }
+  binio::AppendU32(&payload, static_cast<uint32_t>(tweet.gold.size()));
+  for (const GoldSpan& g : tweet.gold) {
+    binio::AppendU64(&payload, g.span.begin);
+    binio::AppendU64(&payload, g.span.end);
+    binio::AppendI32(&payload, g.entity_id);
+  }
+  return payload;
+}
+
+Status DecodePayload(std::string_view payload, DeadLetterQueue::Entry* entry) {
+  binio::Reader reader(payload, "dead-letter record");
+  uint8_t version = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU8(&version));
+  if (version != kPayloadVersion) {
+    return Status::Corruption("dead-letter record version ", int(version),
+                              ", want ", int(kPayloadVersion));
+  }
+  AnnotatedTweet& tweet = entry->tweet;
+  int64_t tweet_id = 0;
+  int32_t sentence_id = 0, topic_id = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadI64(&tweet_id));
+  EMD_RETURN_IF_ERROR(reader.ReadI32(&sentence_id));
+  EMD_RETURN_IF_ERROR(reader.ReadI32(&topic_id));
+  tweet.tweet_id = tweet_id;
+  tweet.sentence_id = sentence_id;
+  tweet.topic_id = topic_id;
+  EMD_RETURN_IF_ERROR(reader.ReadString(&tweet.text));
+  EMD_RETURN_IF_ERROR(reader.ReadString(&entry->reason));
+  uint32_t num_tokens = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&num_tokens));
+  tweet.tokens.reserve(num_tokens);
+  for (uint32_t t = 0; t < num_tokens; ++t) {
+    Token tok;
+    uint64_t begin = 0, end = 0;
+    uint8_t kind = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadString(&tok.text));
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&begin));
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&end));
+    EMD_RETURN_IF_ERROR(reader.ReadU8(&kind));
+    if (kind > static_cast<uint8_t>(TokenKind::kPunct)) {
+      return Status::Corruption("dead-letter record bad token kind ", int(kind));
+    }
+    tok.begin = begin;
+    tok.end = end;
+    tok.kind = static_cast<TokenKind>(kind);
+    tweet.tokens.push_back(std::move(tok));
+  }
+  uint32_t num_gold = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&num_gold));
+  tweet.gold.reserve(num_gold);
+  for (uint32_t g = 0; g < num_gold; ++g) {
+    GoldSpan gold;
+    uint64_t begin = 0, end = 0;
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&begin));
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&end));
+    EMD_RETURN_IF_ERROR(reader.ReadI32(&gold.entity_id));
+    gold.span = TokenSpan{begin, end};
+    tweet.gold.push_back(gold);
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("dead-letter record has ", reader.remaining(),
+                              " trailing bytes");
+  }
+  return Status::OK();
+}
+
+uint32_t ReadU32At(std::string_view buf, size_t pos) {
+  uint32_t v = 0;
+  std::memcpy(&v, buf.data() + pos, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+DeadLetterQueue::DeadLetterQueue(std::string path, std::ofstream out)
+    : path_(std::move(path)), out_(std::move(out)) {}
+
+Result<DeadLetterQueue> DeadLetterQueue::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open dead-letter queue ", path);
+  }
+  return DeadLetterQueue(path, std::move(out));
+}
+
+Status DeadLetterQueue::Append(const AnnotatedTweet& tweet, const Status& reason) {
+  EMD_RETURN_IF_ERROR(EMD_FAILPOINT("stream.dead_letter.append"));
+  const std::string payload = EncodePayload(tweet, reason);
+  std::string record;
+  binio::AppendU32(&record, kRecordMagic);
+  binio::AppendU32(&record, static_cast<uint32_t>(payload.size()));
+  record += payload;
+  binio::AppendU32(&record, Crc32(payload.data(), payload.size()));
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out_.flush();
+  if (!out_.good()) {
+    return Status::IoError("dead-letter append to ", path_, " failed");
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+Result<DeadLetterQueue::ReadReport> DeadLetterQueue::ReadAll(
+    const std::string& path) {
+  ReadReport report;
+  if (!FileExists(path)) return report;  // never written = empty queue
+  std::string buf;
+  EMD_ASSIGN_OR_RETURN(buf, ReadFileToString(path));
+
+  size_t pos = 0;
+  bool in_bad_region = false;
+  auto mark_bad = [&] {
+    if (!in_bad_region) {
+      ++report.corrupt_regions_skipped;
+      in_bad_region = true;
+    }
+  };
+  while (pos + kRecordOverhead <= buf.size()) {
+    if (ReadU32At(buf, pos) != kRecordMagic) {
+      // Resync: scan byte-by-byte for the next record boundary.
+      mark_bad();
+      ++pos;
+      continue;
+    }
+    const uint32_t len = ReadU32At(buf, pos + sizeof(uint32_t));
+    const size_t payload_at = pos + 2 * sizeof(uint32_t);
+    if (payload_at + len + sizeof(uint32_t) > buf.size()) {
+      // Declared length runs past EOF: a torn tail or a corrupt length
+      // field. Either way nothing after this magic can be trusted whole;
+      // resync forward.
+      mark_bad();
+      ++pos;
+      continue;
+    }
+    const std::string_view payload(buf.data() + payload_at, len);
+    const uint32_t stored_crc = ReadU32At(buf, payload_at + len);
+    if (Crc32(payload.data(), payload.size()) != stored_crc) {
+      mark_bad();
+      ++pos;
+      continue;
+    }
+    Entry entry;
+    const Status st = DecodePayload(payload, &entry);
+    if (!st.ok()) {
+      // Checksum held but the payload does not parse (e.g. foreign version):
+      // skip the whole record, it is self-delimiting.
+      EMD_LOG(Warn) << "dead-letter queue " << path
+                    << ": skipping undecodable record at byte " << pos << ": "
+                    << st;
+      mark_bad();
+      pos = payload_at + len + sizeof(uint32_t);
+      in_bad_region = false;
+      continue;
+    }
+    report.entries.push_back(std::move(entry));
+    pos = payload_at + len + sizeof(uint32_t);
+    in_bad_region = false;
+  }
+  if (pos < buf.size()) mark_bad();  // trailing bytes too short for a record
+  if (report.corrupt_regions_skipped > 0) {
+    EMD_LOG(Warn) << "dead-letter queue " << path << ": skipped "
+                  << report.corrupt_regions_skipped
+                  << " corrupt region(s), recovered " << report.entries.size()
+                  << " record(s)";
+  }
+  return report;
+}
+
+Status DeadLetterQueue::Truncate(const std::string& path) {
+  return WriteStringToFile(path, "");
+}
+
+}  // namespace emd

@@ -1,0 +1,85 @@
+// DeadLetterQueue: persistent, replayable store of tweets the pipeline
+// could not process (retries exhausted, quarantined) — the last rung of the
+// failure-handling ladder, guaranteeing no tweet is ever silently lost.
+//
+// On-disk format: an append-only sequence of self-delimiting records,
+//
+//   u32 magic 'EMDL'   u32 payload_len   payload bytes   u32 CRC32(payload)
+//
+// with payload (little-endian, version byte first):
+//
+//   u8  version (=1)
+//   i64 tweet_id   i32 sentence_id   i32 topic_id
+//   string text    string reason ("<CodeName>: <message>" of the fatal Status)
+//   tokens[u32: string text, u64 begin, u64 end, u8 kind]
+//   gold  [u32: u64 span.begin, u64 span.end, i32 entity_id]
+//
+// (silver POS tags are not stored: they only train substrates, and replay
+// re-derives everything else from the tokens.)
+//
+// Each Append is flushed immediately, so a crash loses at most the record
+// being written. The reader CRC-checks every record and RESYNCS past corrupt
+// or torn bytes by scanning for the next magic, so one bad record never
+// poisons the rest of the queue; skipped regions are counted, never silent.
+
+#ifndef EMD_STREAM_DEAD_LETTER_H_
+#define EMD_STREAM_DEAD_LETTER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emd {
+
+class DeadLetterQueue {
+ public:
+  /// One replayable dead-lettered tweet plus why it died.
+  struct Entry {
+    AnnotatedTweet tweet;
+    std::string reason;
+  };
+
+  /// Everything readable from a queue file, plus how much was not.
+  struct ReadReport {
+    std::vector<Entry> entries;
+    /// Contiguous corrupt/torn regions skipped by resync (0 = clean file).
+    int corrupt_regions_skipped = 0;
+  };
+
+  /// Opens `path` for appending, creating it if missing.
+  static Result<DeadLetterQueue> Open(const std::string& path);
+
+  DeadLetterQueue(DeadLetterQueue&&) = default;
+  DeadLetterQueue& operator=(DeadLetterQueue&&) = default;
+
+  /// Appends one record and flushes. `reason` is the Status that killed the
+  /// tweet. Failpoint: "stream.dead_letter.append".
+  Status Append(const AnnotatedTweet& tweet, const Status& reason);
+
+  /// Records successfully appended through this handle.
+  size_t appended() const { return appended_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Decodes every intact record in `path`; corrupt regions are skipped with
+  /// a count. A missing file reads as an empty queue.
+  static Result<ReadReport> ReadAll(const std::string& path);
+
+  /// Empties the queue file (after a successful replay).
+  static Status Truncate(const std::string& path);
+
+ private:
+  DeadLetterQueue(std::string path, std::ofstream out);
+
+  std::string path_;
+  std::ofstream out_;
+  size_t appended_ = 0;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_DEAD_LETTER_H_

@@ -1,0 +1,52 @@
+#include "stream/ingest_queue.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace emd {
+
+IngestQueue::IngestQueue(IngestQueueOptions options) : options_(options) {
+  EMD_CHECK_GT(options_.capacity, 0u);
+}
+
+void IngestQueue::Admit(AnnotatedTweet tweet) {
+  queue_.push_back(std::move(tweet));
+  ++stats_.accepted;
+  stats_.high_watermark = std::max<uint64_t>(stats_.high_watermark, queue_.size());
+}
+
+Status IngestQueue::Push(AnnotatedTweet tweet) {
+  if (full()) {
+    ++stats_.rejected;
+    return Status::ResourceExhausted("ingest queue full (capacity ",
+                                     options_.capacity, ")");
+  }
+  Admit(std::move(tweet));
+  return Status::OK();
+}
+
+bool IngestQueue::PushOrShed(AnnotatedTweet tweet) {
+  if (full()) {
+    ++stats_.shed;
+    EMD_LOG(Warn) << "ingest queue overloaded: shed tweet "
+                  << tweet.tweet_id << " (" << stats_.shed << " shed so far)";
+    return false;
+  }
+  Admit(std::move(tweet));
+  return true;
+}
+
+std::vector<AnnotatedTweet> IngestQueue::PopBatch(size_t max_tweets) {
+  const size_t n = std::min(max_tweets, queue_.size());
+  std::vector<AnnotatedTweet> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  stats_.popped += n;
+  return batch;
+}
+
+}  // namespace emd

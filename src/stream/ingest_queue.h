@@ -1,0 +1,75 @@
+// IngestQueue: bounded FIFO buffer between the tweet source and the
+// Globalizer's execution cycles, making overload explicit instead of
+// unbounded.
+//
+// Two admission modes:
+//   * Push        — backpressure: a full queue returns ResourceExhausted and
+//                   the producer must hold the tweet and try again later;
+//   * PushOrShed  — overload shedding: a full queue rejects the NEWEST tweet
+//                   and counts it (stats().shed) — never a silent drop.
+//
+// The queue is single-threaded by design: the streaming deployment of §III
+// alternates pump-in / drain-batch phases on one thread, and the counters
+// make every admission decision auditable. (A concurrent MPSC variant is a
+// serving-stack concern layered on the same interface.)
+
+#ifndef EMD_STREAM_INGEST_QUEUE_H_
+#define EMD_STREAM_INGEST_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "stream/annotated_tweet.h"
+#include "util/status.h"
+
+namespace emd {
+
+struct IngestQueueOptions {
+  /// Maximum buffered tweets; pushes beyond it are refused or shed.
+  size_t capacity = 1024;
+};
+
+/// Admission/drain counters; every tweet offered to the queue is accounted
+/// for in exactly one of accepted / rejected / shed.
+struct IngestQueueStats {
+  uint64_t accepted = 0;   // admitted by Push or PushOrShed
+  uint64_t rejected = 0;   // refused by Push with backpressure
+  uint64_t shed = 0;       // dropped-with-count by PushOrShed
+  uint64_t popped = 0;     // handed to the pipeline
+  uint64_t high_watermark = 0;  // peak queue depth observed
+};
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(IngestQueueOptions options = {});
+
+  /// Backpressure admission: ResourceExhausted when full (the tweet is NOT
+  /// enqueued; the producer retries after draining).
+  Status Push(AnnotatedTweet tweet);
+
+  /// Overload-shedding admission: a full queue rejects `tweet` (newest-first
+  /// policy), bumps stats().shed, and returns false.
+  bool PushOrShed(AnnotatedTweet tweet);
+
+  /// Removes and returns up to `max_tweets` in FIFO order.
+  std::vector<AnnotatedTweet> PopBatch(size_t max_tweets);
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return queue_.size() >= options_.capacity; }
+  size_t capacity() const { return options_.capacity; }
+
+  const IngestQueueStats& stats() const { return stats_; }
+
+ private:
+  void Admit(AnnotatedTweet tweet);
+
+  IngestQueueOptions options_;
+  std::deque<AnnotatedTweet> queue_;
+  IngestQueueStats stats_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_INGEST_QUEUE_H_

@@ -1,5 +1,7 @@
 #include "text/tweet_tokenizer.h"
 
+#include <cstdint>
+
 #include "util/string_util.h"
 
 namespace emd {
@@ -79,6 +81,61 @@ size_t MatchWord(std::string_view s, size_t i) {
   return j - i;
 }
 
+bool IsContinuationByte(unsigned char c) { return (c & 0xC0) == 0x80; }
+
+// Length of the valid UTF-8 multi-byte sequence starting at `i`, or 0 when
+// s[i] does not start one (ASCII, stray continuation byte, overlong form,
+// surrogate, out-of-range scalar, or truncated sequence).
+size_t ValidUtf8SequenceLength(std::string_view s, size_t i) {
+  const unsigned char b0 = static_cast<unsigned char>(s[i]);
+  size_t len = 0;
+  uint32_t cp = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07;
+  } else {
+    return 0;
+  }
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    const unsigned char bk = static_cast<unsigned char>(s[i + k]);
+    if (!IsContinuationByte(bk)) return 0;
+    cp = (cp << 6) | (bk & 0x3F);
+  }
+  // Reject overlong encodings, UTF-16 surrogates, and > U+10FFFF.
+  if (len == 2 && cp < 0x80) return 0;
+  if (len == 3 && (cp < 0x800 || (cp >= 0xD800 && cp <= 0xDFFF))) return 0;
+  if (len == 4 && (cp < 0x10000 || cp > 0x10FFFF)) return 0;
+  return len;
+}
+
+// Matches a run of valid multi-byte UTF-8 sequences at `i` (one non-ASCII
+// word token); returns bytes consumed or 0.
+size_t MatchUtf8Run(std::string_view s, size_t i) {
+  size_t j = i;
+  while (j < s.size()) {
+    const size_t n = ValidUtf8SequenceLength(s, j);
+    if (n == 0) break;
+    j += n;
+  }
+  return j - i;
+}
+
+// Clamps a token length to `cap` bytes without splitting a UTF-8 sequence
+// (always keeps at least one byte so tokenization advances).
+size_t ClampTokenLength(std::string_view s, size_t i, size_t n, size_t cap) {
+  if (cap == 0 || n <= cap) return n;
+  size_t j = i + cap;
+  while (j > i + 1 && IsContinuationByte(static_cast<unsigned char>(s[j]))) --j;
+  return j - i;
+}
+
 TokenKind ClassifyWord(std::string_view text) {
   bool all_digit = true;
   for (char c : text) {
@@ -96,6 +153,16 @@ TokenKind ClassifyWord(std::string_view text) {
 TweetTokenizer::TweetTokenizer(TweetTokenizerOptions options) : options_(options) {}
 
 std::vector<Token> TweetTokenizer::Tokenize(std::string_view text) const {
+  // Cap the tweet itself, truncating at a UTF-8 boundary so the tail never
+  // ends mid-sequence.
+  if (options_.max_text_bytes > 0 && text.size() > options_.max_text_bytes) {
+    size_t cut = options_.max_text_bytes;
+    while (cut > 0 && IsContinuationByte(static_cast<unsigned char>(text[cut])))
+      --cut;
+    text = text.substr(0, cut);
+  }
+  const size_t cap = options_.max_token_bytes;
+
   std::vector<Token> tokens;
   size_t i = 0;
   while (i < text.size()) {
@@ -104,6 +171,7 @@ std::vector<Token> TweetTokenizer::Tokenize(std::string_view text) const {
       continue;
     }
     if (size_t n = MatchUrl(text, i); n > 0) {
+      n = ClampTokenLength(text, i, n, cap);
       tokens.push_back({std::string(text.substr(i, n)), i, i + n, TokenKind::kUrl});
       i += n;
       continue;
@@ -115,6 +183,7 @@ std::vector<Token> TweetTokenizer::Tokenize(std::string_view text) const {
       continue;
     }
     if (size_t n = MatchHandleOrTag(text, i); n > 0) {
+      n = ClampTokenLength(text, i, n, cap);
       TokenKind kind = text[i] == '@' ? TokenKind::kMention : TokenKind::kHashtag;
       if (kind == TokenKind::kHashtag && !options_.keep_hashtag_marker) {
         tokens.push_back({std::string(1, '#'), i, i + 1, TokenKind::kPunct});
@@ -127,9 +196,24 @@ std::vector<Token> TweetTokenizer::Tokenize(std::string_view text) const {
       continue;
     }
     if (size_t n = MatchWord(text, i); n > 0) {
+      n = ClampTokenLength(text, i, n, cap);
       std::string_view w = text.substr(i, n);
       tokens.push_back({std::string(w), i, i + n, ClassifyWord(w)});
       i += n;
+      continue;
+    }
+    if (static_cast<unsigned char>(text[i]) >= 0x80) {
+      // Non-ASCII: a run of valid multi-byte sequences becomes one word
+      // token; invalid bytes (stray continuations, overlong forms, truncated
+      // sequences) are dropped so they can never reach a token.
+      if (size_t n = MatchUtf8Run(text, i); n > 0) {
+        n = ClampTokenLength(text, i, n, cap);
+        tokens.push_back(
+            {std::string(text.substr(i, n)), i, i + n, TokenKind::kWord});
+        i += n;
+      } else {
+        ++i;
+      }
       continue;
     }
     // Anything else is a single punctuation token; collapse runs of the same

@@ -5,6 +5,11 @@
 // tokens; punctuation is split off words; apostrophes stay inside
 // contractions ("he's"). Offsets into the original string are preserved so
 // extracted mentions can be mapped back to the raw tweet.
+//
+// Robustness against hostile stream input: invalid UTF-8 bytes are dropped
+// (never copied into a token), valid multi-byte sequences are grouped into
+// word tokens, and both tweet and token byte lengths are capped (oversized
+// tweets truncate at a UTF-8 boundary; oversized tokens split).
 
 #ifndef EMD_TEXT_TWEET_TOKENIZER_H_
 #define EMD_TEXT_TWEET_TOKENIZER_H_
@@ -24,6 +29,11 @@ struct TweetTokenizerOptions {
   bool split_trailing_punct = true;
   /// Treat '#' as part of the hashtag token (true) or a separate punct (false).
   bool keep_hashtag_marker = true;
+  /// Tweets longer than this many bytes are truncated (at a UTF-8 boundary)
+  /// before tokenization; a feed glitch cannot blow up a cycle's memory.
+  size_t max_text_bytes = 65536;
+  /// Tokens longer than this many bytes are split (at a UTF-8 boundary).
+  size_t max_token_bytes = 256;
 };
 
 /// Stateless tokenizer; safe to share across threads.

@@ -1,0 +1,75 @@
+#include "util/circuit_breaker.h"
+
+#include "util/logging.h"
+
+namespace emd {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock* clock)
+    : options_(std::move(options)), clock_(clock) {
+  EMD_CHECK(clock != nullptr);
+  EMD_CHECK_GT(options_.failure_threshold, 0);
+  EMD_CHECK_GT(options_.half_open_successes, 0);
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowRequest() {
+  if (state_ == State::kOpen) {
+    if (clock_->NowNanos() - opened_at_ < options_.open_cooldown_nanos) {
+      ++rejected_;
+      return false;
+    }
+    state_ = State::kHalfOpen;
+    probe_successes_ = 0;
+    EMD_LOG(Warn) << "circuit " << options_.name
+                  << ": cooldown elapsed, half-open (probing)";
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == State::kHalfOpen) {
+    if (++probe_successes_ >= options_.half_open_successes) {
+      state_ = State::kClosed;
+      consecutive_failures_ = 0;
+      ++recoveries_;
+      EMD_LOG(Warn) << "circuit " << options_.name << ": recovered (closed)";
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    // The dependency is still sick: one failed probe re-trips immediately.
+    TripOpen();
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    TripOpen();
+  }
+}
+
+void CircuitBreaker::TripOpen() {
+  state_ = State::kOpen;
+  opened_at_ = clock_->NowNanos();
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  ++trips_;
+  EMD_LOG(Warn) << "circuit " << options_.name << ": tripped open (trip #"
+                << trips_ << ")";
+}
+
+}  // namespace emd

@@ -1,0 +1,84 @@
+// CircuitBreaker: per-dependency failure isolation (closed → open →
+// half-open), in the style of the pattern popularized by Hystrix.
+//
+// A breaker guards one downstream system (here: a local EMD system). While
+// closed, requests flow and consecutive failures are counted; at
+// `failure_threshold` the breaker trips open and AllowRequest() refuses
+// until `open_cooldown_nanos` elapse on the injected clock. It then moves
+// to half-open and admits probe requests: `half_open_successes` consecutive
+// successes close it again (a recovery), any probe failure re-trips it.
+//
+// The breaker is not thread-safe; the pipeline drives it from one thread.
+//
+//   if (breaker.AllowRequest()) {
+//     auto r = system->TryProcess(tokens);
+//     r.ok() ? breaker.RecordSuccess() : breaker.RecordFailure();
+//   } else {
+//     ... route to the fallback system ...
+//   }
+
+#ifndef EMD_UTIL_CIRCUIT_BREAKER_H_
+#define EMD_UTIL_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/deadline.h"
+
+namespace emd {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long an open breaker refuses before probing (half-open).
+  uint64_t open_cooldown_nanos = 250 * kMillisecond;
+  /// Consecutive half-open probe successes required to close.
+  int half_open_successes = 2;
+  /// Diagnostic name used in log lines ("emd.twitter_nlp").
+  std::string name = "breaker";
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker(CircuitBreakerOptions options, Clock* clock);
+
+  /// True when a request may be attempted. An open breaker whose cooldown
+  /// has elapsed transitions to half-open here and admits the probe.
+  bool AllowRequest();
+
+  /// Reports the outcome of an admitted request.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+
+  /// Transitions to open (from closed or half-open) since construction.
+  int trips() const { return trips_; }
+  /// Half-open → closed transitions since construction.
+  int recoveries() const { return recoveries_; }
+  /// Requests refused by AllowRequest while open.
+  int64_t rejected() const { return rejected_; }
+
+  const std::string& name() const { return options_.name; }
+
+  static const char* StateName(State state);
+
+ private:
+  void TripOpen();
+
+  CircuitBreakerOptions options_;
+  Clock* clock_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  uint64_t opened_at_ = 0;
+  int trips_ = 0;
+  int recoveries_ = 0;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_CIRCUIT_BREAKER_H_

@@ -1,0 +1,115 @@
+// Injectable monotonic clock and per-stage deadlines.
+//
+// Every time-dependent piece of the resilience runtime (retry backoff,
+// circuit-breaker cooldowns, stage deadlines) reads time through a Clock*
+// so tests drive it with a FakeClock instead of sleeping for real. The
+// production clock is a process-wide singleton (Clock::Real()) backed by
+// std::chrono::steady_clock.
+//
+//   Deadline d = Deadline::After(clock, 50 * kMillisecond);
+//   ... do work ...
+//   if (d.Expired()) return Status::DeadlineExceeded("stage overran");
+
+#ifndef EMD_UTIL_DEADLINE_H_
+#define EMD_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace emd {
+
+/// Duration helpers in nanoseconds, the unit of every Clock interface.
+constexpr uint64_t kMicrosecond = 1000ULL;
+constexpr uint64_t kMillisecond = 1000ULL * kMicrosecond;
+constexpr uint64_t kSecond = 1000ULL * kMillisecond;
+
+/// Monotonic time source. All resilience components take a Clock* so tests
+/// can substitute a FakeClock; pass Clock::Real() (or nullptr where a caller
+/// resolves it) in production.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual uint64_t NowNanos() = 0;
+
+  /// Blocks the caller for `nanos` (retry backoff). FakeClock advances
+  /// instead of sleeping, so tests run at full speed.
+  virtual void SleepFor(uint64_t nanos) = 0;
+
+  /// Process-wide steady_clock-backed instance.
+  static Clock* Real();
+};
+
+/// Deterministic clock for tests: time moves only via SleepFor/Advance.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
+
+  uint64_t NowNanos() override { return now_; }
+  void SleepFor(uint64_t nanos) override { now_ += nanos; }
+
+  /// Moves time forward without modelling a sleep.
+  void Advance(uint64_t nanos) { now_ += nanos; }
+
+  /// Total time slept/advanced since construction (minus start offset).
+  uint64_t now() const { return now_; }
+
+ private:
+  uint64_t now_;
+};
+
+/// A point in time by which a stage call must finish. Copyable and cheap;
+/// an infinite deadline (`Deadline::Infinite()`) never expires.
+class Deadline {
+ public:
+  /// Expires `budget_nanos` from now on `clock`; 0 means no deadline.
+  static Deadline After(Clock* clock, uint64_t budget_nanos) {
+    Deadline d;
+    d.clock_ = clock;
+    d.expires_at_ = budget_nanos == 0 ? 0 : clock->NowNanos() + budget_nanos;
+    return d;
+  }
+
+  /// A deadline that never expires (stage has no time budget).
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return expires_at_ == 0; }
+
+  bool Expired() const {
+    return !infinite() && clock_->NowNanos() >= expires_at_;
+  }
+
+  /// Nanoseconds left; 0 when expired, UINT64_MAX when infinite.
+  uint64_t RemainingNanos() const {
+    if (infinite()) return UINT64_MAX;
+    const uint64_t now = clock_->NowNanos();
+    return now >= expires_at_ ? 0 : expires_at_ - now;
+  }
+
+ private:
+  Clock* clock_ = nullptr;
+  uint64_t expires_at_ = 0;  // 0 = infinite
+};
+
+inline Clock* Clock::Real() {
+  class RealClock : public Clock {
+   public:
+    uint64_t NowNanos() override {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    }
+    void SleepFor(uint64_t nanos) override {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+    }
+  };
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_DEADLINE_H_

@@ -1,0 +1,36 @@
+#include "util/retry.h"
+
+#include <algorithm>
+
+namespace emd {
+
+bool IsTransient(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint64_t Backoff::NextDelayNanos() {
+  const uint64_t base = std::max<uint64_t>(policy_.initial_backoff_nanos, 1);
+  const uint64_t cap = std::max<uint64_t>(policy_.max_backoff_nanos, base);
+  uint64_t next;
+  if (prev_ == 0) {
+    next = base;
+  } else {
+    // Decorrelated jitter: uniform in [base, prev * 3], so consecutive
+    // delays spread out instead of synchronizing across retriers.
+    const uint64_t hi = std::min(cap, prev_ * 3);
+    next = hi <= base ? base : base + rng_->NextU64(hi - base + 1);
+  }
+  prev_ = std::min(next, cap);
+  return prev_;
+}
+
+}  // namespace emd

@@ -25,6 +25,9 @@ enum class StatusCode {
   kCorruption,
   kNotImplemented,
   kInternal,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode ("Ok", "InvalidArgument"...).
@@ -77,6 +80,18 @@ class Status {
   static Status Internal(Args&&... args) {
     return Status(StatusCode::kInternal, Concat(std::forward<Args>(args)...));
   }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Status(StatusCode::kDeadlineExceeded, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Status(StatusCode::kResourceExhausted, Concat(std::forward<Args>(args)...));
+  }
+  template <typename... Args>
+  static Status Unavailable(Args&&... args) {
+    return Status(StatusCode::kUnavailable, Concat(std::forward<Args>(args)...));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -94,6 +109,9 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;

@@ -57,6 +57,82 @@ TEST(TokenizerEdgeTest, NumberWithSeparators) {
   EXPECT_EQ(a[2].text, "1,234");
 }
 
+TEST(TokenizerEdgeTest, ValidUtf8GroupsIntoWordTokens) {
+  TweetTokenizer tok;
+  // "café" mixes ASCII and a two-byte sequence; "日本" is two three-byte
+  // sequences grouped into one word token.
+  auto a = tok.Tokenize("caf\xC3\xA9 \xE6\x97\xA5\xE6\x9C\xAC news");
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0].text, "caf");
+  EXPECT_EQ(a[1].text, "\xC3\xA9");
+  EXPECT_EQ(a[1].kind, TokenKind::kWord);
+  EXPECT_EQ(a[2].text, "\xE6\x97\xA5\xE6\x9C\xAC");
+  EXPECT_EQ(a[2].kind, TokenKind::kWord);
+  EXPECT_EQ(a[3].text, "news");
+}
+
+TEST(TokenizerEdgeTest, InvalidUtf8BytesNeverReachTokens) {
+  TweetTokenizer tok;
+  // Stray continuation byte, truncated 3-byte sequence, overlong encoding of
+  // '/', and a lone 0xFF — all dropped; surrounding ASCII survives.
+  auto a = tok.Tokenize("ok \x80 mid\xE6\x97 end \xC0\xAF\xFF done");
+  std::vector<std::string> texts;
+  for (const Token& t : a) texts.push_back(t.text);
+  EXPECT_EQ(texts, (std::vector<std::string>{"ok", "mid", "end", "done"}));
+  for (const Token& t : a) {
+    for (char c : t.text) {
+      EXPECT_LT(static_cast<unsigned char>(c), 0x80u)
+          << "invalid byte leaked into token \"" << t.text << "\"";
+    }
+  }
+}
+
+TEST(TokenizerEdgeTest, Utf16SurrogateEncodingIsRejected) {
+  TweetTokenizer tok;
+  // ED A0 80 encodes U+D800, a UTF-16 surrogate — invalid in UTF-8.
+  auto a = tok.Tokenize("a \xED\xA0\x80 b");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].text, "a");
+  EXPECT_EQ(a[1].text, "b");
+}
+
+TEST(TokenizerEdgeTest, OversizedTokenSplitsAtCap) {
+  TweetTokenizerOptions opt;
+  opt.max_token_bytes = 8;
+  TweetTokenizer tok(opt);
+  auto a = tok.Tokenize(std::string(20, 'a'));
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].text.size(), 8u);
+  EXPECT_EQ(a[1].text.size(), 8u);
+  EXPECT_EQ(a[2].text.size(), 4u);
+  // Offsets stay exact across the split.
+  EXPECT_EQ(a[1].begin, 8u);
+  EXPECT_EQ(a[2].end, 20u);
+}
+
+TEST(TokenizerEdgeTest, TokenCapRespectsUtf8Boundaries) {
+  TweetTokenizerOptions opt;
+  opt.max_token_bytes = 5;
+  TweetTokenizer tok(opt);
+  // Three two-byte sequences (6 bytes): the cap must cut at 4 bytes, never
+  // down the middle of a sequence.
+  auto a = tok.Tokenize("\xC3\xA9\xC3\xA9\xC3\xA9");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].text, "\xC3\xA9\xC3\xA9");
+  EXPECT_EQ(a[1].text, "\xC3\xA9");
+}
+
+TEST(TokenizerEdgeTest, OversizedTweetTruncatesAtUtf8Boundary) {
+  TweetTokenizerOptions opt;
+  opt.max_text_bytes = 10;
+  TweetTokenizer tok(opt);
+  // Byte 10 falls inside the final two-byte sequence; the whole sequence
+  // must be dropped rather than leaving a torn lead byte.
+  auto a = tok.Tokenize("abcdefgh \xC3\xA9xyz");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].text, "abcdefgh");
+}
+
 // --------------------------------------------------------------- dropout
 
 TEST(DropoutTest, EvalModeIsIdentity) {

@@ -32,7 +32,16 @@ class MockLocalSystem : public LocalEmdSystem {
       : rules_(std::move(rules)), dim_(dim) {}
 
   std::string name() const override { return "Mock"; }
-  const char* process_failpoint() const override { return "emd.mock.process"; }
+  const char* process_failpoint() const override {
+    return failpoint_name_.c_str();
+  }
+
+  /// Overrides the failpoint evaluated by TryProcess (default
+  /// "emd.mock.process") so a primary and a fallback mock in the same test
+  /// can fail independently.
+  void set_process_failpoint(std::string name) {
+    failpoint_name_ = std::move(name);
+  }
   bool is_deep() const override { return dim_ > 0; }
   int embedding_dim() const override { return dim_; }
 
@@ -83,6 +92,7 @@ class MockLocalSystem : public LocalEmdSystem {
   std::vector<Rule> rules_;
   int dim_;
   int calls_ = 0;
+  std::string failpoint_name_ = "emd.mock.process";
 };
 
 }  // namespace emd
