@@ -5,6 +5,7 @@
 #define EMD_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,86 @@ inline const std::vector<SystemKind>& AllSystems() {
       SystemKind::kBertweet};
   return kAll;
 }
+
+/// Collects benchmark results and writes them as machine-readable JSON
+/// ("emd-bench-v1" schema, consumed by scripts/check.sh --bench-smoke and CI
+/// trend tracking):
+///
+///   {
+///     "schema": "emd-bench-v1",
+///     "results": [
+///       {"name": ..., "iters": N, "ns_per_op": ...,
+///        "throughput": ..., "throughput_unit": ...},
+///       ...
+///     ]
+///   }
+///
+/// `throughput`/`throughput_unit` are optional per entry (0 / "" = absent).
+class BenchReporter {
+ public:
+  struct Entry {
+    std::string name;
+    long iters = 0;
+    double ns_per_op = 0;
+    double throughput = 0;
+    std::string throughput_unit;
+  };
+
+  void Add(const std::string& name, long iters, double ns_per_op,
+           double throughput = 0, const std::string& throughput_unit = "") {
+    entries_.push_back({name, iters, ns_per_op, throughput, throughput_unit});
+  }
+
+  /// Writes the collected entries to `path`. Returns false (and prints to
+  /// stderr) when the file cannot be written.
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"schema\": \"emd-bench-v1\",\n  \"results\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "    {\"name\": \"" << EscapeJson(e.name) << "\", \"iters\": "
+          << e.iters << ", \"ns_per_op\": " << e.ns_per_op;
+      if (!e.throughput_unit.empty()) {
+        out << ", \"throughput\": " << e.throughput << ", \"throughput_unit\": \""
+            << EscapeJson(e.throughput_unit) << "\"";
+      }
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  static std::string EscapeJson(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
 
 }  // namespace bench
 }  // namespace emd

@@ -2,13 +2,22 @@
 // insert/lookup, candidate mention extraction, incremental embedding pooling,
 // tokenization, and the syntactic embedder. These quantify the paper's "small
 // additional computational overhead" claim at the operation level.
+//
+// The custom main additionally hand-times the blocked GEMM against the
+// pre-optimization naive kernel at 256^3 and writes every result as
+// emd-bench-v1 JSON (BENCH_micro.json) via bench::BenchReporter.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
+#include "bench_common.h"
 #include "core/candidate_base.h"
 #include "core/ctrie.h"
 #include "core/mention_extractor.h"
 #include "core/syntactic_embedder.h"
+#include "nn/matrix.h"
 #include "stream/datasets.h"
 #include "stream/entity_catalog.h"
 #include "stream/tweet_generator.h"
@@ -123,7 +132,101 @@ void BM_SyntacticEmbedding(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntacticEmbedding);
 
+// The pre-blocking MatMul (naive i-k-j with the branchy zero-skip), kept as
+// the baseline the blocked kernel is measured against.
+Mat NaiveMatMul(const Mat& a, const Mat& b) {
+  Mat c(a.rows(), b.cols());
+  c.Zero();
+  const int n = b.cols();
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const float av = a(i, k);
+      if (av == 0.f) continue;
+      for (int j = 0; j < n; ++j) c(i, j) += av * b(k, j);
+    }
+  }
+  return c;
+}
+
+/// Collects every google-benchmark run into a BenchReporter while still
+/// printing the familiar console table.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(bench::BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double ns_per_op =
+          run.iterations > 0
+              ? run.real_accumulated_time * 1e9 / run.iterations
+              : 0;
+      double throughput = 0;
+      std::string unit;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        throughput = it->second;
+        unit = "items/sec";
+      }
+      out_->Add(run.benchmark_name(), static_cast<long>(run.iterations),
+                ns_per_op, throughput, unit);
+    }
+  }
+
+ private:
+  bench::BenchReporter* out_;
+};
+
+void RunGemmComparison(bench::BenchReporter* reporter, int n, int reps) {
+  Rng rng(5);
+  Mat a(n, n), b(n, n), blocked;
+  a.InitGaussian(&rng, 1.f);
+  b.InitGaussian(&rng, 1.f);
+  const double flops = 2.0 * n * n * n;
+
+  double naive_best = 1e100, blocked_best = 1e100;
+  Mat naive;
+  for (int r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    naive = NaiveMatMul(a, b);
+    naive_best = std::min(
+        naive_best,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    start = std::chrono::steady_clock::now();
+    MatMulInto(a, b, &blocked);
+    blocked_best = std::min(
+        blocked_best,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  // Same ascending-k accumulation order per output element => bit-identical.
+  if (std::memcmp(naive.data(), blocked.data(),
+                  sizeof(float) * n * n) != 0) {
+    std::fprintf(stderr, "FAIL: blocked GEMM diverges from naive at %d^3\n", n);
+    std::exit(1);
+  }
+  std::printf("gemm %d^3: naive %.2f GFLOP/s, blocked %.2f GFLOP/s (x%.2f)\n",
+              n, flops / naive_best / 1e9, flops / blocked_best / 1e9,
+              naive_best / blocked_best);
+  reporter->Add("gemm_naive/" + std::to_string(n), reps, naive_best * 1e9,
+                flops / naive_best / 1e9, "GFLOP/s");
+  reporter->Add("gemm_blocked/" + std::to_string(n), reps, blocked_best * 1e9,
+                flops / blocked_best / 1e9, "GFLOP/s");
+}
+
 }  // namespace
 }  // namespace emd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  emd::bench::BenchReporter reporter;
+  emd::CapturingReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  emd::RunGemmComparison(&reporter, 256, 3);
+  if (!reporter.WriteJson("BENCH_micro.json")) return 1;
+  std::printf("wrote BENCH_micro.json\n");
+  return 0;
+}

@@ -1,0 +1,249 @@
+// Pipeline throughput benchmark for the parallel batch execution engine:
+// measures end-to-end Globalizer tweets/sec at 1/2/4/8 worker threads over a
+// synthetic deep local system, plus raw GEMM GFLOP/s of the blocked kernels.
+// Emits machine-readable JSON (emd-bench-v1, see bench_common.h) to
+// BENCH_pipeline.json so CI can track throughput trends.
+//
+// The parallel/serial outputs are digest-checked against each other: a
+// thread count that changed a single mention span fails the run.
+//
+// Flags:
+//   --smoke      tiny sizes (few tweets, threads {1,2}) for CI smoke jobs
+//   --out PATH   JSON output path (default BENCH_pipeline.json)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/globalizer.h"
+#include "core/phrase_embedder.h"
+#include "emd/local_emd_system.h"
+#include "nn/matrix.h"
+#include "stream/entity_catalog.h"
+#include "stream/tweet_generator.h"
+#include "util/rng.h"
+
+namespace emd {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// A deterministic "deep" local system with a realistic compute profile:
+// hash-seeded token embeddings pushed through a fixed two-layer GEMM chain
+// (the shape of real encoder inference) and capitalized-run mention
+// detection. Inference reads only the frozen weights, so one instance is
+// safely shared across all worker lanes.
+class SyntheticDeepSystem : public LocalEmdSystem {
+ public:
+  explicit SyntheticDeepSystem(int dim) : dim_(dim) {
+    Rng rng(1234);
+    w1_ = Mat(dim_, dim_);
+    w1_.InitGaussian(&rng, 0.05f);
+    w2_ = Mat(dim_, dim_);
+    w2_.InitGaussian(&rng, 0.05f);
+  }
+
+  std::string name() const override { return "SyntheticDeep"; }
+  bool is_deep() const override { return true; }
+  bool concurrent_safe() const override { return true; }
+  int embedding_dim() const override { return dim_; }
+
+  LocalEmdResult Process(const std::vector<Token>& tokens) override {
+    LocalEmdResult result;
+    const int t_count = static_cast<int>(tokens.size());
+    Mat x(t_count, dim_);
+    for (int t = 0; t < t_count; ++t) {
+      uint64_t h = 1469598103934665603ULL;
+      for (char c : tokens[t].text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+      }
+      Rng rng(h);
+      for (int j = 0; j < dim_; ++j) x(t, j) = rng.NextFloat(-1.f, 1.f);
+    }
+    Mat h1 = MatMul(x, w1_);
+    result.token_embeddings = MatMul(h1, w2_);
+
+    // Capitalized runs become mentions (Fig. 1-style surface heuristic).
+    size_t t = 0;
+    while (t < tokens.size()) {
+      if (!tokens[t].text.empty() && tokens[t].text[0] >= 'A' &&
+          tokens[t].text[0] <= 'Z') {
+        size_t end = t + 1;
+        while (end < tokens.size() && !tokens[end].text.empty() &&
+               tokens[end].text[0] >= 'A' && tokens[end].text[0] <= 'Z') {
+          ++end;
+        }
+        result.mentions.push_back({t, end});
+        t = end;
+      } else {
+        ++t;
+      }
+    }
+    return result;
+  }
+
+ private:
+  int dim_;
+  Mat w1_, w2_;
+};
+
+std::vector<AnnotatedTweet> MakeWorkload(int n) {
+  EntityCatalogOptions copt;
+  copt.entities_per_topic = 400;
+  copt.seed = 99;
+  const EntityCatalog catalog = EntityCatalog::Build(copt);
+  TweetGeneratorOptions gopt;
+  gopt.seed = 7;
+  TweetGenerator gen(&catalog, Topic::kHealth, gopt);
+  std::vector<AnnotatedTweet> tweets;
+  tweets.reserve(n);
+  for (int i = 0; i < n; ++i) tweets.push_back(gen.Next());
+  return tweets;
+}
+
+/// Order-sensitive digest of the final mention spans — any divergence
+/// between thread counts changes it.
+uint64_t MentionDigest(const GlobalizerOutput& out) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& per_tweet : out.mentions) {
+    mix(per_tweet.size() + 0x9E37);
+    for (const TokenSpan& s : per_tweet) {
+      mix(s.begin);
+      mix(s.end + 0x100000);
+    }
+  }
+  return h;
+}
+
+struct PipelineRun {
+  double seconds = 0;
+  double tweets_per_sec = 0;
+  uint64_t digest = 0;
+  int candidates = 0;
+};
+
+PipelineRun RunPipeline(const std::vector<AnnotatedTweet>& tweets, int dim,
+                        int threads, size_t batch_size) {
+  SyntheticDeepSystem system(dim);
+  PhraseEmbedder pe(dim, dim / 2);
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  opt.num_threads = threads;
+  Globalizer g(&system, &pe, nullptr, opt);
+
+  const auto start = Clock::now();
+  for (size_t begin = 0; begin < tweets.size(); begin += batch_size) {
+    const size_t end = std::min(tweets.size(), begin + batch_size);
+    Status s = g.ProcessBatch(
+        std::span<const AnnotatedTweet>(tweets.data() + begin, end - begin));
+    if (!s.ok()) {
+      std::fprintf(stderr, "ProcessBatch failed: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  GlobalizerOutput out = g.Finalize().value();
+  PipelineRun run;
+  run.seconds = SecondsSince(start);
+  run.tweets_per_sec = tweets.size() / run.seconds;
+  run.digest = MentionDigest(out);
+  run.candidates = out.num_candidates;
+  return run;
+}
+
+/// GEMM GFLOP/s at n^3 via the blocked MatMul (best of `reps`).
+double GemmGflops(int n, int reps, double* ns_per_op) {
+  Rng rng(5);
+  Mat a(n, n), b(n, n), c;
+  a.InitGaussian(&rng, 1.f);
+  b.InitGaussian(&rng, 1.f);
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    MatMulInto(a, b, &c);
+    best = std::min(best, SecondsSince(start));
+  }
+  *ns_per_op = best * 1e9;
+  return 2.0 * n * n * n / best / 1e9;
+}
+
+}  // namespace
+}  // namespace emd
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_pipeline.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int num_tweets = smoke ? 200 : 2000;
+  const int dim = smoke ? 32 : 64;
+  const size_t batch_size = 64;
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("pipeline throughput: %d tweets, dim=%d, batch=%zu, %u cpus\n",
+              num_tweets, dim, batch_size, hw);
+
+  const auto tweets = emd::MakeWorkload(num_tweets);
+
+  emd::bench::BenchReporter reporter;
+  reporter.Add("hardware_concurrency", hw, 0);
+
+  double serial_tps = 0;
+  uint64_t serial_digest = 0;
+  for (int threads : thread_counts) {
+    const emd::PipelineRun run =
+        emd::RunPipeline(tweets, dim, threads, batch_size);
+    if (threads == 1) {
+      serial_tps = run.tweets_per_sec;
+      serial_digest = run.digest;
+    } else if (run.digest != serial_digest) {
+      std::fprintf(stderr,
+                   "FAIL: %d-thread output digest %016llx != serial %016llx\n",
+                   threads, static_cast<unsigned long long>(run.digest),
+                   static_cast<unsigned long long>(serial_digest));
+      return 1;
+    }
+    std::printf(
+        "  threads=%d  %8.1f tweets/sec  (%.3fs, %d candidates, x%.2f)\n",
+        threads, run.tweets_per_sec, run.seconds, run.candidates,
+        serial_tps > 0 ? run.tweets_per_sec / serial_tps : 1.0);
+    reporter.Add("pipeline/threads=" + std::to_string(threads), num_tweets,
+                 run.seconds * 1e9 / num_tweets, run.tweets_per_sec,
+                 "tweets/sec");
+  }
+
+  const int gemm_n = smoke ? 64 : 256;
+  double gemm_ns = 0;
+  const double gflops = emd::GemmGflops(gemm_n, smoke ? 2 : 5, &gemm_ns);
+  std::printf("  gemm %d^3: %.2f GFLOP/s\n", gemm_n, gflops);
+  reporter.Add("gemm_blocked/" + std::to_string(gemm_n), 1, gemm_ns, gflops,
+               "GFLOP/s");
+
+  if (!reporter.WriteJson(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -77,6 +77,8 @@ int Usage(const char* argv0) {
       "  --resume             resume from the checkpoint (requires "
       "--checkpoint)\n"
       "  --queue-capacity N   bounded ingest-queue capacity (default 1024)\n"
+      "  --threads N          worker threads per batch (default 1; output is\n"
+      "                       identical at any thread count)\n"
       "  --fail-local         inject a persistent primary local-EMD outage\n"
       "  --dlq PATH           dead-letter queue file\n"
       "  --replay-dlq         reprocess the dead-letter queue (requires "
@@ -96,9 +98,10 @@ bool ParseLong(const char* s, long* out) {
 
 /// Pipeline stages opt into 3 attempts with the default 1ms..100ms
 /// decorrelated-jitter backoff; the breaker and DLQ ride the defaults.
-GlobalizerOptions ResilientOptions(size_t batch_size) {
+GlobalizerOptions ResilientOptions(size_t batch_size, int num_threads = 1) {
   GlobalizerOptions options;
   options.batch_size = batch_size;
+  options.num_threads = num_threads;
   options.resilience.local_emd.max_attempts = 3;
   options.resilience.phrase_embedder.max_attempts = 3;
   options.resilience.classifier.max_attempts = 3;
@@ -171,6 +174,7 @@ int ReplayDeadLetters(FrameworkKit& kit, const std::string& dlq_path,
 
 int main(int argc, char** argv) {
   size_t batch_size = 100;
+  long num_threads = 1;
   long kill_after = -1;
   long queue_capacity = 1024;
   bool resume = false;
@@ -192,6 +196,12 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc || !ParseLong(argv[++i], &queue_capacity) ||
           queue_capacity <= 0) {
         std::fprintf(stderr, "--queue-capacity requires a count > 0\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &num_threads) ||
+          num_threads <= 0) {
+        std::fprintf(stderr, "--threads requires a count > 0\n");
         return Usage(argv[0]);
       }
     } else if (std::strcmp(arg, "--resume") == 0) {
@@ -250,12 +260,13 @@ int main(int argc, char** argv) {
   Dataset stream = BuildD1(kit.catalog(), kit.suite_options());
   const SystemKind kind = SystemKind::kTwitterNlp;
   std::printf("Incremental run of %s + EMD Globalizer on %s (%zu tweets, "
-              "batches of %zu, queue capacity %ld)\n\n",
+              "batches of %zu, queue capacity %ld, %ld thread(s))\n\n",
               SystemKindName(kind), stream.name.c_str(), stream.size(),
-              batch_size, queue_capacity);
+              batch_size, queue_capacity, num_threads);
 
-  Globalizer globalizer(kit.system(kind), kit.phrase_embedder(kind),
-                        kit.classifier(kind), ResilientOptions(batch_size));
+  Globalizer globalizer(
+      kit.system(kind), kit.phrase_embedder(kind), kit.classifier(kind),
+      ResilientOptions(batch_size, static_cast<int>(num_threads)));
   globalizer.set_fallback_system(kit.system(SystemKind::kNpChunker));
 
   // Arm the outage only after the kit has built (and possibly trained) every

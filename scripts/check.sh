@@ -3,7 +3,11 @@
 #
 #   scripts/check.sh               # plain Release build + full test suite
 #   scripts/check.sh --asan        # additionally an ASan+UBSan build + suite
+#   scripts/check.sh --tsan        # additionally a TSan build running the
+#                                  # parallel + resilience labels
 #   scripts/check.sh --resilience  # only the resilience-labelled tests
+#   scripts/check.sh --bench-smoke # additionally a tiny-size throughput bench
+#                                  # run with JSON schema validation
 #
 # Run from the repository root.
 set -euo pipefail
@@ -11,9 +15,13 @@ cd "$(dirname "$0")/.."
 
 CTEST_ARGS=()
 ASAN=0
+TSAN=0
+BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
+    --tsan) TSAN=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -31,6 +39,37 @@ run_suite build
 
 if [[ "$ASAN" == 1 ]]; then
   run_suite build-asan -DEMD_SANITIZE=ON
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  # The threaded code paths under ThreadSanitizer: the parallel batch engine
+  # plus the resilience ladder it must not perturb.
+  cmake -B build-tsan -S . -DEMD_TSAN=ON
+  cmake --build build-tsan -j "$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+    -L 'parallel|resilience'
+fi
+
+if [[ "$BENCH_SMOKE" == 1 ]]; then
+  # Tiny-size throughput run: exercises the parallel pipeline end to end
+  # (including its serial-vs-parallel digest cross-check) and validates that
+  # the emitted JSON parses against the emd-bench-v1 schema.
+  ./build/bench/bench_pipeline_throughput --smoke --out build/BENCH_smoke.json
+  if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+with open("build/BENCH_smoke.json") as f:
+    doc = json.load(f)
+assert doc["schema"] == "emd-bench-v1", doc
+for r in doc["results"]:
+    assert isinstance(r["name"], str) and r["name"]
+    assert isinstance(r["iters"], int)
+    assert isinstance(r["ns_per_op"], (int, float))
+print(f"bench smoke: {len(doc['results'])} results validated")
+EOF
+  else
+    echo "bench smoke: python3 unavailable, skipped JSON validation"
+  fi
 fi
 
 echo "check.sh: all suites passed"

@@ -46,6 +46,16 @@ Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embe
 }
 
 Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span) {
+  int retries = 0, degraded = 0;
+  Mat emb = LocalEmbeddingWith(record, span, &retry_rng_, &retries, &degraded);
+  num_retries_ += retries;
+  num_degraded_ += degraded;
+  return emb;
+}
+
+Mat Globalizer::LocalEmbeddingWith(const TweetRecord& record,
+                                   const TokenSpan& span, Rng* rng,
+                                   int* retries, int* degraded) const {
   if (!system_->is_deep()) {
     return SyntacticEmbedding(record.tokens, span);
   }
@@ -55,16 +65,16 @@ Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span)
   if (record.token_embeddings.empty()) return Mat();
   RetryStats retry_stats;
   Result<Mat> embedded = RunWithRetry(
-      options_.resilience.phrase_embedder, clock_, &retry_rng_,
+      options_.resilience.phrase_embedder, clock_, rng,
       [&] { return phrase_embedder_->TryEmbed(record.token_embeddings, span); },
       &retry_stats);
-  num_retries_ += retry_stats.retries;
+  *retries += retry_stats.retries;
   if (embedded.ok()) return std::move(embedded).value();
 
   // Degradation ladder, rung 1: the Entity Phrase Embedder is unavailable, so
   // pool the raw entity-aware token embeddings directly (Eq. 1 without the
   // dense projection of Eq. 2), fitted to the candidate embedding width.
-  ++num_degraded_;
+  ++*degraded;
   EMD_LOG(Warn) << "phrase embedder failed (" << embedded.status()
                 << "); degrading to mean-pooled token embeddings";
   const Mat& tok = record.token_embeddings;
@@ -85,34 +95,56 @@ Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span)
 
 Result<LocalEmdResult> Globalizer::LocalEmdWithResilience(
     const AnnotatedTweet& tweet, bool* via_fallback) {
+  int retries = 0;
+  Result<LocalEmdResult> result =
+      LocalEmdResilient(tweet, system_, &retry_rng_, &retries, via_fallback);
+  num_retries_ += retries;
+  return result;
+}
+
+Result<LocalEmdResult> Globalizer::LocalEmdResilient(const AnnotatedTweet& tweet,
+                                                     LocalEmdSystem* primary,
+                                                     Rng* rng, int* retries,
+                                                     bool* via_fallback) {
   const ResilienceOptions& res = options_.resilience;
   auto run = [&](LocalEmdSystem* system) {
     RetryStats retry_stats;
     auto result = RunWithRetry(
-        res.local_emd, clock_, &retry_rng_,
+        res.local_emd, clock_, rng,
         [&] {
           return system->TryProcess(
               tweet.tokens, Deadline::After(clock_, res.local_deadline_nanos));
         },
         &retry_stats);
-    num_retries_ += retry_stats.retries;
+    *retries += retry_stats.retries;
     return result;
   };
 
-  if (breaker_.AllowRequest()) {
-    Result<LocalEmdResult> primary = run(system_);
-    if (primary.ok()) {
-      breaker_.RecordSuccess();
-      return primary;
+  // The breaker is shared across worker threads but not itself thread-safe;
+  // every transition runs under breaker_mu_. The guarded sections only cover
+  // bookkeeping — never the local EMD call itself.
+  bool allowed;
+  {
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    allowed = breaker_.AllowRequest();
+  }
+  if (allowed) {
+    Result<LocalEmdResult> primary_result = run(primary);
+    bool route_to_fallback;
+    {
+      std::lock_guard<std::mutex> lock(breaker_mu_);
+      if (primary_result.ok()) {
+        breaker_.RecordSuccess();
+        return primary_result;
+      }
+      breaker_.RecordFailure();
+      // A failure that left (or put) the breaker open — the trip itself or a
+      // failed half-open probe — routes this tweet to the fallback; a failure
+      // below the trip threshold is an exhausted-retries quarantine.
+      route_to_fallback = breaker_.state() == CircuitBreaker::State::kOpen &&
+                          fallback_system_ != nullptr;
     }
-    breaker_.RecordFailure();
-    // A failure that left (or put) the breaker open — the trip itself or a
-    // failed half-open probe — routes this tweet to the fallback; a failure
-    // below the trip threshold is an exhausted-retries quarantine.
-    if (breaker_.state() != CircuitBreaker::State::kOpen ||
-        fallback_system_ == nullptr) {
-      return primary;
-    }
+    if (!route_to_fallback) return primary_result;
   } else if (fallback_system_ == nullptr) {
     return Status::Unavailable("circuit ", breaker_.name(),
                                " open and no fallback system configured");
@@ -134,46 +166,133 @@ void Globalizer::DeadLetter(const AnnotatedTweet& tweet, const Status& reason) {
   ++num_dead_lettered_;
 }
 
+Rng Globalizer::TaskRng(size_t tweet_index) const {
+  // Fixed per-tweet stream: jitter draws are independent of scheduling, so a
+  // parallel run's backoff schedule does not depend on thread interleaving.
+  return Rng(options_.resilience.retry_seed ^
+             (0x9E3779B97F4A7C15ULL * (tweet_index + 1)));
+}
+
+int Globalizer::LocalLanes() const {
+  const int n = options_.num_threads;
+  if (n <= 1) return 1;
+  // A shared fallback routed to by several lanes must itself be safe.
+  if (fallback_system_ != nullptr && !fallback_system_->concurrent_safe()) {
+    return 1;
+  }
+  if (!worker_systems_.empty()) {
+    return std::min<int>(n, static_cast<int>(worker_systems_.size()));
+  }
+  return system_->concurrent_safe() ? n : 1;
+}
+
+LocalEmdSystem* Globalizer::LaneSystem(int lane) {
+  if (worker_systems_.empty()) return system_;
+  return worker_systems_[static_cast<size_t>(lane)];
+}
+
+void Globalizer::EnsurePool() {
+  if (options_.num_threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+void Globalizer::RunLocalStage(const AnnotatedTweet& tweet,
+                               LocalEmdSystem* primary, size_t tweet_index,
+                               LocalStage* out) {
+  out->record.tweet_id = tweet.tweet_id;
+  out->record.sentence_id = tweet.sentence_id;
+  out->record.tokens = tweet.tokens;
+
+  Rng rng = TaskRng(tweet_index);
+  Result<LocalEmdResult> local = LocalEmdResilient(
+      tweet, primary, &rng, &out->retries, &out->via_fallback);
+  if (!local.ok()) {
+    out->status = local.status();
+    out->record.quarantined = true;
+    return;
+  }
+  out->record.token_embeddings = std::move(local->token_embeddings);
+  for (const TokenSpan& span : local->mentions) {
+    if (span.begin >= span.end || span.end > tweet.tokens.size()) continue;
+    RecordedMention m;
+    m.span = span;
+    m.locally_detected = true;
+    out->record.mentions.push_back(m);
+  }
+}
+
+void Globalizer::MergeLocalStage(const AnnotatedTweet& tweet, LocalStage stage) {
+  num_retries_ += stage.retries;
+  if (!stage.status.ok()) {
+    // Per-tweet isolation: quarantine this tweet (kept in the TweetBase so
+    // stream indexes stay dense, but it contributes no candidates) and
+    // persist it to the dead-letter queue for replay.
+    ++num_quarantined_;
+    EMD_LOG(Warn) << "quarantined tweet " << tweet.tweet_id << ": "
+                  << stage.status;
+    DeadLetter(tweet, stage.status);
+    tweets_.Add(std::move(stage.record));
+    return;
+  }
+  if (stage.via_fallback) ++num_fallback_;
+  tweets_.Add(std::move(stage.record));
+}
+
 Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.process_batch"));
   // A new execution cycle re-attempts components that degraded last cycle.
   classifier_degraded_ = false;
 
   const size_t first_index = tweets_.size();
+  EnsurePool();
 
-  // ---- Step 1: Local EMD, one sentence at a time. ----
+  // ---- Step 1: Local EMD. ----
+  //
+  // Serial path: one sentence at a time, exactly the pre-parallel pipeline
+  // (shared retry RNG, breaker escalation between consecutive tweets).
+  // Parallel path: tweets are staged across worker lanes with no shared
+  // mutation (the breaker is mutex-guarded), then folded into the TweetBase
+  // by a single-threaded merge in tweet order — the merge is the
+  // determinism barrier that keeps parallel output identical to serial.
+  const int lanes = LocalLanes();
+  last_local_lanes_ = (batch.size() > 1) ? lanes : 1;
   {
     ScopedPhase phase(&timers_, "local");
-    for (const AnnotatedTweet& tweet : batch) {
-      TweetRecord record;
-      record.tweet_id = tweet.tweet_id;
-      record.sentence_id = tweet.sentence_id;
-      record.tokens = tweet.tokens;
-
-      bool via_fallback = false;
-      Result<LocalEmdResult> local = LocalEmdWithResilience(tweet, &via_fallback);
-      if (!local.ok()) {
-        // Per-tweet isolation: quarantine this tweet (kept in the TweetBase
-        // so stream indexes stay dense, but it contributes no candidates)
-        // and persist it to the dead-letter queue for replay.
-        ++num_quarantined_;
-        record.quarantined = true;
-        EMD_LOG(Warn) << "quarantined tweet " << tweet.tweet_id << ": "
-                      << local.status();
-        DeadLetter(tweet, local.status());
-        tweets_.Add(std::move(record));
-        continue;
+    if (lanes > 1 && batch.size() > 1) {
+      std::vector<LocalStage> staged(batch.size());
+      pool_->ParallelFor(batch.size(), [&](int slot, size_t i) {
+        RunLocalStage(batch[i], LaneSystem(slot), first_index + i, &staged[i]);
+      });
+      for (size_t i = 0; i < batch.size(); ++i) {
+        MergeLocalStage(batch[i], std::move(staged[i]));
       }
-      if (via_fallback) ++num_fallback_;
-      record.token_embeddings = std::move(local->token_embeddings);
-      for (const TokenSpan& span : local->mentions) {
-        if (span.begin >= span.end || span.end > tweet.tokens.size()) continue;
-        RecordedMention m;
-        m.span = span;
-        m.locally_detected = true;
-        record.mentions.push_back(m);
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        LocalStage stage;
+        const AnnotatedTweet& tweet = batch[i];
+        stage.record.tweet_id = tweet.tweet_id;
+        stage.record.sentence_id = tweet.sentence_id;
+        stage.record.tokens = tweet.tokens;
+        Result<LocalEmdResult> local =
+            LocalEmdWithResilience(tweet, &stage.via_fallback);
+        if (!local.ok()) {
+          stage.status = local.status();
+          stage.record.quarantined = true;
+        } else {
+          stage.record.token_embeddings = std::move(local->token_embeddings);
+          for (const TokenSpan& span : local->mentions) {
+            if (span.begin >= span.end || span.end > tweet.tokens.size()) {
+              continue;
+            }
+            RecordedMention m;
+            m.span = span;
+            m.locally_detected = true;
+            stage.record.mentions.push_back(m);
+          }
+        }
+        MergeLocalStage(tweet, std::move(stage));
       }
-      tweets_.Add(std::move(record));
     }
   }
 
@@ -182,7 +301,8 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   // ---- Step 2+3: Global EMD over this batch. ----
   ScopedPhase phase(&timers_, "global");
 
-  // Register this batch's seed candidates in the CTrie.
+  // Register this batch's seed candidates in the CTrie (single writer: the
+  // trie and CandidateBase only ever grow on this thread).
   for (size_t i = first_index; i < tweets_.size(); ++i) {
     TweetRecord& record = tweets_.at(i);
     if (record.quarantined) continue;
@@ -193,12 +313,37 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
     }
   }
 
-  // Re-scan the batch for all mentions of all candidates discovered so far,
-  // collect local embeddings, and pool them into global embeddings.
-  for (size_t i = first_index; i < tweets_.size(); ++i) {
+  // Re-scan the batch for all mentions of all candidates discovered so far
+  // and collect local embeddings. The trie is frozen for the rest of the
+  // cycle, and the extractor + phrase embedder are const over shared state,
+  // so this stage fans out per tweet regardless of the local system.
+  const size_t count = tweets_.size() - first_index;
+  std::vector<ExtractStage> staged(count);
+  ParallelForOrSerial(
+      options_.num_threads > 1 ? pool_.get() : nullptr, count,
+      [&](int /*slot*/, size_t idx) {
+        const TweetRecord& record = tweets_.at(first_index + idx);
+        if (record.quarantined) return;
+        ExtractStage& stage = staged[idx];
+        stage.extracted = extractor_.Extract(record.tokens);
+        stage.embeddings.reserve(stage.extracted.size());
+        Rng rng = TaskRng(first_index + idx);
+        for (const ExtractedMention& em : stage.extracted) {
+          stage.embeddings.push_back(LocalEmbeddingWith(
+              record, em.span, &rng, &stage.retries, &stage.degraded));
+        }
+      });
+
+  // Deterministic merge barrier: pool extracted mentions into the
+  // CandidateBase in tweet order — incremental pooling order (and thus every
+  // global embedding, bit for bit) matches the serial pipeline.
+  for (size_t idx = 0; idx < count; ++idx) {
+    const size_t i = first_index + idx;
     TweetRecord& record = tweets_.at(i);
     if (record.quarantined) continue;
-    const std::vector<ExtractedMention> extracted = extractor_.Extract(record.tokens);
+    ExtractStage& stage = staged[idx];
+    num_retries_ += stage.retries;
+    num_degraded_ += stage.degraded;
 
     // The extractor's longest matches replace the raw local spans: partial
     // local extractions extend to the full registered candidate (§V-A).
@@ -206,7 +351,8 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
     for (const RecordedMention& m : record.mentions) local_spans.insert(m.span);
 
     std::vector<RecordedMention> merged;
-    for (const ExtractedMention& em : extracted) {
+    for (size_t e = 0; e < stage.extracted.size(); ++e) {
+      const ExtractedMention& em = stage.extracted[e];
       RecordedMention m;
       m.span = em.span;
       m.candidate_id = em.candidate_id;
@@ -219,8 +365,7 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
       ref.locally_detected = m.locally_detected;
       candidates_.GetOrCreate(em.candidate_id, trie_.CandidateKey(em.candidate_id),
                               trie_.CandidateLength(em.candidate_id));
-      candidates_.AddMention(em.candidate_id, ref,
-                             LocalEmbedding(record, em.span));
+      candidates_.AddMention(em.candidate_id, ref, stage.embeddings[e]);
     }
     record.mentions = std::move(merged);
   }

@@ -33,6 +33,7 @@
 #define EMD_CORE_GLOBALIZER_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -52,6 +53,7 @@
 #include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace emd {
@@ -108,6 +110,17 @@ struct GlobalizerOptions {
   /// (probability <= low_evidence_beta).
   int min_evidence_mentions = 4;
   float low_evidence_beta = 0.05f;
+
+  /// Worker threads of the parallel batch execution engine. 1 (the default)
+  /// keeps ProcessBatch fully serial. With N > 1 a fixed pool of N workers
+  /// fans the per-tweet stages (Local EMD, candidate mention extraction,
+  /// local embedding) across threads; all shared-state updates (CTrie
+  /// growth, CandidateBase pooling, TweetBase append) happen in a
+  /// single-threaded merge in tweet order, so parallel output is
+  /// bit-identical to serial. Local EMD only parallelizes when the system is
+  /// concurrent_safe() or per-worker replicas were provided via
+  /// set_worker_systems; the extraction/embedding stage parallelizes always.
+  int num_threads = 1;
 
   /// Deadline / retry / circuit-breaker configuration (see ResilienceOptions).
   ResilienceOptions resilience;
@@ -197,6 +210,21 @@ class Globalizer {
   /// Must outlive the Globalizer. Append failures are logged, never fatal.
   void set_dead_letter_queue(DeadLetterQueue* dlq) { dead_letter_ = dlq; }
 
+  /// Per-worker replicas of the local system, enabling parallel Local EMD for
+  /// systems that are not concurrent_safe() (the deep nets cache forward
+  /// activations). Replica i is driven exclusively by worker slot i; replicas
+  /// must be behaviourally identical to the primary (same weights) and
+  /// outlive the Globalizer. An empty vector (default) means: share `system`
+  /// across workers when it is concurrent_safe(), else run Local EMD
+  /// serially.
+  void set_worker_systems(std::vector<LocalEmdSystem*> replicas) {
+    worker_systems_ = std::move(replicas);
+  }
+
+  /// Worker lanes the last ProcessBatch used for its Local EMD stage
+  /// (diagnostic; 1 = serial).
+  int last_local_lanes() const { return last_local_lanes_; }
+
   const CircuitBreaker& breaker() const { return breaker_; }
 
   const CTrie& ctrie() const { return trie_; }
@@ -205,16 +233,64 @@ class Globalizer {
   const TweetBase& tweet_base() const { return tweets_; }
 
  private:
-  /// Local embedding of one extracted mention; falls back to a mean-pooled
-  /// raw token embedding (and bumps num_degraded_) when the phrase embedder
-  /// fails.
+  /// One tweet's local stage computed off the shared state: the record to
+  /// append plus the resilience outcome, merged serially in tweet order.
+  struct LocalStage {
+    TweetRecord record;
+    Status status = Status::OK();
+    bool via_fallback = false;
+    int retries = 0;
+  };
+
+  /// One tweet's re-scan stage: extracted mentions with their local
+  /// embeddings, pooled into the CandidateBase by the deterministic merge.
+  struct ExtractStage {
+    std::vector<ExtractedMention> extracted;
+    std::vector<Mat> embeddings;
+    int retries = 0;
+    int degraded = 0;
+  };
+
+  /// Thread-safe local embedding of one extracted mention; falls back to a
+  /// mean-pooled raw token embedding (recorded in *degraded) when the phrase
+  /// embedder fails. Reads only shared-immutable state.
+  Mat LocalEmbeddingWith(const TweetRecord& record, const TokenSpan& span,
+                         Rng* rng, int* retries, int* degraded) const;
+
+  /// Serial-path wrapper: draws jitter from retry_rng_ and accumulates the
+  /// member counters.
   Mat LocalEmbedding(const TweetRecord& record, const TokenSpan& span);
 
-  /// Local EMD under the full escalation ladder: deadline + retry on the
-  /// primary while its breaker admits, fallback routing while it is open.
-  /// `via_fallback` reports which system produced the result.
+  /// Local EMD under the full escalation ladder: deadline + retry on
+  /// `primary` while the (mutex-guarded) breaker admits, fallback routing
+  /// while it is open. Thread-safe given a caller-owned rng; `via_fallback`
+  /// reports which system produced the result.
+  Result<LocalEmdResult> LocalEmdResilient(const AnnotatedTweet& tweet,
+                                           LocalEmdSystem* primary, Rng* rng,
+                                           int* retries, bool* via_fallback);
+
+  /// Serial-path wrapper around LocalEmdResilient (shared rng + counters).
   Result<LocalEmdResult> LocalEmdWithResilience(const AnnotatedTweet& tweet,
                                                 bool* via_fallback);
+
+  /// Computes one tweet's local stage into `out` (no shared mutation except
+  /// the guarded breaker).
+  void RunLocalStage(const AnnotatedTweet& tweet, LocalEmdSystem* primary,
+                     size_t tweet_index, LocalStage* out);
+
+  /// Folds a computed local stage into TweetBase + counters, in tweet order.
+  void MergeLocalStage(const AnnotatedTweet& tweet, LocalStage stage);
+
+  /// Deterministic per-tweet RNG for retry jitter on worker threads.
+  Rng TaskRng(size_t tweet_index) const;
+
+  /// Worker lanes usable for the Local EMD stage (replicas / concurrent-safe
+  /// sharing), and the system slot `lane` should drive.
+  int LocalLanes() const;
+  LocalEmdSystem* LaneSystem(int lane);
+
+  /// Creates the worker pool on first parallel use.
+  void EnsurePool();
 
   /// Appends a quarantined tweet to the dead-letter queue, if one is set.
   void DeadLetter(const AnnotatedTweet& tweet, const Status& reason);
@@ -236,6 +312,14 @@ class Globalizer {
   CircuitBreaker breaker_;
   LocalEmdSystem* fallback_system_ = nullptr;
   DeadLetterQueue* dead_letter_ = nullptr;
+
+  // Parallel batch engine: lazily created fixed worker pool, optional
+  // per-worker system replicas, and the mutex that serializes breaker access
+  // from worker threads (the breaker itself is not thread-safe).
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<LocalEmdSystem*> worker_systems_;
+  std::mutex breaker_mu_;
+  int last_local_lanes_ = 1;
 
   // Fault-tolerance state; persisted by SaveCheckpoint. num_retries_ is
   // mutable because the const SaveCheckpoint retries its IO.

@@ -40,6 +40,14 @@ class LocalEmdSystem {
   /// True when the system produces token-level contextual embeddings.
   virtual bool is_deep() const = 0;
 
+  /// True when Process may run concurrently from multiple threads on this
+  /// one instance — i.e. Process keeps no mutable per-call state. The
+  /// parallel batch engine fans tweets across worker threads only for
+  /// concurrent-safe systems; others either run serially or get per-worker
+  /// replicas (Globalizer::set_worker_systems). The deep systems cache
+  /// forward activations for backprop and therefore stay false.
+  virtual bool concurrent_safe() const { return false; }
+
   /// Dimension of token embeddings (0 for non-deep systems).
   virtual int embedding_dim() const = 0;
 

@@ -35,6 +35,8 @@ class NpChunkerSystem : public LocalEmdSystem {
   std::string name() const override { return "NP Chunker"; }
   const char* process_failpoint() const override { return "emd.np_chunker.process"; }
   bool is_deep() const override { return false; }
+  /// Process only reads the tagger, options and lexicon — no per-call state.
+  bool concurrent_safe() const override { return true; }
   int embedding_dim() const override { return 0; }
   LocalEmdResult Process(const std::vector<Token>& tokens) override;
 

@@ -62,6 +62,9 @@ class TwitterNlpSystem : public LocalEmdSystem {
   std::string name() const override { return "TwitterNLP"; }
   const char* process_failpoint() const override { return "emd.twitter_nlp.process"; }
   bool is_deep() const override { return false; }
+  /// Inference only reads the trained feature table / CRF (ExtractFeatures
+  /// mutates feature_ids_ solely when add_features, i.e. during Train).
+  bool concurrent_safe() const override { return true; }
   int embedding_dim() const override { return 0; }
   LocalEmdResult Process(const std::vector<Token>& tokens) override;
 

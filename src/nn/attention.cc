@@ -19,29 +19,29 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads, Rng* 
 Mat MultiHeadSelfAttention::Forward(const Mat& x) {
   EMD_CHECK_EQ(x.cols(), d_model_);
   const int T = x.rows();
-  q_ = wq_.Forward(x);
-  k_ = wk_.Forward(x);
-  v_ = wv_.Forward(x);
-  attn_.assign(num_heads_, Mat());
-  Mat context(T, d_model_);
+  wq_.ForwardInto(x, &q_);
+  wk_.ForwardInto(x, &k_);
+  wv_.ForwardInto(x, &v_);
+  if (static_cast<int>(attn_.size()) != num_heads_) attn_.resize(num_heads_);
+  context_.Resize(T, d_model_);
   const float scale = 1.f / std::sqrt(static_cast<float>(d_head_));
   for (int h = 0; h < num_heads_; ++h) {
     const int off = h * d_head_;
-    Mat qh = SliceCols(q_, off, off + d_head_);
-    Mat kh = SliceCols(k_, off, off + d_head_);
-    Mat vh = SliceCols(v_, off, off + d_head_);
-    Mat scores = MatMulBT(qh, kh);  // [T, T]
-    scores.Scale(scale);
-    SoftmaxRowsInPlace(&scores);
-    attn_[h] = scores;
-    Mat ctx = MatMul(scores, vh);  // [T, d_head]
+    SliceColsInto(q_, off, off + d_head_, &qh_);
+    SliceColsInto(k_, off, off + d_head_, &kh_);
+    SliceColsInto(v_, off, off + d_head_, &vh_);
+    MatMulBTInto(qh_, kh_, &scores_);  // [T, T]
+    scores_.Scale(scale);
+    SoftmaxRowsInPlace(&scores_);
+    attn_[h] = scores_;  // backward cache (buffer reused across calls)
+    MatMulInto(scores_, vh_, &ctx_);  // [T, d_head]
     for (int r = 0; r < T; ++r) {
-      float* crow = context.row(r) + off;
-      const float* srow = ctx.row(r);
+      float* crow = context_.row(r) + off;
+      const float* srow = ctx_.row(r);
       for (int j = 0; j < d_head_; ++j) crow[j] = srow[j];
     }
   }
-  return wo_.Forward(context);
+  return wo_.Forward(context_);
 }
 
 Mat MultiHeadSelfAttention::Backward(const Mat& dy) {

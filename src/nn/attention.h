@@ -35,6 +35,9 @@ class MultiHeadSelfAttention {
   // Caches for backward.
   Mat q_, k_, v_;                 // [T, d_model] post-projection
   std::vector<Mat> attn_;         // per head: [T, T] softmax weights
+  // Forward scratch, reused across calls and heads so steady-state inference
+  // performs no per-call allocations.
+  Mat qh_, kh_, vh_, scores_, ctx_, context_;
 };
 
 }  // namespace emd

@@ -12,9 +12,16 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng, std::string name)
 }
 
 Mat Linear::Forward(const Mat& x) {
+  Mat y;
+  ForwardInto(x, &y);
+  return y;
+}
+
+void Linear::ForwardInto(const Mat& x, Mat* out) {
   EMD_CHECK_EQ(x.cols(), w_.rows());
   x_cache_ = x;
-  return AddRowBroadcast(MatMul(x, w_), b_);
+  MatMulInto(x, w_, out);
+  AddRowBroadcastInPlace(out, b_);
 }
 
 Mat Linear::Backward(const Mat& dy) {

@@ -24,6 +24,11 @@ class Linear {
   /// Forward pass; caches x for Backward.
   Mat Forward(const Mat& x);
 
+  /// Allocation-free forward: writes y into `out` (resized, prior contents
+  /// discarded, must not alias x). Hot inference paths call this with a
+  /// long-lived buffer so per-tweet forward passes stop churning the heap.
+  void ForwardInto(const Mat& x, Mat* out);
+
   /// Given dL/dy, accumulates dL/dW and dL/db; returns dL/dx.
   Mat Backward(const Mat& dy);
 

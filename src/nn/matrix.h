@@ -62,6 +62,18 @@ class Mat {
   void Fill(float v);
   void Zero() { Fill(0.f); }
 
+  /// Reshapes to [rows, cols], reusing the existing allocation when it is
+  /// large enough. Contents are unspecified afterwards — every *Into kernel
+  /// overwrites its output completely. Lets hot paths (per-tweet forward
+  /// passes) recycle output buffers instead of re-allocating each call.
+  void Resize(int rows, int cols) {
+    EMD_CHECK_GE(rows, 0);
+    EMD_CHECK_GE(cols, 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(size_t(rows) * cols);
+  }
+
   /// Xavier/Glorot uniform initialization.
   void InitXavier(Rng* rng);
   /// Gaussian initialization with the given standard deviation.
@@ -102,6 +114,13 @@ Mat MatMulBT(const Mat& a, const Mat& b);
 /// C = A^T * B. Shapes: [k,m] x [k,n] -> [m,n].
 Mat MatMulAT(const Mat& a, const Mat& b);
 
+/// Allocation-free variants: resize `c` and overwrite it with the product.
+/// `c` must not alias either input. The forward paths of Linear / attention
+/// route through these so repeated calls reuse one output buffer.
+void MatMulInto(const Mat& a, const Mat& b, Mat* c);
+void MatMulBTInto(const Mat& a, const Mat& b, Mat* c);
+void MatMulATInto(const Mat& a, const Mat& b, Mat* c);
+
 /// Transpose.
 Mat Transpose(const Mat& a);
 
@@ -110,6 +129,9 @@ Mat Hadamard(const Mat& a, const Mat& b);
 
 /// Adds a 1 x n bias row to every row of a [m,n] matrix.
 Mat AddRowBroadcast(const Mat& a, const Mat& bias_row);
+
+/// In-place variant: a += bias_row broadcast to every row.
+void AddRowBroadcastInPlace(Mat* a, const Mat& bias_row);
 
 /// Sums rows into a 1 x n matrix.
 Mat SumRows(const Mat& a);
@@ -122,6 +144,10 @@ Mat ConcatCols(const Mat& a, const Mat& b);
 
 /// Splits columns: returns a[:, begin:end].
 Mat SliceCols(const Mat& a, int begin, int end);
+
+/// Allocation-free slice: resizes `out` and copies a[:, begin:end] into it.
+/// `out` must not alias `a`.
+void SliceColsInto(const Mat& a, int begin, int end, Mat* out);
 
 /// Stacks 1-row matrices vertically.
 Mat StackRows(const std::vector<Mat>& rows);

@@ -1,0 +1,100 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace emd {
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int n = std::max(1, num_workers);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(int slot, size_t index)>& fn) {
+  if (n == 0) return;
+
+  // Per-call completion state, shared with the slot tasks. The caller blocks
+  // until every slot task finishes, so capturing `fn` by reference is safe.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    int remaining = 0;
+  };
+  auto state = std::make_shared<State>();
+
+  const int lanes = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(num_workers()), n));
+  state->remaining = lanes;
+  // Chunks small enough to balance skewed item costs, large enough that the
+  // atomic claim is amortized.
+  const size_t chunk =
+      std::max<size_t>(1, n / (static_cast<size_t>(lanes) * 8));
+
+  for (int slot = 0; slot < lanes; ++slot) {
+    Submit([state, slot, n, chunk, &fn] {
+      for (;;) {
+        const size_t begin = state->next.fetch_add(chunk);
+        if (begin >= n) break;
+        const size_t end = std::min(n, begin + chunk);
+        for (size_t i = begin; i < end; ++i) fn(slot, i);
+      }
+      {
+        std::lock_guard<std::mutex> lock(state->done_mu);
+        --state->remaining;
+      }
+      state->done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&] { return state->remaining == 0; });
+}
+
+void ParallelForOrSerial(
+    ThreadPool* pool, size_t n,
+    const std::function<void(int slot, size_t index)>& fn) {
+  if (pool == nullptr || n <= 1 || pool->num_workers() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+}  // namespace emd

@@ -1,0 +1,74 @@
+// ThreadPool — fixed worker pool with a task queue and a blocking ParallelFor,
+// the substrate of the parallel batch execution engine.
+//
+// Design points:
+//   * Fixed worker count chosen at construction; workers sleep on a condition
+//     variable when idle, so an idle pool costs nothing.
+//   * Graceful shutdown: the destructor drains every queued task before
+//     joining, so submitted work is never silently dropped.
+//   * ParallelFor hands each invocation a *slot* id in [0, num_workers());
+//     invocations sharing a slot never overlap in time, so a caller can bind
+//     one non-thread-safe resource (e.g. a model replica) per slot.
+//   * Work is distributed dynamically in small chunks, which load-balances
+//     skewed per-item costs (tweets vary wildly in length).
+//
+// ParallelFor must not be called from inside a pool task (the waiting caller
+// would occupy the slot the nested loop needs — classic pool deadlock).
+
+#ifndef EMD_UTIL_THREAD_POOL_H_
+#define EMD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emd {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (clamped to >= 1).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains all pending tasks, then stops and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task for asynchronous execution. Safe to call from multiple
+  /// threads; must not be called once destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(slot, index) for every index in [0, n) across the workers and
+  /// blocks until all calls have returned. At most num_workers() slots are
+  /// active; calls on the same slot are serialized. The calling thread only
+  /// waits — it does not execute items. Safe to call concurrently from
+  /// several threads (each call gets independent completion tracking).
+  void ParallelFor(size_t n,
+                   const std::function<void(int slot, size_t index)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Fan-out helper for "pool or inline" call sites: with a null pool (or n of
+/// 0/1 items on a single-worker pool) runs fn(0, i) serially in index order;
+/// otherwise delegates to pool->ParallelFor.
+void ParallelForOrSerial(ThreadPool* pool, size_t n,
+                         const std::function<void(int slot, size_t index)>& fn);
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_THREAD_POOL_H_

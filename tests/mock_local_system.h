@@ -6,6 +6,7 @@
 #ifndef EMD_TESTS_MOCK_LOCAL_SYSTEM_H_
 #define EMD_TESTS_MOCK_LOCAL_SYSTEM_H_
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -44,6 +45,9 @@ class MockLocalSystem : public LocalEmdSystem {
   }
   bool is_deep() const override { return dim_ > 0; }
   int embedding_dim() const override { return dim_; }
+  /// Process writes only its local result (calls_ is atomic), so the mock
+  /// can be shared across worker lanes in parallel-pipeline tests.
+  bool concurrent_safe() const override { return true; }
 
   LocalEmdResult Process(const std::vector<Token>& tokens) override {
     ++calls_;
@@ -91,7 +95,7 @@ class MockLocalSystem : public LocalEmdSystem {
  private:
   std::vector<Rule> rules_;
   int dim_;
-  int calls_ = 0;
+  std::atomic<int> calls_{0};
   std::string failpoint_name_ = "emd.mock.process";
 };
 

@@ -1,0 +1,330 @@
+// Parallel batch engine tests: ThreadPool correctness under contention, and
+// the determinism contract — a Globalizer running N worker threads must
+// produce bit-identical output (mentions, candidate records, pooled global
+// embeddings) to the serial pipeline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/globalizer.h"
+#include "core/phrase_embedder.h"
+#include "mock_local_system.h"
+#include "text/tweet_tokenizer.h"
+#include "util/thread_pool.h"
+
+namespace emd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](int /*slot*/, size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForSlotsStayInRange) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.ParallelFor(200, [&](int slot, size_t /*i*/) {
+    if (slot < 0 || slot >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, [&](int /*slot*/, size_t i) {
+    sum += static_cast<int>(i) + 1;
+  });
+  EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsANoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](int, size_t) { FAIL() << "must not be invoked"; });
+}
+
+TEST(ThreadPoolTest, SameSlotNeverOverlaps) {
+  // The slot contract lets callers bind non-thread-safe resources per slot:
+  // two invocations with the same slot must never run concurrently.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> in_flight(4);
+  std::atomic<bool> overlapped{false};
+  pool.ParallelFor(500, [&](int slot, size_t /*i*/) {
+    if (in_flight[slot].fetch_add(1) != 0) overlapped = true;
+    std::this_thread::yield();
+    in_flight[slot].fetch_sub(1);
+  });
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&] { ++ran; });
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForFromTwoThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  auto work = [&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(64, [&](int /*slot*/, size_t /*i*/) { ++total; });
+    }
+  };
+  std::thread a(work), b(work);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * 20 * 64);
+}
+
+TEST(ThreadPoolTest, StartStopStress) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(1 + round % 4);
+    std::atomic<int> n{0};
+    pool.ParallelFor(17, [&](int, size_t) { ++n; });
+    EXPECT_EQ(n.load(), 17);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForOrSerialWithoutPool) {
+  std::vector<int> hits(10, 0);
+  ParallelForOrSerial(nullptr, hits.size(), [&](int slot, size_t i) {
+    EXPECT_EQ(slot, 0);
+    ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel vs serial Globalizer determinism
+// ---------------------------------------------------------------------------
+
+AnnotatedTweet MakeTweet(long id, const std::string& text) {
+  AnnotatedTweet t;
+  t.tweet_id = id;
+  t.text = text;
+  t.tokens = TweetTokenizer().Tokenize(text);
+  return t;
+}
+
+// A stream exercising the Fig. 1 inconsistency plus multi-token candidates,
+// partial extractions, and repeated mentions across batches.
+Dataset ParallelStream() {
+  Dataset d;
+  d.name = "parallel";
+  d.streaming = true;
+  const std::vector<std::string> texts = {
+      "the Coronavirus keeps spreading fast",
+      "worried about coronavirus cases today",
+      "governor Andy Beshear spoke at noon",
+      "CORONAVIRUS cases rising again now",
+      "andy beshear closed the schools",
+      "people discuss Coronavirus and Andy Beshear",
+      "new variant of the coronavirus detected",
+      "Beshear thanked the nurses yesterday",
+      "the coronavirus response was slow",
+      "Andy Beshear and the Coronavirus briefing",
+      "lockdown easing as coronavirus recedes",
+      "press asked Andy Beshear about schools",
+  };
+  for (size_t i = 0; i < texts.size(); ++i) {
+    d.tweets.push_back(MakeTweet(static_cast<long>(i + 1), texts[i]));
+  }
+  return d;
+}
+
+std::vector<MockLocalSystem::Rule> StreamRules() {
+  return {
+      {.phrase = {"coronavirus"}, .require_capitalized = true},
+      {.phrase = {"andy", "beshear"}, .require_capitalized = true},
+      {.phrase = {"andy", "beshear"}, .partial = true},
+      {.phrase = {"beshear"}, .require_capitalized = true},
+  };
+}
+
+struct RunResult {
+  GlobalizerOutput output;
+  // Flattened candidate state for bit-exact comparison.
+  std::vector<std::string> keys;
+  std::vector<int> embedding_counts;
+  std::vector<std::vector<float>> embedding_sums;
+  int local_lanes = 0;
+};
+
+// Runs the stream through a Globalizer in fixed-size batches and captures
+// everything the parallel engine could possibly perturb.
+RunResult RunStream(Globalizer* g, const Dataset& d, size_t batch_size) {
+  int lanes = 1;
+  for (size_t begin = 0; begin < d.tweets.size(); begin += batch_size) {
+    const size_t end = std::min(d.tweets.size(), begin + batch_size);
+    EXPECT_TRUE(g->ProcessBatch(std::span<const AnnotatedTweet>(
+                                    d.tweets.data() + begin, end - begin))
+                    .ok());
+    lanes = std::max(lanes, g->last_local_lanes());
+  }
+  RunResult r;
+  r.output = g->Finalize().value();
+  r.local_lanes = lanes;
+  const CandidateBase& cb = g->candidate_base();
+  for (size_t id = 0; id < cb.size(); ++id) {
+    const CandidateRecord& rec = cb.at(static_cast<int>(id));
+    r.keys.push_back(rec.key);
+    r.embedding_counts.push_back(rec.embedding_count);
+    const Mat& sum = rec.embedding_sum;
+    r.embedding_sums.emplace_back(sum.data(), sum.data() + sum.rows() * sum.cols());
+  }
+  return r;
+}
+
+void ExpectIdentical(const RunResult& serial, const RunResult& parallel) {
+  ASSERT_EQ(serial.output.mentions.size(), parallel.output.mentions.size());
+  for (size_t i = 0; i < serial.output.mentions.size(); ++i) {
+    EXPECT_EQ(serial.output.mentions[i], parallel.output.mentions[i])
+        << "tweet " << i;
+  }
+  EXPECT_EQ(serial.output.num_candidates, parallel.output.num_candidates);
+  EXPECT_EQ(serial.output.num_quarantined, parallel.output.num_quarantined);
+  EXPECT_EQ(serial.output.num_degraded, parallel.output.num_degraded);
+  ASSERT_EQ(serial.keys, parallel.keys);
+  ASSERT_EQ(serial.embedding_counts, parallel.embedding_counts);
+  ASSERT_EQ(serial.embedding_sums.size(), parallel.embedding_sums.size());
+  for (size_t i = 0; i < serial.embedding_sums.size(); ++i) {
+    const auto& a = serial.embedding_sums[i];
+    const auto& b = parallel.embedding_sums[i];
+    ASSERT_EQ(a.size(), b.size()) << "candidate " << i;
+    // Bit-for-bit, not approximate: the parallel merge must replicate the
+    // serial pooling order exactly.
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+        << "candidate " << i << " (" << serial.keys[i] << ")";
+  }
+}
+
+TEST(ParallelPipelineTest, DeepSystemParallelMatchesSerialBitForBit) {
+  const Dataset d = ParallelStream();
+  constexpr int kDim = 16;
+
+  MockLocalSystem serial_mock(StreamRules(), kDim);
+  PhraseEmbedder pe(kDim, 8);
+  GlobalizerOptions serial_opt;
+  serial_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer serial(&serial_mock, &pe, nullptr, serial_opt);
+  RunResult sr = RunStream(&serial, d, /*batch_size=*/4);
+
+  MockLocalSystem parallel_mock(StreamRules(), kDim);
+  GlobalizerOptions parallel_opt = serial_opt;
+  parallel_opt.num_threads = 4;
+  Globalizer parallel(&parallel_mock, &pe, nullptr, parallel_opt);
+  RunResult pr = RunStream(&parallel, d, /*batch_size=*/4);
+
+  EXPECT_GT(pr.local_lanes, 1) << "parallel run should have fanned out";
+  ExpectIdentical(sr, pr);
+  EXPECT_EQ(serial_mock.calls(), parallel_mock.calls());
+}
+
+TEST(ParallelPipelineTest, ShallowSystemParallelMatchesSerial) {
+  const Dataset d = ParallelStream();
+
+  MockLocalSystem serial_mock(StreamRules());
+  GlobalizerOptions serial_opt;
+  serial_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer serial(&serial_mock, nullptr, nullptr, serial_opt);
+  RunResult sr = RunStream(&serial, d, /*batch_size=*/3);
+
+  MockLocalSystem parallel_mock(StreamRules());
+  GlobalizerOptions parallel_opt = serial_opt;
+  parallel_opt.num_threads = 8;
+  Globalizer parallel(&parallel_mock, nullptr, nullptr, parallel_opt);
+  RunResult pr = RunStream(&parallel, d, /*batch_size=*/3);
+
+  EXPECT_GT(pr.local_lanes, 1);
+  ExpectIdentical(sr, pr);
+}
+
+// A mock that declares itself unsafe for concurrent use, to exercise the
+// per-worker replica path and the serial-local fallback.
+class UnsafeMock : public MockLocalSystem {
+ public:
+  using MockLocalSystem::MockLocalSystem;
+  bool concurrent_safe() const override { return false; }
+};
+
+TEST(ParallelPipelineTest, UnsafeSystemWithoutReplicasRunsLocalSeriallyButMatches) {
+  const Dataset d = ParallelStream();
+
+  UnsafeMock serial_mock(StreamRules());
+  GlobalizerOptions serial_opt;
+  serial_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer serial(&serial_mock, nullptr, nullptr, serial_opt);
+  RunResult sr = RunStream(&serial, d, /*batch_size=*/4);
+
+  UnsafeMock parallel_mock(StreamRules());
+  GlobalizerOptions parallel_opt = serial_opt;
+  parallel_opt.num_threads = 4;
+  Globalizer parallel(&parallel_mock, nullptr, nullptr, parallel_opt);
+  RunResult pr = RunStream(&parallel, d, /*batch_size=*/4);
+
+  // Local EMD stays on one lane (no replicas, not concurrent-safe); the
+  // global re-scan stage still parallelizes. Output must not change.
+  EXPECT_EQ(pr.local_lanes, 1);
+  ExpectIdentical(sr, pr);
+}
+
+TEST(ParallelPipelineTest, UnsafeSystemWithWorkerReplicasFansOutAndMatches) {
+  const Dataset d = ParallelStream();
+  constexpr int kDim = 12;
+
+  UnsafeMock serial_mock(StreamRules(), kDim);
+  PhraseEmbedder pe(kDim, 6);
+  GlobalizerOptions serial_opt;
+  serial_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer serial(&serial_mock, &pe, nullptr, serial_opt);
+  RunResult sr = RunStream(&serial, d, /*batch_size=*/6);
+
+  // Behaviourally identical replicas (same rules, same dim), one per lane.
+  UnsafeMock primary(StreamRules(), kDim);
+  UnsafeMock r0(StreamRules(), kDim), r1(StreamRules(), kDim),
+      r2(StreamRules(), kDim);
+  GlobalizerOptions parallel_opt = serial_opt;
+  parallel_opt.num_threads = 3;
+  Globalizer parallel(&primary, &pe, nullptr, parallel_opt);
+  parallel.set_worker_systems({&r0, &r1, &r2});
+  RunResult pr = RunStream(&parallel, d, /*batch_size=*/6);
+
+  EXPECT_EQ(pr.local_lanes, 3);
+  ExpectIdentical(sr, pr);
+  // Replicas actually carried the load.
+  EXPECT_EQ(r0.calls() + r1.calls() + r2.calls(),
+            static_cast<int>(d.tweets.size()));
+  EXPECT_EQ(primary.calls(), 0);
+}
+
+TEST(ParallelPipelineTest, SingleTweetBatchesStaySerial) {
+  MockLocalSystem mock(StreamRules());
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  opt.num_threads = 4;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  const Dataset d = ParallelStream();
+  RunResult r = RunStream(&g, d, /*batch_size=*/1);
+  EXPECT_EQ(r.local_lanes, 1);
+  EXPECT_EQ(r.output.num_candidates > 0, true);
+}
+
+}  // namespace
+}  // namespace emd
