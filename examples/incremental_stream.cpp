@@ -23,6 +23,10 @@
 //     --dlq PATH           dead-letter queue file for unprocessable tweets
 //     --replay-dlq         reprocess the dead-letter queue through a fresh
 //                          pipeline, then truncate it (requires --dlq)
+//     --metrics-out PATH   write metrics snapshots to PATH.prom (Prometheus
+//                          text exposition) and PATH.json (emd-bench-v1)
+//     --metrics-interval N snapshot every N batches (default 1; requires
+//                          --metrics-out)
 //
 // Kill-and-resume demo:
 //   ./build/examples/incremental_stream 100 --checkpoint s.ckpt --kill-after 3
@@ -44,11 +48,14 @@
 #include "core/framework_kit.h"
 #include "core/globalizer.h"
 #include "eval/metrics.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
 #include "stream/datasets.h"
 #include "stream/dead_letter.h"
 #include "stream/ingest_queue.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
+#include "util/file_io.h"
 
 using namespace emd;
 
@@ -82,9 +89,28 @@ int Usage(const char* argv0) {
       "  --fail-local         inject a persistent primary local-EMD outage\n"
       "  --dlq PATH           dead-letter queue file\n"
       "  --replay-dlq         reprocess the dead-letter queue (requires "
-      "--dlq)\n",
+      "--dlq)\n"
+      "  --metrics-out PATH   write snapshots to PATH.prom and PATH.json\n"
+      "  --metrics-interval N snapshot every N batches (default 1, requires "
+      "--metrics-out)\n",
       argv0);
   return 2;
+}
+
+/// Atomically (re)writes the two snapshot files scrapers watch: PATH.prom in
+/// Prometheus text exposition format and PATH.json in the emd-bench-v1 schema.
+bool DumpMetrics(const std::string& base_path) {
+  const obs::MetricsSnapshot snap = obs::Metrics().Snapshot();
+  const Status prom =
+      WriteFileAtomic(base_path + ".prom", obs::ToPrometheusText(snap));
+  const Status json =
+      WriteFileAtomic(base_path + ".json", obs::ToBenchJson(snap));
+  if (!prom.ok() || !json.ok()) {
+    std::fprintf(stderr, "cannot write metrics snapshot: %s\n",
+                 (prom.ok() ? json : prom).ToString().c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Strict numeric parse: the whole argument must be a base-10 integer.
@@ -182,6 +208,8 @@ int main(int argc, char** argv) {
   bool replay_dlq = false;
   std::string checkpoint_path;
   std::string dlq_path;
+  std::string metrics_out;
+  long metrics_interval = 1;
   bool saw_batch_size = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -222,6 +250,18 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       dlq_path = argv[++i];
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out requires a path\n");
+        return Usage(argv[0]);
+      }
+      metrics_out = argv[++i];
+    } else if (std::strcmp(arg, "--metrics-interval") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &metrics_interval) ||
+          metrics_interval <= 0) {
+        std::fprintf(stderr, "--metrics-interval requires a batch count > 0\n");
+        return Usage(argv[0]);
+      }
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage(argv[0]);
@@ -248,6 +288,10 @@ int main(int argc, char** argv) {
   }
   if (replay_dlq && fail_local) {
     std::fprintf(stderr, "--replay-dlq cannot be combined with --fail-local\n");
+    return Usage(argv[0]);
+  }
+  if (metrics_out.empty() && metrics_interval != 1) {
+    std::fprintf(stderr, "--metrics-interval requires --metrics-out PATH\n");
     return Usage(argv[0]);
   }
 
@@ -352,6 +396,12 @@ int main(int argc, char** argv) {
     std::printf("%8d %12zu %10d %8.3f %8.3f %8.3f\n", batch_no, seen,
                 out.num_candidates, s.precision, s.recall, s.f1);
 
+    // Periodic snapshot for scrapers; the exported files are whole-file
+    // atomic, so a concurrent reader never sees a torn exposition.
+    if (!metrics_out.empty() && batch_no % metrics_interval == 0) {
+      if (!DumpMetrics(metrics_out)) return 1;
+    }
+
     if (kill_after >= 0 && batch_no >= kill_after) {
       std::printf("\nSimulated crash after batch %d; checkpoint saved to %s.\n"
                   "Re-run with --resume to continue the stream.\n",
@@ -364,7 +414,7 @@ int main(int argc, char** argv) {
   out = globalizer.Finalize().value();
   const IngestQueueStats& qs = queue.stats();
   std::printf("\nFinal mention digest: %08x\n", MentionDigest(out));
-  std::printf("%s\n", out.ResilienceSummary().c_str());
+  std::printf("%s\n", out.summary.c_str());
   std::printf("queue: accepted=%llu rejected=%llu shed=%llu popped=%llu "
               "high_watermark=%llu\n",
               static_cast<unsigned long long>(qs.accepted),
@@ -376,6 +426,12 @@ int main(int argc, char** argv) {
     std::printf("%d tweet(s) dead-lettered to %s; re-run with --replay-dlq "
                 "--dlq %s to reprocess them.\n",
                 out.num_dead_lettered, dlq_path.c_str(), dlq_path.c_str());
+  }
+  // Final snapshot covers the last Finalize (classifier span) too.
+  if (!metrics_out.empty()) {
+    if (!DumpMetrics(metrics_out)) return 1;
+    std::printf("metrics snapshots written to %s.prom and %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
   }
   std::printf("Entity verdicts sharpen as mention evidence pools across "
               "batches — the incremental computation of SIII.\n");

@@ -4,10 +4,12 @@
 #   scripts/check.sh               # plain Release build + full test suite
 #   scripts/check.sh --asan        # additionally an ASan+UBSan build + suite
 #   scripts/check.sh --tsan        # additionally a TSan build running the
-#                                  # parallel + resilience labels
+#                                  # parallel + resilience + obs labels
 #   scripts/check.sh --resilience  # only the resilience-labelled tests
 #   scripts/check.sh --bench-smoke # additionally a tiny-size throughput bench
 #                                  # run with JSON schema validation
+#   scripts/check.sh --docs        # additionally the docs lint (broken
+#                                  # relative links, undocumented metrics)
 #
 # Run from the repository root.
 set -euo pipefail
@@ -17,11 +19,13 @@ CTEST_ARGS=()
 ASAN=0
 TSAN=0
 BENCH_SMOKE=0
+DOCS=0
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
     --tsan) TSAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --docs) DOCS=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -42,12 +46,13 @@ if [[ "$ASAN" == 1 ]]; then
 fi
 
 if [[ "$TSAN" == 1 ]]; then
-  # The threaded code paths under ThreadSanitizer: the parallel batch engine
-  # plus the resilience ladder it must not perturb.
+  # The threaded code paths under ThreadSanitizer: the parallel batch engine,
+  # the resilience ladder it must not perturb, and the metrics registry that
+  # records from every worker thread.
   cmake -B build-tsan -S . -DEMD_TSAN=ON
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -L 'parallel|resilience'
+    -L 'parallel|resilience|obs'
 fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then
@@ -69,6 +74,15 @@ print(f"bench smoke: {len(doc['results'])} results validated")
 EOF
   else
     echo "bench smoke: python3 unavailable, skipped JSON validation"
+  fi
+fi
+
+if [[ "$DOCS" == 1 ]]; then
+  if command -v python3 >/dev/null; then
+    python3 scripts/docs_lint.py
+  else
+    echo "docs lint: python3 unavailable, skipped" >&2
+    exit 1
   fi
 fi
 

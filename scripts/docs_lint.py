@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Documentation lint, run by scripts/check.sh --docs and the CI docs job.
+
+Two checks, both hard failures:
+
+1. Relative markdown links: every `[text](path)` in a tracked *.md file whose
+   target is not an absolute URL must resolve to an existing file or
+   directory (anchors are stripped before resolving).
+
+2. Metrics reference coverage: every metric name registered in the C++ code
+   (GetCounter / GetGauge / GetHistogram string literals) and every trace-span
+   stage (StageLatency / EMD_TRACE_SPAN) must be documented by name in
+   docs/OBSERVABILITY.md. An exported-but-undocumented metric is a docs bug.
+
+Stdlib only; exits non-zero with one line per violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+OBSERVABILITY_DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+# Directories never scanned (generated output, VCS internals).
+SKIP_DIRS = {".git", ".github", "third_party"}
+SKIP_PREFIXES = ("build",)
+
+# Registration call sites whose first string literal is a metric name.
+METRIC_CALL_RE = re.compile(
+    r'\b(?:GetCounter|GetGauge|GetHistogram)\s*\(\s*"([^"]+)"')
+# Stage names feeding the emd_stage_latency_seconds family.
+STAGE_CALL_RE = re.compile(r'\b(?:StageLatency|EMD_TRACE_SPAN)\s*\(\s*"([^"]+)"')
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# Code scanned for metric registrations. tests/ is deliberately excluded:
+# tests register throwaway names in local registries, not exported metrics.
+CODE_DIRS = ("src", "examples", "bench")
+
+
+def skipped(path: Path) -> bool:
+    rel = path.relative_to(ROOT)
+    top = rel.parts[0]
+    return top in SKIP_DIRS or top.startswith(SKIP_PREFIXES)
+
+
+def check_markdown_links() -> list[str]:
+    errors = []
+    for md in sorted(ROOT.rglob("*.md")):
+        if skipped(md):
+            continue
+        text = md.read_text(encoding="utf-8")
+        for match in MD_LINK_RE.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(ROOT)}: broken relative link "
+                    f"({target})")
+    return errors
+
+
+def check_metric_docs() -> list[str]:
+    if not OBSERVABILITY_DOC.exists():
+        return [f"missing {OBSERVABILITY_DOC.relative_to(ROOT)}"]
+    doc = OBSERVABILITY_DOC.read_text(encoding="utf-8")
+
+    registered: dict[str, str] = {}  # name -> first file that registers it
+    for code_dir in CODE_DIRS:
+        for source in sorted((ROOT / code_dir).rglob("*")):
+            if source.suffix not in {".cc", ".cpp", ".h"}:
+                continue
+            text = source.read_text(encoding="utf-8")
+            rel = str(source.relative_to(ROOT))
+            for match in METRIC_CALL_RE.finditer(text):
+                registered.setdefault(match.group(1), rel)
+            for match in STAGE_CALL_RE.finditer(text):
+                registered.setdefault(match.group(1), rel)
+
+    errors = []
+    for name, where in sorted(registered.items()):
+        if name not in doc:
+            errors.append(
+                f"docs/OBSERVABILITY.md: metric or stage `{name}` "
+                f"(registered in {where}) is not documented")
+    if not registered:
+        errors.append("no registered metrics found — lint regexes are stale")
+    return errors
+
+
+def main() -> int:
+    errors = check_markdown_links() + check_metric_docs()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"docs lint: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("docs lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,11 +5,52 @@
 #include <sstream>
 
 #include "core/syntactic_embedder.h"
+#include "obs/trace.h"
 #include "stream/batching.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace emd {
+namespace {
+
+/// Pipeline-wide counters, registered once and shared by every Globalizer in
+/// the process (lifetime totals, like the rest of the registry). The hot path
+/// touches only the cached pointers.
+struct PipelineCounters {
+  obs::Counter* tweets = obs::Metrics().GetCounter(
+      "emd_tweets_processed_total",
+      "Tweets run through an execution cycle (including quarantined)");
+  obs::Counter* batches = obs::Metrics().GetCounter(
+      "emd_batches_total", "Execution cycles (ProcessBatch calls) completed");
+  obs::Counter* mentions = obs::Metrics().GetCounter(
+      "emd_mentions_extracted_total",
+      "Candidate mentions recovered by the CTrie re-scan");
+  obs::Counter* quarantined = obs::Metrics().GetCounter(
+      "emd_tweets_quarantined_total",
+      "Tweets isolated after their Local EMD failed");
+  obs::Counter* degraded = obs::Metrics().GetCounter(
+      "emd_embeddings_degraded_total",
+      "Mention embeddings produced by the mean-pool fallback");
+  obs::Counter* retries = obs::Metrics().GetCounter(
+      "emd_retries_total",
+      "Transient-failure retries across all pipeline stages");
+  obs::Counter* fallback = obs::Metrics().GetCounter(
+      "emd_fallback_tweets_total",
+      "Tweets processed by the fallback system while the breaker was open");
+  obs::Counter* dead_lettered = obs::Metrics().GetCounter(
+      "emd_dead_lettered_total",
+      "Quarantined tweets persisted to the dead-letter queue");
+  obs::Gauge* candidates = obs::Metrics().GetGauge(
+      "emd_candidate_base_size",
+      "Candidates registered in the CTrie/CandidateBase so far");
+};
+
+const PipelineCounters& Counters() {
+  static const PipelineCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 std::string GlobalizerOutput::ResilienceSummary() const {
   std::ostringstream os;
@@ -50,12 +91,15 @@ Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span)
   Mat emb = LocalEmbeddingWith(record, span, &retry_rng_, &retries, &degraded);
   num_retries_ += retries;
   num_degraded_ += degraded;
+  if (retries > 0) Counters().retries->Increment(retries);
+  if (degraded > 0) Counters().degraded->Increment(degraded);
   return emb;
 }
 
 Mat Globalizer::LocalEmbeddingWith(const TweetRecord& record,
                                    const TokenSpan& span, Rng* rng,
                                    int* retries, int* degraded) const {
+  EMD_TRACE_SPAN("phrase_embed");
   if (!system_->is_deep()) {
     return SyntacticEmbedding(record.tokens, span);
   }
@@ -99,6 +143,7 @@ Result<LocalEmdResult> Globalizer::LocalEmdWithResilience(
   Result<LocalEmdResult> result =
       LocalEmdResilient(tweet, system_, &retry_rng_, &retries, via_fallback);
   num_retries_ += retries;
+  if (retries > 0) Counters().retries->Increment(retries);
   return result;
 }
 
@@ -164,6 +209,7 @@ void Globalizer::DeadLetter(const AnnotatedTweet& tweet, const Status& reason) {
     return;
   }
   ++num_dead_lettered_;
+  Counters().dead_lettered->Increment();
 }
 
 Rng Globalizer::TaskRng(size_t tweet_index) const {
@@ -224,18 +270,24 @@ void Globalizer::RunLocalStage(const AnnotatedTweet& tweet,
 
 void Globalizer::MergeLocalStage(const AnnotatedTweet& tweet, LocalStage stage) {
   num_retries_ += stage.retries;
+  if (stage.retries > 0) Counters().retries->Increment(stage.retries);
+  Counters().tweets->Increment();
   if (!stage.status.ok()) {
     // Per-tweet isolation: quarantine this tweet (kept in the TweetBase so
     // stream indexes stay dense, but it contributes no candidates) and
     // persist it to the dead-letter queue for replay.
     ++num_quarantined_;
+    Counters().quarantined->Increment();
     EMD_LOG(Warn) << "quarantined tweet " << tweet.tweet_id << ": "
                   << stage.status;
     DeadLetter(tweet, stage.status);
     tweets_.Add(std::move(stage.record));
     return;
   }
-  if (stage.via_fallback) ++num_fallback_;
+  if (stage.via_fallback) {
+    ++num_fallback_;
+    Counters().fallback->Increment();
+  }
   tweets_.Add(std::move(stage.record));
 }
 
@@ -259,6 +311,7 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   last_local_lanes_ = (batch.size() > 1) ? lanes : 1;
   {
     ScopedPhase phase(&timers_, "local");
+    EMD_TRACE_SPAN("local_emd");
     if (lanes > 1 && batch.size() > 1) {
       std::vector<LocalStage> staged(batch.size());
       pool_->ParallelFor(batch.size(), [&](int slot, size_t i) {
@@ -296,10 +349,14 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
     }
   }
 
-  if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) return Status::OK();
+  if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) {
+    Counters().batches->Increment();
+    return Status::OK();
+  }
 
   // ---- Step 2+3: Global EMD over this batch. ----
   ScopedPhase phase(&timers_, "global");
+  EMD_TRACE_SPAN("ctrie_extract");
 
   // Register this batch's seed candidates in the CTrie (single writer: the
   // trie and CandidateBase only ever grow on this thread).
@@ -344,6 +401,9 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
     ExtractStage& stage = staged[idx];
     num_retries_ += stage.retries;
     num_degraded_ += stage.degraded;
+    if (stage.retries > 0) Counters().retries->Increment(stage.retries);
+    if (stage.degraded > 0) Counters().degraded->Increment(stage.degraded);
+    Counters().mentions->Increment(stage.extracted.size());
 
     // The extractor's longest matches replace the raw local spans: partial
     // local extractions extend to the full registered candidate (§V-A).
@@ -373,6 +433,8 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   if (options_.release_embeddings) {
     tweets_.ReleaseEmbeddings(first_index, tweets_.size());
   }
+  Counters().batches->Increment();
+  Counters().candidates->Set(trie_.num_candidates());
   return Status::OK();
 }
 
@@ -391,7 +453,9 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
     o->num_dead_lettered = num_dead_lettered_;
     o->breaker_trips = restored_breaker_trips_ + breaker_.trips();
     o->breaker_recoveries = restored_breaker_recoveries_ + breaker_.recoveries();
-    EMD_LOG(Info) << o->ResilienceSummary();
+    o->summary = o->ResilienceSummary();
+    o->metrics = obs::Metrics().Snapshot();
+    EMD_LOG(Info) << o->summary;
   };
 
   if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) {
@@ -410,6 +474,7 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
 
   if (options_.mode == GlobalizerOptions::Mode::kFull && !classifier_degraded_) {
     // ---- Step 4: Entity Classifier over global candidate embeddings. ----
+    EMD_TRACE_SPAN("classifier");
     for (size_t c = 0; c < candidates_.size(); ++c) {
       if (!candidates_.Contains(static_cast<int>(c))) continue;
       CandidateRecord& rec = candidates_.at(static_cast<int>(c));
@@ -426,6 +491,9 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
           options_.resilience.classifier, clock_, &retry_rng_,
           [&] { return classifier_->TryEvaluate(features); }, &retry_stats);
       num_retries_ += retry_stats.retries;
+      if (retry_stats.retries > 0) {
+        Counters().retries->Increment(retry_stats.retries);
+      }
       if (!verdict.ok()) {
         // Degradation ladder, rung 2: without verdicts, fall back to the
         // mention-extraction output (Fig. 6 middle curve) for this cycle.

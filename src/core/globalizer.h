@@ -45,6 +45,7 @@
 #include "core/phrase_embedder.h"
 #include "core/tweet_base.h"
 #include "emd/local_emd_system.h"
+#include "obs/metrics.h"
 #include "stream/annotated_tweet.h"
 #include "stream/dead_letter.h"
 #include "util/circuit_breaker.h"
@@ -162,6 +163,15 @@ struct GlobalizerOutput {
 
   /// One-line operator report: "resilience: retries=.. breaker_trips=.. ...".
   std::string ResilienceSummary() const;
+
+  /// The rendered ResilienceSummary() at Finalize time, returned so library
+  /// embedders get the operator report structurally instead of scraping logs.
+  std::string summary;
+
+  /// Point-in-time copy of the process-global metrics registry taken by
+  /// Finalize — per-stage latency histograms, pipeline counters, queue and
+  /// breaker state — exportable via obs::ToPrometheusText / obs::ToBenchJson.
+  obs::MetricsSnapshot metrics;
 };
 
 class Globalizer {

@@ -1,7 +1,7 @@
 // Globalizer checkpoint/restore — crash-safe persistence of the accumulated
 // global state (CTrie, TweetBase, CandidateBase, fault counters).
 //
-// Binary layout (little-endian), version 2:
+// Binary layout (little-endian), version 3:
 //   u32 magic 'EMDG'   u32 version
 //   u8  mode           u64 processed_tweets
 //   u32 num_quarantined  u32 num_degraded  u8 classifier_degraded
@@ -19,6 +19,14 @@
 //              embedding_sum[i32 rows, i32 cols, f32 data...],
 //              i32 embedding_count, u8 label, f32 entity_probability,
 //              mention_embeddings[u32: i32 rows, i32 cols, f32 data...]
+//   [v3+] Metrics block — a serialized obs::MetricsSnapshot of the process
+//         registry, so a resumed stream continues its lifetime observability
+//         totals (gauges are instantaneous and deliberately not persisted):
+//         counters[u32: string name, string help, string label_key,
+//                  string label_value, u64 value]
+//         histograms[u32: string name, string help, string label_key,
+//                  string label_value, bounds[u32: f64],
+//                  buckets[u32 = bounds+1: u64], f64 sum, u64 count]
 //   u32 CRC32 over everything above
 //
 // The CTrie is rebuilt by re-inserting candidate keys in id order (Insert
@@ -33,6 +41,8 @@
 #include <vector>
 
 #include "core/globalizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/binary_io.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
@@ -43,8 +53,9 @@ namespace emd {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x454D4447;  // 'EMDG'
-constexpr uint32_t kCheckpointVersion = 2;
-// Version 1 checkpoints (no resilience counters) are still readable.
+constexpr uint32_t kCheckpointVersion = 3;
+// Version 1 (no resilience counters) and version 2 (no metrics block)
+// checkpoints are still readable.
 constexpr uint32_t kMinCheckpointVersion = 1;
 
 void AppendMat(std::string* out, const Mat& m) {
@@ -66,10 +77,92 @@ Status ReadMat(binio::Reader* reader, Mat* m) {
   return reader->ReadFloats(m->data(), m->size());
 }
 
+void AppendMetricsBlock(std::string* buf, const obs::MetricsSnapshot& snap) {
+  binio::AppendU32(buf, static_cast<uint32_t>(snap.counters.size()));
+  for (const auto& c : snap.counters) {
+    binio::AppendString(buf, c.name);
+    binio::AppendString(buf, c.help);
+    binio::AppendString(buf, c.label.key);
+    binio::AppendString(buf, c.label.value);
+    binio::AppendU64(buf, c.value);
+  }
+  binio::AppendU32(buf, static_cast<uint32_t>(snap.histograms.size()));
+  for (const auto& h : snap.histograms) {
+    binio::AppendString(buf, h.name);
+    binio::AppendString(buf, h.help);
+    binio::AppendString(buf, h.label.key);
+    binio::AppendString(buf, h.label.value);
+    binio::AppendU32(buf, static_cast<uint32_t>(h.bounds.size()));
+    for (double b : h.bounds) binio::AppendF64(buf, b);
+    for (uint64_t c : h.buckets) binio::AppendU64(buf, c);
+    binio::AppendF64(buf, h.sum);
+    binio::AppendU64(buf, h.count);
+  }
+}
+
+Status ReadMetricsBlock(binio::Reader* reader, obs::MetricsSnapshot* snap) {
+  uint32_t num_counters = 0;
+  EMD_RETURN_IF_ERROR(reader->ReadU32(&num_counters));
+  snap->counters.reserve(num_counters);
+  for (uint32_t i = 0; i < num_counters; ++i) {
+    obs::MetricsSnapshot::CounterSample c;
+    EMD_RETURN_IF_ERROR(reader->ReadString(&c.name));
+    EMD_RETURN_IF_ERROR(reader->ReadString(&c.help));
+    EMD_RETURN_IF_ERROR(reader->ReadString(&c.label.key));
+    EMD_RETURN_IF_ERROR(reader->ReadString(&c.label.value));
+    EMD_RETURN_IF_ERROR(reader->ReadU64(&c.value));
+    snap->counters.push_back(std::move(c));
+  }
+  uint32_t num_histograms = 0;
+  EMD_RETURN_IF_ERROR(reader->ReadU32(&num_histograms));
+  snap->histograms.reserve(num_histograms);
+  for (uint32_t i = 0; i < num_histograms; ++i) {
+    obs::MetricsSnapshot::HistogramSample h;
+    EMD_RETURN_IF_ERROR(reader->ReadString(&h.name));
+    EMD_RETURN_IF_ERROR(reader->ReadString(&h.help));
+    EMD_RETURN_IF_ERROR(reader->ReadString(&h.label.key));
+    EMD_RETURN_IF_ERROR(reader->ReadString(&h.label.value));
+    uint32_t num_bounds = 0;
+    EMD_RETURN_IF_ERROR(reader->ReadU32(&num_bounds));
+    // bounds (f64) + buckets (u64, bounds+1) + sum + count must fit in what
+    // is left, or the length field is corrupt.
+    if (uint64_t(num_bounds) * 16 + 24 > reader->remaining()) {
+      return Status::Corruption("checkpoint metrics histogram \"", h.name,
+                                "\" bound count ", num_bounds,
+                                " exceeds remaining bytes");
+    }
+    h.bounds.resize(num_bounds);
+    for (uint32_t b = 0; b < num_bounds; ++b) {
+      EMD_RETURN_IF_ERROR(reader->ReadF64(&h.bounds[b]));
+    }
+    h.buckets.resize(num_bounds + 1);
+    for (uint32_t b = 0; b <= num_bounds; ++b) {
+      EMD_RETURN_IF_ERROR(reader->ReadU64(&h.buckets[b]));
+    }
+    EMD_RETURN_IF_ERROR(reader->ReadF64(&h.sum));
+    EMD_RETURN_IF_ERROR(reader->ReadU64(&h.count));
+    snap->histograms.push_back(std::move(h));
+  }
+  return Status::OK();
+}
+
+obs::Counter* CheckpointSavesCounter() {
+  static obs::Counter* const counter = obs::Metrics().GetCounter(
+      "checkpoint_saves_total", "Checkpoints written successfully");
+  return counter;
+}
+
+obs::Counter* CheckpointRestoresCounter() {
+  static obs::Counter* const counter = obs::Metrics().GetCounter(
+      "checkpoint_restores_total", "Checkpoints restored successfully");
+  return counter;
+}
+
 }  // namespace
 
 Status Globalizer::SaveCheckpoint(const std::string& path) const {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.save_checkpoint"));
+  EMD_TRACE_SPAN("checkpoint_save");
 
   std::string buf;
   binio::AppendU32(&buf, kCheckpointMagic);
@@ -145,6 +238,9 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
     for (const Mat& m : rec.mention_embeddings) AppendMat(&buf, m);
   }
 
+  // v3: observability metrics, so a kill-and-resume keeps lifetime counters.
+  AppendMetricsBlock(&buf, obs::Metrics().Snapshot());
+
   binio::AppendU32(&buf, Crc32(buf.data(), buf.size()));
 
   RetryStats retry_stats;
@@ -152,11 +248,19 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
       options_.resilience.checkpoint_io, clock_, &retry_rng_,
       [&] { return WriteFileAtomic(path, buf); }, &retry_stats);
   num_retries_ += retry_stats.retries;
+  if (retry_stats.retries > 0) {
+    obs::Metrics()
+        .GetCounter("emd_retries_total",
+                    "Transient-failure retries across all pipeline stages")
+        ->Increment(retry_stats.retries);
+  }
+  if (written.ok()) CheckpointSavesCounter()->Increment();
   return written;
 }
 
 Status Globalizer::RestoreCheckpoint(const std::string& path) {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.restore_checkpoint"));
+  EMD_TRACE_SPAN("checkpoint_restore");
   if (tweets_.size() != 0 || trie_.num_candidates() != 0) {
     return Status::FailedPrecondition(
         "RestoreCheckpoint requires a freshly constructed Globalizer");
@@ -355,6 +459,13 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
     }
   }
 
+  // v3: metrics block. Parsed fully before the commit point below so a
+  // corrupt block rejects the whole checkpoint.
+  obs::MetricsSnapshot metrics;
+  if (version >= 3) {
+    EMD_RETURN_IF_ERROR(ReadMetricsBlock(&reader, &metrics));
+  }
+
   if (reader.remaining() != 0) {
     return Status::Corruption("checkpoint ", path, " has ", reader.remaining(),
                               " trailing bytes");
@@ -374,6 +485,8 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
   num_dead_lettered_ = static_cast<int>(num_dead_lettered);
   restored_breaker_trips_ = static_cast<int>(breaker_trips);
   restored_breaker_recoveries_ = static_cast<int>(breaker_recoveries);
+  obs::Metrics().Restore(metrics);
+  CheckpointRestoresCounter()->Increment();
   return Status::OK();
 }
 

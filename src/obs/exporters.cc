@@ -1,0 +1,146 @@
+#include "obs/exporters.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+namespace emd {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(const Label& label) {
+  if (label.empty()) return "";
+  return "{" + label.key + "=\"" + EscapeLabelValue(label.value) + "\"}";
+}
+
+/// `{key="v",le="b"}` — histogram bucket labels, merging the metric label.
+std::string PromBucketLabels(const Label& label, const std::string& le) {
+  std::string out = "{";
+  if (!label.empty()) {
+    out += label.key + "=\"" + EscapeLabelValue(label.value) + "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+void EmitHeader(std::set<std::string>* seen, const std::string& name,
+                const std::string& help, const char* type, std::string* out) {
+  if (!seen->insert(name).second) return;
+  if (!help.empty()) *out += "# HELP " + name + " " + help + "\n";
+  *out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonName(const std::string& family, const Label& label) {
+  if (label.empty()) return family;
+  return family + "/" + label.key + "=" + label.value;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> seen;
+  for (const auto& c : snapshot.counters) {
+    EmitHeader(&seen, c.name, c.help, "counter", &out);
+    out += c.name + PromLabels(c.label) + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    EmitHeader(&seen, g.name, g.help, "gauge", &out);
+    out += g.name + PromLabels(g.label) + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    EmitHeader(&seen, h.name, h.help, "histogram", &out);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le =
+          i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf";
+      out += h.name + "_bucket" + PromBucketLabels(h.label, le) + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_sum" + PromLabels(h.label) + " " + FormatDouble(h.sum) +
+           "\n";
+    out += h.name + "_count" + PromLabels(h.label) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string ToBenchJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"schema\": \"emd-bench-v1\",\n  \"results\": [\n";
+  std::vector<std::string> entries;
+  auto add = [&entries](const std::string& name, uint64_t iters,
+                        double ns_per_op) {
+    entries.push_back("    {\"name\": \"" + EscapeJson(name) +
+                      "\", \"iters\": " + std::to_string(iters) +
+                      ", \"ns_per_op\": " + FormatDouble(ns_per_op) + "}");
+  };
+  for (const auto& c : snapshot.counters) {
+    add(JsonName(c.name, c.label), c.value, 0);
+  }
+  for (const auto& g : snapshot.gauges) {
+    add(JsonName(g.name, g.label),
+        static_cast<uint64_t>(g.value < 0 ? 0 : g.value), 0);
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = JsonName(h.name, h.label);
+    const double mean_ns =
+        h.count == 0 ? 0 : h.sum / static_cast<double>(h.count) * 1e9;
+    add(name, h.count, mean_ns);
+    add(name + "/p50", h.count, h.p50 * 1e9);
+    add(name + "/p95", h.count, h.p95 * 1e9);
+    add(name + "/p99", h.count, h.p99 * 1e9);
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out += entries[i];
+    out += i + 1 < entries.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace emd

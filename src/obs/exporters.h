@@ -1,0 +1,35 @@
+// Snapshot exporters: Prometheus text exposition (format 0.0.4) and
+// emd-bench-v1 JSON (the schema CI already tracks for bench results, see
+// bench/bench_common.h), both rendered from a MetricsSnapshot so a single
+// consistent snapshot can feed every sink.
+
+#ifndef EMD_OBS_EXPORTERS_H_
+#define EMD_OBS_EXPORTERS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace emd {
+namespace obs {
+
+/// Prometheus text exposition: one `# HELP` / `# TYPE` header per metric
+/// family (emitted at the family's first sample), then one line per sample.
+/// Histograms expose cumulative `_bucket{le=...}` series plus `_sum` and
+/// `_count`, matching what a Prometheus scrape endpoint would serve.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// emd-bench-v1 JSON. Every sample becomes one result entry:
+///   counters / gauges -> {"name", "iters": value, "ns_per_op": 0}
+///   histograms        -> {"name", "iters": count, "ns_per_op": mean ns}
+///                        plus /p50 /p95 /p99 entries (ns_per_op = quantile
+///                        in ns) so latency distributions are trackable with
+///                        the same tooling as bench numbers.
+/// Labelled samples are named "family/key=value" (the naming idiom of the
+/// existing bench entries, e.g. "pipeline/threads=4").
+std::string ToBenchJson(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace emd
+
+#endif  // EMD_OBS_EXPORTERS_H_

@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace emd {
+namespace obs {
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = LatencyBoundsSeconds();
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  // lower_bound, not upper_bound: Prometheus `le` edges are inclusive, so a
+  // value exactly equal to a bound belongs in that bound's bucket.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      bits, std::bit_cast<uint64_t>(std::bit_cast<double>(bits) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t prev = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // The overflow bucket has no upper edge: clamp to the largest finite
+    // bound (same convention as Prometheus histogram_quantile).
+    if (i >= bounds_.size()) return bounds_.empty() ? 0 : bounds_.back();
+    const double lo = i == 0 ? 0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    if (counts[i] == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+void Histogram::Restore(const std::vector<uint64_t>& buckets, double sum,
+                        uint64_t count) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(i < buckets.size() ? buckets[i] : 0,
+                      std::memory_order_relaxed);
+  }
+  sum_bits_.store(std::bit_cast<uint64_t>(sum), std::memory_order_relaxed);
+  count_.store(count, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::LatencyBoundsSeconds() {
+  static const std::vector<double> kBounds = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3,
+      2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10};
+  return kBounds;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(Entry::Kind kind,
+                                              std::string_view name,
+                                              const Label& label) {
+  for (auto& e : entries_) {
+    if (e->kind == kind && e->name == name && e->label.key == label.key &&
+        e->label.value == label.value) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help, Label label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(Entry::Kind::kCounter, name, label)) {
+    return e->counter.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->kind = Entry::Kind::kCounter;
+  e->name = std::string(name);
+  e->label = std::move(label);
+  e->help = std::string(help);
+  e->counter = std::make_unique<Counter>(&enabled_);
+  Counter* out = e->counter.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 Label label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(Entry::Kind::kGauge, name, label)) {
+    return e->gauge.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->kind = Entry::Kind::kGauge;
+  e->name = std::string(name);
+  e->label = std::move(label);
+  e->help = std::string(help);
+  e->gauge = std::make_unique<Gauge>(&enabled_);
+  Gauge* out = e->gauge.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help, Label label,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = Find(Entry::Kind::kHistogram, name, label)) {
+    return e->histogram.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->kind = Entry::Kind::kHistogram;
+  e->name = std::string(name);
+  e->label = std::move(label);
+  e->help = std::string(help);
+  e->histogram = std::make_unique<Histogram>(&enabled_, std::move(bounds));
+  Histogram* out = e->histogram.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Histogram* MetricsRegistry::StageLatency(std::string_view stage) {
+  return GetHistogram("emd_stage_latency_seconds",
+                      "Wall-clock latency of one pipeline stage execution",
+                      Label{"stage", std::string(stage)});
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Entry::Kind::kCounter:
+        snap.counters.push_back(
+            {e->name, e->label, e->help, e->counter->value()});
+        break;
+      case Entry::Kind::kGauge:
+        snap.gauges.push_back({e->name, e->label, e->help, e->gauge->value()});
+        break;
+      case Entry::Kind::kHistogram: {
+        MetricsSnapshot::HistogramSample h;
+        h.name = e->name;
+        h.label = e->label;
+        h.help = e->help;
+        h.bounds = e->histogram->bounds();
+        h.buckets = e->histogram->BucketCounts();
+        h.sum = e->histogram->sum();
+        h.count = e->histogram->count();
+        h.p50 = e->histogram->Percentile(0.50);
+        h.p95 = e->histogram->Percentile(0.95);
+        h.p99 = e->histogram->Percentile(0.99);
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::Restore(const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    GetCounter(c.name, c.help, c.label)->Set(c.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    GetHistogram(h.name, h.help, h.label, h.bounds)
+        ->Restore(h.buckets, h.sum, h.count);
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    switch (e->kind) {
+      case Entry::Kind::kCounter:
+        e->counter->Set(0);
+        break;
+      case Entry::Kind::kGauge:
+        e->gauge->Set(0);
+        break;
+      case Entry::Kind::kHistogram:
+        e->histogram->Restore({}, 0, 0);
+        break;
+    }
+  }
+}
+
+MetricsRegistry& Metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace emd

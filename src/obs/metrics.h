@@ -1,0 +1,234 @@
+// Observability metrics: a lock-cheap, process-global registry of monotonic
+// counters, gauges, and fixed-bucket latency histograms.
+//
+// Design constraints (this registry sits inside the pipeline hot path and
+// under the parallel batch engine's worker threads):
+//   * every update is a relaxed atomic op — safe under ParallelFor and
+//     TSan-clean by construction, no mutex on the update path;
+//   * compiled-in but near-zero-cost when observation is off: a disabled
+//     registry short-circuits every update after one relaxed load;
+//   * registration (name -> metric) is mutex-guarded and expected to happen
+//     once per call site (cache the returned pointer, or use the static-local
+//     caching of EMD_TRACE_SPAN); metric objects are NEVER deallocated, so a
+//     cached pointer stays valid for the life of the process — Reset() zeroes
+//     values without invalidating pointers;
+//   * snapshots (Snapshot()) are consistent enough for monitoring: each value
+//     is read atomically, the set of metrics is read under the registry lock.
+//
+// Metric naming follows Prometheus conventions: snake_case families, a
+// `_total` suffix on counters, base units in the name
+// (`..._seconds`), and at most one label pair per instance
+// (e.g. emd_stage_latency_seconds{stage="local_emd"}). Every exported name
+// must be documented in docs/OBSERVABILITY.md — scripts/docs_lint.py fails
+// the build otherwise.
+
+#ifndef EMD_OBS_METRICS_H_
+#define EMD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emd {
+namespace obs {
+
+/// One optional key/value label pair ("stage" -> "local_emd"). Empty key =
+/// unlabelled metric.
+struct Label {
+  std::string key;
+  std::string value;
+  bool empty() const { return key.empty(); }
+};
+
+/// Monotonic counter. Increment is a relaxed fetch_add; Set exists only for
+/// checkpoint restore (resuming a killed stream re-baselines the counter).
+class Counter {
+ public:
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void Increment(uint64_t n = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Checkpoint restore / test reset only — never call from pipeline code.
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value (queue depth, candidate-base size). Not persisted in
+/// checkpoints: a restored process re-derives gauges from live state.
+class Gauge {
+ public:
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  void Set(int64_t v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t n) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: cumulative-style export, relaxed atomic buckets.
+/// Percentiles are estimated by linear interpolation inside the bucket that
+/// crosses the requested rank (the standard Prometheus histogram_quantile
+/// estimate) — resolution is bounded by the bucket grid, which is the price
+/// of a lock-free, constant-memory histogram.
+class Histogram {
+ public:
+  /// `bounds` are the finite upper bucket edges, strictly increasing; one
+  /// implicit +Inf overflow bucket is appended.
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// Estimated value at quantile q in [0, 1]; 0 when the histogram is empty.
+  /// The overflow bucket clamps to the largest finite bound.
+  double Percentile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// True when the owning registry is recording (callers use this to skip
+  /// clock reads before Observe).
+  bool enabled() const { return enabled_->load(std::memory_order_relaxed); }
+
+  /// Checkpoint restore / test reset only.
+  void Restore(const std::vector<uint64_t>& buckets, double sum,
+               uint64_t count);
+
+  /// Default latency grid in seconds: 1-2.5-5 decades from 1us to 10s.
+  static const std::vector<double>& LatencyBoundsSeconds();
+
+ private:
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  // Sum in double bits, accumulated by CAS (atomic<double>::fetch_add is not
+  // guaranteed lock-free everywhere; the CAS loop is, on every target here).
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// Point-in-time copy of the whole registry, consumed by the exporters
+/// (Prometheus text / emd-bench-v1 JSON), by GlobalizerOutput, and by the
+/// checkpoint writer. Plain data, freely copyable.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    Label label;
+    std::string help;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    Label label;
+    std::string help;
+    int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    Label label;
+    std::string help;
+    std::vector<double> bounds;     // finite upper edges
+    std::vector<uint64_t> buckets;  // bounds.size() + 1, last = overflow
+    double sum = 0;
+    uint64_t count = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Registry of named metrics. Get* registers on first use and returns the
+/// same pointer on every later call with the same (name, label) — callers
+/// cache it. Snapshot order is registration order (deterministic exports).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "",
+                      Label label = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help = "",
+                  Label label = {});
+  /// Empty `bounds` selects Histogram::LatencyBoundsSeconds().
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "",
+                          Label label = {}, std::vector<double> bounds = {});
+  /// The per-stage latency family fed by EMD_TRACE_SPAN:
+  /// emd_stage_latency_seconds{stage=<stage>}.
+  Histogram* StageLatency(std::string_view stage);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Recording switch. Disabled, every update short-circuits after one
+  /// relaxed load — the "no exporter attached" fast path.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Checkpoint restore: re-registers (creating if absent) each counter and
+  /// histogram in `snapshot` and sets its value, so a resumed stream
+  /// continues its lifetime totals. Gauges are skipped (instantaneous).
+  void Restore(const MetricsSnapshot& snapshot);
+
+  /// Zeroes every registered metric WITHOUT deallocating it (cached pointers
+  /// — including EMD_TRACE_SPAN's static locals — stay valid). Tests only.
+  void Reset();
+
+ private:
+  struct Entry {
+    enum class Kind { kCounter, kGauge, kHistogram } kind;
+    std::string name;
+    Label label;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(Entry::Kind kind, std::string_view name, const Label& label);
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  // Deque-like stability via unique_ptr: entries never move or die.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// The process-global registry every pipeline component reports into.
+MetricsRegistry& Metrics();
+
+}  // namespace obs
+}  // namespace emd
+
+#endif  // EMD_OBS_METRICS_H_

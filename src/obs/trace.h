@@ -1,0 +1,68 @@
+// Lightweight trace spans: an RAII stopwatch that feeds a per-stage latency
+// histogram (emd_stage_latency_seconds{stage=...}).
+//
+//   Status Globalizer::ProcessBatch(...) {
+//     EMD_TRACE_SPAN("local_emd");   // observes scope duration on exit
+//     ...
+//   }
+//
+// The macro caches the histogram pointer in a function-local static, so the
+// registry lookup happens once per call site; afterwards an armed span costs
+// two steady_clock reads and one atomic histogram update, and a span with
+// recording disabled costs one relaxed load (no clock reads at all).
+// Spans are safe on worker threads: the static init is thread-safe and
+// Histogram::Observe is a relaxed atomic.
+
+#ifndef EMD_OBS_TRACE_H_
+#define EMD_OBS_TRACE_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace emd {
+namespace obs {
+
+/// Times its own lifetime into `histogram` (seconds). When recording is
+/// disabled at construction, the span is inert — no clock reads.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Histogram* histogram)
+      : histogram_(histogram), armed_(histogram != nullptr &&
+                                      histogram->enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~TraceSpan() {
+    if (!armed_) return;
+    histogram_->Observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Histogram* histogram_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace emd
+
+#define EMD_OBS_CONCAT_INNER(a, b) a##b
+#define EMD_OBS_CONCAT(a, b) EMD_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into the per-stage latency histogram
+/// emd_stage_latency_seconds{stage=<stage>}. `stage` must be a string
+/// literal documented in docs/OBSERVABILITY.md.
+#define EMD_TRACE_SPAN(stage)                                              \
+  static ::emd::obs::Histogram* const EMD_OBS_CONCAT(emd_span_hist_,       \
+                                                     __LINE__) =           \
+      ::emd::obs::Metrics().StageLatency(stage);                           \
+  ::emd::obs::TraceSpan EMD_OBS_CONCAT(emd_span_, __LINE__)(               \
+      EMD_OBS_CONCAT(emd_span_hist_, __LINE__))
+
+#endif  // EMD_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/binary_io.h"
 #include "util/crc32.h"
 #include "util/failpoint.h"
@@ -130,6 +131,9 @@ Status DeadLetterQueue::Append(const AnnotatedTweet& tweet, const Status& reason
     return Status::IoError("dead-letter append to ", path_, " failed");
   }
   ++appended_;
+  static obs::Counter* const appends = obs::Metrics().GetCounter(
+      "dlq_appends_total", "Records appended to the dead-letter queue");
+  appends->Increment();
   return Status::OK();
 }
 
@@ -196,6 +200,14 @@ Result<DeadLetterQueue::ReadReport> DeadLetterQueue::ReadAll(
                   << " corrupt region(s), recovered " << report.entries.size()
                   << " record(s)";
   }
+  static obs::Counter* const replayed = obs::Metrics().GetCounter(
+      "dlq_replayed_records_total",
+      "Intact records decoded from the dead-letter queue for replay");
+  static obs::Counter* const corrupt = obs::Metrics().GetCounter(
+      "dlq_corrupt_regions_total",
+      "Contiguous corrupt/torn regions skipped by the dead-letter reader");
+  replayed->Increment(report.entries.size());
+  corrupt->Increment(static_cast<uint64_t>(report.corrupt_regions_skipped));
   return report;
 }
 

@@ -6,19 +6,37 @@
 
 namespace emd {
 
-IngestQueue::IngestQueue(IngestQueueOptions options) : options_(options) {
+IngestQueue::IngestQueue(IngestQueueOptions options)
+    : options_(options),
+      accepted_counter_(obs::Metrics().GetCounter(
+          "ingest_queue_accepted_total",
+          "Tweets admitted into the ingest queue")),
+      rejected_counter_(obs::Metrics().GetCounter(
+          "ingest_queue_rejected_total",
+          "Push attempts refused with backpressure (queue full)")),
+      shed_counter_(obs::Metrics().GetCounter(
+          "ingest_queue_shed_total",
+          "Tweets dropped-with-count by PushOrShed overload shedding")),
+      popped_counter_(obs::Metrics().GetCounter(
+          "ingest_queue_popped_total",
+          "Tweets drained from the queue into execution cycles")),
+      depth_gauge_(obs::Metrics().GetGauge(
+          "ingest_queue_depth", "Tweets currently buffered in the queue")) {
   EMD_CHECK_GT(options_.capacity, 0u);
 }
 
 void IngestQueue::Admit(AnnotatedTweet tweet) {
   queue_.push_back(std::move(tweet));
   ++stats_.accepted;
+  accepted_counter_->Increment();
+  depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   stats_.high_watermark = std::max<uint64_t>(stats_.high_watermark, queue_.size());
 }
 
 Status IngestQueue::Push(AnnotatedTweet tweet) {
   if (full()) {
     ++stats_.rejected;
+    rejected_counter_->Increment();
     return Status::ResourceExhausted("ingest queue full (capacity ",
                                      options_.capacity, ")");
   }
@@ -29,6 +47,7 @@ Status IngestQueue::Push(AnnotatedTweet tweet) {
 bool IngestQueue::PushOrShed(AnnotatedTweet tweet) {
   if (full()) {
     ++stats_.shed;
+    shed_counter_->Increment();
     EMD_LOG(Warn) << "ingest queue overloaded: shed tweet "
                   << tweet.tweet_id << " (" << stats_.shed << " shed so far)";
     return false;
@@ -46,6 +65,8 @@ std::vector<AnnotatedTweet> IngestQueue::PopBatch(size_t max_tweets) {
     queue_.pop_front();
   }
   stats_.popped += n;
+  popped_counter_->Increment(n);
+  depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
   return batch;
 }
 

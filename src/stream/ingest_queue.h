@@ -20,6 +20,7 @@
 #include <deque>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stream/annotated_tweet.h"
 #include "util/status.h"
 
@@ -68,6 +69,14 @@ class IngestQueue {
   IngestQueueOptions options_;
   std::deque<AnnotatedTweet> queue_;
   IngestQueueStats stats_;
+
+  // Registry mirrors of stats_ plus the live depth gauge, so admission
+  // behaviour is visible in every exported snapshot.
+  obs::Counter* accepted_counter_;
+  obs::Counter* rejected_counter_;
+  obs::Counter* shed_counter_;
+  obs::Counter* popped_counter_;
+  obs::Gauge* depth_gauge_;
 };
 
 }  // namespace emd

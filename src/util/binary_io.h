@@ -30,6 +30,7 @@ inline void AppendU64(std::string* out, uint64_t v) { AppendRaw(out, v); }
 inline void AppendI32(std::string* out, int32_t v) { AppendRaw(out, v); }
 inline void AppendI64(std::string* out, int64_t v) { AppendRaw(out, v); }
 inline void AppendF32(std::string* out, float v) { AppendRaw(out, v); }
+inline void AppendF64(std::string* out, double v) { AppendRaw(out, v); }
 
 /// u32 length prefix + bytes.
 inline void AppendString(std::string* out, std::string_view s) {
@@ -70,6 +71,7 @@ class Reader {
   Status ReadI32(int32_t* v) { return ReadRaw(v); }
   Status ReadI64(int64_t* v) { return ReadRaw(v); }
   Status ReadF32(float* v) { return ReadRaw(v); }
+  Status ReadF64(double* v) { return ReadRaw(v); }
 
   Status ReadString(std::string* s) {
     uint32_t len = 0;

@@ -5,7 +5,20 @@
 namespace emd {
 
 CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, Clock* clock)
-    : options_(std::move(options)), clock_(clock) {
+    : options_(std::move(options)),
+      clock_(clock),
+      open_counter_(obs::Metrics().GetCounter(
+          "circuit_breaker_open_total",
+          "Circuit breaker transitions to the open state (trips)",
+          obs::Label{"breaker", options_.name})),
+      recovered_counter_(obs::Metrics().GetCounter(
+          "circuit_breaker_recovered_total",
+          "Circuit breaker half-open to closed transitions (recoveries)",
+          obs::Label{"breaker", options_.name})),
+      rejected_counter_(obs::Metrics().GetCounter(
+          "circuit_breaker_rejected_total",
+          "Requests refused while the circuit breaker was open",
+          obs::Label{"breaker", options_.name})) {
   EMD_CHECK(clock != nullptr);
   EMD_CHECK_GT(options_.failure_threshold, 0);
   EMD_CHECK_GT(options_.half_open_successes, 0);
@@ -27,6 +40,7 @@ bool CircuitBreaker::AllowRequest() {
   if (state_ == State::kOpen) {
     if (clock_->NowNanos() - opened_at_ < options_.open_cooldown_nanos) {
       ++rejected_;
+      rejected_counter_->Increment();
       return false;
     }
     state_ = State::kHalfOpen;
@@ -43,6 +57,7 @@ void CircuitBreaker::RecordSuccess() {
       state_ = State::kClosed;
       consecutive_failures_ = 0;
       ++recoveries_;
+      recovered_counter_->Increment();
       EMD_LOG(Warn) << "circuit " << options_.name << ": recovered (closed)";
     }
     return;
@@ -68,6 +83,7 @@ void CircuitBreaker::TripOpen() {
   consecutive_failures_ = 0;
   probe_successes_ = 0;
   ++trips_;
+  open_counter_->Increment();
   EMD_LOG(Warn) << "circuit " << options_.name << ": tripped open (trip #"
                 << trips_ << ")";
 }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/deadline.h"
 
 namespace emd {
@@ -77,6 +78,11 @@ class CircuitBreaker {
   int trips_ = 0;
   int recoveries_ = 0;
   int64_t rejected_ = 0;
+
+  // Per-breaker observability counters (labelled with options_.name).
+  obs::Counter* open_counter_;
+  obs::Counter* recovered_counter_;
+  obs::Counter* rejected_counter_;
 };
 
 }  // namespace emd

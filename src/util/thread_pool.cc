@@ -4,7 +4,22 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace emd {
+namespace {
+
+/// Time a task spent queued before a worker picked it up — the saturation
+/// signal of the parallel batch engine (a rising p95 means the pool is the
+/// bottleneck, not the per-tweet work).
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* const hist = obs::Metrics().GetHistogram(
+      "thread_pool_queue_wait_seconds",
+      "Time a submitted task waited in the pool queue before starting");
+  return hist;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_workers) {
   const int n = std::max(1, num_workers);
@@ -24,16 +39,23 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  // Clock reads are skipped entirely while recording is off (the zero
+  // timestamp tells the worker not to observe a wait).
+  if (QueueWaitHistogram()->enabled()) {
+    queued.enqueued = std::chrono::steady_clock::now();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -41,7 +63,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (task.enqueued.time_since_epoch().count() != 0) {
+      QueueWaitHistogram()->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        task.enqueued)
+              .count());
+    }
+    task.fn();
   }
 }
 

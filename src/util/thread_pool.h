@@ -18,6 +18,7 @@
 #ifndef EMD_UTIL_THREAD_POOL_H_
 #define EMD_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -54,12 +55,20 @@ class ThreadPool {
                    const std::function<void(int slot, size_t index)>& fn);
 
  private:
+  /// A queued task plus its enqueue timestamp, feeding the
+  /// thread_pool_queue_wait_seconds histogram (zero timestamp = metrics were
+  /// disabled at enqueue, wait not measured).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
 };
 
