@@ -9,7 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 #include "bench_common.h"
@@ -17,6 +19,7 @@
 #include "core/ctrie.h"
 #include "core/mention_extractor.h"
 #include "core/syntactic_embedder.h"
+#include "nn/kernels/kernels.h"
 #include "nn/matrix.h"
 #include "stream/datasets.h"
 #include "stream/entity_catalog.h"
@@ -180,12 +183,14 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 void RunGemmComparison(bench::BenchReporter* reporter, int n, int reps) {
   Rng rng(5);
-  Mat a(n, n), b(n, n), blocked;
+  Mat a(n, n), b(n, n), blocked(n, n), dispatched(n, n);
   a.InitGaussian(&rng, 1.f);
   b.InitGaussian(&rng, 1.f);
   const double flops = 2.0 * n * n * n;
+  const kernels::KernelBackend& scalar = kernels::ScalarKernels();
+  const kernels::KernelBackend& active = kernels::Kernels();
 
-  double naive_best = 1e100, blocked_best = 1e100;
+  double naive_best = 1e100, blocked_best = 1e100, dispatch_best = 1e100;
   Mat naive;
   for (int r = 0; r < reps; ++r) {
     auto start = std::chrono::steady_clock::now();
@@ -195,9 +200,15 @@ void RunGemmComparison(bench::BenchReporter* reporter, int n, int reps) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
     start = std::chrono::steady_clock::now();
-    MatMulInto(a, b, &blocked);
+    scalar.matmul(a.data(), b.data(), blocked.data(), n, n, n);
     blocked_best = std::min(
         blocked_best,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+    start = std::chrono::steady_clock::now();
+    active.matmul(a.data(), b.data(), dispatched.data(), n, n, n);
+    dispatch_best = std::min(
+        dispatch_best,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count());
   }
@@ -207,24 +218,56 @@ void RunGemmComparison(bench::BenchReporter* reporter, int n, int reps) {
     std::fprintf(stderr, "FAIL: blocked GEMM diverges from naive at %d^3\n", n);
     std::exit(1);
   }
-  std::printf("gemm %d^3: naive %.2f GFLOP/s, blocked %.2f GFLOP/s (x%.2f)\n",
-              n, flops / naive_best / 1e9, flops / blocked_best / 1e9,
-              naive_best / blocked_best);
+  // The vectorized kernel reassociates the k-reduction (FMA lanes), so check
+  // it against the exact result to a float-accumulation tolerance instead.
+  float max_abs = 0.f, max_diff = 0.f;
+  for (size_t i = 0; i < naive.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(naive.data()[i]));
+    max_diff = std::max(max_diff,
+                        std::fabs(naive.data()[i] - dispatched.data()[i]));
+  }
+  if (max_diff > 1e-4f * std::max(1.f, max_abs)) {
+    std::fprintf(stderr, "FAIL: %s GEMM diverges from naive at %d^3 (%g)\n",
+                 active.name, n, max_diff);
+    std::exit(1);
+  }
+  std::printf(
+      "gemm %d^3: naive %.2f GFLOP/s, blocked %.2f GFLOP/s (x%.2f), "
+      "dispatch[%s] %.2f GFLOP/s (x%.2f vs blocked)\n",
+      n, flops / naive_best / 1e9, flops / blocked_best / 1e9,
+      naive_best / blocked_best, active.name, flops / dispatch_best / 1e9,
+      blocked_best / dispatch_best);
   reporter->Add("gemm_naive/" + std::to_string(n), reps, naive_best * 1e9,
                 flops / naive_best / 1e9, "GFLOP/s");
   reporter->Add("gemm_blocked/" + std::to_string(n), reps, blocked_best * 1e9,
                 flops / blocked_best / 1e9, "GFLOP/s");
+  reporter->Add("gemm_dispatch/" + std::to_string(n), reps, dispatch_best * 1e9,
+                flops / dispatch_best / 1e9, "GFLOP/s");
+  // Machine-readable record of which backend the dispatcher chose.
+  reporter->Add(std::string("kernel_backend/") + active.name, 1, 0, 0, "");
 }
 
 }  // namespace
 }  // namespace emd
 
 int main(int argc, char** argv) {
+  // --gemm-only (ours, not google-benchmark's) skips the microbenchmark sweep
+  // so CI's backend-comparison smoke stays fast; strip it before Initialize.
+  bool gemm_only = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gemm-only") == 0) {
+      gemm_only = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   emd::bench::BenchReporter reporter;
   emd::CapturingReporter console(&reporter);
-  benchmark::RunSpecifiedBenchmarks(&console);
+  if (!gemm_only) benchmark::RunSpecifiedBenchmarks(&console);
   emd::RunGemmComparison(&reporter, 256, 3);
   if (!reporter.WriteJson("BENCH_micro.json")) return 1;
   std::printf("wrote BENCH_micro.json\n");

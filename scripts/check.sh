@@ -10,6 +10,9 @@
 #                                  # run with JSON schema validation
 #   scripts/check.sh --docs        # additionally the docs lint (broken
 #                                  # relative links, undocumented metrics)
+#   scripts/check.sh --kernels     # additionally the kernel parity label
+#                                  # (dispatched + forced-scalar) and the
+#                                  # both-backend GEMM smoke comparison
 #
 # Run from the repository root.
 set -euo pipefail
@@ -20,12 +23,14 @@ ASAN=0
 TSAN=0
 BENCH_SMOKE=0
 DOCS=0
+KERNELS=0
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
     --tsan) TSAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --docs) DOCS=1 ;;
+    --kernels) KERNELS=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -52,7 +57,37 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DEMD_TSAN=ON
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -L 'parallel|resilience|obs'
+    -L 'parallel|resilience|obs|kernels'
+fi
+
+if [[ "$KERNELS" == 1 ]]; then
+  # Kernel parity under both dispatch outcomes, then the GEMM smoke: the
+  # dispatched backend must never be slower than the scalar blocked kernel
+  # (when it is not the scalar kernel itself).
+  ctest --test-dir build --output-on-failure -L kernels
+  EMD_FORCE_SCALAR=1 ctest --test-dir build --output-on-failure -L kernels
+  (cd build/bench && ./bench_micro_core --gemm-only)
+  if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_micro.json") as f:
+    doc = json.load(f)
+by_name = {r["name"]: r for r in doc["results"]}
+backend = next((r["name"].split("/", 1)[1] for r in doc["results"]
+                if r["name"].startswith("kernel_backend/")), None)
+assert backend, "no kernel_backend entry in BENCH_micro.json"
+scalar = by_name["gemm_blocked/256"]["throughput"]
+dispatch = by_name["gemm_dispatch/256"]["throughput"]
+print(f"gemm smoke: backend={backend} scalar={scalar:.2f} "
+      f"dispatch={dispatch:.2f} GFLOP/s")
+if backend != "scalar":
+    assert dispatch >= scalar, (
+        f"dispatched backend '{backend}' slower than scalar: "
+        f"{dispatch:.2f} < {scalar:.2f} GFLOP/s")
+EOF
+  else
+    echo "kernels smoke: python3 unavailable, skipped GEMM comparison"
+  fi
 fi
 
 if [[ "$BENCH_SMOKE" == 1 ]]; then

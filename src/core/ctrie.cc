@@ -44,9 +44,15 @@ int CTrie::Insert(const std::vector<Token>& tokens, const TokenSpan& span) {
 }
 
 int CTrie::Step(int node, std::string_view token) const {
+  std::string fold_scratch;
+  return Step(node, token, &fold_scratch);
+}
+
+int CTrie::Step(int node, std::string_view token,
+                std::string* fold_scratch) const {
   EMD_CHECK_GE(node, 0);
   EMD_CHECK_LT(node, static_cast<int>(nodes_.size()));
-  const std::string folded = ToLowerAscii(token);
+  const std::string_view folded = ToLowerAsciiView(token, fold_scratch);
   auto it = nodes_[node].children.find(folded);
   return it == nodes_[node].children.end() ? kNoNode : it->second;
 }
@@ -71,8 +77,9 @@ int CTrie::CandidateLength(int candidate_id) const {
 
 int CTrie::Find(const std::vector<std::string>& tokens) const {
   int node = root();
+  std::string fold_scratch;
   for (const auto& tok : tokens) {
-    node = Step(node, tok);
+    node = Step(node, tok, &fold_scratch);
     if (node == kNoNode) return kNoCandidate;
   }
   return CandidateAt(node);

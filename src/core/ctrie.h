@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "text/token.h"
+#include "util/string_util.h"
 
 namespace emd {
 
@@ -40,6 +41,12 @@ class CTrie {
   /// returns kNoNode when no such path exists.
   int Step(int node, std::string_view token) const;
 
+  /// Allocation-free Step for scan loops: folds `token` through the caller's
+  /// reusable `fold_scratch` (only touched when the token has uppercase
+  /// ASCII) and looks the edge up heterogeneously — zero heap allocations in
+  /// steady state once the scratch capacity covers the longest token.
+  int Step(int node, std::string_view token, std::string* fold_scratch) const;
+
   /// Candidate id terminating at `node`, or kNoCandidate.
   int CandidateAt(int node) const;
 
@@ -59,7 +66,11 @@ class CTrie {
 
  private:
   struct Node {
-    std::unordered_map<std::string, int> children;
+    // Transparent hash/eq: Step() probes edges with a string_view key, so
+    // the scan hot path never materialises a temporary std::string.
+    std::unordered_map<std::string, int, TransparentStringHash,
+                       TransparentStringEq>
+        children;
     int candidate_id = kNoCandidate;
   };
 

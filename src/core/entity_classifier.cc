@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels/kernels.h"
 #include "nn/losses.h"
 #include "nn/optimizer.h"
 #include "nn/params.h"
@@ -35,11 +36,19 @@ void EntityClassifier::BuildModel() {
 }
 
 Mat EntityClassifier::MakeFeatures(const Mat& global_embedding, int num_tokens) {
-  EMD_CHECK_EQ(global_embedding.rows(), 1);
-  Mat f(1, global_embedding.cols() + 1);
-  for (int j = 0; j < global_embedding.cols(); ++j) f(0, j) = global_embedding(0, j);
-  f(0, global_embedding.cols()) = static_cast<float>(num_tokens) / 4.f;
+  Mat f;
+  MakeFeaturesInto(global_embedding, num_tokens, &f);
   return f;
+}
+
+void EntityClassifier::MakeFeaturesInto(const Mat& global_embedding,
+                                        int num_tokens, Mat* out) {
+  EMD_CHECK_EQ(global_embedding.rows(), 1);
+  out->Resize(1, global_embedding.cols() + 1);
+  for (int j = 0; j < global_embedding.cols(); ++j) {
+    (*out)(0, j) = global_embedding(0, j);
+  }
+  (*out)(0, global_embedding.cols()) = static_cast<float>(num_tokens) / 4.f;
 }
 
 float EntityClassifier::Forward(const Mat& features) const {
@@ -60,6 +69,27 @@ float EntityClassifier::Probability(const Mat& features) const {
   return Forward(features);
 }
 
+float EntityClassifier::Probability(const Mat& features,
+                                    InferScratch* scratch) const {
+  EMD_CHECK_EQ(features.cols(), options_.input_dim);
+  const auto& kern = kernels::Kernels();
+  // Standardize into the first ping-pong buffer.
+  Mat* x = &scratch->a;
+  Mat* y = &scratch->b;
+  x->Resize(1, features.cols());
+  for (int j = 0; j < features.cols(); ++j) {
+    (*x)(0, j) = (features(0, j) - feat_mean_(0, j)) / feat_std_(0, j);
+  }
+  for (size_t l = 0; l < hidden_.size(); ++l) {
+    hidden_[l]->Apply(*x, y);
+    // Maskless in-place ReLU: inference needs no backward mask.
+    kern.relu(y->data(), y->data(), nullptr, static_cast<int>(y->size()));
+    std::swap(x, y);
+  }
+  out_->Apply(*x, y);
+  return SigmoidScalar((*y)(0, 0));
+}
+
 CandidateLabel EntityClassifier::Classify(const Mat& features) const {
   const float p = Probability(features);
   if (p >= options_.alpha) return CandidateLabel::kEntity;
@@ -69,6 +99,12 @@ CandidateLabel EntityClassifier::Classify(const Mat& features) const {
 
 Result<EntityClassifier::Verdict> EntityClassifier::TryEvaluate(
     const Mat& features) const {
+  InferScratch scratch;
+  return TryEvaluate(features, &scratch);
+}
+
+Result<EntityClassifier::Verdict> EntityClassifier::TryEvaluate(
+    const Mat& features, InferScratch* scratch) const {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.entity_classifier.classify"));
   if (features.rows() != 1 || features.cols() != options_.input_dim) {
     return Status::InvalidArgument("classifier feature shape [", features.rows(),
@@ -76,7 +112,7 @@ Result<EntityClassifier::Verdict> EntityClassifier::TryEvaluate(
                                    options_.input_dim, "]");
   }
   Verdict v;
-  v.probability = Probability(features);
+  v.probability = Probability(features, scratch);
   if (v.probability >= options_.alpha) {
     v.label = CandidateLabel::kEntity;
   } else if (v.probability <= options_.beta) {

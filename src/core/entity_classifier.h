@@ -68,8 +68,23 @@ class EntityClassifier {
   /// Builds the feature row for a candidate: global embedding ++ length.
   static Mat MakeFeatures(const Mat& global_embedding, int num_tokens);
 
+  /// Allocation-recycling MakeFeatures: writes into `*out` (resized).
+  static void MakeFeaturesInto(const Mat& global_embedding, int num_tokens,
+                               Mat* out);
+
+  /// Reusable per-worker inference scratch: the two ping-pong activation
+  /// buffers of the maskless forward pass.
+  struct InferScratch {
+    Mat a, b;
+  };
+
   /// P(candidate is an entity).
   float Probability(const Mat& features) const;
+
+  /// Allocation-recycling Probability: inference-only forward through
+  /// Linear::Apply and a maskless ReLU kernel — no activation caching, so it
+  /// is safe for concurrent workers sharing one trained classifier.
+  float Probability(const Mat& features, InferScratch* scratch) const;
 
   /// Thresholded verdict.
   CandidateLabel Classify(const Mat& features) const;
@@ -85,6 +100,9 @@ class EntityClassifier {
   /// "core.entity_classifier.classify" failpoint. The Globalizer degrades
   /// kFull to mention-extraction for the remaining cycle when this fails.
   Result<Verdict> TryEvaluate(const Mat& features) const;
+
+  /// TryEvaluate with caller-owned scratch (hot path in Globalizer cycles).
+  Result<Verdict> TryEvaluate(const Mat& features, InferScratch* scratch) const;
 
   /// Trains on labelled examples with an internal 80/20 split.
   EntityClassifierTrainReport Train(const std::vector<ClassifierExample>& examples,

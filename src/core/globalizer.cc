@@ -88,7 +88,8 @@ Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embe
 
 Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span) {
   int retries = 0, degraded = 0;
-  Mat emb = LocalEmbeddingWith(record, span, &retry_rng_, &retries, &degraded);
+  Mat emb = LocalEmbeddingWith(record, span, &retry_rng_, &serial_embed_scratch_,
+                               &retries, &degraded);
   num_retries_ += retries;
   num_degraded_ += degraded;
   if (retries > 0) Counters().retries->Increment(retries);
@@ -98,6 +99,7 @@ Mat Globalizer::LocalEmbedding(const TweetRecord& record, const TokenSpan& span)
 
 Mat Globalizer::LocalEmbeddingWith(const TweetRecord& record,
                                    const TokenSpan& span, Rng* rng,
+                                   PhraseEmbedder::Scratch* scratch,
                                    int* retries, int* degraded) const {
   EMD_TRACE_SPAN("phrase_embed");
   if (!system_->is_deep()) {
@@ -110,7 +112,10 @@ Mat Globalizer::LocalEmbeddingWith(const TweetRecord& record,
   RetryStats retry_stats;
   Result<Mat> embedded = RunWithRetry(
       options_.resilience.phrase_embedder, clock_, rng,
-      [&] { return phrase_embedder_->TryEmbed(record.token_embeddings, span); },
+      [&] {
+        return phrase_embedder_->TryEmbed(record.token_embeddings, span,
+                                          scratch);
+      },
       &retry_stats);
   *retries += retry_stats.retries;
   if (embedded.ok()) return std::move(embedded).value();
@@ -376,9 +381,13 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   // so this stage fans out per tweet regardless of the local system.
   const size_t count = tweets_.size() - first_index;
   std::vector<ExtractStage> staged(count);
+  // Per-worker reusable phrase-embedder scratch, indexed by pool slot so no
+  // two concurrent tasks share a buffer.
+  std::vector<PhraseEmbedder::Scratch> embed_scratch(
+      std::max(1, options_.num_threads));
   ParallelForOrSerial(
       options_.num_threads > 1 ? pool_.get() : nullptr, count,
-      [&](int /*slot*/, size_t idx) {
+      [&](int slot, size_t idx) {
         const TweetRecord& record = tweets_.at(first_index + idx);
         if (record.quarantined) return;
         ExtractStage& stage = staged[idx];
@@ -386,8 +395,9 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
         stage.embeddings.reserve(stage.extracted.size());
         Rng rng = TaskRng(first_index + idx);
         for (const ExtractedMention& em : stage.extracted) {
-          stage.embeddings.push_back(LocalEmbeddingWith(
-              record, em.span, &rng, &stage.retries, &stage.degraded));
+          stage.embeddings.push_back(
+              LocalEmbeddingWith(record, em.span, &rng, &embed_scratch[slot],
+                                 &stage.retries, &stage.degraded));
         }
       });
 
@@ -484,12 +494,16 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
         ++out.num_ambiguous;
         continue;
       }
-      const Mat features =
-          EntityClassifier::MakeFeatures(rec.GlobalEmbedding(), rec.num_tokens);
+      EntityClassifier::MakeFeaturesInto(rec.GlobalEmbedding(), rec.num_tokens,
+                                         &classifier_features_);
+      const Mat& features = classifier_features_;
       RetryStats retry_stats;
       Result<EntityClassifier::Verdict> verdict = RunWithRetry(
           options_.resilience.classifier, clock_, &retry_rng_,
-          [&] { return classifier_->TryEvaluate(features); }, &retry_stats);
+          [&] {
+            return classifier_->TryEvaluate(features, &classifier_scratch_);
+          },
+          &retry_stats);
       num_retries_ += retry_stats.retries;
       if (retry_stats.retries > 0) {
         Counters().retries->Increment(retry_stats.retries);

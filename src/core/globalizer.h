@@ -263,9 +263,11 @@ class Globalizer {
 
   /// Thread-safe local embedding of one extracted mention; falls back to a
   /// mean-pooled raw token embedding (recorded in *degraded) when the phrase
-  /// embedder fails. Reads only shared-immutable state.
+  /// embedder fails. Reads only shared-immutable state; `scratch` is the
+  /// calling worker's reusable phrase-embedder buffer.
   Mat LocalEmbeddingWith(const TweetRecord& record, const TokenSpan& span,
-                         Rng* rng, int* retries, int* degraded) const;
+                         Rng* rng, PhraseEmbedder::Scratch* scratch,
+                         int* retries, int* degraded) const;
 
   /// Serial-path wrapper: draws jitter from retry_rng_ and accumulates the
   /// member counters.
@@ -330,6 +332,13 @@ class Globalizer {
   std::vector<LocalEmdSystem*> worker_systems_;
   std::mutex breaker_mu_;
   int last_local_lanes_ = 1;
+
+  // Allocation-recycling scratch for the serial hot paths: the serial-wrapper
+  // phrase-embedder pool buffer and the classifier's feature row + ping-pong
+  // activations, reused across candidates within and across cycles.
+  PhraseEmbedder::Scratch serial_embed_scratch_;
+  Mat classifier_features_;
+  EntityClassifier::InferScratch classifier_scratch_;
 
   // Fault-tolerance state; persisted by SaveCheckpoint. num_retries_ is
   // mutable because the const SaveCheckpoint retries its IO.

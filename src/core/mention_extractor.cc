@@ -12,6 +12,9 @@ std::vector<ExtractedMention> MentionExtractor::Extract(
     const std::vector<Token>& tokens) const {
   std::vector<ExtractedMention> out;
   const size_t T = tokens.size();
+  // One fold buffer for the whole scan: CTrie::Step reuses its capacity, so
+  // the window re-scan performs no per-token heap allocation.
+  std::string fold_scratch;
   size_t i = 0;
   while (i < T) {
     // Incrementally widen the scan window from position i along a CTrie path
@@ -22,7 +25,7 @@ std::vector<ExtractedMention> MentionExtractor::Extract(
     int best_candidate = CTrie::kNoCandidate;
     size_t j = i;
     while (j < T) {
-      node = trie_->Step(node, tokens[j].text);
+      node = trie_->Step(node, tokens[j].text, &fold_scratch);
       if (node == CTrie::kNoNode) break;
       ++j;
       const int cand = trie_->CandidateAt(node);

@@ -48,19 +48,37 @@ Mat PhraseEmbedder::EmbedAll(const Mat& token_embeddings) const {
 }
 
 Mat PhraseEmbedder::Embed(const Mat& token_embeddings, const TokenSpan& span) const {
+  Scratch scratch;
+  Mat out;
+  EmbedInto(token_embeddings, span, &scratch, &out);
+  return out;
+}
+
+void PhraseEmbedder::EmbedInto(const Mat& token_embeddings, const TokenSpan& span,
+                               Scratch* scratch, Mat* out) const {
   EMD_CHECK_LT(span.begin, span.end);
   EMD_CHECK_LE(span.end, static_cast<size_t>(token_embeddings.rows()));
-  Mat pooled(1, token_embeddings.cols());
+  Mat& pooled = scratch->pooled;
+  pooled.Resize(1, token_embeddings.cols());
+  pooled.Fill(0.f);
   for (size_t t = span.begin; t < span.end; ++t) {
     const float* row = token_embeddings.row(static_cast<int>(t));
     for (int j = 0; j < pooled.cols(); ++j) pooled(0, j) += row[j];
   }
   pooled.Scale(1.f / static_cast<float>(span.length()));
-  return AddRowBroadcast(MatMul(pooled, w_), b_);
+  MatMulInto(pooled, w_, out);
+  AddRowBroadcastInPlace(out, b_);
 }
 
 Result<Mat> PhraseEmbedder::TryEmbed(const Mat& token_embeddings,
                                      const TokenSpan& span) const {
+  Scratch scratch;
+  return TryEmbed(token_embeddings, span, &scratch);
+}
+
+Result<Mat> PhraseEmbedder::TryEmbed(const Mat& token_embeddings,
+                                     const TokenSpan& span,
+                                     Scratch* scratch) const {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.phrase_embedder.embed"));
   if (span.begin >= span.end ||
       span.end > static_cast<size_t>(token_embeddings.rows())) {
@@ -72,7 +90,9 @@ Result<Mat> PhraseEmbedder::TryEmbed(const Mat& token_embeddings,
     return Status::InvalidArgument("phrase embedder dim mismatch: got ",
                                    token_embeddings.cols(), ", want ", in_dim());
   }
-  return Embed(token_embeddings, span);
+  Mat out;
+  EmbedInto(token_embeddings, span, scratch, &out);
+  return out;
 }
 
 double PhraseEmbedder::Evaluate(LocalEmdSystem* system,

@@ -47,15 +47,31 @@ class PhraseEmbedder {
   /// candidate embedding size (100 for Aguilar, 300 for BERTweet in §VI).
   PhraseEmbedder(int in_dim, int out_dim, uint64_t seed = 43);
 
+  /// Reusable per-worker forward-pass scratch. Each pipeline worker owns one
+  /// and threads it through EmbedInto/TryEmbed, so steady-state candidate
+  /// embedding does no pooled-buffer allocation.
+  struct Scratch {
+    Mat pooled;  // [1, in_dim]
+  };
+
   /// Local candidate embedding for the tokens of `span` given the sentence's
   /// token embeddings [T, in_dim]. Returns [1, out_dim].
   Mat Embed(const Mat& token_embeddings, const TokenSpan& span) const;
+
+  /// Allocation-recycling Embed: pools into `scratch` and writes the
+  /// [1, out_dim] embedding into `*out` (resized; must not alias inputs).
+  void EmbedInto(const Mat& token_embeddings, const TokenSpan& span,
+                 Scratch* scratch, Mat* out) const;
 
   /// Fault-isolating Embed: validates the span/shape (kInvalidArgument
   /// instead of a fatal check) and honors the "core.phrase_embedder.embed"
   /// failpoint. The Globalizer degrades to a raw mean-pool fallback when
   /// this fails.
   Result<Mat> TryEmbed(const Mat& token_embeddings, const TokenSpan& span) const;
+
+  /// TryEmbed with caller-owned scratch (hot path under the batch engine).
+  Result<Mat> TryEmbed(const Mat& token_embeddings, const TokenSpan& span,
+                       Scratch* scratch) const;
 
   /// Embeds a whole sentence (the siamese sub-network's forward pass).
   Mat EmbedAll(const Mat& token_embeddings) const;

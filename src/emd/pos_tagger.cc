@@ -39,7 +39,10 @@ bool KindForcesTag(const Token& tok, PosTag* tag) {
 
 std::vector<std::string> PosTagger::Features(const std::vector<Token>& tokens,
                                              size_t t, PosTag prev_tag) const {
-  const std::string lower = ToLowerAscii(tokens[t].text);
+  // Fold each neighbour once into reused buffers; the only per-feature
+  // allocations left are the feature strings themselves.
+  std::string lower, ctx;
+  ToLowerAsciiInto(tokens[t].text, &lower);
   std::vector<std::string> feats;
   feats.reserve(12);
   feats.push_back("w=" + lower);
@@ -51,11 +54,18 @@ std::vector<std::string> PosTagger::Features(const std::vector<Token>& tokens,
                                                                                   : "0"));
   feats.push_back(std::string("start=") + (t == 0 ? "1" : "0"));
   feats.push_back(std::string("prev_tag=") + PosTagName(prev_tag));
-  feats.push_back("prev_w=" +
-                  (t > 0 ? ToLowerAscii(tokens[t - 1].text) : std::string("<s>")));
-  feats.push_back("next_w=" + (t + 1 < tokens.size()
-                                   ? ToLowerAscii(tokens[t + 1].text)
-                                   : std::string("</s>")));
+  if (t > 0) {
+    ToLowerAsciiInto(tokens[t - 1].text, &ctx);
+  } else {
+    ctx = "<s>";
+  }
+  feats.push_back("prev_w=" + ctx);
+  if (t + 1 < tokens.size()) {
+    ToLowerAsciiInto(tokens[t + 1].text, &ctx);
+  } else {
+    ctx = "</s>";
+  }
+  feats.push_back("next_w=" + ctx);
   feats.push_back("bias");
   return feats;
 }

@@ -9,12 +9,15 @@ namespace emd {
 SubwordTokenizer SubwordTokenizer::Build(const Dataset& corpus, int min_word_count) {
   std::unordered_map<std::string, int> word_counts;
   std::unordered_map<std::string, int> suffix_counts;
+  std::string lower, suffix;
   for (const auto& tweet : corpus.tweets) {
     for (const auto& tok : tweet.tokens) {
-      const std::string lower = ToLowerAscii(tok.text);
+      ToLowerAsciiInto(tok.text, &lower);
       ++word_counts[lower];
       for (size_t len = 2; len <= 4 && len < lower.size(); ++len) {
-        ++suffix_counts["##" + lower.substr(lower.size() - len)];
+        suffix.assign("##");
+        suffix.append(lower, lower.size() - len, len);
+        ++suffix_counts[suffix];
       }
     }
   }
@@ -35,19 +38,25 @@ SubwordTokenizer SubwordTokenizer::Build(const Dataset& corpus, int min_word_cou
 
 SubwordSplit SubwordTokenizer::Split(const std::string& word) const {
   SubwordSplit split;
-  const std::string lower = ToLowerAscii(word);
+  std::string lower;
+  ToLowerAsciiInto(word, &lower);
   if (lower.empty()) {
     split.piece_ids.push_back(Vocabulary::kUnkId);
     return split;
   }
+  // One piece buffer for the whole greedy scan: assign/append reuse its
+  // capacity, and the vocabulary probes are heterogeneous, so the candidate
+  // loop allocates nothing after the first iteration.
+  std::string piece;
   size_t pos = 0;
   while (pos < lower.size()) {
     // Greedy longest match; continuation pieces carry the "##" prefix.
     size_t best_len = 0;
     int best_id = Vocabulary::kUnkId;
-    const std::string prefix = pos == 0 ? "" : "##";
+    const std::string_view prefix = pos == 0 ? "" : "##";
     for (size_t len = lower.size() - pos; len >= 1; --len) {
-      const std::string piece = prefix + lower.substr(pos, len);
+      piece.assign(prefix);
+      piece.append(lower, pos, len);
       if (vocab_.Contains(piece)) {
         best_len = len;
         best_id = vocab_.Id(piece);

@@ -2,17 +2,20 @@
 
 #include <cmath>
 
+#include "nn/kernels/kernels.h"
+
 namespace emd {
 
+namespace {
+constexpr float kGeluSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCubicCoeff = 0.044715f;
+}  // namespace
+
 Mat ReluLayer::Forward(const Mat& x) {
-  mask_ = Mat(x.rows(), x.cols());
+  mask_.Resize(x.rows(), x.cols());
   Mat y(x.rows(), x.cols());
-  for (size_t i = 0; i < x.size(); ++i) {
-    if (x.data()[i] > 0) {
-      y.data()[i] = x.data()[i];
-      mask_.data()[i] = 1.f;
-    }
-  }
+  kernels::Kernels().relu(x.data(), y.data(), mask_.data(),
+                          static_cast<int>(x.size()));
   return y;
 }
 
@@ -22,8 +25,9 @@ Mat ReluLayer::Backward(const Mat& dy) const {
 }
 
 Mat SigmoidLayer::Forward(const Mat& x) {
-  y_ = Mat(x.rows(), x.cols());
-  for (size_t i = 0; i < x.size(); ++i) y_.data()[i] = SigmoidScalar(x.data()[i]);
+  y_.Resize(x.rows(), x.cols());
+  kernels::Kernels().vsigmoid(x.data(), y_.data(),
+                              static_cast<int>(x.size()));
   return y_;
 }
 
@@ -38,8 +42,8 @@ Mat SigmoidLayer::Backward(const Mat& dy) const {
 }
 
 Mat TanhLayer::Forward(const Mat& x) {
-  y_ = Mat(x.rows(), x.cols());
-  for (size_t i = 0; i < x.size(); ++i) y_.data()[i] = std::tanh(x.data()[i]);
+  y_.Resize(x.rows(), x.cols());
+  kernels::Kernels().vtanh(x.data(), y_.data(), static_cast<int>(x.size()));
   return y_;
 }
 
@@ -49,6 +53,39 @@ Mat TanhLayer::Backward(const Mat& dy) const {
   for (size_t i = 0; i < dy.size(); ++i) {
     float y = y_.data()[i];
     dx.data()[i] = dy.data()[i] * (1.f - y * y);
+  }
+  return dx;
+}
+
+Mat GeluLayer::Forward(const Mat& x) {
+  x_ = x;
+  const auto& k = kernels::Kernels();
+  const int n = static_cast<int>(x.size());
+  // Cache t = tanh(inner) rather than the output: the backward pass needs t
+  // itself, and y reconstructs from it with one multiply-add per element.
+  t_.Resize(x.rows(), x.cols());
+  for (int i = 0; i < n; ++i) {
+    const float v = x.data()[i];
+    t_.data()[i] = kGeluSqrt2OverPi * (v + kGeluCubicCoeff * v * v * v);
+  }
+  k.vtanh(t_.data(), t_.data(), n);
+  Mat y(x.rows(), x.cols());
+  for (int i = 0; i < n; ++i) {
+    y.data()[i] = 0.5f * x.data()[i] * (1.f + t_.data()[i]);
+  }
+  return y;
+}
+
+Mat GeluLayer::Backward(const Mat& dy) const {
+  EMD_CHECK(dy.SameShape(x_));
+  Mat dx(dy.rows(), dy.cols());
+  for (size_t i = 0; i < dy.size(); ++i) {
+    const float v = x_.data()[i];
+    const float t = t_.data()[i];
+    // d/dx [0.5 x (1 + tanh(u))] = 0.5 (1 + t) + 0.5 x (1 - t^2) u'
+    // with u = s(x + c x^3), u' = s(1 + 3 c x^2).
+    const float du = kGeluSqrt2OverPi * (1.f + 3.f * kGeluCubicCoeff * v * v);
+    dx.data()[i] = dy.data()[i] * (0.5f * (1.f + t) + 0.5f * v * (1.f - t * t) * du);
   }
   return dx;
 }

@@ -39,6 +39,17 @@ class TanhLayer {
   Mat y_;
 };
 
+/// Tanh-approximation GeLU: 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
+class GeluLayer {
+ public:
+  Mat Forward(const Mat& x);
+  Mat Backward(const Mat& dy) const;
+
+ private:
+  Mat x_;
+  Mat t_;  // tanh(sqrt(2/pi)(x + 0.044715 x^3)), cached for the backward pass
+};
+
 /// Scalar helpers used inside recurrent cells.
 inline float SigmoidScalar(float x) {
   if (x >= 0) {

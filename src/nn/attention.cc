@@ -1,6 +1,7 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace emd {
 
@@ -36,9 +37,8 @@ Mat MultiHeadSelfAttention::Forward(const Mat& x) {
     attn_[h] = scores_;  // backward cache (buffer reused across calls)
     MatMulInto(scores_, vh_, &ctx_);  // [T, d_head]
     for (int r = 0; r < T; ++r) {
-      float* crow = context_.row(r) + off;
-      const float* srow = ctx_.row(r);
-      for (int j = 0; j < d_head_; ++j) crow[j] = srow[j];
+      std::memcpy(context_.row(r) + off, ctx_.row(r),
+                  sizeof(float) * d_head_);
     }
   }
   return wo_.Forward(context_);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels/kernels.h"
+
 namespace emd {
 
 LinearChainCrf::LinearChainCrf(int num_labels, Rng* rng, std::string name)
@@ -43,12 +45,15 @@ void LinearChainCrf::BackwardMessages(const Mat& emissions, Mat* beta) const {
   *beta = Mat(T, L);
   for (int j = 0; j < L; ++j) (*beta)(T - 1, j) = end_(0, j);
   std::vector<float> tmp(L);
+  const auto& kern = kernels::Kernels();
   for (int t = T - 2; t >= 0; --t) {
+    const float* emis_next = emissions.row(t + 1);
+    const float* beta_next = beta->row(t + 1);
     for (int i = 0; i < L; ++i) {
-      for (int j = 0; j < L; ++j) {
-        tmp[j] = trans_(i, j) + emissions(t + 1, j) + (*beta)(t + 1, j);
-      }
-      (*beta)(t, i) = static_cast<float>(LogSumExp(tmp.data(), L));
+      // Two vadds preserve the scalar ((trans + emis) + beta) association.
+      kern.vadd(trans_.row(i), emis_next, tmp.data(), L);
+      kern.vadd(tmp.data(), beta_next, tmp.data(), L);
+      (*beta)(t, i) = static_cast<float>(kern.logsumexp(tmp.data(), L));
     }
   }
 }

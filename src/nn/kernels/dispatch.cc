@@ -1,0 +1,38 @@
+#include <cstdlib>
+
+#include "nn/kernels/kernels.h"
+#include "obs/metrics.h"
+#include "util/cpuid.h"
+
+namespace emd {
+namespace kernels {
+
+bool ForceScalar() {
+  static const bool force = [] {
+    const char* v = std::getenv("EMD_FORCE_SCALAR");
+    if (v == nullptr || v[0] == '\0') return false;
+    return !(v[0] == '0' && v[1] == '\0');
+  }();
+  return force;
+}
+
+const KernelBackend& Kernels() {
+  static const KernelBackend& chosen = []() -> const KernelBackend& {
+    const KernelBackend* backend = &ScalarKernels();
+    if (!ForceScalar()) {
+      const KernelBackend* avx2 = Avx2Kernels();
+      if (avx2 != nullptr && CpuHasAvx2Fma()) backend = avx2;
+    }
+    obs::Metrics()
+        .GetGauge("emd_kernel_backend_info",
+                  "Which compute-kernel backend the dispatcher selected "
+                  "(constant 1; the backend is in the label)",
+                  obs::Label{"backend", backend->name})
+        ->Set(1);
+    return *backend;
+  }();
+  return chosen;
+}
+
+}  // namespace kernels
+}  // namespace emd

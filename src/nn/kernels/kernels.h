@@ -1,0 +1,94 @@
+// Compute-kernel layer: one table of function pointers per backend, selected
+// once at runtime by CPU-feature detection (util/cpuid).
+//
+// Two backends exist today:
+//   * scalar — the pre-SIMD reference code, moved here verbatim from
+//     nn/matrix.cc / nn/activations.cc / nn/layer_norm.cc. It is the
+//     bit-exact baseline: under EMD_FORCE_SCALAR=1 the pipeline reproduces
+//     pre-kernel-layer output bit for bit.
+//   * avx2 — AVX2+FMA microkernels (kernels_avx2.cc, compiled with
+//     -mavx2 -mfma only; every call is guarded by runtime dispatch). May
+//     diverge from scalar by float-rounding noise only (the `kernels` ctest
+//     label asserts <= 1e-5 max-abs divergence per kernel).
+//
+// Dispatch policy (dispatch.cc):
+//   1. EMD_FORCE_SCALAR env var set to anything but "" or "0" => scalar.
+//   2. Binary compiled with AVX2 support AND the CPU reports AVX2+FMA => avx2.
+//   3. Otherwise scalar.
+// The choice is made once (thread-safe magic static), exported as the
+// `emd_kernel_backend_info{backend=...}` gauge, and never changes for the
+// life of the process — a run is always deterministic within one backend.
+
+#ifndef EMD_NN_KERNELS_KERNELS_H_
+#define EMD_NN_KERNELS_KERNELS_H_
+
+namespace emd {
+namespace kernels {
+
+/// One backend's kernel table. All matrices are dense row-major float.
+/// Every output is fully overwritten (no accumulate-into semantics), so
+/// callers may pass recycled scratch buffers without zeroing them first.
+struct KernelBackend {
+  const char* name;
+
+  // ---- GEMM family. ----
+  /// C[m,n] = A[m,k] * B[k,n].
+  void (*matmul)(const float* a, const float* b, float* c, int m, int k, int n);
+  /// C[m,n] = A[m,k] * B[n,k]^T (dot-product form).
+  void (*matmul_bt)(const float* a, const float* b, float* c, int m, int k,
+                    int n);
+  /// C[m,n] = A[k,m]^T * B[k,n] (rank-1 update form).
+  void (*matmul_at)(const float* a, const float* b, float* c, int k, int m,
+                    int n);
+
+  // ---- BLAS-1 style. ----
+  /// sum(x[i] * y[i]).
+  float (*dot)(const float* x, const float* y, int n);
+  /// y[i] += alpha * x[i].
+  void (*axpy)(float alpha, const float* x, float* y, int n);
+  /// out[i] = x[i] + y[i]. `out` may alias `x` or `y`.
+  void (*vadd)(const float* x, const float* y, float* out, int n);
+  /// x[i] *= alpha.
+  void (*vscale)(float alpha, float* x, int n);
+
+  // ---- Elementwise activations. `y` may alias `x`. ----
+  /// y = max(x, 0); when `mask` is non-null, mask[i] = x[i] > 0 ? 1 : 0.
+  void (*relu)(const float* x, float* y, float* mask, int n);
+  /// Tanh-approximation GeLU: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
+  void (*gelu)(const float* x, float* y, int n);
+  void (*vtanh)(const float* x, float* y, int n);
+  /// Numerically stable logistic sigmoid.
+  void (*vsigmoid)(const float* x, float* y, int n);
+
+  // ---- Row-wise ops. ----
+  /// In-place max-subtracted softmax over each row of a [rows, cols] matrix.
+  void (*softmax_rows)(float* a, int rows, int cols);
+  /// Per-row layer norm: y = gamma * xhat + beta with
+  /// xhat = (x - mean) * inv_std. Also writes the xhat rows and the per-row
+  /// inv_std values the backward pass caches.
+  void (*layer_norm)(const float* x, const float* gamma, const float* beta,
+                     float eps, int rows, int cols, float* y, float* xhat,
+                     float* inv_std);
+  /// Numerically stable log(sum(exp(x))) over n > 0 floats.
+  double (*logsumexp)(const float* x, int n);
+};
+
+/// The always-available scalar reference backend.
+const KernelBackend& ScalarKernels();
+
+/// The AVX2+FMA backend, or nullptr when this binary was compiled without
+/// AVX2 support. Callers must still check CpuHasAvx2Fma() before using it —
+/// Kernels() does both.
+const KernelBackend* Avx2Kernels();
+
+/// True when the EMD_FORCE_SCALAR environment variable requests the scalar
+/// backend (set to anything but empty or "0"). Read once.
+bool ForceScalar();
+
+/// The dispatched backend: selected once per process, see file comment.
+const KernelBackend& Kernels();
+
+}  // namespace kernels
+}  // namespace emd
+
+#endif  // EMD_NN_KERNELS_KERNELS_H_

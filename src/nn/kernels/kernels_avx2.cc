@@ -1,0 +1,562 @@
+// AVX2+FMA kernel backend.
+//
+// This translation unit is the ONLY one compiled with -mavx2 -mfma (see
+// src/nn/CMakeLists.txt); every entry point is reached exclusively through
+// the runtime dispatcher, which verifies CPU support first. When the
+// toolchain cannot target AVX2 the whole file degrades to a stub that
+// returns nullptr from Avx2Kernels().
+//
+// Accuracy contract: each kernel may differ from the scalar backend by
+// float-rounding noise only (FMA contraction, vectorized reduction order,
+// polynomial exp). tests/kernels_test.cc asserts <= 1e-5 max-abs divergence
+// on every kernel over odd/remainder shapes.
+
+#include "nn/kernels/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace emd {
+namespace kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small vector helpers.
+// ---------------------------------------------------------------------------
+
+inline float HSum256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  __m128 sh = _mm_movehl_ps(lo, lo);
+  lo = _mm_add_ps(lo, sh);
+  sh = _mm_shuffle_ps(lo, lo, 0x55);
+  lo = _mm_add_ss(lo, sh);
+  return _mm_cvtss_f32(lo);
+}
+
+inline float HMax256(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_max_ps(lo, hi);
+  __m128 sh = _mm_movehl_ps(lo, lo);
+  lo = _mm_max_ps(lo, sh);
+  sh = _mm_shuffle_ps(lo, lo, 0x55);
+  lo = _mm_max_ss(lo, sh);
+  return _mm_cvtss_f32(lo);
+}
+
+// Vectorized e^x, Cephes-style: range-reduce by powers of two, degree-5
+// minimax polynomial on the remainder, reassemble the exponent through the
+// float bit pattern. Max relative error ~2 ulp over the clamped domain.
+inline __m256 Exp256(__m256 x) {
+  const __m256 hi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 lo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 log2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 c1 = _mm256_set1_ps(0.693359375f);
+  const __m256 c2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 p0 = _mm256_set1_ps(1.9875691500e-4f);
+  const __m256 p1 = _mm256_set1_ps(1.3981999507e-3f);
+  const __m256 p2 = _mm256_set1_ps(8.3334519073e-3f);
+  const __m256 p3 = _mm256_set1_ps(4.1665795894e-2f);
+  const __m256 p4 = _mm256_set1_ps(1.6666665459e-1f);
+  const __m256 p5 = _mm256_set1_ps(5.0000001201e-1f);
+  const __m256 one = _mm256_set1_ps(1.f);
+
+  x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+
+  // n = round(x / ln 2); r = x - n ln 2 in two steps (c1 + c2 = ln 2).
+  __m256 fx = _mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5f));
+  fx = _mm256_floor_ps(fx);
+  x = _mm256_fnmadd_ps(fx, c1, x);
+  x = _mm256_fnmadd_ps(fx, c2, x);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = p0;
+  y = _mm256_fmadd_ps(y, x, p1);
+  y = _mm256_fmadd_ps(y, x, p2);
+  y = _mm256_fmadd_ps(y, x, p3);
+  y = _mm256_fmadd_ps(y, x, p4);
+  y = _mm256_fmadd_ps(y, x, p5);
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, one);
+
+  __m256i n = _mm256_cvttps_epi32(fx);
+  n = _mm256_add_epi32(n, _mm256_set1_epi32(0x7f));
+  n = _mm256_slli_epi32(n, 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(n));
+}
+
+inline __m256 Tanh256(__m256 x) {
+  // tanh(x) = (e^{2x} - 1) / (e^{2x} + 1); Exp256's input clamp keeps
+  // e^{2x} finite, so the quotient saturates cleanly to +-1.
+  const __m256 one = _mm256_set1_ps(1.f);
+  const __m256 e = Exp256(_mm256_add_ps(x, x));
+  return _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+}
+
+inline __m256 Sigmoid256(__m256 x) {
+  // Stable form: t = e^{-|x|}; sigmoid = 1/(1+t) for x >= 0, t/(1+t) else.
+  const __m256 one = _mm256_set1_ps(1.f);
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 t = Exp256(_mm256_sub_ps(zero, _mm256_and_ps(x, abs_mask)));
+  const __m256 denom = _mm256_add_ps(one, t);
+  const __m256 pos = _mm256_div_ps(one, denom);
+  const __m256 neg = _mm256_div_ps(t, denom);
+  return _mm256_blendv_ps(pos, neg, _mm256_cmp_ps(x, zero, _CMP_LT_OQ));
+}
+
+// Scalar tails reuse the exact scalar-backend expressions so the remainder
+// elements carry no extra approximation error.
+inline float SigmoidTail(float v) {
+  if (v >= 0) {
+    const float z = std::exp(-v);
+    return 1.f / (1.f + z);
+  }
+  const float z = std::exp(v);
+  return z / (1.f + z);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM family.
+// ---------------------------------------------------------------------------
+
+// 4x16 register-tiled microkernel: C[4, 16] += A[4, p0:p1] * B[p0:p1, 16].
+// Eight ymm accumulators stay resident across the whole k-panel; each loaded
+// B vector feeds four FMA chains.
+inline void Micro4x16(const float* __restrict a, const float* __restrict b,
+                      float* __restrict c, int lda, int ldn, int p0, int p1) {
+  __m256 acc00 = _mm256_loadu_ps(c);
+  __m256 acc01 = _mm256_loadu_ps(c + 8);
+  __m256 acc10 = _mm256_loadu_ps(c + ldn);
+  __m256 acc11 = _mm256_loadu_ps(c + ldn + 8);
+  __m256 acc20 = _mm256_loadu_ps(c + 2 * ldn);
+  __m256 acc21 = _mm256_loadu_ps(c + 2 * ldn + 8);
+  __m256 acc30 = _mm256_loadu_ps(c + 3 * ldn);
+  __m256 acc31 = _mm256_loadu_ps(c + 3 * ldn + 8);
+  for (int p = p0; p < p1; ++p) {
+    const float* __restrict brow = b + size_t(p) * ldn;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    __m256 av = _mm256_broadcast_ss(a + p);
+    acc00 = _mm256_fmadd_ps(av, b0, acc00);
+    acc01 = _mm256_fmadd_ps(av, b1, acc01);
+    av = _mm256_broadcast_ss(a + lda + p);
+    acc10 = _mm256_fmadd_ps(av, b0, acc10);
+    acc11 = _mm256_fmadd_ps(av, b1, acc11);
+    av = _mm256_broadcast_ss(a + 2 * lda + p);
+    acc20 = _mm256_fmadd_ps(av, b0, acc20);
+    acc21 = _mm256_fmadd_ps(av, b1, acc21);
+    av = _mm256_broadcast_ss(a + 3 * lda + p);
+    acc30 = _mm256_fmadd_ps(av, b0, acc30);
+    acc31 = _mm256_fmadd_ps(av, b1, acc31);
+  }
+  _mm256_storeu_ps(c, acc00);
+  _mm256_storeu_ps(c + 8, acc01);
+  _mm256_storeu_ps(c + ldn, acc10);
+  _mm256_storeu_ps(c + ldn + 8, acc11);
+  _mm256_storeu_ps(c + 2 * ldn, acc20);
+  _mm256_storeu_ps(c + 2 * ldn + 8, acc21);
+  _mm256_storeu_ps(c + 3 * ldn, acc30);
+  _mm256_storeu_ps(c + 3 * ldn + 8, acc31);
+}
+
+// 4x8 variant for the 8 <= n-tail < 16 strip.
+inline void Micro4x8(const float* __restrict a, const float* __restrict b,
+                     float* __restrict c, int lda, int ldn, int p0, int p1) {
+  __m256 acc0 = _mm256_loadu_ps(c);
+  __m256 acc1 = _mm256_loadu_ps(c + ldn);
+  __m256 acc2 = _mm256_loadu_ps(c + 2 * ldn);
+  __m256 acc3 = _mm256_loadu_ps(c + 3 * ldn);
+  for (int p = p0; p < p1; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + size_t(p) * ldn);
+    acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + p), b0, acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + lda + p), b0, acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 2 * lda + p), b0, acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 3 * lda + p), b0, acc3);
+  }
+  _mm256_storeu_ps(c, acc0);
+  _mm256_storeu_ps(c + ldn, acc1);
+  _mm256_storeu_ps(c + 2 * ldn, acc2);
+  _mm256_storeu_ps(c + 3 * ldn, acc3);
+}
+
+// Single-row strip: C[1, j0:n] += A[1, p0:p1] * B[p0:p1, j0:n].
+inline void Micro1Row(const float* __restrict a, const float* __restrict b,
+                      float* __restrict c, int ldn, int p0, int p1, int j0,
+                      int n) {
+  int j = j0;
+  for (; j + 7 < n; j += 8) {
+    __m256 acc = _mm256_loadu_ps(c + j);
+    for (int p = p0; p < p1; ++p) {
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(a + p),
+                            _mm256_loadu_ps(b + size_t(p) * ldn + j), acc);
+    }
+    _mm256_storeu_ps(c + j, acc);
+  }
+  for (; j < n; ++j) {
+    float s = c[j];
+    for (int p = p0; p < p1; ++p) s += a[p] * b[size_t(p) * ldn + j];
+    c[j] = s;
+  }
+}
+
+// k-panel depth: 256 floats of 4 A rows (4 KB) plus the streamed B panel
+// rows keep the microkernel L1/L2 resident.
+constexpr int kPanelK = 256;
+
+void MatMulAvx2(const float* A, const float* B, float* C, int m, int k,
+                int n) {
+  std::memset(C, 0, sizeof(float) * size_t(m) * n);
+  for (int p0 = 0; p0 < k; p0 += kPanelK) {
+    const int p1 = std::min(p0 + kPanelK, k);
+    int i = 0;
+    for (; i + 3 < m; i += 4) {
+      const float* arow = A + size_t(i) * k;
+      float* crow = C + size_t(i) * n;
+      int j = 0;
+      for (; j + 15 < n; j += 16) {
+        Micro4x16(arow, B + j, crow + j, k, n, p0, p1);
+      }
+      if (j + 7 < n) {
+        Micro4x8(arow, B + j, crow + j, k, n, p0, p1);
+        j += 8;
+      }
+      if (j < n) {
+        for (int r = 0; r < 4; ++r) {
+          Micro1Row(arow + size_t(r) * k, B, crow + size_t(r) * n, n, p0, p1,
+                    j, n);
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      Micro1Row(A + size_t(i) * k, B, C + size_t(i) * n, n, p0, p1, 0, n);
+    }
+  }
+}
+
+float DotAvx2(const float* x, const float* y, int n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 15 < n; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                           _mm256_loadu_ps(y + i + 8), acc1);
+  }
+  if (i + 7 < n) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                           acc0);
+    i += 8;
+  }
+  float s = HSum256(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void MatMulBTAvx2(const float* A, const float* B, float* C, int m, int k,
+                  int n) {
+  // Dot-product form, 1 A row x 4 B rows: four independent vector
+  // accumulator chains share each loaded A vector.
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict a = A + size_t(i) * k;
+    float* crow = C + size_t(i) * n;
+    int j = 0;
+    for (; j + 3 < n; j += 4) {
+      const float* __restrict b0 = B + size_t(j) * k;
+      const float* __restrict b1 = B + size_t(j + 1) * k;
+      const float* __restrict b2 = B + size_t(j + 2) * k;
+      const float* __restrict b3 = B + size_t(j + 3) * k;
+      __m256 s0 = _mm256_setzero_ps();
+      __m256 s1 = _mm256_setzero_ps();
+      __m256 s2 = _mm256_setzero_ps();
+      __m256 s3 = _mm256_setzero_ps();
+      int p = 0;
+      for (; p + 7 < k; p += 8) {
+        const __m256 av = _mm256_loadu_ps(a + p);
+        s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + p), s0);
+        s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + p), s1);
+        s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + p), s2);
+        s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + p), s3);
+      }
+      float r0 = HSum256(s0), r1 = HSum256(s1);
+      float r2 = HSum256(s2), r3 = HSum256(s3);
+      for (; p < k; ++p) {
+        const float av = a[p];
+        r0 += av * b0[p];
+        r1 += av * b1[p];
+        r2 += av * b2[p];
+        r3 += av * b3[p];
+      }
+      crow[j] = r0;
+      crow[j + 1] = r1;
+      crow[j + 2] = r2;
+      crow[j + 3] = r3;
+    }
+    for (; j < n; ++j) crow[j] = DotAvx2(a, B + size_t(j) * k, k);
+  }
+}
+
+void MatMulATAvx2(const float* A, const float* B, float* C, int k, int m,
+                  int n) {
+  std::memset(C, 0, sizeof(float) * size_t(m) * n);
+  // Rank-1 update per p, vectorized along the shared B row.
+  for (int p = 0; p < k; ++p) {
+    const float* __restrict arow = A + size_t(p) * m;
+    const float* __restrict brow = B + size_t(p) * n;
+    for (int i = 0; i < m; ++i) {
+      const __m256 av = _mm256_broadcast_ss(arow + i);
+      float* crow = C + size_t(i) * n;
+      int j = 0;
+      for (; j + 7 < n; j += 8) {
+        _mm256_storeu_ps(
+            crow + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j),
+                                      _mm256_loadu_ps(crow + j)));
+      }
+      const float avs = arow[i];
+      for (; j < n; ++j) crow[j] += avs * brow[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BLAS-1 style.
+// ---------------------------------------------------------------------------
+
+void AxpyAvx2(float alpha, const float* x, float* y, int n) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  int i = 0;
+  for (; i + 7 < n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void VAddAvx2(const float* x, const float* y, float* out, int n) {
+  int i = 0;
+  for (; i + 7 < n; i += 8) {
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(x + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void VScaleAvx2(float alpha, float* x, int n) {
+  const __m256 av = _mm256_set1_ps(alpha);
+  int i = 0;
+  for (; i + 7 < n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(av, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise activations.
+// ---------------------------------------------------------------------------
+
+void ReluAvx2(const float* x, float* y, float* mask, int n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int i = 0;
+  if (mask != nullptr) {
+    const __m256 one = _mm256_set1_ps(1.f);
+    for (; i + 7 < n; i += 8) {
+      const __m256 v = _mm256_loadu_ps(x + i);
+      const __m256 gt = _mm256_cmp_ps(v, zero, _CMP_GT_OQ);
+      _mm256_storeu_ps(y + i, _mm256_max_ps(v, zero));
+      _mm256_storeu_ps(mask + i, _mm256_and_ps(gt, one));
+    }
+    for (; i < n; ++i) {
+      const bool pos = x[i] > 0;
+      y[i] = pos ? x[i] : 0.f;
+      mask[i] = pos ? 1.f : 0.f;
+    }
+  } else {
+    for (; i + 7 < n; i += 8) {
+      _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+    }
+    for (; i < n; ++i) y[i] = x[i] > 0 ? x[i] : 0.f;
+  }
+}
+
+constexpr float kGeluSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCubicCoeff = 0.044715f;
+
+void GeluAvx2(const float* x, float* y, int n) {
+  // 0.5 x (1 + tanh(s(x + c x^3))) with s(x + c x^3) = x(s + s*c*x^2).
+  const __m256 s = _mm256_set1_ps(kGeluSqrt2OverPi);
+  const __m256 sc = _mm256_set1_ps(kGeluSqrt2OverPi * kGeluCubicCoeff);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.f);
+  int i = 0;
+  for (; i + 7 < n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 inner =
+        _mm256_mul_ps(v, _mm256_fmadd_ps(sc, _mm256_mul_ps(v, v), s));
+    const __m256 t = Tanh256(inner);
+    _mm256_storeu_ps(
+        y + i,
+        _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+  for (; i < n; ++i) {
+    const float v = x[i];
+    const float inner = kGeluSqrt2OverPi * (v + kGeluCubicCoeff * v * v * v);
+    y[i] = 0.5f * v * (1.f + std::tanh(inner));
+  }
+}
+
+void TanhAvx2(const float* x, float* y, int n) {
+  int i = 0;
+  for (; i + 7 < n; i += 8) {
+    _mm256_storeu_ps(y + i, Tanh256(_mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void SigmoidAvx2(const float* x, float* y, int n) {
+  int i = 0;
+  for (; i + 7 < n; i += 8) {
+    _mm256_storeu_ps(y + i, Sigmoid256(_mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = SigmoidTail(x[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Row-wise ops.
+// ---------------------------------------------------------------------------
+
+void SoftmaxRowsAvx2(float* a, int rows, int cols) {
+  for (int r = 0; r < rows; ++r) {
+    float* row = a + size_t(r) * cols;
+    float mx = row[0];
+    int j = 0;
+    if (cols >= 8) {
+      __m256 vmx = _mm256_loadu_ps(row);
+      for (j = 8; j + 7 < cols; j += 8) {
+        vmx = _mm256_max_ps(vmx, _mm256_loadu_ps(row + j));
+      }
+      mx = HMax256(vmx);
+    }
+    for (; j < cols; ++j) mx = std::max(mx, row[j]);
+
+    const __m256 vm = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    for (j = 0; j + 7 < cols; j += 8) {
+      const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(row + j), vm));
+      _mm256_storeu_ps(row + j, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    float s = HSum256(vsum);
+    for (; j < cols; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      s += row[j];
+    }
+
+    const float inv = 1.f / s;
+    VScaleAvx2(inv, row, cols);
+  }
+}
+
+void LayerNormAvx2(const float* x, const float* gamma, const float* beta,
+                   float eps, int rows, int cols, float* y, float* xhat,
+                   float* inv_std) {
+  for (int r = 0; r < rows; ++r) {
+    const float* xr = x + size_t(r) * cols;
+    __m256 vsum = _mm256_setzero_ps();
+    int j = 0;
+    for (; j + 7 < cols; j += 8) {
+      vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(xr + j));
+    }
+    float mean = HSum256(vsum);
+    for (; j < cols; ++j) mean += xr[j];
+    mean /= cols;
+
+    const __m256 vmean = _mm256_set1_ps(mean);
+    __m256 vvar = _mm256_setzero_ps();
+    for (j = 0; j + 7 < cols; j += 8) {
+      const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(xr + j), vmean);
+      vvar = _mm256_fmadd_ps(d, d, vvar);
+    }
+    float var = HSum256(vvar);
+    for (; j < cols; ++j) {
+      const float d = xr[j] - mean;
+      var += d * d;
+    }
+    var /= cols;
+
+    const float istd = 1.f / std::sqrt(var + eps);
+    inv_std[r] = istd;
+    float* xh = xhat + size_t(r) * cols;
+    float* yr = y + size_t(r) * cols;
+    const __m256 vistd = _mm256_set1_ps(istd);
+    for (j = 0; j + 7 < cols; j += 8) {
+      const __m256 h = _mm256_mul_ps(
+          _mm256_sub_ps(_mm256_loadu_ps(xr + j), vmean), vistd);
+      _mm256_storeu_ps(xh + j, h);
+      _mm256_storeu_ps(yr + j,
+                       _mm256_fmadd_ps(_mm256_loadu_ps(gamma + j), h,
+                                       _mm256_loadu_ps(beta + j)));
+    }
+    for (; j < cols; ++j) {
+      xh[j] = (xr[j] - mean) * istd;
+      yr[j] = gamma[j] * xh[j] + beta[j];
+    }
+  }
+}
+
+double LogSumExpAvx2(const float* x, int n) {
+  float mx = x[0];
+  int i = 0;
+  if (n >= 8) {
+    __m256 vmx = _mm256_loadu_ps(x);
+    for (i = 8; i + 7 < n; i += 8) {
+      vmx = _mm256_max_ps(vmx, _mm256_loadu_ps(x + i));
+    }
+    mx = HMax256(vmx);
+  }
+  for (; i < n; ++i) mx = std::max(mx, x[i]);
+
+  const __m256 vm = _mm256_set1_ps(mx);
+  __m256 vsum = _mm256_setzero_ps();
+  for (i = 0; i + 7 < n; i += 8) {
+    vsum = _mm256_add_ps(vsum,
+                         Exp256(_mm256_sub_ps(_mm256_loadu_ps(x + i), vm)));
+  }
+  double s = double(HSum256(vsum));
+  for (; i < n; ++i) s += std::exp(double(x[i]) - mx);
+  return double(mx) + std::log(s);
+}
+
+}  // namespace
+
+const KernelBackend* Avx2Kernels() {
+  static const KernelBackend backend = {
+      "avx2",          MatMulAvx2,    MatMulBTAvx2,  MatMulATAvx2,
+      DotAvx2,         AxpyAvx2,      VAddAvx2,      VScaleAvx2,
+      ReluAvx2,        GeluAvx2,      TanhAvx2,      SigmoidAvx2,
+      SoftmaxRowsAvx2, LayerNormAvx2, LogSumExpAvx2,
+  };
+  return &backend;
+}
+
+}  // namespace kernels
+}  // namespace emd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace emd {
+namespace kernels {
+
+const KernelBackend* Avx2Kernels() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace emd
+
+#endif

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels/kernels.h"
+
 namespace emd {
 
 LayerNorm::LayerNorm(int dim, std::string name, float eps)
@@ -17,29 +19,12 @@ LayerNorm::LayerNorm(int dim, std::string name, float eps)
 Mat LayerNorm::Forward(const Mat& x) {
   const int D = gamma_.cols();
   EMD_CHECK_EQ(x.cols(), D);
-  xhat_cache_ = Mat(x.rows(), D);
+  xhat_cache_.Resize(x.rows(), D);
   inv_std_cache_.assign(x.rows(), 0.f);
   Mat y(x.rows(), D);
-  for (int r = 0; r < x.rows(); ++r) {
-    const float* xr = x.row(r);
-    double mean = 0;
-    for (int j = 0; j < D; ++j) mean += xr[j];
-    mean /= D;
-    double var = 0;
-    for (int j = 0; j < D; ++j) {
-      double d = xr[j] - mean;
-      var += d * d;
-    }
-    var /= D;
-    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps_));
-    inv_std_cache_[r] = inv_std;
-    float* xh = xhat_cache_.row(r);
-    float* yr = y.row(r);
-    for (int j = 0; j < D; ++j) {
-      xh[j] = (xr[j] - static_cast<float>(mean)) * inv_std;
-      yr[j] = gamma_(0, j) * xh[j] + beta_(0, j);
-    }
-  }
+  kernels::Kernels().layer_norm(x.data(), gamma_.data(), beta_.data(), eps_,
+                                x.rows(), D, y.data(), xhat_cache_.data(),
+                                inv_std_cache_.data());
   return y;
 }
 

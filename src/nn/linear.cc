@@ -24,6 +24,12 @@ void Linear::ForwardInto(const Mat& x, Mat* out) {
   AddRowBroadcastInPlace(out, b_);
 }
 
+void Linear::Apply(const Mat& x, Mat* out) const {
+  EMD_CHECK_EQ(x.cols(), w_.rows());
+  MatMulInto(x, w_, out);
+  AddRowBroadcastInPlace(out, b_);
+}
+
 Mat Linear::Backward(const Mat& dy) {
   EMD_CHECK_EQ(dy.cols(), w_.cols());
   EMD_CHECK_EQ(dy.rows(), x_cache_.rows());

@@ -29,6 +29,11 @@ class Linear {
   /// long-lived buffer so per-tweet forward passes stop churning the heap.
   void ForwardInto(const Mat& x, Mat* out);
 
+  /// Inference-only forward: like ForwardInto but does NOT cache x, so it is
+  /// const and safe to call concurrently from many workers sharing one
+  /// trained layer. Backward must not follow an Apply.
+  void Apply(const Mat& x, Mat* out) const;
+
   /// Given dL/dy, accumulates dL/dW and dL/db; returns dL/dx.
   Mat Backward(const Mat& dy);
 

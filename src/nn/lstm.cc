@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/activations.h"
+#include "nn/kernels/kernels.h"
 
 namespace emd {
 
@@ -35,9 +36,12 @@ Mat Lstm::Forward(const Mat& x, bool reverse) {
     sc.x = x.RowCopy(t);
     sc.h_prev = h_prev;
     sc.c_prev = c_prev;
-    // Pre-activations: z = x Wx + h_prev Wh + b, 1 x 4H.
-    Mat z = AddRowBroadcast(MatMul(sc.x, wx_), b_);
-    z.Add(MatMul(h_prev, wh_));
+    // Pre-activations: z = x Wx + h_prev Wh + b, 1 x 4H, built in reusable
+    // scratch (z_, zh_) so the recurrence allocates nothing per step.
+    MatMulInto(sc.x, wx_, &z_);
+    AddRowBroadcastInPlace(&z_, b_);
+    MatMulInto(h_prev, wh_, &zh_);
+    z_.Add(zh_);
     sc.i = Mat(1, H);
     sc.f = Mat(1, H);
     sc.g = Mat(1, H);
@@ -45,19 +49,19 @@ Mat Lstm::Forward(const Mat& x, bool reverse) {
     sc.c = Mat(1, H);
     sc.tanh_c = Mat(1, H);
     Mat h(1, H);
+    // The fused gate layout keeps each gate's pre-activations contiguous, so
+    // the sigmoid/tanh kernels run over whole H-length segments of z.
+    const auto& kern = kernels::Kernels();
+    const float* z = z_.data();
+    kern.vsigmoid(z, sc.i.data(), H);
+    kern.vsigmoid(z + H, sc.f.data(), H);
+    kern.vtanh(z + 2 * H, sc.g.data(), H);
+    kern.vsigmoid(z + 3 * H, sc.o.data(), H);
     for (int j = 0; j < H; ++j) {
-      const float zi = z(0, j);
-      const float zf = z(0, H + j);
-      const float zg = z(0, 2 * H + j);
-      const float zo = z(0, 3 * H + j);
-      sc.i(0, j) = SigmoidScalar(zi);
-      sc.f(0, j) = SigmoidScalar(zf);
-      sc.g(0, j) = std::tanh(zg);
-      sc.o(0, j) = SigmoidScalar(zo);
       sc.c(0, j) = sc.f(0, j) * c_prev(0, j) + sc.i(0, j) * sc.g(0, j);
-      sc.tanh_c(0, j) = std::tanh(sc.c(0, j));
-      h(0, j) = sc.o(0, j) * sc.tanh_c(0, j);
     }
+    kern.vtanh(sc.c.data(), sc.tanh_c.data(), H);
+    for (int j = 0; j < H; ++j) h(0, j) = sc.o(0, j) * sc.tanh_c(0, j);
     out.SetRow(t, h);
     h_prev = h;
     c_prev = sc.c;

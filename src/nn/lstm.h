@@ -51,6 +51,9 @@ class Lstm {
   Mat dwx_, dwh_, db_;
   std::vector<StepCache> cache_;
   bool reverse_ = false;
+  // Per-step pre-activation scratch ([1, 4*hidden]), reused across steps and
+  // sequences so the forward pass does no per-step allocation.
+  Mat z_, zh_;
 };
 
 /// Bidirectional LSTM: concatenates forward and backward hidden states.

@@ -1,5 +1,7 @@
 #include "nn/matrix.h"
 
+#include "nn/kernels/kernels.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -20,16 +22,18 @@ void Mat::InitGaussian(Rng* rng, float stddev) {
 
 void Mat::Add(const Mat& other) {
   EMD_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::Kernels().vadd(data(), other.data(), data(),
+                          static_cast<int>(data_.size()));
 }
 
 void Mat::AddScaled(const Mat& other, float alpha) {
   EMD_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  kernels::Kernels().axpy(alpha, other.data(), data(),
+                          static_cast<int>(data_.size()));
 }
 
 void Mat::Scale(float alpha) {
-  for (auto& x : data_) x *= alpha;
+  kernels::Kernels().vscale(alpha, data(), static_cast<int>(data_.size()));
 }
 
 Mat Mat::RowCopy(int r) const {
@@ -70,79 +74,13 @@ std::string Mat::DebugString(int max_rows, int max_cols) const {
   return os.str();
 }
 
-namespace {
-
-// Cache blocking for the C = A*B kernel: a kBlockK x kBlockJ panel of B
-// (64 * 128 * 4B = 32 KB) is streamed over all rows of A before moving on,
-// so it stays L1/L2-resident instead of being re-fetched per output row.
-// Within a panel, four A rows are processed together: each loaded B value
-// feeds four accumulator rows, quartering B-side memory traffic. The k index
-// always advances in ascending order for any (i, j), so results are
-// bit-identical across block sizes (and to the unblocked triple loop).
-constexpr int kGemmBlockK = 64;
-constexpr int kGemmBlockJ = 128;
-
-// C[i0..i0+4) += A[i0..i0+4, p0..p1) * B[p0..p1, j0..j1), row-major,
-// leading dimensions lda/ldn.
-inline void GemmPanel4(const float* __restrict a, const float* __restrict b,
-                       float* __restrict c, int lda, int ldn, int p0, int p1,
-                       int j0, int j1) {
-  const float* a0 = a;
-  const float* a1 = a + lda;
-  const float* a2 = a + 2 * lda;
-  const float* a3 = a + 3 * lda;
-  float* c0 = c;
-  float* c1 = c + ldn;
-  float* c2 = c + 2 * ldn;
-  float* c3 = c + 3 * ldn;
-  for (int p = p0; p < p1; ++p) {
-    const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
-    const float* __restrict brow = b + size_t(p) * ldn;
-    for (int j = j0; j < j1; ++j) {
-      const float bv = brow[j];
-      c0[j] += av0 * bv;
-      c1[j] += av1 * bv;
-      c2[j] += av2 * bv;
-      c3[j] += av3 * bv;
-    }
-  }
-}
-
-inline void GemmPanel1(const float* __restrict arow, const float* __restrict b,
-                       float* __restrict crow, int ldn, int p0, int p1, int j0,
-                       int j1) {
-  for (int p = p0; p < p1; ++p) {
-    const float av = arow[p];
-    const float* __restrict brow = b + size_t(p) * ldn;
-    for (int j = j0; j < j1; ++j) crow[j] += av * brow[j];
-  }
-}
-
-}  // namespace
-
 void MatMulInto(const Mat& a, const Mat& b, Mat* c) {
   EMD_CHECK_EQ(a.cols(), b.rows());
   EMD_CHECK(c != &a && c != &b);
   const int m = a.rows(), k = a.cols(), n = b.cols();
   c->Resize(m, n);
-  c->Zero();
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c->data();
-  for (int p0 = 0; p0 < k; p0 += kGemmBlockK) {
-    const int p1 = std::min(p0 + kGemmBlockK, k);
-    for (int j0 = 0; j0 < n; j0 += kGemmBlockJ) {
-      const int j1 = std::min(j0 + kGemmBlockJ, n);
-      int i = 0;
-      for (; i + 3 < m; i += 4) {
-        GemmPanel4(A + size_t(i) * k, B, C + size_t(i) * n, k, n, p0, p1, j0,
-                   j1);
-      }
-      for (; i < m; ++i) {
-        GemmPanel1(A + size_t(i) * k, B, C + size_t(i) * n, n, p0, p1, j0, j1);
-      }
-    }
-  }
+  // The kernel fully overwrites C (internal zero-init) — no Zero() needed.
+  kernels::Kernels().matmul(a.data(), b.data(), c->data(), m, k, n);
 }
 
 Mat MatMul(const Mat& a, const Mat& b) {
@@ -156,64 +94,7 @@ void MatMulBTInto(const Mat& a, const Mat& b, Mat* c) {
   EMD_CHECK(c != &a && c != &b);
   const int m = a.rows(), k = a.cols(), n = b.rows();
   c->Resize(m, n);
-  // Dot-product form: tile 2 rows of A x 4 rows of B so each loaded input
-  // value feeds several of the 8 independent accumulator chains (ILP), and
-  // the B rows are reused from registers/L1 across both A rows.
-  int i = 0;
-  for (; i + 1 < m; i += 2) {
-    const float* __restrict a0 = a.row(i);
-    const float* __restrict a1 = a.row(i + 1);
-    float* crow0 = c->row(i);
-    float* crow1 = c->row(i + 1);
-    int j = 0;
-    for (; j + 3 < n; j += 4) {
-      const float* __restrict b0 = b.row(j);
-      const float* __restrict b1 = b.row(j + 1);
-      const float* __restrict b2 = b.row(j + 2);
-      const float* __restrict b3 = b.row(j + 3);
-      float s00 = 0, s01 = 0, s02 = 0, s03 = 0;
-      float s10 = 0, s11 = 0, s12 = 0, s13 = 0;
-      for (int p = 0; p < k; ++p) {
-        const float av0 = a0[p], av1 = a1[p];
-        s00 += av0 * b0[p];
-        s01 += av0 * b1[p];
-        s02 += av0 * b2[p];
-        s03 += av0 * b3[p];
-        s10 += av1 * b0[p];
-        s11 += av1 * b1[p];
-        s12 += av1 * b2[p];
-        s13 += av1 * b3[p];
-      }
-      crow0[j] = s00;
-      crow0[j + 1] = s01;
-      crow0[j + 2] = s02;
-      crow0[j + 3] = s03;
-      crow1[j] = s10;
-      crow1[j + 1] = s11;
-      crow1[j + 2] = s12;
-      crow1[j + 3] = s13;
-    }
-    for (; j < n; ++j) {
-      const float* __restrict brow = b.row(j);
-      float s0 = 0, s1 = 0;
-      for (int p = 0; p < k; ++p) {
-        s0 += a0[p] * brow[p];
-        s1 += a1[p] * brow[p];
-      }
-      crow0[j] = s0;
-      crow1[j] = s1;
-    }
-  }
-  for (; i < m; ++i) {
-    const float* __restrict arow = a.row(i);
-    float* crow = c->row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* __restrict brow = b.row(j);
-      float s = 0;
-      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
-    }
-  }
+  kernels::Kernels().matmul_bt(a.data(), b.data(), c->data(), m, k, n);
 }
 
 Mat MatMulBT(const Mat& a, const Mat& b) {
@@ -227,33 +108,7 @@ void MatMulATInto(const Mat& a, const Mat& b, Mat* c) {
   EMD_CHECK(c != &a && c != &b);
   const int k = a.rows(), m = a.cols(), n = b.cols();
   c->Resize(m, n);
-  c->Zero();
-  // Rank-1 update per p; four C rows share each loaded B row.
-  for (int p = 0; p < k; ++p) {
-    const float* __restrict arow = a.row(p);
-    const float* __restrict brow = b.row(p);
-    int i = 0;
-    for (; i + 3 < m; i += 4) {
-      const float av0 = arow[i], av1 = arow[i + 1];
-      const float av2 = arow[i + 2], av3 = arow[i + 3];
-      float* c0 = c->row(i);
-      float* c1 = c->row(i + 1);
-      float* c2 = c->row(i + 2);
-      float* c3 = c->row(i + 3);
-      for (int j = 0; j < n; ++j) {
-        const float bv = brow[j];
-        c0[j] += av0 * bv;
-        c1[j] += av1 * bv;
-        c2[j] += av2 * bv;
-        c3[j] += av3 * bv;
-      }
-    }
-    for (; i < m; ++i) {
-      const float av = arow[i];
-      float* crow = c->row(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::Kernels().matmul_at(a.data(), b.data(), c->data(), k, m, n);
 }
 
 Mat MatMulAT(const Mat& a, const Mat& b) {
@@ -287,10 +142,8 @@ void AddRowBroadcastInPlace(Mat* a, const Mat& bias_row) {
   EMD_CHECK_EQ(bias_row.rows(), 1);
   EMD_CHECK_EQ(bias_row.cols(), a->cols());
   const float* bias = bias_row.data();
-  for (int r = 0; r < a->rows(); ++r) {
-    float* arow = a->row(r);
-    for (int j = 0; j < a->cols(); ++j) arow[j] += bias[j];
-  }
+  const auto& k = kernels::Kernels();
+  for (int r = 0; r < a->rows(); ++r) k.axpy(1.f, bias, a->row(r), a->cols());
 }
 
 Mat SumRows(const Mat& a) {
@@ -350,26 +203,11 @@ Mat StackRows(const std::vector<Mat>& rows) {
 
 double LogSumExp(const float* x, int n) {
   EMD_CHECK_GT(n, 0);
-  float mx = x[0];
-  for (int i = 1; i < n; ++i) mx = std::max(mx, x[i]);
-  double s = 0;
-  for (int i = 0; i < n; ++i) s += std::exp(double(x[i]) - mx);
-  return double(mx) + std::log(s);
+  return kernels::Kernels().logsumexp(x, n);
 }
 
 void SoftmaxRowsInPlace(Mat* a) {
-  for (int r = 0; r < a->rows(); ++r) {
-    float* row = a->row(r);
-    float mx = row[0];
-    for (int j = 1; j < a->cols(); ++j) mx = std::max(mx, row[j]);
-    double s = 0;
-    for (int j = 0; j < a->cols(); ++j) {
-      row[j] = std::exp(row[j] - mx);
-      s += row[j];
-    }
-    const float inv = static_cast<float>(1.0 / s);
-    for (int j = 0; j < a->cols(); ++j) row[j] *= inv;
-  }
+  kernels::Kernels().softmax_rows(a->data(), a->rows(), a->cols());
 }
 
 float CosineSimilarity(const Mat& a, const Mat& b) {

@@ -13,7 +13,7 @@ Vocabulary::Vocabulary() {
 }
 
 int Vocabulary::Add(std::string_view token) {
-  auto it = token_to_id_.find(std::string(token));
+  auto it = token_to_id_.find(token);
   if (it != token_to_id_.end()) return it->second;
   int id = static_cast<int>(id_to_token_.size());
   id_to_token_.emplace_back(token);
@@ -22,12 +22,12 @@ int Vocabulary::Add(std::string_view token) {
 }
 
 int Vocabulary::Id(std::string_view token) const {
-  auto it = token_to_id_.find(std::string(token));
+  auto it = token_to_id_.find(token);
   return it == token_to_id_.end() ? kUnkId : it->second;
 }
 
 bool Vocabulary::Contains(std::string_view token) const {
-  return token_to_id_.count(std::string(token)) > 0;
+  return token_to_id_.find(token) != token_to_id_.end();
 }
 
 const std::string& Vocabulary::Token(int id) const {

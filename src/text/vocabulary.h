@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/string_util.h"
 
 namespace emd {
 
@@ -50,7 +51,11 @@ class Vocabulary {
   static Result<Vocabulary> Deserialize(const std::string& data);
 
  private:
-  std::unordered_map<std::string, int> token_to_id_;
+  // Transparent hash/eq: Id()/Contains() look up string_view keys without
+  // building a temporary std::string per query.
+  std::unordered_map<std::string, int, TransparentStringHash,
+                     TransparentStringEq>
+      token_to_id_;
   std::vector<std::string> id_to_token_;
 };
 

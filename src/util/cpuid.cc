@@ -1,0 +1,15 @@
+#include "util/cpuid.h"
+
+namespace emd {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports reads CPUID once (and checks OS XSAVE support for
+  // the AVX state, which a raw CPUID probe would miss).
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace emd

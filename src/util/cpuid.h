@@ -1,0 +1,18 @@
+// Runtime CPU feature detection for the compute-kernel dispatch layer.
+//
+// Queried exactly once (the kernel dispatcher caches its choice), so these
+// helpers favour clarity over caching. Non-x86 targets report no features and
+// the dispatcher falls back to the always-available scalar backend.
+
+#ifndef EMD_UTIL_CPUID_H_
+#define EMD_UTIL_CPUID_H_
+
+namespace emd {
+
+/// True when the running CPU supports both AVX2 and FMA3 — the feature set
+/// the vectorized kernel backend (src/nn/kernels/kernels_avx2.cc) requires.
+bool CpuHasAvx2Fma();
+
+}  // namespace emd
+
+#endif  // EMD_UTIL_CPUID_H_

@@ -10,6 +10,26 @@ std::string ToLowerAscii(std::string_view s) {
   return out;
 }
 
+void ToLowerAsciiInto(std::string_view s, std::string* out) {
+  out->assign(s);
+  for (char& c : *out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+}
+
+std::string_view ToLowerAsciiView(std::string_view s, std::string* scratch) {
+  bool has_upper = false;
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') {
+      has_upper = true;
+      break;
+    }
+  }
+  if (!has_upper) return s;
+  ToLowerAsciiInto(s, scratch);
+  return *scratch;
+}
+
 std::string ToUpperAscii(std::string_view s) {
   std::string out(s);
   for (char& c : out) {

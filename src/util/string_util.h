@@ -15,6 +15,16 @@ namespace emd {
 /// Lowercases ASCII letters; other bytes pass through.
 std::string ToLowerAscii(std::string_view s);
 
+/// Allocation-recycling variant: writes the case-folded `s` into `*out`
+/// (contents replaced). With a reused scratch string, steady-state calls do
+/// no heap allocation once the scratch capacity covers the longest token.
+void ToLowerAsciiInto(std::string_view s, std::string* out);
+
+/// Zero-copy fold: returns `s` itself when it contains no uppercase ASCII
+/// (the common case for already-lowercased streams), otherwise folds into
+/// `*scratch` and returns a view of it.
+std::string_view ToLowerAsciiView(std::string_view s, std::string* scratch);
+
 /// Uppercases ASCII letters; other bytes pass through.
 std::string ToUpperAscii(std::string_view s);
 
@@ -64,6 +74,24 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// Word-shape signature: uppercase->'X', lowercase->'x', digit->'d',
 /// other->'o', with runs collapsed ("McDonald's"->"XxXxox").
 std::string WordShape(std::string_view s, bool collapse_runs = true);
+
+/// Transparent (heterogeneous) hash/eq for unordered containers keyed by
+/// std::string: lets find()/count() take a std::string_view without
+/// materialising a temporary std::string — the enabler for allocation-free
+/// hot-path lookups (CTrie edges, vocabulary ids).
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct TransparentStringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
 
 }  // namespace emd
 

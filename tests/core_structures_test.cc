@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "core/candidate_base.h"
 #include "core/ctrie.h"
 #include "core/mention_extractor.h"
@@ -13,6 +17,30 @@
 #include "eval/metrics.h"
 #include "text/tweet_tokenizer.h"
 #include "util/rng.h"
+
+// Global allocation counter: CTrieTest.StepIsAllocationFreeInSteadyState
+// asserts the scan hot path performs zero heap allocations once warm.
+// GCC cannot see that the replacement operator new/delete below are a
+// matched malloc/free pair and warns at every inlined delete site.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+std::atomic<long> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace emd {
 namespace {
@@ -116,6 +144,37 @@ TEST(CTrieTest, StepTraversal) {
   ASSERT_NE(node, CTrie::kNoNode);
   EXPECT_NE(trie.CandidateAt(node), CTrie::kNoCandidate);
   EXPECT_EQ(trie.Step(trie.root(), "boston"), CTrie::kNoNode);
+}
+
+TEST(CTrieTest, StepIsAllocationFreeInSteadyState) {
+  CTrie trie;
+  // Long, mixed-case tokens push past small-string optimization so a naive
+  // fold-into-temporary would be forced to allocate.
+  trie.Insert({"supercalifragilistic", "expialidocious", "entity"});
+  trie.Insert({"new", "york", "city"});
+
+  const std::vector<std::string> scan = {
+      "SuperCaliFragilistic", "EXPIALIDOCIOUS", "Entity",
+      "New",                  "YORK",           "city",
+      "unrelated-token",      "ANOTHER-Unrelated-Long-Token"};
+
+  // Warm the fold scratch to its steady-state capacity.
+  std::string fold_scratch;
+  for (const std::string& tok : scan) {
+    (void)trie.Step(trie.root(), tok, &fold_scratch);
+  }
+
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 100; ++round) {
+    int node = trie.root();
+    for (const std::string& tok : scan) {
+      node = trie.Step(node, tok, &fold_scratch);
+      if (node == CTrie::kNoNode) node = trie.root();
+    }
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "CTrie::Step allocated on the steady-state scan path";
 }
 
 class CTriePropertyTest : public ::testing::TestWithParam<uint64_t> {};

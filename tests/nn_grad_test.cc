@@ -24,6 +24,14 @@
 namespace emd {
 namespace {
 
+// Finite differences divide forward-pass error by 2h, so the ~1e-7-accurate
+// vectorized exp/tanh approximations would read as percent-level gradient
+// noise. Pin the exact scalar kernels before the dispatcher's one-time choice.
+const bool kForceScalarKernels = [] {
+  setenv("EMD_FORCE_SCALAR", "1", /*overwrite=*/1);
+  return true;
+}();
+
 // Scalar loss used by all checks: weighted sum of outputs, dL/dy = weights.
 struct ScalarLoss {
   explicit ScalarLoss(int rows, int cols, uint64_t seed = 99) : w(rows, cols) {
