@@ -1,0 +1,163 @@
+// Wire-protocol client for emd_server: submits tweets read from stdin (one
+// per line) or a synthetic stream, honoring RETRY_AFTER with the same
+// decorrelated-jitter backoff the pipeline uses internally (util/retry.h).
+//
+//   ./build/examples/emd_client --port N [flags]
+//     --host ADDR        server address (default 127.0.0.1)
+//     --client-id ID     fairness identity sent in HELLO (default "cli")
+//     --count N          submit N synthetic tweets instead of reading stdin
+//     --deadline-ms N    per-tweet processing deadline (0 = none)
+//     --max-attempts N   submission attempts per tweet (default 5)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "net/client.h"
+#include "util/retry.h"
+#include "util/rng.h"
+
+using namespace emd;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port N [--host ADDR] [--client-id ID] "
+               "[--count N] [--deadline-ms N] [--max-attempts N]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseLong(const char* s, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  long count = -1;
+  long deadline_ms = 0;
+  long max_attempts = 5;
+  std::string host = "127.0.0.1";
+  std::string client_id = "cli";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--port") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &port) || port <= 0 ||
+          port > 65535) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--count") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &count) || count < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &deadline_ms) ||
+          deadline_ms < 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--max-attempts") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &max_attempts) ||
+          max_attempts <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--host") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      host = argv[++i];
+    } else if (std::strcmp(arg, "--client-id") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      client_id = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  if (port == 0) return Usage(argv[0]);
+
+  net::ClientOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.client_id = client_id;
+  Result<net::BlockingClient> client = net::BlockingClient::Connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  // RETRY_AFTER discipline: sleep max(server hint, decorrelated jitter) so a
+  // herd of clients never reconverges on the server in lockstep.
+  RetryPolicy retry_policy;
+  retry_policy.initial_backoff_nanos = 5 * kMillisecond;
+  retry_policy.max_backoff_nanos = 2 * kSecond;
+  Rng rng(/*seed=*/42);
+  Backoff backoff(retry_policy, &rng);
+  Clock* clock = Clock::Real();
+
+  uint64_t submitted = 0, accepted = 0, retried = 0, dropped = 0;
+  uint64_t seq = 0;
+  std::string line;
+  char buf[4096];
+  while (true) {
+    std::string text;
+    if (count >= 0) {
+      if (static_cast<long>(submitted) >= count) break;
+      text = "synthetic tweet about Houston and the Rockets game #" +
+             std::to_string(submitted);
+    } else {
+      if (std::fgets(buf, sizeof(buf), stdin) == nullptr) break;
+      text.assign(buf);
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+        text.pop_back();
+      }
+      if (text.empty()) continue;
+    }
+    ++submitted;
+
+    net::TweetFrame tweet;
+    tweet.seq = ++seq;
+    tweet.tweet_id = seq;
+    tweet.deadline_ms = static_cast<uint32_t>(deadline_ms);
+    tweet.text = text;
+
+    bool done = false;
+    backoff.Reset();
+    for (long attempt = 0; attempt < max_attempts && !done; ++attempt) {
+      Result<net::SubmitResult> result = client->Submit(tweet);
+      if (!result.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     result.status().ToString().c_str());
+        std::printf("submitted=%llu accepted=%llu retried=%llu dropped=%llu\n",
+                    static_cast<unsigned long long>(submitted),
+                    static_cast<unsigned long long>(accepted),
+                    static_cast<unsigned long long>(retried),
+                    static_cast<unsigned long long>(dropped + 1));
+        return 1;
+      }
+      if (result->accepted) {
+        ++accepted;
+        done = true;
+        break;
+      }
+      ++retried;
+      const uint64_t hint = uint64_t{result->retry_after_ms} * kMillisecond;
+      clock->SleepFor(std::max(hint, backoff.NextDelayNanos()));
+    }
+    if (!done) ++dropped;
+  }
+  client->Close();
+
+  std::printf("submitted=%llu accepted=%llu retried=%llu dropped=%llu\n",
+              static_cast<unsigned long long>(submitted),
+              static_cast<unsigned long long>(accepted),
+              static_cast<unsigned long long>(retried),
+              static_cast<unsigned long long>(dropped));
+  return dropped == 0 ? 0 : 1;
+}

@@ -1,0 +1,208 @@
+// Serving deployment of the EMD pipeline: a TCP ingestion front-end
+// (src/net) in front of the Globalizer. Clients speak the length-prefixed
+// wire protocol; every TWEET is either ACKed (admitted) or answered with an
+// explicit RETRY_AFTER (overload, throttled, draining). SIGTERM/SIGINT
+// triggers a graceful drain: the server stops accepting, flushes every
+// admitted tweet through the pipeline, checkpoints, and exits 0 with the
+// zero-loss invariant accepted == processed + dead_lettered intact.
+//
+//   ./build/examples/emd_server [flags]
+//     --port N             listen port (default 0 = ephemeral; printed)
+//     --batch-size N       tweets per execution cycle (default 32)
+//     --queue-capacity N   bounded ingest-queue capacity (default 256)
+//     --checkpoint PATH    checkpoint file, written during graceful drain
+//     --resume             restore the checkpoint before serving
+//     --dlq PATH           dead-letter queue for unprocessable tweets
+//     --metrics-out PATH   write PATH.prom / PATH.json snapshots at drain
+//
+// Kill-and-resume: run with --checkpoint s.ckpt, SIGTERM it mid-stream,
+// restart with --checkpoint s.ckpt --resume; no admitted tweet is lost.
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/framework_kit.h"
+#include "core/globalizer.h"
+#include "net/server.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "stream/dead_letter.h"
+#include "util/file_io.h"
+
+using namespace emd;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [flags]\n"
+               "  --port N             listen port (0 = ephemeral)\n"
+               "  --batch-size N       tweets per execution cycle\n"
+               "  --queue-capacity N   bounded ingest-queue capacity\n"
+               "  --checkpoint PATH    checkpoint file written at drain\n"
+               "  --resume             restore the checkpoint before serving\n"
+               "  --dlq PATH           dead-letter queue file\n"
+               "  --metrics-out PATH   write PATH.prom/.json at drain\n",
+               argv0);
+  return 2;
+}
+
+bool ParseLong(const char* s, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  long batch_size = 32;
+  long queue_capacity = 256;
+  bool resume = false;
+  std::string checkpoint_path;
+  std::string dlq_path;
+  std::string metrics_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--port") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &port) || port < 0 ||
+          port > 65535) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--batch-size") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &batch_size) ||
+          batch_size <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--queue-capacity") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &queue_capacity) ||
+          queue_capacity <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(arg, "--checkpoint") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      checkpoint_path = argv[++i];
+    } else if (std::strcmp(arg, "--dlq") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      dlq_path = argv[++i];
+    } else if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      metrics_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return Usage(argv[0]);
+    }
+  }
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint PATH\n");
+    return Usage(argv[0]);
+  }
+
+  FrameworkKitOptions kit_options = FrameworkKitOptions::FromEnv();
+  if (std::getenv("EMD_SCALE") == nullptr) kit_options.scale = 0.25;
+  FrameworkKit kit(kit_options);
+  const SystemKind kind = SystemKind::kTwitterNlp;
+
+  GlobalizerOptions goptions;
+  goptions.batch_size = static_cast<size_t>(batch_size);
+  goptions.resilience.local_emd.max_attempts = 3;
+  goptions.resilience.checkpoint_io.max_attempts = 3;
+  Globalizer globalizer(kit.system(kind), kit.phrase_embedder(kind),
+                        kit.classifier(kind), goptions);
+  globalizer.set_fallback_system(kit.system(SystemKind::kNpChunker));
+
+  std::optional<DeadLetterQueue> dlq;
+  if (!dlq_path.empty()) {
+    Result<DeadLetterQueue> opened = DeadLetterQueue::Open(dlq_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open dead-letter queue: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    dlq.emplace(std::move(opened).value());
+    globalizer.set_dead_letter_queue(&*dlq);
+  }
+
+  if (resume) {
+    const Status st = globalizer.RestoreCheckpoint(checkpoint_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot resume: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("Resumed from %s at tweet cursor %zu\n", checkpoint_path.c_str(),
+                globalizer.processed_tweets());
+  }
+
+  net::ServingPipeline pipeline;
+  pipeline.process_batch = [&](std::span<const AnnotatedTweet> batch) {
+    return globalizer.ProcessBatch(batch);
+  };
+  if (!checkpoint_path.empty()) {
+    pipeline.checkpoint = [&] {
+      return globalizer.SaveCheckpoint(checkpoint_path);
+    };
+  }
+  pipeline.dead_letter = [&](const AnnotatedTweet& tweet,
+                             const Status& reason) {
+    if (dlq.has_value()) (void)dlq->Append(tweet, reason);
+  };
+
+  net::ServerOptions options;
+  options.port = static_cast<uint16_t>(port);
+  options.batch_size = static_cast<size_t>(batch_size);
+  options.queue_capacity = static_cast<size_t>(queue_capacity);
+
+  net::Server server(std::move(pipeline), options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  server.InstallDrainHandler();
+  globalizer.set_ingest_queue(&server.queue());
+  std::printf("emd_server listening on port %u (SIGTERM drains gracefully)\n",
+              server.port());
+  std::fflush(stdout);
+
+  st = server.Serve();
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve loop failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const net::ServerStats& stats = server.stats();
+  std::printf("drained: accepted=%llu processed=%llu dead_lettered=%llu "
+              "rejected=%llu batches=%llu connections=%llu\n",
+              static_cast<unsigned long long>(stats.tweets_accepted),
+              static_cast<unsigned long long>(stats.tweets_processed),
+              static_cast<unsigned long long>(stats.tweets_dead_lettered),
+              static_cast<unsigned long long>(stats.tweets_rejected),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.connections_accepted));
+  if (stats.tweets_accepted !=
+      stats.tweets_processed + stats.tweets_dead_lettered) {
+    std::fprintf(stderr, "ZERO-LOSS INVARIANT VIOLATED\n");
+    return 1;
+  }
+
+  Result<GlobalizerOutput> out = globalizer.Finalize();
+  if (out.ok()) std::printf("%s\n", out->ResilienceSummary().c_str());
+
+  if (!metrics_out.empty()) {
+    const obs::MetricsSnapshot snap = obs::Metrics().Snapshot();
+    (void)WriteFileAtomic(metrics_out + ".prom", obs::ToPrometheusText(snap));
+    (void)WriteFileAtomic(metrics_out + ".json", obs::ToBenchJson(snap));
+    std::printf("metrics snapshots written to %s.prom and %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+  return 0;
+}

@@ -13,6 +13,10 @@
 #   scripts/check.sh --kernels     # additionally the kernel parity label
 #                                  # (dispatched + forced-scalar) and the
 #                                  # both-backend GEMM smoke comparison
+#   scripts/check.sh --serving     # additionally the net label (protocol,
+#                                  # admission, chaos, drain tests) and a
+#                                  # short bench_serving_load spike run with
+#                                  # SLO + zero-loss assertions
 #
 # Run from the repository root.
 set -euo pipefail
@@ -24,6 +28,7 @@ TSAN=0
 BENCH_SMOKE=0
 DOCS=0
 KERNELS=0
+SERVING=0
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
@@ -31,6 +36,7 @@ for arg in "$@"; do
     --bench-smoke) BENCH_SMOKE=1 ;;
     --docs) DOCS=1 ;;
     --kernels) KERNELS=1 ;;
+    --serving) SERVING=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -57,7 +63,16 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DEMD_TSAN=ON
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -L 'parallel|resilience|obs|kernels'
+    -L 'parallel|resilience|obs|kernels|net'
+fi
+
+if [[ "$SERVING" == 1 ]]; then
+  # The serving front-end under bursty load: chaos + drain tests, then a
+  # short spike run that must shed with explicit RETRY_AFTER, starve no
+  # client, lose no accepted tweet, and hold the p99 end-to-end SLO.
+  ctest --test-dir build --output-on-failure -L net
+  ./build/bench/bench_serving_load --duration-ms 2000 \
+    --json build/BENCH_serving.json
 fi
 
 if [[ "$KERNELS" == 1 ]]; then

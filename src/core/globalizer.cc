@@ -60,7 +60,10 @@ std::string GlobalizerOutput::ResilienceSummary() const {
      << " fallback=" << num_fallback << " quarantined=" << num_quarantined
      << " degraded=" << num_degraded
      << " classifier_degraded=" << (classifier_degraded ? 1 : 0)
-     << " dead_lettered=" << num_dead_lettered;
+     << " dead_lettered=" << num_dead_lettered
+     << " admission_rejected=" << num_admission_rejected
+     << " queue_backpressure=" << num_queue_rejected
+     << " queue_shed=" << num_queue_shed;
   return os.str();
 }
 
@@ -463,6 +466,12 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
     o->num_dead_lettered = num_dead_lettered_;
     o->breaker_trips = restored_breaker_trips_ + breaker_.trips();
     o->breaker_recoveries = restored_breaker_recoveries_ + breaker_.recoveries();
+    if (ingest_queue_ != nullptr) {
+      const IngestQueueStats& qs = ingest_queue_->stats();
+      o->num_admission_rejected = qs.admission_rejected;
+      o->num_queue_rejected = qs.rejected;
+      o->num_queue_shed = qs.shed;
+    }
     o->summary = o->ResilienceSummary();
     o->metrics = obs::Metrics().Snapshot();
     EMD_LOG(Info) << o->summary;

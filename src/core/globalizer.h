@@ -48,6 +48,7 @@
 #include "obs/metrics.h"
 #include "stream/annotated_tweet.h"
 #include "stream/dead_letter.h"
+#include "stream/ingest_queue.h"
 #include "util/circuit_breaker.h"
 #include "util/deadline.h"
 #include "util/result.h"
@@ -161,6 +162,14 @@ struct GlobalizerOutput {
   int breaker_trips = 0;
   int breaker_recoveries = 0;
 
+  /// Ingest-edge admission accounting, copied from the queue attached via
+  /// set_ingest_queue (zero when no queue is attached). Distinct on purpose:
+  /// admission rejections and backpressure refusals are retried by the
+  /// producer (nothing lost), shed tweets are gone.
+  uint64_t num_admission_rejected = 0;  // refused upstream with RETRY_AFTER
+  uint64_t num_queue_rejected = 0;      // Push backpressure refusals
+  uint64_t num_queue_shed = 0;          // PushOrShed drops
+
   /// One-line operator report: "resilience: retries=.. breaker_trips=.. ...".
   std::string ResilienceSummary() const;
 
@@ -219,6 +228,12 @@ class Globalizer {
   /// Persistent queue receiving every quarantined tweet for later replay.
   /// Must outlive the Globalizer. Append failures are logged, never fatal.
   void set_dead_letter_queue(DeadLetterQueue* dlq) { dead_letter_ = dlq; }
+
+  /// Bounded ingest queue feeding this pipeline, if any. Must outlive the
+  /// Globalizer. Finalize copies its admission/shedding stats into
+  /// GlobalizerOutput so the operator report distinguishes backpressure,
+  /// admission rejection, and shedding.
+  void set_ingest_queue(const IngestQueue* queue) { ingest_queue_ = queue; }
 
   /// Per-worker replicas of the local system, enabling parallel Local EMD for
   /// systems that are not concurrent_safe() (the deep nets cache forward
@@ -324,6 +339,7 @@ class Globalizer {
   CircuitBreaker breaker_;
   LocalEmdSystem* fallback_system_ = nullptr;
   DeadLetterQueue* dead_letter_ = nullptr;
+  const IngestQueue* ingest_queue_ = nullptr;
 
   // Parallel batch engine: lazily created fixed worker pool, optional
   // per-worker system replicas, and the mutex that serializes breaker access

@@ -1,0 +1,253 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace emd {
+namespace net {
+
+AdmissionController::AdmissionController(IngestQueue* queue,
+                                         AdmissionOptions options)
+    : queue_(queue),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      accepted_counter_(obs::Metrics().GetCounter(
+          "emd_admission_accepted_total",
+          "Tweets accepted at the serving admission edge and staged for the "
+          "pipeline")),
+      rejected_backpressure_(obs::Metrics().GetCounter(
+          "emd_admission_rejected_total",
+          "Tweets rejected at the admission edge with RETRY_AFTER, by reason",
+          {"reason", "backpressure"})),
+      rejected_throttled_(obs::Metrics().GetCounter(
+          "emd_admission_rejected_total",
+          "Tweets rejected at the admission edge with RETRY_AFTER, by reason",
+          {"reason", "throttled"})),
+      rejected_draining_(obs::Metrics().GetCounter(
+          "emd_admission_rejected_total",
+          "Tweets rejected at the admission edge with RETRY_AFTER, by reason",
+          {"reason", "draining"})),
+      expired_counter_(obs::Metrics().GetCounter(
+          "emd_admission_expired_total",
+          "Accepted tweets whose propagated deadline lapsed before an "
+          "execution cycle reached them (diverted to the DLQ, not processed)")),
+      staged_gauge_(obs::Metrics().GetGauge(
+          "emd_admission_staged_depth",
+          "Tweets staged in per-client admission queues awaiting DRR drain")) {
+  EMD_CHECK(queue_ != nullptr);
+  if (options_.high_watermark == 0) {
+    options_.high_watermark =
+        (queue_->capacity() + options_.staging_capacity) * 3 / 4;
+  }
+  if (options_.low_watermark == 0) {
+    options_.low_watermark = options_.high_watermark / 2;
+  }
+  EMD_CHECK_LT(options_.low_watermark, options_.high_watermark);
+  EMD_CHECK_GT(options_.drr_quantum, 0u);
+}
+
+AdmissionController::ClientState& AdmissionController::ClientFor(
+    const std::string& client_id) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    it = clients_.emplace(client_id, ClientState{}).first;
+    it->second.tokens = options_.burst_tokens;
+    it->second.last_refill_nanos = clock_->NowNanos();
+    client_order_.push_back(client_id);
+  }
+  return it->second;
+}
+
+void AdmissionController::RefillBucket(ClientState& client,
+                                       uint64_t now_nanos) {
+  if (options_.tokens_per_second <= 0) return;
+  const uint64_t elapsed = now_nanos - client.last_refill_nanos;
+  client.last_refill_nanos = now_nanos;
+  client.tokens = std::min(
+      options_.burst_tokens,
+      client.tokens + options_.tokens_per_second *
+                          (static_cast<double>(elapsed) / kSecond));
+}
+
+uint32_t AdmissionController::BackpressureRetryMs() const {
+  // Scale the hint by how deep into overload the backlog sits: at the low
+  // watermark the hint is the base, at/past the high watermark it is 2x the
+  // base, growing linearly in between — clients back off harder the worse
+  // the overload, without any server-side coordination.
+  const size_t depth = backlog();
+  const size_t low = options_.low_watermark;
+  const size_t high = options_.high_watermark;
+  double severity = 1.0;
+  if (depth > low && high > low) {
+    severity += static_cast<double>(std::min(depth, high) - low) /
+                static_cast<double>(high - low);
+  }
+  const double hint = options_.base_retry_after_ms * severity;
+  return static_cast<uint32_t>(
+      std::min<double>(hint, options_.max_retry_after_ms));
+}
+
+void AdmissionController::CountRejection(ClientState& client,
+                                         RejectReason reason) {
+  queue_->RecordAdmissionRejected();
+  switch (reason) {
+    case RejectReason::kBackpressure:
+      rejected_backpressure_->Increment();
+      break;
+    case RejectReason::kThrottled:
+      rejected_throttled_->Increment();
+      ++client.stats.throttled;
+      break;
+    case RejectReason::kDraining:
+      rejected_draining_->Increment();
+      break;
+  }
+}
+
+AdmissionDecision AdmissionController::Offer(const std::string& client_id,
+                                             AnnotatedTweet tweet,
+                                             uint32_t deadline_ms) {
+  ClientState& client = ClientFor(client_id);
+  ++client.stats.offered;
+  AdmissionDecision decision;
+
+  if (draining_) {
+    decision.reason = RejectReason::kDraining;
+    decision.retry_after_ms = options_.max_retry_after_ms;
+    CountRejection(client, decision.reason);
+    return decision;
+  }
+
+  const uint64_t now = clock_->NowNanos();
+  if (options_.tokens_per_second > 0) {
+    RefillBucket(client, now);
+    if (client.tokens < 1.0) {
+      decision.reason = RejectReason::kThrottled;
+      // Time until the bucket holds one token again, rounded up to a ms.
+      const double deficit = 1.0 - client.tokens;
+      const double wait_ms =
+          deficit / options_.tokens_per_second * 1000.0;
+      decision.retry_after_ms = static_cast<uint32_t>(std::min<double>(
+          std::max(1.0, std::ceil(wait_ms)), options_.max_retry_after_ms));
+      CountRejection(client, decision.reason);
+      return decision;
+    }
+  }
+
+  // Watermark hysteresis on the total backlog. The hard staging cap is a
+  // second line of defence should the watermarks be configured above it.
+  const size_t depth = backlog();
+  if (over_high_ && depth <= options_.low_watermark) over_high_ = false;
+  if (!over_high_ && depth >= options_.high_watermark) over_high_ = true;
+  if (over_high_ || staged_total_ >= options_.staging_capacity) {
+    decision.reason = RejectReason::kBackpressure;
+    decision.retry_after_ms = BackpressureRetryMs();
+    CountRejection(client, decision.reason);
+    return decision;
+  }
+
+  if (options_.tokens_per_second > 0) client.tokens -= 1.0;
+
+  StagedTweet staged;
+  staged.tweet = std::move(tweet);
+  staged.client_id = client_id;
+  staged.arrival_nanos = now;
+  const uint64_t budget = deadline_ms != 0
+                              ? deadline_ms * kMillisecond
+                              : options_.default_deadline_nanos;
+  staged.deadline = budget != 0 ? Deadline::After(clock_, budget)
+                                : Deadline::Infinite();
+  client.staged.push_back(std::move(staged));
+  ++staged_total_;
+  ++client.stats.accepted;
+  accepted_counter_->Increment();
+  staged_gauge_->Set(static_cast<int64_t>(staged_total_));
+
+  decision.accepted = true;
+  return decision;
+}
+
+size_t AdmissionController::DrainInto(
+    size_t max_tweets, const std::function<void(StagedTweet)>& expired_sink,
+    const std::function<void(const StagedTweet&)>& on_admitted) {
+  if (staged_total_ == 0 || client_order_.empty()) return 0;
+  size_t moved = 0;
+
+  // Deficit round robin with unit cost: each pass over the client ring tops
+  // every backlogged client up by one quantum, then moves tweets while the
+  // client has both deficit and backlog. The cursor persists across calls so
+  // the ring position (and thus fairness) carries over drain boundaries.
+  bool progressed = true;
+  while (moved < max_tweets && staged_total_ > 0 && progressed &&
+         !queue_->full()) {
+    progressed = false;
+    for (size_t step = 0; step < client_order_.size(); ++step) {
+      ClientState& client =
+          clients_.at(client_order_[(drain_cursor_ + step) %
+                                    client_order_.size()]);
+      if (client.staged.empty()) {
+        client.deficit = 0;  // an idle client accrues no deficit (DRR rule)
+        continue;
+      }
+      client.deficit += options_.drr_quantum;
+      while (client.deficit > 0 && !client.staged.empty() &&
+             moved < max_tweets && !queue_->full()) {
+        StagedTweet staged = std::move(client.staged.front());
+        client.staged.pop_front();
+        --staged_total_;
+        if (staged.deadline.Expired()) {
+          ++expired_total_;
+          expired_counter_->Increment();
+          if (expired_sink) expired_sink(std::move(staged));
+          continue;  // expired tweets cost no deficit: they skip the queue
+        }
+        // Push (not PushOrShed): DrainInto already stops on a full queue, so
+        // an accepted tweet is never shed here — it waits staged instead.
+        const Status st = queue_->Push(std::move(staged.tweet));
+        if (!st.ok()) break;
+        if (on_admitted) on_admitted(staged);
+        --client.deficit;
+        ++client.stats.drained;
+        ++moved;
+        progressed = true;
+      }
+      if (moved >= max_tweets || queue_->full()) break;
+    }
+    drain_cursor_ = (drain_cursor_ + 1) % client_order_.size();
+  }
+  staged_gauge_->Set(static_cast<int64_t>(staged_total_));
+  return moved;
+}
+
+std::vector<StagedTweet> AdmissionController::TakeAllStaged() {
+  std::vector<StagedTweet> all;
+  all.reserve(staged_total_);
+  // Flush in ring order for determinism; deadlines are deliberately ignored —
+  // at drain-to-exit every accepted tweet must reach the pipeline or the DLQ.
+  for (const std::string& id : client_order_) {
+    ClientState& client = clients_.at(id);
+    while (!client.staged.empty()) {
+      all.push_back(std::move(client.staged.front()));
+      client.staged.pop_front();
+    }
+    client.deficit = 0;
+  }
+  staged_total_ = 0;
+  staged_gauge_->Set(0);
+  return all;
+}
+
+std::vector<std::pair<std::string, ClientAdmissionStats>>
+AdmissionController::ClientStats() const {
+  std::vector<std::pair<std::string, ClientAdmissionStats>> out;
+  out.reserve(client_order_.size());
+  for (const std::string& id : client_order_) {
+    out.emplace_back(id, clients_.at(id).stats);
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace emd

@@ -1,0 +1,202 @@
+// Overload-robustness layer between the network edge and the bounded
+// IngestQueue: admission control with watermark hysteresis, per-client
+// token-bucket rate limiting, and deficit-round-robin drain so one hot
+// client cannot starve the others.
+//
+// Placement in the serving pipeline:
+//
+//   socket -> FrameDecoder -> AdmissionController::Offer -> per-client
+//   staging queues -> DrainInto(IngestQueue) [DRR] -> Globalizer cycles
+//
+// Admission decisions, in evaluation order:
+//   1. draining      — BeginDrain() was called (SIGTERM): every new tweet is
+//                      rejected kDraining so in-flight work can flush;
+//   2. token bucket  — each client sustains `tokens_per_second` with bursts
+//                      up to `burst_tokens`; an empty bucket rejects
+//                      kThrottled with a retry hint sized to the refill time;
+//   3. watermarks    — total backlog (staged + ingest-queue depth) crossing
+//                      `high_watermark` latches overload and rejects
+//                      kBackpressure until backlog falls below
+//                      `low_watermark` (hysteresis prevents accept/reject
+//                      flapping at the boundary).
+// Every rejection carries an explicit retry_after_ms — the wire contract is
+// "never silently drop an offered tweet": accept it or tell the client when
+// to come back.
+//
+// Accepted tweets are staged per client and drained by deficit round robin:
+// each drain round gives every backlogged client `drr_quantum` deficit and
+// moves tweets oldest-first, so throughput under contention converges to a
+// fair share regardless of how unbalanced the staged backlogs are. Deadline
+// propagation: each accepted tweet carries a util/deadline.h Deadline
+// (client-requested budget, else `default_deadline_nanos`); a tweet whose
+// deadline expires before the pipeline reaches it is routed to the expired
+// sink (the server dead-letters it) instead of wasting an execution cycle.
+//
+// Single-threaded by design, like the IngestQueue it feeds: the poll-based
+// server drives Offer and DrainInto from one thread. All time flows through
+// the injected Clock so tests drive watermark/bucket/deadline behaviour with
+// a FakeClock.
+
+#ifndef EMD_NET_ADMISSION_H_
+#define EMD_NET_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "stream/annotated_tweet.h"
+#include "stream/ingest_queue.h"
+#include "util/deadline.h"
+
+namespace emd {
+namespace net {
+
+struct AdmissionOptions {
+  /// Backlog (staged + queue depth) that latches overload; 0 derives
+  /// 3/4 of queue capacity + staging_capacity.
+  size_t high_watermark = 0;
+  /// Backlog that unlatches overload; 0 derives high_watermark / 2.
+  size_t low_watermark = 0;
+  /// Hard cap on tweets staged across all clients (second line of defence
+  /// behind the high watermark).
+  size_t staging_capacity = 4096;
+
+  /// Per-client sustained admission rate; <= 0 disables rate limiting.
+  double tokens_per_second = 0;
+  /// Per-client burst allowance (token-bucket depth).
+  double burst_tokens = 64;
+
+  /// Deficit-round-robin quantum: tweets each backlogged client may move
+  /// into the ingest queue per drain round.
+  size_t drr_quantum = 8;
+
+  /// Retry hints returned with rejections. Backpressure scales the base by
+  /// how far past the low watermark the backlog sits, capped at max.
+  uint32_t base_retry_after_ms = 25;
+  uint32_t max_retry_after_ms = 2000;
+
+  /// End-to-end budget stamped on tweets whose TWEET frame carried no
+  /// deadline; 0 = no deadline.
+  uint64_t default_deadline_nanos = 0;
+
+  /// Injectable time source; nullptr = Clock::Real().
+  Clock* clock = nullptr;
+};
+
+/// Outcome of one Offer: accepted, or rejected-with-retry-hint.
+struct AdmissionDecision {
+  bool accepted = false;
+  RejectReason reason = RejectReason::kBackpressure;  // valid when !accepted
+  uint32_t retry_after_ms = 0;                        // valid when !accepted
+};
+
+/// One accepted tweet staged for the pipeline, carrying its arrival time
+/// (end-to-end latency measurement) and propagated deadline.
+struct StagedTweet {
+  AnnotatedTweet tweet;
+  std::string client_id;
+  uint64_t arrival_nanos = 0;
+  Deadline deadline = Deadline::Infinite();
+};
+
+/// Per-client admission counters (fairness audit; the bench asserts
+/// per-client throughput stays within a factor of fair share).
+struct ClientAdmissionStats {
+  uint64_t offered = 0;
+  uint64_t accepted = 0;
+  uint64_t throttled = 0;
+  uint64_t drained = 0;  // moved into the ingest queue
+};
+
+class AdmissionController {
+ public:
+  /// `queue` is the bounded pipeline queue this controller feeds; its depth
+  /// participates in the watermark backlog. Must outlive the controller.
+  AdmissionController(IngestQueue* queue, AdmissionOptions options = {});
+
+  /// Admission decision for one tweet from `client_id`. Accepted tweets are
+  /// staged internally until DrainInto moves them; rejected tweets are
+  /// counted (queue stats + registry) and never stored. `deadline_ms` is the
+  /// client-requested budget (0 = use the configured default).
+  AdmissionDecision Offer(const std::string& client_id, AnnotatedTweet tweet,
+                          uint32_t deadline_ms);
+
+  /// Moves up to `max_tweets` staged tweets into the ingest queue, deficit
+  /// round robin across clients, stopping early when the queue fills. Tweets
+  /// whose deadline already expired are diverted to `expired_sink` (may be
+  /// null: then they are only counted) instead of the queue. `on_admitted`
+  /// (may be null) fires after each successful queue push with the staged
+  /// metadata — client_id / arrival_nanos / deadline; the tweet itself has
+  /// been moved into the queue — so the server can track end-to-end latency
+  /// and in-queue deadlines positionally (the queue is FIFO and this
+  /// controller is its only producer). Returns the number moved.
+  size_t DrainInto(size_t max_tweets,
+                   const std::function<void(StagedTweet)>& expired_sink,
+                   const std::function<void(const StagedTweet&)>& on_admitted =
+                       nullptr);
+
+  /// Pops every staged tweet (drain-to-exit flush); ignores deadlines so a
+  /// graceful shutdown never loses an accepted tweet.
+  std::vector<StagedTweet> TakeAllStaged();
+
+  /// Enters draining: every subsequent Offer rejects kDraining.
+  void BeginDrain() { draining_ = true; }
+  bool draining() const { return draining_; }
+
+  size_t staged() const { return staged_total_; }
+  /// Current watermark backlog: staged + ingest-queue depth.
+  size_t backlog() const { return staged_total_ + queue_->size(); }
+  bool overloaded() const { return over_high_; }
+
+  uint64_t expired() const { return expired_total_; }
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Stable snapshot of per-client counters (insertion order).
+  std::vector<std::pair<std::string, ClientAdmissionStats>> ClientStats() const;
+
+ private:
+  struct ClientState {
+    std::deque<StagedTweet> staged;
+    double tokens = 0;
+    uint64_t last_refill_nanos = 0;
+    size_t deficit = 0;  // DRR deficit counter, in tweets
+    ClientAdmissionStats stats;
+  };
+
+  ClientState& ClientFor(const std::string& client_id);
+  void RefillBucket(ClientState& client, uint64_t now_nanos);
+  uint32_t BackpressureRetryMs() const;
+  void CountRejection(ClientState& client, RejectReason reason);
+
+  IngestQueue* queue_;
+  AdmissionOptions options_;
+  Clock* clock_;
+
+  std::unordered_map<std::string, ClientState> clients_;
+  /// Round-robin order for DRR (insertion order, stable across rounds).
+  std::vector<std::string> client_order_;
+  size_t drain_cursor_ = 0;  // next client index DrainInto starts from
+
+  size_t staged_total_ = 0;
+  bool over_high_ = false;
+  bool draining_ = false;
+  uint64_t expired_total_ = 0;
+
+  obs::Counter* accepted_counter_;
+  obs::Counter* rejected_backpressure_;
+  obs::Counter* rejected_throttled_;
+  obs::Counter* rejected_draining_;
+  obs::Counter* expired_counter_;
+  obs::Gauge* staged_gauge_;
+};
+
+}  // namespace net
+}  // namespace emd
+
+#endif  // EMD_NET_ADMISSION_H_

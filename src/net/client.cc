@@ -1,0 +1,162 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace emd {
+namespace net {
+
+Result<BlockingClient> BlockingClient::Connect(const ClientOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket(): ", std::string(std::strerror(errno)));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: ", options.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::Unavailable("connect(", options.host, ":",
+                                          options.port, "): ",
+                                          std::string(std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  if (options.recv_timeout_nanos > 0) {
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(options.recv_timeout_nanos / kSecond);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (options.recv_timeout_nanos % kSecond) / kMicrosecond);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  BlockingClient client;
+  client.fd_ = fd;
+  client.decoder_ = FrameDecoder(options.wire);
+  client.recv_timeout_nanos_ = options.recv_timeout_nanos;
+
+  std::string hello;
+  AppendHello(&hello, options.client_id);
+  EMD_RETURN_IF_ERROR(client.SendRaw(hello));
+  return client;
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)),
+      recv_timeout_nanos_(other.recv_timeout_nanos_) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+    recv_timeout_nanos_ = other.recv_timeout_nanos_;
+  }
+  return *this;
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status BlockingClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable("send(): ", std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<Frame> BlockingClient::ReadFrame() {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  Frame frame;
+  while (true) {
+    const FrameDecoder::NextStatus status = decoder_.Next(&frame);
+    if (status == FrameDecoder::NextStatus::kFrame) return frame;
+    if (status == FrameDecoder::NextStatus::kCorrupt) {
+      return decoder_.last_error();
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("receive timeout waiting for a frame");
+    }
+    return Status::Unavailable("recv(): ", std::string(std::strerror(errno)));
+  }
+}
+
+Result<SubmitResult> BlockingClient::Submit(const TweetFrame& tweet) {
+  std::string wire;
+  AppendTweet(&wire, tweet);
+  EMD_RETURN_IF_ERROR(SendRaw(wire));
+
+  // Read until the response matching our seq arrives (a BYE ends the
+  // conversation). Responses for other seqs cannot occur in this synchronous
+  // client but are skipped defensively.
+  while (true) {
+    Result<Frame> frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->type == FrameType::kBye) {
+      return Status::Unavailable("server said BYE");
+    }
+    if (frame->type == FrameType::kAck) {
+      Result<uint64_t> seq = ParseAck(*frame);
+      if (!seq.ok()) return seq.status();
+      if (*seq != tweet.seq) continue;
+      SubmitResult result;
+      result.accepted = true;
+      return result;
+    }
+    if (frame->type == FrameType::kRetryAfter) {
+      Result<RetryAfterFrame> retry = ParseRetryAfter(*frame);
+      if (!retry.ok()) return retry.status();
+      if (retry->seq != tweet.seq) continue;
+      SubmitResult result;
+      result.accepted = false;
+      result.retry_after_ms = retry->retry_after_ms;
+      result.reason = retry->reason;
+      return result;
+    }
+    return Status::Corruption("unexpected server frame type ",
+                              static_cast<int>(frame->type));
+  }
+}
+
+void BlockingClient::Close() {
+  if (fd_ < 0) return;
+  std::string bye;
+  AppendBye(&bye, "client done");
+  (void)SendRaw(bye);
+  ::shutdown(fd_, SHUT_WR);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace net
+}  // namespace emd

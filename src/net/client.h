@@ -1,0 +1,77 @@
+// Blocking wire-protocol client used by the example client, the serving
+// load-generator bench, and the chaos tests. Deliberately simple: one
+// synchronous request/response exchange per Submit (the server still batches
+// across clients), blocking socket with a receive timeout, no internal
+// retrying — callers own the RETRY_AFTER policy (the bench honors it with
+// util/retry.h decorrelated jitter).
+
+#ifndef EMD_NET_CLIENT_H_
+#define EMD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+#include "util/deadline.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emd {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Identity sent in the HELLO frame (per-client fairness key).
+  std::string client_id;
+  /// Receive timeout per ReadFrame call; 0 = block forever.
+  uint64_t recv_timeout_nanos = 5 * kSecond;
+  WireLimits wire;
+};
+
+/// Server verdict for one submitted tweet.
+struct SubmitResult {
+  bool accepted = false;
+  /// Valid when !accepted.
+  uint32_t retry_after_ms = 0;
+  RejectReason reason = RejectReason::kBackpressure;
+};
+
+class BlockingClient {
+ public:
+  /// Connects and sends HELLO. The returned client owns the socket.
+  static Result<BlockingClient> Connect(const ClientOptions& options);
+
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  ~BlockingClient();
+
+  /// Sends one TWEET frame and blocks for the matching ACK / RETRY_AFTER.
+  /// Unavailable = connection closed (server drain or protocol BYE);
+  /// DeadlineExceeded = receive timeout.
+  Result<SubmitResult> Submit(const TweetFrame& tweet);
+
+  /// Raw byte write, bypassing framing — chaos tests use this to send torn,
+  /// corrupt, or oversized frames.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads the next complete frame (BYE included).
+  Result<Frame> ReadFrame();
+
+  /// Sends BYE and shuts down the write side.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  BlockingClient() = default;
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  uint64_t recv_timeout_nanos_ = 0;
+};
+
+}  // namespace net
+}  // namespace emd
+
+#endif  // EMD_NET_CLIENT_H_

@@ -1,0 +1,530 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace emd {
+namespace net {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError("fcntl(O_NONBLOCK): ", std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Process-wide drain target for the signal handler (one serving server per
+/// process; RequestDrain is one relaxed atomic store, async-signal-safe).
+std::atomic<Server*> g_drain_target{nullptr};
+
+void DrainSignalHandler(int /*signum*/) {
+  Server* server = g_drain_target.load(std::memory_order_relaxed);
+  if (server != nullptr) server->RequestDrain();
+}
+
+}  // namespace
+
+Server::Server(ServingPipeline pipeline, ServerOptions options)
+    : pipeline_(std::move(pipeline)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : Clock::Real()),
+      queue_({.capacity = options.queue_capacity}),
+      admission_(&queue_,
+                 [&options, this] {
+                   AdmissionOptions a = options.admission;
+                   if (a.clock == nullptr) a.clock = clock_;
+                   return a;
+                 }()),
+      connections_counter_(obs::Metrics().GetCounter(
+          "emd_net_connections_total",
+          "TCP connections accepted by the ingestion server")),
+      frames_counter_(obs::Metrics().GetCounter(
+          "emd_net_frames_total",
+          "Complete wire frames decoded across all connections")),
+      frames_corrupt_counter_(obs::Metrics().GetCounter(
+          "emd_net_frames_corrupt_total",
+          "Connections closed for wire-protocol violations (bad magic, CRC "
+          "mismatch, oversized frame)")),
+      idle_closed_counter_(obs::Metrics().GetCounter(
+          "emd_net_idle_closed_total",
+          "Connections closed by the slow-loris idle guard (no complete "
+          "frame within the idle timeout)")),
+      queue_expired_counter_(obs::Metrics().GetCounter(
+          "emd_serving_queue_expired_total",
+          "Admitted tweets whose deadline lapsed while waiting in the ingest "
+          "queue (dead-lettered, not processed)")),
+      e2e_latency_(obs::Metrics().GetHistogram(
+          "emd_serving_e2e_latency_seconds",
+          "End-to-end serving latency: admission arrival to execution-cycle "
+          "completion")) {
+  EMD_CHECK(pipeline_.process_batch != nullptr);
+}
+
+Server::~Server() {
+  Server* expected = this;
+  g_drain_target.compare_exchange_strong(expected, nullptr,
+                                         std::memory_order_relaxed);
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::InstallDrainHandler() {
+  g_drain_target.store(this, std::memory_order_relaxed);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = DrainSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+Status Server::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket(): ", std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: ", options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::IoError("bind(", options_.bind_address, ":",
+                                      options_.port, "): ",
+                                      std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const Status st = Status::IoError("listen(): ", std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status st = Status::IoError("getsockname(): ", std::string(std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  EMD_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  EMD_LOG(Info) << "ingestion server listening on " << options_.bind_address
+                << ":" << port_;
+  return Status::OK();
+}
+
+void Server::AcceptPending(uint64_t now) {
+  while (static_cast<int>(connections_.size()) < options_.max_connections) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient accept error: try next loop
+    const Status injected = EMD_FAILPOINT("net.server.accept");
+    if (!injected.ok() || !SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.decoder = FrameDecoder(options_.wire);
+    conn.last_frame_nanos = now;
+    connections_.emplace(fd, std::move(conn));
+    ++stats_.connections_accepted;
+    connections_counter_->Increment();
+  }
+}
+
+void Server::CloseConnection(int fd, bool count_closed) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::close(fd);
+  connections_.erase(it);
+  if (count_closed) ++stats_.connections_closed;
+}
+
+void Server::CloseIdle(uint64_t now) {
+  if (options_.idle_timeout_nanos == 0) return;
+  std::vector<int> victims;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.closing) continue;
+    if (now - conn.last_frame_nanos >= options_.idle_timeout_nanos) {
+      victims.push_back(fd);
+    }
+  }
+  for (int fd : victims) {
+    EMD_LOG(Warn) << "closing slow-loris connection fd=" << fd
+                  << " (no complete frame within idle timeout)";
+    ++stats_.idle_closed;
+    idle_closed_counter_->Increment();
+    CloseConnection(fd);
+  }
+}
+
+void Server::HandleTweet(Connection& conn, const TweetFrame& tweet) {
+  AnnotatedTweet annotated;
+  annotated.tweet_id = tweet.tweet_id;
+  annotated.topic_id = tweet.topic_id;
+  annotated.text = tweet.text;
+  annotated.tokens = tokenizer_.Tokenize(annotated.text);
+
+  const AdmissionDecision decision =
+      admission_.Offer(conn.client_id, std::move(annotated), tweet.deadline_ms);
+  if (decision.accepted) {
+    ++stats_.tweets_accepted;
+    AppendAck(&conn.out, tweet.seq);
+  } else {
+    ++stats_.tweets_rejected;
+    RetryAfterFrame retry;
+    retry.seq = tweet.seq;
+    retry.retry_after_ms = decision.retry_after_ms;
+    retry.reason = decision.reason;
+    AppendRetryAfter(&conn.out, retry);
+  }
+}
+
+void Server::HandleFrame(Connection& conn, Frame frame, uint64_t now) {
+  conn.last_frame_nanos = now;
+  ++stats_.frames_received;
+  frames_counter_->Increment();
+  switch (frame.type) {
+    case FrameType::kHello: {
+      Result<std::string> client_id = ParseHello(frame);
+      if (!client_id.ok()) {
+        conn.closing = true;
+        return;
+      }
+      conn.client_id = std::move(client_id).value();
+      return;
+    }
+    case FrameType::kTweet: {
+      Result<TweetFrame> tweet = ParseTweet(frame);
+      if (!tweet.ok()) {
+        ++stats_.corrupt_closed;
+        frames_corrupt_counter_->Increment();
+        AppendBye(&conn.out, tweet.status().ToString());
+        conn.closing = true;
+        return;
+      }
+      if (conn.client_id.empty()) {
+        // Anonymous client: fairness still applies per connection.
+        conn.client_id = "conn-" + std::to_string(conn.fd);
+      }
+      HandleTweet(conn, *tweet);
+      return;
+    }
+    case FrameType::kBye:
+      conn.closing = true;
+      return;
+    case FrameType::kAck:
+    case FrameType::kRetryAfter:
+      // Server-to-client frames arriving at the server: protocol violation.
+      ++stats_.corrupt_closed;
+      frames_corrupt_counter_->Increment();
+      AppendBye(&conn.out, "unexpected client->server frame type");
+      conn.closing = true;
+      return;
+  }
+}
+
+void Server::ReadFrom(Connection& conn, uint64_t now) {
+  char buf[4096];
+  while (true) {
+    const Status injected = EMD_FAILPOINT("net.server.read");
+    if (!injected.ok()) {
+      EMD_LOG(Warn) << "injected read failure on fd=" << conn.fd << ": "
+                    << injected.ToString();
+      CloseConnection(conn.fd);
+      return;
+    }
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed (possibly mid-frame): normal close path
+      CloseConnection(conn.fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    CloseConnection(conn.fd);
+    return;
+  }
+
+  Frame frame;
+  while (true) {
+    const FrameDecoder::NextStatus status = conn.decoder.Next(&frame);
+    if (status == FrameDecoder::NextStatus::kNeedMore) break;
+    if (status == FrameDecoder::NextStatus::kCorrupt) {
+      ++stats_.corrupt_closed;
+      frames_corrupt_counter_->Increment();
+      EMD_LOG(Warn) << "closing fd=" << conn.fd << " on protocol violation: "
+                    << conn.decoder.last_error().ToString();
+      AppendBye(&conn.out, conn.decoder.last_error().ToString());
+      conn.closing = true;
+      break;
+    }
+    HandleFrame(conn, std::move(frame), now);
+    if (conn.closing) break;
+  }
+}
+
+void Server::FlushWrites(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_offset,
+                             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return;
+    }
+    CloseConnection(conn.fd);
+    return;
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+}
+
+void Server::DeadLetterTweet(const AnnotatedTweet& tweet,
+                             const Status& reason) {
+  ++stats_.tweets_dead_lettered;
+  if (pipeline_.dead_letter) pipeline_.dead_letter(tweet, reason);
+}
+
+void Server::RunCycle() {
+  EMD_TRACE_SPAN("serving_cycle");
+  std::vector<AnnotatedTweet> popped = queue_.PopBatch(options_.batch_size);
+  if (popped.empty()) return;
+
+  // Split out tweets whose propagated deadline lapsed while queued; they go
+  // to the DLQ instead of wasting cycle time (deadline propagation).
+  std::vector<AnnotatedTweet> batch;
+  std::vector<QueuedMeta> batch_meta;
+  batch.reserve(popped.size());
+  batch_meta.reserve(popped.size());
+  for (AnnotatedTweet& tweet : popped) {
+    QueuedMeta meta;
+    if (!queued_meta_.empty()) {
+      meta = queued_meta_.front();
+      queued_meta_.pop_front();
+    }
+    if (meta.deadline.Expired()) {
+      queue_expired_counter_->Increment();
+      DeadLetterTweet(tweet,
+                      Status::DeadlineExceeded(
+                          "deadline lapsed in the ingest queue"));
+      continue;
+    }
+    batch.push_back(std::move(tweet));
+    batch_meta.push_back(meta);
+  }
+  if (batch.empty()) return;
+
+  const Status st = pipeline_.process_batch(batch);
+  if (!st.ok()) {
+    // The cycle recorded nothing (ProcessBatch is transactional): every
+    // tweet of the batch is dead-lettered so nothing accepted is lost.
+    EMD_LOG(Warn) << "execution cycle failed; dead-lettering "
+                  << batch.size() << " tweet(s): " << st.ToString();
+    for (const AnnotatedTweet& tweet : batch) DeadLetterTweet(tweet, st);
+    return;
+  }
+  ++stats_.batches;
+  stats_.tweets_processed += batch.size();
+  if (e2e_latency_->enabled()) {
+    const uint64_t done = clock_->NowNanos();
+    for (const QueuedMeta& meta : batch_meta) {
+      e2e_latency_->Observe(static_cast<double>(done - meta.arrival_nanos) /
+                            static_cast<double>(kSecond));
+    }
+  }
+}
+
+void Server::PumpPipeline(uint64_t now, bool force_cycle) {
+  const size_t room = queue_.capacity() - queue_.size();
+  if (room > 0) {
+    admission_.DrainInto(
+        room,
+        [this](StagedTweet expired) {
+          DeadLetterTweet(expired.tweet,
+                          Status::DeadlineExceeded(
+                              "deadline lapsed before queue admission"));
+        },
+        [this](const StagedTweet& admitted) {
+          queued_meta_.push_back(
+              {admitted.arrival_nanos, admitted.deadline});
+        });
+  }
+  const bool due =
+      queue_.size() >= options_.batch_size ||
+      (!queue_.empty() &&
+       now - last_cycle_nanos_ >= options_.batch_interval_nanos);
+  if (force_cycle || due) {
+    RunCycle();
+    last_cycle_nanos_ = clock_->NowNanos();
+  }
+}
+
+void Server::SendByeAll(std::string_view reason) {
+  for (auto& [fd, conn] : connections_) {
+    AppendBye(&conn.out, reason);
+    conn.closing = true;
+  }
+  // Best-effort flush: a handful of short poll rounds, then close anyway.
+  for (int round = 0; round < 50 && !connections_.empty(); ++round) {
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size());
+    bool pending = false;
+    for (const auto& [fd, conn] : connections_) {
+      if (conn.out_offset < conn.out.size()) pending = true;
+      fds.push_back({fd, POLLOUT, 0});
+    }
+    if (!pending) break;
+    if (::poll(fds.data(), fds.size(), 10) <= 0) continue;
+    for (const pollfd& p : fds) {
+      auto it = connections_.find(p.fd);
+      if (it == connections_.end()) continue;
+      if (p.revents & (POLLOUT | POLLERR | POLLHUP)) FlushWrites(it->second);
+    }
+  }
+  std::vector<int> fds;
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) CloseConnection(fd);
+}
+
+Status Server::DrainToExit() {
+  EMD_LOG(Info) << "graceful drain: flushing " << admission_.staged()
+                << " staged + " << queue_.size() << " queued tweet(s)";
+  // Every staged tweet was ACKed, so all of them must reach the pipeline or
+  // the DLQ. Deadlines stay honored: expired tweets divert to the DLQ.
+  std::vector<StagedTweet> staged = admission_.TakeAllStaged();
+  size_t next = 0;
+  while (next < staged.size() || !queue_.empty()) {
+    while (next < staged.size() && !queue_.full()) {
+      StagedTweet tweet = std::move(staged[next++]);
+      if (tweet.deadline.Expired()) {
+        queue_expired_counter_->Increment();
+        DeadLetterTweet(tweet.tweet,
+                        Status::DeadlineExceeded(
+                            "deadline lapsed during graceful drain"));
+        continue;
+      }
+      queued_meta_.push_back({tweet.arrival_nanos, tweet.deadline});
+      const Status st = queue_.Push(std::move(tweet.tweet));
+      EMD_CHECK(st.ok());  // guarded by !queue_.full()
+    }
+    if (!queue_.empty()) RunCycle();
+  }
+
+  Status checkpoint = Status::OK();
+  if (pipeline_.checkpoint) {
+    checkpoint = pipeline_.checkpoint();
+    if (!checkpoint.ok()) {
+      EMD_LOG(Error) << "drain checkpoint failed: " << checkpoint.ToString();
+    }
+  }
+  SendByeAll("server draining");
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  EMD_LOG(Info) << "graceful drain complete: accepted="
+                << stats_.tweets_accepted << " processed="
+                << stats_.tweets_processed << " dead_lettered="
+                << stats_.tweets_dead_lettered;
+  return checkpoint;
+}
+
+Status Server::Serve() {
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition("Serve() before successful Start()");
+  }
+  last_cycle_nanos_ = clock_->NowNanos();
+
+  while (true) {
+    if (!draining_ && drain_requested_.load(std::memory_order_relaxed)) {
+      draining_ = true;
+      admission_.BeginDrain();
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);  // stop accepting; in-flight conns keep going
+        listen_fd_ = -1;
+      }
+      return DrainToExit();
+    }
+
+    std::vector<pollfd> fds;
+    fds.reserve(connections_.size() + 1);
+    const bool poll_listen =
+        listen_fd_ >= 0 &&
+        static_cast<int>(connections_.size()) < options_.max_connections;
+    if (poll_listen) fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : connections_) {
+      short events = conn.closing ? 0 : POLLIN;
+      if (conn.out_offset < conn.out.size()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+
+    const int poll_ms = static_cast<int>(
+        std::max<uint64_t>(1, options_.batch_interval_nanos / kMillisecond / 4));
+    ::poll(fds.data(), fds.size(), std::min(poll_ms, 10));
+    const uint64_t now = clock_->NowNanos();
+
+    size_t index = 0;
+    if (poll_listen) {
+      if (fds[0].revents & POLLIN) AcceptPending(now);
+      index = 1;
+    }
+    for (; index < fds.size(); ++index) {
+      const pollfd& p = fds[index];
+      auto it = connections_.find(p.fd);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (!it->second.closing) ReadFrom(it->second, now);
+      }
+      it = connections_.find(p.fd);
+      if (it == connections_.end()) continue;
+      if (!it->second.out.empty()) FlushWrites(it->second);
+      it = connections_.find(p.fd);
+      if (it != connections_.end() && it->second.closing &&
+          it->second.out_offset >= it->second.out.size()) {
+        CloseConnection(p.fd);
+      }
+    }
+
+    CloseIdle(now);
+    PumpPipeline(now, /*force_cycle=*/false);
+  }
+}
+
+}  // namespace net
+}  // namespace emd

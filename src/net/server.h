@@ -1,0 +1,210 @@
+// Poll-based TCP ingestion server: the network front-end of the serving
+// deployment. Accepts connections speaking the src/net/wire.h protocol,
+// pushes every TWEET frame through the AdmissionController (explicit ACK /
+// RETRY_AFTER per submission), and alternates socket pumping with pipeline
+// execution cycles on a single thread — the same pump-in / drain-batch
+// structure as examples/incremental_stream, with the file source replaced by
+// sockets.
+//
+// Robustness properties, each covered by the `net` ctest label:
+//   * torn / corrupt / oversized frames poison only their connection — the
+//     peer gets a BYE with the decode error and the socket closes; the
+//     server keeps serving everyone else;
+//   * slow-loris clients (bytes trickling in, never a complete frame) are
+//     closed after `idle_timeout_nanos` without a complete frame;
+//   * disconnect mid-frame is a normal close path, never a crash or a leak
+//     (staged tweets already ACKed for that client still flow through);
+//   * overload sheds with explicit RETRY_AFTER at admission — the ingest
+//     queue itself never sheds in serving mode because the admission layer
+//     stops draining into a full queue;
+//   * graceful drain: RequestDrain() (wired to SIGTERM by callers, see
+//     InstallDrainHandler) stops accepting connections and tweets, flushes
+//     every accepted tweet through the pipeline (expired deadlines divert to
+//     the dead_letter callback), runs the checkpoint callback, notifies
+//     peers with BYE, and returns from Serve() — the zero-loss invariant
+//     accepted == processed + dead_lettered holds at exit.
+//
+// Threading: Start()/Serve() and every callback run on the caller's thread;
+// the only cross-thread entry point is RequestDrain() (atomic flag, also
+// async-signal-safe). Tests and benches run Serve() on a dedicated thread
+// and clients on others.
+//
+// Failpoints: "net.server.accept" (accept fails), "net.server.read" (read
+// error -> connection drop mid-stream), plus "net.wire.decode" inside the
+// frame decoder.
+
+#ifndef EMD_NET_SERVER_H_
+#define EMD_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "stream/annotated_tweet.h"
+#include "stream/ingest_queue.h"
+#include "text/tweet_tokenizer.h"
+#include "util/deadline.h"
+#include "util/status.h"
+
+namespace emd {
+namespace net {
+
+struct ServerOptions {
+  /// Listen address; tests and benches use the loopback default.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+
+  int max_connections = 64;
+
+  /// Tweets per execution cycle handed to the process_batch callback.
+  size_t batch_size = 32;
+  /// A cycle runs when a full batch is buffered or this much time has passed
+  /// with a non-empty queue — bounds queuing delay under light load.
+  uint64_t batch_interval_nanos = 20 * kMillisecond;
+
+  /// Slow-loris guard: a connection that goes this long without completing a
+  /// frame is closed. 0 disables the guard.
+  uint64_t idle_timeout_nanos = 30 * kSecond;
+
+  /// Bounded pipeline queue capacity (the admission layer drains into it).
+  size_t queue_capacity = 1024;
+
+  WireLimits wire;
+  AdmissionOptions admission;
+
+  /// Injectable time source shared with the admission layer; nullptr =
+  /// Clock::Real().
+  Clock* clock = nullptr;
+};
+
+/// Pipeline hooks the server drives. `process_batch` is required; the others
+/// may be null.
+struct ServingPipeline {
+  /// One execution cycle. A non-OK return dead-letters the whole batch
+  /// (nothing was recorded) — the stream keeps serving.
+  std::function<Status(std::span<const AnnotatedTweet>)> process_batch;
+  /// Invoked once during graceful drain, after the last cycle flushed.
+  std::function<Status()> checkpoint;
+  /// Receives every accepted tweet the pipeline could not process (expired
+  /// deadline, failed batch) so it is never silently lost.
+  std::function<void(const AnnotatedTweet&, const Status&)> dead_letter;
+};
+
+/// Lifetime totals for one Serve() run. Plain data; read after Serve returns
+/// (or from the serving thread).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t idle_closed = 0;      // slow-loris guard fired
+  uint64_t corrupt_closed = 0;   // wire-protocol violations
+  uint64_t frames_received = 0;
+  uint64_t tweets_accepted = 0;  // ACKed (must equal processed + dead_lettered
+                                 // after a graceful drain)
+  uint64_t tweets_rejected = 0;  // RETRY_AFTER sent
+  uint64_t tweets_processed = 0;
+  uint64_t tweets_dead_lettered = 0;
+  uint64_t batches = 0;
+};
+
+class Server {
+ public:
+  Server(ServingPipeline pipeline, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. On success port() is the bound port.
+  Status Start();
+
+  /// Runs the serve loop until a drain completes. Returns the drain outcome
+  /// (OK for a clean flush + checkpoint).
+  Status Serve();
+
+  /// Requests a graceful drain; safe from any thread and from signal
+  /// handlers (one atomic store). Serve() observes it on its next loop
+  /// iteration.
+  void RequestDrain() { drain_requested_.store(true, std::memory_order_relaxed); }
+
+  /// Installs a SIGTERM + SIGINT handler that calls RequestDrain() on this
+  /// server (process-wide; one serving server per process).
+  void InstallDrainHandler();
+
+  uint16_t port() const { return port_; }
+
+  const ServerStats& stats() const { return stats_; }
+  const IngestQueue& queue() const { return queue_; }
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string client_id;  // empty until HELLO
+    FrameDecoder decoder;
+    std::string out;         // pending bytes to write
+    size_t out_offset = 0;   // written prefix of `out`
+    uint64_t last_frame_nanos = 0;  // slow-loris reference point
+    bool closing = false;    // flush `out`, then close
+  };
+
+  /// FIFO metadata mirror of the ingest queue (arrival time + deadline per
+  /// queued tweet), maintained through DrainInto's on_admitted hook.
+  struct QueuedMeta {
+    uint64_t arrival_nanos = 0;
+    Deadline deadline = Deadline::Infinite();
+  };
+
+  void AcceptPending(uint64_t now);
+  void ReadFrom(Connection& conn, uint64_t now);
+  void HandleFrame(Connection& conn, Frame frame, uint64_t now);
+  void HandleTweet(Connection& conn, const TweetFrame& tweet);
+  void FlushWrites(Connection& conn);
+  void CloseConnection(int fd, bool count_closed = true);
+  void CloseIdle(uint64_t now);
+  /// Moves staged tweets into the queue and runs cycles when due/forced.
+  void PumpPipeline(uint64_t now, bool force_cycle);
+  void RunCycle();
+  void DeadLetterTweet(const AnnotatedTweet& tweet, const Status& reason);
+  Status DrainToExit();
+  void SendByeAll(std::string_view reason);
+
+  ServingPipeline pipeline_;
+  ServerOptions options_;
+  Clock* clock_;
+  TweetTokenizer tokenizer_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::map<int, Connection> connections_;  // ordered: stable poll ordering
+
+  IngestQueue queue_;
+  AdmissionController admission_;
+  std::deque<QueuedMeta> queued_meta_;  // aligned with queue_'s FIFO order
+  uint64_t last_cycle_nanos_ = 0;
+
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+
+  ServerStats stats_;
+
+  obs::Counter* connections_counter_;
+  obs::Counter* frames_counter_;
+  obs::Counter* frames_corrupt_counter_;
+  obs::Counter* idle_closed_counter_;
+  obs::Counter* queue_expired_counter_;
+  obs::Histogram* e2e_latency_;
+};
+
+}  // namespace net
+}  // namespace emd
+
+#endif  // EMD_NET_SERVER_H_

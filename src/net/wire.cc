@@ -1,0 +1,209 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+
+namespace emd {
+namespace net {
+
+namespace {
+
+// 'EMDW' little-endian, distinct from the DLQ's 'EMDL' record magic.
+constexpr uint32_t kFrameMagic = 0x57444D45;
+constexpr size_t kHeaderBytes = 4 + 4 + 1;  // magic + payload_len + type
+constexpr size_t kCrcBytes = 4;
+
+uint32_t FrameCrc(uint8_t type, std::string_view payload) {
+  const uint32_t seed = Crc32(&type, 1);
+  return Crc32(payload.data(), payload.size(), seed);
+}
+
+}  // namespace
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kBackpressure: return "backpressure";
+    case RejectReason::kThrottled: return "throttled";
+    case RejectReason::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  binio::AppendU32(out, kFrameMagic);
+  binio::AppendU32(out, static_cast<uint32_t>(payload.size()));
+  binio::AppendU8(out, static_cast<uint8_t>(type));
+  out->append(payload.data(), payload.size());
+  binio::AppendU32(out, FrameCrc(static_cast<uint8_t>(type), payload));
+}
+
+void AppendHello(std::string* out, std::string_view client_id) {
+  std::string payload;
+  binio::AppendString(&payload, client_id);
+  AppendFrame(out, FrameType::kHello, payload);
+}
+
+void AppendTweet(std::string* out, const TweetFrame& tweet) {
+  std::string payload;
+  binio::AppendU64(&payload, tweet.seq);
+  binio::AppendI64(&payload, tweet.tweet_id);
+  binio::AppendI32(&payload, tweet.topic_id);
+  binio::AppendU32(&payload, tweet.deadline_ms);
+  binio::AppendString(&payload, tweet.text);
+  AppendFrame(out, FrameType::kTweet, payload);
+}
+
+void AppendAck(std::string* out, uint64_t seq) {
+  std::string payload;
+  binio::AppendU64(&payload, seq);
+  AppendFrame(out, FrameType::kAck, payload);
+}
+
+void AppendRetryAfter(std::string* out, const RetryAfterFrame& retry) {
+  std::string payload;
+  binio::AppendU64(&payload, retry.seq);
+  binio::AppendU32(&payload, retry.retry_after_ms);
+  binio::AppendU8(&payload, static_cast<uint8_t>(retry.reason));
+  AppendFrame(out, FrameType::kRetryAfter, payload);
+}
+
+void AppendBye(std::string* out, std::string_view reason) {
+  std::string payload;
+  binio::AppendString(&payload, reason);
+  AppendFrame(out, FrameType::kBye, payload);
+}
+
+namespace {
+
+Status ExpectType(const Frame& frame, FrameType want, const char* name) {
+  if (frame.type != want) {
+    return Status::InvalidArgument("frame is not a ", name, " (type ",
+                                   static_cast<int>(frame.type), ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ParseHello(const Frame& frame) {
+  EMD_RETURN_IF_ERROR(ExpectType(frame, FrameType::kHello, "HELLO"));
+  binio::Reader reader(frame.payload, "HELLO frame");
+  std::string client_id;
+  EMD_RETURN_IF_ERROR(reader.ReadString(&client_id));
+  return client_id;
+}
+
+Result<TweetFrame> ParseTweet(const Frame& frame) {
+  EMD_RETURN_IF_ERROR(ExpectType(frame, FrameType::kTweet, "TWEET"));
+  binio::Reader reader(frame.payload, "TWEET frame");
+  TweetFrame tweet;
+  EMD_RETURN_IF_ERROR(reader.ReadU64(&tweet.seq));
+  EMD_RETURN_IF_ERROR(reader.ReadI64(&tweet.tweet_id));
+  EMD_RETURN_IF_ERROR(reader.ReadI32(&tweet.topic_id));
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&tweet.deadline_ms));
+  EMD_RETURN_IF_ERROR(reader.ReadString(&tweet.text));
+  return tweet;
+}
+
+Result<uint64_t> ParseAck(const Frame& frame) {
+  EMD_RETURN_IF_ERROR(ExpectType(frame, FrameType::kAck, "ACK"));
+  binio::Reader reader(frame.payload, "ACK frame");
+  uint64_t seq = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU64(&seq));
+  return seq;
+}
+
+Result<RetryAfterFrame> ParseRetryAfter(const Frame& frame) {
+  EMD_RETURN_IF_ERROR(ExpectType(frame, FrameType::kRetryAfter, "RETRY_AFTER"));
+  binio::Reader reader(frame.payload, "RETRY_AFTER frame");
+  RetryAfterFrame retry;
+  EMD_RETURN_IF_ERROR(reader.ReadU64(&retry.seq));
+  EMD_RETURN_IF_ERROR(reader.ReadU32(&retry.retry_after_ms));
+  uint8_t reason = 0;
+  EMD_RETURN_IF_ERROR(reader.ReadU8(&reason));
+  if (reason < static_cast<uint8_t>(RejectReason::kBackpressure) ||
+      reason > static_cast<uint8_t>(RejectReason::kDraining)) {
+    return Status::Corruption("RETRY_AFTER frame carries unknown reason ",
+                              static_cast<int>(reason));
+  }
+  retry.reason = static_cast<RejectReason>(reason);
+  return retry;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact the decoded prefix before growing the buffer, so steady-state
+  // memory is one partial frame, not the whole connection history.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > limits_.max_payload) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::NextStatus FrameDecoder::Next(Frame* frame) {
+  if (poisoned_) return NextStatus::kCorrupt;
+  {
+    const Status injected = EMD_FAILPOINT("net.wire.decode");
+    if (!injected.ok()) {
+      poisoned_ = true;
+      last_error_ = injected;
+      return NextStatus::kCorrupt;
+    }
+  }
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kHeaderBytes) return NextStatus::kNeedMore;
+
+  uint32_t magic = 0, payload_len = 0;
+  uint8_t type = 0;
+  std::memcpy(&magic, pending.data(), 4);
+  std::memcpy(&payload_len, pending.data() + 4, 4);
+  std::memcpy(&type, pending.data() + 8, 1);
+  if (magic != kFrameMagic) {
+    poisoned_ = true;
+    last_error_ = Status::Corruption("bad frame magic 0x", magic);
+    return NextStatus::kCorrupt;
+  }
+  if (payload_len > limits_.max_payload) {
+    poisoned_ = true;
+    last_error_ = Status::Corruption("frame payload of ", payload_len,
+                                     " bytes exceeds limit ",
+                                     limits_.max_payload);
+    return NextStatus::kCorrupt;
+  }
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kBye)) {
+    poisoned_ = true;
+    last_error_ =
+        Status::Corruption("unknown frame type ", static_cast<int>(type));
+    return NextStatus::kCorrupt;
+  }
+
+  const size_t total = kHeaderBytes + payload_len + kCrcBytes;
+  if (pending.size() < total) return NextStatus::kNeedMore;
+
+  const std::string_view payload = pending.substr(kHeaderBytes, payload_len);
+  uint32_t wire_crc = 0;
+  std::memcpy(&wire_crc, pending.data() + kHeaderBytes + payload_len, 4);
+  if (wire_crc != FrameCrc(type, payload)) {
+    poisoned_ = true;
+    last_error_ = Status::Corruption("frame CRC mismatch (type ",
+                                     static_cast<int>(type), ", ", payload_len,
+                                     " payload bytes)");
+    return NextStatus::kCorrupt;
+  }
+
+  frame->type = static_cast<FrameType>(type);
+  frame->payload.assign(payload.data(), payload.size());
+  consumed_ += total;
+  return NextStatus::kFrame;
+}
+
+}  // namespace net
+}  // namespace emd

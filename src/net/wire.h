@@ -1,0 +1,155 @@
+// Wire protocol for the tweet ingestion edge: a small length-prefixed,
+// CRC-framed binary protocol shared by the server (src/net/server.h), the
+// example client (examples/emd_client.cpp), and the serving load generator
+// (bench/bench_serving_load.cpp).
+//
+// Frame layout (little-endian):
+//
+//   u32 magic 'EMDW'   u32 payload_len   u8 type   payload bytes
+//   u32 CRC32(type byte || payload)
+//
+// The CRC covers the type byte and the payload, so a bit-flip anywhere after
+// the length prefix is detected; a corrupted length prefix either fails the
+// magic check on resync or trips the oversize guard. Frames above
+// WireLimits::max_payload are rejected *before* buffering the payload, so a
+// hostile length prefix cannot balloon server memory.
+//
+// Message types and payloads:
+//
+//   kHello      client -> server   string client_id
+//   kTweet      client -> server   u64 seq, i64 tweet_id, i32 topic_id,
+//                                  u32 deadline_ms (0 = none), string text
+//   kAck        server -> client   u64 seq
+//   kRetryAfter server -> client   u64 seq, u32 retry_after_ms, u8 reason
+//                                  (RejectReason: backpressure / throttled /
+//                                  draining)
+//   kBye        either direction   string reason (graceful close notice)
+//
+// `seq` is a client-chosen sequence number echoed back in kAck/kRetryAfter so
+// a pipelined client can match responses to submissions without assuming
+// ordering. Decoding is incremental: FrameDecoder::Feed accepts arbitrary
+// byte chunks (a TCP read boundary can fall anywhere, including inside the
+// header) and Next() yields complete frames, Status::Corruption for CRC/
+// magic/oversize violations, or "need more bytes".
+//
+// Failpoint: "net.wire.decode" fires inside Next() so tests inject torn-frame
+// corruption without hand-crafting byte sequences.
+
+#ifndef EMD_NET_WIRE_H_
+#define EMD_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emd {
+namespace net {
+
+/// Frame type tags on the wire. Values are part of the protocol — append
+/// only, never renumber.
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kTweet = 2,
+  kAck = 3,
+  kRetryAfter = 4,
+  kBye = 5,
+};
+
+/// Why a tweet submission was rejected (kRetryAfter payload byte).
+enum class RejectReason : uint8_t {
+  kBackpressure = 1,  // queue above the high watermark
+  kThrottled = 2,     // per-client token bucket exhausted
+  kDraining = 3,      // server is shutting down gracefully
+};
+
+const char* RejectReasonName(RejectReason reason);
+
+struct WireLimits {
+  /// Maximum payload bytes per frame; a length prefix beyond this is treated
+  /// as corruption (protects the server from hostile prefixes).
+  uint32_t max_payload = 64 * 1024;
+};
+
+/// One decoded frame: the type tag plus its raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::string payload;
+};
+
+/// kTweet payload, decoded.
+struct TweetFrame {
+  uint64_t seq = 0;
+  int64_t tweet_id = 0;
+  int32_t topic_id = 0;
+  /// Client-requested end-to-end budget; 0 = no deadline. The server turns
+  /// this into a util/deadline.h Deadline at admission time and drops the
+  /// tweet to the DLQ if it expires before an execution cycle reaches it.
+  uint32_t deadline_ms = 0;
+  std::string text;
+};
+
+/// kRetryAfter payload, decoded.
+struct RetryAfterFrame {
+  uint64_t seq = 0;
+  uint32_t retry_after_ms = 0;
+  RejectReason reason = RejectReason::kBackpressure;
+};
+
+// --- Encoding (append to `out`, suitable for a connection write buffer) ---
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+
+void AppendHello(std::string* out, std::string_view client_id);
+void AppendTweet(std::string* out, const TweetFrame& tweet);
+void AppendAck(std::string* out, uint64_t seq);
+void AppendRetryAfter(std::string* out, const RetryAfterFrame& retry);
+void AppendBye(std::string* out, std::string_view reason);
+
+// --- Typed payload decoding ---
+
+Result<std::string> ParseHello(const Frame& frame);
+Result<TweetFrame> ParseTweet(const Frame& frame);
+Result<uint64_t> ParseAck(const Frame& frame);
+Result<RetryAfterFrame> ParseRetryAfter(const Frame& frame);
+
+/// Incremental frame decoder over a TCP byte stream. Feed() appends raw
+/// bytes; Next() extracts complete frames in order. A detected corruption
+/// (bad magic, CRC mismatch, oversized length) is returned once and the
+/// decoder becomes poisoned: the server closes the connection rather than
+/// attempting resync, because a byte stream (unlike the DLQ's seekable file)
+/// gives no safe resynchronization point against an adversarial peer.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(WireLimits limits = {}) : limits_(limits) {}
+
+  /// Appends raw bytes read from the socket.
+  void Feed(std::string_view bytes);
+
+  /// Decode outcomes: a frame, "need more bytes", or corruption.
+  enum class NextStatus { kFrame, kNeedMore, kCorrupt };
+
+  /// Extracts the next complete frame into `*frame`. Returns kNeedMore when
+  /// the buffer holds only a partial frame (torn read — not an error), and
+  /// kCorrupt (with the detail in `last_error()`) on protocol violations.
+  NextStatus Next(Frame* frame);
+
+  const Status& last_error() const { return last_error_; }
+
+  /// Bytes buffered but not yet decoded (partial frame in flight).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  WireLimits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // decoded prefix, compacted lazily
+  bool poisoned_ = false;
+  Status last_error_;
+};
+
+}  // namespace net
+}  // namespace emd
+
+#endif  // EMD_NET_WIRE_H_

@@ -20,6 +20,10 @@ IngestQueue::IngestQueue(IngestQueueOptions options)
       popped_counter_(obs::Metrics().GetCounter(
           "ingest_queue_popped_total",
           "Tweets drained from the queue into execution cycles")),
+      admission_rejected_counter_(obs::Metrics().GetCounter(
+          "ingest_queue_admission_rejected_total",
+          "Tweets refused upstream at the serving admission edge with an "
+          "explicit RETRY_AFTER (never enqueued)")),
       depth_gauge_(obs::Metrics().GetGauge(
           "ingest_queue_depth", "Tweets currently buffered in the queue")) {
   EMD_CHECK_GT(options_.capacity, 0u);
@@ -54,6 +58,11 @@ bool IngestQueue::PushOrShed(AnnotatedTweet tweet) {
   }
   Admit(std::move(tweet));
   return true;
+}
+
+void IngestQueue::RecordAdmissionRejected(uint64_t n) {
+  stats_.admission_rejected += n;
+  admission_rejected_counter_->Increment(n);
 }
 
 std::vector<AnnotatedTweet> IngestQueue::PopBatch(size_t max_tweets) {

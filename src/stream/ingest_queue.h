@@ -32,13 +32,21 @@ struct IngestQueueOptions {
 };
 
 /// Admission/drain counters; every tweet offered to the queue is accounted
-/// for in exactly one of accepted / rejected / shed.
+/// for in exactly one of accepted / rejected / shed, and tweets refused
+/// upstream (serving admission control) are recorded separately so callers
+/// can tell backpressure (the producer holds the tweet and retries — nothing
+/// lost) from admission rejection (the client was told RETRY_AFTER — nothing
+/// lost) from shedding (the tweet is gone).
 struct IngestQueueStats {
   uint64_t accepted = 0;   // admitted by Push or PushOrShed
   uint64_t rejected = 0;   // refused by Push with backpressure
   uint64_t shed = 0;       // dropped-with-count by PushOrShed
   uint64_t popped = 0;     // handed to the pipeline
   uint64_t high_watermark = 0;  // peak queue depth observed
+  /// Tweets refused before ever reaching the queue by the serving admission
+  /// edge (explicit RETRY_AFTER; see net::AdmissionController), recorded via
+  /// RecordAdmissionRejected.
+  uint64_t admission_rejected = 0;
 };
 
 class IngestQueue {
@@ -55,6 +63,12 @@ class IngestQueue {
 
   /// Removes and returns up to `max_tweets` in FIFO order.
   std::vector<AnnotatedTweet> PopBatch(size_t max_tweets);
+
+  /// Records `n` tweets refused upstream at the serving admission edge with
+  /// an explicit RETRY_AFTER (never enqueued here). Kept on the queue so one
+  /// stats() read gives the complete admission picture — backpressure,
+  /// admission rejection, and shedding under distinct counters.
+  void RecordAdmissionRejected(uint64_t n = 1);
 
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
@@ -76,6 +90,7 @@ class IngestQueue {
   obs::Counter* rejected_counter_;
   obs::Counter* shed_counter_;
   obs::Counter* popped_counter_;
+  obs::Counter* admission_rejected_counter_;
   obs::Gauge* depth_gauge_;
 };
 

@@ -1,0 +1,407 @@
+// Unit tests for the network ingestion front-end: wire-protocol framing
+// (torn reads, corruption, hostile length prefixes) and the admission layer
+// (watermark hysteresis, token buckets, DRR fairness, deadline propagation,
+// drain semantics) — all on a FakeClock, no sockets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "net/admission.h"
+#include "net/wire.h"
+#include "stream/ingest_queue.h"
+#include "util/failpoint.h"
+
+namespace emd {
+namespace net {
+namespace {
+
+AnnotatedTweet MakeTweet(int64_t id, const std::string& text = "hello") {
+  AnnotatedTweet tweet;
+  tweet.tweet_id = id;
+  tweet.text = text;
+  return tweet;
+}
+
+// --- Wire protocol ---
+
+TEST(WireTest, RoundTripsEveryFrameType) {
+  std::string bytes;
+  AppendHello(&bytes, "client-7");
+  TweetFrame tweet;
+  tweet.seq = 42;
+  tweet.tweet_id = -5;
+  tweet.topic_id = 3;
+  tweet.deadline_ms = 250;
+  tweet.text = "Rockets game in Houston tonight";
+  AppendTweet(&bytes, tweet);
+  AppendAck(&bytes, 42);
+  RetryAfterFrame retry;
+  retry.seq = 43;
+  retry.retry_after_ms = 125;
+  retry.reason = RejectReason::kThrottled;
+  AppendRetryAfter(&bytes, retry);
+  AppendBye(&bytes, "done");
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kHello);
+  EXPECT_EQ(ParseHello(frame).value(), "client-7");
+
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kTweet);
+  const TweetFrame decoded = ParseTweet(frame).value();
+  EXPECT_EQ(decoded.seq, 42u);
+  EXPECT_EQ(decoded.tweet_id, -5);
+  EXPECT_EQ(decoded.topic_id, 3);
+  EXPECT_EQ(decoded.deadline_ms, 250u);
+  EXPECT_EQ(decoded.text, tweet.text);
+
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kAck);
+  EXPECT_EQ(ParseAck(frame).value(), 42u);
+
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kRetryAfter);
+  const RetryAfterFrame rdecoded = ParseRetryAfter(frame).value();
+  EXPECT_EQ(rdecoded.seq, 43u);
+  EXPECT_EQ(rdecoded.retry_after_ms, 125u);
+  EXPECT_EQ(rdecoded.reason, RejectReason::kThrottled);
+
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kBye);
+
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireTest, DecodesAcrossArbitraryReadBoundaries) {
+  TweetFrame tweet;
+  tweet.seq = 9;
+  tweet.text = "torn across many reads";
+  std::string bytes;
+  AppendTweet(&bytes, tweet);
+  AppendAck(&bytes, 9);
+
+  // Feed one byte at a time: every intermediate state is kNeedMore, never an
+  // error, and both frames come out intact.
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (char c : bytes) {
+    decoder.Feed(std::string_view(&c, 1));
+    Frame frame;
+    while (decoder.Next(&frame) == FrameDecoder::NextStatus::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(ParseTweet(frames[0]).value().text, tweet.text);
+  EXPECT_EQ(ParseAck(frames[1]).value(), 9u);
+}
+
+TEST(WireTest, CrcFlipPoisonsTheDecoder) {
+  std::string bytes;
+  AppendAck(&bytes, 77);
+  bytes[bytes.size() - 1] ^= 0x01;  // flip a CRC bit
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kCorrupt);
+  EXPECT_TRUE(decoder.last_error().IsCorruption());
+
+  // Poisoned: even a pristine frame afterwards is refused (no resync on a
+  // byte stream).
+  std::string good;
+  AppendAck(&good, 78);
+  decoder.Feed(good);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kCorrupt);
+}
+
+TEST(WireTest, PayloadFlipFailsTheCrc) {
+  std::string bytes;
+  AppendHello(&bytes, "abcdef");
+  bytes[bytes.size() - 7] ^= 0x40;  // flip a payload bit
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kCorrupt);
+}
+
+TEST(WireTest, BadMagicIsCorruption) {
+  FrameDecoder decoder;
+  decoder.Feed("this is not a frame at all!!");
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kCorrupt);
+}
+
+TEST(WireTest, HostileLengthPrefixRejectedBeforeBuffering) {
+  // A valid frame, then rewrite its length prefix to 256 MiB: the decoder
+  // must reject on the header alone instead of waiting to buffer 256 MiB.
+  std::string bytes;
+  AppendAck(&bytes, 1);
+  const uint32_t huge = 256u * 1024 * 1024;
+  bytes[4] = static_cast<char>(huge & 0xff);
+  bytes[5] = static_cast<char>((huge >> 8) & 0xff);
+  bytes[6] = static_cast<char>((huge >> 16) & 0xff);
+  bytes[7] = static_cast<char>((huge >> 24) & 0xff);
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes.substr(0, 9));  // header only
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kCorrupt);
+  EXPECT_TRUE(decoder.last_error().IsCorruption());
+}
+
+TEST(WireTest, DecodeFailpointInjectsCorruption) {
+  failpoint::EnableAfter("net.wire.decode",
+                         Status::Corruption("injected torn frame"));
+  std::string bytes;
+  AppendAck(&bytes, 5);
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kCorrupt);
+  failpoint::DisableAll();
+}
+
+TEST(WireTest, ParseRejectsWrongTypeAndShortPayloads) {
+  Frame frame;
+  frame.type = FrameType::kAck;
+  frame.payload = "abc";  // too short for a u64
+  EXPECT_FALSE(ParseAck(frame).ok());
+  frame.type = FrameType::kHello;
+  EXPECT_FALSE(ParseAck(frame).ok());  // type mismatch
+}
+
+// --- Admission control ---
+
+TEST(AdmissionTest, AcceptsStagesAndDrains) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 8});
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionController admission(&queue, options);
+
+  EXPECT_TRUE(admission.Offer("a", MakeTweet(1), 0).accepted);
+  EXPECT_TRUE(admission.Offer("a", MakeTweet(2), 0).accepted);
+  EXPECT_EQ(admission.staged(), 2u);
+
+  std::vector<std::string> admitted_clients;
+  const size_t moved = admission.DrainInto(
+      8, nullptr,
+      [&](const StagedTweet& t) { admitted_clients.push_back(t.client_id); });
+  EXPECT_EQ(moved, 2u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(admission.staged(), 0u);
+  ASSERT_EQ(admitted_clients.size(), 2u);
+  EXPECT_EQ(admitted_clients[0], "a");
+}
+
+TEST(AdmissionTest, WatermarkHysteresisLatchesAndReleases) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 100});
+  AdmissionOptions options;
+  options.clock = &clock;
+  options.high_watermark = 4;
+  options.low_watermark = 2;
+  AdmissionController admission(&queue, options);
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(admission.Offer("a", MakeTweet(i), 0).accepted) << i;
+  }
+  // Backlog reached the high watermark: overload latches.
+  const AdmissionDecision rejected = admission.Offer("a", MakeTweet(99), 0);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reason, RejectReason::kBackpressure);
+  EXPECT_GT(rejected.retry_after_ms, 0u);
+  EXPECT_TRUE(admission.overloaded());
+
+  // Drain to 3 (between low and high): hysteresis keeps rejecting.
+  admission.DrainInto(1, nullptr);
+  queue.PopBatch(100);
+  EXPECT_EQ(admission.backlog(), 3u);
+  EXPECT_FALSE(admission.Offer("a", MakeTweet(100), 0).accepted);
+
+  // Drain to the low watermark: overload unlatches, accepts resume.
+  admission.DrainInto(1, nullptr);
+  queue.PopBatch(100);
+  EXPECT_EQ(admission.backlog(), 2u);
+  EXPECT_TRUE(admission.Offer("a", MakeTweet(101), 0).accepted);
+  EXPECT_FALSE(admission.overloaded());
+}
+
+TEST(AdmissionTest, RejectionsAreCountedOnTheQueue) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 100});
+  AdmissionOptions options;
+  options.clock = &clock;
+  options.high_watermark = 2;
+  options.low_watermark = 1;
+  AdmissionController admission(&queue, options);
+
+  ASSERT_TRUE(admission.Offer("a", MakeTweet(1), 0).accepted);
+  ASSERT_TRUE(admission.Offer("a", MakeTweet(2), 0).accepted);
+  ASSERT_FALSE(admission.Offer("a", MakeTweet(3), 0).accepted);
+  ASSERT_FALSE(admission.Offer("a", MakeTweet(4), 0).accepted);
+  // Satellite accounting: admission rejections are distinct from queue
+  // backpressure (rejected) and load shedding (shed).
+  EXPECT_EQ(queue.stats().admission_rejected, 2u);
+  EXPECT_EQ(queue.stats().rejected, 0u);
+  EXPECT_EQ(queue.stats().shed, 0u);
+}
+
+TEST(AdmissionTest, TokenBucketThrottlesAndRefills) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 100});
+  AdmissionOptions options;
+  options.clock = &clock;
+  options.tokens_per_second = 10;  // one token every 100ms
+  options.burst_tokens = 2;
+  AdmissionController admission(&queue, options);
+
+  EXPECT_TRUE(admission.Offer("a", MakeTweet(1), 0).accepted);
+  EXPECT_TRUE(admission.Offer("a", MakeTweet(2), 0).accepted);
+  const AdmissionDecision throttled = admission.Offer("a", MakeTweet(3), 0);
+  EXPECT_FALSE(throttled.accepted);
+  EXPECT_EQ(throttled.reason, RejectReason::kThrottled);
+  // The hint points at the bucket refill time, not a generic constant.
+  EXPECT_GT(throttled.retry_after_ms, 0u);
+  EXPECT_LE(throttled.retry_after_ms, 200u);
+
+  // Another client has its own bucket.
+  EXPECT_TRUE(admission.Offer("b", MakeTweet(4), 0).accepted);
+
+  // After the refill interval the hint promised, the client gets in again.
+  clock.Advance(uint64_t{throttled.retry_after_ms} * kMillisecond);
+  EXPECT_TRUE(admission.Offer("a", MakeTweet(5), 0).accepted);
+}
+
+TEST(AdmissionTest, DeficitRoundRobinDrainsFairly) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 1000});
+  AdmissionOptions options;
+  options.clock = &clock;
+  options.high_watermark = 1000;  // no overload in this test
+  options.drr_quantum = 2;
+  AdmissionController admission(&queue, options);
+
+  // Client "hog" staged 30 tweets before "meek" staged 10.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(admission.Offer("hog", MakeTweet(i), 0).accepted);
+  }
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(admission.Offer("meek", MakeTweet(100 + i), 0).accepted);
+  }
+
+  // Drain 20 slots: DRR must not let the hog's head-of-line backlog starve
+  // the meek client — both make progress proportionally to their quantum.
+  std::vector<std::string> order;
+  admission.DrainInto(20, nullptr, [&](const StagedTweet& t) {
+    order.push_back(t.client_id);
+  });
+  ASSERT_EQ(order.size(), 20u);
+  const size_t meek_count = static_cast<size_t>(
+      std::count(order.begin(), order.end(), std::string("meek")));
+  EXPECT_EQ(meek_count, 10u);  // fully drained despite the hog's backlog
+  EXPECT_EQ(admission.staged(), 20u);
+}
+
+TEST(AdmissionTest, ExpiredDeadlinesDivertToTheSink) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 8});
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionController admission(&queue, options);
+
+  ASSERT_TRUE(admission.Offer("a", MakeTweet(1), /*deadline_ms=*/50).accepted);
+  ASSERT_TRUE(admission.Offer("a", MakeTweet(2), /*deadline_ms=*/0).accepted);
+  clock.Advance(60 * kMillisecond);  // tweet 1's budget lapses while staged
+
+  std::vector<int64_t> expired_ids;
+  const size_t moved = admission.DrainInto(8, [&](StagedTweet expired) {
+    expired_ids.push_back(expired.tweet.tweet_id);
+  });
+  EXPECT_EQ(moved, 1u);  // only the un-deadlined tweet reached the queue
+  ASSERT_EQ(expired_ids.size(), 1u);
+  EXPECT_EQ(expired_ids[0], 1);
+  EXPECT_EQ(admission.expired(), 1u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(AdmissionTest, DrainIntoStopsAtQueueCapacity) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 3});
+  AdmissionOptions options;
+  options.clock = &clock;
+  options.staging_capacity = 100;
+  options.high_watermark = 100;
+  AdmissionController admission(&queue, options);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(admission.Offer("a", MakeTweet(i), 0).accepted);
+  }
+  EXPECT_EQ(admission.DrainInto(10, nullptr), 3u);  // queue full: backpressure
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(admission.staged(), 7u);
+  // Nothing was shed: serving mode never drops an accepted tweet.
+  EXPECT_EQ(queue.stats().shed, 0u);
+}
+
+TEST(AdmissionTest, DrainingRejectsEverythingAndFlushes) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 8});
+  AdmissionOptions options;
+  options.clock = &clock;
+  AdmissionController admission(&queue, options);
+
+  ASSERT_TRUE(admission.Offer("a", MakeTweet(1), /*deadline_ms=*/10).accepted);
+  admission.BeginDrain();
+
+  const AdmissionDecision rejected = admission.Offer("a", MakeTweet(2), 0);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.reason, RejectReason::kDraining);
+
+  // TakeAllStaged flushes even expired tweets: an ACKed tweet is never
+  // dropped at shutdown, it reaches the pipeline or the DLQ.
+  clock.Advance(kSecond);
+  std::vector<StagedTweet> flushed = admission.TakeAllStaged();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].tweet.tweet_id, 1);
+  EXPECT_EQ(admission.staged(), 0u);
+}
+
+TEST(AdmissionTest, PerClientStatsTrackFairnessCounters) {
+  FakeClock clock;
+  IngestQueue queue({.capacity = 8});
+  AdmissionOptions options;
+  options.clock = &clock;
+  options.tokens_per_second = 1;
+  options.burst_tokens = 1;
+  AdmissionController admission(&queue, options);
+
+  ASSERT_TRUE(admission.Offer("a", MakeTweet(1), 0).accepted);
+  ASSERT_FALSE(admission.Offer("a", MakeTweet(2), 0).accepted);
+  ASSERT_TRUE(admission.Offer("b", MakeTweet(3), 0).accepted);
+  admission.DrainInto(8, nullptr);
+
+  const auto stats = admission.ClientStats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "a");
+  EXPECT_EQ(stats[0].second.offered, 2u);
+  EXPECT_EQ(stats[0].second.accepted, 1u);
+  EXPECT_EQ(stats[0].second.throttled, 1u);
+  EXPECT_EQ(stats[0].second.drained, 1u);
+  EXPECT_EQ(stats[1].first, "b");
+  EXPECT_EQ(stats[1].second.accepted, 1u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace emd
