@@ -14,6 +14,12 @@
 //     --resume             restore the checkpoint before serving
 //     --dlq PATH           dead-letter queue for unprocessable tweets
 //     --metrics-out PATH   write PATH.prom / PATH.json snapshots at drain
+//     --memory-budget-mb N cap governed pipeline state at N MiB; under soft
+//                          pressure admission tightens, under hard pressure
+//                          every TWEET is answered RETRY_AFTER
+//                          reason=memory_pressure (default 0 = unbounded)
+//     --decay-half-life N  embedding-pooling half-life in tweets (0 = none)
+//     --reclassify-interval N re-score ambiguous candidates every N batches
 //
 // Kill-and-resume: run with --checkpoint s.ckpt, SIGTERM it mid-stream,
 // restart with --checkpoint s.ckpt --resume; no admitted tweet is lost.
@@ -45,7 +51,13 @@ int Usage(const char* argv0) {
                "  --checkpoint PATH    checkpoint file written at drain\n"
                "  --resume             restore the checkpoint before serving\n"
                "  --dlq PATH           dead-letter queue file\n"
-               "  --metrics-out PATH   write PATH.prom/.json at drain\n",
+               "  --metrics-out PATH   write PATH.prom/.json at drain\n"
+               "  --memory-budget-mb N cap governed pipeline state at N MiB "
+               "(0 = unbounded)\n"
+               "  --decay-half-life N  embedding half-life in tweets (0 = "
+               "none)\n"
+               "  --reclassify-interval N re-score ambiguous candidates every "
+               "N batches\n",
                argv0);
   return 2;
 }
@@ -65,6 +77,9 @@ int main(int argc, char** argv) {
   long batch_size = 32;
   long queue_capacity = 256;
   bool resume = false;
+  long memory_budget_mb = 0;
+  long decay_half_life = 0;
+  long reclassify_interval = 0;
   std::string checkpoint_path;
   std::string dlq_path;
   std::string metrics_out;
@@ -97,6 +112,25 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--metrics-out") == 0) {
       if (i + 1 >= argc) return Usage(argv[0]);
       metrics_out = argv[++i];
+    } else if (std::strcmp(arg, "--memory-budget-mb") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &memory_budget_mb) ||
+          memory_budget_mb < 0) {
+        std::fprintf(stderr, "--memory-budget-mb requires a size >= 0\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--decay-half-life") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &decay_half_life) ||
+          decay_half_life < 0) {
+        std::fprintf(stderr, "--decay-half-life requires a tweet count >= 0\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--reclassify-interval") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &reclassify_interval) ||
+          reclassify_interval < 0) {
+        std::fprintf(stderr,
+                     "--reclassify-interval requires a batch count >= 0\n");
+        return Usage(argv[0]);
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage(argv[0]);
@@ -116,6 +150,12 @@ int main(int argc, char** argv) {
   goptions.batch_size = static_cast<size_t>(batch_size);
   goptions.resilience.local_emd.max_attempts = 3;
   goptions.resilience.checkpoint_io.max_attempts = 3;
+  goptions.memory.budget_bytes =
+      static_cast<size_t>(memory_budget_mb) * 1024 * 1024;
+  goptions.memory.decay_half_life_tweets =
+      static_cast<uint64_t>(decay_half_life);
+  goptions.memory.reclassify_interval_batches =
+      static_cast<uint64_t>(reclassify_interval);
   Globalizer globalizer(kit.system(kind), kit.phrase_embedder(kind),
                         kit.classifier(kind), goptions);
   globalizer.set_fallback_system(kit.system(SystemKind::kNpChunker));
@@ -160,6 +200,12 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(port);
   options.batch_size = static_cast<size_t>(batch_size);
   options.queue_capacity = static_cast<size_t>(queue_capacity);
+  // The admission edge polls pipeline memory pressure on every Offer: soft
+  // pressure tightens the watermark, hard pressure sheds every tweet with
+  // RETRY_AFTER reason=memory_pressure instead of letting the pipeline OOM.
+  options.admission.memory_pressure = [&globalizer] {
+    return static_cast<int>(globalizer.memory_pressure());
+  };
 
   net::Server server(std::move(pipeline), options);
   Status st = server.Start();

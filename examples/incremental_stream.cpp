@@ -27,6 +27,14 @@
 //                          text exposition) and PATH.json (emd-bench-v1)
 //     --metrics-interval N snapshot every N batches (default 1; requires
 //                          --metrics-out)
+//     --memory-budget-mb N cap governed pipeline state at N MiB; the memory
+//                          governor evicts cold candidates and trims tweet
+//                          text to stay under it (default 0 = unbounded)
+//     --decay-half-life N  half-life, in tweets, for time-decayed embedding
+//                          pooling (default 0 = no decay, bit-identical to
+//                          ungoverned runs)
+//     --reclassify-interval N re-score ambiguous candidates every N batches
+//                          (default 0 = only at finalize)
 //
 // Kill-and-resume demo:
 //   ./build/examples/incremental_stream 100 --checkpoint s.ckpt --kill-after 3
@@ -92,7 +100,13 @@ int Usage(const char* argv0) {
       "--dlq)\n"
       "  --metrics-out PATH   write snapshots to PATH.prom and PATH.json\n"
       "  --metrics-interval N snapshot every N batches (default 1, requires "
-      "--metrics-out)\n",
+      "--metrics-out)\n"
+      "  --memory-budget-mb N cap governed pipeline state at N MiB (0 = "
+      "unbounded)\n"
+      "  --decay-half-life N  embedding-pooling half-life in tweets (0 = no "
+      "decay)\n"
+      "  --reclassify-interval N re-score ambiguous candidates every N "
+      "batches\n",
       argv0);
   return 2;
 }
@@ -124,10 +138,12 @@ bool ParseLong(const char* s, long* out) {
 
 /// Pipeline stages opt into 3 attempts with the default 1ms..100ms
 /// decorrelated-jitter backoff; the breaker and DLQ ride the defaults.
-GlobalizerOptions ResilientOptions(size_t batch_size, int num_threads = 1) {
+GlobalizerOptions ResilientOptions(size_t batch_size, int num_threads = 1,
+                                   MemoryGovernorOptions memory = {}) {
   GlobalizerOptions options;
   options.batch_size = batch_size;
   options.num_threads = num_threads;
+  options.memory = memory;
   options.resilience.local_emd.max_attempts = 3;
   options.resilience.phrase_embedder.max_attempts = 3;
   options.resilience.classifier.max_attempts = 3;
@@ -210,6 +226,9 @@ int main(int argc, char** argv) {
   std::string dlq_path;
   std::string metrics_out;
   long metrics_interval = 1;
+  long memory_budget_mb = 0;
+  long decay_half_life = 0;
+  long reclassify_interval = 0;
   bool saw_batch_size = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -262,6 +281,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--metrics-interval requires a batch count > 0\n");
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--memory-budget-mb") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &memory_budget_mb) ||
+          memory_budget_mb < 0) {
+        std::fprintf(stderr, "--memory-budget-mb requires a size >= 0\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--decay-half-life") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &decay_half_life) ||
+          decay_half_life < 0) {
+        std::fprintf(stderr,
+                     "--decay-half-life requires a tweet count >= 0\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--reclassify-interval") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &reclassify_interval) ||
+          reclassify_interval < 0) {
+        std::fprintf(stderr,
+                     "--reclassify-interval requires a batch count >= 0\n");
+        return Usage(argv[0]);
+      }
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage(argv[0]);
@@ -308,9 +347,15 @@ int main(int argc, char** argv) {
               SystemKindName(kind), stream.name.c_str(), stream.size(),
               batch_size, queue_capacity, num_threads);
 
+  MemoryGovernorOptions memory;
+  memory.budget_bytes =
+      static_cast<size_t>(memory_budget_mb) * 1024 * 1024;
+  memory.decay_half_life_tweets = static_cast<uint64_t>(decay_half_life);
+  memory.reclassify_interval_batches =
+      static_cast<uint64_t>(reclassify_interval);
   Globalizer globalizer(
       kit.system(kind), kit.phrase_embedder(kind), kit.classifier(kind),
-      ResilientOptions(batch_size, static_cast<int>(num_threads)));
+      ResilientOptions(batch_size, static_cast<int>(num_threads), memory));
   globalizer.set_fallback_system(kit.system(SystemKind::kNpChunker));
 
   // Arm the outage only after the kit has built (and possibly trained) every
@@ -416,12 +461,13 @@ int main(int argc, char** argv) {
   std::printf("\nFinal mention digest: %08x\n", MentionDigest(out));
   std::printf("%s\n", out.summary.c_str());
   std::printf("queue: accepted=%llu rejected=%llu shed=%llu popped=%llu "
-              "high_watermark=%llu\n",
+              "high_watermark=%llu memory_rejected=%llu\n",
               static_cast<unsigned long long>(qs.accepted),
               static_cast<unsigned long long>(qs.rejected),
               static_cast<unsigned long long>(qs.shed),
               static_cast<unsigned long long>(qs.popped),
-              static_cast<unsigned long long>(qs.high_watermark));
+              static_cast<unsigned long long>(qs.high_watermark),
+              static_cast<unsigned long long>(qs.memory_rejected));
   if (!dlq_path.empty() && out.num_dead_lettered > 0) {
     std::printf("%d tweet(s) dead-lettered to %s; re-run with --replay-dlq "
                 "--dlq %s to reprocess them.\n",

@@ -17,6 +17,10 @@
 #                                  # admission, chaos, drain tests) and a
 #                                  # short bench_serving_load spike run with
 #                                  # SLO + zero-loss assertions
+#   scripts/check.sh --memory      # additionally the memory label (governor,
+#                                  # decay, eviction, checkpoint v4 tests) and
+#                                  # a bench_memory_soak smoke run asserting
+#                                  # budget, RSS plateau, and F1 bounds
 #
 # Run from the repository root.
 set -euo pipefail
@@ -29,6 +33,7 @@ BENCH_SMOKE=0
 DOCS=0
 KERNELS=0
 SERVING=0
+MEMORY=0
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
@@ -37,6 +42,7 @@ for arg in "$@"; do
     --docs) DOCS=1 ;;
     --kernels) KERNELS=1 ;;
     --serving) SERVING=1 ;;
+    --memory) MEMORY=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -63,7 +69,7 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DEMD_TSAN=ON
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -L 'parallel|resilience|obs|kernels|net'
+    -L 'parallel|resilience|obs|kernels|net|memory'
 fi
 
 if [[ "$SERVING" == 1 ]]; then
@@ -73,6 +79,15 @@ if [[ "$SERVING" == 1 ]]; then
   ctest --test-dir build --output-on-failure -L net
   ./build/bench/bench_serving_load --duration-ms 2000 \
     --json build/BENCH_serving.json
+fi
+
+if [[ "$MEMORY" == 1 ]]; then
+  # Memory governance under a replayed stream: the governor/decay/eviction/
+  # checkpoint tests, then a soak smoke that must hold the byte budget,
+  # plateau governed RSS, actually evict and trim, and keep F1 within a point
+  # of the unbounded baseline.
+  ctest --test-dir build --output-on-failure -L memory
+  ./build/bench/bench_memory_soak --smoke --out build/BENCH_memory.json
 fi
 
 if [[ "$KERNELS" == 1 ]]; then

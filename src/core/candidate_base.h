@@ -2,10 +2,18 @@
 // entity candidate discovered during Local EMD, the incrementally pooled
 // global embedding over the local embeddings of its mentions, plus the
 // mention list and the classifier's label.
+//
+// Memory governance: pooling can be exponentially time-decayed (configurable
+// half-life in stream positions) so stale evidence fades; cold candidates can
+// be evicted, freeing their record while a compact side table preserves the
+// final label so already-emitted output stays stable. With decay off the
+// pooling path is byte-for-byte the original mean — bit-exact.
 
 #ifndef EMD_CORE_CANDIDATE_BASE_H_
 #define EMD_CORE_CANDIDATE_BASE_H_
 
+#include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,9 +43,19 @@ struct CandidateRecord {
   int num_tokens = 0;
   std::vector<MentionRef> mentions;
 
-  /// Running sum of local mention embeddings; global embedding = sum / count.
+  /// Running (optionally decayed) sum of local mention embeddings; the global
+  /// embedding is sum / weight. Without decay, weight == embedding_count
+  /// exactly and the division reduces to the original mean.
   Mat embedding_sum;
   int embedding_count = 0;
+  /// Total decayed weight of pooled mentions. Stays equal to embedding_count
+  /// (as a double holding an exact small integer) when decay is off.
+  double embedding_weight = 0.0;
+  /// Stream position (tweet index) of the last pooled mention — the decay
+  /// reference point — and of the last mention of any kind (recency key for
+  /// eviction).
+  uint64_t last_update_pos = 0;
+  uint64_t last_mention_pos = 0;
   /// Individual mention embeddings, retained only when the owner requests it
   /// (classifier training wants prefix pools; normal runs keep memory flat).
   std::vector<Mat> mention_embeddings;
@@ -45,12 +63,27 @@ struct CandidateRecord {
   CandidateLabel label = CandidateLabel::kUnlabeled;
   float entity_probability = -1.f;
 
-  /// Pooled global candidate embedding (mean of local embeddings).
+  /// Pooled global candidate embedding (weighted mean of local embeddings).
   Mat GlobalEmbedding() const {
     EMD_CHECK_GT(embedding_count, 0);
     Mat g = embedding_sum;
-    g.Scale(1.f / static_cast<float>(embedding_count));
+    if (embedding_weight == static_cast<double>(embedding_count)) {
+      // Decay off (or no decay has applied yet): the original integer-count
+      // mean, bit-exact with pre-governance builds.
+      g.Scale(1.f / static_cast<float>(embedding_count));
+    } else {
+      g.Scale(1.f / static_cast<float>(embedding_weight));
+    }
     return g;
+  }
+
+  /// Heap bytes attributable to this record (estimate for budget accounting).
+  size_t ApproxBytes() const {
+    size_t bytes = key.capacity() + mentions.capacity() * sizeof(MentionRef) +
+                   embedding_sum.size() * sizeof(float);
+    for (const Mat& m : mention_embeddings) bytes += m.size() * sizeof(float);
+    bytes += mention_embeddings.capacity() * sizeof(Mat);
+    return bytes;
   }
 };
 
@@ -93,19 +126,111 @@ class CandidateBase {
 
   /// Adds a mention and pools its local embedding into the global embedding
   /// (incremental update of §V: "the global embedding can be incrementally
-  /// updated ... as and when new mentions arrive").
+  /// updated ... as and when new mentions arrive"). With a decay half-life
+  /// configured, earlier evidence is scaled by lambda^(Δpos) before the new
+  /// embedding joins the pool, where Δpos is the stream distance since the
+  /// last pooled mention.
   void AddMention(int candidate_id, const MentionRef& mention, const Mat& local_emb) {
     CandidateRecord& rec = at(candidate_id);
     rec.mentions.push_back(mention);
+    const uint64_t pos = static_cast<uint64_t>(mention.tweet_index);
+    if (pos > rec.last_mention_pos) rec.last_mention_pos = pos;
     if (local_emb.empty()) return;
-    if (rec.embedding_sum.empty()) {
-      rec.embedding_sum = local_emb;
+    if (decay_lambda_ == 1.0) {
+      // Legacy path, byte-for-byte the pre-decay pooling.
+      if (rec.embedding_sum.empty()) {
+        rec.embedding_sum = local_emb;
+      } else {
+        rec.embedding_sum.Add(local_emb);
+      }
+      ++rec.embedding_count;
+      rec.embedding_weight = static_cast<double>(rec.embedding_count);
     } else {
-      rec.embedding_sum.Add(local_emb);
+      if (rec.embedding_sum.empty()) {
+        rec.embedding_sum = local_emb;
+        rec.embedding_weight = 1.0;
+      } else {
+        const uint64_t delta = pos > rec.last_update_pos
+                                   ? pos - rec.last_update_pos
+                                   : 0;
+        if (delta > 0) {
+          const double scale =
+              std::pow(decay_lambda_, static_cast<double>(delta));
+          rec.embedding_sum.Scale(static_cast<float>(scale));
+          rec.embedding_weight *= scale;
+        }
+        rec.embedding_sum.Add(local_emb);
+        rec.embedding_weight += 1.0;
+      }
+      ++rec.embedding_count;
     }
-    ++rec.embedding_count;
+    rec.last_update_pos = pos;
     if (retain_mention_embeddings_) rec.mention_embeddings.push_back(local_emb);
   }
+
+  /// Frees the record for `candidate_id`, preserving only its final label in
+  /// a compact side table so mention output for already-processed tweets
+  /// stays consistent. After eviction Contains() is false; GetOrCreate for
+  /// the same id is forbidden (the CTrie never reissues pruned ids).
+  void Evict(int candidate_id) {
+    CandidateRecord& rec = at(candidate_id);
+    SetEvictedLabel(candidate_id, rec.label);
+    rec = CandidateRecord();
+  }
+
+  /// Label preserved at eviction time; kUnlabeled when `candidate_id` was
+  /// never evicted (or never labelled).
+  CandidateLabel EvictedLabel(int candidate_id) const {
+    if (candidate_id < 0 ||
+        candidate_id >= static_cast<int>(evicted_labels_.size())) {
+      return CandidateLabel::kUnlabeled;
+    }
+    const uint8_t enc = evicted_labels_[candidate_id];
+    return enc == 0 ? CandidateLabel::kUnlabeled
+                    : static_cast<CandidateLabel>(enc - 1);
+  }
+
+  bool WasEvicted(int candidate_id) const {
+    return candidate_id >= 0 &&
+           candidate_id < static_cast<int>(evicted_labels_.size()) &&
+           evicted_labels_[candidate_id] != 0;
+  }
+
+  /// Restore-path helper (checkpoint): records an eviction label directly.
+  void SetEvictedLabel(int candidate_id, CandidateLabel label) {
+    if (candidate_id >= static_cast<int>(evicted_labels_.size())) {
+      evicted_labels_.resize(candidate_id + 1, 0);
+    }
+    evicted_labels_[candidate_id] = static_cast<uint8_t>(label) + 1;
+  }
+
+  size_t num_evicted() const {
+    size_t n = 0;
+    for (uint8_t enc : evicted_labels_) n += enc != 0;
+    return n;
+  }
+
+  /// Approximate heap bytes across all live records. O(records).
+  size_t ApproxBytes() const {
+    size_t bytes = records_.capacity() * sizeof(CandidateRecord) +
+                   evicted_labels_.capacity();
+    for (const CandidateRecord& rec : records_) {
+      if (rec.candidate_id >= 0) bytes += rec.ApproxBytes();
+    }
+    return bytes;
+  }
+
+  /// Exponential decay half-life in stream positions (tweets). 0 disables
+  /// decay (the default): pooling is then bit-exact with the original mean.
+  void set_decay_half_life(uint64_t half_life_tweets) {
+    decay_half_life_ = half_life_tweets;
+    decay_lambda_ =
+        half_life_tweets == 0
+            ? 1.0
+            : std::exp2(-1.0 / static_cast<double>(half_life_tweets));
+  }
+  uint64_t decay_half_life() const { return decay_half_life_; }
+  double decay_lambda() const { return decay_lambda_; }
 
   /// Keep per-mention embeddings (off by default to bound memory).
   void set_retain_mention_embeddings(bool retain) {
@@ -115,6 +240,9 @@ class CandidateBase {
 
  private:
   std::vector<CandidateRecord> records_;
+  std::vector<uint8_t> evicted_labels_;  // 0 = not evicted, else label + 1
+  uint64_t decay_half_life_ = 0;
+  double decay_lambda_ = 1.0;
   bool retain_mention_embeddings_ = false;
 };
 

@@ -7,6 +7,18 @@ namespace emd {
 
 CTrie::CTrie() { nodes_.emplace_back(); }
 
+int CTrie::AllocNode() {
+  if (!free_nodes_.empty()) {
+    const int slot = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[slot] = Node();
+    return slot;
+  }
+  const int slot = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  return slot;
+}
+
 int CTrie::Insert(const std::vector<std::string>& tokens) {
   EMD_CHECK(!tokens.empty());
   int node = root();
@@ -17,9 +29,8 @@ int CTrie::Insert(const std::vector<std::string>& tokens) {
     key += folded;
     auto it = nodes_[node].children.find(folded);
     if (it == nodes_[node].children.end()) {
-      const int child = static_cast<int>(nodes_.size());
+      const int child = AllocNode();
       nodes_[node].children.emplace(folded, child);
-      nodes_.emplace_back();
       node = child;
     } else {
       node = it->second;
@@ -30,6 +41,7 @@ int CTrie::Insert(const std::vector<std::string>& tokens) {
   nodes_[node].candidate_id = id;
   candidate_keys_.push_back(std::move(key));
   candidate_lengths_.push_back(static_cast<int>(tokens.size()));
+  tombstoned_.push_back(0);
   max_len_ = std::max(max_len_, static_cast<int>(tokens.size()));
   return id;
 }
@@ -83,6 +95,95 @@ int CTrie::Find(const std::vector<std::string>& tokens) const {
     if (node == kNoNode) return kNoCandidate;
   }
   return CandidateAt(node);
+}
+
+bool CTrie::IsTombstone(int candidate_id) const {
+  EMD_CHECK_GE(candidate_id, 0);
+  EMD_CHECK_LT(candidate_id, num_candidates());
+  return tombstoned_[candidate_id] != 0;
+}
+
+int CTrie::Prune(int candidate_id) {
+  EMD_CHECK_GE(candidate_id, 0);
+  EMD_CHECK_LT(candidate_id, num_candidates());
+  if (tombstoned_[candidate_id]) return 0;
+
+  // Re-walk the candidate's (already case-folded) key from the root,
+  // remembering the path so empty suffix nodes can be unlinked bottom-up.
+  const std::string& key = candidate_keys_[candidate_id];
+  struct PathEdge {
+    int parent;
+    std::string token;
+  };
+  std::vector<PathEdge> path;
+  path.reserve(static_cast<size_t>(candidate_lengths_[candidate_id]));
+  int node = root();
+  size_t begin = 0;
+  while (begin <= key.size()) {
+    size_t end = key.find(' ', begin);
+    if (end == std::string::npos) end = key.size();
+    std::string token = key.substr(begin, end - begin);
+    auto it = nodes_[node].children.find(std::string_view(token));
+    EMD_CHECK(it != nodes_[node].children.end())
+        << "pruning candidate " << candidate_id << " ('" << key
+        << "'): trie path missing";
+    path.push_back({node, std::move(token)});
+    node = it->second;
+    begin = end + 1;
+  }
+
+  EMD_CHECK_EQ(nodes_[node].candidate_id, candidate_id);
+  nodes_[node].candidate_id = kNoCandidate;
+  tombstoned_[candidate_id] = 1;
+  candidate_keys_[candidate_id].clear();
+  candidate_keys_[candidate_id].shrink_to_fit();
+  candidate_lengths_[candidate_id] = 0;
+  ++num_tombstones_;
+
+  // Unlink nodes that no longer terminate a candidate and have no children.
+  // Stops at the first node still in use (shared prefix) or at the root.
+  int pruned = 0;
+  for (size_t i = path.size(); i-- > 0;) {
+    if (nodes_[node].candidate_id != kNoCandidate ||
+        !nodes_[node].children.empty()) {
+      break;
+    }
+    nodes_[path[i].parent].children.erase(path[i].token);
+    nodes_[node] = Node();
+    free_nodes_.push_back(node);
+    ++pruned;
+    node = path[i].parent;
+  }
+  return pruned;
+}
+
+int CTrie::AppendTombstone() {
+  const int id = static_cast<int>(candidate_keys_.size());
+  candidate_keys_.emplace_back();
+  candidate_lengths_.push_back(0);
+  tombstoned_.push_back(1);
+  ++num_tombstones_;
+  return id;
+}
+
+size_t CTrie::ApproxBytes() const {
+  // Flat vectors plus, per node, the hash map's bucket array and one heap
+  // node per edge (key string + child id + bookkeeping pointer).
+  size_t bytes = nodes_.capacity() * sizeof(Node) +
+                 free_nodes_.capacity() * sizeof(int) +
+                 candidate_keys_.capacity() * sizeof(std::string) +
+                 candidate_lengths_.capacity() * sizeof(int) +
+                 tombstoned_.capacity() * sizeof(uint8_t);
+  for (const auto& key : candidate_keys_) bytes += key.capacity();
+  constexpr size_t kEdgeOverhead = 2 * sizeof(void*) + sizeof(int);
+  for (const auto& node : nodes_) {
+    bytes += node.children.bucket_count() * sizeof(void*);
+    for (const auto& [token, child] : node.children) {
+      (void)child;
+      bytes += kEdgeOverhead + sizeof(std::string) + token.capacity();
+    }
+  }
+  return bytes;
 }
 
 }  // namespace emd

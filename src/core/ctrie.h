@@ -5,10 +5,21 @@
 //
 // Nodes correspond to (case-folded) tokens; candidates sharing prefixes share
 // subtrees. A node may mark the end of a registered candidate.
+//
+// Memory governance (unbounded streams): Prune() evicts a registered
+// candidate — it unmarks the terminal node, deletes the now-empty suffix
+// chain (freed node slots go on a free list and are recycled by later
+// Inserts), and tombstones the candidate id. Ids are dense and NEVER reused:
+// a pruned candidate that reappears in the stream is re-inserted under a
+// fresh id, so accumulated evidence restarts from zero — exactly the
+// semantics eviction wants. Pruning requires the same external
+// synchronization as Insert (single writer, no concurrent Step): the
+// Globalizer only prunes at its batch merge barrier.
 
 #ifndef EMD_CORE_CTRIE_H_
 #define EMD_CORE_CTRIE_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -50,18 +61,54 @@ class CTrie {
   /// Candidate id terminating at `node`, or kNoCandidate.
   int CandidateAt(int node) const;
 
-  /// Case-folded surface string of a candidate ("andy beshear").
+  /// Case-folded surface string of a candidate ("andy beshear"). Empty for a
+  /// pruned (tombstoned) id.
   const std::string& CandidateKey(int candidate_id) const;
 
-  /// Number of tokens of a candidate.
+  /// Number of tokens of a candidate (0 for a pruned id).
   int CandidateLength(int candidate_id) const;
 
   /// Looks up a full phrase; returns its candidate id or kNoCandidate.
   int Find(const std::vector<std::string>& tokens) const;
 
+  /// Evicts `candidate_id`: the terminal node is unmarked, nodes on its path
+  /// that now carry no candidate and no children are unlinked and recycled,
+  /// and the id is tombstoned (CandidateKey/CandidateLength become
+  /// empty / 0; lookups of the phrase miss). Returns the number of trie
+  /// nodes freed. Safe on shared prefixes: a node that still serves another
+  /// candidate or subtree survives. No-op (returns 0) for an already-pruned
+  /// id. Caller must hold the single-writer contract (no concurrent Step).
+  int Prune(int candidate_id);
+
+  /// True when `candidate_id` was pruned. Ids stay dense; tombstoned slots
+  /// are never reassigned.
+  bool IsTombstone(int candidate_id) const;
+
+  /// Restore-path only: appends a tombstoned id slot (no trie nodes) so a
+  /// checkpointed id space including holes rebuilds exactly. Returns the id.
+  int AppendTombstone();
+
+  /// Total ids ever assigned, including tombstones (dense id space bound).
   int num_candidates() const { return static_cast<int>(candidate_keys_.size()); }
 
-  /// Longest depth of any registered candidate (scan window bound k of §V-A).
+  /// Live (non-tombstoned) candidates.
+  int num_live_candidates() const {
+    return num_candidates() - num_tombstones_;
+  }
+
+  /// Trie nodes currently linked (excludes free-listed slots).
+  int num_live_nodes() const {
+    return static_cast<int>(nodes_.size() - free_nodes_.size());
+  }
+
+  /// Approximate heap bytes held by the trie: node slots, edge map entries,
+  /// and candidate key strings. O(nodes); an estimate for the memory
+  /// governor's budget accounting, not an allocator-exact figure.
+  size_t ApproxBytes() const;
+
+  /// Longest depth of any registered candidate (scan window bound k of
+  /// §V-A). Monotonic: pruning does not shrink it — a stale upper bound only
+  /// costs a slightly longer scan window, never correctness.
   int max_candidate_length() const { return max_len_; }
 
  private:
@@ -74,9 +121,14 @@ class CTrie {
     int candidate_id = kNoCandidate;
   };
 
+  int AllocNode();
+
   std::vector<Node> nodes_;
+  std::vector<int> free_nodes_;  // recycled slots from Prune
   std::vector<std::string> candidate_keys_;
   std::vector<int> candidate_lengths_;
+  std::vector<uint8_t> tombstoned_;
+  int num_tombstones_ = 0;
   int max_len_ = 0;
 };
 

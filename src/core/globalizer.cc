@@ -63,7 +63,16 @@ std::string GlobalizerOutput::ResilienceSummary() const {
      << " dead_lettered=" << num_dead_lettered
      << " admission_rejected=" << num_admission_rejected
      << " queue_backpressure=" << num_queue_rejected
-     << " queue_shed=" << num_queue_shed;
+     << " queue_shed=" << num_queue_shed
+     << " memory_rejected=" << num_memory_rejected;
+  if (governed_bytes > 0 || num_evicted > 0 || num_trimmed > 0 ||
+      num_reclassified > 0) {
+    os << " | memory: pressure="
+       << MemoryPressureName(static_cast<MemoryPressure>(memory_pressure))
+       << " governed_bytes=" << governed_bytes << " evicted=" << num_evicted
+       << " pruned_nodes=" << num_pruned_nodes << " trimmed=" << num_trimmed
+       << " reclassified=" << num_reclassified;
+  }
   return os.str();
 }
 
@@ -74,11 +83,13 @@ Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embe
       classifier_(classifier),
       options_(options),
       extractor_(&trie_),
+      governor_(&trie_, &candidates_, &tweets_, options.memory),
       clock_(options.resilience.clock != nullptr ? options.resilience.clock
                                                  : Clock::Real()),
       retry_rng_(options.resilience.retry_seed),
       breaker_(options.resilience.breaker, clock_) {
   EMD_CHECK(system != nullptr);
+  candidates_.set_decay_half_life(options_.memory.decay_half_life_tweets);
   if (options_.mode != GlobalizerOptions::Mode::kLocalOnly && system_->is_deep()) {
     EMD_CHECK(phrase_embedder != nullptr)
         << "deep local EMD requires an Entity Phrase Embedder";
@@ -359,6 +370,7 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
 
   if (options_.mode == GlobalizerOptions::Mode::kLocalOnly) {
     Counters().batches->Increment();
+    governor_.Run([this] { return ReclassifyAmbiguous(); });
     return Status::OK();
   }
 
@@ -447,8 +459,53 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
     tweets_.ReleaseEmbeddings(first_index, tweets_.size());
   }
   Counters().batches->Increment();
-  Counters().candidates->Set(trie_.num_candidates());
+
+  // Memory governance runs at this same single-writer barrier: the trie and
+  // CandidateBase are quiescent between batches, so eviction/pruning can
+  // never race Step() on a worker thread.
+  governor_.Run([this] { return ReclassifyAmbiguous(); });
+
+  Counters().candidates->Set(trie_.num_live_candidates());
   return Status::OK();
+}
+
+size_t Globalizer::ReclassifyAmbiguous() {
+  if (options_.mode != GlobalizerOptions::Mode::kFull || classifier_ == nullptr) {
+    return 0;
+  }
+  EMD_TRACE_SPAN("reclassify");
+  size_t flipped = 0;
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    const int id = static_cast<int>(c);
+    if (!candidates_.Contains(id)) continue;
+    CandidateRecord& rec = candidates_.at(id);
+    if (rec.label != CandidateLabel::kAmbiguous &&
+        rec.label != CandidateLabel::kUnlabeled) {
+      continue;
+    }
+    if (rec.embedding_count == 0) continue;
+    EntityClassifier::MakeFeaturesInto(rec.GlobalEmbedding(), rec.num_tokens,
+                                       &classifier_features_);
+    Result<EntityClassifier::Verdict> verdict =
+        classifier_->TryEvaluate(classifier_features_, &classifier_scratch_);
+    if (!verdict.ok()) {
+      EMD_LOG(Warn) << "periodic re-classification stopped ("
+                    << verdict.status() << "); will retry next interval";
+      break;
+    }
+    CandidateLabel label = verdict->label;
+    if (label == CandidateLabel::kNonEntity &&
+        rec.embedding_count < options_.min_evidence_mentions &&
+        verdict->probability > options_.low_evidence_beta) {
+      label = CandidateLabel::kAmbiguous;
+    }
+    rec.entity_probability = verdict->probability;
+    if (label != rec.label) {
+      rec.label = label;
+      ++flipped;
+    }
+  }
+  return flipped;
 }
 
 Result<GlobalizerOutput> Globalizer::Finalize() {
@@ -471,7 +528,15 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
       o->num_admission_rejected = qs.admission_rejected;
       o->num_queue_rejected = qs.rejected;
       o->num_queue_shed = qs.shed;
+      o->num_memory_rejected = qs.memory_rejected;
     }
+    const MemoryGovernorStats& gs = governor_.stats();
+    o->num_evicted = gs.evicted_candidates;
+    o->num_pruned_nodes = gs.pruned_nodes;
+    o->num_trimmed = gs.trimmed_tweets;
+    o->num_reclassified = gs.reclassified;
+    o->governed_bytes = governor_.governed_bytes();
+    o->memory_pressure = static_cast<int>(governor_.pressure());
     o->summary = o->ResilienceSummary();
     o->metrics = obs::Metrics().Snapshot();
     EMD_LOG(Info) << o->summary;
@@ -549,7 +614,7 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
   const bool classify =
       options_.mode == GlobalizerOptions::Mode::kFull && !classifier_degraded_;
   if (!classify) {
-    out.num_candidates = trie_.num_candidates();
+    out.num_candidates = trie_.num_live_candidates();
     out.num_entity = out.num_non_entity = out.num_ambiguous = 0;
   }
   out.classifier_degraded = classifier_degraded_;
@@ -564,10 +629,16 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
         out.mentions[i].push_back(m.span);
         continue;
       }
-      const CandidateRecord& rec = candidates_.at(m.candidate_id);
-      if (rec.label == CandidateLabel::kEntity) {
+      // An evicted candidate keeps its eviction-time label in a compact side
+      // table, so mentions already recorded for it stay stable after the
+      // record itself is freed (same emit rule as live candidates).
+      const CandidateLabel label =
+          candidates_.Contains(m.candidate_id)
+              ? candidates_.at(m.candidate_id).label
+              : candidates_.EvictedLabel(m.candidate_id);
+      if (label == CandidateLabel::kEntity) {
         out.mentions[i].push_back(m.span);
-      } else if (rec.label == CandidateLabel::kAmbiguous) {
+      } else if (label == CandidateLabel::kAmbiguous) {
         // Ambiguous candidates await more evidence downstream (§V-C); until
         // the verdict flips to beta their mentions stay in the output — the
         // local system suggested them as entities in the first place.

@@ -41,6 +41,7 @@
 #include "core/candidate_base.h"
 #include "core/ctrie.h"
 #include "core/entity_classifier.h"
+#include "core/memory_governor.h"
 #include "core/mention_extractor.h"
 #include "core/phrase_embedder.h"
 #include "core/tweet_base.h"
@@ -126,6 +127,13 @@ struct GlobalizerOptions {
 
   /// Deadline / retry / circuit-breaker configuration (see ResilienceOptions).
   ResilienceOptions resilience;
+
+  /// Memory governance for unbounded streams: byte budget with watermark
+  /// eviction, decayed pooling, periodic γ-band re-classification (see
+  /// MemoryGovernorOptions). Defaults are fully inert — no budget, no decay —
+  /// so output is bit-identical to ungoverned builds unless a deployment
+  /// opts in.
+  MemoryGovernorOptions memory;
 };
 
 /// Final framework output plus diagnostics.
@@ -169,6 +177,18 @@ struct GlobalizerOutput {
   uint64_t num_admission_rejected = 0;  // refused upstream with RETRY_AFTER
   uint64_t num_queue_rejected = 0;      // Push backpressure refusals
   uint64_t num_queue_shed = 0;          // PushOrShed drops
+  /// Rejections caused specifically by memory pressure (RETRY_AFTER with
+  /// reason=memory_pressure), counted apart from queue-full sheds so the
+  /// operator report shows which limit fired.
+  uint64_t num_memory_rejected = 0;
+
+  /// Memory-governance accounting (zero when governance is off).
+  uint64_t num_evicted = 0;        // candidates evicted
+  uint64_t num_pruned_nodes = 0;   // trie nodes freed by pruning
+  uint64_t num_trimmed = 0;        // tweet records with token text dropped
+  uint64_t num_reclassified = 0;   // γ-band labels flipped by re-scoring
+  uint64_t governed_bytes = 0;     // bytes accounted at the last batch
+  int memory_pressure = 0;         // MemoryPressure at Finalize time
 
   /// One-line operator report: "resilience: retries=.. breaker_trips=.. ...".
   std::string ResilienceSummary() const;
@@ -252,6 +272,11 @@ class Globalizer {
 
   const CircuitBreaker& breaker() const { return breaker_; }
 
+  /// Current memory-pressure state, readable from any thread (the serving
+  /// edge polls it: soft tightens admission, hard sheds with RETRY_AFTER).
+  MemoryPressure memory_pressure() const { return governor_.pressure(); }
+  const MemoryGovernor& memory_governor() const { return governor_; }
+
   const CTrie& ctrie() const { return trie_; }
   const CandidateBase& candidate_base() const { return candidates_; }
   CandidateBase& mutable_candidate_base() { return candidates_; }
@@ -322,6 +347,12 @@ class Globalizer {
   /// Appends a quarantined tweet to the dead-letter queue, if one is set.
   void DeadLetter(const AnnotatedTweet& tweet, const Status& reason);
 
+  /// Re-scores γ-band (ambiguous/unlabeled) candidates with their current
+  /// decayed global embeddings; returns how many labels flipped. Invoked by
+  /// the memory governor on its reclassification interval, at the batch
+  /// barrier. A classifier failure logs and stops the sweep (never fatal).
+  size_t ReclassifyAmbiguous();
+
   LocalEmdSystem* system_;
   const PhraseEmbedder* phrase_embedder_;
   const EntityClassifier* classifier_;
@@ -331,6 +362,7 @@ class Globalizer {
   MentionExtractor extractor_;
   TweetBase tweets_;
   CandidateBase candidates_;
+  MemoryGovernor governor_;  // must follow the stores it governs (init order)
   PhaseTimer timers_;
 
   // Resilience runtime. clock_ must precede breaker_ (init order).

@@ -1,24 +1,36 @@
 // Globalizer checkpoint/restore — crash-safe persistence of the accumulated
 // global state (CTrie, TweetBase, CandidateBase, fault counters).
 //
-// Binary layout (little-endian), version 3:
+// Binary layout (little-endian), version 4:
 //   u32 magic 'EMDG'   u32 version
 //   u8  mode           u64 processed_tweets
 //   u32 num_quarantined  u32 num_degraded  u8 classifier_degraded
 //   [v2+] u32 num_retries  u32 num_fallback  u32 num_dead_lettered
 //         u32 breaker_trips  u32 breaker_recoveries   (lifetime totals; the
 //         live circuit breaker restarts closed after a restore)
-//   CTrie:     u32 count; per candidate id (ascending): string key, u32 len
+//   [v4+] memory-governor lifetime totals: u64 evicted_candidates,
+//         u64 pruned_nodes, u64 trimmed_tweets, u64 reclassified
+//   CTrie:     u32 count; per candidate id (ascending):
+//              [v4+] u8 live; when live (always in v1-3):
+//              string key, u32 len. Dead ids rebuild as tombstones so the
+//              dense id space (including eviction holes) survives.
 //   TweetBase: u64 count; per record: i64 tweet_id, i32 sentence_id,
-//              u8 quarantined, tokens[u32: string text, u64 begin, u64 end,
+//              u8 quarantined, [v4+] u8 trimmed,
+//              tokens[u32: string text, u64 begin, u64 end,
 //              u8 kind], mentions[u32: u64 span.begin, u64 span.end,
 //              i32 candidate_id, u8 locally_detected]
 //   CandidateBase: u64 slots; per slot: u8 present; when present:
 //              string key, i32 num_tokens, mentions[u32: u64 tweet_index,
 //              u64 span.begin, u64 span.end, u8 locally_detected],
 //              embedding_sum[i32 rows, i32 cols, f32 data...],
-//              i32 embedding_count, u8 label, f32 entity_probability,
-//              mention_embeddings[u32: i32 rows, i32 cols, f32 data...]
+//              i32 embedding_count,
+//              [v4+] f64 embedding_weight, u64 last_update_pos,
+//                    u64 last_mention_pos,
+//              u8 label, f32 entity_probability,
+//              mention_embeddings[u32: i32 rows, i32 cols, f32 data...];
+//              when absent in v4+: u8 evicted_label (0 = never evicted,
+//              else CandidateLabel + 1 — the emit rule for mentions of
+//              evicted candidates survives a resume)
 //   [v3+] Metrics block — a serialized obs::MetricsSnapshot of the process
 //         registry, so a resumed stream continues its lifetime observability
 //         totals (gauges are instantaneous and deliberately not persisted):
@@ -34,6 +46,10 @@
 // id — verified during restore). Token embeddings in flight are not captured:
 // checkpoints are only valid between execution cycles, when
 // release_embeddings has already dropped them.
+//
+// Pre-v4 checkpoints carry no decay/governance fields; they restore with
+// embedding_weight = embedding_count and last positions derived from the
+// mention list, which is exactly the ungoverned state they were saved in.
 
 #include <cstring>
 #include <string>
@@ -53,9 +69,9 @@ namespace emd {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x454D4447;  // 'EMDG'
-constexpr uint32_t kCheckpointVersion = 3;
-// Version 1 (no resilience counters) and version 2 (no metrics block)
-// checkpoints are still readable.
+constexpr uint32_t kCheckpointVersion = 4;
+// Version 1 (no resilience counters), version 2 (no metrics block), and
+// version 3 (no memory-governance fields) checkpoints are still readable.
 constexpr uint32_t kMinCheckpointVersion = 1;
 
 void AppendMat(std::string* out, const Mat& m) {
@@ -181,10 +197,20 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
                                                breaker_.trips()));
   binio::AppendU32(&buf, static_cast<uint32_t>(restored_breaker_recoveries_ +
                                                breaker_.recoveries()));
+  // v4: memory-governor lifetime totals.
+  const MemoryGovernorStats& gov = governor_.stats();
+  binio::AppendU64(&buf, gov.evicted_candidates);
+  binio::AppendU64(&buf, gov.pruned_nodes);
+  binio::AppendU64(&buf, gov.trimmed_tweets);
+  binio::AppendU64(&buf, gov.reclassified);
 
-  // CTrie: keys in id order reproduce the trie (Insert assigns dense ids).
+  // CTrie: live keys in id order reproduce the trie (Insert assigns dense
+  // ids); pruned ids are saved as tombstones so the id space keeps its holes.
   binio::AppendU32(&buf, static_cast<uint32_t>(trie_.num_candidates()));
   for (int c = 0; c < trie_.num_candidates(); ++c) {
+    const bool live = !trie_.IsTombstone(c);
+    binio::AppendU8(&buf, live ? 1 : 0);
+    if (!live) continue;
     binio::AppendString(&buf, trie_.CandidateKey(c));
     binio::AppendU32(&buf, static_cast<uint32_t>(trie_.CandidateLength(c)));
   }
@@ -196,6 +222,7 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
     binio::AppendI64(&buf, rec.tweet_id);
     binio::AppendI32(&buf, rec.sentence_id);
     binio::AppendU8(&buf, rec.quarantined ? 1 : 0);
+    binio::AppendU8(&buf, rec.trimmed ? 1 : 0);
     binio::AppendU32(&buf, static_cast<uint32_t>(rec.tokens.size()));
     for (const Token& tok : rec.tokens) {
       binio::AppendString(&buf, tok.text);
@@ -215,10 +242,18 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
   // CandidateBase.
   binio::AppendU64(&buf, candidates_.size());
   for (size_t c = 0; c < candidates_.size(); ++c) {
-    const bool present = candidates_.Contains(static_cast<int>(c));
+    const int id = static_cast<int>(c);
+    const bool present = candidates_.Contains(id);
     binio::AppendU8(&buf, present ? 1 : 0);
-    if (!present) continue;
-    const CandidateRecord& rec = candidates_.at(static_cast<int>(c));
+    if (!present) {
+      // v4: eviction-time label (0 when this slot was simply never created).
+      binio::AppendU8(&buf,
+                      candidates_.WasEvicted(id)
+                          ? static_cast<uint8_t>(candidates_.EvictedLabel(id)) + 1
+                          : 0);
+      continue;
+    }
+    const CandidateRecord& rec = candidates_.at(id);
     binio::AppendString(&buf, rec.key);
     binio::AppendI32(&buf, rec.num_tokens);
     binio::AppendU32(&buf, static_cast<uint32_t>(rec.mentions.size()));
@@ -232,6 +267,10 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
     // bit-identical to the uninterrupted run.
     AppendMat(&buf, rec.embedding_sum);
     binio::AppendI32(&buf, rec.embedding_count);
+    // v4: decayed-pooling state (weight == count exactly when decay is off).
+    binio::AppendF64(&buf, rec.embedding_weight);
+    binio::AppendU64(&buf, rec.last_update_pos);
+    binio::AppendU64(&buf, rec.last_mention_pos);
     binio::AppendU8(&buf, static_cast<uint8_t>(rec.label));
     binio::AppendF32(&buf, rec.entity_probability);
     binio::AppendU32(&buf, static_cast<uint32_t>(rec.mention_embeddings.size()));
@@ -290,9 +329,13 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
     return Status::Corruption("checkpoint ", path, " bad magic");
   }
   if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
-    return Status::Corruption("checkpoint ", path, " version ", version,
-                              ", want ", kMinCheckpointVersion, "..",
-                              kCheckpointVersion);
+    return Status::Corruption(
+        "checkpoint ", path, " has unsupported format version ", version,
+        "; this build reads versions ", kMinCheckpointVersion, " through ",
+        kCheckpointVersion,
+        version > kCheckpointVersion
+            ? " (the file was written by a newer build)"
+            : " (the file predates the oldest supported format)");
   }
   uint8_t mode = 0, classifier_degraded = 0;
   uint64_t cursor = 0;
@@ -311,6 +354,13 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
     EMD_RETURN_IF_ERROR(reader.ReadU32(&breaker_trips));
     EMD_RETURN_IF_ERROR(reader.ReadU32(&breaker_recoveries));
   }
+  MemoryGovernorStats gov;
+  if (version >= 4) {
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&gov.evicted_candidates));
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&gov.pruned_nodes));
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&gov.trimmed_tweets));
+    EMD_RETURN_IF_ERROR(reader.ReadU64(&gov.reclassified));
+  }
   if (mode != static_cast<uint8_t>(options_.mode)) {
     return Status::InvalidArgument("checkpoint ", path, " was saved in mode ",
                                    int(mode), " but this Globalizer runs mode ",
@@ -324,10 +374,21 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
   TweetBase tweets;
   CandidateBase candidates;
 
-  // CTrie: re-inserting keys in id order must reproduce every id.
+  // CTrie: re-inserting live keys in id order must reproduce every id; dead
+  // ids rebuild as tombstones so eviction holes survive the round trip.
   uint32_t num_candidates = 0;
   EMD_RETURN_IF_ERROR(reader.ReadU32(&num_candidates));
   for (uint32_t c = 0; c < num_candidates; ++c) {
+    uint8_t live = 1;
+    if (version >= 4) EMD_RETURN_IF_ERROR(reader.ReadU8(&live));
+    if (!live) {
+      const int id = trie.AppendTombstone();
+      if (id != static_cast<int>(c)) {
+        return Status::Corruption("checkpoint ", path, " tombstone restored ",
+                                  "with id ", id, ", want ", c);
+      }
+      continue;
+    }
     std::string key;
     uint32_t len = 0;
     EMD_RETURN_IF_ERROR(reader.ReadString(&key));
@@ -356,13 +417,15 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
     TweetRecord rec;
     int64_t tweet_id = 0;
     int32_t sentence_id = 0;
-    uint8_t quarantined = 0;
+    uint8_t quarantined = 0, trimmed = 0;
     EMD_RETURN_IF_ERROR(reader.ReadI64(&tweet_id));
     EMD_RETURN_IF_ERROR(reader.ReadI32(&sentence_id));
     EMD_RETURN_IF_ERROR(reader.ReadU8(&quarantined));
+    if (version >= 4) EMD_RETURN_IF_ERROR(reader.ReadU8(&trimmed));
     rec.tweet_id = tweet_id;
     rec.sentence_id = sentence_id;
     rec.quarantined = quarantined != 0;
+    rec.trimmed = trimmed != 0;
     uint32_t num_tokens = 0;
     EMD_RETURN_IF_ERROR(reader.ReadU32(&num_tokens));
     rec.tokens.reserve(num_tokens);
@@ -412,7 +475,24 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
   for (uint64_t c = 0; c < num_slots; ++c) {
     uint8_t present = 0;
     EMD_RETURN_IF_ERROR(reader.ReadU8(&present));
-    if (!present) continue;
+    if (!present) {
+      if (version >= 4) {
+        uint8_t evicted_enc = 0;
+        EMD_RETURN_IF_ERROR(reader.ReadU8(&evicted_enc));
+        if (evicted_enc >
+            static_cast<uint8_t>(CandidateLabel::kAmbiguous) + 1) {
+          return Status::Corruption("checkpoint ", path,
+                                    " bad evicted label code ",
+                                    int(evicted_enc));
+        }
+        if (evicted_enc != 0) {
+          candidates.SetEvictedLabel(
+              static_cast<int>(c),
+              static_cast<CandidateLabel>(evicted_enc - 1));
+        }
+      }
+      continue;
+    }
     std::string key;
     int32_t num_tokens = 0;
     EMD_RETURN_IF_ERROR(reader.ReadString(&key));
@@ -441,6 +521,20 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
     }
     EMD_RETURN_IF_ERROR(ReadMat(&reader, &rec.embedding_sum));
     EMD_RETURN_IF_ERROR(reader.ReadI32(&rec.embedding_count));
+    if (version >= 4) {
+      EMD_RETURN_IF_ERROR(reader.ReadF64(&rec.embedding_weight));
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&rec.last_update_pos));
+      EMD_RETURN_IF_ERROR(reader.ReadU64(&rec.last_mention_pos));
+    } else {
+      // Pre-governance checkpoints: undecayed pooling (weight == count) with
+      // recency derived from the mention list.
+      rec.embedding_weight = static_cast<double>(rec.embedding_count);
+      for (const MentionRef& m : rec.mentions) {
+        const uint64_t pos = static_cast<uint64_t>(m.tweet_index);
+        if (pos > rec.last_mention_pos) rec.last_mention_pos = pos;
+      }
+      rec.last_update_pos = rec.last_mention_pos;
+    }
     uint8_t label = 0;
     EMD_RETURN_IF_ERROR(reader.ReadU8(&label));
     if (label > static_cast<uint8_t>(CandidateLabel::kAmbiguous)) {
@@ -485,6 +579,7 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
   num_dead_lettered_ = static_cast<int>(num_dead_lettered);
   restored_breaker_trips_ = static_cast<int>(breaker_trips);
   restored_breaker_recoveries_ = static_cast<int>(breaker_recoveries);
+  governor_.RestoreStats(gov);
   obs::Metrics().Restore(metrics);
   CheckpointRestoresCounter()->Increment();
   return Status::OK();

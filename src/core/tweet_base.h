@@ -2,10 +2,15 @@
 // (tweet id, sentence id), holding the detected mentions (updated as the
 // sentence moves through Global EMD) and, while its batch is in flight, the
 // deep system's token-level entity-aware embeddings.
+//
+// Memory governance: old records can have their token text trimmed once no
+// future stage needs it (tokens serve the current batch's candidate re-scan
+// and checkpointing; mention spans and ids — the output — are retained).
 
 #ifndef EMD_CORE_TWEET_BASE_H_
 #define EMD_CORE_TWEET_BASE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -35,6 +40,12 @@ struct TweetRecord {
   /// True when Local EMD failed on this sentence and it was isolated: the
   /// record stays (dense stream indexes) but contributes no candidates.
   bool quarantined = false;
+  /// True once the memory governor dropped the token text (spans/mentions
+  /// survive; the surface strings do not).
+  bool trimmed = false;
+  /// Token heap bytes cached at Add time so budget accounting never re-walks
+  /// token strings. Not serialized; recomputed on checkpoint restore.
+  size_t approx_token_bytes = 0;
 };
 
 /// Append-only store, indexed densely by insertion order.
@@ -42,6 +53,7 @@ class TweetBase {
  public:
   /// Adds a record; returns its dense index.
   size_t Add(TweetRecord record) {
+    record.approx_token_bytes = TokenBytes(record.tokens);
     records_.push_back(std::move(record));
     return records_.size() - 1;
   }
@@ -65,7 +77,51 @@ class TweetBase {
     for (size_t i = begin; i < end; ++i) records_[i].token_embeddings = Mat();
   }
 
+  /// Drops the token text of records [begin, end) (mentions and spans are
+  /// retained). Returns how many records were newly trimmed. Only safe for
+  /// batches that finished Global EMD — their re-scan no longer needs text.
+  size_t TrimTokens(size_t begin, size_t end) {
+    EMD_CHECK_LE(begin, end);
+    EMD_CHECK_LE(end, records_.size());
+    size_t trimmed = 0;
+    for (size_t i = begin; i < end; ++i) {
+      TweetRecord& rec = records_[i];
+      if (rec.trimmed) continue;
+      rec.tokens.clear();
+      rec.tokens.shrink_to_fit();
+      rec.approx_token_bytes = 0;
+      rec.trimmed = true;
+      ++trimmed;
+    }
+    return trimmed;
+  }
+
+  /// Recomputes the cached token-byte figure for record `index` (restore
+  /// path, where records are reconstructed field by field).
+  void RefreshApproxTokenBytes(size_t index) {
+    TweetRecord& rec = at(index);
+    rec.approx_token_bytes = TokenBytes(rec.tokens);
+  }
+
+  /// Approximate heap bytes across all records: cached token text, mention
+  /// lists, and any in-flight embedding matrices. O(records), cheap constants.
+  size_t ApproxBytes() const {
+    size_t bytes = records_.capacity() * sizeof(TweetRecord);
+    for (const TweetRecord& rec : records_) {
+      bytes += rec.approx_token_bytes +
+               rec.mentions.capacity() * sizeof(RecordedMention) +
+               rec.token_embeddings.size() * sizeof(float);
+    }
+    return bytes;
+  }
+
  private:
+  static size_t TokenBytes(const std::vector<Token>& tokens) {
+    size_t bytes = tokens.capacity() * sizeof(Token);
+    for (const Token& tok : tokens) bytes += tok.text.capacity();
+    return bytes;
+  }
+
   std::vector<TweetRecord> records_;
 };
 

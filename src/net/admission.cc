@@ -29,6 +29,10 @@ AdmissionController::AdmissionController(IngestQueue* queue,
           "emd_admission_rejected_total",
           "Tweets rejected at the admission edge with RETRY_AFTER, by reason",
           {"reason", "draining"})),
+      rejected_memory_(obs::Metrics().GetCounter(
+          "emd_admission_rejected_total",
+          "Tweets rejected at the admission edge with RETRY_AFTER, by reason",
+          {"reason", "memory_pressure"})),
       expired_counter_(obs::Metrics().GetCounter(
           "emd_admission_expired_total",
           "Accepted tweets whose propagated deadline lapsed before an "
@@ -91,6 +95,13 @@ uint32_t AdmissionController::BackpressureRetryMs() const {
 
 void AdmissionController::CountRejection(ClientState& client,
                                          RejectReason reason) {
+  // Memory-pressure sheds land in their own queue counter (not the combined
+  // admission_rejected one) so the operator report shows which limit fired.
+  if (reason == RejectReason::kMemoryPressure) {
+    queue_->RecordMemoryRejected();
+    rejected_memory_->Increment();
+    return;
+  }
   queue_->RecordAdmissionRejected();
   switch (reason) {
     case RejectReason::kBackpressure:
@@ -103,6 +114,8 @@ void AdmissionController::CountRejection(ClientState& client,
     case RejectReason::kDraining:
       rejected_draining_->Increment();
       break;
+    case RejectReason::kMemoryPressure:
+      break;  // handled above
   }
 }
 
@@ -115,6 +128,19 @@ AdmissionDecision AdmissionController::Offer(const std::string& client_id,
 
   if (draining_) {
     decision.reason = RejectReason::kDraining;
+    decision.retry_after_ms = options_.max_retry_after_ms;
+    CountRejection(client, decision.reason);
+    return decision;
+  }
+
+  // Pipeline memory pressure: hard sheds everything at the edge (the
+  // governor could not reclaim below its hard watermark — feeding it more
+  // would trade an explicit RETRY_AFTER for an OOM kill); soft tightens the
+  // watermark rung below.
+  const int memory =
+      options_.memory_pressure ? options_.memory_pressure() : 0;
+  if (memory >= 2) {
+    decision.reason = RejectReason::kMemoryPressure;
     decision.retry_after_ms = options_.max_retry_after_ms;
     CountRejection(client, decision.reason);
     return decision;
@@ -138,9 +164,18 @@ AdmissionDecision AdmissionController::Offer(const std::string& client_id,
 
   // Watermark hysteresis on the total backlog. The hard staging cap is a
   // second line of defence should the watermarks be configured above it.
+  // Under soft memory pressure the admission threshold tightens to the low
+  // watermark, counted as a memory rejection (memory is why the edge backed
+  // off early).
   const size_t depth = backlog();
   if (over_high_ && depth <= options_.low_watermark) over_high_ = false;
   if (!over_high_ && depth >= options_.high_watermark) over_high_ = true;
+  if (memory >= 1 && depth >= options_.low_watermark) {
+    decision.reason = RejectReason::kMemoryPressure;
+    decision.retry_after_ms = BackpressureRetryMs();
+    CountRejection(client, decision.reason);
+    return decision;
+  }
   if (over_high_ || staged_total_ >= options_.staging_capacity) {
     decision.reason = RejectReason::kBackpressure;
     decision.retry_after_ms = BackpressureRetryMs();

@@ -11,10 +11,15 @@
 // Admission decisions, in evaluation order:
 //   1. draining      — BeginDrain() was called (SIGTERM): every new tweet is
 //                      rejected kDraining so in-flight work can flush;
-//   2. token bucket  — each client sustains `tokens_per_second` with bursts
+//   2. memory        — hard pipeline memory pressure (the memory governor
+//                      could not reclaim below its hard watermark) rejects
+//                      kMemoryPressure with the maximum retry hint; soft
+//                      pressure tightens rung 4's threshold to the low
+//                      watermark;
+//   3. token bucket  — each client sustains `tokens_per_second` with bursts
 //                      up to `burst_tokens`; an empty bucket rejects
 //                      kThrottled with a retry hint sized to the refill time;
-//   3. watermarks    — total backlog (staged + ingest-queue depth) crossing
+//   4. watermarks    — total backlog (staged + ingest-queue depth) crossing
 //                      `high_watermark` latches overload and rejects
 //                      kBackpressure until backlog falls below
 //                      `low_watermark` (hysteresis prevents accept/reject
@@ -83,6 +88,15 @@ struct AdmissionOptions {
   /// End-to-end budget stamped on tweets whose TWEET frame carried no
   /// deadline; 0 = no deadline.
   uint64_t default_deadline_nanos = 0;
+
+  /// Pipeline memory-pressure probe, polled on every Offer (unset = no
+  /// governance). Returns a MemoryPressure as int: 0 none, 1 soft, 2 hard.
+  /// Soft tightens admission — the backlog threshold drops to the low
+  /// watermark so the edge stops feeding a pipeline that is busy evicting.
+  /// Hard rejects every tweet with reason=memory_pressure and the maximum
+  /// retry hint: shedding at the edge instead of OOM-ing the pipeline.
+  /// Typically wired to Globalizer::memory_pressure (an atomic read).
+  std::function<int()> memory_pressure;
 
   /// Injectable time source; nullptr = Clock::Real().
   Clock* clock = nullptr;
@@ -192,6 +206,7 @@ class AdmissionController {
   obs::Counter* rejected_backpressure_;
   obs::Counter* rejected_throttled_;
   obs::Counter* rejected_draining_;
+  obs::Counter* rejected_memory_;
   obs::Counter* expired_counter_;
   obs::Gauge* staged_gauge_;
 };

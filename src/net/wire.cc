@@ -28,6 +28,7 @@ const char* RejectReasonName(RejectReason reason) {
     case RejectReason::kBackpressure: return "backpressure";
     case RejectReason::kThrottled: return "throttled";
     case RejectReason::kDraining: return "draining";
+    case RejectReason::kMemoryPressure: return "memory_pressure";
   }
   return "unknown";
 }
@@ -125,7 +126,7 @@ Result<RetryAfterFrame> ParseRetryAfter(const Frame& frame) {
   uint8_t reason = 0;
   EMD_RETURN_IF_ERROR(reader.ReadU8(&reason));
   if (reason < static_cast<uint8_t>(RejectReason::kBackpressure) ||
-      reason > static_cast<uint8_t>(RejectReason::kDraining)) {
+      reason > static_cast<uint8_t>(RejectReason::kMemoryPressure)) {
     return Status::Corruption("RETRY_AFTER frame carries unknown reason ",
                               static_cast<int>(reason));
   }

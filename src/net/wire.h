@@ -22,7 +22,7 @@
 //   kAck        server -> client   u64 seq
 //   kRetryAfter server -> client   u64 seq, u32 retry_after_ms, u8 reason
 //                                  (RejectReason: backpressure / throttled /
-//                                  draining)
+//                                  draining / memory_pressure)
 //   kBye        either direction   string reason (graceful close notice)
 //
 // `seq` is a client-chosen sequence number echoed back in kAck/kRetryAfter so
@@ -59,10 +59,12 @@ enum class FrameType : uint8_t {
 };
 
 /// Why a tweet submission was rejected (kRetryAfter payload byte).
+/// Append-only: values are on the wire.
 enum class RejectReason : uint8_t {
-  kBackpressure = 1,  // queue above the high watermark
-  kThrottled = 2,     // per-client token bucket exhausted
-  kDraining = 3,      // server is shutting down gracefully
+  kBackpressure = 1,    // queue above the high watermark
+  kThrottled = 2,       // per-client token bucket exhausted
+  kDraining = 3,        // server is shutting down gracefully
+  kMemoryPressure = 4,  // pipeline memory budget exhausted (governor shedding)
 };
 
 const char* RejectReasonName(RejectReason reason);

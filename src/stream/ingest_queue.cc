@@ -24,6 +24,10 @@ IngestQueue::IngestQueue(IngestQueueOptions options)
           "ingest_queue_admission_rejected_total",
           "Tweets refused upstream at the serving admission edge with an "
           "explicit RETRY_AFTER (never enqueued)")),
+      memory_rejected_counter_(obs::Metrics().GetCounter(
+          "ingest_queue_memory_rejected_total",
+          "Tweets refused at the admission edge because of pipeline memory "
+          "pressure (RETRY_AFTER reason=memory_pressure; never enqueued)")),
       depth_gauge_(obs::Metrics().GetGauge(
           "ingest_queue_depth", "Tweets currently buffered in the queue")) {
   EMD_CHECK_GT(options_.capacity, 0u);
@@ -63,6 +67,11 @@ bool IngestQueue::PushOrShed(AnnotatedTweet tweet) {
 void IngestQueue::RecordAdmissionRejected(uint64_t n) {
   stats_.admission_rejected += n;
   admission_rejected_counter_->Increment(n);
+}
+
+void IngestQueue::RecordMemoryRejected(uint64_t n) {
+  stats_.memory_rejected += n;
+  memory_rejected_counter_->Increment(n);
 }
 
 std::vector<AnnotatedTweet> IngestQueue::PopBatch(size_t max_tweets) {

@@ -47,6 +47,12 @@ struct IngestQueueStats {
   /// edge (explicit RETRY_AFTER; see net::AdmissionController), recorded via
   /// RecordAdmissionRejected.
   uint64_t admission_rejected = 0;
+  /// Of the admission-edge refusals, those caused by pipeline memory
+  /// pressure (RETRY_AFTER reason=memory_pressure) rather than a full queue
+  /// or rate limit — counted apart so the operator report shows which limit
+  /// fired. Recorded via RecordMemoryRejected, which does NOT also bump
+  /// admission_rejected (each refusal lands in exactly one counter).
+  uint64_t memory_rejected = 0;
 };
 
 class IngestQueue {
@@ -70,6 +76,11 @@ class IngestQueue {
   /// admission rejection, and shedding under distinct counters.
   void RecordAdmissionRejected(uint64_t n = 1);
 
+  /// Records `n` tweets refused at the admission edge because of memory
+  /// pressure (RETRY_AFTER reason=memory_pressure). Disjoint from
+  /// RecordAdmissionRejected: callers pick one per refusal.
+  void RecordMemoryRejected(uint64_t n = 1);
+
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
   bool full() const { return queue_.size() >= options_.capacity; }
@@ -91,6 +102,7 @@ class IngestQueue {
   obs::Counter* shed_counter_;
   obs::Counter* popped_counter_;
   obs::Counter* admission_rejected_counter_;
+  obs::Counter* memory_rejected_counter_;
   obs::Gauge* depth_gauge_;
 };
 

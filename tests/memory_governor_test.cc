@@ -1,0 +1,762 @@
+// Memory-governance tests: CTrie pruning invariants (lookup misses, shared
+// prefixes, slot recycling, fresh ids), decayed incremental pooling math and
+// its bit-exact-when-off guarantee, score+recency eviction with the
+// evicted-label side table, forced-pressure and aborted-eviction failpoints,
+// admission-edge shedding under memory pressure, checkpoint v4 round-trips
+// after pruning plus the v3 compatibility / version-skew paths, and a
+// multi-threaded chaos run (the TSan target: eviction at the batch barrier
+// must never race worker-side trie reads).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/entity_classifier.h"
+#include "core/globalizer.h"
+#include "core/memory_governor.h"
+#include "core/phrase_embedder.h"
+#include "mock_local_system.h"
+#include "net/admission.h"
+#include "net/wire.h"
+#include "stream/datasets.h"
+#include "stream/ingest_queue.h"
+#include "text/tweet_tokenizer.h"
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/failpoint.h"
+#include "util/file_io.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Disarms every failpoint on scope exit so no test leaks armed points.
+struct FailpointGuard {
+  FailpointGuard() { failpoint::DisableAll(); }
+  ~FailpointGuard() { failpoint::DisableAll(); }
+};
+
+AnnotatedTweet MakeTweet(long id, const std::string& text) {
+  AnnotatedTweet t;
+  t.tweet_id = id;
+  t.sentence_id = static_cast<int>(id) * 10;
+  t.topic_id = 7;
+  t.text = text;
+  t.tokens = TweetTokenizer().Tokenize(text);
+  return t;
+}
+
+uint32_t MentionDigest(const GlobalizerOutput& out) {
+  uint32_t crc = 0;
+  for (const auto& tweet_mentions : out.mentions) {
+    for (const TokenSpan& span : tweet_mentions) {
+      uint64_t packed[2] = {span.begin, span.end};
+      crc = Crc32(packed, sizeof(packed), crc);
+    }
+  }
+  return crc;
+}
+
+/// Live ids resolve through the trie, tombstoned ids miss and carry an
+/// eviction label — the structural invariant every prune must preserve.
+void CheckTrieCandidateInvariants(const CTrie& trie,
+                                  const CandidateBase& candidates) {
+  for (int id = 0; id < trie.num_candidates(); ++id) {
+    if (trie.IsTombstone(id)) {
+      EXPECT_FALSE(candidates.Contains(id)) << "tombstoned id " << id;
+      EXPECT_TRUE(trie.CandidateKey(id).empty()) << "tombstoned id " << id;
+      EXPECT_EQ(trie.CandidateLength(id), 0) << "tombstoned id " << id;
+    } else {
+      EXPECT_EQ(trie.Find(Split(trie.CandidateKey(id))), id);
+    }
+  }
+}
+
+// --------------------------------------------------------- CTrie pruning --
+
+TEST(CTriePruneTest, PrunedPhraseMissesOnLookup) {
+  CTrie trie;
+  const int id = trie.Insert({"andy", "beshear"});
+  ASSERT_EQ(trie.Find({"andy", "beshear"}), id);
+
+  EXPECT_GT(trie.Prune(id), 0);
+  EXPECT_EQ(trie.Find({"andy", "beshear"}), CTrie::kNoCandidate);
+  EXPECT_TRUE(trie.IsTombstone(id));
+  EXPECT_EQ(trie.num_live_candidates(), 0);
+  EXPECT_EQ(trie.num_candidates(), 1);  // id space keeps the hole
+  // Pruning an already-pruned id is a no-op.
+  EXPECT_EQ(trie.Prune(id), 0);
+}
+
+TEST(CTriePruneTest, SharedPrefixSurvivesSiblingPrune) {
+  CTrie trie;
+  const int beshear = trie.Insert({"andy", "beshear"});
+  const int cohen = trie.Insert({"andy", "cohen"});
+  const int andy = trie.Insert({"andy"});
+
+  // Removing one leaf must not disturb the shared "andy" prefix node, which
+  // still terminates a candidate and still roots the sibling subtree.
+  EXPECT_EQ(trie.Prune(beshear), 1);  // only the "beshear" leaf frees
+  EXPECT_EQ(trie.Find({"andy", "beshear"}), CTrie::kNoCandidate);
+  EXPECT_EQ(trie.Find({"andy", "cohen"}), cohen);
+  EXPECT_EQ(trie.Find({"andy"}), andy);
+
+  // Now the prefix candidate: the node survives (it roots "cohen").
+  EXPECT_EQ(trie.Prune(andy), 0);
+  EXPECT_EQ(trie.Find({"andy"}), CTrie::kNoCandidate);
+  EXPECT_EQ(trie.Find({"andy", "cohen"}), cohen);
+}
+
+TEST(CTriePruneTest, PruneRecyclesNodeSlotsAndIdsStayFresh) {
+  CTrie trie;
+  const int first = trie.Insert({"some", "long", "candidate", "phrase"});
+  const int nodes_before = trie.num_live_nodes();
+  ASSERT_EQ(trie.Prune(first), 4);
+  EXPECT_EQ(trie.num_live_nodes(), nodes_before - 4);
+
+  // Re-inserting the same phrase reuses the freed node slots but NEVER the
+  // tombstoned id: evidence for a re-appearing candidate restarts from zero.
+  const int second = trie.Insert({"some", "long", "candidate", "phrase"});
+  EXPECT_NE(second, first);
+  EXPECT_EQ(trie.num_live_nodes(), nodes_before);
+  EXPECT_TRUE(trie.IsTombstone(first));
+  EXPECT_FALSE(trie.IsTombstone(second));
+  EXPECT_EQ(trie.Find({"some", "long", "candidate", "phrase"}), second);
+}
+
+TEST(CTriePruneTest, ApproxBytesShrinksWithPruning) {
+  CTrie trie;
+  for (int i = 0; i < 32; ++i) {
+    trie.Insert({"prefix", "number", std::to_string(i)});
+  }
+  const size_t before = trie.ApproxBytes();
+  for (int i = 0; i < 32; ++i) trie.Prune(i);
+  EXPECT_LT(trie.ApproxBytes(), before);
+  EXPECT_EQ(trie.num_live_candidates(), 0);
+}
+
+// --------------------------------------------------------- Decayed pooling --
+
+TEST(DecayedPoolingTest, HalfLifeScalesOldEvidence) {
+  CandidateBase cb;
+  cb.set_decay_half_life(1);  // lambda = 0.5 per stream position
+  cb.GetOrCreate(0, "x", 1);
+
+  Mat a(1, 2);
+  a(0, 0) = 4.f;
+  a(0, 1) = 8.f;
+  Mat b(1, 2);
+  b(0, 0) = 1.f;
+  b(0, 1) = 1.f;
+  cb.AddMention(0, {.tweet_index = 0, .span = {0, 1}}, a);
+  cb.AddMention(0, {.tweet_index = 2, .span = {0, 1}}, b);
+
+  // Two positions elapsed: old evidence decays by 0.5^2 = 0.25.
+  const CandidateRecord& rec = cb.at(0);
+  EXPECT_DOUBLE_EQ(rec.embedding_weight, 1.25);
+  EXPECT_EQ(rec.embedding_count, 2);
+  EXPECT_FLOAT_EQ(rec.embedding_sum(0, 0), 4.f * 0.25f + 1.f);
+  EXPECT_FLOAT_EQ(rec.embedding_sum(0, 1), 8.f * 0.25f + 1.f);
+  const Mat g = rec.GlobalEmbedding();
+  EXPECT_FLOAT_EQ(g(0, 0), (4.f * 0.25f + 1.f) / 1.25f);
+  EXPECT_EQ(rec.last_mention_pos, 2u);
+  EXPECT_EQ(rec.last_update_pos, 2u);
+}
+
+TEST(DecayedPoolingTest, DecayOffIsBitExactLegacyMean) {
+  CandidateBase cb;  // default: no decay
+  cb.GetOrCreate(0, "x", 1);
+  Mat a(1, 3);
+  Mat b(1, 3);
+  for (int j = 0; j < 3; ++j) {
+    a(0, j) = 0.1f * static_cast<float>(j + 1);
+    b(0, j) = 0.7f - 0.2f * static_cast<float>(j);
+  }
+  cb.AddMention(0, {.tweet_index = 0, .span = {0, 1}}, a);
+  cb.AddMention(0, {.tweet_index = 5, .span = {0, 1}}, b);
+
+  const CandidateRecord& rec = cb.at(0);
+  EXPECT_EQ(rec.embedding_weight, 2.0);  // exactly the count
+  Mat expected = a;
+  expected.Add(b);
+  EXPECT_EQ(std::memcmp(rec.embedding_sum.data(), expected.data(),
+                        sizeof(float) * expected.size()),
+            0);
+  expected.Scale(1.f / 2.f);  // the legacy integer-count mean, bit for bit
+  const Mat g = rec.GlobalEmbedding();
+  EXPECT_EQ(std::memcmp(g.data(), expected.data(),
+                        sizeof(float) * expected.size()),
+            0);
+}
+
+TEST(DecayedPoolingTest, SamePositionMentionsDoNotDecayEachOther) {
+  CandidateBase cb;
+  cb.set_decay_half_life(4);
+  cb.GetOrCreate(0, "x", 1);
+  Mat a(1, 1);
+  a(0, 0) = 2.f;
+  cb.AddMention(0, {.tweet_index = 3, .span = {0, 1}}, a);
+  cb.AddMention(0, {.tweet_index = 3, .span = {1, 2}}, a);
+  EXPECT_DOUBLE_EQ(cb.at(0).embedding_weight, 2.0);
+  EXPECT_FLOAT_EQ(cb.at(0).embedding_sum(0, 0), 4.f);
+}
+
+// ------------------------------------------------------- Governor (unit) --
+
+TEST(MemoryGovernorTest, ConfirmedEntitiesAreNeverEvicted) {
+  CTrie trie;
+  CandidateBase cb;
+  TweetBase tb;
+  const int keep = trie.Insert({"kept"});
+  const int drop = trie.Insert({"dropped"});
+  cb.GetOrCreate(keep, "kept", 1).label = CandidateLabel::kEntity;
+  cb.GetOrCreate(drop, "dropped", 1).label = CandidateLabel::kNonEntity;
+
+  MemoryGovernorOptions opt;
+  opt.budget_bytes = 1;  // everything is over budget: evict all it may
+  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  governor.Run({});
+
+  EXPECT_TRUE(cb.Contains(keep));
+  EXPECT_FALSE(cb.Contains(drop));
+  EXPECT_TRUE(trie.IsTombstone(drop));
+  EXPECT_EQ(cb.EvictedLabel(drop), CandidateLabel::kNonEntity);
+  EXPECT_EQ(governor.stats().evicted_candidates, 1u);
+  EXPECT_GT(governor.stats().pruned_nodes, 0u);
+  // Reclaim could not free the entity: the budget stays blown -> hard.
+  EXPECT_EQ(governor.pressure(), MemoryPressure::kHard);
+  CheckTrieCandidateInvariants(trie, cb);
+}
+
+TEST(MemoryGovernorTest, YoungAmbiguousCandidatesAreRetained) {
+  CTrie trie;
+  CandidateBase cb;
+  TweetBase tb;
+  const int young = trie.Insert({"young"});
+  CandidateRecord& rec = cb.GetOrCreate(young, "young", 1);
+  rec.label = CandidateLabel::kAmbiguous;
+  rec.last_mention_pos = 0;
+
+  MemoryGovernorOptions opt;
+  opt.budget_bytes = 1;
+  opt.min_retain_tweets = 100;  // stream_pos (0) < retention window
+  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  governor.Run({});
+  EXPECT_TRUE(cb.Contains(young));
+  EXPECT_EQ(governor.stats().evicted_candidates, 0u);
+}
+
+TEST(MemoryGovernorTest, ReclassifyRunsOnConfiguredInterval) {
+  CTrie trie;
+  CandidateBase cb;
+  TweetBase tb;
+  MemoryGovernorOptions opt;
+  opt.reclassify_interval_batches = 2;
+  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  ASSERT_TRUE(governor.enabled());
+  ASSERT_FALSE(governor.budgeted());
+
+  int calls = 0;
+  for (int batch = 0; batch < 5; ++batch) {
+    governor.Run([&calls] {
+      ++calls;
+      return size_t{3};
+    });
+  }
+  EXPECT_EQ(calls, 2);  // batches 2 and 4
+  EXPECT_EQ(governor.stats().reclassified, 6u);
+}
+
+TEST(MemoryGovernorTest, PressureFailpointForcesHardWithoutRealPressure) {
+  FailpointGuard guard;
+  CTrie trie;
+  CandidateBase cb;
+  TweetBase tb;
+  MemoryGovernorOptions opt;
+  opt.budget_bytes = 1ull << 30;  // far above anything these stores hold
+  MemoryGovernor governor(&trie, &cb, &tb, opt);
+
+  governor.Run({});
+  ASSERT_EQ(governor.pressure(), MemoryPressure::kNone);
+
+  failpoint::EnableAfter("core.memory_governor.pressure",
+                         Status::ResourceExhausted("chaos"), /*skip=*/0,
+                         /*max_fires=*/1);
+  governor.Run({});
+  EXPECT_EQ(governor.pressure(), MemoryPressure::kHard);
+
+  // Failpoint exhausted: the next pass re-evaluates real occupancy.
+  governor.Run({});
+  EXPECT_EQ(governor.pressure(), MemoryPressure::kNone);
+}
+
+TEST(MemoryGovernorTest, EvictFailpointAbortsSweepBetweenVictims) {
+  FailpointGuard guard;
+  CTrie trie;
+  CandidateBase cb;
+  TweetBase tb;
+  for (int i = 0; i < 4; ++i) {
+    const std::string key = "cold" + std::to_string(i);
+    const int id = trie.Insert({key});
+    cb.GetOrCreate(id, key, 1).label = CandidateLabel::kNonEntity;
+  }
+  MemoryGovernorOptions opt;
+  opt.budget_bytes = 1;
+  MemoryGovernor governor(&trie, &cb, &tb, opt);
+
+  // First victim passes the gate, the second check fires and aborts the
+  // sweep — each eviction is atomic, so state stays consistent mid-sweep.
+  failpoint::EnableAfter("core.memory_governor.evict",
+                         Status::Internal("killed mid-sweep"), /*skip=*/1,
+                         /*max_fires=*/1);
+  governor.Run({});
+  EXPECT_EQ(governor.stats().evicted_candidates, 1u);
+  EXPECT_FALSE(cb.Contains(0));  // deterministic order: lowest id first
+  EXPECT_TRUE(cb.Contains(1));
+  EXPECT_TRUE(cb.Contains(2));
+  EXPECT_TRUE(cb.Contains(3));
+  CheckTrieCandidateInvariants(trie, cb);
+
+  // Next pass (failpoint spent) finishes the job.
+  governor.Run({});
+  EXPECT_EQ(governor.stats().evicted_candidates, 4u);
+  CheckTrieCandidateInvariants(trie, cb);
+}
+
+// ------------------------------------------------- Pipeline integration --
+
+std::vector<MockLocalSystem::Rule> StreamRules() {
+  return {{.phrase = {"coronavirus"}},
+          {.phrase = {"beshear"}},
+          {.phrase = {"kentucky"}},
+          {.phrase = {"louisville"}}};
+}
+
+Dataset GovernedStream(int copies) {
+  Dataset d;
+  d.name = "governed";
+  long id = 1;
+  for (int c = 0; c < copies; ++c) {
+    d.tweets.push_back(MakeTweet(id++, "the Coronavirus keeps spreading"));
+    d.tweets.push_back(MakeTweet(id++, "Beshear spoke in Kentucky today"));
+    d.tweets.push_back(MakeTweet(id++, "cases rising in Louisville again"));
+    d.tweets.push_back(MakeTweet(id++, "nothing to report tonight folks"));
+  }
+  return d;
+}
+
+TEST(GovernedPipelineTest, InertGovernanceIsBitIdenticalToUngoverned) {
+  Dataset d = GovernedStream(4);
+  PhraseEmbedder pe(8, 8);
+
+  GlobalizerOptions plain;
+  plain.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  plain.batch_size = 4;
+  MockLocalSystem mock_a(StreamRules(), /*dim=*/8);
+  Globalizer ungoverned(&mock_a, &pe, nullptr, plain);
+  GlobalizerOutput out_a = ungoverned.Run(d).value();
+
+  // Budget large enough that accounting runs but nothing is ever reclaimed:
+  // the governed pipeline must be byte-for-byte the ungoverned one.
+  GlobalizerOptions governed = plain;
+  governed.memory.budget_bytes = 1ull << 30;
+  MockLocalSystem mock_b(StreamRules(), /*dim=*/8);
+  Globalizer with_budget(&mock_b, &pe, nullptr, governed);
+  GlobalizerOutput out_b = with_budget.Run(d).value();
+
+  EXPECT_EQ(MentionDigest(out_a), MentionDigest(out_b));
+  EXPECT_EQ(out_b.num_evicted, 0u);
+  EXPECT_EQ(out_b.num_trimmed, 0u);
+  EXPECT_EQ(out_b.memory_pressure, 0);
+  ASSERT_EQ(ungoverned.candidate_base().size(), with_budget.candidate_base().size());
+  for (size_t c = 0; c < ungoverned.candidate_base().size(); ++c) {
+    const CandidateRecord& ra = ungoverned.candidate_base().at(static_cast<int>(c));
+    const CandidateRecord& rb = with_budget.candidate_base().at(static_cast<int>(c));
+    ASSERT_EQ(ra.embedding_count, rb.embedding_count);
+    EXPECT_EQ(ra.embedding_weight, rb.embedding_weight);
+    ASSERT_EQ(ra.embedding_sum.size(), rb.embedding_sum.size());
+    EXPECT_EQ(std::memcmp(ra.embedding_sum.data(), rb.embedding_sum.data(),
+                          sizeof(float) * ra.embedding_sum.size()),
+              0)
+        << "candidate " << c;
+  }
+}
+
+TEST(GovernedPipelineTest, EvictionPreservesAlreadyEmittedMentions) {
+  Dataset d = GovernedStream(1);
+  // Filler batches age the candidates past the retention window without
+  // adding new mentions.
+  for (long id = 100; id < 116; ++id) {
+    d.tweets.push_back(MakeTweet(id, "just filler words here tonight"));
+  }
+  EntityClassifier clf({.input_dim = 7});
+
+  GlobalizerOptions plain;
+  plain.mode = GlobalizerOptions::Mode::kFull;
+  plain.batch_size = 4;
+  MockLocalSystem mock_a(StreamRules());
+  Globalizer ungoverned(&mock_a, nullptr, &clf, plain);
+
+  GlobalizerOptions governed = plain;
+  governed.memory.budget_bytes = 4096;  // tiny: reclaim on every batch
+  governed.memory.min_retain_tweets = 8;
+  MockLocalSystem mock_b(StreamRules());
+  Globalizer evicting(&mock_b, nullptr, &clf, governed);
+
+  // Drive both batch by batch, finalizing after the first batch so labels
+  // exist (non-deep mock: no embeddings -> every candidate goes ambiguous)
+  // before the governor starts evicting aged ambiguous candidates.
+  for (size_t i = 0; i < d.tweets.size(); i += 4) {
+    std::span<const AnnotatedTweet> batch(d.tweets.data() + i, 4);
+    ASSERT_TRUE(ungoverned.ProcessBatch(batch).ok());
+    ASSERT_TRUE(evicting.ProcessBatch(batch).ok());
+    ASSERT_TRUE(ungoverned.Finalize().ok());
+    ASSERT_TRUE(evicting.Finalize().ok());
+  }
+  GlobalizerOutput out_plain = ungoverned.Finalize().value();
+  GlobalizerOutput out_evict = evicting.Finalize().value();
+
+  // Candidates were evicted, yet their recorded mentions still flow to the
+  // output through the evicted-label side table.
+  EXPECT_GT(out_evict.num_evicted, 0u);
+  EXPECT_GT(out_evict.num_trimmed, 0u);
+  EXPECT_EQ(MentionDigest(out_plain), MentionDigest(out_evict));
+  EXPECT_NE(out_evict.summary.find("memory:"), std::string::npos);
+  EXPECT_GT(evicting.candidate_base().num_evicted(), 0u);
+  CheckTrieCandidateInvariants(evicting.ctrie(), evicting.candidate_base());
+}
+
+// ------------------------------------------------------- Admission edge --
+
+TEST(MemoryAdmissionTest, HardPressureShedsWithMaxRetryHint) {
+  IngestQueue queue({.capacity = 8});
+  int level = 2;
+  net::AdmissionOptions opt;
+  opt.high_watermark = 6;
+  opt.low_watermark = 3;
+  opt.memory_pressure = [&level] { return level; };
+  net::AdmissionController admission(&queue, opt);
+
+  const net::AdmissionDecision decision =
+      admission.Offer("client-a", MakeTweet(1, "hello"), 0);
+  ASSERT_FALSE(decision.accepted);
+  EXPECT_EQ(decision.reason, net::RejectReason::kMemoryPressure);
+  EXPECT_EQ(decision.retry_after_ms, opt.max_retry_after_ms);
+  // Memory sheds land in their own counter, disjoint from queue-full sheds.
+  EXPECT_EQ(queue.stats().memory_rejected, 1u);
+  EXPECT_EQ(queue.stats().admission_rejected, 0u);
+
+  level = 0;
+  EXPECT_TRUE(admission.Offer("client-a", MakeTweet(2, "hello"), 0).accepted);
+}
+
+TEST(MemoryAdmissionTest, SoftPressureTightensWatermarkToLow) {
+  IngestQueue queue({.capacity = 8});
+  int level = 1;
+  net::AdmissionOptions opt;
+  opt.high_watermark = 6;
+  opt.low_watermark = 2;
+  opt.memory_pressure = [&level] { return level; };
+  net::AdmissionController admission(&queue, opt);
+
+  // Below the low watermark even soft pressure admits.
+  EXPECT_TRUE(admission.Offer("client-a", MakeTweet(1, "a"), 0).accepted);
+  // Backlog (1 staged + 1 queued) reaches the low watermark: under soft
+  // pressure that is already too much.
+  ASSERT_TRUE(queue.Push(MakeTweet(2, "b")).ok());
+  const net::AdmissionDecision decision =
+      admission.Offer("client-a", MakeTweet(3, "c"), 0);
+  ASSERT_FALSE(decision.accepted);
+  EXPECT_EQ(decision.reason, net::RejectReason::kMemoryPressure);
+  EXPECT_EQ(queue.stats().memory_rejected, 1u);
+
+  // Without pressure the same backlog is fine (still under high_watermark).
+  level = 0;
+  EXPECT_TRUE(admission.Offer("client-a", MakeTweet(4, "d"), 0).accepted);
+}
+
+TEST(MemoryAdmissionTest, MemoryPressureReasonSurvivesTheWire) {
+  std::string bytes;
+  net::AppendRetryAfter(&bytes, {.seq = 9,
+                                 .retry_after_ms = 2000,
+                                 .reason = net::RejectReason::kMemoryPressure});
+  net::FrameDecoder decoder;
+  decoder.Feed(bytes);
+  net::Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), net::FrameDecoder::NextStatus::kFrame);
+  const net::RetryAfterFrame retry = net::ParseRetryAfter(frame).value();
+  EXPECT_EQ(retry.reason, net::RejectReason::kMemoryPressure);
+  EXPECT_STREQ(net::RejectReasonName(retry.reason), "memory_pressure");
+}
+
+// ----------------------------------------------------------- Checkpoints --
+
+TEST(MemoryCheckpointTest, V4RoundTripsPrunedStateAndGovernorStats) {
+  FailpointGuard guard;
+  const std::string path = TempPath("emd_memory_ckpt_v4.bin");
+  Dataset d = GovernedStream(2);
+
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  opt.batch_size = 4;
+  opt.memory.budget_bytes = 4096;
+  opt.memory.min_retain_tweets = 0;  // everything is immediately evictable
+  MockLocalSystem mock(StreamRules());
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  ASSERT_TRUE(g.Run(d).ok());
+  ASSERT_GT(g.memory_governor().stats().evicted_candidates, 0u);
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+
+  MockLocalSystem mock2(StreamRules());
+  Globalizer restored(&mock2, nullptr, nullptr, opt);
+  ASSERT_TRUE(restored.RestoreCheckpoint(path).ok());
+
+  // The dense id space — including eviction holes — survives the round trip.
+  ASSERT_EQ(restored.ctrie().num_candidates(), g.ctrie().num_candidates());
+  EXPECT_EQ(restored.ctrie().num_live_candidates(),
+            g.ctrie().num_live_candidates());
+  for (int id = 0; id < g.ctrie().num_candidates(); ++id) {
+    EXPECT_EQ(restored.ctrie().IsTombstone(id), g.ctrie().IsTombstone(id));
+    EXPECT_EQ(restored.candidate_base().WasEvicted(id),
+              g.candidate_base().WasEvicted(id));
+    EXPECT_EQ(restored.candidate_base().EvictedLabel(id),
+              g.candidate_base().EvictedLabel(id));
+  }
+  CheckTrieCandidateInvariants(restored.ctrie(), restored.candidate_base());
+  // Lifetime reclamation totals are cumulative across the restore.
+  EXPECT_EQ(restored.memory_governor().stats().evicted_candidates,
+            g.memory_governor().stats().evicted_candidates);
+  EXPECT_EQ(restored.memory_governor().stats().pruned_nodes,
+            g.memory_governor().stats().pruned_nodes);
+  EXPECT_EQ(restored.memory_governor().stats().trimmed_tweets,
+            g.memory_governor().stats().trimmed_tweets);
+  EXPECT_EQ(MentionDigest(restored.Finalize().value()),
+            MentionDigest(g.Finalize().value()));
+}
+
+TEST(MemoryCheckpointTest, KillAndResumeMidEvictionKeepsStateConsistent) {
+  FailpointGuard guard;
+  const std::string path = TempPath("emd_memory_ckpt_midsweep.bin");
+  Dataset d = GovernedStream(2);
+
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  opt.batch_size = 4;
+  opt.memory.budget_bytes = 4096;
+  opt.memory.min_retain_tweets = 0;
+  MockLocalSystem mock(StreamRules());
+  Globalizer g(&mock, nullptr, nullptr, opt);
+
+  // Abort the first eviction sweep after one victim — the "process dies mid
+  // reclamation" scenario — and checkpoint exactly that state.
+  failpoint::EnableAfter("core.memory_governor.evict",
+                         Status::Internal("killed mid-sweep"), /*skip=*/1,
+                         /*max_fires=*/1);
+  ASSERT_TRUE(
+      g.ProcessBatch(std::span<const AnnotatedTweet>(d.tweets.data(), 4)).ok());
+  ASSERT_EQ(g.memory_governor().stats().evicted_candidates, 1u);
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+  failpoint::DisableAll();
+
+  MockLocalSystem mock2(StreamRules());
+  Globalizer resumed(&mock2, nullptr, nullptr, opt);
+  ASSERT_TRUE(resumed.RestoreCheckpoint(path).ok());
+  CheckTrieCandidateInvariants(resumed.ctrie(), resumed.candidate_base());
+  EXPECT_EQ(resumed.memory_governor().stats().evicted_candidates, 1u);
+
+  // The resumed stream keeps processing (and keeps evicting) normally.
+  ASSERT_TRUE(resumed
+                  .ProcessBatch(std::span<const AnnotatedTweet>(
+                      d.tweets.data() + 4, d.tweets.size() - 4))
+                  .ok());
+  EXPECT_TRUE(resumed.Finalize().ok());
+  CheckTrieCandidateInvariants(resumed.ctrie(), resumed.candidate_base());
+}
+
+/// Hand-crafted pre-governance (version 3) checkpoint: no governor stats, no
+/// trie live bytes, no tweet trimmed byte, no decay fields, no evicted-label
+/// bytes. The v4 reader must load it and derive the governance fields.
+std::string BuildV3Checkpoint() {
+  std::string buf;
+  binio::AppendU32(&buf, 0x454D4447);  // 'EMDG'
+  binio::AppendU32(&buf, 3);           // version
+  binio::AppendU8(&buf, 1);            // mode = kMentionExtraction
+  binio::AppendU64(&buf, 1);           // processed_tweets
+  binio::AppendU32(&buf, 0);           // num_quarantined
+  binio::AppendU32(&buf, 0);           // num_degraded
+  binio::AppendU8(&buf, 0);            // classifier_degraded
+  binio::AppendU32(&buf, 2);           // num_retries
+  binio::AppendU32(&buf, 0);           // num_fallback
+  binio::AppendU32(&buf, 0);           // num_dead_lettered
+  binio::AppendU32(&buf, 1);           // breaker_trips
+  binio::AppendU32(&buf, 1);           // breaker_recoveries
+
+  // CTrie: one candidate, no per-id live byte in v3.
+  binio::AppendU32(&buf, 1);
+  binio::AppendString(&buf, "coronavirus");
+  binio::AppendU32(&buf, 1);  // token length
+
+  // TweetBase: one record, no trimmed byte in v3.
+  binio::AppendU64(&buf, 1);
+  binio::AppendI64(&buf, 42);  // tweet_id
+  binio::AppendI32(&buf, 7);   // sentence_id
+  binio::AppendU8(&buf, 0);    // quarantined
+  binio::AppendU32(&buf, 2);   // tokens
+  binio::AppendString(&buf, "the");
+  binio::AppendU64(&buf, 0);
+  binio::AppendU64(&buf, 3);
+  binio::AppendU8(&buf, 0);  // kWord
+  binio::AppendString(&buf, "Coronavirus");
+  binio::AppendU64(&buf, 4);
+  binio::AppendU64(&buf, 15);
+  binio::AppendU8(&buf, 0);
+  binio::AppendU32(&buf, 1);  // mentions
+  binio::AppendU64(&buf, 1);  // span.begin
+  binio::AppendU64(&buf, 2);  // span.end
+  binio::AppendI32(&buf, 0);  // candidate_id
+  binio::AppendU8(&buf, 1);   // locally_detected
+
+  // CandidateBase: one present slot, no decay fields in v3.
+  binio::AppendU64(&buf, 1);
+  binio::AppendU8(&buf, 1);  // present
+  binio::AppendString(&buf, "coronavirus");
+  binio::AppendI32(&buf, 1);  // num_tokens
+  binio::AppendU32(&buf, 1);  // mentions
+  binio::AppendU64(&buf, 0);  // tweet_index
+  binio::AppendU64(&buf, 1);
+  binio::AppendU64(&buf, 2);
+  binio::AppendU8(&buf, 1);
+  binio::AppendI32(&buf, 1);  // embedding_sum rows
+  binio::AppendI32(&buf, 3);  // cols
+  binio::AppendF32(&buf, 1.f);
+  binio::AppendF32(&buf, 2.f);
+  binio::AppendF32(&buf, 3.f);
+  binio::AppendI32(&buf, 1);    // embedding_count
+  binio::AppendU8(&buf, 0);     // label = kUnlabeled
+  binio::AppendF32(&buf, -1.f); // entity_probability
+  binio::AppendU32(&buf, 0);    // mention_embeddings
+
+  // v3 metrics block: empty.
+  binio::AppendU32(&buf, 0);
+  binio::AppendU32(&buf, 0);
+
+  binio::AppendU32(&buf, Crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+TEST(MemoryCheckpointTest, V3CheckpointLoadsIntoV4Reader) {
+  const std::string path = TempPath("emd_memory_ckpt_v3.bin");
+  ASSERT_TRUE(WriteStringToFile(path, BuildV3Checkpoint()).ok());
+
+  MockLocalSystem mock(StreamRules());
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  ASSERT_TRUE(g.RestoreCheckpoint(path).ok());
+
+  EXPECT_EQ(g.processed_tweets(), 1u);
+  ASSERT_EQ(g.ctrie().num_candidates(), 1);
+  EXPECT_FALSE(g.ctrie().IsTombstone(0));
+  ASSERT_TRUE(g.candidate_base().Contains(0));
+  // Pre-governance files restore to the exact ungoverned state: weight is
+  // the count, recency positions derive from the mention list.
+  const CandidateRecord& rec = g.candidate_base().at(0);
+  EXPECT_EQ(rec.embedding_weight, 1.0);
+  EXPECT_EQ(rec.last_mention_pos, 0u);
+  EXPECT_EQ(rec.last_update_pos, 0u);
+  EXPECT_FALSE(g.candidate_base().WasEvicted(0));
+  EXPECT_EQ(g.memory_governor().stats().evicted_candidates, 0u);
+
+  // And re-saving writes a v4 file that round-trips.
+  const std::string v4_path = TempPath("emd_memory_ckpt_v3_resaved.bin");
+  ASSERT_TRUE(g.SaveCheckpoint(v4_path).ok());
+  MockLocalSystem mock2(StreamRules());
+  Globalizer again(&mock2, nullptr, nullptr, opt);
+  ASSERT_TRUE(again.RestoreCheckpoint(v4_path).ok());
+  EXPECT_EQ(again.processed_tweets(), 1u);
+  EXPECT_EQ(again.candidate_base().at(0).embedding_weight, 1.0);
+}
+
+TEST(MemoryCheckpointTest, VersionSkewErrorNamesFoundAndSupportedVersions) {
+  const std::string path = TempPath("emd_memory_ckpt_v99.bin");
+  std::string buf;
+  binio::AppendU32(&buf, 0x454D4447);
+  binio::AppendU32(&buf, 99);
+  binio::AppendU32(&buf, Crc32(buf.data(), buf.size()));
+  ASSERT_TRUE(WriteStringToFile(path, buf).ok());
+
+  MockLocalSystem mock(StreamRules());
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  const Status st = g.RestoreCheckpoint(path);
+  ASSERT_FALSE(st.ok());
+  const std::string message = st.ToString();
+  EXPECT_NE(message.find("unsupported format version 99"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("versions 1 through 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("newer build"), std::string::npos) << message;
+}
+
+// ------------------------------------------------------------ TSan chaos --
+
+TEST(MemoryChaosTest, EvictionAtBarrierNeverRacesWorkersOrPressureReaders) {
+  FailpointGuard guard;
+  Dataset d = GovernedStream(8);
+  PhraseEmbedder pe(8, 8);
+  MockLocalSystem mock(StreamRules(), /*dim=*/8);
+
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  opt.batch_size = 4;
+  opt.num_threads = 4;  // workers Step() the trie while batches process
+  opt.memory.budget_bytes = 8192;  // aggressive: evict during the stream
+  opt.memory.min_retain_tweets = 0;
+  opt.memory.decay_half_life_tweets = 16;
+  Globalizer g(&mock, &pe, nullptr, opt);
+
+  // The serving edge's view: concurrent atomic pressure reads while the
+  // merge barrier evicts. TSan proves the contract.
+  std::atomic<bool> done{false};
+  uint64_t observed = 0;
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      observed += static_cast<uint64_t>(g.memory_pressure());
+      observed += g.memory_governor().governed_bytes() > 0 ? 1 : 0;
+    }
+  });
+  for (size_t i = 0; i < d.tweets.size(); i += 4) {
+    ASSERT_TRUE(
+        g.ProcessBatch(std::span<const AnnotatedTweet>(d.tweets.data() + i, 4))
+            .ok());
+  }
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  GlobalizerOutput out = g.Finalize().value();
+  EXPECT_GT(out.num_trimmed, 0u);
+  CheckTrieCandidateInvariants(g.ctrie(), g.candidate_base());
+  // Parallel governed output must match a serial governed run bit for bit.
+  GlobalizerOptions serial = opt;
+  serial.num_threads = 1;
+  MockLocalSystem mock2(StreamRules(), /*dim=*/8);
+  Globalizer s(&mock2, &pe, nullptr, serial);
+  for (size_t i = 0; i < d.tweets.size(); i += 4) {
+    ASSERT_TRUE(
+        s.ProcessBatch(std::span<const AnnotatedTweet>(d.tweets.data() + i, 4))
+            .ok());
+  }
+  EXPECT_EQ(MentionDigest(s.Finalize().value()), MentionDigest(out));
+}
+
+}  // namespace
+}  // namespace emd
