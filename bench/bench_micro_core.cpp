@@ -243,21 +243,119 @@ void RunGemmComparison(bench::BenchReporter* reporter, int n, int reps) {
                 flops / blocked_best / 1e9, "GFLOP/s");
   reporter->Add("gemm_dispatch/" + std::to_string(n), reps, dispatch_best * 1e9,
                 flops / dispatch_best / 1e9, "GFLOP/s");
-  // Machine-readable record of which backend the dispatcher chose.
-  reporter->Add(std::string("kernel_backend/") + active.name, 1, 0, 0, "");
+}
+
+// int8 quantized GEMM vs the dispatched fp32 GEMM at the layer shapes the
+// pipeline actually issues (attention projections, FFN up/down, classifier
+// hidden), plus one large square as a roofline reference. Weights are
+// pre-quantized outside the timed loop (that is what the models do at
+// load time); activations are quantized per call (dynamic quantization is
+// part of the int8 inference cost and is timed).
+void RunQuantComparison(bench::BenchReporter* reporter, int reps) {
+  struct Shape {
+    const char* tag;
+    int m, k, n;
+  };
+  const Shape shapes[] = {
+      {"attn_proj", 32, 64, 64},    // [tokens, d_model] x [d_model, d_model]
+      {"ffn_up", 32, 64, 128},      // [tokens, d_model] x [d_model, d_ff]
+      {"ffn_down", 32, 128, 64},    // [tokens, d_ff] x [d_ff, d_model]
+      {"classifier", 64, 44, 32},   // [candidates, feat] x [feat, hidden]
+      {"square", 256, 256, 256},
+  };
+  const kernels::KernelBackend& fp32 = kernels::Kernels();
+  const kernels::KernelBackend& scalar = kernels::ScalarKernels();
+  const kernels::QuantizedBackend& q8 = kernels::Int8Kernels();
+  Rng rng(11);
+  for (const Shape& s : shapes) {
+    Mat a(s.m, s.k), b(s.k, s.n), c32(s.m, s.n), c8(s.m, s.n);
+    a.InitGaussian(&rng, 1.f);
+    b.InitGaussian(&rng, 0.2f);
+    // Pre-quantize weights per output channel: wt is b transposed, [n, k].
+    std::vector<std::int8_t> wt8(static_cast<size_t>(s.n) * s.k);
+    std::vector<float> w_scales(s.n);
+    {
+      Mat bt(s.n, s.k);
+      for (int kk = 0; kk < s.k; ++kk)
+        for (int j = 0; j < s.n; ++j) bt(j, kk) = b(kk, j);
+      q8.quantize_rows(bt.data(), s.n, s.k, wt8.data(), w_scales.data());
+    }
+    std::vector<std::int8_t> a8(static_cast<size_t>(s.m) * s.k);
+    std::vector<float> a_scales(s.m);
+    const double flops = 2.0 * s.m * s.k * s.n;
+    double fp32_best = 1e100, scalar_best = 1e100, int8_best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+      auto start = std::chrono::steady_clock::now();
+      fp32.matmul(a.data(), b.data(), c32.data(), s.m, s.k, s.n);
+      fp32_best = std::min(
+          fp32_best, std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+      start = std::chrono::steady_clock::now();
+      scalar.matmul(a.data(), b.data(), c32.data(), s.m, s.k, s.n);
+      scalar_best = std::min(
+          scalar_best, std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+      start = std::chrono::steady_clock::now();
+      q8.quantize_rows(a.data(), s.m, s.k, a8.data(), a_scales.data());
+      q8.qgemm(a8.data(), a_scales.data(), wt8.data(), w_scales.data(),
+               nullptr, c8.data(), s.m, s.k, s.n);
+      int8_best = std::min(
+          int8_best, std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+    }
+    // Accuracy check: symmetric 8-bit quantization of both operands bounds
+    // each output by ~(maxabs_a * maxabs_w_row / 127) per accumulated term.
+    float max_abs = 0.f, max_diff = 0.f;
+    for (size_t i = 0; i < c32.size(); ++i) {
+      max_abs = std::max(max_abs, std::fabs(c32.data()[i]));
+      max_diff =
+          std::max(max_diff, std::fabs(c32.data()[i] - c8.data()[i]));
+    }
+    if (max_diff > 0.05f * std::max(1.f, max_abs)) {
+      std::fprintf(stderr, "FAIL: int8 GEMM diverges at %s (%g vs %g)\n",
+                   s.tag, max_diff, max_abs);
+      std::exit(1);
+    }
+    std::printf(
+        "qgemm %s (%dx%dx%d): fp32[%s] %.2f GFLOP/s, fp32[scalar] %.2f "
+        "GFLOP/s, int8[%s] %.2f GFLOP/s (x%.2f vs dispatch, x%.2f vs "
+        "scalar), max err %.4f\n",
+        s.tag, s.m, s.k, s.n, fp32.name, flops / fp32_best / 1e9,
+        flops / scalar_best / 1e9, q8.name, flops / int8_best / 1e9,
+        fp32_best / int8_best, scalar_best / int8_best, max_diff);
+    const std::string dims = std::string(s.tag) + "/" + std::to_string(s.m) +
+                             "x" + std::to_string(s.k) + "x" +
+                             std::to_string(s.n);
+    reporter->Add("qgemm_fp32/" + dims, reps, fp32_best * 1e9,
+                  flops / fp32_best / 1e9, "GFLOP/s");
+    reporter->Add("qgemm_fp32_scalar/" + dims, reps, scalar_best * 1e9,
+                  flops / scalar_best / 1e9, "GFLOP/s");
+    reporter->Add("qgemm_int8/" + dims, reps, int8_best * 1e9,
+                  flops / int8_best / 1e9, "GFLOP/s");
+  }
+  reporter->Add(std::string("quant_backend/") + q8.name, 1, 0, 0, "");
 }
 
 }  // namespace
 }  // namespace emd
 
 int main(int argc, char** argv) {
-  // --gemm-only (ours, not google-benchmark's) skips the microbenchmark sweep
-  // so CI's backend-comparison smoke stays fast; strip it before Initialize.
+  // --gemm-only / --quant-only (ours, not google-benchmark's) skip the
+  // microbenchmark sweep so CI's backend-comparison smokes stay fast; strip
+  // them before Initialize.
   bool gemm_only = false;
+  bool quant_only = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gemm-only") == 0) {
       gemm_only = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--quant-only") == 0) {
+      quant_only = true;
       continue;
     }
     argv[kept++] = argv[i];
@@ -267,8 +365,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   emd::bench::BenchReporter reporter;
   emd::CapturingReporter console(&reporter);
-  if (!gemm_only) benchmark::RunSpecifiedBenchmarks(&console);
-  emd::RunGemmComparison(&reporter, 256, 3);
+  if (!gemm_only && !quant_only) benchmark::RunSpecifiedBenchmarks(&console);
+  if (!quant_only) emd::RunGemmComparison(&reporter, 256, 3);
+  if (!gemm_only) emd::RunQuantComparison(&reporter, 5);
+  // Machine-readable record of the resolved dispatch selection.
+  reporter.Add(std::string("kernel_backend/") + emd::kernels::BackendName(), 1,
+               0, 0, "");
   if (!reporter.WriteJson("BENCH_micro.json")) return 1;
   std::printf("wrote BENCH_micro.json\n");
   return 0;

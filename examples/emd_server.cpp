@@ -20,11 +20,14 @@
 //                          reason=memory_pressure (default 0 = unbounded)
 //     --decay-half-life N  embedding-pooling half-life in tweets (0 = none)
 //     --reclassify-interval N re-score ambiguous candidates every N batches
+//     --backend NAME       kernel backend (auto|scalar|avx2|int8); shorthand
+//                          for EMD_BACKEND=NAME, applied before dispatch
 //
 // Kill-and-resume: run with --checkpoint s.ckpt, SIGTERM it mid-stream,
 // restart with --checkpoint s.ckpt --resume; no admitted tweet is lost.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <span>
@@ -57,7 +60,9 @@ int Usage(const char* argv0) {
                "  --decay-half-life N  embedding half-life in tweets (0 = "
                "none)\n"
                "  --reclassify-interval N re-score ambiguous candidates every "
-               "N batches\n",
+               "N batches\n"
+               "  --backend NAME       kernel backend: auto|scalar|avx2|int8 "
+               "(same as EMD_BACKEND)\n",
                argv0);
   return 2;
 }
@@ -131,6 +136,11 @@ int main(int argc, char** argv) {
                      "--reclassify-interval requires a batch count >= 0\n");
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      // Must win over an inherited EMD_BACKEND, and must land before the
+      // first kernel call resolves the dispatch (the selector is read once).
+      if (i + 1 >= argc) return Usage(argv[0]);
+      ::setenv("EMD_BACKEND", argv[++i], /*overwrite=*/1);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage(argv[0]);

@@ -35,6 +35,8 @@
 //                          ungoverned runs)
 //     --reclassify-interval N re-score ambiguous candidates every N batches
 //                          (default 0 = only at finalize)
+//     --backend NAME       kernel backend (auto|scalar|avx2|int8); shorthand
+//                          for EMD_BACKEND=NAME, applied before dispatch
 //
 // Kill-and-resume demo:
 //   ./build/examples/incremental_stream 100 --checkpoint s.ckpt --kill-after 3
@@ -47,6 +49,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <span>
@@ -106,7 +109,9 @@ int Usage(const char* argv0) {
       "  --decay-half-life N  embedding-pooling half-life in tweets (0 = no "
       "decay)\n"
       "  --reclassify-interval N re-score ambiguous candidates every N "
-      "batches\n",
+      "batches\n"
+      "  --backend NAME       kernel backend: auto|scalar|avx2|int8 (same as "
+      "EMD_BACKEND)\n",
       argv0);
   return 2;
 }
@@ -301,6 +306,14 @@ int main(int argc, char** argv) {
                      "--reclassify-interval requires a batch count >= 0\n");
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      // Must win over an inherited EMD_BACKEND, and must land before the
+      // first kernel call resolves the dispatch (the selector is read once).
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--backend requires auto|scalar|avx2|int8\n");
+        return Usage(argv[0]);
+      }
+      ::setenv("EMD_BACKEND", argv[++i], /*overwrite=*/1);
     } else if (arg[0] == '-') {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage(argv[0]);

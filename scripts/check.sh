@@ -13,6 +13,9 @@
 #   scripts/check.sh --kernels     # additionally the kernel parity label
 #                                  # (dispatched + forced-scalar) and the
 #                                  # both-backend GEMM smoke comparison
+#   scripts/check.sh --quant       # additionally the kernels + parallel
+#                                  # labels under EMD_BACKEND=int8 and the
+#                                  # int8-vs-fp32 GEMM smoke comparison
 #   scripts/check.sh --serving     # additionally the net label (protocol,
 #                                  # admission, chaos, drain tests) and a
 #                                  # short bench_serving_load spike run with
@@ -32,6 +35,7 @@ TSAN=0
 BENCH_SMOKE=0
 DOCS=0
 KERNELS=0
+QUANT=0
 SERVING=0
 MEMORY=0
 for arg in "$@"; do
@@ -41,6 +45,7 @@ for arg in "$@"; do
     --bench-smoke) BENCH_SMOKE=1 ;;
     --docs) DOCS=1 ;;
     --kernels) KERNELS=1 ;;
+    --quant) QUANT=1 ;;
     --serving) SERVING=1 ;;
     --memory) MEMORY=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
@@ -117,6 +122,34 @@ if backend != "scalar":
 EOF
   else
     echo "kernels smoke: python3 unavailable, skipped GEMM comparison"
+  fi
+fi
+
+if [[ "$QUANT" == 1 ]]; then
+  # Quantized inference: the kernel parity + batching labels with the int8
+  # backend opted in (models pre-quantize at train/load; the F1 tolerance
+  # gate inside quantization_test must hold), then the int8-vs-fp32 GEMM
+  # smoke at real layer shapes.
+  EMD_BACKEND=int8 ctest --test-dir build --output-on-failure \
+    -L 'kernels|parallel'
+  (cd build/bench && EMD_BACKEND=int8 ./bench_micro_core --quant-only)
+  if command -v python3 >/dev/null; then
+    python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_micro.json") as f:
+    doc = json.load(f)
+backend = next((r["name"].split("/", 1)[1] for r in doc["results"]
+                if r["name"].startswith("kernel_backend/")), None)
+assert backend == "int8", f"expected int8 backend, got {backend}"
+rows = {r["name"]: r for r in doc["results"]}
+fp32 = rows["qgemm_fp32_scalar/square/256x256x256"]["throughput"]
+int8 = rows["qgemm_int8/square/256x256x256"]["throughput"]
+print(f"quant smoke: int8 {int8:.2f} vs scalar fp32 {fp32:.2f} GFLOP/s")
+assert int8 > fp32, (
+    f"int8 GEMM slower than scalar fp32 at 256^3: {int8:.2f} <= {fp32:.2f}")
+EOF
+  else
+    echo "quant smoke: python3 unavailable, skipped comparison"
   fi
 fi
 

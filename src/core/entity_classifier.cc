@@ -81,13 +81,47 @@ float EntityClassifier::Probability(const Mat& features,
     (*x)(0, j) = (features(0, j) - feat_mean_(0, j)) / feat_std_(0, j);
   }
   for (size_t l = 0; l < hidden_.size(); ++l) {
-    hidden_[l]->Apply(*x, y);
+    hidden_[l]->ApplyAuto(*x, &scratch->qs, y);
     // Maskless in-place ReLU: inference needs no backward mask.
     kern.relu(y->data(), y->data(), nullptr, static_cast<int>(y->size()));
     std::swap(x, y);
   }
-  out_->Apply(*x, y);
+  out_->ApplyAuto(*x, &scratch->qs, y);
   return SigmoidScalar((*y)(0, 0));
+}
+
+void EntityClassifier::ProbabilitiesBatched(
+    const Mat& features, ForwardArena* arena,
+    std::vector<float>* probabilities) const {
+  EMD_CHECK_EQ(features.cols(), options_.input_dim);
+  const auto& kern = kernels::Kernels();
+  const int rows = features.rows();
+  Mat* x = arena->mat(kArenaSlot);
+  Mat* y = arena->mat(kArenaSlot + 1);
+  QuantizedLinear::Scratch* qs = arena->qscratch(kArenaSlot);
+  x->Resize(rows, features.cols());
+  for (int i = 0; i < rows; ++i) {
+    const float* frow = features.row(i);
+    float* xrow = x->row(i);
+    for (int j = 0; j < features.cols(); ++j) {
+      xrow[j] = (frow[j] - feat_mean_(0, j)) / feat_std_(0, j);
+    }
+  }
+  for (size_t l = 0; l < hidden_.size(); ++l) {
+    hidden_[l]->ApplyAuto(*x, qs, y);
+    kern.relu(y->data(), y->data(), nullptr, static_cast<int>(y->size()));
+    std::swap(x, y);
+  }
+  out_->ApplyAuto(*x, qs, y);
+  probabilities->resize(rows);
+  for (int i = 0; i < rows; ++i) {
+    (*probabilities)[i] = SigmoidScalar((*y)(i, 0));
+  }
+}
+
+void EntityClassifier::PrepareQuantizedInference() {
+  for (auto& h : hidden_) h->PrepareQuantized();
+  out_->PrepareQuantized();
 }
 
 CandidateLabel EntityClassifier::Classify(const Mat& features) const {
@@ -230,6 +264,7 @@ EntityClassifierTrainReport EntityClassifier::Train(
     }
   }
   restore();
+  if (kernels::Int8Enabled()) PrepareQuantizedInference();
   report.best_validation_f1 = best_f1;
   report.best_validation_loss = best_loss;
   return report;
@@ -253,7 +288,9 @@ Status EntityClassifier::Load(const std::string& path) {
   params.Register("clf.feat_std", &feat_std_, &gstd);
   for (auto& h : hidden_) h->CollectParams(&params);
   out_->CollectParams(&params);
-  return LoadParams(&params, path);
+  EMD_RETURN_IF_ERROR(LoadParams(&params, path));
+  if (kernels::Int8Enabled()) PrepareQuantizedInference();
+  return Status::OK();
 }
 
 }  // namespace emd

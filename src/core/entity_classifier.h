@@ -17,6 +17,7 @@
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/matrix.h"
+#include "nn/planner.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -76,6 +77,7 @@ class EntityClassifier {
   /// buffers of the maskless forward pass.
   struct InferScratch {
     Mat a, b;
+    QuantizedLinear::Scratch qs;
   };
 
   /// P(candidate is an entity).
@@ -103,6 +105,22 @@ class EntityClassifier {
 
   /// TryEvaluate with caller-owned scratch (hot path in Globalizer cycles).
   Result<Verdict> TryEvaluate(const Mat& features, InferScratch* scratch) const;
+
+  /// Arena slots used by ProbabilitiesBatched (above the planner ranges of
+  /// MiniBertweet, 0..20, and PhraseEmbedder, 24).
+  static constexpr int kArenaSlot = 26;
+
+  /// Planner batched inference: one fused forward over [C, input_dim]
+  /// feature rows, probabilities[i] bit-identical (fp32) to
+  /// Probability(features row i) — every layer computes each output row from
+  /// its own input row alone. No failpoint; callers pre-screen resilience.
+  void ProbabilitiesBatched(const Mat& features, ForwardArena* arena,
+                            std::vector<float>* probabilities) const;
+
+  /// Packs int8 copies of the hidden and output layers; afterwards
+  /// Probability/ProbabilitiesBatched run their GEMMs through the quantized
+  /// backend. Called by Train()/Load() when kernels::Int8Enabled().
+  void PrepareQuantizedInference();
 
   /// Trains on labelled examples with an internal 80/20 split.
   EntityClassifierTrainReport Train(const std::vector<ClassifierExample>& examples,

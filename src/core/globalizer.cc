@@ -1,6 +1,7 @@
 #include "core/globalizer.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <sstream>
 
@@ -287,6 +288,84 @@ void Globalizer::RunLocalStage(const AnnotatedTweet& tweet,
   }
 }
 
+bool Globalizer::BatchedLocalEligible(int lanes, size_t batch_size) {
+  if (!options_.token_batching) return false;
+  if (options_.resilience.local_deadline_nanos != 0) return false;
+  if (failpoint::AnyArmed()) return false;
+  const int chunks =
+      (lanes > 1 && batch_size > 1) ? std::min<int>(lanes, batch_size) : 1;
+  if (chunks == 1) {
+    if (!system_->batch_capable()) return false;
+  } else {
+    for (int c = 0; c < chunks; ++c) {
+      if (!LaneSystem(c)->batch_capable()) return false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return breaker_.state() == CircuitBreaker::State::kClosed;
+}
+
+void Globalizer::RunLocalStageBatched(std::span<const AnnotatedTweet> batch,
+                                      int lanes) {
+  const size_t n = batch.size();
+  const int chunks = (lanes > 1 && n > 1)
+                         ? std::min<int>(lanes, static_cast<int>(n))
+                         : 1;
+  if (static_cast<int>(lane_arenas_.size()) < chunks) {
+    lane_arenas_.resize(chunks);
+  }
+  const size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::vector<const std::vector<Token>*>> views(chunks);
+  std::vector<std::vector<LocalEmdResult>> results(chunks);
+  // Chunk c is driven exclusively by lane system c (one task per chunk), so
+  // non-concurrent-safe replicas stay single-threaded.
+  auto run_chunk = [&](size_t c) {
+    // ceil-divide can leave the last chunk empty (e.g. n=5, chunks=4).
+    const size_t lo = std::min(n, c * per);
+    const size_t hi = std::min(n, lo + per);
+    std::vector<const std::vector<Token>*>& view = views[c];
+    view.reserve(hi - lo);
+    for (size_t i = lo; i < hi; ++i) view.push_back(&batch[i].tokens);
+    LocalEmdSystem* sys = chunks > 1 ? LaneSystem(static_cast<int>(c)) : system_;
+    sys->ProcessBatched(view, &lane_arenas_[c], &results[c]);
+  };
+  if (chunks > 1) {
+    pool_->ParallelFor(static_cast<size_t>(chunks),
+                       [&](int, size_t c) { run_chunk(c); });
+  } else {
+    run_chunk(0);
+  }
+
+  // Merge in tweet order, replaying the breaker bookkeeping the per-tweet
+  // path would have done (AllowRequest + RecordSuccess on a closed breaker)
+  // so the resilience state machine is identical either way.
+  for (int c = 0; c < chunks; ++c) {
+    const size_t lo = std::min(n, static_cast<size_t>(c) * per);
+    for (size_t r = 0; r < results[c].size(); ++r) {
+      const AnnotatedTweet& tweet = batch[lo + r];
+      LocalEmdResult& local = results[c][r];
+      LocalStage stage;
+      stage.record.tweet_id = tweet.tweet_id;
+      stage.record.sentence_id = tweet.sentence_id;
+      stage.record.tokens = tweet.tokens;
+      stage.record.token_embeddings = std::move(local.token_embeddings);
+      for (const TokenSpan& span : local.mentions) {
+        if (span.begin >= span.end || span.end > tweet.tokens.size()) continue;
+        RecordedMention m;
+        m.span = span;
+        m.locally_detected = true;
+        stage.record.mentions.push_back(m);
+      }
+      {
+        std::lock_guard<std::mutex> lock(breaker_mu_);
+        breaker_.AllowRequest();
+        breaker_.RecordSuccess();
+      }
+      MergeLocalStage(tweet, std::move(stage));
+    }
+  }
+}
+
 void Globalizer::MergeLocalStage(const AnnotatedTweet& tweet, LocalStage stage) {
   num_retries_ += stage.retries;
   if (stage.retries > 0) Counters().retries->Increment(stage.retries);
@@ -331,7 +410,9 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   {
     ScopedPhase phase(&timers_, "local");
     EMD_TRACE_SPAN("local_emd");
-    if (lanes > 1 && batch.size() > 1) {
+    if (BatchedLocalEligible(lanes, batch.size())) {
+      RunLocalStageBatched(batch, lanes);
+    } else if (lanes > 1 && batch.size() > 1) {
       std::vector<LocalStage> staged(batch.size());
       pool_->ParallelFor(batch.size(), [&](int slot, size_t i) {
         RunLocalStage(batch[i], LaneSystem(slot), first_index + i, &staged[i]);
@@ -400,6 +481,16 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   // two concurrent tasks share a buffer.
   std::vector<PhraseEmbedder::Scratch> embed_scratch(
       std::max(1, options_.num_threads));
+  // Planner fast path for this stage: all of one tweet's mention spans pool
+  // into one fused phrase-embedder GEMM (row i bit-identical to the
+  // per-mention path). Falls back per tweet when its embeddings/spans fail
+  // validation, and entirely when a failpoint is armed.
+  const bool batch_embed = options_.token_batching && system_->is_deep() &&
+                           phrase_embedder_ != nullptr && !failpoint::AnyArmed();
+  if (static_cast<size_t>(std::max(1, options_.num_threads)) >
+      lane_arenas_.size()) {
+    lane_arenas_.resize(std::max(1, options_.num_threads));
+  }
   ParallelForOrSerial(
       options_.num_threads > 1 ? pool_.get() : nullptr, count,
       [&](int slot, size_t idx) {
@@ -408,6 +499,36 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
         ExtractStage& stage = staged[idx];
         stage.extracted = extractor_.Extract(record.tokens);
         stage.embeddings.reserve(stage.extracted.size());
+        if (batch_embed && !stage.extracted.empty() &&
+            record.token_embeddings.cols() == phrase_embedder_->in_dim()) {
+          const size_t rows =
+              static_cast<size_t>(record.token_embeddings.rows());
+          bool spans_ok = true;
+          for (const ExtractedMention& em : stage.extracted) {
+            if (em.span.begin >= em.span.end || em.span.end > rows) {
+              spans_ok = false;
+              break;
+            }
+          }
+          if (spans_ok) {
+            ForwardArena* arena = &lane_arenas_[slot];
+            std::vector<TokenSpan> span_list;
+            span_list.reserve(stage.extracted.size());
+            for (const ExtractedMention& em : stage.extracted) {
+              span_list.push_back(em.span);
+            }
+            Mat* fused = arena->mat(PhraseEmbedder::kArenaSlot + 1);
+            phrase_embedder_->EmbedSpansInto(record.token_embeddings, span_list,
+                                             arena, fused);
+            for (size_t e = 0; e < span_list.size(); ++e) {
+              Mat emb(1, fused->cols());
+              std::memcpy(emb.row(0), fused->row(static_cast<int>(e)),
+                          sizeof(float) * fused->cols());
+              stage.embeddings.push_back(std::move(emb));
+            }
+            return;
+          }
+        }
         Rng rng = TaskRng(first_index + idx);
         for (const ExtractedMention& em : stage.extracted) {
           stage.embeddings.push_back(
@@ -556,7 +677,74 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
   {
     ScopedPhase phase(&timers_, "global");
 
-  if (options_.mode == GlobalizerOptions::Mode::kFull && !classifier_degraded_) {
+  if (options_.mode == GlobalizerOptions::Mode::kFull && !classifier_degraded_ &&
+      options_.token_batching && !failpoint::AnyArmed()) {
+    // ---- Step 4, planner path: one fused classifier forward over every
+    // candidate's feature row. Probabilities are bit-identical to the
+    // per-candidate path (each layer computes a row from that row alone);
+    // the threshold/low-evidence rules below are the same code in the same
+    // ascending-id order. An armed failpoint routes to the resilient
+    // per-candidate loop instead.
+    EMD_TRACE_SPAN("classifier");
+    if (lane_arenas_.empty()) lane_arenas_.resize(1);
+    ForwardArena* arena = &lane_arenas_[0];
+    std::vector<int> ids;
+    Mat* feats = arena->mat(EntityClassifier::kArenaSlot + 2);
+    const int fdim = classifier_->input_dim();
+    for (size_t c = 0; c < candidates_.size(); ++c) {
+      if (!candidates_.Contains(static_cast<int>(c))) continue;
+      CandidateRecord& rec = candidates_.at(static_cast<int>(c));
+      ++out.num_candidates;
+      if (rec.embedding_count == 0) {
+        rec.label = CandidateLabel::kAmbiguous;
+        ++out.num_ambiguous;
+        continue;
+      }
+      ids.push_back(static_cast<int>(c));
+    }
+    feats->Resize(static_cast<int>(ids.size()), fdim);
+    for (size_t k = 0; k < ids.size(); ++k) {
+      const CandidateRecord& rec = candidates_.at(ids[k]);
+      EntityClassifier::MakeFeaturesInto(rec.GlobalEmbedding(), rec.num_tokens,
+                                         &classifier_features_);
+      std::memcpy(feats->row(static_cast<int>(k)), classifier_features_.row(0),
+                  sizeof(float) * fdim);
+    }
+    std::vector<float> probs;
+    if (!ids.empty()) {
+      classifier_->ProbabilitiesBatched(*feats, arena, &probs);
+    }
+    for (size_t k = 0; k < ids.size(); ++k) {
+      CandidateRecord& rec = candidates_.at(ids[k]);
+      rec.entity_probability = probs[k];
+      CandidateLabel label;
+      if (probs[k] >= classifier_->options().alpha) {
+        label = CandidateLabel::kEntity;
+      } else if (probs[k] <= classifier_->options().beta) {
+        label = CandidateLabel::kNonEntity;
+      } else {
+        label = CandidateLabel::kAmbiguous;
+      }
+      if (label == CandidateLabel::kNonEntity &&
+          rec.embedding_count < options_.min_evidence_mentions &&
+          rec.entity_probability > options_.low_evidence_beta) {
+        label = CandidateLabel::kAmbiguous;
+      }
+      rec.label = label;
+      switch (rec.label) {
+        case CandidateLabel::kEntity:
+          ++out.num_entity;
+          break;
+        case CandidateLabel::kNonEntity:
+          ++out.num_non_entity;
+          break;
+        default:
+          ++out.num_ambiguous;
+          break;
+      }
+    }
+  } else if (options_.mode == GlobalizerOptions::Mode::kFull &&
+             !classifier_degraded_) {
     // ---- Step 4: Entity Classifier over global candidate embeddings. ----
     EMD_TRACE_SPAN("classifier");
     for (size_t c = 0; c < candidates_.size(); ++c) {

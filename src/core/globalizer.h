@@ -125,6 +125,18 @@ struct GlobalizerOptions {
   /// set_worker_systems; the extraction/embedding stage parallelizes always.
   int num_threads = 1;
 
+  /// Token-batched local inference (forward-pass planner). When the local
+  /// system is batch_capable(), the tweets of each lane's chunk run through
+  /// LocalEmdSystem::ProcessBatched — subword rows of many tweets packed
+  /// into single fused GEMMs — instead of one Process call per tweet. fp32
+  /// results are bit-identical to the per-tweet path (batching reorders
+  /// scheduling, not arithmetic), so this defaults on. Only the resilient
+  /// happy path batches: an armed failpoint, a non-closed breaker, or a
+  /// local deadline routes the whole batch through the per-tweet resilient
+  /// path, and breaker bookkeeping is replayed per tweet in merge order so
+  /// the state machine stays identical either way.
+  bool token_batching = true;
+
   /// Deadline / retry / circuit-breaker configuration (see ResilienceOptions).
   ResilienceOptions resilience;
 
@@ -330,6 +342,18 @@ class Globalizer {
   void RunLocalStage(const AnnotatedTweet& tweet, LocalEmdSystem* primary,
                      size_t tweet_index, LocalStage* out);
 
+  /// True when this batch may take the token-batched local path: batching
+  /// enabled, every lane's system batch-capable, no deadline, no armed
+  /// failpoint, breaker closed. Cheap (one relaxed atomic load beyond the
+  /// guarded breaker peek).
+  bool BatchedLocalEligible(int lanes, size_t batch_size);
+
+  /// Planner local stage: splits the batch into `lanes` contiguous chunks,
+  /// runs ProcessBatched per chunk (parallel when lanes > 1) against the
+  /// lane's arena, then merges records and replays breaker bookkeeping in
+  /// tweet order. Pre-condition: BatchedLocalEligible() held.
+  void RunLocalStageBatched(std::span<const AnnotatedTweet> batch, int lanes);
+
   /// Folds a computed local stage into TweetBase + counters, in tweet order.
   void MergeLocalStage(const AnnotatedTweet& tweet, LocalStage stage);
 
@@ -380,6 +404,11 @@ class Globalizer {
   std::vector<LocalEmdSystem*> worker_systems_;
   std::mutex breaker_mu_;
   int last_local_lanes_ = 1;
+
+  // Forward-pass planner scratch, one arena per worker lane (arena 0 doubles
+  // as the serial lane's). Arenas grow to the steady-state shape on the first
+  // batch and are reused allocation-free afterwards.
+  std::vector<ForwardArena> lane_arenas_;
 
   // Allocation-recycling scratch for the serial hot paths: the serial-wrapper
   // phrase-embedder pool buffer and the classifier's feature row + ping-pong

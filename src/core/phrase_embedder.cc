@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels/kernels.h"
 #include "nn/optimizer.h"
 #include "nn/params.h"
 #include "nn/serialize.h"
@@ -66,9 +67,42 @@ void PhraseEmbedder::EmbedInto(const Mat& token_embeddings, const TokenSpan& spa
     for (int j = 0; j < pooled.cols(); ++j) pooled(0, j) += row[j];
   }
   pooled.Scale(1.f / static_cast<float>(span.length()));
-  MatMulInto(pooled, w_, out);
-  AddRowBroadcastInPlace(out, b_);
+  if (q_.packed()) {
+    q_.Apply(pooled, &scratch->qs, out);
+  } else {
+    MatMulInto(pooled, w_, out);
+    AddRowBroadcastInPlace(out, b_);
+  }
 }
+
+void PhraseEmbedder::EmbedSpansInto(const Mat& token_embeddings,
+                                    const std::vector<TokenSpan>& spans,
+                                    ForwardArena* arena, Mat* out) const {
+  const int m = static_cast<int>(spans.size());
+  Mat* pooled = arena->mat(kArenaSlot);
+  pooled->Resize(m, token_embeddings.cols());
+  for (int i = 0; i < m; ++i) {
+    const TokenSpan& span = spans[i];
+    EMD_CHECK_LT(span.begin, span.end);
+    EMD_CHECK_LE(span.end, static_cast<size_t>(token_embeddings.rows()));
+    float* prow = pooled->row(i);
+    for (int j = 0; j < pooled->cols(); ++j) prow[j] = 0.f;
+    for (size_t t = span.begin; t < span.end; ++t) {
+      const float* row = token_embeddings.row(static_cast<int>(t));
+      for (int j = 0; j < pooled->cols(); ++j) prow[j] += row[j];
+    }
+    const float inv = 1.f / static_cast<float>(span.length());
+    kernels::Kernels().vscale(inv, prow, pooled->cols());
+  }
+  if (q_.packed()) {
+    q_.Apply(*pooled, arena->qscratch(kArenaSlot), out);
+  } else {
+    MatMulInto(*pooled, w_, out);
+    AddRowBroadcastInPlace(out, b_);
+  }
+}
+
+void PhraseEmbedder::PrepareQuantizedInference() { q_.Pack(w_, b_); }
 
 Result<Mat> PhraseEmbedder::TryEmbed(const Mat& token_embeddings,
                                      const TokenSpan& span) const {
@@ -204,6 +238,7 @@ PhraseEmbedderTrainReport PhraseEmbedder::Train(
   }
   w_ = best_w;
   b_ = best_b;
+  if (kernels::Int8Enabled()) PrepareQuantizedInference();
   report.best_validation_loss = best_val;
   return report;
 }
@@ -221,7 +256,9 @@ Status PhraseEmbedder::Load(const std::string& path) {
   ParamSet params;
   params.Register("phrase.w", &w_, &gw);
   params.Register("phrase.b", &b_, &gb);
-  return LoadParams(&params, path);
+  EMD_RETURN_IF_ERROR(LoadParams(&params, path));
+  if (kernels::Int8Enabled()) PrepareQuantizedInference();
+  return Status::OK();
 }
 
 }  // namespace emd

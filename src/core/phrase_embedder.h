@@ -18,6 +18,8 @@
 
 #include "emd/local_emd_system.h"
 #include "nn/matrix.h"
+#include "nn/planner.h"
+#include "nn/qlinear.h"
 #include "stream/sts_generator.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -52,6 +54,7 @@ class PhraseEmbedder {
   /// embedding does no pooled-buffer allocation.
   struct Scratch {
     Mat pooled;  // [1, in_dim]
+    QuantizedLinear::Scratch qs;
   };
 
   /// Local candidate embedding for the tokens of `span` given the sentence's
@@ -76,6 +79,26 @@ class PhraseEmbedder {
   /// Embeds a whole sentence (the siamese sub-network's forward pass).
   Mat EmbedAll(const Mat& token_embeddings) const;
 
+  /// Arena slot index used by EmbedSpansInto (clear of the MiniBertweet
+  /// planner range 0..20 so one lane arena serves both stages warm).
+  static constexpr int kArenaSlot = 24;
+
+  /// Planner batched embed: pools every span of one sentence into the rows
+  /// of an arena matrix and runs ONE fused dense layer over all of them.
+  /// Row i of `*out` ([spans.size(), out_dim]) is bit-identical (fp32) to
+  /// EmbedInto for spans[i] — the GEMM computes each output row from its own
+  /// input row alone. Spans must be pre-validated by the caller (in-range,
+  /// non-empty); no failpoint is evaluated here.
+  void EmbedSpansInto(const Mat& token_embeddings,
+                      const std::vector<TokenSpan>& spans, ForwardArena* arena,
+                      Mat* out) const;
+
+  /// Packs an int8 copy of W_ff/b_ff; afterwards EmbedInto/EmbedSpansInto
+  /// run the dense layer through the quantized backend. Called automatically
+  /// by Train()/Load() when kernels::Int8Enabled().
+  void PrepareQuantizedInference();
+  bool quantized() const { return q_.packed(); }
+
   /// Trains W_ff/b_ff on the STS task using `system` (frozen) to produce
   /// token embeddings for each pair sentence.
   PhraseEmbedderTrainReport Train(LocalEmdSystem* system, const StsData& sts,
@@ -93,6 +116,7 @@ class PhraseEmbedder {
  private:
   Mat w_;  // [in_dim, out_dim]
   Mat b_;  // [1, out_dim]
+  QuantizedLinear q_;
 };
 
 }  // namespace emd

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "nn/planner.h"
 #include "text/token.h"
 #include "util/deadline.h"
 #include "util/failpoint.h"
@@ -53,6 +54,30 @@ class LocalEmdSystem {
 
   /// Processes one tweet-sentence in isolation.
   virtual LocalEmdResult Process(const std::vector<Token>& tokens) = 0;
+
+  /// True when ProcessBatched fuses work across tweets (forward-pass
+  /// planner). Systems that return false still accept ProcessBatched via the
+  /// per-tweet fallback below, but callers gain nothing from it.
+  virtual bool batch_capable() const { return false; }
+
+  /// Token-batched inference over the tweets of one batch slot: results is
+  /// resized to tweets.size(), entry i corresponding to tweets[i] and equal
+  /// to what Process(*tweets[i]) returns (bit-identical in fp32 — batching
+  /// is a scheduling change, not a numeric one). `arena` owns all scratch;
+  /// reusing one arena per worker lane makes the steady state
+  /// allocation-free inside the planner. The caller handles resilience
+  /// (failpoints, deadlines, breaker) — this entry point assumes the happy
+  /// path was pre-screened and performs no fault injection of its own.
+  virtual void ProcessBatched(
+      const std::vector<const std::vector<Token>*>& tweets,
+      ForwardArena* arena, std::vector<LocalEmdResult>* results) {
+    (void)arena;
+    results->clear();
+    results->resize(tweets.size());
+    for (std::size_t i = 0; i < tweets.size(); ++i) {
+      (*results)[i] = Process(*tweets[i]);
+    }
+  }
 
   /// Failpoint evaluated by TryProcess before dispatching to Process;
   /// implementations override it with "emd.<system>.process".

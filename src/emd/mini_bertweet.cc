@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "nn/kernels/kernels.h"
 #include "nn/params.h"
 #include "nn/serialize.h"
 #include "util/file_io.h"
@@ -140,6 +142,7 @@ void MiniBertweetSystem::Train(const Dataset& corpus,
                   << total_loss / std::max<long>(1, count);
   }
   trained_ = true;
+  if (kernels::Int8Enabled()) PrepareQuantizedInference();
 }
 
 LocalEmdResult MiniBertweetSystem::Process(const std::vector<Token>& tokens) {
@@ -159,6 +162,117 @@ LocalEmdResult MiniBertweetSystem::Process(const std::vector<Token>& tokens) {
   result.mentions = BioToSpans(labels);
   result.token_embeddings = std::move(words);
   return result;
+}
+
+void MiniBertweetSystem::ProcessBatched(
+    const std::vector<const std::vector<Token>*>& tweets, ForwardArena* arena,
+    std::vector<LocalEmdResult>* results) {
+  results->clear();
+  results->resize(tweets.size());
+  if (tweets.empty()) return;
+  EMD_CHECK(trained_) << "MiniBertweetSystem used before Train()/Load()";
+  const int d = options_.d_model;
+
+  // Arena layout: packs 0/1 = piece rows / word rows; ints 0/1/2 = word
+  // gather list, per-tweet first-piece scratch, packed piece ids; mats 0..4
+  // = encoder ping-pong, gathered words, FFNN activations, logits. Encoder
+  // layers use slots from kLayerBase up.
+  RaggedPack* pieces = arena->pack(0);
+  RaggedPack* word_pack = arena->pack(1);
+  std::vector<int>* word_rows = arena->ints(0);
+  std::vector<int>* first_piece = arena->ints(1);
+  std::vector<int>* piece_ids = arena->ints(2);
+  Mat* x = arena->mat(0);
+  Mat* y = arena->mat(1);
+  Mat* words = arena->mat(2);
+  Mat* ff_out = arena->mat(3);
+  Mat* logits = arena->mat(4);
+  QuantizedLinear::Scratch* qs = arena->qscratch(0);
+  constexpr int kLayerBase = 6;
+
+  pieces->Clear();
+  word_pack->Clear();
+  word_rows->clear();
+  piece_ids->clear();
+
+  // Pass 1: segment every tweet, building the packed piece-id list and the
+  // word -> packed-row gather table. Empty tweets contribute zero rows (and
+  // finish with the same empty result Process returns for them).
+  for (const std::vector<Token>* tokens : tweets) {
+    if (tokens->empty()) {
+      pieces->Add(0);
+      word_pack->Add(0);
+      continue;
+    }
+    const int base = pieces->total_rows();
+    const std::vector<int> ids = Segment(*tokens, first_piece);
+    const int num_pieces = static_cast<int>(ids.size());
+    piece_ids->insert(piece_ids->end(), ids.begin(), ids.end());
+    pieces->Add(num_pieces);
+    word_pack->Add(static_cast<int>(tokens->size()));
+    for (std::size_t w = 0; w < tokens->size(); ++w) {
+      // Same truncation clamp ForwardWords applies per tweet.
+      word_rows->push_back(base +
+                           std::min((*first_piece)[w], num_pieces - 1));
+    }
+  }
+
+  const int total_rows = pieces->total_rows();
+  if (total_rows == 0) return;  // every tweet was empty
+
+  // Embedding add, fused over all rows: x[r] = piece_emb[id] + pos_emb[p]
+  // with the position index resetting at each tweet boundary.
+  x->Resize(total_rows, d);
+  const kernels::KernelBackend& kern = kernels::Kernels();
+  const Mat& piece_table = piece_emb_->table();
+  const Mat& pos_table = pos_emb_->table();
+  for (int s = 0; s < pieces->num_seqs(); ++s) {
+    for (int r = pieces->begin(s); r < pieces->end(s); ++r) {
+      kern.vadd(piece_table.row((*piece_ids)[r]),
+                pos_table.row(r - pieces->begin(s)), x->row(r), d);
+    }
+  }
+
+  // Encoder stack, fused over all rows (attention per tweet inside).
+  for (const auto& layer : layers_) {
+    layer->ApplyBatched(*x, *pieces, arena, kLayerBase, y);
+    std::swap(x, y);
+  }
+
+  // First-piece gather + FFNN + prediction layer, fused over all words.
+  GatherRowsInto(*x, *word_rows, words);
+  ffnn_->ApplyAuto(*words, qs, ff_out);
+  kern.relu(ff_out->data(), ff_out->data(), nullptr,
+            static_cast<int>(ff_out->size()));
+  out_->ApplyAuto(*ff_out, qs, logits);
+
+  // Per-tweet argmax -> BIO spans, and per-tweet embedding copies.
+  for (std::size_t i = 0; i < tweets.size(); ++i) {
+    const int wb = word_pack->begin(static_cast<int>(i));
+    const int T = word_pack->len(static_cast<int>(i));
+    if (T == 0) continue;
+    LocalEmdResult& result = (*results)[i];
+    std::vector<int> labels(T);
+    for (int t = 0; t < T; ++t) {
+      const float* lrow = logits->row(wb + t);
+      int best = 0;
+      for (int l = 1; l < kNumBioLabels; ++l) {
+        if (lrow[l] > lrow[best]) best = l;
+      }
+      labels[t] = best;
+    }
+    result.mentions = BioToSpans(labels);
+    result.token_embeddings.Resize(T, d);
+    std::memcpy(result.token_embeddings.data(), ff_out->row(wb),
+                sizeof(float) * std::size_t(T) * d);
+  }
+}
+
+void MiniBertweetSystem::PrepareQuantizedInference() {
+  EMD_CHECK(trained_);
+  for (auto& layer : layers_) layer->PrepareQuantized();
+  ffnn_->PrepareQuantized();
+  out_->PrepareQuantized();
 }
 
 Status MiniBertweetSystem::Save(const std::string& path) const {
@@ -186,6 +300,7 @@ Status MiniBertweetSystem::Load(const std::string& path) {
   out_->CollectParams(&params);
   EMD_RETURN_IF_ERROR(LoadParams(&params, path));
   trained_ = true;
+  if (kernels::Int8Enabled()) PrepareQuantizedInference();
   return Status::OK();
 }
 

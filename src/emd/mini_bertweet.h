@@ -59,6 +59,21 @@ class MiniBertweetSystem : public LocalEmdSystem {
   int embedding_dim() const override { return options_.d_model; }
   LocalEmdResult Process(const std::vector<Token>& tokens) override;
 
+  /// Forward-pass planner entry: packs the subword rows of every tweet into
+  /// one ragged batch and runs the encoder with fused cross-tweet GEMMs
+  /// (attention per tweet). Entry i is bit-identical in fp32 to
+  /// Process(*tweets[i]); after PrepareQuantizedInference the projections
+  /// and FFNN run int8.
+  bool batch_capable() const override { return trained_; }
+  void ProcessBatched(const std::vector<const std::vector<Token>*>& tweets,
+                      ForwardArena* arena,
+                      std::vector<LocalEmdResult>* results) override;
+
+  /// Packs int8 copies of every GEMM weight for the quantized inference
+  /// backend. Called automatically by Train()/Load() when
+  /// kernels::Int8Enabled(); callable directly by benches/tests.
+  void PrepareQuantizedInference();
+
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
   bool trained() const { return trained_; }

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <utility>
 
+#include "nn/kernels/kernels.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -139,7 +140,8 @@ Status Server::Start() {
   port_ = ntohs(addr.sin_port);
   EMD_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
   EMD_LOG(Info) << "ingestion server listening on " << options_.bind_address
-                << ":" << port_;
+                << ":" << port_ << " (kernel backend: "
+                << kernels::BackendName() << ")";
   return Status::OK();
 }
 
@@ -222,6 +224,12 @@ void Server::HandleFrame(Connection& conn, Frame frame, uint64_t now) {
         return;
       }
       conn.client_id = std::move(client_id).value();
+      // The backend is pinned for the process; echoing it per client session
+      // ties every connection log to the numeric mode that produced its
+      // results (fp32 scalar/avx2 vs opt-in int8).
+      EMD_LOG(Info) << "HELLO from client '" << conn.client_id << "' (fd="
+                    << conn.fd << ", kernel backend "
+                    << kernels::BackendName() << ")";
       return;
     }
     case FrameType::kTweet: {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/kernels/kernels.h"
+
 namespace emd {
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng,
@@ -42,6 +44,64 @@ Mat MultiHeadSelfAttention::Forward(const Mat& x) {
     }
   }
   return wo_.Forward(context_);
+}
+
+void MultiHeadSelfAttention::ApplyBatched(const Mat& x, const RaggedPack& pack,
+                                          ForwardArena* arena, int slot_base,
+                                          Mat* out) const {
+  EMD_CHECK_EQ(x.cols(), d_model_);
+  EMD_CHECK_EQ(x.rows(), pack.total_rows());
+  Mat* q = arena->mat(slot_base + 0);
+  Mat* k = arena->mat(slot_base + 1);
+  Mat* v = arena->mat(slot_base + 2);
+  Mat* qh = arena->mat(slot_base + 3);
+  Mat* kh = arena->mat(slot_base + 4);
+  Mat* vh = arena->mat(slot_base + 5);
+  Mat* scores = arena->mat(slot_base + 6);
+  Mat* ctx = arena->mat(slot_base + 7);
+  Mat* context = arena->mat(slot_base + 8);
+  QuantizedLinear::Scratch* qs = arena->qscratch(slot_base);
+  // One fused projection per matrix over every packed row.
+  wq_.ApplyAuto(x, qs, q);
+  wk_.ApplyAuto(x, qs, k);
+  wv_.ApplyAuto(x, qs, v);
+  context->Resize(x.rows(), d_model_);
+  const kernels::KernelBackend& kern = kernels::Kernels();
+  const float scale = 1.f / std::sqrt(static_cast<float>(d_head_));
+  const std::size_t head_bytes = sizeof(float) * d_head_;
+  for (int s = 0; s < pack.num_seqs(); ++s) {
+    const int b = pack.begin(s);
+    const int T = pack.len(s);
+    if (T == 0) continue;
+    for (int h = 0; h < num_heads_; ++h) {
+      const int off = h * d_head_;
+      qh->Resize(T, d_head_);
+      kh->Resize(T, d_head_);
+      vh->Resize(T, d_head_);
+      for (int r = 0; r < T; ++r) {
+        std::memcpy(qh->row(r), q->row(b + r) + off, head_bytes);
+        std::memcpy(kh->row(r), k->row(b + r) + off, head_bytes);
+        std::memcpy(vh->row(r), v->row(b + r) + off, head_bytes);
+      }
+      scores->Resize(T, T);
+      kern.matmul_bt(qh->data(), kh->data(), scores->data(), T, d_head_, T);
+      kern.vscale(scale, scores->data(), T * T);
+      kern.softmax_rows(scores->data(), T, T);
+      ctx->Resize(T, d_head_);
+      kern.matmul(scores->data(), vh->data(), ctx->data(), T, T, d_head_);
+      for (int r = 0; r < T; ++r) {
+        std::memcpy(context->row(b + r) + off, ctx->row(r), head_bytes);
+      }
+    }
+  }
+  wo_.ApplyAuto(*context, qs, out);
+}
+
+void MultiHeadSelfAttention::PrepareQuantized() {
+  wq_.PrepareQuantized();
+  wk_.PrepareQuantized();
+  wv_.PrepareQuantized();
+  wo_.PrepareQuantized();
 }
 
 Mat MultiHeadSelfAttention::Backward(const Mat& dy) {

@@ -10,6 +10,7 @@
 #include "nn/linear.h"
 #include "nn/matrix.h"
 #include "nn/params.h"
+#include "nn/planner.h"
 #include "util/rng.h"
 
 namespace emd {
@@ -24,6 +25,21 @@ class MultiHeadSelfAttention {
   Mat Forward(const Mat& x);
   Mat Backward(const Mat& dy);
   void CollectParams(ParamSet* params);
+
+  /// Arena slots ApplyBatched consumes starting at its slot_base.
+  static constexpr int kArenaSlots = 9;
+
+  /// Inference-only planner forward: `x` holds the packed token rows of many
+  /// sequences ([pack.total_rows(), d_model]); the Q/K/V/output projections
+  /// run fused over ALL rows while attention walks the offsets table per
+  /// sequence. Const — no caches touched, safe across worker lanes with
+  /// per-lane arenas. In fp32 the result is bit-identical per sequence to
+  /// Forward; after PrepareQuantized the projections run int8.
+  void ApplyBatched(const Mat& x, const RaggedPack& pack, ForwardArena* arena,
+                    int slot_base, Mat* out) const;
+
+  /// Packs int8 copies of the four projection weights (see nn/qlinear.h).
+  void PrepareQuantized();
 
   int d_model() const { return d_model_; }
 

@@ -1,26 +1,43 @@
 // Compute-kernel layer: one table of function pointers per backend, selected
 // once at runtime by CPU-feature detection (util/cpuid).
 //
-// Two backends exist today:
+// Fp32 backends:
 //   * scalar — the pre-SIMD reference code, moved here verbatim from
 //     nn/matrix.cc / nn/activations.cc / nn/layer_norm.cc. It is the
-//     bit-exact baseline: under EMD_FORCE_SCALAR=1 the pipeline reproduces
+//     bit-exact baseline: under EMD_BACKEND=scalar the pipeline reproduces
 //     pre-kernel-layer output bit for bit.
 //   * avx2 — AVX2+FMA microkernels (kernels_avx2.cc, compiled with
 //     -mavx2 -mfma only; every call is guarded by runtime dispatch). May
 //     diverge from scalar by float-rounding noise only (the `kernels` ctest
 //     label asserts <= 1e-5 max-abs divergence per kernel).
 //
-// Dispatch policy (dispatch.cc):
-//   1. EMD_FORCE_SCALAR env var set to anything but "" or "0" => scalar.
-//   2. Binary compiled with AVX2 support AND the CPU reports AVX2+FMA => avx2.
-//   3. Otherwise scalar.
+// Quantized int8 backends (kernels_int8.cc / kernels_int8_avx2.cc): symmetric
+// per-channel int8 weights x per-row dynamic int8 activations with exact
+// int32 accumulation. Both int8 implementations compute the same integer
+// accumulator bit for bit (the AVX2 path widens s8 to s16 and uses vpmaddwd,
+// which cannot saturate at |x| <= 127), so the int8 path is deterministic
+// across SIMD levels. The int8 path only runs where a model opted in by
+// pre-quantizing its weights; everything else still uses the fp32 table.
+//
+// Dispatch policy (dispatch.cc): a single tri-state selector, read once at
+// first use from EMD_BACKEND in {auto, scalar, avx2, int8}:
+//   * auto (default) — avx2 when the binary has it and the CPU reports
+//     AVX2+FMA, otherwise scalar. Legacy EMD_FORCE_SCALAR (set to anything
+//     but "" or "0") maps to scalar when EMD_BACKEND is unset.
+//   * scalar — always the scalar fp32 table; int8 disabled.
+//   * avx2 — the AVX2 fp32 table; falls back to scalar (with the gauge
+//     reporting the fallback) when unavailable; int8 disabled.
+//   * int8 — fp32 table resolves as `auto` AND Int8Enabled() turns on the
+//     quantized path in models that pre-quantized their weights.
 // The choice is made once (thread-safe magic static), exported as the
-// `emd_kernel_backend_info{backend=...}` gauge, and never changes for the
-// life of the process — a run is always deterministic within one backend.
+// `emd_kernel_backend_info{backend=...}` gauge (label = resolved selector
+// name), and never changes for the life of the process — a run is always
+// deterministic within one backend.
 
 #ifndef EMD_NN_KERNELS_KERNELS_H_
 #define EMD_NN_KERNELS_KERNELS_H_
+
+#include <cstdint>
 
 namespace emd {
 namespace kernels {
@@ -73,6 +90,30 @@ struct KernelBackend {
   double (*logsumexp)(const float* x, int n);
 };
 
+/// One quantized backend's kernel table. Activations are quantized per row
+/// (symmetric, scale = maxabs/127); weights are pre-quantized per output
+/// channel and stored TRANSPOSED as [n, k] so each output channel's dot runs
+/// over contiguous memory. Accumulation is exact int32, so every
+/// implementation of this table produces bit-identical results.
+struct QuantizedBackend {
+  const char* name;
+
+  /// Per-row symmetric quantization of a row-major [m, k] fp32 matrix:
+  /// out[i*k+j] = round(a[i*k+j] / scales[i]) clamped to [-127, 127] with
+  /// scales[i] = maxabs(row i) / 127 (rows of all zeros get scale 0 and
+  /// all-zero codes). round = nearest, ties away from zero (lrintf-free so
+  /// scalar and SIMD agree exactly).
+  void (*quantize_rows)(const float* a, int m, int k, std::int8_t* out,
+                        float* scales);
+
+  /// C[m,n] = (A8[m,k] · W8t[n,k]^T) * a_scales[m] (x) w_scales[n] + bias[n].
+  /// `bias` may be nullptr (no bias add). int32-accumulate, dequantized as
+  /// acc * a_scales[i] * w_scales[j].
+  void (*qgemm)(const std::int8_t* a, const float* a_scales,
+                const std::int8_t* wt, const float* w_scales,
+                const float* bias, float* c, int m, int k, int n);
+};
+
 /// The always-available scalar reference backend.
 const KernelBackend& ScalarKernels();
 
@@ -81,11 +122,36 @@ const KernelBackend& ScalarKernels();
 /// Kernels() does both.
 const KernelBackend* Avx2Kernels();
 
+/// The always-available scalar int8 backend.
+const QuantizedBackend& ScalarInt8Kernels();
+
+/// The AVX2 int8 backend, or nullptr when compiled without AVX2 support.
+const QuantizedBackend* Avx2Int8Kernels();
+
+/// The dispatched int8 table (scalar unless AVX2 is available). Usable
+/// regardless of Int8Enabled(); both implementations are bit-identical.
+const QuantizedBackend& Int8Kernels();
+
 /// True when the EMD_FORCE_SCALAR environment variable requests the scalar
-/// backend (set to anything but empty or "0"). Read once.
+/// backend (set to anything but empty or "0"). Read once. Superseded by
+/// EMD_BACKEND, which wins when both are set.
 bool ForceScalar();
 
-/// The dispatched backend: selected once per process, see file comment.
+/// The tri-state selector, parsed once from EMD_BACKEND (legacy
+/// EMD_FORCE_SCALAR maps to kScalar). Unknown values fall back to kAuto.
+enum class BackendSelect { kAuto, kScalar, kAvx2, kInt8 };
+BackendSelect SelectedBackend();
+
+/// True when the process opted into quantized inference (EMD_BACKEND=int8):
+/// models pre-quantize their weights at load/train time and route their
+/// inference GEMMs through Int8Kernels().
+bool Int8Enabled();
+
+/// The resolved backend name as reported by the emd_kernel_backend_info
+/// gauge: "scalar", "avx2", or "int8". Forces dispatch on first call.
+const char* BackendName();
+
+/// The dispatched fp32 backend: selected once per process, see file comment.
 const KernelBackend& Kernels();
 
 }  // namespace kernels

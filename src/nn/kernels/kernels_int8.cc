@@ -1,0 +1,97 @@
+// Scalar int8 quantized backend: per-row symmetric activation quantization
+// and the int32-accumulate qgemm. This is the reference implementation the
+// AVX2 path (kernels_int8_avx2.cc) must match BIT FOR BIT: integer
+// accumulation is exact (order-independent), quantization rounds to
+// nearest-even on the same single-precision product, and dequantization uses
+// the same mul/mul/add float sequence. Compiled without -mavx2/-mfma so the
+// float ops cannot be contracted differently than the baseline build.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "nn/kernels/kernels.h"
+
+namespace emd {
+namespace kernels {
+namespace {
+
+void QuantizeRowsScalar(const float* a, int m, int k, std::int8_t* out,
+                        float* scales) {
+  for (int i = 0; i < m; ++i) {
+    const float* row = a + std::size_t(i) * k;
+    std::int8_t* orow = out + std::size_t(i) * k;
+    float maxabs = 0.f;
+    for (int j = 0; j < k; ++j) maxabs = std::max(maxabs, std::fabs(row[j]));
+    if (maxabs == 0.f) {
+      scales[i] = 0.f;
+      for (int j = 0; j < k; ++j) orow[j] = 0;
+      continue;
+    }
+    scales[i] = maxabs / 127.f;
+    const float inv = 127.f / maxabs;
+    for (int j = 0; j < k; ++j) {
+      // nearbyintf under the default rounding mode = round-to-nearest-even,
+      // the same rounding _mm256_cvtps_epi32 applies in the AVX2 path.
+      const int q = static_cast<int>(std::nearbyintf(row[j] * inv));
+      orow[j] = static_cast<std::int8_t>(std::min(127, std::max(-127, q)));
+    }
+  }
+}
+
+void QGemmScalar(const std::int8_t* a, const float* a_scales,
+                 const std::int8_t* wt, const float* w_scales,
+                 const float* bias, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* __restrict arow = a + std::size_t(i) * k;
+    float* __restrict crow = c + std::size_t(i) * n;
+    const float as = a_scales[i];
+    int j = 0;
+    // Four output channels per iteration: each loaded activation byte feeds
+    // four independent accumulator chains.
+    for (; j + 3 < n; j += 4) {
+      const std::int8_t* __restrict w0 = wt + std::size_t(j) * k;
+      const std::int8_t* __restrict w1 = wt + std::size_t(j + 1) * k;
+      const std::int8_t* __restrict w2 = wt + std::size_t(j + 2) * k;
+      const std::int8_t* __restrict w3 = wt + std::size_t(j + 3) * k;
+      std::int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int p = 0; p < k; ++p) {
+        const std::int32_t av = arow[p];
+        s0 += av * w0[p];
+        s1 += av * w1[p];
+        s2 += av * w2[p];
+        s3 += av * w3[p];
+      }
+      // Dequant sequence (mul, mul, add — never fused) shared with AVX2.
+      crow[j] = static_cast<float>(s0) * (as * w_scales[j]);
+      crow[j + 1] = static_cast<float>(s1) * (as * w_scales[j + 1]);
+      crow[j + 2] = static_cast<float>(s2) * (as * w_scales[j + 2]);
+      crow[j + 3] = static_cast<float>(s3) * (as * w_scales[j + 3]);
+      if (bias != nullptr) {
+        crow[j] += bias[j];
+        crow[j + 1] += bias[j + 1];
+        crow[j + 2] += bias[j + 2];
+        crow[j + 3] += bias[j + 3];
+      }
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* __restrict wrow = wt + std::size_t(j) * k;
+      std::int32_t s = 0;
+      for (int p = 0; p < k; ++p) s += std::int32_t(arow[p]) * wrow[p];
+      float v = static_cast<float>(s) * (as * w_scales[j]);
+      if (bias != nullptr) v += bias[j];
+      crow[j] = v;
+    }
+  }
+}
+
+}  // namespace
+
+const QuantizedBackend& ScalarInt8Kernels() {
+  static const QuantizedBackend backend = {"int8-scalar", QuantizeRowsScalar,
+                                           QGemmScalar};
+  return backend;
+}
+
+}  // namespace kernels
+}  // namespace emd

@@ -1,0 +1,191 @@
+// AVX2 int8 quantized backend. The qgemm widens s8 lanes to s16
+// (vpmovsxbw) and multiply-accumulates pairs with vpmaddwd: at |x| <= 127
+// the pair sum 127*127*2 fits s16->s32 with no saturation, so accumulation
+// is EXACT int32 arithmetic and this backend is bit-identical to the scalar
+// int8 reference (kernels_int8.cc) — unlike the classic vpmaddubsw u8xs8
+// sequence, whose s16 pair sums can saturate. Quantization uses
+// _mm256_cvtps_epi32 (round-to-nearest-even), matching nearbyintf in the
+// scalar path on the identical single-precision product.
+//
+// Compiled with -mavx2 -mfma via CMake source properties; every entry point
+// is reached only through runtime dispatch (util/cpuid).
+
+#include "nn/kernels/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace emd {
+namespace kernels {
+namespace {
+
+inline std::int32_t HSum256i(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+inline float HMax256(__m256 v) {
+  __m128 s = _mm_max_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_max_ps(s, _mm_shuffle_ps(s, s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_max_ps(s, _mm_shuffle_ps(s, s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtss_f32(s);
+}
+
+void QuantizeRowsAvx2(const float* a, int m, int k, std::int8_t* out,
+                      float* scales) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  for (int i = 0; i < m; ++i) {
+    const float* row = a + std::size_t(i) * k;
+    std::int8_t* orow = out + std::size_t(i) * k;
+    // max|row|: max is exact, so the vector reduction equals the scalar loop.
+    __m256 vmax = _mm256_setzero_ps();
+    int j = 0;
+    for (; j + 7 < k; j += 8) {
+      vmax = _mm256_max_ps(vmax,
+                           _mm256_and_ps(_mm256_loadu_ps(row + j), abs_mask));
+    }
+    float maxabs = HMax256(vmax);
+    for (; j < k; ++j) maxabs = std::max(maxabs, std::fabs(row[j]));
+    if (maxabs == 0.f) {
+      scales[i] = 0.f;
+      for (int p = 0; p < k; ++p) orow[p] = 0;
+      continue;
+    }
+    scales[i] = maxabs / 127.f;
+    const float inv = 127.f / maxabs;
+    const __m256 vinv = _mm256_set1_ps(inv);
+    const __m256i vlo = _mm256_set1_epi32(-127);
+    const __m256i vhi = _mm256_set1_epi32(127);
+    j = 0;
+    for (; j + 7 < k; j += 8) {
+      // mul (not FMA) to match the scalar product bit for bit, then
+      // round-to-nearest-even and clamp to the symmetric range.
+      __m256i q = _mm256_cvtps_epi32(
+          _mm256_mul_ps(_mm256_loadu_ps(row + j), vinv));
+      q = _mm256_min_epi32(vhi, _mm256_max_epi32(vlo, q));
+      __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                  _mm256_extracti128_si256(q, 1));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(orow + j),
+                       _mm_packs_epi16(w, w));
+    }
+    for (; j < k; ++j) {
+      const int q = static_cast<int>(std::nearbyintf(row[j] * inv));
+      orow[j] = static_cast<std::int8_t>(std::min(127, std::max(-127, q)));
+    }
+  }
+}
+
+/// Widen 16 s8 lanes to s16 and vpmaddwd against the matching weight lanes.
+inline __m256i MaddBlock16(const std::int8_t* a, const std::int8_t* w) {
+  const __m256i av = _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(a)));
+  const __m256i wv = _mm256_cvtepi8_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(w)));
+  return _mm256_madd_epi16(av, wv);
+}
+
+void QGemmAvx2(const std::int8_t* a, const float* a_scales,
+               const std::int8_t* wt, const float* w_scales,
+               const float* bias, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* __restrict arow = a + std::size_t(i) * k;
+    float* __restrict crow = c + std::size_t(i) * n;
+    const float as = a_scales[i];
+    int j = 0;
+    // Four output channels share each loaded activation vector.
+    for (; j + 3 < n; j += 4) {
+      const std::int8_t* __restrict w0 = wt + std::size_t(j) * k;
+      const std::int8_t* __restrict w1 = wt + std::size_t(j + 1) * k;
+      const std::int8_t* __restrict w2 = wt + std::size_t(j + 2) * k;
+      const std::int8_t* __restrict w3 = wt + std::size_t(j + 3) * k;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      int p = 0;
+      for (; p + 15 < k; p += 16) {
+        const __m256i av = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(arow + p)));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(w0 + p)))));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(w1 + p)))));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(w2 + p)))));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      av, _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(w3 + p)))));
+      }
+      std::int32_t s0 = HSum256i(acc0), s1 = HSum256i(acc1);
+      std::int32_t s2 = HSum256i(acc2), s3 = HSum256i(acc3);
+      for (; p < k; ++p) {
+        const std::int32_t av = arow[p];
+        s0 += av * w0[p];
+        s1 += av * w1[p];
+        s2 += av * w2[p];
+        s3 += av * w3[p];
+      }
+      // Dequant: mul, mul, add via intrinsics — never contracted to FMA, so
+      // it matches the scalar int8 reference bit for bit.
+      const __m128 accf =
+          _mm_cvtepi32_ps(_mm_set_epi32(s3, s2, s1, s0));
+      const __m128 scale =
+          _mm_mul_ps(_mm_set1_ps(as), _mm_loadu_ps(w_scales + j));
+      __m128 v = _mm_mul_ps(accf, scale);
+      if (bias != nullptr) v = _mm_add_ps(v, _mm_loadu_ps(bias + j));
+      _mm_storeu_ps(crow + j, v);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* __restrict wrow = wt + std::size_t(j) * k;
+      __m256i acc = _mm256_setzero_si256();
+      int p = 0;
+      for (; p + 15 < k; p += 16) {
+        acc = _mm256_add_epi32(acc, MaddBlock16(arow + p, wrow + p));
+      }
+      std::int32_t s = HSum256i(acc);
+      for (; p < k; ++p) s += std::int32_t(arow[p]) * wrow[p];
+      float v = static_cast<float>(s) * (as * w_scales[j]);
+      if (bias != nullptr) v += bias[j];
+      crow[j] = v;
+    }
+  }
+}
+
+}  // namespace
+
+const QuantizedBackend* Avx2Int8Kernels() {
+  static const QuantizedBackend backend = {"int8-avx2", QuantizeRowsAvx2,
+                                           QGemmAvx2};
+  return &backend;
+}
+
+}  // namespace kernels
+}  // namespace emd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace emd {
+namespace kernels {
+
+const QuantizedBackend* Avx2Int8Kernels() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace emd
+
+#endif

@@ -28,6 +28,19 @@ Mat LayerNorm::Forward(const Mat& x) {
   return y;
 }
 
+void LayerNorm::Apply(const Mat& x, Mat* y, Mat* xhat,
+                      std::vector<float>* inv_std) const {
+  const int D = gamma_.cols();
+  EMD_CHECK_EQ(x.cols(), D);
+  y->Resize(x.rows(), D);
+  xhat->Resize(x.rows(), D);
+  inv_std->resize(x.rows());
+  if (x.rows() == 0) return;
+  kernels::Kernels().layer_norm(x.data(), gamma_.data(), beta_.data(), eps_,
+                                x.rows(), D, y->data(), xhat->data(),
+                                inv_std->data());
+}
+
 Mat LayerNorm::Backward(const Mat& dy) {
   const int D = gamma_.cols();
   EMD_CHECK(dy.SameShape(xhat_cache_));

@@ -21,6 +21,15 @@ class LayerNorm {
   Mat Backward(const Mat& dy);
   void CollectParams(ParamSet* params);
 
+  /// Inference-only forward over caller-owned scratch: identical values to
+  /// Forward but does not touch the backward caches, so it is const and safe
+  /// for concurrent use of a shared trained layer (planner batched paths).
+  /// y is resized to x's shape; xhat/inv_std are scratch the kernel fills.
+  void Apply(const Mat& x, Mat* y, Mat* xhat,
+             std::vector<float>* inv_std) const;
+
+  int dim() const { return gamma_.cols(); }
+
  private:
   std::string name_;
   float eps_;

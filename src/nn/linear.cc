@@ -30,6 +30,17 @@ void Linear::Apply(const Mat& x, Mat* out) const {
   AddRowBroadcastInPlace(out, b_);
 }
 
+void Linear::PrepareQuantized() { q_.Pack(w_, b_); }
+
+void Linear::ApplyAuto(const Mat& x, QuantizedLinear::Scratch* qs,
+                       Mat* out) const {
+  if (q_.packed()) {
+    q_.Apply(x, qs, out);
+  } else {
+    Apply(x, out);
+  }
+}
+
 Mat Linear::Backward(const Mat& dy) {
   EMD_CHECK_EQ(dy.cols(), w_.cols());
   EMD_CHECK_EQ(dy.rows(), x_cache_.rows());

@@ -12,6 +12,7 @@
 
 #include "nn/matrix.h"
 #include "nn/params.h"
+#include "nn/qlinear.h"
 #include "util/rng.h"
 
 namespace emd {
@@ -34,6 +35,17 @@ class Linear {
   /// trained layer. Backward must not follow an Apply.
   void Apply(const Mat& x, Mat* out) const;
 
+  /// Packs an int8 copy of the current weights (nn/qlinear) for quantized
+  /// inference. Idempotent; re-call after further training to refresh the
+  /// pack. Training, serialization and the fp32 paths are unaffected.
+  void PrepareQuantized();
+  bool quantized() const { return q_.packed(); }
+  const QuantizedLinear& quant() const { return q_; }
+
+  /// Apply through the int8 pack when one was prepared, else fp32 Apply.
+  /// `qs` may be nullptr when !quantized().
+  void ApplyAuto(const Mat& x, QuantizedLinear::Scratch* qs, Mat* out) const;
+
   /// Given dL/dy, accumulates dL/dW and dL/db; returns dL/dx.
   Mat Backward(const Mat& dy);
 
@@ -53,6 +65,7 @@ class Linear {
   Mat w_, b_;
   Mat dw_, db_;
   Mat x_cache_;
+  QuantizedLinear q_;
 };
 
 }  // namespace emd

@@ -1,0 +1,46 @@
+#include "nn/planner.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace emd {
+
+Mat* ForwardArena::mat(int slot) {
+  while (static_cast<int>(mats_.size()) <= slot) mats_.emplace_back();
+  return &mats_[slot];
+}
+
+std::vector<int>* ForwardArena::ints(int slot) {
+  while (static_cast<int>(ints_.size()) <= slot) ints_.emplace_back();
+  return &ints_[slot];
+}
+
+std::vector<float>* ForwardArena::floats(int slot) {
+  while (static_cast<int>(floats_.size()) <= slot) floats_.emplace_back();
+  return &floats_[slot];
+}
+
+RaggedPack* ForwardArena::pack(int slot) {
+  while (static_cast<int>(packs_.size()) <= slot) packs_.emplace_back();
+  return &packs_[slot];
+}
+
+QuantizedLinear::Scratch* ForwardArena::qscratch(int slot) {
+  while (static_cast<int>(qscratches_.size()) <= slot) {
+    qscratches_.emplace_back();
+  }
+  return &qscratches_[slot];
+}
+
+void GatherRowsInto(const Mat& src, const std::vector<int>& rows, Mat* out) {
+  out->Resize(static_cast<int>(rows.size()), src.cols());
+  const std::size_t row_bytes = sizeof(float) * src.cols();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EMD_CHECK_GE(rows[i], 0);
+    EMD_CHECK_LT(rows[i], src.rows());
+    std::memcpy(out->row(static_cast<int>(i)), src.row(rows[i]), row_bytes);
+  }
+}
+
+}  // namespace emd

@@ -1,0 +1,73 @@
+#include "nn/qlinear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/kernels/kernels.h"
+#include "util/logging.h"
+
+namespace emd {
+
+void QuantizedLinear::Pack(const Mat& w, const Mat& b) {
+  in_dim_ = w.rows();
+  out_dim_ = w.cols();
+  EMD_CHECK_GT(in_dim_, 0);
+  EMD_CHECK_GT(out_dim_, 0);
+  if (!b.empty()) {
+    EMD_CHECK_EQ(b.rows(), 1);
+    EMD_CHECK_EQ(b.cols(), out_dim_);
+    bias_.assign(b.data(), b.data() + out_dim_);
+  } else {
+    bias_.clear();
+  }
+  wt8_.assign(std::size_t(out_dim_) * in_dim_, 0);
+  w_scales_.assign(out_dim_, 0.f);
+  w_maxabs_ = 0.f;
+  // Per output channel j: symmetric scale over column j of W [in, out],
+  // stored as row j of the transposed pack. Same round-to-nearest-even the
+  // activation quantizers use, so the pack is host-independent.
+  for (int j = 0; j < out_dim_; ++j) {
+    float maxabs = 0.f;
+    for (int p = 0; p < in_dim_; ++p) {
+      maxabs = std::max(maxabs, std::fabs(w(p, j)));
+    }
+    w_maxabs_ = std::max(w_maxabs_, maxabs);
+    if (maxabs == 0.f) continue;  // scale 0, all-zero codes
+    w_scales_[j] = maxabs / 127.f;
+    const float inv = 127.f / maxabs;
+    std::int8_t* wrow = wt8_.data() + std::size_t(j) * in_dim_;
+    for (int p = 0; p < in_dim_; ++p) {
+      const int q = static_cast<int>(std::nearbyintf(w(p, j) * inv));
+      wrow[p] = static_cast<std::int8_t>(std::min(127, std::max(-127, q)));
+    }
+  }
+}
+
+void QuantizedLinear::Apply(const Mat& x, Scratch* scratch, Mat* out) const {
+  EMD_CHECK_EQ(x.cols(), in_dim_);
+  out->Resize(x.rows(), out_dim_);
+  ApplyRows(x.data(), x.rows(), scratch, out->data());
+}
+
+void QuantizedLinear::ApplyRows(const float* x, int rows, Scratch* scratch,
+                                float* out) const {
+  EMD_CHECK(packed());
+  if (rows == 0) return;
+  const kernels::QuantizedBackend& q = kernels::Int8Kernels();
+  scratch->a8.resize(std::size_t(rows) * in_dim_);
+  scratch->a_scales.resize(rows);
+  q.quantize_rows(x, rows, in_dim_, scratch->a8.data(),
+                  scratch->a_scales.data());
+  q.qgemm(scratch->a8.data(), scratch->a_scales.data(), wt8_.data(),
+          w_scales_.data(), bias_.empty() ? nullptr : bias_.data(), out, rows,
+          in_dim_, out_dim_);
+}
+
+float QuantizedLinear::ErrorBound(float x_maxabs) const {
+  const float a_scale = x_maxabs / 127.f;
+  const float w_scale = w_maxabs_ / 127.f;
+  return in_dim_ * (0.5f * (w_scale * x_maxabs + a_scale * w_maxabs_) +
+                    0.25f * a_scale * w_scale);
+}
+
+}  // namespace emd

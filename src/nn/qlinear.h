@@ -1,0 +1,67 @@
+// QuantizedLinear: the int8 inference form of a trained Linear layer.
+//
+// Weights are quantized ONCE (symmetric per output channel, scale =
+// maxabs/127) and stored transposed as [out, in] so each output channel's
+// dot product runs over contiguous int8 memory. Activations are quantized
+// per row at call time (symmetric dynamic range). The matmul accumulates in
+// exact int32 through kernels::Int8Kernels(), so the quantized forward is
+// deterministic: identical on every host regardless of SIMD level.
+//
+// Models opt in by calling Pack() on their trained fp32 weights when
+// kernels::Int8Enabled() — fp32 weights stay resident (training, serialization
+// and the default backend are untouched); the packed copy only accelerates
+// const inference paths.
+
+#ifndef EMD_NN_QLINEAR_H_
+#define EMD_NN_QLINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace emd {
+
+class QuantizedLinear {
+ public:
+  /// Reusable per-caller activation-quantization buffers. One Scratch per
+  /// thread; reusing it across calls makes the steady state allocation-free.
+  struct Scratch {
+    std::vector<std::int8_t> a8;
+    std::vector<float> a_scales;
+  };
+
+  QuantizedLinear() = default;
+
+  /// Quantizes and packs W [in, out] (+ optional bias b [1, out]; pass an
+  /// empty Mat for none). Callable again after re-training.
+  void Pack(const Mat& w, const Mat& b);
+
+  bool packed() const { return in_dim_ > 0; }
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+
+  /// y = dequant(quant_rows(x) . W8^T) + b over the dispatched int8 kernels.
+  /// x: [T, in]; out resized to [T, out]; must not alias x.
+  void Apply(const Mat& x, Scratch* scratch, Mat* out) const;
+
+  /// Same, over raw row-major buffers (planner paths with arena memory).
+  void ApplyRows(const float* x, int rows, Scratch* scratch, float* out) const;
+
+  /// Worst-case absolute quantization error of one output element against
+  /// the fp32 product, for a given activation row bound max|x|: each of the
+  /// k products errs by at most 0.5*(a_scale*max|w| + w_scale*max|x| +
+  /// 0.25*a_scale*w_scale). Tests use this as the per-layer accuracy budget.
+  float ErrorBound(float x_maxabs) const;
+
+ private:
+  int in_dim_ = 0, out_dim_ = 0;
+  std::vector<std::int8_t> wt8_;     // [out, in], transposed
+  std::vector<float> w_scales_;      // per output channel
+  std::vector<float> bias_;          // empty when the layer has no bias
+  float w_maxabs_ = 0.f;             // max|W|, for ErrorBound
+};
+
+}  // namespace emd
+
+#endif  // EMD_NN_QLINEAR_H_

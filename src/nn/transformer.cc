@@ -1,5 +1,7 @@
 #include "nn/transformer.h"
 
+#include "nn/kernels/kernels.h"
+
 namespace emd {
 
 TransformerEncoderLayer::TransformerEncoderLayer(int d_model, int num_heads, int d_ff,
@@ -20,6 +22,36 @@ Mat TransformerEncoderLayer::Forward(const Mat& x, bool training, Rng* rng) {
   Mat ff = drop2_.Forward(ff2_.Forward(relu_.Forward(ff1_.Forward(h1))), training, rng);
   ff.Add(h1);  // residual
   return ln2_.Forward(ff);
+}
+
+void TransformerEncoderLayer::ApplyBatched(const Mat& x,
+                                           const RaggedPack& pack,
+                                           ForwardArena* arena, int slot_base,
+                                           Mat* out) const {
+  Mat* attn = arena->mat(slot_base + 0);
+  Mat* h1 = arena->mat(slot_base + 1);
+  Mat* ff_a = arena->mat(slot_base + 2);
+  Mat* ff_b = arena->mat(slot_base + 3);
+  Mat* ln_xhat = arena->mat(slot_base + 4);
+  std::vector<float>* ln_inv_std = arena->floats(slot_base + 4);
+  QuantizedLinear::Scratch* qs = arena->qscratch(slot_base + 5);
+  const int mhsa_base = slot_base + 6;
+
+  mhsa_.ApplyBatched(x, pack, arena, mhsa_base, attn);
+  attn->Add(x);  // residual
+  ln1_.Apply(*attn, h1, ln_xhat, ln_inv_std);
+  ff1_.ApplyAuto(*h1, qs, ff_a);
+  kernels::Kernels().relu(ff_a->data(), ff_a->data(), nullptr,
+                          static_cast<int>(ff_a->size()));
+  ff2_.ApplyAuto(*ff_a, qs, ff_b);
+  ff_b->Add(*h1);  // residual
+  ln2_.Apply(*ff_b, out, ln_xhat, ln_inv_std);
+}
+
+void TransformerEncoderLayer::PrepareQuantized() {
+  mhsa_.PrepareQuantized();
+  ff1_.PrepareQuantized();
+  ff2_.PrepareQuantized();
 }
 
 Mat TransformerEncoderLayer::Backward(const Mat& dy) {

@@ -28,6 +28,19 @@ class TransformerEncoderLayer {
   Mat Backward(const Mat& dy);
   void CollectParams(ParamSet* params);
 
+  /// Arena slots ApplyBatched consumes starting at its slot_base.
+  static constexpr int kArenaSlots = 6 + MultiHeadSelfAttention::kArenaSlots;
+
+  /// Inference-only planner forward over packed sequences: the FFN and
+  /// residual/norm chain run fused over all rows, attention per sequence
+  /// (see MultiHeadSelfAttention::ApplyBatched). Dropout is inference-mode
+  /// (identity). Writes [pack.total_rows(), d_model] into out. Const.
+  void ApplyBatched(const Mat& x, const RaggedPack& pack, ForwardArena* arena,
+                    int slot_base, Mat* out) const;
+
+  /// Packs int8 copies of the attention projections and the FFN weights.
+  void PrepareQuantized();
+
  private:
   MultiHeadSelfAttention mhsa_;
   Dropout drop1_;

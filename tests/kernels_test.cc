@@ -71,10 +71,45 @@ TEST(KernelDispatchTest, DispatchReturnsKnownBackend) {
 
 TEST(KernelDispatchTest, ForceScalarEnvSelectsScalar) {
   // Must run before anything in this process touches Kernels(): under ctest
-  // each TEST is its own process, so setting the env here is effective.
+  // each TEST is its own process, so setting the env here is effective. The
+  // legacy knob only applies while EMD_BACKEND is unset.
+  unsetenv("EMD_BACKEND");
   setenv("EMD_FORCE_SCALAR", "1", /*overwrite=*/1);
   EXPECT_TRUE(kernels::ForceScalar());
   EXPECT_STREQ(Kernels().name, "scalar");
+}
+
+TEST(KernelDispatchTest, BackendEnvScalarSelectsScalar) {
+  setenv("EMD_BACKEND", "scalar", /*overwrite=*/1);
+  EXPECT_EQ(kernels::SelectedBackend(), kernels::BackendSelect::kScalar);
+  EXPECT_FALSE(kernels::Int8Enabled());
+  EXPECT_STREQ(Kernels().name, "scalar");
+  EXPECT_STREQ(kernels::BackendName(), "scalar");
+}
+
+TEST(KernelDispatchTest, BackendEnvOverridesLegacyForceScalar) {
+  // EMD_BACKEND wins over the superseded EMD_FORCE_SCALAR knob.
+  setenv("EMD_FORCE_SCALAR", "1", /*overwrite=*/1);
+  setenv("EMD_BACKEND", "auto", /*overwrite=*/1);
+  EXPECT_EQ(kernels::SelectedBackend(), kernels::BackendSelect::kAuto);
+  EXPECT_FALSE(kernels::Int8Enabled());
+}
+
+TEST(KernelDispatchTest, BackendEnvInt8EnablesQuantizedInference) {
+  setenv("EMD_BACKEND", "int8", /*overwrite=*/1);
+  EXPECT_EQ(kernels::SelectedBackend(), kernels::BackendSelect::kInt8);
+  EXPECT_TRUE(kernels::Int8Enabled());
+  // The fp32 table still resolves (int8 covers the GEMM layers only), but
+  // the reported backend is the quantized one.
+  EXPECT_TRUE(std::string(Kernels().name) == "scalar" ||
+              std::string(Kernels().name) == "avx2");
+  EXPECT_STREQ(kernels::BackendName(), "int8");
+}
+
+TEST(KernelDispatchTest, BackendEnvUnknownFallsBackToAuto) {
+  setenv("EMD_BACKEND", "tpu", /*overwrite=*/1);
+  EXPECT_EQ(kernels::SelectedBackend(), kernels::BackendSelect::kAuto);
+  EXPECT_FALSE(kernels::Int8Enabled());
 }
 
 TEST(KernelParityTest, MatMul) {

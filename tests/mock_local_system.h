@@ -49,6 +49,21 @@ class MockLocalSystem : public LocalEmdSystem {
   /// can be shared across worker lanes in parallel-pipeline tests.
   bool concurrent_safe() const override { return true; }
 
+  /// Opts the mock into the token-batched local stage: the Globalizer routes
+  /// whole batch-slot chunks through ProcessBatched instead of per-tweet
+  /// Process calls.
+  void set_batch_capable(bool on) { batch_capable_ = on; }
+  bool batch_capable() const override { return batch_capable_; }
+
+  void ProcessBatched(const std::vector<const std::vector<Token>*>& tweets,
+                      ForwardArena* arena,
+                      std::vector<LocalEmdResult>* results) override {
+    ++batched_calls_;
+    // The per-tweet fallback already produces bit-identical results; the
+    // override only exists to count batched entry-point invocations.
+    LocalEmdSystem::ProcessBatched(tweets, arena, results);
+  }
+
   LocalEmdResult Process(const std::vector<Token>& tokens) override {
     ++calls_;
     LocalEmdResult result;
@@ -91,11 +106,14 @@ class MockLocalSystem : public LocalEmdSystem {
   }
 
   int calls() const { return calls_; }
+  int batched_calls() const { return batched_calls_; }
 
  private:
   std::vector<Rule> rules_;
   int dim_;
+  bool batch_capable_ = false;
   std::atomic<int> calls_{0};
+  std::atomic<int> batched_calls_{0};
   std::string failpoint_name_ = "emd.mock.process";
 };
 

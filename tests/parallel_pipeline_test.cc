@@ -314,6 +314,108 @@ TEST(ParallelPipelineTest, UnsafeSystemWithWorkerReplicasFansOutAndMatches) {
   EXPECT_EQ(primary.calls(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Token-batched local stage (forward-pass planner) determinism
+// ---------------------------------------------------------------------------
+
+// Like ParallelStream but with an empty tweet and a one-token tweet mixed in,
+// so the ragged batch packer sees zero-length and minimal sequences.
+Dataset RaggedStream() {
+  Dataset d = ParallelStream();
+  d.name = "ragged";
+  d.tweets.push_back(MakeTweet(100, ""));
+  d.tweets.push_back(MakeTweet(101, "Beshear"));
+  d.tweets.push_back(MakeTweet(102, "quiet day on the feed"));
+  return d;
+}
+
+TEST(ParallelPipelineTest, TokenBatchedSerialMatchesPerTweetBitForBit) {
+  const Dataset d = RaggedStream();
+  constexpr int kDim = 16;
+  PhraseEmbedder pe(kDim, 8);
+
+  // Baseline: token batching disabled — the legacy per-tweet local stage and
+  // per-mention phrase embedding.
+  MockLocalSystem legacy_mock(StreamRules(), kDim);
+  GlobalizerOptions legacy_opt;
+  legacy_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  legacy_opt.token_batching = false;
+  Globalizer legacy(&legacy_mock, &pe, nullptr, legacy_opt);
+  RunResult lr = RunStream(&legacy, d, /*batch_size=*/5);
+
+  // Token-batched: whole batch slots go through ProcessBatched and the fused
+  // span-embedding GEMM. Output must be bit-identical.
+  MockLocalSystem batched_mock(StreamRules(), kDim);
+  batched_mock.set_batch_capable(true);
+  GlobalizerOptions batched_opt = legacy_opt;
+  batched_opt.token_batching = true;
+  Globalizer batched(&batched_mock, &pe, nullptr, batched_opt);
+  RunResult br = RunStream(&batched, d, /*batch_size=*/5);
+
+  EXPECT_GT(batched_mock.batched_calls(), 0)
+      << "batch-capable system should have taken the planner path";
+  ExpectIdentical(lr, br);
+  EXPECT_EQ(legacy_mock.calls(), batched_mock.calls());
+}
+
+TEST(ParallelPipelineTest, TokenBatchedParallelMatchesSerialBitForBit) {
+  const Dataset d = RaggedStream();
+  constexpr int kDim = 16;
+  PhraseEmbedder pe(kDim, 8);
+
+  MockLocalSystem serial_mock(StreamRules(), kDim);
+  GlobalizerOptions serial_opt;
+  serial_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  serial_opt.token_batching = false;
+  Globalizer serial(&serial_mock, &pe, nullptr, serial_opt);
+  RunResult sr = RunStream(&serial, d, /*batch_size=*/5);
+
+  MockLocalSystem parallel_mock(StreamRules(), kDim);
+  parallel_mock.set_batch_capable(true);
+  GlobalizerOptions parallel_opt = serial_opt;
+  parallel_opt.token_batching = true;
+  parallel_opt.num_threads = 4;
+  Globalizer parallel(&parallel_mock, &pe, nullptr, parallel_opt);
+  RunResult pr = RunStream(&parallel, d, /*batch_size=*/5);
+
+  EXPECT_GT(pr.local_lanes, 1) << "parallel run should have fanned out";
+  EXPECT_GT(parallel_mock.batched_calls(), 0);
+  ExpectIdentical(sr, pr);
+}
+
+TEST(ParallelPipelineTest, TokenBatchedWorkerReplicasFanOutAndMatch) {
+  const Dataset d = ParallelStream();
+  constexpr int kDim = 12;
+  PhraseEmbedder pe(kDim, 6);
+
+  UnsafeMock serial_mock(StreamRules(), kDim);
+  GlobalizerOptions serial_opt;
+  serial_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  serial_opt.token_batching = false;
+  Globalizer serial(&serial_mock, &pe, nullptr, serial_opt);
+  RunResult sr = RunStream(&serial, d, /*batch_size=*/6);
+
+  // Batch-capable replicas: each worker lane drives one contiguous chunk of
+  // the batch slot through its own replica's ProcessBatched.
+  UnsafeMock primary(StreamRules(), kDim);
+  UnsafeMock r0(StreamRules(), kDim), r1(StreamRules(), kDim),
+      r2(StreamRules(), kDim);
+  for (UnsafeMock* m : {&primary, &r0, &r1, &r2}) m->set_batch_capable(true);
+  GlobalizerOptions parallel_opt = serial_opt;
+  parallel_opt.token_batching = true;
+  parallel_opt.num_threads = 3;
+  Globalizer parallel(&primary, &pe, nullptr, parallel_opt);
+  parallel.set_worker_systems({&r0, &r1, &r2});
+  RunResult pr = RunStream(&parallel, d, /*batch_size=*/6);
+
+  EXPECT_EQ(pr.local_lanes, 3);
+  ExpectIdentical(sr, pr);
+  EXPECT_GT(r0.batched_calls() + r1.batched_calls() + r2.batched_calls(), 0);
+  EXPECT_EQ(r0.calls() + r1.calls() + r2.calls(),
+            static_cast<int>(d.tweets.size()));
+  EXPECT_EQ(primary.calls(), 0);
+}
+
 TEST(ParallelPipelineTest, SingleTweetBatchesStaySerial) {
   MockLocalSystem mock(StreamRules());
   GlobalizerOptions opt;
