@@ -12,6 +12,7 @@
 #include "core/framework_kit.h"
 #include "core/globalizer.h"
 #include "eval/metrics.h"
+#include "nn/kernels/kernels.h"
 #include "stream/datasets.h"
 
 namespace emd {
@@ -74,6 +75,7 @@ inline const std::vector<SystemKind>& AllSystems() {
 ///
 ///   {
 ///     "schema": "emd-bench-v1",
+///     "backend": "scalar" | "avx2" | "int8",
 ///     "results": [
 ///       {"name": ..., "iters": N, "ns_per_op": ...,
 ///        "throughput": ..., "throughput_unit": ...},
@@ -105,7 +107,10 @@ class BenchReporter {
       std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
       return false;
     }
-    out << "{\n  \"schema\": \"emd-bench-v1\",\n  \"results\": [\n";
+    // Every result file records which kernel backend produced it: a trend
+    // dashboard comparing runs must never mix scalar, avx2, and int8 numbers.
+    out << "{\n  \"schema\": \"emd-bench-v1\",\n  \"backend\": \""
+        << kernels::BackendName() << "\",\n  \"results\": [\n";
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       out << "    {\"name\": \"" << EscapeJson(e.name) << "\", \"iters\": "

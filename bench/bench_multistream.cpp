@@ -1,0 +1,517 @@
+// Multi-stream Globalizer service benchmark: N simultaneous topic streams
+// (default 128) behind one MultiStreamService, each with its own sharded
+// global candidate state (docs/SHARDING.md). Reports per-stream and
+// aggregate tweets/sec plus per-shard memory in emd-bench-v1 JSON
+// (BENCH_multistream.json) for CI trend tracking.
+//
+// Three assertions ride along; any failure exits 1:
+//   * determinism — a sharded, multi-threaded service produces per-stream
+//     mention digests identical to the single-shard serial pipeline;
+//   * noisy-neighbor isolation — a stream that floods its tiny memory budget
+//     evicts only its own candidates: every other stream records zero
+//     evictions and its output digest matches a solo run without the noisy
+//     neighbor in the process;
+//   * scale — the service sustains at least 100 simultaneous streams.
+//
+// Flags:
+//   --streams N   simultaneous streams (default 128, floor 100 enforced)
+//   --shards N    shards per stream's global state (default 4)
+//   --tweets N    tweets per stream (default 200)
+//   --smoke       tiny per-stream workload for CI smoke jobs (streams stay
+//                 at 128 — the scale assertion holds even in smoke)
+//   --out PATH    JSON output path (default BENCH_multistream.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/globalizer.h"
+#include "core/phrase_embedder.h"
+#include "emd/local_emd_system.h"
+#include "nn/matrix.h"
+#include "nn/planner.h"
+#include "stream/entity_catalog.h"
+#include "stream/multi_stream.h"
+#include "stream/tweet_generator.h"
+#include "util/rng.h"
+
+namespace emd {
+namespace {
+
+using BenchClock = std::chrono::steady_clock;
+
+double SecondsSince(BenchClock::time_point start) {
+  return std::chrono::duration<double>(BenchClock::now() - start).count();
+}
+
+// Deterministic deep local system (hash-seeded token embeddings through a
+// small GEMM chain, capitalized-run mentions). Frozen weights, so one
+// instance serves every stream concurrently.
+class SyntheticDeepSystem : public LocalEmdSystem {
+ public:
+  explicit SyntheticDeepSystem(int dim) : dim_(dim) {
+    Rng rng(1234);
+    for (Mat& w : weights_) {
+      w = Mat(dim_, dim_);
+      w.InitGaussian(&rng, 0.05f);
+    }
+  }
+
+  std::string name() const override { return "SyntheticDeep"; }
+  bool is_deep() const override { return true; }
+  bool concurrent_safe() const override { return true; }
+  int embedding_dim() const override { return dim_; }
+
+  LocalEmdResult Process(const std::vector<Token>& tokens) override {
+    LocalEmdResult result;
+    const int t_count = static_cast<int>(tokens.size());
+    Mat x(t_count, dim_);
+    for (int t = 0; t < t_count; ++t) EmbedToken(tokens[t], &x, t);
+    for (const Mat& w : weights_) x = MatMul(x, w);
+    result.token_embeddings = std::move(x);
+    FindMentions(tokens, &result.mentions);
+    return result;
+  }
+
+ private:
+  void EmbedToken(const Token& tok, Mat* x, int row) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : tok.text) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    Rng rng(h);
+    for (int j = 0; j < dim_; ++j) (*x)(row, j) = rng.NextFloat(-1.f, 1.f);
+  }
+
+  static void FindMentions(const std::vector<Token>& tokens,
+                           std::vector<TokenSpan>* mentions) {
+    size_t t = 0;
+    while (t < tokens.size()) {
+      if (!tokens[t].text.empty() && tokens[t].text[0] >= 'A' &&
+          tokens[t].text[0] <= 'Z') {
+        size_t end = t + 1;
+        while (end < tokens.size() && !tokens[end].text.empty() &&
+               tokens[end].text[0] >= 'A' && tokens[end].text[0] <= 'Z') {
+          ++end;
+        }
+        mentions->push_back({t, end});
+        t = end;
+      } else {
+        ++t;
+      }
+    }
+  }
+
+  int dim_;
+  Mat weights_[4];
+};
+
+/// Per-stream workloads: each stream draws from its own topic + generator
+/// seed and stamps its stream_id on every tweet.
+std::vector<std::vector<AnnotatedTweet>> MakeWorkloads(int streams,
+                                                       int per_stream) {
+  EntityCatalogOptions copt;
+  copt.entities_per_topic = 200;
+  copt.seed = 99;
+  const EntityCatalog catalog = EntityCatalog::Build(copt);
+  std::vector<std::vector<AnnotatedTweet>> workloads(streams);
+  for (int s = 0; s < streams; ++s) {
+    TweetGeneratorOptions gopt;
+    gopt.seed = 7 + static_cast<uint64_t>(s);
+    TweetGenerator gen(&catalog,
+                       static_cast<Topic>(s % static_cast<int>(Topic::kNumTopics)),
+                       gopt);
+    workloads[s].reserve(per_stream);
+    for (int i = 0; i < per_stream; ++i) {
+      AnnotatedTweet tweet = gen.Next();
+      tweet.stream_id = s;
+      workloads[s].push_back(std::move(tweet));
+    }
+  }
+  return workloads;
+}
+
+/// Order-sensitive digest of the final mention spans.
+uint64_t MentionDigest(const GlobalizerOutput& out) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& per_tweet : out.mentions) {
+    mix(per_tweet.size() + 0x9E37);
+    for (const TokenSpan& s : per_tweet) {
+      mix(s.begin);
+      mix(s.end + 0x100000);
+    }
+  }
+  return h;
+}
+
+/// Round-robin interleave: one tweet per stream per round, the arrival
+/// pattern of N live streams multiplexed through one socket front-end.
+std::vector<AnnotatedTweet> Interleave(
+    const std::vector<std::vector<AnnotatedTweet>>& workloads) {
+  std::vector<AnnotatedTweet> mixed;
+  size_t total = 0;
+  for (const auto& w : workloads) total += w.size();
+  mixed.reserve(total);
+  size_t round = 0;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (const auto& w : workloads) {
+      if (round < w.size()) {
+        mixed.push_back(w[round]);
+        any = true;
+      }
+    }
+    ++round;
+  }
+  return mixed;
+}
+
+struct ServiceConfig {
+  int shards = 1;
+  int threads = 1;
+};
+
+/// Feeds one interleave round per execution cycle (one tweet per live
+/// stream). Per-stream batch grouping is then independent of how many OTHER
+/// streams are in the service — which is what lets the isolation check
+/// compare a victim's output with and without a noisy neighbor present.
+void RunRounds(MultiStreamService* service,
+               const std::vector<std::vector<AnnotatedTweet>>& workloads) {
+  size_t max_rounds = 0;
+  for (const auto& w : workloads) max_rounds = std::max(max_rounds, w.size());
+  std::vector<AnnotatedTweet> round_batch;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    round_batch.clear();
+    for (const auto& w : workloads) {
+      if (round < w.size()) round_batch.push_back(w[round]);
+    }
+    const Status st = service->ProcessBatch(round_batch);
+    if (!st.ok()) {
+      std::fprintf(stderr, "ProcessBatch failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// Registers one stream per workload, feeds the interleaved mix in batches,
+/// finalizes every stream, and returns the per-stream digests.
+std::vector<uint64_t> RunService(
+    const std::vector<std::vector<AnnotatedTweet>>& workloads,
+    SyntheticDeepSystem* system, PhraseEmbedder* pe, ServiceConfig config,
+    double* seconds) {
+  GlobalizerOptions gopt;
+  gopt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  gopt.shard_count = config.shards;
+  gopt.num_threads = config.threads;
+  MultiStreamOptions mopt;
+  mopt.globalizer = gopt;
+
+  MultiStreamService service(mopt);
+  for (size_t s = 0; s < workloads.size(); ++s) {
+    service.RegisterStream("stream-" + std::to_string(s), system, pe, nullptr)
+        .value();
+  }
+
+  const std::vector<AnnotatedTweet> mixed = Interleave(workloads);
+  const size_t batch_size = 256;
+  const auto start = BenchClock::now();
+  for (size_t begin = 0; begin < mixed.size(); begin += batch_size) {
+    const size_t end = std::min(mixed.size(), begin + batch_size);
+    const Status st = service.ProcessBatch(
+        std::span<const AnnotatedTweet>(mixed.data() + begin, end - begin));
+    if (!st.ok()) {
+      std::fprintf(stderr, "ProcessBatch failed: %s\n", st.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  *seconds = SecondsSince(start);
+
+  std::vector<uint64_t> digests;
+  digests.reserve(workloads.size());
+  for (int s = 0; s < service.num_streams(); ++s) {
+    digests.push_back(MentionDigest(service.stream(s).Finalize().value()));
+  }
+  return digests;
+}
+
+}  // namespace
+}  // namespace emd
+
+int main(int argc, char** argv) {
+  using namespace emd;
+
+  bool smoke = false;
+  long streams = 128;
+  long shards = 4;
+  long tweets_per_stream = 200;
+  std::string out_path = "BENCH_multistream.json";
+  for (int i = 1; i < argc; ++i) {
+    auto long_flag = [&](const char* name, long* out, long floor) {
+      if (std::strcmp(argv[i], name) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        std::exit(2);
+      }
+      *out = std::strtol(argv[++i], nullptr, 10);
+      if (*out < floor) {
+        std::fprintf(stderr, "%s must be >= %ld\n", name, floor);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (long_flag("--streams", &streams, 1) ||
+               long_flag("--shards", &shards, 1) ||
+               long_flag("--tweets", &tweets_per_stream, 1)) {
+      // handled
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--streams N] [--shards N] "
+                   "[--tweets N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) tweets_per_stream = std::min(tweets_per_stream, 20L);
+  const int dim = smoke ? 32 : 64;
+
+  std::printf("multistream: %ld streams x %ld tweets, %ld shards, dim=%d\n",
+              streams, tweets_per_stream, shards, dim);
+
+  SyntheticDeepSystem system(dim);
+  PhraseEmbedder pe(dim, dim / 2);
+  bench::BenchReporter reporter;
+  reporter.Add("multistream/streams", streams, 0);
+  reporter.Add("multistream/shards", shards, 0);
+
+  // --- Determinism: sharded + threaded == single-shard serial, per stream.
+  {
+    const int check_streams = 4;
+    const auto workloads =
+        MakeWorkloads(check_streams, static_cast<int>(tweets_per_stream));
+    double ignored = 0;
+    const std::vector<uint64_t> reference =
+        RunService(workloads, &system, &pe, {/*shards=*/1, /*threads=*/1},
+                   &ignored);
+    const std::vector<uint64_t> sharded =
+        RunService(workloads, &system, &pe,
+                   {static_cast<int>(shards), /*threads=*/4}, &ignored);
+    for (int s = 0; s < check_streams; ++s) {
+      if (reference[s] != sharded[s]) {
+        std::fprintf(stderr,
+                     "FAIL: stream %d digest %016llx (shards=%ld, threads=4) "
+                     "!= %016llx (shards=1, serial)\n",
+                     s, static_cast<unsigned long long>(sharded[s]),
+                     shards, static_cast<unsigned long long>(reference[s]));
+        return 1;
+      }
+    }
+    std::printf("  determinism: %d streams digest-identical at shards=%ld "
+                "threads=4 vs shards=1 serial\n",
+                check_streams, shards);
+  }
+
+  // --- Throughput: all streams multiplexed through one service.
+  {
+    const auto workloads = MakeWorkloads(static_cast<int>(streams),
+                                         static_cast<int>(tweets_per_stream));
+    GlobalizerOptions gopt;
+    gopt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+    gopt.shard_count = static_cast<int>(shards);
+    gopt.num_threads = 4;
+    MultiStreamOptions mopt;
+    mopt.globalizer = gopt;
+    MultiStreamService service(mopt);
+    for (long s = 0; s < streams; ++s) {
+      service
+          .RegisterStream("stream-" + std::to_string(s), &system, &pe, nullptr)
+          .value();
+    }
+
+    const std::vector<AnnotatedTweet> mixed = Interleave(workloads);
+    const size_t batch_size = 256;
+    const auto start = BenchClock::now();
+    for (size_t begin = 0; begin < mixed.size(); begin += batch_size) {
+      const size_t end = std::min(mixed.size(), begin + batch_size);
+      const Status st = service.ProcessBatch(
+          std::span<const AnnotatedTweet>(mixed.data() + begin, end - begin));
+      if (!st.ok()) {
+        std::fprintf(stderr, "ProcessBatch failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+    const double seconds = SecondsSince(start);
+    const double aggregate_tps = mixed.size() / seconds;
+
+    const ServiceSnapshot snap = service.Snapshot();
+    if (snap.streams.size() < 100) {
+      std::fprintf(stderr, "FAIL: only %zu simultaneous streams (need 100+)\n",
+                   snap.streams.size());
+      return 1;
+    }
+
+    std::printf("  aggregate: %zu tweets across %ld streams in %.3fs = %8.1f "
+                "tweets/sec\n",
+                mixed.size(), streams, seconds, aggregate_tps);
+    reporter.Add("multistream/aggregate", static_cast<long>(mixed.size()),
+                 seconds * 1e9 / mixed.size(), aggregate_tps, "tweets/sec");
+
+    // Per-stream throughput: each stream's tweets over the shared wall
+    // clock (they ran multiplexed, not sequentially).
+    double min_tps = 1e100, max_tps = 0;
+    for (const StreamStats& s : snap.streams) {
+      const double tps = s.tweets / seconds;
+      min_tps = std::min(min_tps, tps);
+      max_tps = std::max(max_tps, tps);
+      reporter.Add("multistream/stream/" + s.name,
+                   static_cast<long>(s.tweets),
+                   s.tweets > 0 ? seconds * 1e9 / s.tweets : 0, tps,
+                   "tweets/sec");
+    }
+    std::printf("  per-stream: %.1f .. %.1f tweets/sec\n", min_tps, max_tps);
+    reporter.Add("multistream/stream_min", 1, 0, min_tps, "tweets/sec");
+    reporter.Add("multistream/stream_max", 1, 0, max_tps, "tweets/sec");
+
+    // Memory per shard index, aggregated across streams.
+    for (size_t sh = 0; sh < snap.shard_bytes.size(); ++sh) {
+      std::printf("  shard %zu: %lld candidates, %lld bytes\n", sh,
+                  static_cast<long long>(snap.shard_candidates[sh]),
+                  static_cast<long long>(snap.shard_bytes[sh]));
+      reporter.Add("multistream/shard/" + std::to_string(sh) + "/bytes", 1, 0,
+                   static_cast<double>(snap.shard_bytes[sh]), "bytes");
+      reporter.Add(
+          "multistream/shard/" + std::to_string(sh) + "/candidates", 1, 0,
+          static_cast<double>(snap.shard_candidates[sh]), "candidates");
+    }
+  }
+
+  // --- Noisy-neighbor isolation: stream 0 floods a tiny budget; everyone
+  // else must record zero evictions and identical output to a solo run.
+  {
+    const int victims = 3;
+    const int flood_factor = 8;
+    const auto workloads =
+        MakeWorkloads(victims + 1, static_cast<int>(tweets_per_stream));
+
+    // Solo reference: the victims in their own service, no noisy neighbor,
+    // fed one tweet per stream per cycle (same grouping as the mixed run).
+    std::vector<std::vector<AnnotatedTweet>> victim_only(
+        workloads.begin() + 1, workloads.end());
+    for (auto& w : victim_only) {
+      for (auto& t : w) t.stream_id -= 1;  // re-home to streams 0..victims-1
+    }
+    std::vector<uint64_t> solo;
+    {
+      GlobalizerOptions solo_opt;
+      solo_opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+      solo_opt.shard_count = static_cast<int>(shards);
+      MultiStreamOptions solo_mopt;
+      solo_mopt.globalizer = solo_opt;
+      MultiStreamService solo_service(solo_mopt);
+      for (int v = 0; v < victims; ++v) {
+        solo_service
+            .RegisterStream("victim-" + std::to_string(v), &system, &pe,
+                            nullptr)
+            .value();
+      }
+      RunRounds(&solo_service, victim_only);
+      for (int v = 0; v < victims; ++v) {
+        solo.push_back(MentionDigest(solo_service.stream(v).Finalize().value()));
+      }
+    }
+
+    // Mixed run: the noisy stream gets a starvation budget and a flooded
+    // workload; victims get a comfortable budget (governance on, never hit).
+    GlobalizerOptions gopt;
+    gopt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+    gopt.shard_count = static_cast<int>(shards);
+    MultiStreamOptions mopt;
+    mopt.globalizer = gopt;
+    MultiStreamService service(mopt);
+
+    // Budget sized to guarantee pressure: far below what even the smoke
+    // flood accumulates, so the eviction path always exercises.
+    GlobalizerOptions noisy_opt = gopt;
+    noisy_opt.memory.budget_bytes = 24 * 1024;
+    noisy_opt.memory.min_retain_tweets = 4;
+    service.RegisterStream("noisy", &system, &pe, nullptr, noisy_opt).value();
+    GlobalizerOptions victim_opt = gopt;
+    victim_opt.memory.budget_bytes = 1024ull * 1024 * 1024;
+    for (int v = 0; v < victims; ++v) {
+      service
+          .RegisterStream("victim-" + std::to_string(v), &system, &pe,
+                          nullptr, victim_opt)
+          .value();
+    }
+
+    std::vector<std::vector<AnnotatedTweet>> mixed_workloads;
+    std::vector<AnnotatedTweet> flood;
+    for (int rep = 0; rep < flood_factor; ++rep) {
+      for (const AnnotatedTweet& t : workloads[0]) flood.push_back(t);
+    }
+    mixed_workloads.push_back(std::move(flood));
+    for (int v = 0; v < victims; ++v) {
+      mixed_workloads.push_back(workloads[v + 1]);
+    }
+
+    RunRounds(&service, mixed_workloads);
+
+    const ServiceSnapshot snap = service.Snapshot();
+    const uint64_t noisy_evicted = snap.streams[0].evicted;
+    std::printf("  isolation: noisy stream evicted %llu candidates under "
+                "pressure\n",
+                static_cast<unsigned long long>(noisy_evicted));
+    if (noisy_evicted == 0) {
+      std::fprintf(stderr,
+                   "FAIL: noisy stream never hit its budget — the isolation "
+                   "assertion did not exercise eviction\n");
+      return 1;
+    }
+    for (int v = 0; v < victims; ++v) {
+      const StreamStats& s = snap.streams[v + 1];
+      if (s.evicted != 0) {
+        std::fprintf(stderr,
+                     "FAIL: victim stream '%s' recorded %llu evictions — "
+                     "noisy neighbor leaked across stream isolation\n",
+                     s.name.c_str(),
+                     static_cast<unsigned long long>(s.evicted));
+        return 1;
+      }
+      const uint64_t digest =
+          MentionDigest(service.stream(v + 1).Finalize().value());
+      if (digest != solo[v]) {
+        std::fprintf(stderr,
+                     "FAIL: victim stream '%s' output changed under a noisy "
+                     "neighbor (digest %016llx != solo %016llx)\n",
+                     s.name.c_str(), static_cast<unsigned long long>(digest),
+                     static_cast<unsigned long long>(solo[v]));
+        return 1;
+      }
+    }
+    std::printf("  isolation: %d victim streams: zero evictions, digests "
+                "identical to solo runs\n",
+                victims);
+    reporter.Add("multistream/isolation/noisy_evicted", 1, 0,
+                 static_cast<double>(noisy_evicted), "candidates");
+    reporter.Add("multistream/isolation/victim_evicted", victims, 0, 0,
+                 "candidates");
+  }
+
+  if (!reporter.WriteJson(out_path)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

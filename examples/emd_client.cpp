@@ -5,6 +5,8 @@
 //   ./build/examples/emd_client --port N [flags]
 //     --host ADDR        server address (default 127.0.0.1)
 //     --client-id ID     fairness identity sent in HELLO (default "cli")
+//     --stream NAME      route tweets to a named topic stream (HELLO field;
+//                        requires a server started with --streams)
 //     --count N          submit N synthetic tweets instead of reading stdin
 //     --deadline-ms N    per-tweet processing deadline (0 = none)
 //     --max-attempts N   submission attempts per tweet (default 5)
@@ -24,7 +26,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --port N [--host ADDR] [--client-id ID] "
-               "[--count N] [--deadline-ms N] [--max-attempts N]\n",
+               "[--stream NAME] [--count N] [--deadline-ms N] "
+               "[--max-attempts N]\n",
                argv0);
   return 2;
 }
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   long max_attempts = 5;
   std::string host = "127.0.0.1";
   std::string client_id = "cli";
+  std::string stream;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -74,6 +78,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--client-id") == 0) {
       if (i + 1 >= argc) return Usage(argv[0]);
       client_id = argv[++i];
+    } else if (std::strcmp(arg, "--stream") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      stream = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage(argv[0]);
@@ -85,6 +92,7 @@ int main(int argc, char** argv) {
   options.host = host;
   options.port = static_cast<uint16_t>(port);
   options.client_id = client_id;
+  options.stream = stream;
   Result<net::BlockingClient> client = net::BlockingClient::Connect(options);
   if (!client.ok()) {
     std::fprintf(stderr, "cannot connect: %s\n",

@@ -22,16 +22,24 @@
 //     --reclassify-interval N re-score ambiguous candidates every N batches
 //     --backend NAME       kernel backend (auto|scalar|avx2|int8); shorthand
 //                          for EMD_BACKEND=NAME, applied before dispatch
+//     --shards N           shard the global candidate state N ways (see
+//                          docs/SHARDING.md; default 1, output-identical)
+//     --streams a,b,c      host one isolated pipeline per named topic stream
+//                          (clients pick theirs with emd_client --stream);
+//                          --checkpoint then names a directory holding one
+//                          checkpoint per stream
 //
 // Kill-and-resume: run with --checkpoint s.ckpt, SIGTERM it mid-stream,
 // restart with --checkpoint s.ckpt --resume; no admitted tweet is lost.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/framework_kit.h"
 #include "core/globalizer.h"
@@ -39,6 +47,7 @@
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "stream/dead_letter.h"
+#include "stream/multi_stream.h"
 #include "util/file_io.h"
 
 using namespace emd;
@@ -62,9 +71,26 @@ int Usage(const char* argv0) {
                "  --reclassify-interval N re-score ambiguous candidates every "
                "N batches\n"
                "  --backend NAME       kernel backend: auto|scalar|avx2|int8 "
-               "(same as EMD_BACKEND)\n",
+               "(same as EMD_BACKEND)\n"
+               "  --shards N           shard the global candidate state N "
+               "ways\n"
+               "  --streams a,b,c      host one isolated pipeline per named "
+               "topic stream\n",
                argv0);
   return 2;
+}
+
+std::vector<std::string> SplitCommas(const std::string& csv) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) parts.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
 }
 
 bool ParseLong(const char* s, long* out) {
@@ -85,6 +111,8 @@ int main(int argc, char** argv) {
   long memory_budget_mb = 0;
   long decay_half_life = 0;
   long reclassify_interval = 0;
+  long shards = 1;
+  std::string streams_csv;
   std::string checkpoint_path;
   std::string dlq_path;
   std::string metrics_out;
@@ -141,6 +169,14 @@ int main(int argc, char** argv) {
       // first kernel call resolves the dispatch (the selector is read once).
       if (i + 1 >= argc) return Usage(argv[0]);
       ::setenv("EMD_BACKEND", argv[++i], /*overwrite=*/1);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      if (i + 1 >= argc || !ParseLong(argv[++i], &shards) || shards <= 0) {
+        std::fprintf(stderr, "--shards requires a count >= 1\n");
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--streams") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      streams_csv = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage(argv[0]);
@@ -166,9 +202,27 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(decay_half_life);
   goptions.memory.reclassify_interval_batches =
       static_cast<uint64_t>(reclassify_interval);
-  Globalizer globalizer(kit.system(kind), kit.phrase_embedder(kind),
-                        kit.classifier(kind), goptions);
-  globalizer.set_fallback_system(kit.system(SystemKind::kNpChunker));
+  goptions.shard_count = static_cast<int>(shards);
+
+  // One isolated pipeline per topic stream, all behind the same socket.
+  // Without --streams the service hosts a single "default" stream, which is
+  // exactly the historical single-Globalizer deployment.
+  const bool multi = !streams_csv.empty();
+  std::vector<std::string> stream_names =
+      multi ? SplitCommas(streams_csv) : std::vector<std::string>{"default"};
+  MultiStreamOptions moptions;
+  moptions.globalizer = goptions;
+  MultiStreamService service(moptions);
+  for (const std::string& name : stream_names) {
+    Result<int> sid = service.RegisterStream(name, kit.system(kind),
+                                             kit.phrase_embedder(kind),
+                                             kit.classifier(kind));
+    if (!sid.ok()) {
+      std::fprintf(stderr, "cannot register stream '%s': %s\n", name.c_str(),
+                   sid.status().ToString().c_str());
+      return 1;
+    }
+  }
 
   std::optional<DeadLetterQueue> dlq;
   if (!dlq_path.empty()) {
@@ -179,26 +233,41 @@ int main(int argc, char** argv) {
       return 1;
     }
     dlq.emplace(std::move(opened).value());
-    globalizer.set_dead_letter_queue(&*dlq);
+  }
+  for (int sid = 0; sid < service.num_streams(); ++sid) {
+    service.stream(sid).set_fallback_system(kit.system(SystemKind::kNpChunker));
+    if (dlq.has_value()) service.stream(sid).set_dead_letter_queue(&*dlq);
   }
 
   if (resume) {
-    const Status st = globalizer.RestoreCheckpoint(checkpoint_path);
+    // Multi-stream checkpoints are a directory (one file per stream);
+    // single-stream keeps the historical one-file contract.
+    const Status st =
+        multi ? service.RestoreCheckpoints(checkpoint_path)
+              : service.stream(0).RestoreCheckpoint(checkpoint_path);
     if (!st.ok()) {
       std::fprintf(stderr, "cannot resume: %s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("Resumed from %s at tweet cursor %zu\n", checkpoint_path.c_str(),
-                globalizer.processed_tweets());
+    for (int sid = 0; sid < service.num_streams(); ++sid) {
+      std::printf("Resumed stream '%s' from %s at tweet cursor %zu\n",
+                  service.stream_name(sid).c_str(), checkpoint_path.c_str(),
+                  service.stream(sid).processed_tweets());
+    }
   }
 
   net::ServingPipeline pipeline;
   pipeline.process_batch = [&](std::span<const AnnotatedTweet> batch) {
-    return globalizer.ProcessBatch(batch);
+    return service.ProcessBatch(batch);
+  };
+  pipeline.resolve_stream = [&](std::string_view name) {
+    return service.ResolveStream(name);
   };
   if (!checkpoint_path.empty()) {
-    pipeline.checkpoint = [&] {
-      return globalizer.SaveCheckpoint(checkpoint_path);
+    pipeline.checkpoint = [&]() -> Status {
+      if (!multi) return service.stream(0).SaveCheckpoint(checkpoint_path);
+      EMD_RETURN_IF_ERROR(CreateDirs(checkpoint_path));
+      return service.SaveCheckpoints(checkpoint_path);
     };
   }
   pipeline.dead_letter = [&](const AnnotatedTweet& tweet,
@@ -213,8 +282,13 @@ int main(int argc, char** argv) {
   // The admission edge polls pipeline memory pressure on every Offer: soft
   // pressure tightens the watermark, hard pressure sheds every tweet with
   // RETRY_AFTER reason=memory_pressure instead of letting the pipeline OOM.
-  options.admission.memory_pressure = [&globalizer] {
-    return static_cast<int>(globalizer.memory_pressure());
+  options.admission.memory_pressure = [&service] {
+    int worst = 0;
+    for (int sid = 0; sid < service.num_streams(); ++sid) {
+      worst = std::max(worst,
+                       static_cast<int>(service.stream(sid).memory_pressure()));
+    }
+    return worst;
   };
 
   net::Server server(std::move(pipeline), options);
@@ -224,7 +298,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   server.InstallDrainHandler();
-  globalizer.set_ingest_queue(&server.queue());
+  for (int sid = 0; sid < service.num_streams(); ++sid) {
+    service.stream(sid).set_ingest_queue(&server.queue());
+  }
   std::printf("emd_server listening on port %u (SIGTERM drains gracefully)\n",
               server.port());
   std::fflush(stdout);
@@ -250,8 +326,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<GlobalizerOutput> out = globalizer.Finalize();
-  if (out.ok()) std::printf("%s\n", out->ResilienceSummary().c_str());
+  const ServiceSnapshot snap_stats = service.Snapshot();
+  for (const StreamStats& s : snap_stats.streams) {
+    std::printf("stream '%s': tweets=%llu candidates=%d bytes=%zu "
+                "evicted=%llu\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.tweets),
+                s.live_candidates, s.approx_bytes,
+                static_cast<unsigned long long>(s.evicted));
+  }
+  for (int sid = 0; sid < service.num_streams(); ++sid) {
+    Result<GlobalizerOutput> out = service.stream(sid).Finalize();
+    if (out.ok()) {
+      std::printf("[%s] %s\n", service.stream_name(sid).c_str(),
+                  out->ResilienceSummary().c_str());
+    }
+  }
 
   if (!metrics_out.empty()) {
     const obs::MetricsSnapshot snap = obs::Metrics().Snapshot();

@@ -24,6 +24,11 @@
 #                                  # decay, eviction, checkpoint v4 tests) and
 #                                  # a bench_memory_soak smoke run asserting
 #                                  # budget, RSS plateau, and F1 bounds
+#   scripts/check.sh --shard       # additionally the shard label (router,
+#                                  # cross-shard determinism, checkpoint v5,
+#                                  # multi-stream isolation) and a short
+#                                  # bench_multistream run asserting 100+
+#                                  # streams and noisy-neighbor isolation
 #
 # Run from the repository root.
 set -euo pipefail
@@ -38,6 +43,7 @@ KERNELS=0
 QUANT=0
 SERVING=0
 MEMORY=0
+SHARD=0
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
@@ -48,6 +54,7 @@ for arg in "$@"; do
     --quant) QUANT=1 ;;
     --serving) SERVING=1 ;;
     --memory) MEMORY=1 ;;
+    --shard) SHARD=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -74,7 +81,7 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DEMD_TSAN=ON
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -L 'parallel|resilience|obs|kernels|net|memory'
+    -L 'parallel|resilience|obs|kernels|net|memory|shard'
 fi
 
 if [[ "$SERVING" == 1 ]]; then
@@ -93,6 +100,15 @@ if [[ "$MEMORY" == 1 ]]; then
   # of the unbounded baseline.
   ctest --test-dir build --output-on-failure -L memory
   ./build/bench/bench_memory_soak --smoke --out build/BENCH_memory.json
+fi
+
+if [[ "$SHARD" == 1 ]]; then
+  # The sharded multi-stream service: router/determinism/checkpoint-v5/
+  # isolation tests, then a short bench_multistream run that must hold the
+  # shards-vs-single-shard digest equality, sustain 100+ simultaneous
+  # streams, and prove a noisy neighbour cannot perturb a victim stream.
+  ctest --test-dir build --output-on-failure -L shard
+  ./build/bench/bench_multistream --smoke --out build/BENCH_multistream.json
 fi
 
 if [[ "$KERNELS" == 1 ]]; then

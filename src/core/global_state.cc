@@ -1,0 +1,311 @@
+#include "core/global_state.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace emd {
+
+ShardedGlobalState::ShardedGlobalState(int shard_count)
+    : router_(shard_count), shards_(shard_count) {}
+
+int ShardedGlobalState::InsertFolded(const std::vector<std::string>& folded,
+                                     std::string key) {
+  const int shard = router_.ShardOfFolded(key);
+  Shard& sh = shards_[shard];
+  const int local = sh.trie.Insert(folded);
+  if (local == static_cast<int>(sh.local_to_gid.size())) {
+    // Freshly discovered candidate: next gid in global discovery order.
+    const int gid = static_cast<int>(gids_.size());
+    gids_.push_back({shard, local});
+    sh.local_to_gid.push_back(gid);
+    return gid;
+  }
+  return sh.local_to_gid[local];
+}
+
+int ShardedGlobalState::Insert(const std::vector<Token>& tokens,
+                               const TokenSpan& span) {
+  EMD_CHECK_LE(span.end, tokens.size());
+  EMD_CHECK_LT(span.begin, span.end);
+  std::vector<std::string> folded;
+  folded.reserve(span.length());
+  std::string key;
+  for (size_t t = span.begin; t < span.end; ++t) {
+    folded.push_back(ToLowerAscii(tokens[t].text));
+    if (!key.empty()) key += ' ';
+    key += folded.back();
+  }
+  return InsertFolded(folded, std::move(key));
+}
+
+int ShardedGlobalState::Insert(const std::vector<std::string>& words) {
+  EMD_CHECK(!words.empty());
+  std::vector<std::string> folded;
+  folded.reserve(words.size());
+  std::string key;
+  for (const auto& w : words) {
+    folded.push_back(ToLowerAscii(w));
+    if (!key.empty()) key += ' ';
+    key += folded.back();
+  }
+  return InsertFolded(folded, std::move(key));
+}
+
+int ShardedGlobalState::Find(const std::vector<std::string>& words) const {
+  if (words.empty()) return CTrie::kNoCandidate;
+  std::string key;
+  for (const auto& w : words) {
+    if (!key.empty()) key += ' ';
+    key += ToLowerAscii(w);
+  }
+  const Shard& sh = shards_[router_.ShardOfFolded(key)];
+  const int local = sh.trie.Find(words);
+  return local == CTrie::kNoCandidate ? CTrie::kNoCandidate
+                                      : sh.local_to_gid[local];
+}
+
+int ShardedGlobalState::AppendTombstone() {
+  // Tombstones carry no key, so they have no hash home; shard 0 hosts them —
+  // which is also where the unsharded layout kept every id.
+  Shard& sh = shards_[0];
+  const int local = sh.trie.AppendTombstone();
+  EMD_CHECK_EQ(local, static_cast<int>(sh.local_to_gid.size()));
+  const int gid = static_cast<int>(gids_.size());
+  gids_.push_back({0, local});
+  sh.local_to_gid.push_back(gid);
+  return gid;
+}
+
+std::vector<ExtractedMention> ShardedGlobalState::Extract(
+    const std::vector<Token>& tokens) const {
+  std::vector<ExtractedMention> out;
+  const size_t T = tokens.size();
+  const size_t S = shards_.size();
+  // One fold per token position, shared by every shard cursor; Step() sees an
+  // already-folded view and never touches its own scratch.
+  std::string fold_scratch;
+  std::string step_scratch;
+  std::vector<int> nodes(S);
+  size_t i = 0;
+  while (i < T) {
+    // Widen the scan window from position i along one trie path per shard,
+    // recording the longest window that terminates a candidate in any shard
+    // (§V-A). A given phrase is registered in exactly one shard, so at most
+    // one cursor terminates per window length — the union scan is equivalent
+    // to the single-trie scan.
+    for (size_t s = 0; s < S; ++s) nodes[s] = shards_[s].trie.root();
+    size_t live = S;
+    size_t best_end = 0;
+    int best_shard = -1;
+    int best_local = CTrie::kNoCandidate;
+    size_t j = i;
+    while (j < T && live > 0) {
+      const std::string_view folded =
+          ToLowerAsciiView(tokens[j].text, &fold_scratch);
+      for (size_t s = 0; s < S; ++s) {
+        if (nodes[s] == CTrie::kNoNode) continue;
+        nodes[s] = shards_[s].trie.Step(nodes[s], folded, &step_scratch);
+        if (nodes[s] == CTrie::kNoNode) {
+          --live;
+          continue;
+        }
+        const int cand = shards_[s].trie.CandidateAt(nodes[s]);
+        if (cand != CTrie::kNoCandidate) {
+          best_end = j + 1;
+          best_shard = static_cast<int>(s);
+          best_local = cand;
+        }
+      }
+      ++j;
+    }
+    if (best_local != CTrie::kNoCandidate) {
+      out.push_back({{i, best_end}, shards_[best_shard].local_to_gid[best_local]});
+      i = best_end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+int ShardedGlobalState::num_live_candidates() const {
+  int live = 0;
+  for (const Shard& sh : shards_) live += sh.trie.num_live_candidates();
+  return live;
+}
+
+bool ShardedGlobalState::IsTombstone(int gid) const {
+  const GidRef r = ref(gid);
+  return shards_[r.shard].trie.IsTombstone(r.local);
+}
+
+const std::string& ShardedGlobalState::CandidateKey(int gid) const {
+  const GidRef r = ref(gid);
+  return shards_[r.shard].trie.CandidateKey(r.local);
+}
+
+int ShardedGlobalState::CandidateLength(int gid) const {
+  const GidRef r = ref(gid);
+  return shards_[r.shard].trie.CandidateLength(r.local);
+}
+
+int ShardedGlobalState::max_candidate_length() const {
+  int max_len = 0;
+  for (const Shard& sh : shards_) {
+    max_len = std::max(max_len, sh.trie.max_candidate_length());
+  }
+  return max_len;
+}
+
+int ShardedGlobalState::ShardOf(int gid) const { return ref(gid).shard; }
+
+GidRef ShardedGlobalState::ref(int gid) const {
+  EMD_CHECK_GE(gid, 0);
+  EMD_CHECK_LT(gid, static_cast<int>(gids_.size()));
+  return gids_[gid];
+}
+
+CandidateRecord& ShardedGlobalState::GetOrCreate(int gid) {
+  const GidRef r = ref(gid);
+  Shard& sh = shards_[r.shard];
+  return sh.candidates.GetOrCreate(r.local, sh.trie.CandidateKey(r.local),
+                                   sh.trie.CandidateLength(r.local));
+}
+
+CandidateRecord& ShardedGlobalState::GetOrCreate(int gid,
+                                                 const std::string& key,
+                                                 int num_tokens) {
+  const GidRef r = ref(gid);
+  return shards_[r.shard].candidates.GetOrCreate(r.local, key, num_tokens);
+}
+
+CandidateRecord& ShardedGlobalState::at(int gid) {
+  const GidRef r = ref(gid);
+  return shards_[r.shard].candidates.at(r.local);
+}
+
+const CandidateRecord& ShardedGlobalState::at(int gid) const {
+  const GidRef r = ref(gid);
+  return shards_[r.shard].candidates.at(r.local);
+}
+
+bool ShardedGlobalState::Contains(int gid) const {
+  if (gid < 0 || gid >= static_cast<int>(gids_.size())) return false;
+  const GidRef r = gids_[gid];
+  return shards_[r.shard].candidates.Contains(r.local);
+}
+
+void ShardedGlobalState::AddMention(int gid, const MentionRef& mention,
+                                    const Mat& local_emb) {
+  const GidRef r = ref(gid);
+  shards_[r.shard].candidates.AddMention(r.local, mention, local_emb);
+}
+
+void ShardedGlobalState::Evict(int gid) {
+  const GidRef r = ref(gid);
+  shards_[r.shard].candidates.Evict(r.local);
+}
+
+int ShardedGlobalState::Prune(int gid) {
+  const GidRef r = ref(gid);
+  return shards_[r.shard].trie.Prune(r.local);
+}
+
+CandidateLabel ShardedGlobalState::EvictedLabel(int gid) const {
+  if (gid < 0 || gid >= static_cast<int>(gids_.size())) {
+    return CandidateLabel::kUnlabeled;
+  }
+  const GidRef r = gids_[gid];
+  return shards_[r.shard].candidates.EvictedLabel(r.local);
+}
+
+bool ShardedGlobalState::WasEvicted(int gid) const {
+  if (gid < 0 || gid >= static_cast<int>(gids_.size())) return false;
+  const GidRef r = gids_[gid];
+  return shards_[r.shard].candidates.WasEvicted(r.local);
+}
+
+void ShardedGlobalState::SetEvictedLabel(int gid, CandidateLabel label) {
+  const GidRef r = ref(gid);
+  shards_[r.shard].candidates.SetEvictedLabel(r.local, label);
+}
+
+size_t ShardedGlobalState::num_evicted() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.candidates.num_evicted();
+  return n;
+}
+
+void ShardedGlobalState::set_decay_half_life(uint64_t half_life_tweets) {
+  for (Shard& sh : shards_) sh.candidates.set_decay_half_life(half_life_tweets);
+}
+
+void ShardedGlobalState::set_retain_mention_embeddings(bool retain) {
+  for (Shard& sh : shards_) sh.candidates.set_retain_mention_embeddings(retain);
+}
+
+size_t ShardedGlobalState::ApproxBytes() const {
+  size_t bytes = 0;
+  for (int s = 0; s < shard_count(); ++s) bytes += ShardApproxBytes(s);
+  return bytes;
+}
+
+size_t ShardedGlobalState::ShardApproxBytes(int shard) const {
+  EMD_CHECK_GE(shard, 0);
+  EMD_CHECK_LT(shard, shard_count());
+  const Shard& sh = shards_[shard];
+  return sh.trie.ApproxBytes() + sh.candidates.ApproxBytes() +
+         sh.local_to_gid.capacity() * sizeof(int);
+}
+
+int ShardedGlobalState::ShardLiveCandidates(int shard) const {
+  EMD_CHECK_GE(shard, 0);
+  EMD_CHECK_LT(shard, shard_count());
+  return shards_[shard].trie.num_live_candidates();
+}
+
+const CTrie& ShardedGlobalState::shard_trie(int shard) const {
+  EMD_CHECK_GE(shard, 0);
+  EMD_CHECK_LT(shard, shard_count());
+  return shards_[shard].trie;
+}
+
+const CandidateBase& ShardedGlobalState::shard_candidates(int shard) const {
+  EMD_CHECK_GE(shard, 0);
+  EMD_CHECK_LT(shard, shard_count());
+  return shards_[shard].candidates;
+}
+
+CandidateBase& ShardedGlobalState::mutable_shard_candidates(int shard) {
+  EMD_CHECK_GE(shard, 0);
+  EMD_CHECK_LT(shard, shard_count());
+  return shards_[shard].candidates;
+}
+
+void ShardedGlobalState::UpdateShardGauges() {
+  if (shard_candidate_gauges_.empty()) {
+    shard_candidate_gauges_.resize(shards_.size());
+    shard_byte_gauges_.resize(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const obs::Label label{"shard", std::to_string(s)};
+      shard_candidate_gauges_[s] = obs::Metrics().GetGauge(
+          "emd_shard_candidates",
+          "Live candidates homed in this shard of the global state", label);
+      shard_byte_gauges_[s] = obs::Metrics().GetGauge(
+          "emd_shard_bytes",
+          "Approximate heap bytes held by this shard (trie + records)", label);
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_candidate_gauges_[s]->Set(ShardLiveCandidates(static_cast<int>(s)));
+    shard_byte_gauges_[s]->Set(
+        static_cast<int64_t>(ShardApproxBytes(static_cast<int>(s))));
+  }
+}
+
+}  // namespace emd

@@ -1,0 +1,164 @@
+// ShardedGlobalState — the global candidate state of §IV/§V partitioned into
+// shard-local slices (docs/SHARDING.md).
+//
+// Each shard owns one CTrie + one CandidateBase; a candidate lives in exactly
+// one shard, chosen by ShardRouter over its case-folded key. Callers address
+// candidates through *global ids* (gids) assigned in discovery order — the
+// same dense id sequence the unsharded CTrie would have produced — so
+// pooling order, classification order, eviction victim order, and therefore
+// every emitted label are bit-identical at any shard count. A gid→(shard,
+// local id) index translates between the two spaces.
+//
+// Concurrency contract: registration (Insert / GetOrCreate / AppendTombstone)
+// and structural mutation (Evict / Prune) require the single-writer batch
+// barrier, exactly like the unsharded CTrie. Extract() is read-only and safe
+// from worker threads. AddMention(gid) mutates only the owning shard, so the
+// Globalizer's shard-aware merge may pool different shards from different
+// workers concurrently as long as no two workers touch the same shard.
+
+#ifndef EMD_CORE_GLOBAL_STATE_H_
+#define EMD_CORE_GLOBAL_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/candidate_base.h"
+#include "core/ctrie.h"
+#include "core/mention_extractor.h"
+#include "core/shard_router.h"
+#include "text/token.h"
+
+namespace emd {
+
+namespace obs {
+class Gauge;
+}  // namespace obs
+
+/// Location of a gid inside the shard set.
+struct GidRef {
+  int32_t shard = -1;
+  int32_t local = -1;  // candidate id inside the shard's CTrie/CandidateBase
+};
+
+/// Candidate-keyed sharded global state: N × (CTrie + CandidateBase) behind a
+/// gid-addressed facade that is drop-in equivalent to the single pair.
+class ShardedGlobalState {
+ public:
+  explicit ShardedGlobalState(int shard_count = 1);
+
+  int shard_count() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
+
+  // --- Registration (single-writer) -------------------------------------
+
+  /// Registers the case-folded phrase under `span`, routing it to its shard.
+  /// Returns the gid; re-inserting an existing phrase returns its gid.
+  int Insert(const std::vector<Token>& tokens, const TokenSpan& span);
+
+  /// Registers an explicit word sequence (folded internally).
+  int Insert(const std::vector<std::string>& words);
+
+  /// Looks up a full phrase; returns its gid or CTrie::kNoCandidate.
+  int Find(const std::vector<std::string>& words) const;
+
+  /// Restore-path only: appends a tombstoned gid (homed in shard 0, like the
+  /// unsharded layout) so a checkpointed id space with holes rebuilds
+  /// exactly. Returns the gid.
+  int AppendTombstone();
+
+  // --- Extraction (read-only, thread-safe) ------------------------------
+
+  /// Longest-match candidate scan across all shards (§V-A): walks one trie
+  /// cursor per shard in lockstep and keeps the longest terminal match. A
+  /// phrase's folded key lives in exactly one shard, so the result equals a
+  /// single-trie scan over the union — mentions carry gids.
+  std::vector<ExtractedMention> Extract(const std::vector<Token>& tokens) const;
+
+  // --- Gid-level lookups -------------------------------------------------
+
+  /// Total gids ever assigned, including tombstones (dense id space bound).
+  int num_candidates() const { return static_cast<int>(gids_.size()); }
+  /// Live (non-tombstoned) candidates across all shards.
+  int num_live_candidates() const;
+  bool IsTombstone(int gid) const;
+  /// Case-folded surface string (empty for a pruned gid).
+  const std::string& CandidateKey(int gid) const;
+  /// Token count (0 for a pruned gid).
+  int CandidateLength(int gid) const;
+  /// Longest registered candidate across shards (scan window bound of §V-A).
+  int max_candidate_length() const;
+  /// Shard owning `gid`.
+  int ShardOf(int gid) const;
+  GidRef ref(int gid) const;
+
+  // --- Candidate records (gid-addressed CandidateBase facade) ------------
+
+  /// Ensures a record exists for `gid` (key/len read from the owning trie).
+  CandidateRecord& GetOrCreate(int gid);
+  /// Restore-path variant with an explicit key (the trie is already built).
+  CandidateRecord& GetOrCreate(int gid, const std::string& key, int num_tokens);
+  CandidateRecord& at(int gid);
+  const CandidateRecord& at(int gid) const;
+  bool Contains(int gid) const;
+  /// Adds a mention + pools its embedding. Mutates only the owning shard.
+  void AddMention(int gid, const MentionRef& mention, const Mat& local_emb);
+  /// Frees the record, preserving its final label in the shard's side table.
+  void Evict(int gid);
+  /// Prunes the phrase from its owning trie; returns trie nodes freed.
+  int Prune(int gid);
+  CandidateLabel EvictedLabel(int gid) const;
+  bool WasEvicted(int gid) const;
+  void SetEvictedLabel(int gid, CandidateLabel label);
+  size_t num_evicted() const;
+
+  // --- Configuration fan-out ---------------------------------------------
+
+  void set_decay_half_life(uint64_t half_life_tweets);
+  void set_retain_mention_embeddings(bool retain);
+  bool retain_mention_embeddings() const {
+    return shards_[0].candidates.retain_mention_embeddings();
+  }
+
+  // --- Accounting & views -------------------------------------------------
+
+  /// Approximate heap bytes across all shards (tries + candidate records).
+  size_t ApproxBytes() const;
+  /// Approximate heap bytes held by one shard.
+  size_t ShardApproxBytes(int shard) const;
+  /// Live candidates homed in one shard.
+  int ShardLiveCandidates(int shard) const;
+
+  /// Direct shard views. Shard 0 backs the Globalizer's legacy ctrie() /
+  /// candidate_base() accessors — with shard_count=1 these are exactly the
+  /// historical single structures.
+  const CTrie& shard_trie(int shard) const;
+  const CandidateBase& shard_candidates(int shard) const;
+  CandidateBase& mutable_shard_candidates(int shard);
+
+  /// Publishes per-shard gauges (emd_shard_candidates / emd_shard_bytes,
+  /// labelled shard="<index>"). Called at the batch merge barrier.
+  void UpdateShardGauges();
+
+ private:
+  struct Shard {
+    CTrie trie;
+    CandidateBase candidates;
+    std::vector<int> local_to_gid;  // dense: local candidate id -> gid
+  };
+
+  /// Registers folded `words` (joined key precomputed) in their shard.
+  int InsertFolded(const std::vector<std::string>& folded, std::string key);
+
+  ShardRouter router_;
+  std::vector<Shard> shards_;
+  std::vector<GidRef> gids_;
+  // Lazily resolved per-shard gauges (registry owns the objects).
+  std::vector<obs::Gauge*> shard_candidate_gauges_;
+  std::vector<obs::Gauge*> shard_byte_gauges_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_GLOBAL_STATE_H_

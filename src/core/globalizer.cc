@@ -83,14 +83,15 @@ Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embe
       phrase_embedder_(phrase_embedder),
       classifier_(classifier),
       options_(options),
-      extractor_(&trie_),
-      governor_(&trie_, &candidates_, &tweets_, options.memory),
+      state_(options.shard_count),
+      governor_(&state_, &tweets_, options.memory),
       clock_(options.resilience.clock != nullptr ? options.resilience.clock
                                                  : Clock::Real()),
       retry_rng_(options.resilience.retry_seed),
       breaker_(options.resilience.breaker, clock_) {
   EMD_CHECK(system != nullptr);
-  candidates_.set_decay_half_life(options_.memory.decay_half_life_tweets);
+  EMD_CHECK_GE(options_.shard_count, 1);
+  state_.set_decay_half_life(options_.memory.decay_half_life_tweets);
   if (options_.mode != GlobalizerOptions::Mode::kLocalOnly && system_->is_deep()) {
     EMD_CHECK(phrase_embedder != nullptr)
         << "deep local EMD requires an Entity Phrase Embedder";
@@ -459,15 +460,15 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   ScopedPhase phase(&timers_, "global");
   EMD_TRACE_SPAN("ctrie_extract");
 
-  // Register this batch's seed candidates in the CTrie (single writer: the
-  // trie and CandidateBase only ever grow on this thread).
+  // Register this batch's seed candidates in the sharded global state
+  // (single writer: the tries and CandidateBases only ever grow on this
+  // thread). Gids come out in discovery order, identical at any shard count.
   for (size_t i = first_index; i < tweets_.size(); ++i) {
     TweetRecord& record = tweets_.at(i);
     if (record.quarantined) continue;
     for (RecordedMention& m : record.mentions) {
-      m.candidate_id = trie_.Insert(record.tokens, m.span);
-      candidates_.GetOrCreate(m.candidate_id, trie_.CandidateKey(m.candidate_id),
-                              trie_.CandidateLength(m.candidate_id));
+      m.candidate_id = state_.Insert(record.tokens, m.span);
+      state_.GetOrCreate(m.candidate_id);
     }
   }
 
@@ -497,7 +498,7 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
         const TweetRecord& record = tweets_.at(first_index + idx);
         if (record.quarantined) return;
         ExtractStage& stage = staged[idx];
-        stage.extracted = extractor_.Extract(record.tokens);
+        stage.extracted = state_.Extract(record.tokens);
         stage.embeddings.reserve(stage.extracted.size());
         if (batch_embed && !stage.extracted.empty() &&
             record.token_embeddings.cols() == phrase_embedder_->in_dim()) {
@@ -537,9 +538,26 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
         }
       });
 
-  // Deterministic merge barrier: pool extracted mentions into the
-  // CandidateBase in tweet order — incremental pooling order (and thus every
-  // global embedding, bit for bit) matches the serial pipeline.
+  // Shard-aware deterministic merge barrier. Phase A walks the batch in
+  // tweet order — counters, the longest-match rewrite of each record's
+  // mention list, record creation — and queues every (gid, mention,
+  // embedding) pooling op into its candidate's shard bucket, still in tweet
+  // order. Phase B drains the buckets: serially when single-threaded or
+  // single-sharded (byte-for-byte the historical merge loop), else one
+  // worker per shard. A candidate lives in exactly one shard, so its pooling
+  // ops replay in the same tweet order either way — incremental pooling
+  // order (and thus every global embedding, bit for bit) matches the serial
+  // single-shard pipeline.
+  struct PoolOp {
+    int gid;
+    MentionRef ref;
+    const Mat* embedding;
+  };
+  const bool sharded_merge = state_.shard_count() > 1 &&
+                             options_.num_threads > 1 && pool_ != nullptr;
+  std::vector<std::vector<PoolOp>> pool_ops;
+  if (sharded_merge) pool_ops.resize(state_.shard_count());
+
   for (size_t idx = 0; idx < count; ++idx) {
     const size_t i = first_index + idx;
     TweetRecord& record = tweets_.at(i);
@@ -569,11 +587,25 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
       ref.tweet_index = i;
       ref.span = em.span;
       ref.locally_detected = m.locally_detected;
-      candidates_.GetOrCreate(em.candidate_id, trie_.CandidateKey(em.candidate_id),
-                              trie_.CandidateLength(em.candidate_id));
-      candidates_.AddMention(em.candidate_id, ref, stage.embeddings[e]);
+      state_.GetOrCreate(em.candidate_id);
+      if (sharded_merge) {
+        pool_ops[state_.ShardOf(em.candidate_id)].push_back(
+            {em.candidate_id, ref, &stage.embeddings[e]});
+      } else {
+        state_.AddMention(em.candidate_id, ref, stage.embeddings[e]);
+      }
     }
     record.mentions = std::move(merged);
+  }
+
+  if (sharded_merge) {
+    // Phase B: one task per shard, so no two workers ever touch the same
+    // CandidateBase. `staged` embeddings stay alive until after this barrier.
+    pool_->ParallelFor(pool_ops.size(), [&](int /*slot*/, size_t s) {
+      for (const PoolOp& op : pool_ops[s]) {
+        state_.AddMention(op.gid, op.ref, *op.embedding);
+      }
+    });
   }
 
   if (options_.release_embeddings) {
@@ -586,7 +618,8 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
   // never race Step() on a worker thread.
   governor_.Run([this] { return ReclassifyAmbiguous(); });
 
-  Counters().candidates->Set(trie_.num_live_candidates());
+  Counters().candidates->Set(state_.num_live_candidates());
+  if (options_.publish_shard_gauges) state_.UpdateShardGauges();
   return Status::OK();
 }
 
@@ -596,10 +629,9 @@ size_t Globalizer::ReclassifyAmbiguous() {
   }
   EMD_TRACE_SPAN("reclassify");
   size_t flipped = 0;
-  for (size_t c = 0; c < candidates_.size(); ++c) {
-    const int id = static_cast<int>(c);
-    if (!candidates_.Contains(id)) continue;
-    CandidateRecord& rec = candidates_.at(id);
+  for (int id = 0; id < state_.num_candidates(); ++id) {
+    if (!state_.Contains(id)) continue;
+    CandidateRecord& rec = state_.at(id);
     if (rec.label != CandidateLabel::kAmbiguous &&
         rec.label != CandidateLabel::kUnlabeled) {
       continue;
@@ -691,20 +723,20 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
     std::vector<int> ids;
     Mat* feats = arena->mat(EntityClassifier::kArenaSlot + 2);
     const int fdim = classifier_->input_dim();
-    for (size_t c = 0; c < candidates_.size(); ++c) {
-      if (!candidates_.Contains(static_cast<int>(c))) continue;
-      CandidateRecord& rec = candidates_.at(static_cast<int>(c));
+    for (int c = 0; c < state_.num_candidates(); ++c) {
+      if (!state_.Contains(c)) continue;
+      CandidateRecord& rec = state_.at(c);
       ++out.num_candidates;
       if (rec.embedding_count == 0) {
         rec.label = CandidateLabel::kAmbiguous;
         ++out.num_ambiguous;
         continue;
       }
-      ids.push_back(static_cast<int>(c));
+      ids.push_back(c);
     }
     feats->Resize(static_cast<int>(ids.size()), fdim);
     for (size_t k = 0; k < ids.size(); ++k) {
-      const CandidateRecord& rec = candidates_.at(ids[k]);
+      const CandidateRecord& rec = state_.at(ids[k]);
       EntityClassifier::MakeFeaturesInto(rec.GlobalEmbedding(), rec.num_tokens,
                                          &classifier_features_);
       std::memcpy(feats->row(static_cast<int>(k)), classifier_features_.row(0),
@@ -715,7 +747,7 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
       classifier_->ProbabilitiesBatched(*feats, arena, &probs);
     }
     for (size_t k = 0; k < ids.size(); ++k) {
-      CandidateRecord& rec = candidates_.at(ids[k]);
+      CandidateRecord& rec = state_.at(ids[k]);
       rec.entity_probability = probs[k];
       CandidateLabel label;
       if (probs[k] >= classifier_->options().alpha) {
@@ -747,9 +779,9 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
              !classifier_degraded_) {
     // ---- Step 4: Entity Classifier over global candidate embeddings. ----
     EMD_TRACE_SPAN("classifier");
-    for (size_t c = 0; c < candidates_.size(); ++c) {
-      if (!candidates_.Contains(static_cast<int>(c))) continue;
-      CandidateRecord& rec = candidates_.at(static_cast<int>(c));
+    for (int c = 0; c < state_.num_candidates(); ++c) {
+      if (!state_.Contains(c)) continue;
+      CandidateRecord& rec = state_.at(c);
       ++out.num_candidates;
       if (rec.embedding_count == 0) {
         rec.label = CandidateLabel::kAmbiguous;
@@ -802,7 +834,7 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
   const bool classify =
       options_.mode == GlobalizerOptions::Mode::kFull && !classifier_degraded_;
   if (!classify) {
-    out.num_candidates = trie_.num_live_candidates();
+    out.num_candidates = state_.num_live_candidates();
     out.num_entity = out.num_non_entity = out.num_ambiguous = 0;
   }
   out.classifier_degraded = classifier_degraded_;
@@ -821,9 +853,9 @@ Result<GlobalizerOutput> Globalizer::Finalize() {
       // table, so mentions already recorded for it stay stable after the
       // record itself is freed (same emit rule as live candidates).
       const CandidateLabel label =
-          candidates_.Contains(m.candidate_id)
-              ? candidates_.at(m.candidate_id).label
-              : candidates_.EvictedLabel(m.candidate_id);
+          state_.Contains(m.candidate_id)
+              ? state_.at(m.candidate_id).label
+              : state_.EvictedLabel(m.candidate_id);
       if (label == CandidateLabel::kEntity) {
         out.mentions[i].push_back(m.span);
       } else if (label == CandidateLabel::kAmbiguous) {

@@ -41,6 +41,7 @@
 #include "core/candidate_base.h"
 #include "core/ctrie.h"
 #include "core/entity_classifier.h"
+#include "core/global_state.h"
 #include "core/memory_governor.h"
 #include "core/mention_extractor.h"
 #include "core/phrase_embedder.h"
@@ -146,6 +147,19 @@ struct GlobalizerOptions {
   /// so output is bit-identical to ungoverned builds unless a deployment
   /// opts in.
   MemoryGovernorOptions memory;
+
+  /// Shards of the global candidate state (docs/SHARDING.md). Candidates are
+  /// hashed to shard-local CTrie + CandidateBase partitions; ids, pooling
+  /// order, and output stay bit-identical at any shard count (the default 1
+  /// is byte-for-byte the historical single structure). With num_threads > 1
+  /// the merge pools different shards on different workers.
+  int shard_count = 1;
+
+  /// Publish per-shard gauges (emd_shard_candidates / emd_shard_bytes) at
+  /// each batch barrier. A MultiStreamService turns this off per stream and
+  /// publishes service-wide aggregates instead, so concurrent streams do not
+  /// fight over the same gauge.
+  bool publish_shard_gauges = true;
 };
 
 /// Final framework output plus diagnostics.
@@ -289,10 +303,19 @@ class Globalizer {
   MemoryPressure memory_pressure() const { return governor_.pressure(); }
   const MemoryGovernor& memory_governor() const { return governor_; }
 
-  const CTrie& ctrie() const { return trie_; }
-  const CandidateBase& candidate_base() const { return candidates_; }
-  CandidateBase& mutable_candidate_base() { return candidates_; }
+  /// Shard-0 views. With the default shard_count=1 these are exactly the
+  /// historical single CTrie / CandidateBase; with more shards they expose
+  /// one partition (use global_state() for the whole id space).
+  const CTrie& ctrie() const { return state_.shard_trie(0); }
+  const CandidateBase& candidate_base() const {
+    return state_.shard_candidates(0);
+  }
+  CandidateBase& mutable_candidate_base() {
+    return state_.mutable_shard_candidates(0);
+  }
   const TweetBase& tweet_base() const { return tweets_; }
+  /// The sharded global candidate state (gid-addressed facade).
+  const ShardedGlobalState& global_state() const { return state_; }
 
  private:
   /// One tweet's local stage computed off the shared state: the record to
@@ -382,10 +405,8 @@ class Globalizer {
   const EntityClassifier* classifier_;
   GlobalizerOptions options_;
 
-  CTrie trie_;
-  MentionExtractor extractor_;
+  ShardedGlobalState state_;
   TweetBase tweets_;
-  CandidateBase candidates_;
   MemoryGovernor governor_;  // must follow the stores it governs (init order)
   PhaseTimer timers_;
 

@@ -1,7 +1,7 @@
 // Globalizer checkpoint/restore — crash-safe persistence of the accumulated
 // global state (CTrie, TweetBase, CandidateBase, fault counters).
 //
-// Binary layout (little-endian), version 4:
+// Binary layout (little-endian), version 5:
 //   u32 magic 'EMDG'   u32 version
 //   u8  mode           u64 processed_tweets
 //   u32 num_quarantined  u32 num_degraded  u8 classifier_degraded
@@ -10,16 +10,21 @@
 //         live circuit breaker restarts closed after a restore)
 //   [v4+] memory-governor lifetime totals: u64 evicted_candidates,
 //         u64 pruned_nodes, u64 trimmed_tweets, u64 reclassified
-//   CTrie:     u32 count; per candidate id (ascending):
-//              [v4+] u8 live; when live (always in v1-3):
-//              string key, u32 len. Dead ids rebuild as tombstones so the
-//              dense id space (including eviction holes) survives.
+//   Candidate keys:
+//     [v5+] sharded layout — u32 shard_count, u32 num_gids; per gid
+//           (ascending) u8 live; then per shard s (ascending): u32 count,
+//           followed by that shard's live candidates in gid order:
+//           u32 gid, string key, u32 len. Dead gids rebuild as tombstones so
+//           the dense gid space (including eviction holes) survives.
+//     [v1-4] single-trie layout — u32 count; per candidate id (ascending):
+//           [v4] u8 live; when live (always in v1-3): string key, u32 len.
 //   TweetBase: u64 count; per record: i64 tweet_id, i32 sentence_id,
 //              u8 quarantined, [v4+] u8 trimmed,
 //              tokens[u32: string text, u64 begin, u64 end,
 //              u8 kind], mentions[u32: u64 span.begin, u64 span.end,
 //              i32 candidate_id, u8 locally_detected]
-//   CandidateBase: u64 slots; per slot: u8 present; when present:
+//   CandidateBase: u64 slots (== num_gids in v5); per slot (gid order):
+//              u8 present; when present:
 //              string key, i32 num_tokens, mentions[u32: u64 tweet_index,
 //              u64 span.begin, u64 span.end, u8 locally_detected],
 //              embedding_sum[i32 rows, i32 cols, f32 data...],
@@ -41,9 +46,15 @@
 //                  buckets[u32 = bounds+1: u64], f64 sum, u64 count]
 //   u32 CRC32 over everything above
 //
-// The CTrie is rebuilt by re-inserting candidate keys in id order (Insert
-// assigns dense ids in insertion order, so the rebuilt trie reproduces every
-// id — verified during restore). Token embeddings in flight are not captured:
+// Every version restores through one generic path: candidate keys are
+// re-inserted in gid order into the *current* shard layout (Insert assigns
+// dense gids in insertion order, so the rebuilt state reproduces every gid —
+// verified during restore; tombstones re-home to shard 0, where the unsharded
+// layout kept them). Because routing hashes the key, a v5 file written with S
+// shards restores into any shard count — and a v1-4 file restores into a
+// sharded build — with bit-identical pipeline output either way. When the
+// shard counts do match, the recorded shard assignments are additionally
+// validated against the router. Token embeddings in flight are not captured:
 // checkpoints are only valid between execution cycles, when
 // release_embeddings has already dropped them.
 //
@@ -69,9 +80,10 @@ namespace emd {
 namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x454D4447;  // 'EMDG'
-constexpr uint32_t kCheckpointVersion = 4;
-// Version 1 (no resilience counters), version 2 (no metrics block), and
-// version 3 (no memory-governance fields) checkpoints are still readable.
+constexpr uint32_t kCheckpointVersion = 5;
+// Version 1 (no resilience counters), version 2 (no metrics block), version 3
+// (no memory-governance fields), and version 4 (single-trie candidate key
+// section) checkpoints are still readable.
 constexpr uint32_t kMinCheckpointVersion = 1;
 
 void AppendMat(std::string* out, const Mat& m) {
@@ -204,15 +216,25 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
   binio::AppendU64(&buf, gov.trimmed_tweets);
   binio::AppendU64(&buf, gov.reclassified);
 
-  // CTrie: live keys in id order reproduce the trie (Insert assigns dense
-  // ids); pruned ids are saved as tombstones so the id space keeps its holes.
-  binio::AppendU32(&buf, static_cast<uint32_t>(trie_.num_candidates()));
-  for (int c = 0; c < trie_.num_candidates(); ++c) {
-    const bool live = !trie_.IsTombstone(c);
-    binio::AppendU8(&buf, live ? 1 : 0);
-    if (!live) continue;
-    binio::AppendString(&buf, trie_.CandidateKey(c));
-    binio::AppendU32(&buf, static_cast<uint32_t>(trie_.CandidateLength(c)));
+  // v5 candidate keys: the gid live-map, then one section per shard holding
+  // that shard's live candidates in gid order. Re-inserting across the
+  // sections in gid order reproduces every gid; pruned gids are saved as
+  // tombstones so the id space keeps its holes.
+  const int num_gids = state_.num_candidates();
+  binio::AppendU32(&buf, static_cast<uint32_t>(state_.shard_count()));
+  binio::AppendU32(&buf, static_cast<uint32_t>(num_gids));
+  for (int g = 0; g < num_gids; ++g) {
+    binio::AppendU8(&buf, state_.IsTombstone(g) ? 0 : 1);
+  }
+  for (int s = 0; s < state_.shard_count(); ++s) {
+    binio::AppendU32(
+        &buf, static_cast<uint32_t>(state_.shard_trie(s).num_live_candidates()));
+    for (int g = 0; g < num_gids; ++g) {
+      if (state_.IsTombstone(g) || state_.ShardOf(g) != s) continue;
+      binio::AppendU32(&buf, static_cast<uint32_t>(g));
+      binio::AppendString(&buf, state_.CandidateKey(g));
+      binio::AppendU32(&buf, static_cast<uint32_t>(state_.CandidateLength(g)));
+    }
   }
 
   // TweetBase.
@@ -239,21 +261,20 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
     }
   }
 
-  // CandidateBase.
-  binio::AppendU64(&buf, candidates_.size());
-  for (size_t c = 0; c < candidates_.size(); ++c) {
-    const int id = static_cast<int>(c);
-    const bool present = candidates_.Contains(id);
+  // CandidateBase: one slot per gid, in gid order across shards.
+  binio::AppendU64(&buf, static_cast<uint64_t>(num_gids));
+  for (int id = 0; id < num_gids; ++id) {
+    const bool present = state_.Contains(id);
     binio::AppendU8(&buf, present ? 1 : 0);
     if (!present) {
-      // v4: eviction-time label (0 when this slot was simply never created).
+      // v4+: eviction-time label (0 when this slot was simply never created).
       binio::AppendU8(&buf,
-                      candidates_.WasEvicted(id)
-                          ? static_cast<uint8_t>(candidates_.EvictedLabel(id)) + 1
+                      state_.WasEvicted(id)
+                          ? static_cast<uint8_t>(state_.EvictedLabel(id)) + 1
                           : 0);
       continue;
     }
-    const CandidateRecord& rec = candidates_.at(id);
+    const CandidateRecord& rec = state_.at(id);
     binio::AppendString(&buf, rec.key);
     binio::AppendI32(&buf, rec.num_tokens);
     binio::AppendU32(&buf, static_cast<uint32_t>(rec.mentions.size()));
@@ -300,7 +321,7 @@ Status Globalizer::SaveCheckpoint(const std::string& path) const {
 Status Globalizer::RestoreCheckpoint(const std::string& path) {
   EMD_RETURN_IF_ERROR(EMD_FAILPOINT("core.globalizer.restore_checkpoint"));
   EMD_TRACE_SPAN("checkpoint_restore");
-  if (tweets_.size() != 0 || trie_.num_candidates() != 0) {
+  if (tweets_.size() != 0 || state_.num_candidates() != 0) {
     return Status::FailedPrecondition(
         "RestoreCheckpoint requires a freshly constructed Globalizer");
   }
@@ -370,36 +391,106 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
   // Parse into local stores; the members are only touched once the whole
   // checkpoint has validated, so a corrupt file leaves this Globalizer as
   // freshly constructed.
-  CTrie trie;
+  ShardedGlobalState state(options_.shard_count);
   TweetBase tweets;
-  CandidateBase candidates;
 
-  // CTrie: re-inserting live keys in id order must reproduce every id; dead
-  // ids rebuild as tombstones so eviction holes survive the round trip.
+  // Candidate keys. Both layouts produce the same inputs to the generic
+  // rebuild below: the gid live-map plus each live gid's key.
+  uint32_t saved_shards = 1;
   uint32_t num_candidates = 0;
-  EMD_RETURN_IF_ERROR(reader.ReadU32(&num_candidates));
+  std::vector<uint8_t> live_map;
+  std::vector<std::string> keys;        // per gid; empty for tombstones
+  std::vector<uint32_t> lens;           // per gid
+  std::vector<int32_t> saved_shard_of;  // per gid; -1 for tombstones
+  if (version >= 5) {
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&saved_shards));
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_candidates));
+    if (saved_shards == 0) {
+      return Status::Corruption("checkpoint ", path, " has shard count 0");
+    }
+    if (uint64_t(num_candidates) > reader.remaining()) {
+      return Status::Corruption("checkpoint ", path, " candidate count ",
+                                num_candidates, " exceeds remaining bytes");
+    }
+    live_map.resize(num_candidates, 0);
+    for (uint32_t g = 0; g < num_candidates; ++g) {
+      EMD_RETURN_IF_ERROR(reader.ReadU8(&live_map[g]));
+    }
+    keys.resize(num_candidates);
+    lens.assign(num_candidates, 0);
+    saved_shard_of.assign(num_candidates, -1);
+    uint64_t total_live = 0;
+    for (uint32_t s = 0; s < saved_shards; ++s) {
+      uint32_t count = 0;
+      EMD_RETURN_IF_ERROR(reader.ReadU32(&count));
+      total_live += count;
+      for (uint32_t k = 0; k < count; ++k) {
+        uint32_t gid = 0;
+        EMD_RETURN_IF_ERROR(reader.ReadU32(&gid));
+        if (gid >= num_candidates || !live_map[gid]) {
+          return Status::Corruption("checkpoint ", path, " shard ", s,
+                                    " lists gid ", gid,
+                                    " that is out of range or tombstoned");
+        }
+        if (saved_shard_of[gid] != -1) {
+          return Status::Corruption("checkpoint ", path, " gid ", gid,
+                                    " appears in more than one shard section");
+        }
+        saved_shard_of[gid] = static_cast<int32_t>(s);
+        EMD_RETURN_IF_ERROR(reader.ReadString(&keys[gid]));
+        EMD_RETURN_IF_ERROR(reader.ReadU32(&lens[gid]));
+      }
+    }
+    for (uint32_t g = 0; g < num_candidates; ++g) {
+      if (live_map[g] && saved_shard_of[g] == -1) {
+        return Status::Corruption("checkpoint ", path, " live gid ", g,
+                                  " missing from every shard section");
+      }
+    }
+    (void)total_live;
+  } else {
+    EMD_RETURN_IF_ERROR(reader.ReadU32(&num_candidates));
+    live_map.assign(num_candidates, 1);
+    keys.resize(num_candidates);
+    lens.assign(num_candidates, 0);
+    saved_shard_of.assign(num_candidates, -1);
+    for (uint32_t c = 0; c < num_candidates; ++c) {
+      if (version >= 4) EMD_RETURN_IF_ERROR(reader.ReadU8(&live_map[c]));
+      if (!live_map[c]) continue;
+      EMD_RETURN_IF_ERROR(reader.ReadString(&keys[c]));
+      EMD_RETURN_IF_ERROR(reader.ReadU32(&lens[c]));
+    }
+  }
+
+  // Generic rebuild: re-inserting live keys in gid order must reproduce
+  // every gid under the *current* shard layout (routing is a pure function
+  // of the key, so any saved shard count restores into any configured one);
+  // dead gids rebuild as shard-0 tombstones so eviction holes survive.
   for (uint32_t c = 0; c < num_candidates; ++c) {
-    uint8_t live = 1;
-    if (version >= 4) EMD_RETURN_IF_ERROR(reader.ReadU8(&live));
-    if (!live) {
-      const int id = trie.AppendTombstone();
+    if (!live_map[c]) {
+      const int id = state.AppendTombstone();
       if (id != static_cast<int>(c)) {
         return Status::Corruption("checkpoint ", path, " tombstone restored ",
                                   "with id ", id, ", want ", c);
       }
       continue;
     }
-    std::string key;
-    uint32_t len = 0;
-    EMD_RETURN_IF_ERROR(reader.ReadString(&key));
-    EMD_RETURN_IF_ERROR(reader.ReadU32(&len));
+    const std::string& key = keys[c];
     const std::vector<std::string> words = Split(key);
-    if (words.empty() || words.size() != len) {
+    if (words.empty() || words.size() != lens[c]) {
       return Status::Corruption("checkpoint ", path, " candidate ", c,
-                                " key \"", key, "\" does not split into ", len,
-                                " tokens");
+                                " key \"", key, "\" does not split into ",
+                                lens[c], " tokens");
     }
-    const int id = trie.Insert(words);
+    if (saved_shard_of[c] != -1 &&
+        static_cast<int>(saved_shards) == state.shard_count() &&
+        saved_shard_of[c] != state.router().ShardOfFolded(key)) {
+      return Status::Corruption(
+          "checkpoint ", path, " candidate \"", key, "\" recorded in shard ",
+          saved_shard_of[c], " but the router homes it in shard ",
+          state.router().ShardOfFolded(key));
+    }
+    const int id = state.Insert(words);
     if (id != static_cast<int>(c)) {
       return Status::Corruption("checkpoint ", path, " candidate \"", key,
                                 "\" restored with id ", id, ", want ", c);
@@ -469,9 +560,16 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
     tweets.Add(std::move(rec));
   }
 
-  // CandidateBase.
+  // CandidateBase. Slots are gid-ordered; v5 always writes one per gid,
+  // earlier versions wrote only up to the highest created record.
   uint64_t num_slots = 0;
   EMD_RETURN_IF_ERROR(reader.ReadU64(&num_slots));
+  if (num_slots > num_candidates ||
+      (version >= 5 && num_slots != num_candidates)) {
+    return Status::Corruption("checkpoint ", path, " has ", num_slots,
+                              " candidate slots for ", num_candidates,
+                              " candidate ids");
+  }
   for (uint64_t c = 0; c < num_slots; ++c) {
     uint8_t present = 0;
     EMD_RETURN_IF_ERROR(reader.ReadU8(&present));
@@ -486,9 +584,8 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
                                     int(evicted_enc));
         }
         if (evicted_enc != 0) {
-          candidates.SetEvictedLabel(
-              static_cast<int>(c),
-              static_cast<CandidateLabel>(evicted_enc - 1));
+          state.SetEvictedLabel(static_cast<int>(c),
+                                static_cast<CandidateLabel>(evicted_enc - 1));
         }
       }
       continue;
@@ -498,7 +595,7 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
     EMD_RETURN_IF_ERROR(reader.ReadString(&key));
     EMD_RETURN_IF_ERROR(reader.ReadI32(&num_tokens));
     CandidateRecord& rec =
-        candidates.GetOrCreate(static_cast<int>(c), key, num_tokens);
+        state.GetOrCreate(static_cast<int>(c), key, num_tokens);
     uint32_t num_mentions = 0;
     EMD_RETURN_IF_ERROR(reader.ReadU32(&num_mentions));
     rec.mentions.reserve(num_mentions);
@@ -565,12 +662,13 @@ Status Globalizer::RestoreCheckpoint(const std::string& path) {
                               " trailing bytes");
   }
 
-  // Commit. extractor_ points at trie_, whose address move-assignment keeps
-  // stable; the retain flag is owner configuration, not checkpointed state.
-  candidates.set_retain_mention_embeddings(candidates_.retain_mention_embeddings());
-  trie_ = std::move(trie);
+  // Commit. governor_ points at state_/tweets_, whose addresses
+  // move-assignment keeps stable; the retain flag is owner configuration,
+  // not checkpointed state.
+  state.set_retain_mention_embeddings(state_.retain_mention_embeddings());
+  state.set_decay_half_life(options_.memory.decay_half_life_tweets);
+  state_ = std::move(state);
   tweets_ = std::move(tweets);
-  candidates_ = std::move(candidates);
   num_quarantined_ = static_cast<int>(num_quarantined);
   num_degraded_ = static_cast<int>(num_degraded);
   classifier_degraded_ = classifier_degraded != 0;

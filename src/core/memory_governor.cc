@@ -52,15 +52,10 @@ const char* MemoryPressureName(MemoryPressure p) {
   return "unknown";
 }
 
-MemoryGovernor::MemoryGovernor(CTrie* trie, CandidateBase* candidates,
-                               TweetBase* tweets,
+MemoryGovernor::MemoryGovernor(ShardedGlobalState* state, TweetBase* tweets,
                                MemoryGovernorOptions options)
-    : trie_(trie),
-      candidates_(candidates),
-      tweets_(tweets),
-      options_(options) {
-  EMD_CHECK(trie != nullptr);
-  EMD_CHECK(candidates != nullptr);
+    : state_(state), tweets_(tweets), options_(options) {
+  EMD_CHECK(state != nullptr);
   EMD_CHECK(tweets != nullptr);
   if (options_.budget_bytes > 0) {
     EMD_CHECK_GT(options_.soft_watermark, 0.0);
@@ -79,8 +74,7 @@ void MemoryGovernor::RestoreStats(const MemoryGovernorStats& stats) {
 }
 
 size_t MemoryGovernor::ComputeBytes() const {
-  return trie_->ApproxBytes() + candidates_->ApproxBytes() +
-         tweets_->ApproxBytes();
+  return state_->ApproxBytes() + tweets_->ApproxBytes();
 }
 
 void MemoryGovernor::Run(const std::function<size_t()>& reclassify) {
@@ -167,13 +161,13 @@ bool MemoryGovernor::EvictTier(int tier, size_t target, size_t* bytes) {
   if (*bytes < target) return true;
   const uint64_t stream_pos = tweets_->size();
 
-  // Victims, coldest first (oldest last mention; ties broken by id so the
-  // sweep order is deterministic).
+  // Victims, coldest first (oldest last mention; ties broken by gid so the
+  // sweep order is deterministic at any shard count — gids are assigned in
+  // discovery order regardless of which shard homes the candidate).
   std::vector<std::pair<uint64_t, int>> victims;
-  for (size_t c = 0; c < candidates_->size(); ++c) {
-    const int id = static_cast<int>(c);
-    if (!candidates_->Contains(id)) continue;
-    const CandidateRecord& rec = candidates_->at(id);
+  for (int id = 0; id < state_->num_candidates(); ++id) {
+    if (!state_->Contains(id)) continue;
+    const CandidateRecord& rec = state_->at(id);
     if (rec.label == CandidateLabel::kEntity) continue;
     if (tier == 0) {
       if (rec.label != CandidateLabel::kNonEntity) continue;
@@ -194,9 +188,9 @@ bool MemoryGovernor::EvictTier(int tier, size_t target, size_t* bytes) {
     // is atomic — record freed and trie pruned together — so state stays
     // checkpointable mid-sweep).
     if (!EMD_FAILPOINT("core.memory_governor.evict").ok()) return false;
-    const size_t freed = candidates_->at(id).ApproxBytes();
-    candidates_->Evict(id);
-    const int pruned = trie_->Prune(id);
+    const size_t freed = state_->at(id).ApproxBytes();
+    state_->Evict(id);
+    const int pruned = state_->Prune(id);
     ++stats_.evicted_candidates;
     stats_.pruned_nodes += static_cast<uint64_t>(pruned);
     Counters().evicted->Increment();

@@ -35,8 +35,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "core/candidate_base.h"
-#include "core/ctrie.h"
+#include "core/global_state.h"
 #include "core/tweet_base.h"
 
 namespace emd {
@@ -91,8 +90,9 @@ struct MemoryGovernorStats {
 class MemoryGovernor {
  public:
   /// All pointers must outlive the governor; they are the Globalizer's own
-  /// stores, mutated only at its batch barrier.
-  MemoryGovernor(CTrie* trie, CandidateBase* candidates, TweetBase* tweets,
+  /// stores, mutated only at its batch barrier. One governor per Globalizer
+  /// (i.e. per stream): budgets and eviction sweeps never cross streams.
+  MemoryGovernor(ShardedGlobalState* state, TweetBase* tweets,
                  MemoryGovernorOptions options);
 
   /// True when any governance feature is active (budget, decay, or
@@ -144,8 +144,7 @@ class MemoryGovernor {
   /// (sweep aborted).
   bool EvictTier(int tier, size_t target, size_t* bytes);
 
-  CTrie* trie_;
-  CandidateBase* candidates_;
+  ShardedGlobalState* state_;
   TweetBase* tweets_;
   MemoryGovernorOptions options_;
 

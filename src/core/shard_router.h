@@ -1,0 +1,56 @@
+// ShardRouter — stable candidate-key → shard assignment for the sharded
+// global state (docs/SHARDING.md).
+//
+// Candidates are routed by FNV-1a over their *case-folded* surface key
+// ("andy beshear"), so the same phrase always lands in the same shard no
+// matter which tweet, stream, or thread first registered it. The hash is a
+// pure function of the key bytes and the shard count: checkpoints written by
+// one process restore into the identical partitioning in another, and the
+// single-shard configuration degenerates to "everything in shard 0" without
+// hashing at all.
+
+#ifndef EMD_CORE_SHARD_ROUTER_H_
+#define EMD_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/logging.h"
+
+namespace emd {
+
+/// 64-bit FNV-1a over the raw bytes of a (case-folded) candidate key.
+inline uint64_t ShardHash(std::string_view folded_key) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : folded_key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Maps case-folded candidate keys onto a fixed number of shards.
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards) : num_shards_(num_shards) {
+    EMD_CHECK_GE(num_shards, 1);
+  }
+
+  int num_shards() const { return num_shards_; }
+
+  /// Shard owning `folded_key`. The key must already be case-folded (the
+  /// CTrie folds on insert; routing on the unfolded surface form would split
+  /// "Andy" and "andy" across shards).
+  int ShardOfFolded(std::string_view folded_key) const {
+    if (num_shards_ == 1) return 0;
+    return static_cast<int>(ShardHash(folded_key) %
+                            static_cast<uint64_t>(num_shards_));
+  }
+
+ private:
+  int num_shards_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_CORE_SHARD_ROUTER_H_

@@ -47,7 +47,7 @@ Result<BlockingClient> BlockingClient::Connect(const ClientOptions& options) {
   client.recv_timeout_nanos_ = options.recv_timeout_nanos;
 
   std::string hello;
-  AppendHello(&hello, options.client_id);
+  AppendHello(&hello, options.client_id, options.stream);
   EMD_RETURN_IF_ERROR(client.SendRaw(hello));
   return client;
 }

@@ -24,6 +24,9 @@ struct ClientOptions {
   uint16_t port = 0;
   /// Identity sent in the HELLO frame (per-client fairness key).
   std::string client_id;
+  /// Named topic stream for the HELLO routing field; empty (the default)
+  /// keeps the wire bytes identical to the pre-multi-stream protocol.
+  std::string stream;
   /// Receive timeout per ReadFrame call; 0 = block forever.
   uint64_t recv_timeout_nanos = 5 * kSecond;
   WireLimits wire;

@@ -195,6 +195,7 @@ void Server::HandleTweet(Connection& conn, const TweetFrame& tweet) {
   annotated.tweet_id = tweet.tweet_id;
   annotated.topic_id = tweet.topic_id;
   annotated.text = tweet.text;
+  annotated.stream_id = conn.stream_id;
   annotated.tokens = tokenizer_.Tokenize(annotated.text);
 
   const AdmissionDecision decision =
@@ -218,18 +219,21 @@ void Server::HandleFrame(Connection& conn, Frame frame, uint64_t now) {
   frames_counter_->Increment();
   switch (frame.type) {
     case FrameType::kHello: {
-      Result<std::string> client_id = ParseHello(frame);
-      if (!client_id.ok()) {
+      Result<HelloFrame> hello = ParseHello(frame);
+      if (!hello.ok()) {
         conn.closing = true;
         return;
       }
-      conn.client_id = std::move(client_id).value();
+      conn.client_id = std::move(hello->client_id);
+      if (pipeline_.resolve_stream && !hello->stream.empty()) {
+        conn.stream_id = pipeline_.resolve_stream(hello->stream);
+      }
       // The backend is pinned for the process; echoing it per client session
       // ties every connection log to the numeric mode that produced its
       // results (fp32 scalar/avx2 vs opt-in int8).
       EMD_LOG(Info) << "HELLO from client '" << conn.client_id << "' (fd="
-                    << conn.fd << ", kernel backend "
-                    << kernels::BackendName() << ")";
+                    << conn.fd << ", stream " << conn.stream_id
+                    << ", kernel backend " << kernels::BackendName() << ")";
       return;
     }
     case FrameType::kTweet: {

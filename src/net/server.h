@@ -97,6 +97,10 @@ struct ServingPipeline {
   /// Receives every accepted tweet the pipeline could not process (expired
   /// deadline, failed batch) so it is never silently lost.
   std::function<void(const AnnotatedTweet&, const Status&)> dead_letter;
+  /// Maps the HELLO stream name to the stream_id stamped on every tweet from
+  /// that connection (see MultiStreamService::ResolveStream). Null routes
+  /// everything to stream 0; the empty name always resolves to 0.
+  std::function<int(std::string_view stream)> resolve_stream;
 };
 
 /// Lifetime totals for one Serve() run. Plain data; read after Serve returns
@@ -149,6 +153,7 @@ class Server {
   struct Connection {
     int fd = -1;
     std::string client_id;  // empty until HELLO
+    int stream_id = 0;      // resolved from the HELLO stream field
     FrameDecoder decoder;
     std::string out;         // pending bytes to write
     size_t out_offset = 0;   // written prefix of `out`

@@ -41,9 +41,13 @@ void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
   binio::AppendU32(out, FrameCrc(static_cast<uint8_t>(type), payload));
 }
 
-void AppendHello(std::string* out, std::string_view client_id) {
+void AppendHello(std::string* out, std::string_view client_id,
+                 std::string_view stream) {
   std::string payload;
   binio::AppendString(&payload, client_id);
+  // Trailing optional field: omitted entirely when empty so single-stream
+  // clients emit protocol-v1 bytes and old servers never see extra payload.
+  if (!stream.empty()) binio::AppendString(&payload, stream);
   AppendFrame(out, FrameType::kHello, payload);
 }
 
@@ -89,12 +93,15 @@ Status ExpectType(const Frame& frame, FrameType want, const char* name) {
 
 }  // namespace
 
-Result<std::string> ParseHello(const Frame& frame) {
+Result<HelloFrame> ParseHello(const Frame& frame) {
   EMD_RETURN_IF_ERROR(ExpectType(frame, FrameType::kHello, "HELLO"));
   binio::Reader reader(frame.payload, "HELLO frame");
-  std::string client_id;
-  EMD_RETURN_IF_ERROR(reader.ReadString(&client_id));
-  return client_id;
+  HelloFrame hello;
+  EMD_RETURN_IF_ERROR(reader.ReadString(&hello.client_id));
+  if (reader.remaining() > 0) {
+    EMD_RETURN_IF_ERROR(reader.ReadString(&hello.stream));
+  }
+  return hello;
 }
 
 Result<TweetFrame> ParseTweet(const Frame& frame) {

@@ -17,6 +17,9 @@
 // Message types and payloads:
 //
 //   kHello      client -> server   string client_id
+//                                  [string stream]  (optional trailing field;
+//                                  routes this connection's tweets to a named
+//                                  topic stream — see docs/SHARDING.md)
 //   kTweet      client -> server   u64 seq, i64 tweet_id, i32 topic_id,
 //                                  u32 deadline_ms (0 = none), string text
 //   kAck        server -> client   u64 seq
@@ -81,6 +84,16 @@ struct Frame {
   std::string payload;
 };
 
+/// kHello payload, decoded. `stream` is empty when the client predates the
+/// multi-stream protocol extension (the field is trailing and optional on the
+/// wire, so old and new peers interoperate in both directions).
+struct HelloFrame {
+  std::string client_id;
+  /// Named topic stream this connection's tweets belong to; empty routes to
+  /// the server's default stream.
+  std::string stream;
+};
+
 /// kTweet payload, decoded.
 struct TweetFrame {
   uint64_t seq = 0;
@@ -104,7 +117,10 @@ struct RetryAfterFrame {
 
 void AppendFrame(std::string* out, FrameType type, std::string_view payload);
 
-void AppendHello(std::string* out, std::string_view client_id);
+/// Writes a HELLO frame. The stream field is emitted only when non-empty, so
+/// frames from single-stream clients stay byte-identical to the v1 protocol.
+void AppendHello(std::string* out, std::string_view client_id,
+                 std::string_view stream = "");
 void AppendTweet(std::string* out, const TweetFrame& tweet);
 void AppendAck(std::string* out, uint64_t seq);
 void AppendRetryAfter(std::string* out, const RetryAfterFrame& retry);
@@ -112,7 +128,7 @@ void AppendBye(std::string* out, std::string_view reason);
 
 // --- Typed payload decoding ---
 
-Result<std::string> ParseHello(const Frame& frame);
+Result<HelloFrame> ParseHello(const Frame& frame);
 Result<TweetFrame> ParseTweet(const Frame& frame);
 Result<uint64_t> ParseAck(const Frame& frame);
 Result<RetryAfterFrame> ParseRetryAfter(const Frame& frame);

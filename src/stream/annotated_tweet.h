@@ -37,6 +37,9 @@ struct AnnotatedTweet {
   /// train the PosTagger substrate, never consulted at evaluation time).
   std::vector<PosTag> silver_pos;
   int topic_id = 0;
+  /// Which topic stream this tweet belongs to in a multi-stream deployment
+  /// (see stream/multi_stream.h). Single-stream paths leave the default 0.
+  int stream_id = 0;
 };
 
 /// A named collection of tweets plus the stream metadata of Table I.

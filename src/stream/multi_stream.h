@@ -1,0 +1,160 @@
+// MultiStreamService — N isolated Globalizer pipelines behind one front door.
+//
+// The paper's deployment model (§III) runs one Globalizer per targetted
+// topic stream. This service hosts many such streams in a single process:
+// each registered stream owns a private Globalizer — its own sharded global
+// candidate state (docs/SHARDING.md), TweetBase, memory budget, and governor
+// — so streams never share mutable state. The isolation contract follows
+// directly: a stream that blows through its memory budget evicts only its
+// own candidates; its neighbours' global embeddings are untouched.
+//
+// Routing: the network edge resolves the HELLO `stream` field through
+// ResolveStream() and stamps AnnotatedTweet::stream_id; ProcessBatch groups
+// a mixed batch by stream_id (stable within each stream, ascending stream
+// order across groups) and runs one execution cycle per non-empty group.
+// Output is therefore bit-identical to running each stream's tweets through
+// a standalone Globalizer in the same order.
+//
+// Observability: per-stream gauges/counters are labelled {stream=<name>}.
+// Per-stream Globalizers are constructed with publish_shard_gauges=false;
+// the service publishes the *aggregate* emd_shard_candidates/emd_shard_bytes
+// gauges (summed across streams per shard index) from Snapshot(), so
+// concurrent streams do not fight last-writer-wins over the same gauge.
+//
+// Checkpointing: SaveCheckpoints writes one checkpoint v5 file per stream
+// (stream-<id>.ckpt) into a directory; RestoreCheckpoints restores every
+// stream whose file exists (a missing file means the stream is new since
+// the save — it simply starts empty).
+
+#ifndef EMD_STREAM_MULTI_STREAM_H_
+#define EMD_STREAM_MULTI_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/globalizer.h"
+#include "stream/annotated_tweet.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace emd {
+
+struct MultiStreamOptions {
+  /// Template applied to every registered stream (shard_count, threading,
+  /// memory budget, ...). RegisterStream can override per stream — e.g. a
+  /// premium stream with a larger budget. publish_shard_gauges is forced
+  /// off per stream regardless (the service owns the aggregate gauges).
+  GlobalizerOptions globalizer;
+};
+
+/// Point-in-time stats for one stream (see MultiStreamService::Snapshot).
+struct StreamStats {
+  std::string name;
+  int stream_id = 0;
+  uint64_t tweets = 0;           // processed through the pipeline
+  int live_candidates = 0;
+  size_t approx_bytes = 0;       // global state + tweet base
+  uint64_t evicted = 0;          // governor evictions (isolation signal)
+  int memory_pressure = 0;       // MemoryPressure at snapshot time
+};
+
+/// Whole-service view: per-stream stats plus per-shard-index aggregates
+/// (summed across streams; shard s of stream A and shard s of stream B are
+/// distinct partitions that happen to share an index).
+struct ServiceSnapshot {
+  std::vector<StreamStats> streams;
+  std::vector<int64_t> shard_candidates;  // [shard index] summed over streams
+  std::vector<int64_t> shard_bytes;       // [shard index] summed over streams
+  uint64_t total_tweets = 0;
+  size_t total_bytes = 0;
+};
+
+class MultiStreamService {
+ public:
+  explicit MultiStreamService(MultiStreamOptions options = {});
+
+  MultiStreamService(const MultiStreamService&) = delete;
+  MultiStreamService& operator=(const MultiStreamService&) = delete;
+
+  /// Registers a named stream backed by its own Globalizer. The system /
+  /// embedder / classifier pointers follow Globalizer's contract (embedder
+  /// and classifier may be null depending on mode) and must outlive the
+  /// service; streams processed concurrently by the caller need distinct
+  /// system instances unless the system is concurrent_safe(). Returns the
+  /// dense stream_id (registration order, starting at 0).
+  Result<int> RegisterStream(const std::string& name, LocalEmdSystem* system,
+                             const PhraseEmbedder* phrase_embedder,
+                             const EntityClassifier* classifier);
+
+  /// Same, with per-stream options (overrides the service template).
+  Result<int> RegisterStream(const std::string& name, LocalEmdSystem* system,
+                             const PhraseEmbedder* phrase_embedder,
+                             const EntityClassifier* classifier,
+                             GlobalizerOptions options);
+
+  /// Maps a stream name to its stream_id. Unknown or empty names resolve to
+  /// 0 (the default stream) — the serving edge must keep accepting tweets
+  /// from clients configured before a stream was registered.
+  int ResolveStream(std::string_view name) const;
+
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+  const std::string& stream_name(int stream_id) const;
+  Globalizer& stream(int stream_id);
+  const Globalizer& stream(int stream_id) const;
+
+  /// Groups the batch by AnnotatedTweet::stream_id and runs one execution
+  /// cycle per non-empty group, ascending stream order, preserving each
+  /// stream's internal tweet order. Tweets with an out-of-range stream_id
+  /// route to stream 0. A failing stream's batch is dropped as a unit
+  /// (Globalizer contract); the first error is returned after every group
+  /// ran, so one faulty stream never starves the others.
+  Status ProcessBatch(std::span<const AnnotatedTweet> batch);
+
+  /// Collects per-stream and per-shard-index aggregate stats, and publishes
+  /// them to the metrics registry (per-stream {stream=<name>} gauges plus
+  /// the aggregate emd_shard_candidates / emd_shard_bytes gauges).
+  ServiceSnapshot Snapshot() const;
+
+  /// One hit of a whole-service candidate query.
+  struct CandidateHit {
+    int stream_id = 0;
+    int candidate_id = 0;          // gid within that stream's global state
+    CandidateLabel label = CandidateLabel::kUnlabeled;
+    uint32_t num_mentions = 0;
+  };
+
+  /// Looks up a candidate phrase (case-insensitively) across every stream's
+  /// global state — the cross-shard, cross-stream query path. Returns one
+  /// hit per stream that has a live candidate for the phrase.
+  std::vector<CandidateHit> QueryCandidate(
+      const std::vector<std::string>& words) const;
+
+  /// Writes one checkpoint per stream into `dir` (stream-<id>.ckpt). The
+  /// directory must exist. Fails on the first stream that cannot save.
+  Status SaveCheckpoints(const std::string& dir) const;
+
+  /// Restores every stream whose stream-<id>.ckpt exists in `dir`. Streams
+  /// without a file start empty (they are new since the save). Must be
+  /// called on freshly registered streams, before any ProcessBatch.
+  Status RestoreCheckpoints(const std::string& dir);
+
+ private:
+  struct StreamSlot {
+    std::string name;
+    std::unique_ptr<Globalizer> globalizer;
+    uint64_t batches = 0;
+  };
+
+  std::string CheckpointPath(const std::string& dir, int stream_id) const;
+
+  MultiStreamOptions options_;
+  std::vector<StreamSlot> streams_;
+};
+
+}  // namespace emd
+
+#endif  // EMD_STREAM_MULTI_STREAM_H_

@@ -213,55 +213,52 @@ TEST(DecayedPoolingTest, SamePositionMentionsDoNotDecayEachOther) {
 // ------------------------------------------------------- Governor (unit) --
 
 TEST(MemoryGovernorTest, ConfirmedEntitiesAreNeverEvicted) {
-  CTrie trie;
-  CandidateBase cb;
+  ShardedGlobalState state;
   TweetBase tb;
-  const int keep = trie.Insert({"kept"});
-  const int drop = trie.Insert({"dropped"});
-  cb.GetOrCreate(keep, "kept", 1).label = CandidateLabel::kEntity;
-  cb.GetOrCreate(drop, "dropped", 1).label = CandidateLabel::kNonEntity;
+  const int keep = state.Insert({"kept"});
+  const int drop = state.Insert({"dropped"});
+  state.GetOrCreate(keep).label = CandidateLabel::kEntity;
+  state.GetOrCreate(drop).label = CandidateLabel::kNonEntity;
 
   MemoryGovernorOptions opt;
   opt.budget_bytes = 1;  // everything is over budget: evict all it may
-  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  MemoryGovernor governor(&state, &tb, opt);
   governor.Run({});
 
-  EXPECT_TRUE(cb.Contains(keep));
-  EXPECT_FALSE(cb.Contains(drop));
-  EXPECT_TRUE(trie.IsTombstone(drop));
-  EXPECT_EQ(cb.EvictedLabel(drop), CandidateLabel::kNonEntity);
+  EXPECT_TRUE(state.Contains(keep));
+  EXPECT_FALSE(state.Contains(drop));
+  EXPECT_TRUE(state.IsTombstone(drop));
+  EXPECT_EQ(state.EvictedLabel(drop), CandidateLabel::kNonEntity);
   EXPECT_EQ(governor.stats().evicted_candidates, 1u);
   EXPECT_GT(governor.stats().pruned_nodes, 0u);
   // Reclaim could not free the entity: the budget stays blown -> hard.
   EXPECT_EQ(governor.pressure(), MemoryPressure::kHard);
-  CheckTrieCandidateInvariants(trie, cb);
+  CheckTrieCandidateInvariants(state.shard_trie(0), state.shard_candidates(0));
 }
 
 TEST(MemoryGovernorTest, YoungAmbiguousCandidatesAreRetained) {
-  CTrie trie;
-  CandidateBase cb;
+  ShardedGlobalState state;
   TweetBase tb;
-  const int young = trie.Insert({"young"});
-  CandidateRecord& rec = cb.GetOrCreate(young, "young", 1);
+  const int young = state.Insert({"young"});
+  CandidateRecord& rec = state.GetOrCreate(young);
   rec.label = CandidateLabel::kAmbiguous;
   rec.last_mention_pos = 0;
 
   MemoryGovernorOptions opt;
   opt.budget_bytes = 1;
   opt.min_retain_tweets = 100;  // stream_pos (0) < retention window
-  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  MemoryGovernor governor(&state, &tb, opt);
   governor.Run({});
-  EXPECT_TRUE(cb.Contains(young));
+  EXPECT_TRUE(state.Contains(young));
   EXPECT_EQ(governor.stats().evicted_candidates, 0u);
 }
 
 TEST(MemoryGovernorTest, ReclassifyRunsOnConfiguredInterval) {
-  CTrie trie;
-  CandidateBase cb;
+  ShardedGlobalState state;
   TweetBase tb;
   MemoryGovernorOptions opt;
   opt.reclassify_interval_batches = 2;
-  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  MemoryGovernor governor(&state, &tb, opt);
   ASSERT_TRUE(governor.enabled());
   ASSERT_FALSE(governor.budgeted());
 
@@ -278,12 +275,11 @@ TEST(MemoryGovernorTest, ReclassifyRunsOnConfiguredInterval) {
 
 TEST(MemoryGovernorTest, PressureFailpointForcesHardWithoutRealPressure) {
   FailpointGuard guard;
-  CTrie trie;
-  CandidateBase cb;
+  ShardedGlobalState state;
   TweetBase tb;
   MemoryGovernorOptions opt;
   opt.budget_bytes = 1ull << 30;  // far above anything these stores hold
-  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  MemoryGovernor governor(&state, &tb, opt);
 
   governor.Run({});
   ASSERT_EQ(governor.pressure(), MemoryPressure::kNone);
@@ -301,17 +297,16 @@ TEST(MemoryGovernorTest, PressureFailpointForcesHardWithoutRealPressure) {
 
 TEST(MemoryGovernorTest, EvictFailpointAbortsSweepBetweenVictims) {
   FailpointGuard guard;
-  CTrie trie;
-  CandidateBase cb;
+  ShardedGlobalState state;
   TweetBase tb;
   for (int i = 0; i < 4; ++i) {
     const std::string key = "cold" + std::to_string(i);
-    const int id = trie.Insert({key});
-    cb.GetOrCreate(id, key, 1).label = CandidateLabel::kNonEntity;
+    const int id = state.Insert({key});
+    state.GetOrCreate(id).label = CandidateLabel::kNonEntity;
   }
   MemoryGovernorOptions opt;
   opt.budget_bytes = 1;
-  MemoryGovernor governor(&trie, &cb, &tb, opt);
+  MemoryGovernor governor(&state, &tb, opt);
 
   // First victim passes the gate, the second check fires and aborts the
   // sweep — each eviction is atomic, so state stays consistent mid-sweep.
@@ -320,16 +315,16 @@ TEST(MemoryGovernorTest, EvictFailpointAbortsSweepBetweenVictims) {
                          /*max_fires=*/1);
   governor.Run({});
   EXPECT_EQ(governor.stats().evicted_candidates, 1u);
-  EXPECT_FALSE(cb.Contains(0));  // deterministic order: lowest id first
-  EXPECT_TRUE(cb.Contains(1));
-  EXPECT_TRUE(cb.Contains(2));
-  EXPECT_TRUE(cb.Contains(3));
-  CheckTrieCandidateInvariants(trie, cb);
+  EXPECT_FALSE(state.Contains(0));  // deterministic order: lowest gid first
+  EXPECT_TRUE(state.Contains(1));
+  EXPECT_TRUE(state.Contains(2));
+  EXPECT_TRUE(state.Contains(3));
+  CheckTrieCandidateInvariants(state.shard_trie(0), state.shard_candidates(0));
 
   // Next pass (failpoint spent) finishes the job.
   governor.Run({});
   EXPECT_EQ(governor.stats().evicted_candidates, 4u);
-  CheckTrieCandidateInvariants(trie, cb);
+  CheckTrieCandidateInvariants(state.shard_trie(0), state.shard_candidates(0));
 }
 
 // ------------------------------------------------- Pipeline integration --
@@ -703,7 +698,7 @@ TEST(MemoryCheckpointTest, VersionSkewErrorNamesFoundAndSupportedVersions) {
   const std::string message = st.ToString();
   EXPECT_NE(message.find("unsupported format version 99"), std::string::npos)
       << message;
-  EXPECT_NE(message.find("versions 1 through 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("versions 1 through 5"), std::string::npos) << message;
   EXPECT_NE(message.find("newer build"), std::string::npos) << message;
 }
 

@@ -51,7 +51,9 @@ TEST(WireTest, RoundTripsEveryFrameType) {
   Frame frame;
   ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
   ASSERT_EQ(frame.type, FrameType::kHello);
-  EXPECT_EQ(ParseHello(frame).value(), "client-7");
+  const HelloFrame hello = ParseHello(frame).value();
+  EXPECT_EQ(hello.client_id, "client-7");
+  EXPECT_TRUE(hello.stream.empty());
 
   ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
   ASSERT_EQ(frame.type, FrameType::kTweet);
@@ -78,6 +80,27 @@ TEST(WireTest, RoundTripsEveryFrameType) {
 
   EXPECT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kNeedMore);
   EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireTest, HelloStreamFieldRoundTripsAndStaysOptional) {
+  // With a stream name the trailing field round-trips.
+  std::string bytes;
+  AppendHello(&bytes, "client-7", "nba");
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::NextStatus::kFrame);
+  const HelloFrame hello = ParseHello(frame).value();
+  EXPECT_EQ(hello.client_id, "client-7");
+  EXPECT_EQ(hello.stream, "nba");
+
+  // Without one, the frame is byte-identical to the pre-multi-stream
+  // protocol: old servers read it and new servers see an empty stream.
+  std::string v1_bytes;
+  AppendHello(&v1_bytes, "client-7");
+  std::string explicit_empty;
+  AppendHello(&explicit_empty, "client-7", "");
+  EXPECT_EQ(v1_bytes, explicit_empty);
 }
 
 TEST(WireTest, DecodesAcrossArbitraryReadBoundaries) {
