@@ -17,8 +17,10 @@
 #include "bench_common.h"
 #include "core/candidate_base.h"
 #include "core/ctrie.h"
+#include "core/global_state.h"
 #include "core/mention_extractor.h"
 #include "core/syntactic_embedder.h"
+#include "obs/metrics.h"
 #include "nn/kernels/kernels.h"
 #include "nn/matrix.h"
 #include "stream/datasets.h"
@@ -339,15 +341,156 @@ void RunQuantComparison(bench::BenchReporter* reporter, int reps) {
   reporter->Add(std::string("quant_backend/") + q8.name, 1, 0, 0, "");
 }
 
+// Candidate re-scan: legacy lockstep matcher vs the interned-symbol matcher
+// over the identical sharded state (DESIGN §12). Both scans must extract the
+// identical mention set; the JSON records tokens/sec and steps/token per
+// matcher so the emd-bench-v1 trajectory captures the win. `min_speedup` > 0
+// gates interned >= min_speedup x legacy (the --scan-only CI smoke).
+void RunScanComparison(bench::BenchReporter* reporter, int num_candidates,
+                       int shards, int reps, double min_speedup) {
+  Rng rng(23);
+  // Word pool: enough distinct words that 1-3 word phrases stay mostly
+  // unique, small enough that tweets revisit candidate vocabulary often.
+  const int vocab_size = std::max(1000, num_candidates / 3);
+  std::vector<std::string> vocab(vocab_size);
+  for (int i = 0; i < vocab_size; ++i) {
+    std::string w;
+    for (int v = i;; v = v / 26 - 1) {
+      w += static_cast<char>('a' + v % 26);
+      if (v < 26) break;
+    }
+    vocab[i] = w + std::to_string(i % 97);
+  }
+
+  // Identical candidate sets in both states (Insert dedups, so draw phrases
+  // until the target count registers).
+  ShardedGlobalState legacy(shards, ShardedGlobalState::MatcherKind::kLegacy);
+  ShardedGlobalState interned(shards,
+                              ShardedGlobalState::MatcherKind::kInterned);
+  std::vector<std::vector<std::string>> phrases;
+  while (legacy.num_candidates() < num_candidates) {
+    std::vector<std::string> phrase(static_cast<size_t>(rng.NextInt(1, 3)));
+    for (auto& w : phrase) w = vocab[rng.NextU64(vocab.size())];
+    const int before = legacy.num_candidates();
+    legacy.Insert(phrase);
+    if (legacy.num_candidates() > before) {
+      interned.Insert(phrase);
+      phrases.push_back(std::move(phrase));
+    }
+  }
+
+  // Tweets: injected candidate phrases (some with uppercase surface forms)
+  // between in-vocabulary noise and out-of-vocabulary tokens.
+  const size_t num_tweets = 512;
+  const size_t tweet_len = 24;
+  std::vector<std::vector<Token>> tweets(num_tweets);
+  size_t total_tokens = 0;
+  for (auto& tweet : tweets) {
+    while (tweet.size() < tweet_len) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.25) {
+        const auto& phrase = phrases[rng.NextU64(phrases.size())];
+        const bool capitalize = rng.NextBernoulli(0.5);
+        for (const auto& w : phrase) {
+          tweet.push_back({capitalize ? ToUpperAscii(w) : w});
+        }
+      } else if (dice < 0.85) {
+        tweet.push_back({vocab[rng.NextU64(vocab.size())]});
+      } else {
+        tweet.push_back({"oov" + std::to_string(rng.NextU64(1u << 20))});
+      }
+    }
+    tweet.resize(tweet_len);
+    total_tokens += tweet.size();
+  }
+
+  obs::Counter* steps = obs::Metrics().GetCounter("emd_extract_steps_total");
+  auto run_scan = [&](const ShardedGlobalState& state, double* steps_per_token,
+                      std::vector<std::vector<ExtractedMention>>* outs) {
+    ShardedGlobalState::ScanScratch scratch;
+    outs->resize(tweets.size());
+    double best = 1e100;
+    uint64_t steps_before = 0, steps_after = 0;
+    for (int r = 0; r < reps; ++r) {
+      steps_before = steps->value();
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t t = 0; t < tweets.size(); ++t) {
+        state.ExtractInto(tweets[t], &scratch, &(*outs)[t]);
+      }
+      steps_after = steps->value();
+      best = std::min(
+          best, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count());
+    }
+    *steps_per_token =
+        static_cast<double>(steps_after - steps_before) / total_tokens;
+    return best;
+  };
+
+  double legacy_spt = 0, interned_spt = 0;
+  std::vector<std::vector<ExtractedMention>> legacy_out, interned_out;
+  const double legacy_best = run_scan(legacy, &legacy_spt, &legacy_out);
+  const double interned_best = run_scan(interned, &interned_spt, &interned_out);
+
+  // Bit-identity gate: the two matchers must extract the same mention set.
+  size_t mentions = 0;
+  for (size_t t = 0; t < tweets.size(); ++t) {
+    if (legacy_out[t].size() != interned_out[t].size()) {
+      std::fprintf(stderr, "FAIL: scan mention count diverges on tweet %zu\n",
+                   t);
+      std::exit(1);
+    }
+    for (size_t m = 0; m < legacy_out[t].size(); ++m) {
+      if (!(legacy_out[t][m].span == interned_out[t][m].span) ||
+          legacy_out[t][m].candidate_id != interned_out[t][m].candidate_id) {
+        std::fprintf(stderr, "FAIL: scan mention %zu diverges on tweet %zu\n",
+                     m, t);
+        std::exit(1);
+      }
+    }
+    mentions += legacy_out[t].size();
+  }
+
+  const double legacy_tps = total_tokens / legacy_best;
+  const double interned_tps = total_tokens / interned_best;
+  const double speedup = legacy_best / interned_best;
+  std::printf(
+      "scan %dk cand / %d shards (%zu mentions): legacy %.2fM tok/s "
+      "(%.1f steps/tok), interned %.2fM tok/s (%.2f steps/tok), x%.2f\n",
+      num_candidates / 1000, shards, mentions, legacy_tps / 1e6, legacy_spt,
+      interned_tps / 1e6, interned_spt, speedup);
+
+  const std::string dims =
+      std::to_string(num_candidates) + "x" + std::to_string(shards);
+  reporter->Add("scan_legacy/" + dims, reps, legacy_best * 1e9, legacy_tps,
+                "tokens/sec");
+  reporter->Add("scan_interned/" + dims, reps, interned_best * 1e9,
+                interned_tps, "tokens/sec");
+  reporter->Add("scan_steps_per_token_legacy/" + dims, reps, 0, legacy_spt,
+                "steps/token");
+  reporter->Add("scan_steps_per_token_interned/" + dims, reps, 0, interned_spt,
+                "steps/token");
+  reporter->Add("scan_speedup/" + dims, reps, 0, speedup, "x");
+
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: interned scan speedup x%.2f below gate x%.2f at %s\n",
+                 speedup, min_speedup, dims.c_str());
+    std::exit(1);
+  }
+}
+
 }  // namespace
 }  // namespace emd
 
 int main(int argc, char** argv) {
-  // --gemm-only / --quant-only (ours, not google-benchmark's) skip the
-  // microbenchmark sweep so CI's backend-comparison smokes stay fast; strip
-  // them before Initialize.
+  // --gemm-only / --quant-only / --scan-only (ours, not google-benchmark's)
+  // skip the microbenchmark sweep so CI's backend-comparison smokes stay
+  // fast; strip them before Initialize.
   bool gemm_only = false;
   bool quant_only = false;
+  bool scan_only = false;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gemm-only") == 0) {
@@ -358,6 +501,10 @@ int main(int argc, char** argv) {
       quant_only = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--scan-only") == 0) {
+      scan_only = true;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
@@ -365,9 +512,17 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   emd::bench::BenchReporter reporter;
   emd::CapturingReporter console(&reporter);
-  if (!gemm_only && !quant_only) benchmark::RunSpecifiedBenchmarks(&console);
-  if (!quant_only) emd::RunGemmComparison(&reporter, 256, 3);
-  if (!gemm_only) emd::RunQuantComparison(&reporter, 5);
+  const bool full = !gemm_only && !quant_only && !scan_only;
+  if (full) benchmark::RunSpecifiedBenchmarks(&console);
+  if (scan_only) {
+    // CI scan smoke: the interned matcher must hold >= 2x legacy tokens/sec
+    // at the ISSUE-10 reference point (100k candidates / 13 shards).
+    emd::RunScanComparison(&reporter, 100000, 13, 5, 2.0);
+  } else if (full) {
+    emd::RunScanComparison(&reporter, 20000, 13, 3, 0.0);
+  }
+  if (full || gemm_only) emd::RunGemmComparison(&reporter, 256, 3);
+  if (full || quant_only) emd::RunQuantComparison(&reporter, 5);
   // Machine-readable record of the resolved dispatch selection.
   reporter.Add(std::string("kernel_backend/") + emd::kernels::BackendName(), 1,
                0, 0, "");

@@ -29,6 +29,11 @@
 #                                  # multi-stream isolation) and a short
 #                                  # bench_multistream run asserting 100+
 #                                  # streams and noisy-neighbor isolation
+#   scripts/check.sh --scan        # additionally the scan label (symbol
+#                                  # table, interned-vs-legacy bit-identity
+#                                  # fuzz, zero-alloc scan) and the scan
+#                                  # micro-bench at 100k candidates / 13
+#                                  # shards asserting the >=2x speedup gate
 #
 # Run from the repository root.
 set -euo pipefail
@@ -44,6 +49,7 @@ QUANT=0
 SERVING=0
 MEMORY=0
 SHARD=0
+SCAN=0
 for arg in "$@"; do
   case "$arg" in
     --asan) ASAN=1 ;;
@@ -55,6 +61,7 @@ for arg in "$@"; do
     --serving) SERVING=1 ;;
     --memory) MEMORY=1 ;;
     --shard) SHARD=1 ;;
+    --scan) SCAN=1 ;;
     --resilience) CTEST_ARGS+=(-L resilience) ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -81,7 +88,7 @@ if [[ "$TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DEMD_TSAN=ON
   cmake --build build-tsan -j "$(nproc)"
   ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-    -L 'parallel|resilience|obs|kernels|net|memory|shard'
+    -L 'parallel|resilience|obs|kernels|net|memory|shard|scan'
 fi
 
 if [[ "$SERVING" == 1 ]]; then
@@ -109,6 +116,17 @@ if [[ "$SHARD" == 1 ]]; then
   # streams, and prove a noisy neighbour cannot perturb a victim stream.
   ctest --test-dir build --output-on-failure -L shard
   ./build/bench/bench_multistream --smoke --out build/BENCH_multistream.json
+fi
+
+if [[ "$SCAN" == 1 ]]; then
+  # The interned-symbol matcher: symbol-table/dispatch unit tests, the
+  # randomized legacy-vs-interned bit-identity fuzz, the pipeline digest
+  # matrix, and the zero-allocation gate — then the scan micro-bench at
+  # 100k candidates / 13 shards, which exits nonzero unless the interned
+  # scan clears 2x the legacy lockstep throughput (bit-identity rechecked
+  # on every benchmarked tweet). JSON lands in build/bench/BENCH_micro.json.
+  ctest --test-dir build --output-on-failure -L scan
+  (cd build/bench && ./bench_micro_core --scan-only)
 fi
 
 if [[ "$KERNELS" == 1 ]]; then

@@ -1,11 +1,44 @@
 #include "core/ctrie.h"
 
+#include "text/symbol_table.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace emd {
 
 CTrie::CTrie() { nodes_.emplace_back(); }
+
+void CTrie::BindSymbolTable(SymbolTable* symbols) {
+  EMD_CHECK(nodes_.size() == 1 && nodes_[0].children.empty())
+      << "BindSymbolTable requires an empty trie";
+  symbols_ = symbols;
+}
+
+void CTrie::AddSymEdge(int node, std::string_view folded, int child) {
+  const int32_t sym = symbols_->Acquire(folded);
+  auto& edges = nodes_[node].sym_edges;
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), sym,
+      [](const std::pair<int32_t, int32_t>& e, int32_t s) {
+        return e.first < s;
+      });
+  edges.insert(it, {sym, child});
+}
+
+void CTrie::RemoveSymEdge(int node, std::string_view folded) {
+  const int32_t sym = symbols_->Lookup(folded);
+  EMD_CHECK_GE(sym, 0) << "removing edge '" << std::string(folded)
+                       << "': symbol not interned";
+  auto& edges = nodes_[node].sym_edges;
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), sym,
+      [](const std::pair<int32_t, int32_t>& e, int32_t s) {
+        return e.first < s;
+      });
+  EMD_CHECK(it != edges.end() && it->first == sym);
+  edges.erase(it);
+  symbols_->Release(sym);
+}
 
 int CTrie::AllocNode() {
   if (!free_nodes_.empty()) {
@@ -31,6 +64,7 @@ int CTrie::Insert(const std::vector<std::string>& tokens) {
     if (it == nodes_[node].children.end()) {
       const int child = AllocNode();
       nodes_[node].children.emplace(folded, child);
+      if (symbols_ != nullptr) AddSymEdge(node, folded, child);
       node = child;
     } else {
       node = it->second;
@@ -148,6 +182,7 @@ int CTrie::Prune(int candidate_id) {
         !nodes_[node].children.empty()) {
       break;
     }
+    if (symbols_ != nullptr) RemoveSymEdge(path[i].parent, path[i].token);
     nodes_[path[i].parent].children.erase(path[i].token);
     nodes_[node] = Node();
     free_nodes_.push_back(node);
@@ -178,6 +213,7 @@ size_t CTrie::ApproxBytes() const {
   constexpr size_t kEdgeOverhead = 2 * sizeof(void*) + sizeof(int);
   for (const auto& node : nodes_) {
     bytes += node.children.bucket_count() * sizeof(void*);
+    bytes += node.sym_edges.capacity() * sizeof(std::pair<int32_t, int32_t>);
     for (const auto& [token, child] : node.children) {
       (void)child;
       bytes += kEdgeOverhead + sizeof(std::string) + token.capacity();

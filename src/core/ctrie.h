@@ -19,16 +19,21 @@
 #ifndef EMD_CORE_CTRIE_H_
 #define EMD_CORE_CTRIE_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "text/token.h"
 #include "util/string_util.h"
 
 namespace emd {
+
+class SymbolTable;
 
 /// Token-level prefix trie over candidate strings.
 class CTrie {
@@ -57,6 +62,42 @@ class CTrie {
   /// ASCII) and looks the edge up heterogeneously — zero heap allocations in
   /// steady state once the scratch capacity covers the longest token.
   int Step(int node, std::string_view token, std::string* fold_scratch) const;
+
+  /// Pre-folded Step: `folded` must already be case-folded (the scan folds
+  /// each token once per tweet, not once per window start). Skips the
+  /// redundant uppercase re-check inside Step; zero allocations.
+  int StepFolded(int node, std::string_view folded) const {
+    const auto& children = nodes_[node].children;
+    auto it = children.find(folded);
+    return it == children.end() ? kNoNode : it->second;
+  }
+
+  // --- Interned-symbol edges (EMD_MATCHER=interned fast path) ------------
+
+  /// Attaches a shared symbol table. Every edge of every node is then also
+  /// indexed by its token's dense int32 symbol (one table reference per
+  /// edge, taken on Insert and dropped on Prune), enabling StepSymbol. Must
+  /// be called while the trie is still empty — edges inserted earlier would
+  /// be invisible to the symbol index.
+  void BindSymbolTable(SymbolTable* symbols);
+
+  /// Integer-keyed Step: follows the edge whose token interned to `sym`;
+  /// kNoNode when absent. Requires a bound symbol table. A binary search
+  /// over the node's sorted (symbol, child) array — no hashing, no string
+  /// compare, no allocation.
+  int StepSymbol(int node, int32_t sym) const {
+    const auto& edges = nodes_[node].sym_edges;
+    auto it = std::lower_bound(
+        edges.begin(), edges.end(), sym,
+        [](const std::pair<int32_t, int32_t>& e, int32_t s) {
+          return e.first < s;
+        });
+    return (it != edges.end() && it->first == sym) ? it->second : kNoNode;
+  }
+
+  /// Child of the root reached by `sym`, or kNoNode. Used by the sharded
+  /// state to maintain its service-wide first-token dispatch table.
+  int RootChildForSymbol(int32_t sym) const { return StepSymbol(root(), sym); }
 
   /// Candidate id terminating at `node`, or kNoCandidate.
   int CandidateAt(int node) const;
@@ -118,10 +159,15 @@ class CTrie {
     std::unordered_map<std::string, int, TransparentStringHash,
                        TransparentStringEq>
         children;
+    // Mirror of `children` keyed by interned symbol, sorted ascending; empty
+    // unless a symbol table is bound. StepSymbol's integer fast path.
+    std::vector<std::pair<int32_t, int32_t>> sym_edges;
     int candidate_id = kNoCandidate;
   };
 
   int AllocNode();
+  void AddSymEdge(int node, std::string_view folded, int child);
+  void RemoveSymEdge(int node, std::string_view folded);
 
   std::vector<Node> nodes_;
   std::vector<int> free_nodes_;  // recycled slots from Prune
@@ -130,6 +176,7 @@ class CTrie {
   std::vector<uint8_t> tombstoned_;
   int num_tombstones_ = 0;
   int max_len_ = 0;
+  SymbolTable* symbols_ = nullptr;  // not owned; null = no symbol index
 };
 
 }  // namespace emd

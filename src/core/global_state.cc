@@ -1,6 +1,7 @@
 #include "core/global_state.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string_view>
 #include <utility>
 
@@ -10,14 +11,52 @@
 
 namespace emd {
 
-ShardedGlobalState::ShardedGlobalState(int shard_count)
-    : router_(shard_count), shards_(shard_count) {}
+namespace {
+
+// Scan-instrumentation counters (docs/OBSERVABILITY.md). Cached pointers:
+// registration is mutex-guarded, updates are relaxed atomics, so flushing
+// per-Extract totals from worker threads is TSan-clean.
+obs::Counter& ExtractStepsCounter() {
+  static obs::Counter* c = obs::Metrics().GetCounter(
+      "emd_extract_steps_total",
+      "Trie edge lookups performed by the candidate re-scan");
+  return *c;
+}
+
+obs::Counter& ExtractRootProbesCounter() {
+  static obs::Counter* c = obs::Metrics().GetCounter(
+      "emd_extract_root_probes_total",
+      "Window-start root probes by the candidate re-scan (legacy matcher: "
+      "one per shard per start; interned: one dispatch lookup per start)");
+  return *c;
+}
+
+}  // namespace
+
+ShardedGlobalState::MatcherKind ShardedGlobalState::ResolveMatcher(
+    MatcherKind requested) {
+  if (requested != MatcherKind::kAuto) return requested;
+  const char* env = std::getenv("EMD_MATCHER");
+  if (env != nullptr && std::string_view(env) == "legacy") {
+    return MatcherKind::kLegacy;
+  }
+  return MatcherKind::kInterned;
+}
+
+ShardedGlobalState::ShardedGlobalState(int shard_count, MatcherKind matcher)
+    : router_(shard_count),
+      matcher_(ResolveMatcher(matcher)),
+      symbols_(std::make_unique<SymbolTable>()),
+      shards_(shard_count) {
+  for (Shard& sh : shards_) sh.trie.BindSymbolTable(symbols_.get());
+}
 
 int ShardedGlobalState::InsertFolded(const std::vector<std::string>& folded,
                                      std::string key) {
   const int shard = router_.ShardOfFolded(key);
   Shard& sh = shards_[shard];
   const int local = sh.trie.Insert(folded);
+  RegisterFirstToken(shard, folded.front());
   if (local == static_cast<int>(sh.local_to_gid.size())) {
     // Freshly discovered candidate: next gid in global discovery order.
     const int gid = static_cast<int>(gids_.size());
@@ -26,6 +65,31 @@ int ShardedGlobalState::InsertFolded(const std::vector<std::string>& folded,
     return gid;
   }
   return sh.local_to_gid[local];
+}
+
+void ShardedGlobalState::RegisterFirstToken(int shard,
+                                            std::string_view first_folded) {
+  const int32_t sym = symbols_->Lookup(first_folded);
+  EMD_CHECK_GE(sym, 0) << "first token not interned after Insert";
+  const int node = shards_[shard].trie.RootChildForSymbol(sym);
+  EMD_CHECK_NE(node, CTrie::kNoNode);
+  if (sym >= static_cast<int32_t>(first_token_.size())) {
+    first_token_.resize(symbols_->capacity());
+  }
+  auto& list = first_token_[sym];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), shard,
+      [](const DispatchEntry& e, int s) { return e.shard < s; });
+  if (it != list.end() && it->shard == shard) {
+    EMD_CHECK_EQ(it->node, node);  // root edges are stable until pruned
+    return;
+  }
+  list.insert(it, {shard, node});
+}
+
+int ShardedGlobalState::DispatchFanout(int32_t sym) const {
+  if (sym < 0 || sym >= static_cast<int32_t>(first_token_.size())) return 0;
+  return static_cast<int>(first_token_[sym].size());
 }
 
 int ShardedGlobalState::Insert(const std::vector<Token>& tokens,
@@ -81,16 +145,42 @@ int ShardedGlobalState::AppendTombstone() {
   return gid;
 }
 
+void ShardedGlobalState::ExtractInto(const std::vector<Token>& tokens,
+                                     ScanScratch* scratch,
+                                     std::vector<ExtractedMention>* out) const {
+  out->clear();
+  if (matcher_ == MatcherKind::kInterned) {
+    ExtractInternedInto(tokens, scratch, out);
+  } else {
+    ExtractLegacyInto(tokens, scratch, out);
+  }
+}
+
 std::vector<ExtractedMention> ShardedGlobalState::Extract(
     const std::vector<Token>& tokens) const {
+  ScanScratch scratch;
   std::vector<ExtractedMention> out;
+  ExtractInto(tokens, &scratch, &out);
+  return out;
+}
+
+void ShardedGlobalState::ExtractLegacyInto(
+    const std::vector<Token>& tokens, ScanScratch* s,
+    std::vector<ExtractedMention>* out) const {
   const size_t T = tokens.size();
   const size_t S = shards_.size();
-  // One fold per token position, shared by every shard cursor; Step() sees an
-  // already-folded view and never touches its own scratch.
-  std::string fold_scratch;
-  std::string step_scratch;
-  std::vector<int> nodes(S);
+  uint64_t steps = 0;
+  uint64_t probes = 0;
+  // Fold every token exactly once per tweet (not once per window start):
+  // views alias the token text when it is already lowercase, otherwise one
+  // reusable per-position buffer.
+  if (s->fold_bufs.size() < T) s->fold_bufs.resize(T);
+  s->folded.resize(T);
+  for (size_t t = 0; t < T; ++t) {
+    s->folded[t] = ToLowerAsciiView(tokens[t].text, &s->fold_bufs[t]);
+  }
+  s->nodes.resize(S);
+  std::vector<int>& nodes = s->nodes;
   size_t i = 0;
   while (i < T) {
     // Widen the scan window from position i along one trie path per shard,
@@ -98,39 +188,109 @@ std::vector<ExtractedMention> ShardedGlobalState::Extract(
     // (§V-A). A given phrase is registered in exactly one shard, so at most
     // one cursor terminates per window length — the union scan is equivalent
     // to the single-trie scan.
-    for (size_t s = 0; s < S; ++s) nodes[s] = shards_[s].trie.root();
+    for (size_t sh = 0; sh < S; ++sh) nodes[sh] = shards_[sh].trie.root();
+    probes += S;
     size_t live = S;
     size_t best_end = 0;
     int best_shard = -1;
     int best_local = CTrie::kNoCandidate;
     size_t j = i;
     while (j < T && live > 0) {
-      const std::string_view folded =
-          ToLowerAsciiView(tokens[j].text, &fold_scratch);
-      for (size_t s = 0; s < S; ++s) {
-        if (nodes[s] == CTrie::kNoNode) continue;
-        nodes[s] = shards_[s].trie.Step(nodes[s], folded, &step_scratch);
-        if (nodes[s] == CTrie::kNoNode) {
+      const std::string_view folded = s->folded[j];
+      for (size_t sh = 0; sh < S; ++sh) {
+        if (nodes[sh] == CTrie::kNoNode) continue;
+        nodes[sh] = shards_[sh].trie.StepFolded(nodes[sh], folded);
+        ++steps;
+        if (nodes[sh] == CTrie::kNoNode) {
           --live;
           continue;
         }
-        const int cand = shards_[s].trie.CandidateAt(nodes[s]);
+        const int cand = shards_[sh].trie.CandidateAt(nodes[sh]);
         if (cand != CTrie::kNoCandidate) {
           best_end = j + 1;
-          best_shard = static_cast<int>(s);
+          best_shard = static_cast<int>(sh);
           best_local = cand;
         }
       }
       ++j;
     }
     if (best_local != CTrie::kNoCandidate) {
-      out.push_back({{i, best_end}, shards_[best_shard].local_to_gid[best_local]});
+      out->push_back(
+          {{i, best_end}, shards_[best_shard].local_to_gid[best_local]});
       i = best_end;
     } else {
       ++i;
     }
   }
-  return out;
+  ExtractStepsCounter().Increment(steps);
+  ExtractRootProbesCounter().Increment(probes);
+}
+
+void ShardedGlobalState::ExtractInternedInto(
+    const std::vector<Token>& tokens, ScanScratch* s,
+    std::vector<ExtractedMention>* out) const {
+  const size_t T = tokens.size();
+  uint64_t steps = 0;
+  uint64_t probes = 0;
+  // Fold + intern each token exactly once per tweet; the window loop below
+  // then touches only int32[]. A token that is not interned (kNoSymbol)
+  // labels no trie edge in any shard, so it can extend or start no match.
+  s->syms.resize(T);
+  for (size_t t = 0; t < T; ++t) {
+    s->syms[t] = symbols_->Lookup(
+        ToLowerAsciiView(tokens[t].text, &s->fold_scratch));
+  }
+  const std::vector<int32_t>& syms = s->syms;
+  const int32_t dispatch_size = static_cast<int32_t>(first_token_.size());
+  size_t i = 0;
+  while (i < T) {
+    // One service-wide dispatch lookup resolves this window start to the
+    // (usually zero or one) shards owning candidates that begin with this
+    // symbol; each continuation then walks int-keyed edges. At most one
+    // shard can terminate a candidate per window length (a phrase lives in
+    // exactly one shard), so taking the strictly-longest terminal across
+    // continuations reproduces the legacy lockstep result exactly.
+    ++probes;
+    size_t best_end = 0;
+    int best_shard = -1;
+    int best_local = CTrie::kNoCandidate;
+    const int32_t sym0 = syms[i];
+    if (sym0 >= 0 && sym0 < dispatch_size) {
+      for (const DispatchEntry& entry : first_token_[sym0]) {
+        const CTrie& trie = shards_[entry.shard].trie;
+        int node = entry.node;
+        ++steps;  // the dispatch hit resolves the root edge
+        int cand = trie.CandidateAt(node);
+        if (cand != CTrie::kNoCandidate && i + 1 > best_end) {
+          best_end = i + 1;
+          best_shard = entry.shard;
+          best_local = cand;
+        }
+        for (size_t j = i + 1; j < T; ++j) {
+          const int32_t sym = syms[j];
+          if (sym == SymbolTable::kNoSymbol) break;
+          node = trie.StepSymbol(node, sym);
+          ++steps;
+          if (node == CTrie::kNoNode) break;
+          cand = trie.CandidateAt(node);
+          if (cand != CTrie::kNoCandidate && j + 1 > best_end) {
+            best_end = j + 1;
+            best_shard = entry.shard;
+            best_local = cand;
+          }
+        }
+      }
+    }
+    if (best_local != CTrie::kNoCandidate) {
+      out->push_back(
+          {{i, best_end}, shards_[best_shard].local_to_gid[best_local]});
+      i = best_end;
+    } else {
+      ++i;
+    }
+  }
+  ExtractStepsCounter().Increment(steps);
+  ExtractRootProbesCounter().Increment(probes);
 }
 
 int ShardedGlobalState::num_live_candidates() const {
@@ -213,7 +373,31 @@ void ShardedGlobalState::Evict(int gid) {
 
 int ShardedGlobalState::Prune(int gid) {
   const GidRef r = ref(gid);
-  return shards_[r.shard].trie.Prune(r.local);
+  Shard& sh = shards_[r.shard];
+  // Capture the first token's symbol before Prune clears the candidate key
+  // and releases edge references (the symbol itself may die with them).
+  const std::string& key = sh.trie.CandidateKey(r.local);
+  int32_t first_sym = SymbolTable::kNoSymbol;
+  if (!key.empty()) {
+    const size_t space = key.find(' ');
+    first_sym = symbols_->Lookup(std::string_view(key).substr(
+        0, space == std::string::npos ? key.size() : space));
+  }
+  const int pruned = sh.trie.Prune(r.local);
+  // Unregister the shard's dispatch continuation when its root edge for the
+  // first token disappeared (no other candidate in this shard starts with
+  // it). A symbol whose last edge died anywhere has, by this rule, already
+  // lost every dispatch entry — so its recycled id starts clean.
+  if (first_sym != SymbolTable::kNoSymbol &&
+      first_sym < static_cast<int32_t>(first_token_.size()) &&
+      sh.trie.RootChildForSymbol(first_sym) == CTrie::kNoNode) {
+    auto& list = first_token_[first_sym];
+    auto it = std::lower_bound(
+        list.begin(), list.end(), r.shard,
+        [](const DispatchEntry& e, int shard) { return e.shard < shard; });
+    if (it != list.end() && it->shard == r.shard) list.erase(it);
+  }
+  return pruned;
 }
 
 CandidateLabel ShardedGlobalState::EvictedLabel(int gid) const {
@@ -250,7 +434,14 @@ void ShardedGlobalState::set_retain_mention_embeddings(bool retain) {
 }
 
 size_t ShardedGlobalState::ApproxBytes() const {
-  size_t bytes = 0;
+  // Per-shard structures plus the service-wide matcher state (symbol table
+  // and first-token dispatch), so the memory governor's budget sees the
+  // interned index too.
+  size_t bytes = symbols_->ApproxBytes() +
+                 first_token_.capacity() * sizeof(std::vector<DispatchEntry>);
+  for (const auto& list : first_token_) {
+    bytes += list.capacity() * sizeof(DispatchEntry);
+  }
   for (int s = 0; s < shard_count(); ++s) bytes += ShardApproxBytes(s);
   return bytes;
 }

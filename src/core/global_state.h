@@ -21,13 +21,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/candidate_base.h"
 #include "core/ctrie.h"
 #include "core/mention_extractor.h"
 #include "core/shard_router.h"
+#include "text/symbol_table.h"
 #include "text/token.h"
 
 namespace emd {
@@ -46,10 +49,26 @@ struct GidRef {
 /// gid-addressed facade that is drop-in equivalent to the single pair.
 class ShardedGlobalState {
  public:
-  explicit ShardedGlobalState(int shard_count = 1);
+  /// Which algorithm Extract uses. Both matchers run over the same state
+  /// (the symbol table and first-token dispatch are always maintained), so
+  /// switching is a pure read-path decision and A/B comparison is exact.
+  enum class MatcherKind {
+    kAuto,      // resolve from EMD_MATCHER (unset/other -> interned)
+    kLegacy,    // lockstep per-shard trie walk with string-hash probes
+    kInterned,  // first-token dispatch + int32 symbol walk
+  };
+
+  /// Resolves kAuto against the EMD_MATCHER environment variable
+  /// ("legacy" selects the lockstep scan; anything else, including unset and
+  /// "interned", selects the interned matcher). Non-auto kinds pass through.
+  static MatcherKind ResolveMatcher(MatcherKind requested);
+
+  explicit ShardedGlobalState(int shard_count = 1,
+                              MatcherKind matcher = MatcherKind::kAuto);
 
   int shard_count() const { return router_.num_shards(); }
   const ShardRouter& router() const { return router_; }
+  MatcherKind matcher() const { return matcher_; }
 
   // --- Registration (single-writer) -------------------------------------
 
@@ -70,10 +89,35 @@ class ShardedGlobalState {
 
   // --- Extraction (read-only, thread-safe) ------------------------------
 
-  /// Longest-match candidate scan across all shards (§V-A): walks one trie
-  /// cursor per shard in lockstep and keeps the longest terminal match. A
-  /// phrase's folded key lives in exactly one shard, so the result equals a
-  /// single-trie scan over the union — mentions carry gids.
+  /// Per-worker reusable scan scratch. After warm-up (capacities grown to
+  /// the steady-state tweet shape) ExtractInto performs zero heap
+  /// allocations. One instance per worker slot — never shared concurrently.
+  struct ScanScratch {
+    std::vector<int32_t> syms;             // interned: per-token symbol ids
+    std::vector<std::string_view> folded;  // legacy: per-token folded views
+    std::vector<std::string> fold_bufs;    // backing storage for `folded`
+    std::vector<int> nodes;                // legacy: one cursor per shard
+    std::string fold_scratch;              // interned: single fold buffer
+  };
+
+  /// Longest-match candidate scan (§V-A); appends mentions carrying gids to
+  /// `*out` (cleared first). Each token is case-folded exactly once per
+  /// tweet. The matcher chosen at construction picks the algorithm:
+  ///
+  ///  * kLegacy — walks one trie cursor per shard in lockstep with
+  ///    pre-folded string probes (StepFolded). A phrase's folded key lives
+  ///    in exactly one shard, so the union scan equals a single-trie scan.
+  ///  * kInterned — interns each token to an int32 symbol, then resolves
+  ///    each window start through the service-wide first-token dispatch
+  ///    table and walks int-keyed edges (StepSymbol). Tokens that begin no
+  ///    candidate in any shard cost one table lookup regardless of S.
+  ///
+  /// Both produce the identical mention set: at most one shard terminates a
+  /// candidate per (start, length) window, so longest-match is unique.
+  void ExtractInto(const std::vector<Token>& tokens, ScanScratch* scratch,
+                   std::vector<ExtractedMention>* out) const;
+
+  /// Convenience wrapper allocating throwaway scratch (tests, cold paths).
   std::vector<ExtractedMention> Extract(const std::vector<Token>& tokens) const;
 
   // --- Gid-level lookups -------------------------------------------------
@@ -141,6 +185,14 @@ class ShardedGlobalState {
   /// labelled shard="<index>"). Called at the batch merge barrier.
   void UpdateShardGauges();
 
+  /// Live interned symbols across all shard tries (scan vocabulary size).
+  int num_live_symbols() const { return symbols_->num_live(); }
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  /// First-token dispatch entries currently registered for `sym` (test /
+  /// introspection hook; empty when no candidate starts with that symbol).
+  int DispatchFanout(int32_t sym) const;
+
  private:
   struct Shard {
     CTrie trie;
@@ -148,12 +200,39 @@ class ShardedGlobalState {
     std::vector<int> local_to_gid;  // dense: local candidate id -> gid
   };
 
+  /// One continuation of the first-token dispatch: candidate phrases
+  /// starting with the indexing symbol continue from `node` of `shard`.
+  struct DispatchEntry {
+    int32_t shard;
+    int32_t node;
+  };
+
   /// Registers folded `words` (joined key precomputed) in their shard.
   int InsertFolded(const std::vector<std::string>& folded, std::string key);
 
+  /// Ensures first_token_[symbol of `first_folded`] carries `shard`'s root
+  /// continuation. Idempotent; called after every trie insert.
+  void RegisterFirstToken(int shard, std::string_view first_folded);
+
+  void ExtractLegacyInto(const std::vector<Token>& tokens, ScanScratch* s,
+                         std::vector<ExtractedMention>* out) const;
+  void ExtractInternedInto(const std::vector<Token>& tokens, ScanScratch* s,
+                           std::vector<ExtractedMention>* out) const;
+
   ShardRouter router_;
+  MatcherKind matcher_;
+  // Heap-owned so CTrie's raw SymbolTable* (and the dispatch table's node
+  // ids) survive move-assignment of the whole state — checkpoint restore
+  // builds a fresh state and moves it over the live one.
+  std::unique_ptr<SymbolTable> symbols_;
   std::vector<Shard> shards_;
   std::vector<GidRef> gids_;
+  // Service-wide first-token dispatch: symbol id -> continuations, sorted by
+  // shard. Invariant: an entry (shard, node) exists iff that shard's root
+  // has an edge for the symbol — maintained by Insert (register) and Prune
+  // (unregister when the root edge disappears), so a recycled symbol id
+  // always starts with an empty slot.
+  std::vector<std::vector<DispatchEntry>> first_token_;
   // Lazily resolved per-shard gauges (registry owns the objects).
   std::vector<obs::Gauge*> shard_candidate_gauges_;
   std::vector<obs::Gauge*> shard_byte_gauges_;

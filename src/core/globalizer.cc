@@ -83,7 +83,7 @@ Globalizer::Globalizer(LocalEmdSystem* system, const PhraseEmbedder* phrase_embe
       phrase_embedder_(phrase_embedder),
       classifier_(classifier),
       options_(options),
-      state_(options.shard_count),
+      state_(options.shard_count, options.matcher),
       governor_(&state_, &tweets_, options.memory),
       clock_(options.resilience.clock != nullptr ? options.resilience.clock
                                                  : Clock::Real()),
@@ -492,13 +492,18 @@ Status Globalizer::ProcessBatch(std::span<const AnnotatedTweet> batch) {
       lane_arenas_.size()) {
     lane_arenas_.resize(std::max(1, options_.num_threads));
   }
+  if (static_cast<size_t>(std::max(1, options_.num_threads)) >
+      scan_scratch_.size()) {
+    scan_scratch_.resize(std::max(1, options_.num_threads));
+  }
   ParallelForOrSerial(
       options_.num_threads > 1 ? pool_.get() : nullptr, count,
       [&](int slot, size_t idx) {
         const TweetRecord& record = tweets_.at(first_index + idx);
         if (record.quarantined) return;
         ExtractStage& stage = staged[idx];
-        stage.extracted = state_.Extract(record.tokens);
+        state_.ExtractInto(record.tokens, &scan_scratch_[slot],
+                           &stage.extracted);
         stage.embeddings.reserve(stage.extracted.size());
         if (batch_embed && !stage.extracted.empty() &&
             record.token_embeddings.cols() == phrase_embedder_->in_dim()) {

@@ -160,6 +160,14 @@ struct GlobalizerOptions {
   /// publishes service-wide aggregates instead, so concurrent streams do not
   /// fight over the same gauge.
   bool publish_shard_gauges = true;
+
+  /// Candidate-scan matcher (DESIGN §12). kAuto resolves the EMD_MATCHER
+  /// environment variable: "legacy" selects the lockstep per-shard trie
+  /// walk, anything else the interned-symbol matcher (first-token dispatch +
+  /// int32 edge walk). Both produce bit-identical mention sets at any
+  /// shard/thread count — the hatch exists for A/B runs and bisection.
+  ShardedGlobalState::MatcherKind matcher =
+      ShardedGlobalState::MatcherKind::kAuto;
 };
 
 /// Final framework output plus diagnostics.
@@ -430,6 +438,12 @@ class Globalizer {
   // as the serial lane's). Arenas grow to the steady-state shape on the first
   // batch and are reused allocation-free afterwards.
   std::vector<ForwardArena> lane_arenas_;
+
+  // Candidate-scan scratch, one per worker lane (slot-exclusive under
+  // ParallelFor): folded-token / interned-symbol buffers reused across
+  // tweets and batches so the extraction stage allocates nothing in steady
+  // state.
+  std::vector<ShardedGlobalState::ScanScratch> scan_scratch_;
 
   // Allocation-recycling scratch for the serial hot paths: the serial-wrapper
   // phrase-embedder pool buffer and the classifier's feature row + ping-pong

@@ -190,6 +190,10 @@ bool MemoryGovernor::EvictTier(int tier, size_t target, size_t* bytes) {
     if (!EMD_FAILPOINT("core.memory_governor.evict").ok()) return false;
     const size_t freed = state_->at(id).ApproxBytes();
     state_->Evict(id);
+    // Prune also unwinds the interned matcher: per-edge symbol references
+    // are released (dead symbol ids recycle) and the shard's first-token
+    // dispatch entry is unregistered once its root edge disappears, so the
+    // scan index shrinks with the trie instead of accreting garbage.
     const int pruned = state_->Prune(id);
     ++stats_.evicted_candidates;
     stats_.pruned_nodes += static_cast<uint64_t>(pruned);

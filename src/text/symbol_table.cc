@@ -1,0 +1,54 @@
+#include "text/symbol_table.h"
+
+#include "util/logging.h"
+
+namespace emd {
+
+int32_t SymbolTable::Acquire(std::string_view folded) {
+  auto it = ids_.find(folded);
+  if (it != ids_.end()) {
+    ++refs_[it->second];
+    return it->second;
+  }
+  int32_t sym;
+  if (!free_ids_.empty()) {
+    sym = free_ids_.back();
+    free_ids_.pop_back();
+    texts_[sym].assign(folded);
+    refs_[sym] = 1;
+  } else {
+    sym = static_cast<int32_t>(texts_.size());
+    texts_.emplace_back(folded);
+    refs_.push_back(1);
+  }
+  ids_.emplace(texts_[sym], sym);
+  return sym;
+}
+
+void SymbolTable::Release(int32_t sym) {
+  EMD_CHECK_GE(sym, 0);
+  EMD_CHECK_LT(sym, capacity());
+  EMD_CHECK_GT(refs_[sym], 0u) << "releasing dead symbol " << sym;
+  if (--refs_[sym] > 0) return;
+  ids_.erase(texts_[sym]);
+  texts_[sym].clear();
+  texts_[sym].shrink_to_fit();
+  free_ids_.push_back(sym);
+}
+
+size_t SymbolTable::ApproxBytes() const {
+  constexpr size_t kEntryOverhead = 2 * sizeof(void*) + sizeof(int32_t);
+  size_t bytes = ids_.bucket_count() * sizeof(void*) +
+                 ids_.size() * (kEntryOverhead + sizeof(std::string)) +
+                 texts_.capacity() * sizeof(std::string) +
+                 refs_.capacity() * sizeof(uint32_t) +
+                 free_ids_.capacity() * sizeof(int32_t);
+  for (const auto& t : texts_) bytes += t.capacity();
+  for (const auto& [key, id] : ids_) {
+    (void)id;
+    bytes += key.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace emd

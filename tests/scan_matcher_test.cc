@@ -1,0 +1,523 @@
+// Interned-symbol candidate matcher tests (DESIGN §12, ctest label `scan`):
+// SymbolTable refcount/recycle semantics, CTrie symbol edges agreeing with
+// the string-keyed edges, bit-identity between the legacy lockstep scan and
+// the interned first-token-dispatch scan — on fixed corpora, under a
+// randomized fuzz with insert/evict/rebuild churn and non-ASCII tokens, and
+// through the Globalizer across shard counts {1,4,13} x thread counts {1,4}
+// — plus eviction unregistering dispatch/symbol state, checkpoint restore
+// rebuilding the symbol table, the EMD_MATCHER escape hatch, and a
+// zero-steady-state-allocation guarantee for both scan loops.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <string>
+#include <vector>
+
+// GCC cannot see that the replacement operator new/delete below are a
+// matched malloc/free pair and warns at every inlined delete site.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+std::atomic<long> g_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include "core/ctrie.h"
+#include "core/global_state.h"
+#include "core/globalizer.h"
+#include "mock_local_system.h"
+#include "stream/datasets.h"
+#include "text/symbol_table.h"
+#include "text/tweet_tokenizer.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace emd {
+namespace {
+
+using MK = ShardedGlobalState::MatcherKind;
+
+std::vector<Token> Toks(const std::string& text) {
+  std::vector<Token> out;
+  for (const std::string& w : Split(text)) {
+    Token t;
+    t.text = w;
+    out.push_back(t);
+  }
+  return out;
+}
+
+void ExpectSameMentions(const std::vector<ExtractedMention>& expected,
+                        const std::vector<ExtractedMention>& actual,
+                        const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(expected[i].span == actual[i].span)
+        << what << " mention " << i << ": [" << expected[i].span.begin << ","
+        << expected[i].span.end << ") vs [" << actual[i].span.begin << ","
+        << actual[i].span.end << ")";
+    EXPECT_EQ(expected[i].candidate_id, actual[i].candidate_id)
+        << what << " mention " << i;
+  }
+}
+
+// ----------------------------------------------------------- SymbolTable --
+
+TEST(SymbolTableTest, AcquireLookupReleaseRecyclesIds) {
+  SymbolTable syms;
+  const int32_t a = syms.Acquire("andy");
+  const int32_t b = syms.Acquire("beshear");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(syms.Acquire("andy"), a);  // second reference, same id
+  EXPECT_EQ(syms.Lookup("andy"), a);
+  EXPECT_EQ(syms.Lookup("missing"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(syms.text(a), "andy");
+  EXPECT_EQ(syms.ref_count(a), 2u);
+  EXPECT_EQ(syms.num_live(), 2);
+
+  syms.Release(a);
+  EXPECT_EQ(syms.Lookup("andy"), a);  // one reference still held
+  syms.Release(a);
+  EXPECT_EQ(syms.Lookup("andy"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(syms.num_live(), 1);
+
+  // The dead id slot is recycled for the next distinct token; the id space
+  // stays dense under churn.
+  const int32_t c = syms.Acquire("kentucky");
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(syms.text(c), "kentucky");
+  EXPECT_EQ(syms.capacity(), 2);
+}
+
+// --------------------------------------------------- CTrie symbol edges --
+
+TEST(CTrieSymbolTest, StepSymbolAndStepFoldedAgreeWithStep) {
+  SymbolTable syms;
+  CTrie trie;
+  trie.BindSymbolTable(&syms);
+  trie.Insert({"new", "york"});
+  trie.Insert({"new", "york", "times"});
+  trie.Insert({"boston"});
+
+  const int n1 = trie.Step(trie.root(), "New");
+  ASSERT_NE(n1, CTrie::kNoNode);
+  EXPECT_EQ(trie.StepFolded(trie.root(), "new"), n1);
+  EXPECT_EQ(trie.StepSymbol(trie.root(), syms.Lookup("new")), n1);
+  EXPECT_EQ(trie.RootChildForSymbol(syms.Lookup("new")), n1);
+
+  const int n2 = trie.Step(n1, "YORK");
+  ASSERT_NE(n2, CTrie::kNoNode);
+  EXPECT_EQ(trie.StepSymbol(n1, syms.Lookup("york")), n2);
+  EXPECT_EQ(trie.StepSymbol(n2, syms.Lookup("times")),
+            trie.Step(n2, "times"));
+
+  // Unknown token: Lookup yields kNoSymbol, which matches no edge.
+  EXPECT_EQ(syms.Lookup("chicago"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(trie.StepSymbol(trie.root(), SymbolTable::kNoSymbol),
+            CTrie::kNoNode);
+  // A symbol that exists but labels no edge at this node.
+  EXPECT_EQ(trie.StepSymbol(n1, syms.Lookup("boston")), CTrie::kNoNode);
+}
+
+TEST(CTrieSymbolTest, PruneReleasesSymbolsWithTheirEdges) {
+  SymbolTable syms;
+  CTrie trie;
+  trie.BindSymbolTable(&syms);
+  const int ny = trie.Insert({"new", "york"});
+  const int nyt = trie.Insert({"new", "york", "times"});
+  // Edges: new, york, times — "new"/"york" shared by both candidates.
+  EXPECT_EQ(syms.num_live(), 3);
+
+  trie.Prune(nyt);  // only the "times" suffix edge disappears
+  EXPECT_EQ(syms.Lookup("times"), SymbolTable::kNoSymbol);
+  EXPECT_NE(syms.Lookup("york"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(syms.num_live(), 2);
+
+  trie.Prune(ny);
+  EXPECT_EQ(syms.Lookup("new"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(syms.num_live(), 0);
+}
+
+// -------------------------------------------- fixed-corpus bit-identity --
+
+TEST(ScanMatcherTest, FixedCorpusIdenticalAcrossMatchersAndShardCounts) {
+  const std::vector<std::vector<std::string>> phrases = {
+      {"andy", "beshear"}, {"andy"},          {"kentucky"},
+      {"new", "york"},     {"new", "york", "times"},
+      {"café"},            {"zürich", "airport"}};
+  const std::vector<std::string> corpus = {
+      "Andy Beshear spoke in KENTUCKY today",
+      "the New York Times covered andy",
+      "new york new york times andy beshear",
+      "Café prices in Zürich Airport rising",
+      "nothing matches in this tweet at all",
+      "andy",
+      "",
+  };
+  ShardedGlobalState reference(1, MK::kLegacy);
+  for (const auto& p : phrases) reference.Insert(p);
+  for (int shards : {1, 4, 13}) {
+    for (MK kind : {MK::kLegacy, MK::kInterned}) {
+      ShardedGlobalState state(shards, kind);
+      for (const auto& p : phrases) state.Insert(p);
+      for (const std::string& text : corpus) {
+        const auto tokens = Toks(text);
+        ExpectSameMentions(reference.Extract(tokens), state.Extract(tokens),
+                           "shards=" + std::to_string(shards) + " matcher=" +
+                               (kind == MK::kLegacy ? "legacy" : "interned") +
+                               " tweet '" + text + "'");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- fuzzing --
+
+// Randomized churn: every state (3 shard counts x 2 matchers) receives the
+// identical insert/evict/scan sequence; every scan must agree with the
+// 1-shard legacy reference. Vocabulary includes non-ASCII tokens (ASCII-only
+// case folding must still match byte-for-byte) and tweets inject registered
+// phrases under random casing between in-vocab and out-of-vocab noise.
+TEST(ScanMatcherFuzzTest, BitIdentityUnderInsertEvictChurn) {
+  Rng rng(20260808);
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 160; ++i) vocab.push_back("tok" + std::to_string(i));
+  const std::vector<std::string> non_ascii = {"café",  "zürich", "naïve",
+                                              "日本",  "Ωmega",  "łódź"};
+  vocab.insert(vocab.end(), non_ascii.begin(), non_ascii.end());
+
+  const std::vector<int> shard_counts = {1, 4, 13};
+  std::vector<std::unique_ptr<ShardedGlobalState>> states;
+  for (int sc : shard_counts) {
+    states.push_back(std::make_unique<ShardedGlobalState>(sc, MK::kLegacy));
+    states.push_back(std::make_unique<ShardedGlobalState>(sc, MK::kInterned));
+  }
+  ShardedGlobalState& reference = *states[0];
+
+  std::vector<std::vector<std::string>> registered;
+  auto random_phrase = [&] {
+    std::vector<std::string> phrase(static_cast<size_t>(rng.NextInt(1, 4)));
+    for (auto& w : phrase) w = vocab[rng.NextU64(vocab.size())];
+    return phrase;
+  };
+  auto random_tweet = [&] {
+    std::vector<Token> tokens;
+    while (tokens.size() < 12) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.3 && !registered.empty()) {
+        for (const auto& w : registered[rng.NextU64(registered.size())]) {
+          Token t;
+          const int casing = rng.NextInt(0, 2);
+          t.text = casing == 0 ? w
+                   : casing == 1 ? ToUpperAscii(w)
+                                 : Capitalize(w);
+          tokens.push_back(std::move(t));
+        }
+      } else {
+        Token t;
+        t.text = dice < 0.8 ? vocab[rng.NextU64(vocab.size())]
+                            : "oov" + std::to_string(rng.NextU64(1 << 16));
+        tokens.push_back(std::move(t));
+      }
+    }
+    tokens.resize(12);
+    return tokens;
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    // Insert a batch of phrases into every state identically (gid spaces
+    // stay equal across shard counts: discovery-order assignment).
+    for (int k = 0; k < 24; ++k) {
+      const auto phrase = random_phrase();
+      const int before = reference.num_candidates();
+      for (auto& state : states) {
+        const int gid = state->Insert(phrase);
+        state->GetOrCreate(gid);
+      }
+      if (reference.num_candidates() > before) registered.push_back(phrase);
+    }
+    // Evict + prune a few random live gids from every state (the memory
+    // governor's order of operations).
+    for (int k = 0; k < 8; ++k) {
+      const int gid = rng.NextInt(0, reference.num_candidates() - 1);
+      if (reference.IsTombstone(gid)) continue;
+      for (auto& state : states) {
+        state->Evict(gid);
+        state->Prune(gid);
+      }
+    }
+    // Scan: every state must reproduce the reference exactly.
+    for (int t = 0; t < 32; ++t) {
+      const auto tokens = random_tweet();
+      const auto expected = reference.Extract(tokens);
+      for (size_t s = 1; s < states.size(); ++s) {
+        ExpectSameMentions(
+            expected, states[s]->Extract(tokens),
+            "round " + std::to_string(round) + " state " + std::to_string(s));
+      }
+    }
+  }
+  EXPECT_GT(reference.num_candidates(), 100);
+  EXPECT_GT(reference.num_evicted(), 0u);
+
+  // Rebuild-restore interleaving: reconstruct each layout the way checkpoint
+  // restore does (live keys re-inserted in gid order, tombstones appended as
+  // holes) and require the rebuilt scan to still match the live reference —
+  // this is exactly the path that rebuilds the symbol table from the tries.
+  for (int sc : shard_counts) {
+    for (MK kind : {MK::kLegacy, MK::kInterned}) {
+      ShardedGlobalState rebuilt(sc, kind);
+      for (int gid = 0; gid < reference.num_candidates(); ++gid) {
+        if (reference.IsTombstone(gid)) {
+          rebuilt.AppendTombstone();
+        } else {
+          rebuilt.Insert(Split(reference.CandidateKey(gid)));
+        }
+      }
+      for (int t = 0; t < 16; ++t) {
+        const auto tokens = random_tweet();
+        ExpectSameMentions(reference.Extract(tokens), rebuilt.Extract(tokens),
+                           "rebuilt shards=" + std::to_string(sc));
+      }
+    }
+  }
+}
+
+// ------------------------------------------- eviction unregisters index --
+
+TEST(ScanMatcherTest, PruneUnregistersDispatchAndRecyclesSymbols) {
+  ShardedGlobalState state(1, MK::kInterned);
+  const int g1 = state.Insert({"shared", "alpha"});
+  const int g2 = state.Insert({"shared", "beta"});
+  state.Insert({"solo"});
+  const SymbolTable& syms = state.symbols();
+  const int32_t shared_sym = syms.Lookup("shared");
+  ASSERT_NE(shared_sym, SymbolTable::kNoSymbol);
+  EXPECT_EQ(state.DispatchFanout(shared_sym), 1);
+  EXPECT_EQ(state.num_live_symbols(), 4);
+
+  // First prune: the shared first-token edge survives via "shared beta".
+  state.Prune(g1);
+  EXPECT_EQ(state.DispatchFanout(shared_sym), 1);
+  EXPECT_EQ(syms.Lookup("alpha"), SymbolTable::kNoSymbol);
+  ASSERT_EQ(state.Extract(Toks("shared beta and shared alpha")).size(), 1u);
+  EXPECT_EQ(state.Extract(Toks("shared beta"))[0].candidate_id, g2);
+
+  // Second prune: the root edge dies, the dispatch entry must go with it and
+  // the symbol id becomes recyclable.
+  state.Prune(g2);
+  EXPECT_EQ(state.DispatchFanout(shared_sym), 0);
+  EXPECT_EQ(syms.Lookup("shared"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(state.num_live_symbols(), 1);  // just "solo"
+  EXPECT_TRUE(state.Extract(Toks("shared beta")).empty());
+
+  // A recycled symbol id starts with a clean dispatch slot.
+  const int g4 = state.Insert({"gamma", "delta"});
+  const auto mentions = state.Extract(Toks("gamma delta then solo"));
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].candidate_id, g4);
+  EXPECT_TRUE(mentions[0].span == (TokenSpan{0, 2}));
+}
+
+// ----------------------------------------------- Globalizer + pipeline --
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+AnnotatedTweet MakeTweet(long id, const std::string& text) {
+  AnnotatedTweet t;
+  t.tweet_id = id;
+  t.sentence_id = static_cast<int>(id) * 10;
+  t.topic_id = 7;
+  t.text = text;
+  t.tokens = TweetTokenizer().Tokenize(text);
+  return t;
+}
+
+uint32_t MentionDigest(const GlobalizerOutput& out) {
+  uint32_t crc = 0;
+  for (const auto& tweet_mentions : out.mentions) {
+    for (const TokenSpan& span : tweet_mentions) {
+      uint64_t packed[2] = {span.begin, span.end};
+      crc = Crc32(packed, sizeof(packed), crc);
+    }
+  }
+  return crc;
+}
+
+std::vector<MockLocalSystem::Rule> ScanRules() {
+  return {{.phrase = {"coronavirus"}}, {.phrase = {"andy", "beshear"}},
+          {.phrase = {"kentucky"}},    {.phrase = {"louisville"}},
+          {.phrase = {"vaccine"}},     {.phrase = {"frankfort"}}};
+}
+
+Dataset ScanStream(int copies) {
+  Dataset d;
+  d.name = "scan";
+  long id = 1;
+  for (int c = 0; c < copies; ++c) {
+    d.tweets.push_back(MakeTweet(id++, "the Coronavirus keeps spreading"));
+    d.tweets.push_back(MakeTweet(id++, "Andy Beshear spoke in Kentucky today"));
+    d.tweets.push_back(MakeTweet(id++, "cases rising in Louisville again"));
+    d.tweets.push_back(MakeTweet(id++, "the Vaccine arrives in Frankfort soon"));
+    d.tweets.push_back(MakeTweet(id++, "andy beshear kentucky vaccine update"));
+  }
+  return d;
+}
+
+TEST(ScanMatcherPipelineTest, DigestIdenticalAcrossMatchersShardsThreads) {
+  uint32_t baseline = 0;
+  bool have_baseline = false;
+  for (MK kind : {MK::kLegacy, MK::kInterned}) {
+    for (int shards : {1, 4, 13}) {
+      for (int threads : {1, 4}) {
+        GlobalizerOptions opt;
+        opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+        opt.batch_size = 8;
+        opt.shard_count = shards;
+        opt.num_threads = threads;
+        opt.matcher = kind;
+        MockLocalSystem mock(ScanRules());
+        Globalizer g(&mock, nullptr, nullptr, opt);
+        ASSERT_TRUE(g.Run(ScanStream(6)).ok());
+        const uint32_t digest = MentionDigest(g.Finalize().value());
+        if (!have_baseline) {
+          baseline = digest;
+          have_baseline = true;
+        }
+        EXPECT_EQ(digest, baseline)
+            << "matcher=" << (kind == MK::kLegacy ? "legacy" : "interned")
+            << " shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ScanMatcherPipelineTest, CheckpointRestoreRebuildsSymbolTable) {
+  const std::string path = TempPath("scan_matcher_ckpt.bin");
+  GlobalizerOptions opt;
+  opt.mode = GlobalizerOptions::Mode::kMentionExtraction;
+  opt.shard_count = 4;
+  opt.matcher = MK::kLegacy;
+  MockLocalSystem mock(ScanRules());
+  Globalizer g(&mock, nullptr, nullptr, opt);
+  ASSERT_TRUE(g.Run(ScanStream(3)).ok());
+  ASSERT_TRUE(g.SaveCheckpoint(path).ok());
+  ASSERT_TRUE(g.Run(ScanStream(2)).ok());
+  const uint32_t want = MentionDigest(g.Finalize().value());
+
+  // Restore into a different shard count with the interned matcher: the
+  // symbol table and dispatch table rebuild from the re-inserted keys (the
+  // v5 format carries no symbol section), and the continued stream must
+  // produce the identical mentions.
+  GlobalizerOptions ropt = opt;
+  ropt.shard_count = 13;
+  ropt.matcher = MK::kInterned;
+  MockLocalSystem rmock(ScanRules());
+  Globalizer restored(&rmock, nullptr, nullptr, ropt);
+  ASSERT_TRUE(restored.RestoreCheckpoint(path).ok());
+  EXPECT_GT(restored.global_state().num_live_symbols(), 0);
+  ASSERT_TRUE(restored.Run(ScanStream(2)).ok());
+  EXPECT_EQ(MentionDigest(restored.Finalize().value()), want);
+  std::filesystem::remove(path);
+}
+
+// --------------------------------------------------- EMD_MATCHER hatch --
+
+TEST(ScanMatcherTest, MatcherResolvesFromEnvironment) {
+  unsetenv("EMD_MATCHER");
+  EXPECT_EQ(ShardedGlobalState::ResolveMatcher(MK::kAuto), MK::kInterned);
+  setenv("EMD_MATCHER", "legacy", 1);
+  EXPECT_EQ(ShardedGlobalState::ResolveMatcher(MK::kAuto), MK::kLegacy);
+  // Explicit kinds win over the environment.
+  EXPECT_EQ(ShardedGlobalState::ResolveMatcher(MK::kInterned), MK::kInterned);
+  {
+    ShardedGlobalState state(2);
+    EXPECT_EQ(state.matcher(), MK::kLegacy);
+  }
+  setenv("EMD_MATCHER", "interned", 1);
+  EXPECT_EQ(ShardedGlobalState::ResolveMatcher(MK::kAuto), MK::kInterned);
+  {
+    ShardedGlobalState state(2);
+    EXPECT_EQ(state.matcher(), MK::kInterned);
+  }
+  unsetenv("EMD_MATCHER");
+}
+
+// ------------------------------------------------ zero-allocation scan --
+
+TEST(ScanMatcherTest, SteadyStateScanIsAllocationFree) {
+  for (MK kind : {MK::kLegacy, MK::kInterned}) {
+    ShardedGlobalState state(4, kind);
+    Rng rng(77);
+    std::vector<std::vector<std::string>> phrases;
+    for (int i = 0; i < 200; ++i) {
+      std::vector<std::string> phrase(static_cast<size_t>(rng.NextInt(1, 3)));
+      for (auto& w : phrase) w = "word" + std::to_string(rng.NextInt(0, 120));
+      state.Insert(phrase);
+      phrases.push_back(std::move(phrase));
+    }
+    std::vector<std::vector<Token>> tweets;
+    for (int t = 0; t < 8; ++t) {
+      std::vector<Token> tokens;
+      while (tokens.size() < 16) {
+        for (const auto& w : phrases[rng.NextU64(phrases.size())]) {
+          Token tok;
+          tok.text = rng.NextBernoulli(0.5) ? ToUpperAscii(w) : w;
+          tokens.push_back(std::move(tok));
+        }
+        Token noise;
+        noise.text = "Noise" + std::to_string(rng.NextInt(0, 99));
+        tokens.push_back(std::move(noise));
+      }
+      tokens.resize(16);
+      tweets.push_back(std::move(tokens));
+    }
+
+    ShardedGlobalState::ScanScratch scratch;
+    std::vector<ExtractedMention> out;
+    size_t mentions = 0;
+    // Warm-up: scratch buffers and the output vector grow to steady state
+    // (and the obs counters lazily register).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& tokens : tweets) {
+        state.ExtractInto(tokens, &scratch, &out);
+        mentions += out.size();
+      }
+    }
+    ASSERT_GT(mentions, 0u);  // the loop under test does real matching
+
+    const long before = g_allocations.load(std::memory_order_relaxed);
+    for (int pass = 0; pass < 5; ++pass) {
+      for (const auto& tokens : tweets) {
+        state.ExtractInto(tokens, &scratch, &out);
+      }
+    }
+    const long after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0)
+        << (kind == MK::kLegacy ? "legacy" : "interned")
+        << " scan allocated in steady state";
+  }
+}
+
+}  // namespace
+}  // namespace emd
